@@ -1,0 +1,41 @@
+//! Extractor scalability (paper §VI: "For the largest log from the
+//! closed-source implementation, it takes our model extractor around 5
+//! minutes"). The claim under test here is the *shape*: extraction time
+//! grows (near-linearly) with log size and stays far below the
+//! conformance-run cost it piggybacks on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use procheck_conformance::runner::run_suite;
+use procheck_conformance::generator::generate_suite;
+use procheck_extractor::{extract_fsm, ExtractorConfig};
+use procheck_instrument::LogRecord;
+use procheck_stack::UeConfig;
+use std::time::Duration;
+
+fn logs_of_size(cases: usize) -> Vec<LogRecord> {
+    let cfg = UeConfig::reference("001010123456789", 0x42);
+    let suite = generate_suite(&cfg, 7, cases);
+    run_suite(&cfg, &suite).ue_log
+}
+
+fn extractor_scaling(c: &mut Criterion) {
+    let ex = ExtractorConfig::for_reference_ue();
+    let mut group = c.benchmark_group("extractor_scaling");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(3));
+    for cases in [25usize, 100, 400] {
+        let log = logs_of_size(cases);
+        group.throughput(Throughput::Elements(log.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cases}cases_{}records", log.len())),
+            &log,
+            |b, log| b.iter(|| extract_fsm("ue", log, &ex)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, extractor_scaling);
+criterion_main!(benches);

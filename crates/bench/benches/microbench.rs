@@ -1,0 +1,51 @@
+//! Micro-benchmarks for the hot substrate operations: NAS codec,
+//! protect/verify, and Dolev–Yao saturation — the per-step costs the
+//! pipeline pays thousands of times per analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use procheck_cpv::deduce::Deduction;
+use procheck_cpv::term::Term;
+use procheck_nas::codec;
+use procheck_nas::crypto::{Key, DIR_DOWNLINK};
+use procheck_nas::ids::Guti;
+use procheck_nas::messages::NasMessage;
+use procheck_nas::security::{EeaAlg, EiaAlg, SecurityContext};
+use std::time::Duration;
+
+fn microbench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
+
+    let msg = NasMessage::AttachAccept { guti: Guti(0xabcd), tau_timer: 54 };
+    group.bench_function("codec_encode", |b| b.iter(|| codec::encode_message(&msg)));
+    let bytes = codec::encode_message(&msg);
+    group.bench_function("codec_decode", |b| b.iter(|| codec::decode_message(&bytes).unwrap()));
+
+    let ctx = SecurityContext::new(Key::new(0xfeed), EiaAlg::Eia2, EeaAlg::Eea1);
+    group.bench_function("protect", |b| b.iter(|| ctx.protect(&msg, 7, DIR_DOWNLINK)));
+    let pdu = ctx.protect(&msg, 7, DIR_DOWNLINK);
+    group.bench_function("verify_and_open", |b| {
+        b.iter(|| ctx.verify_and_open(&pdu, DIR_DOWNLINK).unwrap())
+    });
+
+    // DY saturation over a trace-sized knowledge set.
+    let mut ded = Deduction::new([Term::atom("adv_nonce")]);
+    for i in 0..20 {
+        ded.observe(Term::pair(
+            Term::senc(Term::atom(format!("m{i}")), Term::key("k_nas_enc")),
+            Term::mac(Term::atom(format!("m{i}")), Term::key("k_nas_int")),
+        ));
+    }
+    let goal = Term::pair(
+        Term::senc(Term::atom("m7"), Term::key("k_nas_enc")),
+        Term::mac(Term::atom("m7"), Term::key("k_nas_int")),
+    );
+    group.bench_function("dy_derivability_20msgs", |b| b.iter(|| ded.can_derive(&goal)));
+    group.finish();
+}
+
+criterion_group!(benches, microbench);
+criterion_main!(benches);

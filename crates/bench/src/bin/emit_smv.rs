@@ -1,0 +1,33 @@
+//! Emits the threat-instrumented model `IMP^μ` in SMV syntax — the
+//! output format of the paper's model generator ("takes as input the
+//! state machine … written in Graphviz-like language and outputs a SMV
+//! description of the model", §VI). With nuXmv installed, the output can
+//! be cross-checked in the original tool.
+//!
+//! Usage: `emit_smv [reference|srs|oai] [property-id]`
+
+use procheck::pipeline::{extract_models, AnalysisConfig};
+use procheck_props::{registry, Check};
+use procheck_smv::smvformat::{property_to_smv, to_smv};
+use procheck_stack::quirks::Implementation;
+use procheck_threat::build_threat_model;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "reference".into());
+    let prop_id = std::env::args().nth(2).unwrap_or_else(|| "S01".into());
+    let implementation = match which.as_str() {
+        "srs" => Implementation::Srs,
+        "oai" => Implementation::Oai,
+        _ => Implementation::Reference,
+    };
+    let models = extract_models(implementation, &AnalysisConfig::default());
+    let prop = registry()
+        .into_iter()
+        .find(|p| p.id == prop_id)
+        .unwrap_or_else(|| panic!("unknown property {prop_id}"));
+    let model = build_threat_model(&models.ue, &models.mme, &prop.slice.threat_config());
+    println!("{}", to_smv(&model));
+    if let Check::Model(p) = &prop.check {
+        println!("{}", property_to_smv(p));
+    }
+}

@@ -1,0 +1,27 @@
+//! Implementation-deviation view: the structural diff between each buggy
+//! implementation's extracted FSM and the conformant reference's.
+//!
+//! Every `+` transition is behaviour the reference does not exhibit —
+//! the I-series issues appear here directly as replay/plaintext
+//! acceptance and bypass transitions, before any property is checked.
+
+use procheck::pipeline::{extract_models, AnalysisConfig};
+use procheck_fsm::diff::diff;
+use procheck_stack::quirks::Implementation;
+
+fn main() {
+    let cfg = AnalysisConfig::default();
+    let reference = extract_models(Implementation::Reference, &cfg);
+    for imp in [Implementation::Srs, Implementation::Oai] {
+        let other = extract_models(imp, &cfg);
+        let d = diff(&reference.ue, &other.ue);
+        println!(
+            "== {} vs closed-source reference (UE): +{} / -{} transitions ==",
+            imp.name(),
+            d.added.len(),
+            d.removed.len()
+        );
+        print!("{}", d.render());
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Reference listing of all 62 properties (37 security, 25 privacy) with
+//! their formal checks, expectations, slices, and attack tags.
+
+use procheck_bench::col;
+use procheck_props::{registry, Category, Check};
+use procheck_smv::smvformat::property_to_smv;
+
+fn main() {
+    for category in [Category::Security, Category::Privacy] {
+        let title = match category {
+            Category::Security => "Security properties (S01–S37)",
+            Category::Privacy => "Privacy properties (PR01–PR25)",
+        };
+        println!("== {title} ==\n");
+        for p in registry().iter().filter(|p| p.category == category) {
+            let t2 = p
+                .table2_index
+                .map(|i| format!(" [Table II #{i}]"))
+                .unwrap_or_default();
+            println!(
+                "{} {}{}  (expect {:?}, detects {})",
+                col(p.id, 5),
+                p.title,
+                t2,
+                p.expectation,
+                p.related_attack.unwrap_or("-")
+            );
+            println!("      {}", p.description);
+            match &p.check {
+                Check::Model(m) => println!("      {}", property_to_smv(m)),
+                Check::Linkability(s) => println!("      EQUIVALENCE {s:?};"),
+            }
+            println!();
+        }
+    }
+}

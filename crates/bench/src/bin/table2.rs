@@ -1,0 +1,36 @@
+//! Table II — the 14 properties common to ProChecker and LTEInspector,
+//! used by the RQ3 scalability comparison (Fig 8).
+
+use procheck_bench::col;
+use procheck_props::{common_properties, Check};
+
+fn main() {
+    println!("Table II: common properties of ProChecker and LTEInspector\n");
+    println!(
+        "{} {} {} {}",
+        col("#", 3),
+        col("id", 5),
+        col("kind", 11),
+        col("property", 72)
+    );
+    println!("{}", "-".repeat(92));
+    for p in common_properties() {
+        let kind = match &p.check {
+            Check::Model(m) => match m {
+                procheck_smv::checker::Property::Invariant { .. } => "invariant",
+                procheck_smv::checker::Property::Reachable { .. } => "reachability",
+                procheck_smv::checker::Property::Response { .. } => "response",
+                procheck_smv::checker::Property::Precedence { .. } => "precedence",
+            },
+            Check::Linkability(_) => "equivalence",
+        };
+        println!(
+            "{} {} {} {}",
+            col(&p.table2_index.unwrap().to_string(), 3),
+            col(p.id, 5),
+            col(kind, 11),
+            col(p.title, 72)
+        );
+        println!("      {}", p.description.split(" (").next().unwrap_or(p.description));
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared helpers for the benchmark harness and the table/figure
+//! regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a regeneration
+//! target here (see DESIGN.md §4):
+//!
+//! | Paper artefact | Target |
+//! |---|---|
+//! | Table I (attack matrix) | `cargo run -p procheck-bench --bin table1` |
+//! | Table II (common properties) | `cargo run -p procheck-bench --bin table2` |
+//! | Fig 8 (per-property times) | `--bin fig8` and `cargo bench -p procheck-bench --bench fig8_scalability` |
+//! | RQ2 (model comparison) | `--bin model_comparison` |
+//! | §VI coverage / extractor stats | `--bin coverage`, `cargo bench --bench extractor_scaling` |
+//! | Figs 4 & 6 (attack walkthroughs) | `--bin attacks -- p1` etc. |
+
+use procheck::pipeline::{extract_models, AnalysisConfig, ExtractedModels};
+use procheck::lteinspector;
+use procheck_fsm::Fsm;
+use procheck_props::NasProperty;
+use procheck_smv::model::Model;
+use procheck_stack::quirks::Implementation;
+use procheck_threat::build_threat_model;
+
+/// The two models Fig 8 compares, threat-instrumented per property slice.
+pub struct Fig8Models {
+    /// ProChecker's extracted UE/MME FSMs (reference implementation).
+    pub extracted: ExtractedModels,
+    /// LTEInspector's hand-built FSMs.
+    pub baseline_ue: Fsm,
+    /// LTEInspector MME.
+    pub baseline_mme: Fsm,
+}
+
+impl Fig8Models {
+    /// Extracts the ProChecker models and loads the baseline.
+    pub fn prepare() -> Self {
+        Fig8Models {
+            extracted: extract_models(Implementation::Reference, &AnalysisConfig::default()),
+            baseline_ue: lteinspector::ue_model(),
+            baseline_mme: lteinspector::mme_model(),
+        }
+    }
+
+    /// The threat-instrumented ProChecker model for a property.
+    pub fn prochecker_model(&self, prop: &NasProperty) -> Model {
+        build_threat_model(
+            &self.extracted.ue,
+            &self.extracted.mme,
+            &prop.slice.threat_config(),
+        )
+    }
+
+    /// The threat-instrumented LTEInspector model for a property.
+    pub fn lteinspector_model(&self, prop: &NasProperty) -> Model {
+        build_threat_model(&self.baseline_ue, &self.baseline_mme, &prop.slice.threat_config())
+    }
+}
+
+/// Renders a filled/empty dot for attack-matrix cells (Table I style).
+pub fn dot(filled: bool) -> &'static str {
+    if filled {
+        "●"
+    } else {
+        "○"
+    }
+}
+
+/// Left-pads/truncates for fixed-width table columns.
+pub fn col(text: &str, width: usize) -> String {
+    let mut s = text.to_string();
+    if s.chars().count() > width {
+        s = s.chars().take(width.saturating_sub(1)).collect::<String>() + "…";
+    }
+    let pad = width.saturating_sub(s.chars().count());
+    s + &" ".repeat(pad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_padding_and_truncation() {
+        assert_eq!(col("abc", 5), "abc  ");
+        assert_eq!(col("abcdefgh", 5), "abcd…");
+        assert_eq!(dot(true), "●");
+    }
+
+    #[test]
+    fn fig8_models_prepare() {
+        let m = Fig8Models::prepare();
+        assert!(m.extracted.ue.transition_count() > m.baseline_ue.transition_count());
+    }
+}

@@ -1,0 +1,88 @@
+//! Scripted conformance test cases.
+//!
+//! A test case is a sequence of steps driven by the test harness, which —
+//! like real 3GPP conformance test equipment — owns the network side and
+//! the subscriber credentials, and may therefore craft both valid and
+//! deliberately invalid stimuli (bad MACs, replays, stale challenges).
+
+use procheck_nas::messages::NasMessage;
+use procheck_stack::TriggerEvent;
+
+/// One step of a test case. After every step the runner exchanges PDUs
+/// between UE and MME until quiescence.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Fire a trigger event on the UE (power-on, detach, TAU) and settle.
+    UeTrigger(TriggerEvent),
+    /// Fire a trigger event on the MME (start GUTI reallocation, paging,
+    /// identity request, re-authentication, timer expiry, …) and settle.
+    MmeTrigger(TriggerEvent),
+    /// Fire a UE trigger but leave the produced PDUs queued (no exchange)
+    /// so a later step can intervene mid-procedure.
+    UeTriggerHold(TriggerEvent),
+    /// Fire an MME trigger but leave the produced PDUs queued.
+    MmeTriggerHold(TriggerEvent),
+    /// Run at most `n` exchange rounds on the queued PDUs.
+    AdvanceRounds(usize),
+    /// Discard all queued PDUs (simulated loss / test-harness isolation).
+    DropPending,
+    /// Exchange queued PDUs until quiescence.
+    Settle,
+    /// Inject a crafted plain (unprotected) message towards the UE.
+    InjectUePlain(NasMessage),
+    /// Inject a message towards the UE framed as integrity-protected but
+    /// carrying a garbage MAC (negative test).
+    InjectUeBadMac(NasMessage),
+    /// Re-deliver the most recent downlink PDU to the UE (replay test).
+    ReplayLastDownlink,
+    /// Re-deliver the `n`-th-from-last downlink PDU to the UE.
+    ReplayDownlinkFromEnd(usize),
+    /// Assert the UE is in the named EMM state.
+    ExpectUeState(&'static str),
+    /// Assert the MME is in the named EMM state.
+    ExpectMmeState(&'static str),
+    /// Assert the UE holds (or not) an active security context.
+    ExpectUeHasContext(bool),
+}
+
+/// A named conformance test case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestCase {
+    /// Stable identifier (e.g. `TC_ATTACH_BASIC`).
+    pub id: String,
+    /// Human-readable purpose.
+    pub description: String,
+    /// The scripted steps.
+    pub steps: Vec<Step>,
+}
+
+impl TestCase {
+    /// Creates a test case from its parts.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        steps: Vec<Step>,
+    ) -> Self {
+        TestCase {
+            id: id.into(),
+            description: description.into(),
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_construction() {
+        let tc = TestCase::new(
+            "TC_X",
+            "does x",
+            vec![Step::UeTrigger(TriggerEvent::PowerOn), Step::ExpectUeState("emm_registered")],
+        );
+        assert_eq!(tc.id, "TC_X");
+        assert_eq!(tc.steps.len(), 2);
+    }
+}

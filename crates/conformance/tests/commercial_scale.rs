@@ -1,0 +1,23 @@
+//! Commercial-scale smoke test: the generated suite stands in for the
+//! paper's 7087-case closed-source conformance suite. Ignored by default
+//! (it takes tens of seconds); run with `cargo test -- --ignored`.
+
+use procheck_conformance::generator::generate_suite;
+use procheck_conformance::runner::run_suite;
+use procheck_stack::UeConfig;
+
+#[test]
+#[ignore = "commercial-scale run; execute with --ignored"]
+fn seven_thousand_case_suite_runs_clean() {
+    let cfg = UeConfig::reference("001010123456789", 0x42);
+    let suite = generate_suite(&cfg, 2021, 7087);
+    let report = run_suite(&cfg, &suite);
+    assert_eq!(report.results.len(), 7087);
+    let failed: Vec<_> = report.results.iter().filter(|r| !r.passed).collect();
+    assert!(failed.is_empty(), "{} failed cases", failed.len());
+    assert!(
+        report.ue_log.len() + report.mme_log.len() > 1_000_000,
+        "log scale: {} records",
+        report.ue_log.len() + report.mme_log.len()
+    );
+}

@@ -1,0 +1,377 @@
+//! The end-to-end analysis pipeline (paper Fig 2).
+//!
+//! `analyze_implementation` runs, for one implementation profile:
+//!
+//! 1. **instrument + conformance** — the stacks run the full conformance
+//!    suite with instrumentation on, producing the information-rich log;
+//! 2. **extract** — Algorithm 1 builds `UE^μ` and `MME^μ`;
+//! 3. per property: **threat-instrument** (property-sliced `IMP^μ`),
+//!    **CEGAR-check** (model checker ⇄ crypto verifier), or run the
+//!    **linkability** experiment on the simulated testbed;
+//! 4. classify outcomes against each property's conformant expectation
+//!    into findings (standards-level vs implementation-specific).
+
+use crate::cegar::{cegar_check, FinalVerdict};
+use crate::report::{Finding, PropertyOutcome, PropertyResult};
+use procheck_conformance::runner::run_suite;
+use procheck_conformance::suites;
+use procheck_conformance::CoverageReport;
+use procheck_extractor::{extract_fsm, ExtractorConfig};
+use procheck_fsm::stats::FsmStats;
+use procheck_fsm::Fsm;
+use procheck_props::{registry, BaseProfile, Check, LinkScenario, NasProperty};
+use procheck_smv::checker::CheckError;
+use procheck_stack::quirks::Implementation;
+use procheck_stack::UeConfig;
+use procheck_testbed::linkability::{run_scenario, Scenario};
+use procheck_threat::{build_threat_model, StepSemantics};
+use std::time::Instant;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Subscriber identity used for the conformance run.
+    pub imsi: String,
+    /// Subscriber key material.
+    pub key_material: u64,
+    /// Explicit-state limit per model check.
+    pub state_limit: usize,
+    /// CEGAR iteration bound per property.
+    pub max_cegar_iterations: usize,
+    /// When set, only properties with these ids are checked.
+    pub property_filter: Option<Vec<&'static str>>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            imsi: "001010123456789".into(),
+            key_material: 0x1122_3344_5566_7788,
+            state_limit: 2_000_000,
+            max_cegar_iterations: 24,
+            property_filter: None,
+        }
+    }
+}
+
+/// The extracted models plus extraction metadata.
+#[derive(Debug, Clone)]
+pub struct ExtractedModels {
+    /// The UE FSM `UE^μ`.
+    pub ue: Fsm,
+    /// The MME FSM `MME^μ`.
+    pub mme: Fsm,
+    /// NAS handler coverage achieved by the conformance suite.
+    pub coverage: CoverageReport,
+    /// Size of the information-rich log (records).
+    pub log_records: usize,
+}
+
+/// Builds the UE configuration for an implementation profile.
+pub fn ue_config_for(implementation: Implementation, cfg: &AnalysisConfig) -> UeConfig {
+    match implementation {
+        Implementation::Reference => UeConfig::reference(&cfg.imsi, cfg.key_material),
+        Implementation::Srs => UeConfig::srs(&cfg.imsi, cfg.key_material),
+        Implementation::Oai => UeConfig::oai(&cfg.imsi, cfg.key_material),
+    }
+}
+
+/// Phase 1+2: run the instrumented conformance suite and extract the
+/// FSMs.
+pub fn extract_models(implementation: Implementation, cfg: &AnalysisConfig) -> ExtractedModels {
+    let ue_cfg = ue_config_for(implementation, cfg);
+    let report = run_suite(&ue_cfg, &suites::full_suite(&ue_cfg));
+    let ue = extract_fsm("ue", &report.ue_log, &ExtractorConfig::for_ue(&ue_cfg.signatures));
+    let mme = extract_fsm("mme", &report.mme_log, &ExtractorConfig::for_mme());
+    ExtractedModels {
+        ue,
+        mme,
+        coverage: report.coverage,
+        log_records: report.ue_log.len() + report.mme_log.len(),
+    }
+}
+
+/// Full analysis report for one implementation.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    /// The implementation analysed.
+    pub implementation: Implementation,
+    /// Per-property results, in registry order.
+    pub results: Vec<PropertyResult>,
+    /// Structural statistics of the extracted UE model.
+    pub ue_stats: FsmStats,
+    /// Structural statistics of the extracted MME model.
+    pub mme_stats: FsmStats,
+    /// Conformance coverage.
+    pub coverage: CoverageReport,
+}
+
+impl AnalysisReport {
+    /// All findings (deviations from the conformant expectation).
+    pub fn findings(&self) -> Vec<Finding> {
+        self.results
+            .iter()
+            .filter(|r| r.is_finding())
+            .map(|r| Finding {
+                property_id: r.property_id,
+                attack: r.related_attack,
+                summary: format!("{} — outcome: {}", r.title, r.outcome.tag()),
+                vulnerability_type: if r.is_implementation_finding() {
+                    "implementation"
+                } else {
+                    "standards"
+                },
+            })
+            .collect()
+    }
+
+    /// Result for one property id.
+    pub fn result(&self, id: &str) -> Option<&PropertyResult> {
+        self.results.iter().find(|r| r.property_id == id)
+    }
+
+    /// Count of properties whose outcome matched the conformant
+    /// expectation.
+    pub fn conforming(&self) -> usize {
+        self.results.iter().filter(|r| !r.is_finding()).count()
+    }
+
+    /// Renders a human-readable summary of the analysis.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "ProChecker analysis — {}", self.implementation.name());
+        let _ = writeln!(out, "  UE model : {}", self.ue_stats);
+        let _ = writeln!(out, "  MME model: {}", self.mme_stats);
+        let _ = writeln!(out, "  coverage : {}", self.coverage);
+        let findings = self.findings();
+        let standards =
+            findings.iter().filter(|f| f.vulnerability_type == "standards").count();
+        let _ = writeln!(
+            out,
+            "  properties: {} checked, {} conforming, {} findings \
+             ({} standards-level, {} implementation-specific)",
+            self.results.len(),
+            self.conforming(),
+            findings.len(),
+            standards,
+            findings.len() - standards,
+        );
+        for f in &findings {
+            let _ = writeln!(
+                out,
+                "    [{:14}] {:5} {:4} {}",
+                f.vulnerability_type,
+                f.property_id,
+                f.attack.unwrap_or("-"),
+                f.summary
+            );
+        }
+        out
+    }
+}
+
+/// Checks one property against the extracted models.
+pub fn check_property(
+    prop: &NasProperty,
+    models: &ExtractedModels,
+    implementation: Implementation,
+    cfg: &AnalysisConfig,
+) -> PropertyResult {
+    let start = Instant::now();
+    let (outcome, iterations, refinements) = match &prop.check {
+        Check::Model(p) => {
+            let threat_cfg = prop.slice.threat_config();
+            let model = build_threat_model(&models.ue, &models.mme, &threat_cfg);
+            let semantics = StepSemantics::new(threat_cfg);
+            match cegar_check(&model, p, &semantics, cfg.state_limit, cfg.max_cegar_iterations) {
+                Ok(outcome) => {
+                    let mapped = match outcome.verdict {
+                        FinalVerdict::Verified => PropertyOutcome::Verified,
+                        FinalVerdict::Attack(ce) => PropertyOutcome::Attack(ce),
+                        FinalVerdict::GoalReachable(ce) => PropertyOutcome::GoalReachable(ce),
+                        FinalVerdict::GoalUnreachable => PropertyOutcome::GoalUnreachable,
+                        FinalVerdict::Inconclusive => {
+                            PropertyOutcome::Skipped("CEGAR iteration bound exhausted".into())
+                        }
+                    };
+                    (mapped, outcome.iterations, outcome.refinements.len())
+                }
+                Err(CheckError::InvalidModel(problems)) => {
+                    // A reachability goal whose vocabulary does not exist
+                    // in this model is trivially unreachable; other
+                    // property kinds are genuinely not applicable.
+                    let outcome = if matches!(p, procheck_smv::checker::Property::Reachable { .. })
+                    {
+                        PropertyOutcome::GoalUnreachable
+                    } else {
+                        PropertyOutcome::Skipped(format!(
+                            "not applicable to this model: {}",
+                            problems.join("; ")
+                        ))
+                    };
+                    (outcome, 0, 0)
+                }
+                Err(CheckError::StateLimit(n)) => {
+                    (PropertyOutcome::Skipped(format!("state limit {n} exceeded")), 0, 0)
+                }
+            }
+        }
+        Check::Linkability(scenario) => {
+            let mut ue_cfg = ue_config_for(implementation, cfg);
+            if prop.slice.base == BaseProfile::LteFreshnessLimit {
+                ue_cfg.sqn_config.freshness_limit = Some(4);
+            }
+            let outcome = run_scenario(map_scenario(*scenario), &ue_cfg);
+            let mapped = if outcome.distinguishable {
+                PropertyOutcome::Distinguishable(outcome.summary)
+            } else {
+                PropertyOutcome::Equivalent
+            };
+            (mapped, 0, 0)
+        }
+    };
+    PropertyResult {
+        property_id: prop.id,
+        title: prop.title,
+        category: prop.category,
+        expectation: prop.expectation,
+        outcome,
+        cegar_iterations: iterations,
+        refinements,
+        elapsed: start.elapsed(),
+        related_attack: prop.related_attack,
+    }
+}
+
+fn map_scenario(s: LinkScenario) -> Scenario {
+    match s {
+        LinkScenario::StaleAuthReplay => Scenario::StaleAuthReplay,
+        LinkScenario::ConsumedAuthReplay => Scenario::ConsumedAuthReplay,
+        LinkScenario::ForgedAuthRequest => Scenario::ForgedAuthRequest,
+        LinkScenario::SmcReplay => Scenario::SmcReplay,
+        LinkScenario::ImsiPaging => Scenario::ImsiPaging,
+        LinkScenario::GutiPagingPresence => Scenario::GutiPagingPresence,
+        LinkScenario::GutiReuse => Scenario::GutiReuse,
+        LinkScenario::AttachAcceptReplay => Scenario::AttachAcceptReplay,
+    }
+}
+
+/// Runs the whole pipeline for one implementation.
+pub fn analyze_implementation(
+    implementation: Implementation,
+    cfg: &AnalysisConfig,
+) -> AnalysisReport {
+    let models = extract_models(implementation, cfg);
+    let results = registry()
+        .iter()
+        .filter(|p| {
+            cfg.property_filter
+                .as_ref()
+                .map_or(true, |ids| ids.contains(&p.id))
+        })
+        .map(|p| check_property(p, &models, implementation, cfg))
+        .collect();
+    AnalysisReport {
+        implementation,
+        results,
+        ue_stats: FsmStats::of(&models.ue),
+        mme_stats: FsmStats::of(&models.mme),
+        coverage: models.coverage,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(ids: &[&'static str]) -> AnalysisConfig {
+        AnalysisConfig {
+            property_filter: Some(ids.to_vec()),
+            state_limit: 2_000_000,
+            ..AnalysisConfig::default()
+        }
+    }
+
+    #[test]
+    fn extraction_produces_models_for_all_impls() {
+        let cfg = AnalysisConfig::default();
+        for imp in [Implementation::Reference, Implementation::Srs, Implementation::Oai] {
+            let m = extract_models(imp, &cfg);
+            assert!(m.ue.transition_count() >= 15, "{imp:?}");
+            assert!(m.mme.transition_count() >= 8, "{imp:?}");
+            assert!(m.coverage.percent() > 90.0);
+        }
+    }
+
+    /// P1 via the pipeline: the SQN-freshness property is violated on the
+    /// *reference* implementation — a standards-level attack.
+    #[test]
+    fn s01_finds_p1_on_reference() {
+        let report =
+            analyze_implementation(Implementation::Reference, &quick_cfg(&["S01"]));
+        let r = report.result("S01").unwrap();
+        let PropertyOutcome::Attack(trace) = &r.outcome else {
+            panic!("expected attack, got {:?}", r.outcome.tag());
+        };
+        assert!(trace
+            .command_labels()
+            .iter()
+            .any(|l| l.contains("replay_old_unconsumed")));
+        assert!(r.is_finding());
+        assert!(!r.is_implementation_finding(), "P1 is standards-level");
+    }
+
+    /// I2 via the pipeline: plaintext acceptance holds on the reference,
+    /// fails on OAI.
+    #[test]
+    fn s12_separates_reference_from_oai() {
+        let reference =
+            analyze_implementation(Implementation::Reference, &quick_cfg(&["S12"]));
+        assert_eq!(
+            reference.result("S12").unwrap().outcome.tag(),
+            "verified",
+            "reference rejects plaintext"
+        );
+        let oai = analyze_implementation(Implementation::Oai, &quick_cfg(&["S12"]));
+        let r = oai.result("S12").unwrap();
+        assert_eq!(r.outcome.tag(), "attack", "OAI accepts plaintext (I2)");
+        assert!(r.is_implementation_finding());
+    }
+
+    /// PR07 (P2) via the pipeline: linkability on every implementation.
+    #[test]
+    fn pr07_linkability_finding() {
+        let report = analyze_implementation(Implementation::Reference, &quick_cfg(&["PR07"]));
+        let r = report.result("PR07").unwrap();
+        assert_eq!(r.outcome.tag(), "distinguishable");
+        assert!(r.is_finding());
+    }
+
+    /// An absurdly small state limit degrades to an explicit skip, never
+    /// a panic or a bogus verdict.
+    #[test]
+    fn state_limit_exhaustion_reports_skip() {
+        let cfg = AnalysisConfig {
+            state_limit: 10,
+            property_filter: Some(vec!["S01"]),
+            ..AnalysisConfig::default()
+        };
+        let report = analyze_implementation(Implementation::Reference, &cfg);
+        let r = report.result("S01").unwrap();
+        assert_eq!(r.outcome.tag(), "skipped");
+        assert!(!r.is_finding(), "a skip is not a finding");
+    }
+
+    /// PR19/PR20: the freshness-limit countermeasure closes P1/P2.
+    #[test]
+    fn freshness_limit_countermeasure_verified() {
+        let report = analyze_implementation(
+            Implementation::Reference,
+            &quick_cfg(&["PR19", "PR20"]),
+        );
+        assert_eq!(report.result("PR19").unwrap().outcome.tag(), "verified");
+        assert_eq!(report.result("PR20").unwrap().outcome.tag(), "equivalent");
+        assert!(report.findings().is_empty());
+    }
+}

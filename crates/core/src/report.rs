@@ -1,0 +1,153 @@
+//! Analysis report types.
+
+use procheck_props::{Category, Expectation};
+use procheck_smv::trace::Counterexample;
+use serde::Serialize;
+use std::time::Duration;
+
+/// How one property fared against one implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropertyOutcome {
+    /// Model property verified (holds under all feasible adversary
+    /// behaviour).
+    Verified,
+    /// Model property violated by a crypto-feasible counterexample.
+    Attack(Counterexample),
+    /// Reachability goal reachable (witness attached).
+    GoalReachable(Counterexample),
+    /// Reachability goal unreachable.
+    GoalUnreachable,
+    /// Linkability: traces observationally equivalent.
+    Equivalent,
+    /// Linkability: victim distinguishable (summary attached).
+    Distinguishable(String),
+    /// Property not applicable to this model (vocabulary missing) or the
+    /// check did not converge; the reason is attached.
+    Skipped(String),
+}
+
+impl PropertyOutcome {
+    /// Short machine-readable tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            PropertyOutcome::Verified => "verified",
+            PropertyOutcome::Attack(_) => "attack",
+            PropertyOutcome::GoalReachable(_) => "reachable",
+            PropertyOutcome::GoalUnreachable => "unreachable",
+            PropertyOutcome::Equivalent => "equivalent",
+            PropertyOutcome::Distinguishable(_) => "distinguishable",
+            PropertyOutcome::Skipped(_) => "skipped",
+        }
+    }
+}
+
+/// Result record for one (property, implementation) pair.
+#[derive(Debug, Clone)]
+pub struct PropertyResult {
+    /// Property id (`S01`…, `PR01`…).
+    pub property_id: &'static str,
+    /// Property title.
+    pub title: &'static str,
+    /// Security or privacy.
+    pub category: Category,
+    /// The expected verdict for a conformant implementation.
+    pub expectation: Expectation,
+    /// What actually happened.
+    pub outcome: PropertyOutcome,
+    /// CEGAR iterations (model properties; 0 for linkability/skips).
+    pub cegar_iterations: usize,
+    /// Number of CPV-driven refinements performed.
+    pub refinements: usize,
+    /// Wall-clock time of the check.
+    pub elapsed: Duration,
+    /// Attack tag this property detects when deviating (`P1`, `I2`, …).
+    pub related_attack: Option<&'static str>,
+}
+
+impl PropertyResult {
+    /// True if the outcome deviates from the conformant expectation —
+    /// i.e. this result is a *finding*.
+    pub fn is_finding(&self) -> bool {
+        match (&self.expectation, &self.outcome) {
+            (Expectation::Holds, PropertyOutcome::Attack(_)) => true,
+            (Expectation::Unreachable, PropertyOutcome::GoalReachable(_)) => true,
+            (Expectation::Reachable, PropertyOutcome::GoalUnreachable) => true,
+            (Expectation::Equivalent, PropertyOutcome::Distinguishable(_)) => true,
+            // Violations that the standard itself mandates are findings
+            // too — the standards-level attack class.
+            (Expectation::ViolatedByDesign, PropertyOutcome::Attack(_)) => true,
+            (Expectation::ViolatedByDesign, PropertyOutcome::GoalReachable(_)) => true,
+            (Expectation::ViolatedByDesign, PropertyOutcome::Distinguishable(_)) => true,
+            // Linkability primitives inherent to the standard: findings,
+            // but standards-level ones (P2 and the prior linkability
+            // family fire on every implementation).
+            (Expectation::DistinguishableByDesign, PropertyOutcome::Distinguishable(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// True if this finding indicates an *implementation* issue (the
+    /// conformant expectation was deviated from), as opposed to a
+    /// standards-level one.
+    pub fn is_implementation_finding(&self) -> bool {
+        self.is_finding()
+            && self.expectation != Expectation::ViolatedByDesign
+            && self.expectation != Expectation::DistinguishableByDesign
+    }
+}
+
+/// A condensed finding row (for Table I-style rendering).
+#[derive(Debug, Clone, Serialize)]
+pub struct Finding {
+    /// Property id.
+    pub property_id: &'static str,
+    /// Attack tag (`P1`, `I2`, `prior:…`).
+    pub attack: Option<&'static str>,
+    /// One-line narrative.
+    pub summary: String,
+    /// `standards` or `implementation`.
+    pub vulnerability_type: &'static str,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(expectation: Expectation, outcome: PropertyOutcome) -> PropertyResult {
+        PropertyResult {
+            property_id: "S99",
+            title: "test",
+            category: Category::Security,
+            expectation,
+            outcome,
+            cegar_iterations: 1,
+            refinements: 0,
+            elapsed: Duration::from_millis(1),
+            related_attack: None,
+        }
+    }
+
+    #[test]
+    fn finding_classification() {
+        let ce = Counterexample { steps: vec![], lasso_start: None };
+        assert!(result(Expectation::Holds, PropertyOutcome::Attack(ce.clone())).is_finding());
+        assert!(!result(Expectation::Holds, PropertyOutcome::Verified).is_finding());
+        assert!(result(Expectation::Unreachable, PropertyOutcome::GoalReachable(ce.clone()))
+            .is_finding());
+        assert!(!result(Expectation::Reachable, PropertyOutcome::GoalReachable(ce.clone()))
+            .is_finding());
+        let standards =
+            result(Expectation::ViolatedByDesign, PropertyOutcome::Attack(ce.clone()));
+        assert!(standards.is_finding());
+        assert!(!standards.is_implementation_finding());
+        let implementation = result(Expectation::Holds, PropertyOutcome::Attack(ce));
+        assert!(implementation.is_implementation_finding());
+    }
+
+    #[test]
+    fn outcome_tags() {
+        assert_eq!(PropertyOutcome::Verified.tag(), "verified");
+        assert_eq!(PropertyOutcome::Equivalent.tag(), "equivalent");
+        assert_eq!(PropertyOutcome::Skipped("x".into()).tag(), "skipped");
+    }
+}

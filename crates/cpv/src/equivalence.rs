@@ -1,0 +1,94 @@
+//! Observational equivalence.
+//!
+//! ProVerif's equivalence reasoning answers the paper's P2 query: *"is it
+//! possible to distinguish two UEs based on their responses to an
+//! authentication_request?"* (§VII-A). Here equivalence is checked over
+//! *observable response traces*: two systems are distinguishable iff an
+//! observer who sees only message types (the Dolev–Yao observer cannot
+//! see under encryption, but message type, length and presence are
+//! observable — exactly the paper's packet-metadata assumption) can tell
+//! their traces apart.
+
+use serde::{Deserialize, Serialize};
+
+/// Verdict of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distinguisher {
+    /// The systems are observationally equivalent on the given traces.
+    Equivalent,
+    /// The systems differ; the witness records where and how.
+    Distinguishable {
+        /// Index of the first differing observation.
+        position: usize,
+        /// What the first system showed (`None` = no observation).
+        left: Option<String>,
+        /// What the second system showed.
+        right: Option<String>,
+    },
+}
+
+impl Distinguisher {
+    /// True if the systems can be told apart.
+    pub fn is_distinguishable(&self) -> bool {
+        matches!(self, Distinguisher::Distinguishable { .. })
+    }
+}
+
+/// Compares two observable traces.
+pub fn distinguish<S: AsRef<str>>(left: &[S], right: &[S]) -> Distinguisher {
+    let max = left.len().max(right.len());
+    for i in 0..max {
+        let l = left.get(i).map(|s| s.as_ref().to_string());
+        let r = right.get(i).map(|s| s.as_ref().to_string());
+        if l != r {
+            return Distinguisher::Distinguishable { position: i, left: l, right: r };
+        }
+    }
+    Distinguisher::Equivalent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_traces_equivalent() {
+        let a = ["authentication_failure(mac)", "null"];
+        assert_eq!(distinguish(&a, &a), Distinguisher::Equivalent);
+    }
+
+    /// The P2 witness: the victim answers an authentication_response, the
+    /// bystander a MAC failure.
+    #[test]
+    fn p2_shape_distinguishable() {
+        let victim = ["authentication_response"];
+        let bystander = ["authentication_failure(mac)"];
+        let d = distinguish(&victim, &bystander);
+        assert!(d.is_distinguishable());
+        let Distinguisher::Distinguishable { position, left, right } = d else {
+            unreachable!()
+        };
+        assert_eq!(position, 0);
+        assert_eq!(left.as_deref(), Some("authentication_response"));
+        assert_eq!(right.as_deref(), Some("authentication_failure(mac)"));
+    }
+
+    #[test]
+    fn length_difference_distinguishes() {
+        let a = ["x", "y"];
+        let b = ["x"];
+        let d = distinguish(&a, &b);
+        let Distinguisher::Distinguishable { position, left, right } = d else {
+            panic!("expected distinguishable");
+        };
+        assert_eq!(position, 1);
+        assert_eq!(left.as_deref(), Some("y"));
+        assert_eq!(right, None);
+    }
+
+    #[test]
+    fn empty_traces_equivalent() {
+        let a: [&str; 0] = [];
+        assert_eq!(distinguish(&a, &a), Distinguisher::Equivalent);
+    }
+}

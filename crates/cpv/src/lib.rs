@@ -1,0 +1,45 @@
+//! Cryptographic protocol verifier substrate — the paper's ProVerif role.
+//!
+//! In ProChecker's CEGAR loop (§IV-B), every adversary action in a
+//! model-checker counterexample is submitted to a cryptographic protocol
+//! verifier: "if the CPV confirms that all steps conform to the
+//! cryptographic assumptions, the counterexample can be considered
+//! valid"; otherwise the offending action refines the property and the
+//! loop repeats. This crate implements the two queries that loop needs:
+//!
+//! * [`deduce`] — *derivability*: given the adversary's knowledge
+//!   (initial knowledge plus every message observed on the public
+//!   channels so far), can it construct the term it is about to inject?
+//!   Implemented as standard Dolev–Yao deduction: saturation under
+//!   destructors (projection, decryption with derivable keys) followed by
+//!   constructive synthesis;
+//! * [`equivalence`] — *observational equivalence*: are two systems
+//!   distinguishable by their observable responses? This powers the
+//!   linkability analyses (attack P2's "is it possible to distinguish two
+//!   UEs based on their responses to an authentication_request?").
+//!
+//! # Example
+//!
+//! ```
+//! use procheck_cpv::term::Term;
+//! use procheck_cpv::deduce::Deduction;
+//!
+//! let k = Term::key("k_session");
+//! let secret = Term::atom("imsi");
+//! let mut adv = Deduction::new([Term::atom("public_info")]);
+//! adv.observe(Term::senc(secret.clone(), k.clone()));
+//!
+//! // The ciphertext alone does not reveal the secret…
+//! assert!(!adv.can_derive(&secret));
+//! // …until the key leaks.
+//! adv.observe(k);
+//! assert!(adv.can_derive(&secret));
+//! ```
+
+pub mod deduce;
+pub mod equivalence;
+pub mod term;
+
+pub use deduce::Deduction;
+pub use equivalence::{distinguish, Distinguisher};
+pub use term::Term;

@@ -1,0 +1,139 @@
+//! Dolev–Yao terms.
+//!
+//! The term algebra covers exactly the constructs the NAS protocol uses:
+//! atoms (nonces, identities, constants), keys, pairing, symmetric
+//! encryption, message authentication codes, and key derivation. The
+//! adversary "adheres to cryptographic assumptions" (§III-A): it can
+//! decrypt only with the key, cannot invert MACs, and cannot invert the
+//! KDF.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A symbolic protocol term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// A name: nonce, identity, constant, plaintext field.
+    Atom(String),
+    /// A symmetric key (distinguished from atoms for readability; the
+    /// deduction rules treat it as an atom).
+    Key(String),
+    /// Pairing `⟨a, b⟩`.
+    Pair(Box<Term>, Box<Term>),
+    /// Symmetric encryption `senc(m, k)`.
+    SEnc(Box<Term>, Box<Term>),
+    /// Message authentication code `mac(m, k)`.
+    Mac(Box<Term>, Box<Term>),
+    /// Key derivation `kdf(k, label)`.
+    Kdf(Box<Term>, String),
+}
+
+impl Term {
+    /// An atom.
+    pub fn atom(name: impl Into<String>) -> Self {
+        Term::Atom(name.into())
+    }
+
+    /// A key.
+    pub fn key(name: impl Into<String>) -> Self {
+        Term::Key(name.into())
+    }
+
+    /// A pair. Longer tuples are built as right-nested pairs; see
+    /// [`Term::tuple`].
+    pub fn pair(a: Term, b: Term) -> Self {
+        Term::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// A right-nested tuple `⟨t1, ⟨t2, …⟩⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty iterator — a tuple needs at least one element.
+    pub fn tuple<I: IntoIterator<Item = Term>>(items: I) -> Self {
+        let mut items: Vec<Term> = items.into_iter().collect();
+        assert!(!items.is_empty(), "tuple of no terms");
+        let mut t = items.pop().expect("non-empty");
+        while let Some(prev) = items.pop() {
+            t = Term::pair(prev, t);
+        }
+        t
+    }
+
+    /// Symmetric encryption.
+    pub fn senc(message: Term, key: Term) -> Self {
+        Term::SEnc(Box::new(message), Box::new(key))
+    }
+
+    /// Message authentication code.
+    pub fn mac(message: Term, key: Term) -> Self {
+        Term::Mac(Box::new(message), Box::new(key))
+    }
+
+    /// Key derivation with a textual label.
+    pub fn kdf(key: Term, label: impl Into<String>) -> Self {
+        Term::Kdf(Box::new(key), label.into())
+    }
+
+    /// All subterms, including the term itself.
+    pub fn subterms(&self) -> Vec<&Term> {
+        let mut out = vec![self];
+        match self {
+            Term::Atom(_) | Term::Key(_) => {}
+            Term::Pair(a, b) | Term::SEnc(a, b) | Term::Mac(a, b) => {
+                out.extend(a.subterms());
+                out.extend(b.subterms());
+            }
+            Term::Kdf(k, _) => out.extend(k.subterms()),
+        }
+        out
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Atom(a) => f.write_str(a),
+            Term::Key(k) => write!(f, "key:{k}"),
+            Term::Pair(a, b) => write!(f, "⟨{a}, {b}⟩"),
+            Term::SEnc(m, k) => write!(f, "senc({m}, {k})"),
+            Term::Mac(m, k) => write!(f, "mac({m}, {k})"),
+            Term::Kdf(k, l) => write!(f, "kdf({k}, {l})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_nests_right() {
+        let t = Term::tuple([Term::atom("a"), Term::atom("b"), Term::atom("c")]);
+        assert_eq!(
+            t,
+            Term::pair(Term::atom("a"), Term::pair(Term::atom("b"), Term::atom("c")))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple of no terms")]
+    fn empty_tuple_panics() {
+        let _ = Term::tuple([]);
+    }
+
+    #[test]
+    fn subterm_enumeration() {
+        let t = Term::senc(Term::pair(Term::atom("a"), Term::atom("b")), Term::key("k"));
+        let subs = t.subterms();
+        assert_eq!(subs.len(), 5);
+        assert!(subs.contains(&&Term::atom("a")));
+        assert!(subs.contains(&&Term::key("k")));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Term::mac(Term::atom("sqn"), Term::kdf(Term::key("k"), "f1"));
+        assert_eq!(t.to_string(), "mac(sqn, kdf(key:k, f1))");
+    }
+}

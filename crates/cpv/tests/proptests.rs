@@ -1,0 +1,98 @@
+//! Property-based tests for the Dolev–Yao deduction engine: soundness
+//! invariants that must hold for *any* knowledge set and goal.
+
+use proptest::prelude::*;
+use procheck_cpv::deduce::Deduction;
+use procheck_cpv::equivalence::{distinguish, Distinguisher};
+use procheck_cpv::term::Term;
+
+/// Arbitrary terms over a small alphabet (depth-bounded).
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        "[a-e]".prop_map(Term::atom),
+        "[kl]".prop_map(Term::key),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::pair(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(m, k)| Term::senc(m, k)),
+            (inner.clone(), inner.clone()).prop_map(|(m, k)| Term::mac(m, k)),
+            (inner, "[fg]").prop_map(|(k, l)| Term::kdf(k, l)),
+        ]
+    })
+}
+
+proptest! {
+    /// Reflexivity: anything observed is derivable.
+    #[test]
+    fn observed_terms_derivable(terms in proptest::collection::vec(arb_term(), 1..8)) {
+        let d = Deduction::new(terms.clone());
+        for t in &terms {
+            prop_assert!(d.can_derive(t), "observed term {t} not derivable");
+        }
+    }
+
+    /// Monotonicity: extending knowledge never removes derivability.
+    #[test]
+    fn deduction_is_monotone(
+        base in proptest::collection::vec(arb_term(), 1..6),
+        extra in arb_term(),
+        goal in arb_term(),
+    ) {
+        let small = Deduction::new(base.clone());
+        let mut big = Deduction::new(base);
+        big.observe(extra);
+        if small.can_derive(&goal) {
+            prop_assert!(big.can_derive(&goal), "adding knowledge lost {goal}");
+        }
+    }
+
+    /// Constructor soundness: if both arguments are derivable, so is the
+    /// composite — and vice versa is *not* required (no inversion).
+    #[test]
+    fn constructors_sound(parts in proptest::collection::vec(arb_term(), 2..6)) {
+        let d = Deduction::new(parts.clone());
+        let pair = Term::pair(parts[0].clone(), parts[1].clone());
+        let enc = Term::senc(parts[0].clone(), parts[1].clone());
+        let mac = Term::mac(parts[0].clone(), parts[1].clone());
+        prop_assert!(d.can_derive(&pair));
+        prop_assert!(d.can_derive(&enc));
+        prop_assert!(d.can_derive(&mac));
+    }
+
+    /// Secrecy: a fresh atom never named in the knowledge set is not
+    /// derivable (deduction invents nothing).
+    #[test]
+    fn fresh_atoms_underivable(terms in proptest::collection::vec(arb_term(), 0..8)) {
+        let d = Deduction::new(terms);
+        prop_assert!(!d.can_derive(&Term::atom("fresh_secret_zzz")));
+        prop_assert!(!d.can_derive(&Term::key("fresh_key_zzz")));
+    }
+
+    /// Encryption soundness: senc(secret, k) with an underivable key never
+    /// leaks the secret, for any surrounding knowledge that avoids both.
+    #[test]
+    fn encryption_protects(noise in proptest::collection::vec(arb_term(), 0..6)) {
+        let secret = Term::atom("zz_secret");
+        let key = Term::key("zz_key");
+        let mut d = Deduction::new(noise);
+        d.observe(Term::senc(secret.clone(), key.clone()));
+        prop_assert!(!d.can_derive(&secret), "secret leaked without the key");
+        d.observe(key);
+        prop_assert!(d.can_derive(&secret), "secret must open with the key");
+    }
+
+    /// The distinguisher is reflexive, symmetric in verdict, and detects
+    /// any single-position difference.
+    #[test]
+    fn distinguisher_laws(
+        trace in proptest::collection::vec("[a-d]{1,6}", 0..6),
+        other in proptest::collection::vec("[a-d]{1,6}", 0..6),
+    ) {
+        prop_assert_eq!(distinguish(&trace, &trace), Distinguisher::Equivalent);
+        let ab = distinguish(&trace, &other).is_distinguishable();
+        let ba = distinguish(&other, &trace).is_distinguishable();
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab, trace != other);
+    }
+}

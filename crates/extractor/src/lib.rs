@@ -1,0 +1,477 @@
+//! ProChecker's model extractor — the paper's Algorithm 1 (§IV-A).
+//!
+//! The extractor consumes the information-rich log produced by running the
+//! instrumented implementation through its conformance suite, and emits
+//! the implementation's FSM `(Σ, Γ, S, s0, T)`:
+//!
+//! 1. the log is divided into *blocks*, one per incoming message (the
+//!    event-driven property of §II-D) — here also one per external
+//!    trigger, which contributes internal conditions such as
+//!    `attach_enabled`;
+//! 2. within a block, global state-variable lines whose value matches a
+//!    *state signature* yield the incoming state (first match) and the
+//!    outgoing state (last match);
+//! 3. the incoming handler name yields the condition event; local-variable
+//!    lines whose name is a known *check variable* (`mac_valid`,
+//!    `count_ok`, `sqn_ok`, …) refine the condition with predicates — the
+//!    payload-level constraints that make the extracted model a strict
+//!    refinement of hand-built ones (RQ2);
+//! 4. outgoing handler entrances yield the action set, defaulting to
+//!    `null_action` (Algorithm 1 lines 20–21);
+//! 5. the 4-tuple is appended to `FSM.T`, deduplicated.
+//!
+//! Test-case markers reset the block state: conformance equipment resets
+//! the device between cases, so no transition spans a case boundary.
+//!
+//! # Example
+//!
+//! ```
+//! use procheck_extractor::{extract_fsm, ExtractorConfig};
+//! use procheck_instrument::parse_log;
+//!
+//! let log = parse_log("\
+//! [pc] marker trigger=attach_enabled
+//! [pc] global emm_state=emm_deregistered
+//! [pc] enter send_attach_request
+//! [pc] exit send_attach_request
+//! [pc] global emm_state=emm_registered_initiated
+//! ");
+//! let cfg = ExtractorConfig::for_reference_ue();
+//! let fsm = extract_fsm("ue", &log, &cfg);
+//! assert_eq!(fsm.transition_count(), 1);
+//! ```
+
+pub mod missing;
+
+pub use missing::{missing_test_cases, MissingCases};
+
+use procheck_fsm::{ActionAtom, CondAtom, Fsm, Transition};
+use procheck_instrument::LogRecord;
+use procheck_stack::{MmeState, SignatureProfile, UeState};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The standard NAS message names (from TS 24.301) used to validate
+/// handler signatures — the paper's "state and protocol message names from
+/// the standards" input.
+pub const STANDARD_MESSAGE_NAMES: &[&str] = &[
+    "attach_request",
+    "attach_accept",
+    "attach_complete",
+    "attach_reject",
+    "identity_request",
+    "identity_response",
+    "authentication_request",
+    "authentication_response",
+    "authentication_reject",
+    "authentication_failure",
+    "security_mode_command",
+    "security_mode_complete",
+    "security_mode_reject",
+    "detach_request",
+    "detach_accept",
+    "guti_reallocation_command",
+    "guti_reallocation_complete",
+    "tracking_area_update_request",
+    "tracking_area_update_accept",
+    "tracking_area_update_reject",
+    "service_request",
+    "service_reject",
+    "paging",
+    "emm_information",
+];
+
+/// Local (check) variables promoted to condition predicates. These are the
+/// sanity-check results the paper's information-rich log captures from the
+/// message handlers.
+pub const DEFAULT_CONDITION_LOCALS: &[&str] = &[
+    "mac_valid",
+    "count_ok",
+    "count_delta",
+    "aka_mac_valid",
+    "sqn_ok",
+    "caps_ok",
+    "proc_ok",
+    "plain_ok",
+    "res_ok",
+    "auts_mac_ok",
+    "paged_match",
+    "paged_by_imsi",
+    "identity_disclosed",
+    "security_bypassed",
+    "smc_replay_accepted",
+    "sqn_check_bypassed",
+    "imsi_leaked_after_context",
+    "sec_ctx_retained",
+    "attach_with_imsi",
+    "identity_is_imsi",
+    "service_granted",
+    "t3450_budget_left",
+    "rekey_resume",
+];
+
+/// Signature tables and extraction options (the non-log inputs of
+/// Algorithm 1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtractorConfig {
+    /// Known protocol state names (values of global state variables).
+    pub state_signatures: BTreeSet<String>,
+    /// Prefix of incoming-message handler functions.
+    pub incoming_prefix: String,
+    /// Prefix of outgoing-message handler functions.
+    pub outgoing_prefix: String,
+    /// Standard message names a handler suffix must match.
+    pub message_names: BTreeSet<String>,
+    /// Local variables promoted to condition predicates.
+    pub condition_locals: BTreeSet<String>,
+    /// When false, predicates are dropped and only message events remain —
+    /// the black-box-equivalent ablation.
+    pub include_predicates: bool,
+}
+
+impl ExtractorConfig {
+    /// Builds a config from a handler-signature profile, with the UE state
+    /// names from the standard.
+    pub fn for_ue(profile: &SignatureProfile) -> Self {
+        ExtractorConfig {
+            state_signatures: UeState::all().iter().map(|s| s.as_str().to_string()).collect(),
+            incoming_prefix: profile.incoming_prefix.clone(),
+            outgoing_prefix: profile.outgoing_prefix.clone(),
+            message_names: STANDARD_MESSAGE_NAMES.iter().map(|s| s.to_string()).collect(),
+            condition_locals: DEFAULT_CONDITION_LOCALS.iter().map(|s| s.to_string()).collect(),
+            include_predicates: true,
+        }
+    }
+
+    /// UE config with the closed-source (`recv_`/`send_`) convention.
+    pub fn for_reference_ue() -> Self {
+        ExtractorConfig::for_ue(&SignatureProfile::reference())
+    }
+
+    /// Builds a config for the MME side (`mme_recv_`/`mme_send_`).
+    pub fn for_mme() -> Self {
+        ExtractorConfig {
+            state_signatures: MmeState::all().iter().map(|s| s.as_str().to_string()).collect(),
+            incoming_prefix: "mme_recv_".into(),
+            outgoing_prefix: "mme_send_".into(),
+            message_names: STANDARD_MESSAGE_NAMES.iter().map(|s| s.to_string()).collect(),
+            condition_locals: DEFAULT_CONDITION_LOCALS.iter().map(|s| s.to_string()).collect(),
+            include_predicates: true,
+        }
+    }
+
+    fn incoming_message_of(&self, function: &str) -> Option<&str> {
+        let msg = function.strip_prefix(self.incoming_prefix.as_str())?;
+        self.message_names.get(msg).map(|s| s.as_str())
+    }
+
+    fn outgoing_message_of(&self, function: &str) -> Option<&str> {
+        let msg = function.strip_prefix(self.outgoing_prefix.as_str())?;
+        self.message_names.get(msg).map(|s| s.as_str())
+    }
+}
+
+/// One dissected block: everything between two block boundaries.
+#[derive(Debug, Default)]
+struct Block {
+    /// The triggering condition event (incoming message or trigger name).
+    event: Option<String>,
+    /// First state signature seen (the incoming state).
+    s_in: Option<String>,
+    /// Last state signature seen (the outgoing state).
+    s_out: Option<String>,
+    /// Latest value per check variable.
+    predicates: Vec<(String, String)>,
+    /// Outgoing message names, in order.
+    actions: Vec<String>,
+}
+
+impl Block {
+    fn observe_state(&mut self, value: &str) {
+        if self.s_in.is_none() {
+            self.s_in = Some(value.to_string());
+        }
+        self.s_out = Some(value.to_string());
+    }
+
+    fn observe_predicate(&mut self, name: &str, value: &str) {
+        // Keep the *last* value per variable (the paper reads locals right
+        // before handler exit).
+        if let Some(slot) = self.predicates.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value.to_string();
+        } else {
+            self.predicates.push((name.to_string(), value.to_string()));
+        }
+    }
+
+    fn into_transition(self, cfg: &ExtractorConfig) -> Option<Transition> {
+        let event = self.event?;
+        let s_in = self.s_in?;
+        let s_out = self.s_out.unwrap_or_else(|| s_in.clone());
+        let mut t = Transition::build(s_in.as_str(), s_out.as_str()).when(CondAtom::event(event));
+        if cfg.include_predicates {
+            for (name, value) in &self.predicates {
+                t.condition.insert(CondAtom::pred(name, value));
+            }
+        }
+        for a in &self.actions {
+            t.action.insert(ActionAtom::new(a));
+        }
+        Some(t.or_null_action())
+    }
+}
+
+/// Extracts an FSM from an information-rich log (Algorithm 1).
+///
+/// `name` names the participant (e.g. `"ue"`). Records not matching any
+/// signature are ignored, which makes the extractor robust to interleaved
+/// records from the peer participant and from the test framework.
+pub fn extract_fsm(name: &str, log: &[LogRecord], cfg: &ExtractorConfig) -> Fsm {
+    let mut fsm = Fsm::new(name);
+    let mut current: Option<Block> = None;
+    let mut initial_set = false;
+
+    let close = |fsm: &mut Fsm, block: Option<Block>, initial_set: &mut bool| {
+        if let Some(b) = block {
+            if let Some(t) = b.into_transition(cfg) {
+                if !*initial_set {
+                    fsm.set_initial(t.from.clone());
+                    *initial_set = true;
+                }
+                fsm.add_transition(t);
+            }
+        }
+    };
+
+    for rec in log {
+        match rec {
+            LogRecord::Marker { name, value } => {
+                if name == "testcase" {
+                    // Case boundary: the device is reset; no transition
+                    // spans it.
+                    close(&mut fsm, current.take(), &mut initial_set);
+                } else if name == "trigger" {
+                    close(&mut fsm, current.take(), &mut initial_set);
+                    current = Some(Block {
+                        event: Some(value.clone()),
+                        ..Block::default()
+                    });
+                }
+            }
+            LogRecord::FunctionEnter { name } => {
+                if let Some(msg) = cfg.incoming_message_of(name) {
+                    close(&mut fsm, current.take(), &mut initial_set);
+                    current = Some(Block {
+                        event: Some(msg.to_string()),
+                        ..Block::default()
+                    });
+                } else if let Some(msg) = cfg.outgoing_message_of(name) {
+                    if let Some(b) = current.as_mut() {
+                        b.actions.push(msg.to_string());
+                    }
+                }
+            }
+            LogRecord::GlobalVar { name: _, value } => {
+                if cfg.state_signatures.contains(value.as_str()) {
+                    if let Some(b) = current.as_mut() {
+                        b.observe_state(value);
+                    }
+                }
+            }
+            LogRecord::LocalVar { name, value } => {
+                if cfg.condition_locals.contains(name.as_str()) {
+                    if let Some(b) = current.as_mut() {
+                        b.observe_predicate(name, value);
+                    }
+                }
+            }
+            LogRecord::FunctionExit { .. } => {}
+        }
+    }
+    close(&mut fsm, current.take(), &mut initial_set);
+    fsm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procheck_instrument::parse_log;
+
+    fn cfg() -> ExtractorConfig {
+        ExtractorConfig::for_reference_ue()
+    }
+
+    /// The paper's running example (Fig 3(d)): an attach_accept block.
+    #[test]
+    fn running_example_block() {
+        let log = parse_log(
+            "\
+[pc] enter air_msg_handler
+[pc] enter recv_attach_accept
+[pc] global emm_state=emm_registered_initiated_smc
+[pc] local mac_valid=true
+[pc] local count_ok=true
+[pc] local proc_ok=true
+[pc] enter send_attach_complete
+[pc] exit send_attach_complete
+[pc] global emm_state=emm_registered
+[pc] exit recv_attach_accept
+[pc] exit air_msg_handler
+",
+        );
+        let fsm = extract_fsm("ue", &log, &cfg());
+        assert_eq!(fsm.transition_count(), 1);
+        let t = fsm.transitions().next().unwrap();
+        assert_eq!(t.from.as_str(), "emm_registered_initiated_smc");
+        assert_eq!(t.to.as_str(), "emm_registered");
+        assert!(t.condition.contains(&CondAtom::event("attach_accept")));
+        assert!(t.condition.contains(&CondAtom::pred("mac_valid", "true")));
+        assert!(t.action.contains(&ActionAtom::new("attach_complete")));
+    }
+
+    #[test]
+    fn failed_validation_yields_null_action() {
+        let log = parse_log(
+            "\
+[pc] enter recv_emm_information
+[pc] global emm_state=emm_registered
+[pc] local mac_valid=true
+[pc] local count_ok=false
+[pc] global emm_state=emm_registered
+[pc] exit recv_emm_information
+",
+        );
+        let fsm = extract_fsm("ue", &log, &cfg());
+        let t = fsm.transitions().next().unwrap();
+        assert!(t.action.iter().any(|a| a.is_null()));
+        assert!(t.condition.contains(&CondAtom::pred("count_ok", "false")));
+    }
+
+    #[test]
+    fn trigger_marker_opens_block() {
+        let log = parse_log(
+            "\
+[pc] marker trigger=attach_enabled
+[pc] global emm_state=emm_deregistered
+[pc] enter send_attach_request
+[pc] exit send_attach_request
+[pc] global emm_state=emm_registered_initiated
+",
+        );
+        let fsm = extract_fsm("ue", &log, &cfg());
+        let t = fsm.transitions().next().unwrap();
+        assert_eq!(t.from.as_str(), "emm_deregistered");
+        assert_eq!(t.to.as_str(), "emm_registered_initiated");
+        assert!(t.condition.contains(&CondAtom::event("attach_enabled")));
+        assert!(t.action.contains(&ActionAtom::new("attach_request")));
+        assert_eq!(fsm.initial().unwrap().as_str(), "emm_deregistered");
+    }
+
+    #[test]
+    fn testcase_marker_resets_block() {
+        let log = parse_log(
+            "\
+[pc] marker testcase=TC_A
+[pc] enter recv_paging
+[pc] global emm_state=emm_registered
+[pc] marker testcase=TC_B
+[pc] global emm_state=emm_deregistered
+",
+        );
+        let fsm = extract_fsm("ue", &log, &cfg());
+        // TC_A's block closes at the marker; the dangling global in TC_B
+        // belongs to no block.
+        assert_eq!(fsm.transition_count(), 1);
+        let t = fsm.transitions().next().unwrap();
+        assert_eq!(t.to.as_str(), "emm_registered");
+    }
+
+    #[test]
+    fn unknown_handlers_and_states_ignored() {
+        let log = parse_log(
+            "\
+[pc] enter recv_paging
+[pc] global emm_state=emm_registered
+[pc] enter check_mac
+[pc] exit check_mac
+[pc] enter recv_unknown_message
+[pc] global weird=not_a_state
+[pc] enter mme_recv_attach_request
+[pc] global mme_state=mme_registered
+[pc] exit recv_paging
+",
+        );
+        let fsm = extract_fsm("ue", &log, &cfg());
+        assert_eq!(fsm.transition_count(), 1);
+        assert_eq!(fsm.states().count(), 1);
+    }
+
+    #[test]
+    fn duplicate_blocks_dedupe() {
+        let one_block = "\
+[pc] enter recv_emm_information
+[pc] global emm_state=emm_registered
+[pc] local mac_valid=true
+[pc] local count_ok=true
+[pc] global emm_state=emm_registered
+[pc] exit recv_emm_information
+";
+        let log = parse_log(&format!("{one_block}{one_block}{one_block}"));
+        let fsm = extract_fsm("ue", &log, &cfg());
+        assert_eq!(fsm.transition_count(), 1);
+    }
+
+    #[test]
+    fn predicates_can_be_disabled() {
+        let mut c = cfg();
+        c.include_predicates = false;
+        let log = parse_log(
+            "\
+[pc] enter recv_emm_information
+[pc] global emm_state=emm_registered
+[pc] local mac_valid=true
+[pc] exit recv_emm_information
+",
+        );
+        let fsm = extract_fsm("ue", &log, &c);
+        let t = fsm.transitions().next().unwrap();
+        assert_eq!(t.condition.len(), 1, "only the event remains");
+    }
+
+    #[test]
+    fn last_predicate_value_wins() {
+        let log = parse_log(
+            "\
+[pc] enter recv_emm_information
+[pc] global emm_state=emm_registered
+[pc] local proc_ok=true
+[pc] local proc_ok=false
+[pc] exit recv_emm_information
+",
+        );
+        let fsm = extract_fsm("ue", &log, &cfg());
+        let t = fsm.transitions().next().unwrap();
+        assert!(t.condition.contains(&CondAtom::pred("proc_ok", "false")));
+        assert!(!t.condition.contains(&CondAtom::pred("proc_ok", "true")));
+    }
+
+    #[test]
+    fn block_without_state_is_dropped() {
+        let log = parse_log(
+            "\
+[pc] enter recv_paging
+[pc] local paged_match=false
+[pc] exit recv_paging
+",
+        );
+        let fsm = extract_fsm("ue", &log, &cfg());
+        assert_eq!(fsm.transition_count(), 0);
+    }
+
+    #[test]
+    fn empty_log_yields_empty_fsm() {
+        let fsm = extract_fsm("ue", &[], &cfg());
+        assert_eq!(fsm.transition_count(), 0);
+        assert!(fsm.initial().is_none());
+    }
+}

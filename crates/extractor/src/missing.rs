@@ -1,0 +1,142 @@
+//! Missing-test-case detection (paper §I, contributions: "This FSM can
+//! also be used to enhance testing by detecting missing test cases").
+//!
+//! The extracted FSM is exactly the behaviour the conformance suite
+//! exercised; comparing it against the standard's vocabulary (all states,
+//! all incoming messages) reveals what the suite never drove — the gap a
+//! test engineer should close next.
+
+use crate::ExtractorConfig;
+use procheck_fsm::{CondAtom, Fsm, StateName};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Gaps between the standard's vocabulary and the extracted behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MissingCases {
+    /// Standard states the suite never reached.
+    pub unreached_states: Vec<String>,
+    /// Standard messages never observed as a transition condition.
+    pub unexercised_messages: Vec<String>,
+    /// (state, message) pairs where the state was reached and the message
+    /// exercised elsewhere, but never in combination — candidate negative
+    /// tests ("what does the implementation do with X in state S?").
+    pub untested_combinations: Vec<(String, String)>,
+}
+
+impl MissingCases {
+    /// True if the suite exercised the complete vocabulary.
+    pub fn is_complete(&self) -> bool {
+        self.unreached_states.is_empty() && self.unexercised_messages.is_empty()
+    }
+
+    /// Renders suggested test cases, one per line.
+    pub fn suggestions(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.unreached_states {
+            out.push(format!("add a case driving the implementation into state `{s}`"));
+        }
+        for m in &self.unexercised_messages {
+            out.push(format!("add a case delivering `{m}` to the implementation"));
+        }
+        for (s, m) in &self.untested_combinations {
+            out.push(format!("add a case delivering `{m}` while in state `{s}`"));
+        }
+        out
+    }
+}
+
+/// Compares an extracted FSM against the extractor's signature tables.
+///
+/// `relevant_messages` restricts the message universe to those this
+/// participant can receive (e.g. downlink messages for a UE) — the
+/// extractor config's full standard list spans both directions.
+pub fn missing_test_cases(
+    fsm: &Fsm,
+    config: &ExtractorConfig,
+    relevant_messages: &[&str],
+) -> MissingCases {
+    let reached: BTreeSet<&StateName> = fsm.states().collect();
+    let unreached_states: Vec<String> = config
+        .state_signatures
+        .iter()
+        .filter(|s| !reached.contains(&StateName::new(s.as_str())))
+        .cloned()
+        .collect();
+
+    let exercised: BTreeSet<String> = fsm
+        .transitions()
+        .flat_map(|t| t.trigger_events().map(|c| c.name().to_string()))
+        .collect();
+    let unexercised_messages: Vec<String> = relevant_messages
+        .iter()
+        .filter(|m| config.message_names.contains(**m) && !exercised.contains(**m))
+        .map(|m| m.to_string())
+        .collect();
+
+    let mut untested_combinations = Vec::new();
+    for state in fsm.states() {
+        for message in relevant_messages {
+            if !exercised.contains(*message) {
+                continue; // already reported as wholly unexercised
+            }
+            let covered = fsm.outgoing(state).any(|t| {
+                t.condition.contains(&CondAtom::event(*message))
+            });
+            if !covered {
+                untested_combinations.push((state.as_str().to_string(), message.to_string()));
+            }
+        }
+    }
+
+    MissingCases {
+        unreached_states,
+        unexercised_messages,
+        untested_combinations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procheck_fsm::Transition;
+
+    fn tiny_fsm() -> Fsm {
+        let mut f = Fsm::new("ue");
+        f.set_initial("emm_deregistered");
+        f.add_transition(
+            Transition::build("emm_deregistered", "emm_registered")
+                .when("attach_accept")
+                .then("attach_complete"),
+        );
+        f
+    }
+
+    #[test]
+    fn detects_unreached_states_and_unexercised_messages() {
+        let cfg = ExtractorConfig::for_reference_ue();
+        let gaps = missing_test_cases(&tiny_fsm(), &cfg, &["attach_accept", "paging"]);
+        assert!(!gaps.is_complete());
+        assert!(gaps.unreached_states.contains(&"emm_tau_initiated".to_string()));
+        assert_eq!(gaps.unexercised_messages, vec!["paging".to_string()]);
+    }
+
+    #[test]
+    fn detects_untested_combinations() {
+        let cfg = ExtractorConfig::for_reference_ue();
+        let gaps = missing_test_cases(&tiny_fsm(), &cfg, &["attach_accept"]);
+        // attach_accept was exercised, but never *in* emm_registered.
+        assert!(gaps
+            .untested_combinations
+            .contains(&("emm_registered".to_string(), "attach_accept".to_string())));
+    }
+
+    #[test]
+    fn suggestions_are_actionable_text() {
+        let cfg = ExtractorConfig::for_reference_ue();
+        let gaps = missing_test_cases(&tiny_fsm(), &cfg, &["attach_accept", "paging"]);
+        let text = gaps.suggestions().join("\n");
+        assert!(text.contains("delivering `paging`"));
+        assert!(text.contains("state `emm_tau_initiated`"));
+    }
+}

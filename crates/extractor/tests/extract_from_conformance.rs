@@ -1,0 +1,141 @@
+//! End-to-end extraction: run the conformance suite against the simulated
+//! stacks and extract their FSMs, as the paper's pipeline does.
+
+use procheck_conformance::runner::run_suite;
+use procheck_conformance::suites;
+use procheck_extractor::{extract_fsm, ExtractorConfig};
+use procheck_fsm::{CondAtom, Fsm, StateName};
+use procheck_stack::UeConfig;
+
+fn extract_for(cfg: &UeConfig) -> Fsm {
+    let report = run_suite(cfg, &suites::full_suite(cfg));
+    let ex = ExtractorConfig::for_ue(&cfg.signatures);
+    extract_fsm("ue", &report.ue_log, &ex)
+}
+
+#[test]
+fn reference_extraction_covers_main_procedures() {
+    let cfg = UeConfig::reference("001010000000001", 0x42);
+    let fsm = extract_for(&cfg);
+    assert!(fsm.transition_count() >= 15, "got {}", fsm.transition_count());
+    assert_eq!(fsm.initial().unwrap().as_str(), "emm_deregistered");
+    for state in [
+        "emm_deregistered",
+        "emm_registered_initiated",
+        "emm_registered_initiated_auth",
+        "emm_registered_initiated_smc",
+        "emm_registered",
+        "emm_deregistered_initiated",
+        "emm_deregistered_attach_needed",
+        "emm_tau_initiated",
+    ] {
+        assert!(fsm.contains_state(&StateName::new(state)), "missing state {state}");
+    }
+    // The attach chain exists with the paper's predicate refinements.
+    let attach_accept = fsm
+        .transitions()
+        .find(|t| {
+            t.from.as_str() == "emm_registered_initiated_smc"
+                && t.to.as_str() == "emm_registered"
+                && t.condition.contains(&CondAtom::event("attach_accept"))
+        })
+        .expect("attach_accept transition extracted");
+    assert!(attach_accept.condition.contains(&CondAtom::pred("mac_valid", "true")));
+}
+
+#[test]
+fn extraction_is_deterministic() {
+    let cfg = UeConfig::reference("001010000000001", 0x42);
+    let a = extract_for(&cfg);
+    let b = extract_for(&cfg);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn extracted_models_are_deterministic_fsms() {
+    for cfg in [
+        UeConfig::reference("001010000000001", 0x42),
+        UeConfig::srs("001010000000001", 0x42),
+        UeConfig::oai("001010000000001", 0x42),
+    ] {
+        let fsm = extract_for(&cfg);
+        assert!(
+            fsm.is_deterministic(),
+            "{} model must be deterministic",
+            cfg.implementation.name()
+        );
+    }
+}
+
+#[test]
+fn srs_model_shows_replay_acceptance_reference_does_not() {
+    let reference = extract_for(&UeConfig::reference("001010000000001", 0x42));
+    let srs = extract_for(&UeConfig::srs("001010000000001", 0x42));
+
+    // In the reference model every protected-message transition with a
+    // stale count carries count_ok=false and null_action.
+    let ref_replay_accepts = reference.transitions().any(|t| {
+        t.condition.contains(&CondAtom::pred("count_ok", "false"))
+            && !t.action.iter().all(|a| a.is_null())
+    });
+    assert!(!ref_replay_accepts, "reference never acts on a stale count");
+
+    // srsUE answers replayed messages: a stale-count attach_accept is
+    // re-processed (count_ok=true despite count_delta=stale) and answered.
+    let srs_reprocess = srs.transitions().any(|t| {
+        t.condition.contains(&CondAtom::event("attach_accept"))
+            && (t.condition.contains(&CondAtom::pred("count_delta", "stale"))
+                || t.condition.contains(&CondAtom::pred("count_delta", "equal")))
+            && t.condition.contains(&CondAtom::pred("count_ok", "true"))
+            && t.action.iter().any(|a| a.as_str() == "attach_complete")
+    });
+    assert!(srs_reprocess, "srsUE model re-answers a replayed attach_accept (I1)");
+}
+
+#[test]
+fn oai_model_shows_plaintext_acceptance() {
+    let oai_cfg = UeConfig::oai("001010000000001", 0x42);
+    let oai = extract_for(&oai_cfg);
+    // I2: a forged plain guti_reallocation_command is *answered* by OAI.
+    let answers_plain = oai.transitions().any(|t| {
+        t.condition.contains(&CondAtom::event("guti_reallocation_command"))
+            && t.action.iter().any(|a| a.as_str() == "guti_reallocation_complete")
+            && !t.condition.contains(&CondAtom::pred("mac_valid", "true"))
+    });
+    assert!(answers_plain, "OAI model answers plain protected-class messages (I2)");
+
+    let ref_fsm = extract_for(&UeConfig::reference("001010000000001", 0x42));
+    let ref_answers_plain = ref_fsm.transitions().any(|t| {
+        t.condition.contains(&CondAtom::event("guti_reallocation_command"))
+            && t.action.iter().any(|a| a.as_str() == "guti_reallocation_complete")
+            && !t.condition.contains(&CondAtom::pred("mac_valid", "true"))
+    });
+    assert!(!ref_answers_plain, "reference only answers verified commands");
+}
+
+#[test]
+fn mme_model_extracts_too() {
+    let cfg = UeConfig::reference("001010000000001", 0x42);
+    let report = run_suite(&cfg, &suites::full_suite(&cfg));
+    let fsm = extract_fsm("mme", &report.mme_log, &ExtractorConfig::for_mme());
+    assert!(fsm.transition_count() >= 8, "got {}", fsm.transition_count());
+    assert!(fsm.contains_state(&StateName::new("mme_registered")));
+    assert!(fsm.is_deterministic());
+}
+
+#[test]
+fn bigger_suite_refines_the_model() {
+    // Paper §IX: "As the test suite grows in coverage, ProChecker can
+    // generate increasingly detailed FSMs."
+    let cfg = UeConfig::reference("001010000000001", 0x42);
+    let ex = ExtractorConfig::for_ue(&cfg.signatures);
+
+    let base = run_suite(&cfg, &suites::base_suite());
+    let base_fsm = extract_fsm("ue", &base.ue_log, &ex);
+
+    let full = run_suite(&cfg, &suites::full_suite(&cfg));
+    let full_fsm = extract_fsm("ue", &full.ue_log, &ex);
+
+    assert!(full_fsm.transition_count() > base_fsm.transition_count());
+    assert!(full_fsm.states().count() >= base_fsm.states().count());
+}

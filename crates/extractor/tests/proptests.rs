@@ -1,0 +1,121 @@
+//! Property-based tests for Algorithm 1: robustness to interleaved
+//! noise (the extractor must ignore anything outside its signature
+//! tables — real conformance logs mix instrumentation output with
+//! framework chatter and peer-participant records) and determinism.
+
+use proptest::prelude::*;
+use procheck_extractor::{extract_fsm, ExtractorConfig};
+use procheck_instrument::record::{parse_log, render_log};
+use procheck_instrument::LogRecord;
+
+/// A structurally well-formed random log: a sequence of handler blocks.
+fn arb_log() -> impl Strategy<Value = Vec<LogRecord>> {
+    let states = ["emm_deregistered", "emm_registered_initiated", "emm_registered"];
+    let messages = ["attach_accept", "emm_information", "paging", "identity_request"];
+    let actions = ["attach_complete", "service_request", "identity_response"];
+    let block = (
+        0usize..messages.len(),
+        0usize..states.len(),
+        0usize..states.len(),
+        proptest::option::of(0usize..actions.len()),
+        any::<bool>(),
+    )
+        .prop_map(move |(m, s_in, s_out, act, ok)| {
+            let mut b = vec![
+                LogRecord::enter(format!("recv_{}", messages[m])),
+                LogRecord::global("emm_state", states[s_in]),
+                LogRecord::local("mac_valid", if ok { "true" } else { "false" }),
+            ];
+            if let Some(a) = act {
+                b.push(LogRecord::enter(format!("send_{}", actions[a])));
+                b.push(LogRecord::exit(format!("send_{}", actions[a])));
+            }
+            b.push(LogRecord::global("emm_state", states[s_out]));
+            b.push(LogRecord::exit(format!("recv_{}", messages[m])));
+            b
+        });
+    proptest::collection::vec(block, 1..12).prop_map(|blocks| blocks.concat())
+}
+
+/// Noise the extractor must ignore: unknown handlers, out-of-vocabulary
+/// globals/locals, foreign markers, peer-participant records.
+fn arb_noise() -> impl Strategy<Value = LogRecord> {
+    prop_oneof![
+        "[a-z]{3,8}".prop_map(|n| LogRecord::enter(format!("check_{n}"))),
+        "[a-z]{3,8}".prop_map(|n| LogRecord::exit(format!("check_{n}"))),
+        ("[a-z]{3,8}", "[a-z0-9]{1,6}").prop_map(|(n, v)| LogRecord::global(format!("zz_{n}"), v)),
+        ("[a-z]{3,8}", "[a-z0-9]{1,6}").prop_map(|(n, v)| LogRecord::local(format!("zz_{n}"), v)),
+        ("[a-z]{3,8}", "[a-z0-9]{1,6}").prop_map(|(n, v)| LogRecord::marker(format!("note_{n}"), v)),
+        "[a-z]{3,8}".prop_map(|n| LogRecord::enter(format!("mme_recv_{n}"))),
+        "[a-z]{3,8}".prop_map(|n| LogRecord::global("mme_state", format!("mme_{n}"))),
+    ]
+}
+
+proptest! {
+    /// Extraction is deterministic.
+    #[test]
+    fn extraction_deterministic(log in arb_log()) {
+        let cfg = ExtractorConfig::for_reference_ue();
+        prop_assert_eq!(extract_fsm("ue", &log, &cfg), extract_fsm("ue", &log, &cfg));
+    }
+
+    /// Injecting out-of-vocabulary noise anywhere leaves the model
+    /// unchanged (the paper's tolerance of interleaved logs).
+    #[test]
+    fn noise_invisible(
+        log in arb_log(),
+        noise in proptest::collection::vec((any::<prop::sample::Index>(), arb_noise()), 0..12),
+    ) {
+        let cfg = ExtractorConfig::for_reference_ue();
+        let clean = extract_fsm("ue", &log, &cfg);
+        let mut noisy = log.clone();
+        for (pos, rec) in noise {
+            let i = pos.index(noisy.len() + 1);
+            noisy.insert(i, rec);
+        }
+        prop_assert_eq!(extract_fsm("ue", &noisy, &cfg), clean);
+    }
+
+    /// The textual log format round-trips through render/parse without
+    /// changing the extracted model.
+    #[test]
+    fn text_round_trip_preserves_model(log in arb_log()) {
+        let cfg = ExtractorConfig::for_reference_ue();
+        let reparsed = parse_log(&render_log(&log));
+        prop_assert_eq!(
+            extract_fsm("ue", &reparsed, &cfg),
+            extract_fsm("ue", &log, &cfg)
+        );
+    }
+
+    /// Truncating the log never panics and yields a well-formed FSM whose
+    /// states are a subset of the full extraction's.
+    #[test]
+    fn truncation_safe(log in arb_log(), cut in any::<prop::sample::Index>()) {
+        let cfg = ExtractorConfig::for_reference_ue();
+        let full = extract_fsm("ue", &log, &cfg);
+        let cut = cut.index(log.len() + 1);
+        let partial = extract_fsm("ue", &log[..cut], &cfg);
+        for s in partial.states() {
+            prop_assert!(full.contains_state(s), "truncation invented state {s}");
+        }
+    }
+
+    /// Case markers only ever *reduce* the model (they prevent cross-case
+    /// transitions; within this generator each block is self-contained,
+    /// so the transition multiset is preserved).
+    #[test]
+    fn case_markers_between_blocks_harmless(log in arb_log()) {
+        let cfg = ExtractorConfig::for_reference_ue();
+        let clean = extract_fsm("ue", &log, &cfg);
+        // Insert a testcase marker before every block start.
+        let mut with_markers = Vec::new();
+        for rec in &log {
+            if matches!(rec, LogRecord::FunctionEnter { name } if name.starts_with("recv_")) {
+                with_markers.push(LogRecord::marker("testcase", "TC"));
+            }
+            with_markers.push(rec.clone());
+        }
+        prop_assert_eq!(extract_fsm("ue", &with_markers, &cfg), clean);
+    }
+}

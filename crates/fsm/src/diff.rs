@@ -1,0 +1,125 @@
+//! Structural diff between two protocol FSMs.
+//!
+//! Comparing the FSM extracted from an implementation against the one
+//! extracted from a conformant reference shows the implementation's
+//! behavioural deviation *directly*: every added transition is behaviour
+//! the reference does not exhibit (the I-series bugs appear here as
+//! replay/plaintext acceptance transitions), and every removed one is a
+//! check the implementation performs that the other lacks.
+
+use crate::{Fsm, Transition};
+use serde::{Deserialize, Serialize};
+
+/// Difference between two FSMs over the same vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsmDiff {
+    /// Transitions present in `right` but not in `left`.
+    pub added: Vec<Transition>,
+    /// Transitions present in `left` but not in `right`.
+    pub removed: Vec<Transition>,
+    /// States only in `right`.
+    pub added_states: Vec<String>,
+    /// States only in `left`.
+    pub removed_states: Vec<String>,
+}
+
+impl FsmDiff {
+    /// True if the two machines are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && self.added_states.is_empty()
+            && self.removed_states.is_empty()
+    }
+
+    /// Renders the diff in unified-diff spirit (`+`/`-` lines).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.removed_states {
+            out.push_str(&format!("- state {s}\n"));
+        }
+        for s in &self.added_states {
+            out.push_str(&format!("+ state {s}\n"));
+        }
+        for t in &self.removed {
+            out.push_str(&format!("- {t}\n"));
+        }
+        for t in &self.added {
+            out.push_str(&format!("+ {t}\n"));
+        }
+        out
+    }
+}
+
+/// Computes the structural diff `right − left` / `left − right`.
+pub fn diff(left: &Fsm, right: &Fsm) -> FsmDiff {
+    let added = right
+        .transitions()
+        .filter(|t| !left.transitions().any(|u| u == *t))
+        .cloned()
+        .collect();
+    let removed = left
+        .transitions()
+        .filter(|t| !right.transitions().any(|u| u == *t))
+        .cloned()
+        .collect();
+    let added_states = right
+        .states()
+        .filter(|s| !left.contains_state(s))
+        .map(|s| s.as_str().to_string())
+        .collect();
+    let removed_states = left
+        .states()
+        .filter(|s| !right.contains_state(s))
+        .map(|s| s.as_str().to_string())
+        .collect();
+    FsmDiff { added, removed, added_states, removed_states }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Fsm {
+        let mut f = Fsm::new("a");
+        f.set_initial("s0");
+        f.add_transition(Transition::build("s0", "s1").when("m").then("r"));
+        f
+    }
+
+    #[test]
+    fn identical_fsms_diff_empty() {
+        let d = diff(&base(), &base());
+        assert!(d.is_empty());
+        assert_eq!(d.render(), "");
+    }
+
+    #[test]
+    fn added_transition_detected() {
+        let mut right = base();
+        right.add_transition(Transition::build("s1", "s1").when("n").when("x=1"));
+        let d = diff(&base(), &right);
+        assert_eq!(d.added.len(), 1);
+        assert!(d.removed.is_empty());
+        assert!(d.render().contains("+ s1 -> s1 [n & x=1 / ]"));
+    }
+
+    #[test]
+    fn removed_state_detected() {
+        let mut left = base();
+        left.add_state("orphan");
+        let d = diff(&left, &base());
+        assert_eq!(d.removed_states, vec!["orphan".to_string()]);
+        assert!(d.render().contains("- state orphan"));
+    }
+
+    #[test]
+    fn diff_is_antisymmetric() {
+        let mut right = base();
+        right.add_transition(Transition::build("s1", "s0").when("back"));
+        let ab = diff(&base(), &right);
+        let ba = diff(&right, &base());
+        assert_eq!(ab.added, ba.removed);
+        assert_eq!(ab.removed, ba.added);
+    }
+}

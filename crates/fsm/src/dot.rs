@@ -1,0 +1,289 @@
+//! Graphviz-like textual format for protocol FSMs.
+//!
+//! The paper's model generator "takes as input the state machine of the
+//! protocol written in Graphviz-like language and outputs a SMV description"
+//! (§VI). This module implements that input language: a `digraph` whose
+//! edges carry `cond` and `act` attributes, plus an `init` pseudo-edge
+//! marking the initial state.
+//!
+//! ```text
+//! digraph ue {
+//!   init -> emm_deregistered;
+//!   emm_deregistered -> emm_registered_initiated [cond="attach_enabled", act="send_attach_request"];
+//!   emm_registered_initiated -> emm_registered [cond="attach_accept & mac_valid=true", act="send_attach_complete"];
+//! }
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use procheck_fsm::{Fsm, Transition, dot};
+//!
+//! let mut ue = Fsm::new("ue");
+//! ue.set_initial("emm_deregistered");
+//! ue.add_transition(
+//!     Transition::build("emm_deregistered", "emm_registered_initiated")
+//!         .when("attach_enabled")
+//!         .then("send_attach_request"),
+//! );
+//! let text = dot::to_dot(&ue);
+//! let back = dot::from_dot(&text)?;
+//! assert_eq!(ue, back);
+//! # Ok::<(), procheck_fsm::FsmError>(())
+//! ```
+
+use crate::{ActionAtom, CondAtom, Fsm, FsmError, Transition};
+
+/// Renders an FSM in the Graphviz-like language.
+pub fn to_dot(fsm: &Fsm) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph {} {{\n", fsm.name()));
+    if let Some(init) = fsm.initial() {
+        out.push_str(&format!("  init -> {init};\n"));
+    }
+    for t in fsm.transitions() {
+        let conds: Vec<String> = t.condition.iter().map(|c| c.to_string()).collect();
+        let acts: Vec<String> = t.action.iter().map(|a| a.to_string()).collect();
+        out.push_str(&format!(
+            "  {} -> {} [cond=\"{}\", act=\"{}\"];\n",
+            t.from,
+            t.to,
+            conds.join(" & "),
+            acts.join(", ")
+        ));
+    }
+    // Orphan states (registered but not on any transition) are emitted as
+    // bare node lines so round-tripping preserves S exactly.
+    for s in fsm.states() {
+        let on_edge = fsm.transitions().any(|t| &t.from == s || &t.to == s)
+            || fsm.initial() == Some(s);
+        if !on_edge {
+            out.push_str(&format!("  {s};\n"));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the Graphviz-like language back into an [`Fsm`].
+///
+/// # Errors
+///
+/// Returns [`FsmError::Parse`] on malformed input (missing header, bad edge
+/// syntax, unterminated attribute list) and [`FsmError::Incomplete`] if the
+/// body never closes.
+pub fn from_dot(text: &str) -> Result<Fsm, FsmError> {
+    let mut lines = text.lines().enumerate();
+    let (header_no, header) = lines
+        .by_ref()
+        .map(|(i, l)| (i, l.trim()))
+        .find(|(_, l)| !l.is_empty() && !l.starts_with("//"))
+        .ok_or_else(|| FsmError::Incomplete("empty input".into()))?;
+    let name = parse_header(header).ok_or_else(|| FsmError::Parse {
+        line: header_no + 1,
+        message: "expected `digraph <name> {`".into(),
+    })?;
+    let mut fsm = Fsm::new(name);
+    let mut closed = false;
+    for (i, raw) in lines {
+        let line = raw.trim().trim_end_matches(';').trim();
+        if line.is_empty() || line.starts_with("//") {
+            continue;
+        }
+        if line == "}" {
+            closed = true;
+            break;
+        }
+        if let Some((lhs, rhs)) = line.split_once("->") {
+            let from = lhs.trim();
+            let (to, attrs) = split_edge_target(rhs).map_err(|message| FsmError::Parse {
+                line: i + 1,
+                message,
+            })?;
+            if from == "init" {
+                fsm.set_initial(to);
+                continue;
+            }
+            let mut t = Transition::build(from, to);
+            if let Some(attrs) = attrs {
+                for (key, val) in attrs {
+                    match key.as_str() {
+                        "cond" => {
+                            for part in val.split('&') {
+                                let part = part.trim();
+                                if !part.is_empty() {
+                                    t.condition.insert(CondAtom::parse(part));
+                                }
+                            }
+                        }
+                        "act" => {
+                            for part in val.split(',') {
+                                let part = part.trim();
+                                if !part.is_empty() {
+                                    t.action.insert(ActionAtom::new(part));
+                                }
+                            }
+                        }
+                        other => {
+                            return Err(FsmError::Parse {
+                                line: i + 1,
+                                message: format!("unknown edge attribute `{other}`"),
+                            })
+                        }
+                    }
+                }
+            }
+            fsm.add_transition(t);
+        } else {
+            // Bare node declaration.
+            fsm.add_state(line);
+        }
+    }
+    if !closed {
+        return Err(FsmError::Incomplete("missing closing `}`".into()));
+    }
+    Ok(fsm)
+}
+
+fn parse_header(line: &str) -> Option<String> {
+    let rest = line.strip_prefix("digraph")?.trim();
+    let rest = rest.strip_suffix('{')?.trim();
+    if rest.is_empty() || rest.contains(char::is_whitespace) {
+        return None;
+    }
+    Some(rest.to_string())
+}
+
+/// Splits `"  target [k=\"v\", ...]"` into the target and parsed attributes.
+fn split_edge_target(rhs: &str) -> Result<(&str, Option<Vec<(String, String)>>), String> {
+    let rhs = rhs.trim();
+    match rhs.find('[') {
+        None => Ok((rhs, None)),
+        Some(open) => {
+            let target = rhs[..open].trim();
+            let attr_text = rhs[open + 1..]
+                .strip_suffix(']')
+                .ok_or_else(|| "unterminated attribute list".to_string())?;
+            let attrs = parse_attrs(attr_text)?;
+            Ok((target, Some(attrs)))
+        }
+    }
+}
+
+fn parse_attrs(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut attrs = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("expected `key=\"value\"` in `{rest}`"))?;
+        let key = rest[..eq].trim().to_string();
+        let after = rest[eq + 1..].trim_start();
+        let after = after
+            .strip_prefix('"')
+            .ok_or_else(|| format!("attribute `{key}` value must be quoted"))?;
+        let close = after
+            .find('"')
+            .ok_or_else(|| format!("unterminated string for attribute `{key}`"))?;
+        let value = after[..close].to_string();
+        attrs.push((key, value));
+        rest = after[close + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StateName;
+
+    fn sample() -> Fsm {
+        let mut f = Fsm::new("ue");
+        f.set_initial("emm_deregistered");
+        f.add_transition(
+            Transition::build("emm_deregistered", "emm_registered_initiated")
+                .when("attach_enabled")
+                .then("send_attach_request"),
+        );
+        f.add_transition(
+            Transition::build("emm_registered_initiated", "emm_registered")
+                .when("attach_accept")
+                .when("mac_valid=true")
+                .then("send_attach_complete"),
+        );
+        f
+    }
+
+    #[test]
+    fn round_trip() {
+        let f = sample();
+        let text = to_dot(&f);
+        let back = from_dot(&text).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn round_trip_orphan_state() {
+        let mut f = sample();
+        f.add_state("emm_null");
+        let back = from_dot(&to_dot(&f)).unwrap();
+        assert!(back.contains_state(&StateName::new("emm_null")));
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn parses_null_action_edge() {
+        let text = r#"digraph ue {
+            init -> a;
+            a -> a [cond="bad_mac", act="null_action"];
+        }"#;
+        let f = from_dot(text).unwrap();
+        let t = f.transitions().next().unwrap();
+        assert!(t.action.iter().any(|a| a.is_null()));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = from_dot("graph x {\n}\n").unwrap_err();
+        assert!(matches!(err, FsmError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let text = "digraph g {\n a -> b [color=\"red\"];\n}\n";
+        let err = from_dot(text).unwrap_err();
+        assert!(matches!(err, FsmError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unterminated_attrs() {
+        let text = "digraph g {\n a -> b [cond=\"x\";\n}\n";
+        assert!(from_dot(text).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_close() {
+        let text = "digraph g {\n a -> b;\n";
+        assert!(matches!(from_dot(text), Err(FsmError::Incomplete(_))));
+    }
+
+    #[test]
+    fn empty_cond_and_act_allowed() {
+        let text = "digraph g {\n a -> b [cond=\"\", act=\"\"];\n}\n";
+        let f = from_dot(text).unwrap();
+        let t = f.transitions().next().unwrap();
+        assert!(t.condition.is_empty());
+        assert!(t.action.is_empty());
+    }
+
+    #[test]
+    fn multi_cond_multi_act() {
+        let text =
+            "digraph g {\n a -> b [cond=\"m & x=1 & y=0\", act=\"send_r, send_s\"];\n}\n";
+        let f = from_dot(text).unwrap();
+        let t = f.transitions().next().unwrap();
+        assert_eq!(t.condition.len(), 3);
+        assert_eq!(t.action.len(), 2);
+    }
+}

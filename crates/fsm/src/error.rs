@@ -1,0 +1,48 @@
+//! Error types for FSM parsing and refinement checking.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing the Graphviz-like FSM format or while
+/// validating FSMs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsmError {
+    /// The textual model was syntactically malformed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of what was expected.
+        message: String,
+    },
+    /// The model is missing a required element (e.g. an initial state).
+    Incomplete(String),
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            FsmError::Incomplete(what) => write!(f, "incomplete model: {what}"),
+        }
+    }
+}
+
+impl Error for FsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FsmError::Parse {
+            line: 3,
+            message: "expected '->'".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: expected '->'");
+        let e2 = FsmError::Incomplete("no initial state".into());
+        assert!(e2.to_string().contains("no initial state"));
+    }
+}

@@ -1,0 +1,605 @@
+//! Protocol finite-state machines for the ProChecker reproduction.
+//!
+//! The paper (§III-B) models each protocol participant as a deterministic
+//! FSM `(Σ, Γ, S, s0, T)` where `Σ` is a set of *conditions*, `Γ` a set of
+//! *actions*, `S` the states, `s0` the initial state and `T` the transitions.
+//! A transition is a 4-tuple `(s_in, s_out, σ ⊆ Σ, γ ⊆ Γ)`.
+//!
+//! This crate provides:
+//!
+//! * [`Fsm`], [`Transition`], [`CondAtom`], [`ActionAtom`], [`StateName`] —
+//!   the model itself;
+//! * [`dot`] — emission and parsing of the Graphviz-like textual format the
+//!   paper's model generator consumes;
+//! * [`refinement`] — the refinement relation between two FSMs defined in
+//!   the paper's RQ2 evaluation, used to show an extracted model refines the
+//!   hand-built LTEInspector model;
+//! * [`stats`] — structural statistics used by the model-comparison
+//!   experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use procheck_fsm::{Fsm, Transition};
+//!
+//! let mut ue = Fsm::new("ue");
+//! ue.set_initial("ue_deregistered");
+//! ue.add_transition(
+//!     Transition::build("ue_deregistered", "ue_registered_initiated")
+//!         .when("attach_enabled")
+//!         .then("send_attach_request"),
+//! );
+//! assert_eq!(ue.states().count(), 2);
+//! assert!(ue.is_deterministic());
+//! ```
+
+pub mod diff;
+pub mod dot;
+pub mod error;
+pub mod refinement;
+pub mod stats;
+
+pub use error::FsmError;
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The distinguished action emitted when an incoming message triggers no
+/// response (paper Algorithm 1, lines 20–21).
+pub const NULL_ACTION: &str = "null_action";
+
+/// Name of a protocol state (e.g. `emm_registered_initiated`).
+///
+/// State names are taken verbatim from the 3GPP standards: the paper's key
+/// mapping insight (§IV-A(4)) is that implementations reuse standard state
+/// names for interoperability.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateName(String);
+
+impl StateName {
+    /// Creates a state name. Names are compared case-insensitively by
+    /// normalising to lowercase, mirroring the extractor's tolerance for
+    /// `EMM_REGISTERED` vs `emm_registered` in logs.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        StateName(name.as_ref().to_ascii_lowercase())
+    }
+
+    /// The normalised textual form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for StateName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for StateName {
+    fn from(s: &str) -> Self {
+        StateName::new(s)
+    }
+}
+
+impl From<String> for StateName {
+    fn from(s: String) -> Self {
+        StateName::new(s)
+    }
+}
+
+/// One atomic condition on a transition.
+///
+/// A condition is either an event (an incoming message, e.g.
+/// `authentication_request`) or a predicate over data extracted from the
+/// information-rich log (e.g. `mac_valid=true`, `sqn_in_range=false`).
+/// The paper's refinement comparison (RQ2) hinges on extracted models having
+/// *more* such predicates than hand-built ones.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CondAtom {
+    name: String,
+    value: Option<String>,
+}
+
+impl CondAtom {
+    /// An event-style condition (no value), e.g. an incoming message name.
+    pub fn event(name: impl AsRef<str>) -> Self {
+        CondAtom {
+            name: name.as_ref().to_ascii_lowercase(),
+            value: None,
+        }
+    }
+
+    /// A predicate-style condition `name=value`.
+    pub fn pred(name: impl AsRef<str>, value: impl AsRef<str>) -> Self {
+        CondAtom {
+            name: name.as_ref().to_ascii_lowercase(),
+            value: Some(value.as_ref().to_ascii_lowercase()),
+        }
+    }
+
+    /// Parses `name` or `name=value`.
+    pub fn parse(text: &str) -> Self {
+        match text.split_once('=') {
+            Some((n, v)) => CondAtom::pred(n.trim(), v.trim()),
+            None => CondAtom::event(text.trim()),
+        }
+    }
+
+    /// The condition's name component.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The condition's value component, if it is a predicate.
+    pub fn value(&self) -> Option<&str> {
+        self.value.as_deref()
+    }
+
+    /// True if this is an event-style condition (no `=value` part).
+    pub fn is_event(&self) -> bool {
+        self.value.is_none()
+    }
+}
+
+impl fmt::Display for CondAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.value {
+            Some(v) => write!(f, "{}={}", self.name, v),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+impl From<&str> for CondAtom {
+    fn from(s: &str) -> Self {
+        CondAtom::parse(s)
+    }
+}
+
+/// One atomic action on a transition — an outgoing message name, or
+/// [`NULL_ACTION`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActionAtom(String);
+
+impl ActionAtom {
+    /// Creates an action atom (normalised to lowercase).
+    pub fn new(name: impl AsRef<str>) -> Self {
+        ActionAtom(name.as_ref().to_ascii_lowercase())
+    }
+
+    /// The `null_action` atom.
+    pub fn null() -> Self {
+        ActionAtom::new(NULL_ACTION)
+    }
+
+    /// The textual form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True if this is the `null_action`.
+    pub fn is_null(&self) -> bool {
+        self.0 == NULL_ACTION
+    }
+}
+
+impl fmt::Display for ActionAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ActionAtom {
+    fn from(s: &str) -> Self {
+        ActionAtom::new(s)
+    }
+}
+
+/// A transition `(s_in, s_out, σ, γ)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state `s_in`.
+    pub from: StateName,
+    /// Destination state `s_out`.
+    pub to: StateName,
+    /// Condition set `σ ⊆ Σ`: all atoms must hold for the transition to fire.
+    pub condition: BTreeSet<CondAtom>,
+    /// Action set `γ ⊆ Γ`.
+    pub action: BTreeSet<ActionAtom>,
+}
+
+impl Transition {
+    /// Starts building a transition between two states.
+    pub fn build(from: impl Into<StateName>, to: impl Into<StateName>) -> Self {
+        Transition {
+            from: from.into(),
+            to: to.into(),
+            condition: BTreeSet::new(),
+            action: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a condition atom (parsed from `name` or `name=value`).
+    pub fn when(mut self, cond: impl Into<CondAtom>) -> Self {
+        self.condition.insert(cond.into());
+        self
+    }
+
+    /// Adds an action atom.
+    pub fn then(mut self, action: impl Into<ActionAtom>) -> Self {
+        self.action.insert(action.into());
+        self
+    }
+
+    /// Ensures the action set is non-empty by inserting `null_action`
+    /// (Algorithm 1 lines 20–21).
+    pub fn or_null_action(mut self) -> Self {
+        if self.action.is_empty() {
+            self.action.insert(ActionAtom::null());
+        }
+        self
+    }
+
+    /// The event-style condition atoms (incoming messages).
+    pub fn trigger_events(&self) -> impl Iterator<Item = &CondAtom> {
+        self.condition.iter().filter(|c| c.is_event())
+    }
+
+    /// True if this transition's condition set is a superset of `other`'s —
+    /// i.e. it is at least as strict (refinement case (ii) in RQ2).
+    pub fn condition_refines(&self, other: &Transition) -> bool {
+        other.condition.is_subset(&self.condition)
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let conds: Vec<String> = self.condition.iter().map(|c| c.to_string()).collect();
+        let acts: Vec<String> = self.action.iter().map(|a| a.to_string()).collect();
+        write!(
+            f,
+            "{} -> {} [{} / {}]",
+            self.from,
+            self.to,
+            conds.join(" & "),
+            acts.join(", ")
+        )
+    }
+}
+
+/// A protocol finite-state machine `(Σ, Γ, S, s0, T)` (paper §III-B).
+///
+/// States, conditions and actions are accumulated automatically as
+/// transitions are added; `Σ` and `Γ` are therefore always the exact unions
+/// over `T`, plus any extras registered explicitly (the extractor registers
+/// conditions it observed even when they did not end up on a transition).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fsm {
+    name: String,
+    states: BTreeSet<StateName>,
+    initial: Option<StateName>,
+    conditions: BTreeSet<CondAtom>,
+    actions: BTreeSet<ActionAtom>,
+    transitions: Vec<Transition>,
+}
+
+impl Fsm {
+    /// Creates an empty FSM with the given participant name (e.g. `"ue"`).
+    pub fn new(name: impl Into<String>) -> Self {
+        Fsm {
+            name: name.into(),
+            states: BTreeSet::new(),
+            initial: None,
+            conditions: BTreeSet::new(),
+            actions: BTreeSet::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The participant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Sets the initial state `s0`, inserting it into `S`.
+    pub fn set_initial(&mut self, state: impl Into<StateName>) {
+        let s = state.into();
+        self.states.insert(s.clone());
+        self.initial = Some(s);
+    }
+
+    /// The initial state, if one has been set.
+    pub fn initial(&self) -> Option<&StateName> {
+        self.initial.as_ref()
+    }
+
+    /// Registers a state without any transition.
+    pub fn add_state(&mut self, state: impl Into<StateName>) {
+        self.states.insert(state.into());
+    }
+
+    /// Registers a condition atom in `Σ` explicitly.
+    pub fn add_condition(&mut self, cond: impl Into<CondAtom>) {
+        self.conditions.insert(cond.into());
+    }
+
+    /// Registers an action atom in `Γ` explicitly.
+    pub fn add_action(&mut self, action: impl Into<ActionAtom>) {
+        self.actions.insert(action.into());
+    }
+
+    /// Adds a transition, updating `S`, `Σ` and `Γ`. Duplicate transitions
+    /// (identical 4-tuples) are kept out; returns `true` if newly inserted.
+    pub fn add_transition(&mut self, t: Transition) -> bool {
+        if self.transitions.contains(&t) {
+            return false;
+        }
+        self.states.insert(t.from.clone());
+        self.states.insert(t.to.clone());
+        for c in &t.condition {
+            self.conditions.insert(c.clone());
+        }
+        for a in &t.action {
+            self.actions.insert(a.clone());
+        }
+        if self.initial.is_none() {
+            self.initial = Some(t.from.clone());
+        }
+        self.transitions.push(t);
+        true
+    }
+
+    /// Iterates over the states `S`.
+    pub fn states(&self) -> impl Iterator<Item = &StateName> {
+        self.states.iter()
+    }
+
+    /// Iterates over the condition alphabet `Σ`.
+    pub fn conditions(&self) -> impl Iterator<Item = &CondAtom> {
+        self.conditions.iter()
+    }
+
+    /// Iterates over the action alphabet `Γ`.
+    pub fn actions(&self) -> impl Iterator<Item = &ActionAtom> {
+        self.actions.iter()
+    }
+
+    /// Iterates over the transitions `T`.
+    pub fn transitions(&self) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter()
+    }
+
+    /// Number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// True if the FSM contains the given state.
+    pub fn contains_state(&self, state: &StateName) -> bool {
+        self.states.contains(state)
+    }
+
+    /// Transitions leaving `state`.
+    pub fn outgoing<'a>(
+        &'a self,
+        state: &'a StateName,
+    ) -> impl Iterator<Item = &'a Transition> + 'a {
+        self.transitions.iter().filter(move |t| &t.from == state)
+    }
+
+    /// Transitions entering `state`.
+    pub fn incoming<'a>(
+        &'a self,
+        state: &'a StateName,
+    ) -> impl Iterator<Item = &'a Transition> + 'a {
+        self.transitions.iter().filter(move |t| &t.to == state)
+    }
+
+    /// True if no two transitions leave the same state under the same
+    /// condition set with different outcomes. The paper models participants
+    /// as *deterministic* FSMs; the extractor asserts this on its output.
+    pub fn is_deterministic(&self) -> bool {
+        for (i, a) in self.transitions.iter().enumerate() {
+            for b in &self.transitions[i + 1..] {
+                if a.from == b.from
+                    && a.condition == b.condition
+                    && (a.to != b.to || a.action != b.action)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// States reachable from the initial state following transitions.
+    pub fn reachable_states(&self) -> BTreeSet<StateName> {
+        let mut seen = BTreeSet::new();
+        let Some(init) = &self.initial else {
+            return seen;
+        };
+        let mut stack = vec![init.clone()];
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s.clone()) {
+                continue;
+            }
+            for t in self.outgoing(&s) {
+                if !seen.contains(&t.to) {
+                    stack.push(t.to.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Merges another FSM's states and transitions into this one (used when
+    /// combining FSM fragments extracted from multiple conformance runs).
+    /// The initial state of `self` wins; returns the number of transitions
+    /// newly added.
+    pub fn merge(&mut self, other: &Fsm) -> usize {
+        let mut added = 0;
+        for s in &other.states {
+            self.states.insert(s.clone());
+        }
+        for c in &other.conditions {
+            self.conditions.insert(c.clone());
+        }
+        for a in &other.actions {
+            self.actions.insert(a.clone());
+        }
+        for t in &other.transitions {
+            if self.add_transition(t.clone()) {
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Looks up transitions between two states.
+    pub fn transitions_between<'a>(
+        &'a self,
+        from: &'a StateName,
+        to: &'a StateName,
+    ) -> impl Iterator<Item = &'a Transition> + 'a {
+        self.transitions
+            .iter()
+            .filter(move |t| &t.from == from && &t.to == to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attach_fsm() -> Fsm {
+        let mut f = Fsm::new("ue");
+        f.set_initial("emm_deregistered");
+        f.add_transition(
+            Transition::build("emm_deregistered", "emm_registered_initiated")
+                .when("attach_enabled")
+                .then("send_attach_request"),
+        );
+        f.add_transition(
+            Transition::build("emm_registered_initiated", "emm_registered")
+                .when("attach_accept")
+                .when("mac_valid=true")
+                .then("send_attach_complete"),
+        );
+        f
+    }
+
+    #[test]
+    fn accumulates_alphabets() {
+        let f = attach_fsm();
+        assert_eq!(f.states().count(), 3);
+        assert_eq!(f.conditions().count(), 3);
+        assert_eq!(f.actions().count(), 2);
+        assert_eq!(f.transition_count(), 2);
+    }
+
+    #[test]
+    fn initial_state_defaults_to_first_transition_source() {
+        let mut f = Fsm::new("x");
+        f.add_transition(Transition::build("a", "b").when("go"));
+        assert_eq!(f.initial().unwrap().as_str(), "a");
+    }
+
+    #[test]
+    fn duplicate_transitions_rejected() {
+        let mut f = attach_fsm();
+        let t = Transition::build("emm_deregistered", "emm_registered_initiated")
+            .when("attach_enabled")
+            .then("send_attach_request");
+        assert!(!f.add_transition(t));
+        assert_eq!(f.transition_count(), 2);
+    }
+
+    #[test]
+    fn state_names_normalised() {
+        assert_eq!(StateName::new("EMM_REGISTERED"), StateName::new("emm_registered"));
+    }
+
+    #[test]
+    fn cond_atom_parse() {
+        let e = CondAtom::parse("attach_accept");
+        assert!(e.is_event());
+        let p = CondAtom::parse("mac_valid = TRUE");
+        assert_eq!(p.name(), "mac_valid");
+        assert_eq!(p.value(), Some("true"));
+    }
+
+    #[test]
+    fn determinism_detects_conflict() {
+        let mut f = attach_fsm();
+        assert!(f.is_deterministic());
+        f.add_transition(
+            Transition::build("emm_deregistered", "emm_registered")
+                .when("attach_enabled")
+                .then("send_attach_request"),
+        );
+        assert!(!f.is_deterministic());
+    }
+
+    #[test]
+    fn determinism_allows_extra_condition() {
+        let mut f = attach_fsm();
+        // Same source, different (stricter) condition set: still deterministic
+        // by the paper's definition (distinct σ).
+        f.add_transition(
+            Transition::build("emm_deregistered", "emm_deregistered")
+                .when("attach_enabled")
+                .when("sim_absent=true")
+                .then(ActionAtom::null()),
+        );
+        assert!(f.is_deterministic());
+    }
+
+    #[test]
+    fn reachability() {
+        let mut f = attach_fsm();
+        f.add_state("emm_orphan");
+        let r = f.reachable_states();
+        assert_eq!(r.len(), 3);
+        assert!(!r.contains(&StateName::new("emm_orphan")));
+    }
+
+    #[test]
+    fn merge_dedupes() {
+        let mut a = attach_fsm();
+        let b = attach_fsm();
+        assert_eq!(a.merge(&b), 0);
+        let mut c = Fsm::new("ue");
+        c.add_transition(
+            Transition::build("emm_registered", "emm_deregistered")
+                .when("detach_request")
+                .then("send_detach_accept"),
+        );
+        assert_eq!(a.merge(&c), 1);
+        assert_eq!(a.transition_count(), 3);
+    }
+
+    #[test]
+    fn null_action_fills_empty() {
+        let t = Transition::build("a", "b").when("x").or_null_action();
+        assert!(t.action.iter().any(|a| a.is_null()));
+        let t2 = Transition::build("a", "b").when("x").then("send_y").or_null_action();
+        assert!(!t2.action.iter().any(|a| a.is_null()));
+    }
+
+    #[test]
+    fn condition_refinement_check() {
+        let base = Transition::build("a", "b").when("m");
+        let stricter = Transition::build("a", "b").when("m").when("mac_valid=true");
+        assert!(stricter.condition_refines(&base));
+        assert!(!base.condition_refines(&stricter));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Transition::build("a", "b").when("m").then("send_r");
+        assert_eq!(t.to_string(), "a -> b [m / send_r]");
+        assert_eq!(CondAtom::pred("x", "1").to_string(), "x=1");
+    }
+}

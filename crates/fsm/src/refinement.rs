@@ -1,0 +1,458 @@
+//! Refinement relation between protocol FSMs (paper §VII-B, RQ2).
+//!
+//! The paper defines `M2 refines M1` by three properties:
+//!
+//! 1. every state of `M1` maps one-to-one into `M2`'s states (hand-built
+//!    coarse states such as `ue_registered` may map onto a *set of
+//!    sub-states* of the extracted model — the mapping is supplied by the
+//!    caller as a [`StateMapping`], following the standards);
+//! 2. the condition set `Σ2` and action set `Γ2` are supersets of `Σ1` and
+//!    `Γ1` (strict supersets in the paper's comparison — the extracted model
+//!    contains new payload-level constraints such as sequence numbers);
+//! 3. every transition `t1 ∈ T1` maps onto `T2` in one of three ways:
+//!    (i) *directly*; (ii) onto a transition with the same endpoints whose
+//!    condition has the form `σ1 ∧ φ` (stricter); (iii) onto a *path*
+//!    through new intermediate states whose combined conditions/actions
+//!    cover `t1`'s (the paper's `ue_dereg_attach_needed` split, Fig 7 (ii)).
+//!
+//! [`check_refinement`] verifies all three and produces a detailed
+//! [`RefinementReport`] used by the model-comparison experiment.
+
+use crate::{Fsm, StateName, Transition};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maps each state of the abstract model `M1` to the states of the refined
+/// model `M2` that represent it (one state, or a set of sub-states).
+///
+/// States of `M1` absent from the map are assumed to map to the state with
+/// the identical name in `M2`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateMapping {
+    map: BTreeMap<StateName, BTreeSet<StateName>>,
+}
+
+impl StateMapping {
+    /// An empty mapping: every `M1` state maps to its namesake in `M2`.
+    pub fn identity() -> Self {
+        StateMapping::default()
+    }
+
+    /// Declares that `abstract_state` of `M1` is represented by
+    /// `sub_states` of `M2`.
+    pub fn map_state<I, S>(&mut self, abstract_state: impl Into<StateName>, sub_states: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<StateName>,
+    {
+        self.map
+            .entry(abstract_state.into())
+            .or_default()
+            .extend(sub_states.into_iter().map(Into::into));
+    }
+
+    /// The image of an `M1` state in `M2`.
+    pub fn image(&self, state: &StateName) -> BTreeSet<StateName> {
+        match self.map.get(state) {
+            Some(set) => set.clone(),
+            None => BTreeSet::from([state.clone()]),
+        }
+    }
+}
+
+/// How a single abstract transition was matched in the refined model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransitionMapping {
+    /// Case (i): an identical transition exists (up to state mapping).
+    Direct,
+    /// Case (ii): matched by a transition with a strictly stronger
+    /// condition; the extra atoms are recorded.
+    ConditionRefined {
+        /// Condition atoms present in the refined transition but not the
+        /// abstract one (the `φ` in `σ1 ∧ φ`).
+        extra_conditions: Vec<String>,
+    },
+    /// Case (iii): matched by a path through new intermediate states.
+    Split {
+        /// The intermediate states the path traverses.
+        via: Vec<StateName>,
+    },
+    /// No mapping found: the refinement fails on this transition.
+    Unmapped,
+}
+
+/// Outcome of a refinement check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefinementReport {
+    /// True iff all three refinement properties hold.
+    pub refines: bool,
+    /// `M1` states with no image in `M2`.
+    pub unmapped_states: Vec<StateName>,
+    /// Condition atoms of `M1` missing from `M2` (violates property 2).
+    pub missing_conditions: Vec<String>,
+    /// Action atoms of `M1` missing from `M2` (violates property 2).
+    pub missing_actions: Vec<String>,
+    /// True if `Σ2 ⊋ Σ1` (strict superset, as the paper observes for the
+    /// extracted model).
+    pub conditions_strictly_refined: bool,
+    /// True if `Γ2 ⊋ Γ1`.
+    pub actions_strictly_refined: bool,
+    /// Per-abstract-transition mapping outcome, in `M1` transition order.
+    pub transition_mappings: Vec<(Transition, TransitionMapping)>,
+}
+
+impl RefinementReport {
+    /// Number of abstract transitions matched per mapping case
+    /// `(direct, condition_refined, split, unmapped)`.
+    pub fn mapping_histogram(&self) -> (usize, usize, usize, usize) {
+        let mut h = (0, 0, 0, 0);
+        for (_, m) in &self.transition_mappings {
+            match m {
+                TransitionMapping::Direct => h.0 += 1,
+                TransitionMapping::ConditionRefined { .. } => h.1 += 1,
+                TransitionMapping::Split { .. } => h.2 += 1,
+                TransitionMapping::Unmapped => h.3 += 1,
+            }
+        }
+        h
+    }
+}
+
+/// Maximum number of intermediate states explored for the path case (iii).
+const MAX_SPLIT_DEPTH: usize = 4;
+
+/// Checks whether `refined` (the extracted model, `M2`) refines `abstract_`
+/// (the hand-built model, `M1`) under the given state mapping.
+///
+/// The check is complete for split paths of up to four intermediate states,
+/// which covers the paper's examples (one intermediate state).
+pub fn check_refinement(
+    abstract_: &Fsm,
+    refined: &Fsm,
+    mapping: &StateMapping,
+) -> RefinementReport {
+    // Property 1: state mapping lands inside S2.
+    let mut unmapped_states = Vec::new();
+    let mut image_of_abstract: BTreeSet<StateName> = BTreeSet::new();
+    for s in abstract_.states() {
+        let image = mapping.image(s);
+        let missing = image.iter().any(|t| !refined.contains_state(t));
+        if image.is_empty() || missing {
+            unmapped_states.push(s.clone());
+        }
+        image_of_abstract.extend(image);
+    }
+
+    // Property 2: Σ2 ⊇ Σ1 and Γ2 ⊇ Γ1.
+    let abstract_conds: BTreeSet<_> = abstract_.conditions().cloned().collect();
+    let refined_conds: BTreeSet<_> = refined.conditions().cloned().collect();
+    let abstract_acts: BTreeSet<_> = abstract_.actions().cloned().collect();
+    let refined_acts: BTreeSet<_> = refined.actions().cloned().collect();
+    let missing_conditions: Vec<String> = abstract_conds
+        .difference(&refined_conds)
+        .map(|c| c.to_string())
+        .collect();
+    let missing_actions: Vec<String> = abstract_acts
+        .difference(&refined_acts)
+        .map(|a| a.to_string())
+        .collect();
+    let conditions_strictly_refined =
+        missing_conditions.is_empty() && refined_conds.len() > abstract_conds.len();
+    let actions_strictly_refined =
+        missing_actions.is_empty() && refined_acts.len() > abstract_acts.len();
+
+    // Property 3: transition mapping.
+    let mut transition_mappings = Vec::new();
+    for t1 in abstract_.transitions() {
+        let m = map_transition(t1, refined, mapping, &image_of_abstract);
+        transition_mappings.push((t1.clone(), m));
+    }
+
+    let all_mapped = transition_mappings
+        .iter()
+        .all(|(_, m)| !matches!(m, TransitionMapping::Unmapped));
+    let refines = unmapped_states.is_empty()
+        && missing_conditions.is_empty()
+        && missing_actions.is_empty()
+        && all_mapped;
+
+    RefinementReport {
+        refines,
+        unmapped_states,
+        missing_conditions,
+        missing_actions,
+        conditions_strictly_refined,
+        actions_strictly_refined,
+        transition_mappings,
+    }
+}
+
+fn map_transition(
+    t1: &Transition,
+    refined: &Fsm,
+    mapping: &StateMapping,
+    image_of_abstract: &BTreeSet<StateName>,
+) -> TransitionMapping {
+    let from_image = mapping.image(&t1.from);
+    let to_image = mapping.image(&t1.to);
+
+    // Cases (i) and (ii): a single refined transition between the images.
+    let mut best_condition_refined: Option<Vec<String>> = None;
+    for t2 in refined.transitions() {
+        if !from_image.contains(&t2.from) || !to_image.contains(&t2.to) {
+            continue;
+        }
+        if !t1.action.is_subset(&t2.action) {
+            continue;
+        }
+        if t2.condition == t1.condition && t2.action == t1.action {
+            return TransitionMapping::Direct;
+        }
+        if t1.condition.is_subset(&t2.condition) {
+            let extra: Vec<String> = t2
+                .condition
+                .difference(&t1.condition)
+                .map(|c| c.to_string())
+                .collect();
+            // Prefer the tightest refinement (fewest extra atoms).
+            let better = best_condition_refined
+                .as_ref()
+                .map_or(true, |prev| extra.len() < prev.len());
+            if better {
+                best_condition_refined = Some(extra);
+            }
+        }
+    }
+    if let Some(extra_conditions) = best_condition_refined {
+        return TransitionMapping::ConditionRefined { extra_conditions };
+    }
+
+    // Case (iii): a path through new intermediate states whose combined
+    // conditions/actions cover t1's.
+    for start in &from_image {
+        if let Some(via) = find_split_path(t1, refined, start, &to_image, image_of_abstract) {
+            return TransitionMapping::Split { via };
+        }
+    }
+    TransitionMapping::Unmapped
+}
+
+/// DFS for a path `start → … → (∈ to_image)` through states that are *new*
+/// in the refined model (not images of abstract states), collecting
+/// conditions/actions; succeeds when they cover `t1`'s.
+fn find_split_path(
+    t1: &Transition,
+    refined: &Fsm,
+    start: &StateName,
+    to_image: &BTreeSet<StateName>,
+    image_of_abstract: &BTreeSet<StateName>,
+) -> Option<Vec<StateName>> {
+    struct Frame<'a> {
+        state: &'a StateName,
+        via: Vec<StateName>,
+        conds: BTreeSet<crate::CondAtom>,
+        acts: BTreeSet<crate::ActionAtom>,
+    }
+    let mut stack = vec![Frame {
+        state: start,
+        via: Vec::new(),
+        conds: BTreeSet::new(),
+        acts: BTreeSet::new(),
+    }];
+    while let Some(frame) = stack.pop() {
+        for t2 in refined.outgoing(frame.state) {
+            let mut conds = frame.conds.clone();
+            conds.extend(t2.condition.iter().cloned());
+            let mut acts = frame.acts.clone();
+            acts.extend(t2.action.iter().cloned());
+            let arrived = to_image.contains(&t2.to);
+            if arrived
+                && !frame.via.is_empty()
+                && t1.condition.is_subset(&conds)
+                && t1.action.is_subset(&acts)
+            {
+                return Some(frame.via.clone());
+            }
+            let is_new_state = !image_of_abstract.contains(&t2.to);
+            if is_new_state && frame.via.len() < MAX_SPLIT_DEPTH && !frame.via.contains(&t2.to) {
+                let mut via = frame.via.clone();
+                via.push(t2.to.clone());
+                stack.push(Frame {
+                    state: path_state(refined, &t2.to),
+                    via,
+                    conds,
+                    acts,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Returns the canonical `&StateName` owned by the FSM for lifetime
+/// purposes (the state is known to exist: it came off a transition).
+fn path_state<'a>(fsm: &'a Fsm, s: &StateName) -> &'a StateName {
+    fsm.states()
+        .find(|x| *x == s)
+        .expect("state on a transition is registered in S")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transition;
+
+    /// The paper's Fig 7(i) example: LTEInspector's SMC transition vs the
+    /// extracted, condition-refined one.
+    fn lteinspector_like() -> Fsm {
+        let mut f = Fsm::new("lte");
+        f.set_initial("ue_deregistered");
+        f.add_transition(
+            Transition::build("ue_deregistered", "ue_register_initiated")
+                .when("attach_enabled")
+                .then("send_attach_request"),
+        );
+        f.add_transition(
+            Transition::build("ue_register_initiated", "ue_registered")
+                .when("security_mode_command")
+                .then("security_mode_complete"),
+        );
+        f.add_transition(
+            Transition::build("ue_dereg_initiated", "ue_deregistered")
+                .when("detach_request")
+                .then("detach_accept"),
+        );
+        f
+    }
+
+    fn prochecker_like() -> Fsm {
+        let mut f = Fsm::new("pro");
+        f.set_initial("ue_deregistered");
+        f.add_transition(
+            Transition::build("ue_deregistered", "ue_register_initiated")
+                .when("attach_enabled")
+                .then("send_attach_request"),
+        );
+        // Fig 7(i): same endpoints, stricter condition.
+        f.add_transition(
+            Transition::build("ue_register_initiated", "ue_registered")
+                .when("security_mode_command")
+                .when("ue_sequence_number=0")
+                .then("security_mode_complete"),
+        );
+        // Fig 7(ii): detach split through a new intermediate state.
+        f.add_transition(
+            Transition::build("ue_dereg_initiated", "ue_dereg_attach_needed")
+                .when("detach_request")
+                .when("switch_off=false")
+                .then("detach_accept"),
+        );
+        f.add_transition(
+            Transition::build("ue_dereg_attach_needed", "ue_deregistered")
+                .when("attach_needed")
+                .then("send_attach_request"),
+        );
+        f
+    }
+
+    #[test]
+    fn paper_fig7_refines() {
+        let report = check_refinement(
+            &lteinspector_like(),
+            &prochecker_like(),
+            &StateMapping::identity(),
+        );
+        assert!(report.refines, "report: {report:?}");
+        let (direct, refined, split, unmapped) = report.mapping_histogram();
+        assert_eq!(direct, 1);
+        assert_eq!(refined, 1);
+        assert_eq!(split, 1);
+        assert_eq!(unmapped, 0);
+        assert!(report.conditions_strictly_refined);
+    }
+
+    #[test]
+    fn split_records_intermediate_state() {
+        let report = check_refinement(
+            &lteinspector_like(),
+            &prochecker_like(),
+            &StateMapping::identity(),
+        );
+        let split = report
+            .transition_mappings
+            .iter()
+            .find_map(|(_, m)| match m {
+                TransitionMapping::Split { via } => Some(via.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(split, vec![StateName::new("ue_dereg_attach_needed")]);
+    }
+
+    #[test]
+    fn missing_condition_fails() {
+        let mut abstract_ = Fsm::new("a");
+        abstract_.add_transition(Transition::build("x", "y").when("m").then("r"));
+        let mut refined = Fsm::new("b");
+        refined.add_transition(Transition::build("x", "y").when("other").then("r"));
+        let report = check_refinement(&abstract_, &refined, &StateMapping::identity());
+        assert!(!report.refines);
+        assert_eq!(report.missing_conditions, vec!["m".to_string()]);
+    }
+
+    #[test]
+    fn unmapped_state_fails() {
+        let mut abstract_ = Fsm::new("a");
+        abstract_.add_transition(Transition::build("x", "y").when("m").then("r"));
+        abstract_.add_state("z");
+        let refined = {
+            let mut f = Fsm::new("b");
+            f.add_transition(Transition::build("x", "y").when("m").then("r"));
+            f
+        };
+        let report = check_refinement(&abstract_, &refined, &StateMapping::identity());
+        assert!(!report.refines);
+        assert_eq!(report.unmapped_states, vec![StateName::new("z")]);
+    }
+
+    #[test]
+    fn substate_mapping() {
+        let mut abstract_ = Fsm::new("a");
+        abstract_.add_transition(Transition::build("reg", "dereg").when("detach_request").then("detach_accept"));
+        let mut refined = Fsm::new("b");
+        refined.add_transition(
+            Transition::build("reg_normal_service", "dereg_normal")
+                .when("detach_request")
+                .then("detach_accept"),
+        );
+        let mut mapping = StateMapping::identity();
+        mapping.map_state("reg", ["reg_normal_service"]);
+        mapping.map_state("dereg", ["dereg_normal"]);
+        let report = check_refinement(&abstract_, &refined, &mapping);
+        assert!(report.refines, "{report:?}");
+    }
+
+    #[test]
+    fn refinement_is_reflexive() {
+        let f = lteinspector_like();
+        let report = check_refinement(&f, &f, &StateMapping::identity());
+        assert!(report.refines);
+        let (direct, _, _, _) = report.mapping_histogram();
+        assert_eq!(direct, f.transition_count());
+        assert!(!report.conditions_strictly_refined);
+    }
+
+    #[test]
+    fn action_must_be_covered() {
+        let mut abstract_ = Fsm::new("a");
+        abstract_.add_transition(Transition::build("x", "y").when("m").then("send_r"));
+        let mut refined = Fsm::new("b");
+        // Same condition but the action is dropped: not a refinement.
+        refined.add_transition(Transition::build("x", "y").when("m").then("null_action"));
+        refined.add_action("send_r"); // alphabet superset, but transition unmapped
+        let report = check_refinement(&abstract_, &refined, &StateMapping::identity());
+        assert!(!report.refines);
+        let (_, _, _, unmapped) = report.mapping_histogram();
+        assert_eq!(unmapped, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Structural statistics for FSMs, used by the model-comparison experiment
+//! (RQ2) to report how much richer the extracted model is than the
+//! hand-built LTEInspector model.
+
+use crate::Fsm;
+use serde::{Deserialize, Serialize};
+
+/// Summary counts for one FSM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FsmStats {
+    /// `|S|`.
+    pub states: usize,
+    /// `|Σ|`.
+    pub conditions: usize,
+    /// Predicate-style conditions (`name=value`) — payload-level
+    /// constraints the paper highlights as unique to extracted models.
+    pub predicate_conditions: usize,
+    /// `|Γ|`.
+    pub actions: usize,
+    /// `|T|`.
+    pub transitions: usize,
+    /// Mean number of condition atoms per transition.
+    pub mean_condition_arity: f64,
+    /// Mean out-degree over states with at least one outgoing transition.
+    pub mean_out_degree: f64,
+    /// States reachable from `s0`.
+    pub reachable_states: usize,
+}
+
+impl FsmStats {
+    /// Computes statistics for an FSM.
+    pub fn of(fsm: &Fsm) -> Self {
+        let transitions = fsm.transition_count();
+        let total_cond_atoms: usize = fsm.transitions().map(|t| t.condition.len()).sum();
+        let sources: std::collections::BTreeSet<_> = fsm.transitions().map(|t| &t.from).collect();
+        FsmStats {
+            states: fsm.states().count(),
+            conditions: fsm.conditions().count(),
+            predicate_conditions: fsm.conditions().filter(|c| !c.is_event()).count(),
+            actions: fsm.actions().count(),
+            transitions,
+            mean_condition_arity: if transitions == 0 {
+                0.0
+            } else {
+                total_cond_atoms as f64 / transitions as f64
+            },
+            mean_out_degree: if sources.is_empty() {
+                0.0
+            } else {
+                transitions as f64 / sources.len() as f64
+            },
+            reachable_states: fsm.reachable_states().len(),
+        }
+    }
+}
+
+impl std::fmt::Display for FsmStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|S|={} |Σ|={} ({} predicates) |Γ|={} |T|={} cond-arity={:.2} out-degree={:.2} reachable={}",
+            self.states,
+            self.conditions,
+            self.predicate_conditions,
+            self.actions,
+            self.transitions,
+            self.mean_condition_arity,
+            self.mean_out_degree,
+            self.reachable_states,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Transition;
+
+    #[test]
+    fn stats_counts() {
+        let mut f = Fsm::new("ue");
+        f.set_initial("a");
+        f.add_transition(Transition::build("a", "b").when("m").when("x=1").then("r"));
+        f.add_transition(Transition::build("b", "a").when("n").then("s"));
+        let st = FsmStats::of(&f);
+        assert_eq!(st.states, 2);
+        assert_eq!(st.conditions, 3);
+        assert_eq!(st.predicate_conditions, 1);
+        assert_eq!(st.actions, 2);
+        assert_eq!(st.transitions, 2);
+        assert!((st.mean_condition_arity - 1.5).abs() < 1e-9);
+        assert!((st.mean_out_degree - 1.0).abs() < 1e-9);
+        assert_eq!(st.reachable_states, 2);
+    }
+
+    #[test]
+    fn empty_fsm_stats() {
+        let st = FsmStats::of(&Fsm::new("x"));
+        assert_eq!(st.states, 0);
+        assert_eq!(st.mean_condition_arity, 0.0);
+        assert_eq!(st.mean_out_degree, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut f = Fsm::new("ue");
+        f.add_transition(Transition::build("a", "b").when("m").then("r"));
+        let s = FsmStats::of(&f).to_string();
+        assert!(s.contains("|S|=2"));
+        assert!(s.contains("|T|=1"));
+    }
+}

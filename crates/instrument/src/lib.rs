@@ -1,0 +1,43 @@
+//! Code instrumentation for the ProChecker reproduction (paper §IV-A(1–2)).
+//!
+//! ProChecker's model extraction consumes an *information-rich log*: the
+//! values of global variables at each function's entry and exit, the values
+//! of local variables right before a function returns, and function
+//! entrance/exit markers. The paper obtains this log by automatically
+//! instrumenting the C++ source of the NAS layer with print statements and
+//! running the conformance test suite.
+//!
+//! This crate provides both halves of that story:
+//!
+//! * [`record`] — the log record model and its textual form, plus parsing
+//!   (the contract between the stacks/instrumentor and the extractor);
+//! * [`sink`] — instrumentation sinks: the simulated Rust protocol stacks
+//!   in `procheck-stack` call [`sink::Instrumentation`] hooks at exactly
+//!   the points the paper's source instrumentation prints;
+//! * [`source`] — a source-level instrumentor for C-like code that inserts
+//!   the print statements of the paper's Figure 3 (kept for fidelity and
+//!   used by the `running_example` binary).
+//!
+//! # Example
+//!
+//! ```
+//! use procheck_instrument::record::LogRecord;
+//! use procheck_instrument::sink::Recorder;
+//! use procheck_instrument::sink::Instrumentation;
+//!
+//! let rec = Recorder::new();
+//! rec.enter("recv_attach_accept");
+//! rec.global("emm_state", "EMM_REGISTERED_INITIATED");
+//! rec.local("mac_valid", "true");
+//! rec.exit("recv_attach_accept");
+//! let log = rec.take();
+//! assert_eq!(log.len(), 4);
+//! assert!(matches!(&log[0], LogRecord::FunctionEnter { name } if name == "recv_attach_accept"));
+//! ```
+
+pub mod record;
+pub mod sink;
+pub mod source;
+
+pub use record::{parse_log, LogRecord};
+pub use sink::{Instrumentation, NullInstrumentation, Recorder};

@@ -1,0 +1,243 @@
+//! Log records and the textual log format.
+//!
+//! Each record corresponds to one instrumented print statement in the
+//! paper's Figure 3. The textual form is a stable, line-oriented format:
+//!
+//! ```text
+//! [pc] enter recv_attach_accept
+//! [pc] global emm_state=EMM_REGISTERED_INITIATED
+//! [pc] local mac_valid=true
+//! [pc] exit recv_attach_accept
+//! [pc] marker testcase=TC_ATTACH_COMPLETE
+//! ```
+//!
+//! The extractor consumes [`LogRecord`]s; [`parse_log`] recovers them from
+//! text so logs produced by the C-like source instrumentor (or saved to
+//! disk) feed the same pipeline.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Prefix on every instrumented log line.
+pub const LINE_PREFIX: &str = "[pc]";
+
+/// One entry in the information-rich log.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// Control entered a function (e.g. an incoming-message handler).
+    FunctionEnter {
+        /// The function's name as it appears in the source.
+        name: String,
+    },
+    /// Control is about to leave a function.
+    FunctionExit {
+        /// The function's name.
+        name: String,
+    },
+    /// Value of a global variable (printed at function entry and exit;
+    /// global state variables carry the protocol state, §II-D).
+    GlobalVar {
+        /// Variable name (e.g. `emm_state`).
+        name: String,
+        /// Rendered value (e.g. `EMM_REGISTERED_INITIATED`).
+        value: String,
+    },
+    /// Last value of a local variable before the function exits (carries
+    /// sanity-check results such as `mac_valid`).
+    LocalVar {
+        /// Variable name.
+        name: String,
+        /// Rendered value.
+        value: String,
+    },
+    /// Out-of-band marker (test-case boundaries, coverage notes).
+    Marker {
+        /// Marker key (e.g. `testcase`).
+        name: String,
+        /// Marker payload (e.g. the test-case id).
+        value: String,
+    },
+}
+
+impl LogRecord {
+    /// Convenience constructor for [`LogRecord::FunctionEnter`].
+    pub fn enter(name: impl Into<String>) -> Self {
+        LogRecord::FunctionEnter { name: name.into() }
+    }
+
+    /// Convenience constructor for [`LogRecord::FunctionExit`].
+    pub fn exit(name: impl Into<String>) -> Self {
+        LogRecord::FunctionExit { name: name.into() }
+    }
+
+    /// Convenience constructor for [`LogRecord::GlobalVar`].
+    pub fn global(name: impl Into<String>, value: impl Into<String>) -> Self {
+        LogRecord::GlobalVar { name: name.into(), value: value.into() }
+    }
+
+    /// Convenience constructor for [`LogRecord::LocalVar`].
+    pub fn local(name: impl Into<String>, value: impl Into<String>) -> Self {
+        LogRecord::LocalVar { name: name.into(), value: value.into() }
+    }
+
+    /// Convenience constructor for [`LogRecord::Marker`].
+    pub fn marker(name: impl Into<String>, value: impl Into<String>) -> Self {
+        LogRecord::Marker { name: name.into(), value: value.into() }
+    }
+
+    /// The function name, for enter/exit records.
+    pub fn function_name(&self) -> Option<&str> {
+        match self {
+            LogRecord::FunctionEnter { name } | LogRecord::FunctionExit { name } => Some(name),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogRecord::FunctionEnter { name } => write!(f, "{LINE_PREFIX} enter {name}"),
+            LogRecord::FunctionExit { name } => write!(f, "{LINE_PREFIX} exit {name}"),
+            LogRecord::GlobalVar { name, value } => {
+                write!(f, "{LINE_PREFIX} global {name}={value}")
+            }
+            LogRecord::LocalVar { name, value } => {
+                write!(f, "{LINE_PREFIX} local {name}={value}")
+            }
+            LogRecord::Marker { name, value } => {
+                write!(f, "{LINE_PREFIX} marker {name}={value}")
+            }
+        }
+    }
+}
+
+/// Renders a log as text, one record per line.
+pub fn render_log(log: &[LogRecord]) -> String {
+    let mut out = String::new();
+    for r in log {
+        out.push_str(&r.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a textual log back into records.
+///
+/// Lines not bearing the `[pc]` prefix are ignored — real conformance logs
+/// interleave the instrumentation output with ordinary test-framework
+/// chatter, and the extractor must tolerate that. Malformed `[pc]` lines
+/// are also skipped (robustness to truncated logs is exercised by tests).
+pub fn parse_log(text: &str) -> Vec<LogRecord> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        let Some(rest) = line.strip_prefix(LINE_PREFIX) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some((kind, arg)) = rest.split_once(' ') else {
+            continue;
+        };
+        let arg = arg.trim();
+        let rec = match kind {
+            "enter" => LogRecord::enter(arg),
+            "exit" => LogRecord::exit(arg),
+            "global" | "local" | "marker" => {
+                let Some((name, value)) = arg.split_once('=') else {
+                    continue;
+                };
+                let (name, value) = (name.trim().to_string(), value.trim().to_string());
+                match kind {
+                    "global" => LogRecord::GlobalVar { name, value },
+                    "local" => LogRecord::LocalVar { name, value },
+                    _ => LogRecord::Marker { name, value },
+                }
+            }
+            _ => continue,
+        };
+        out.push(rec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<LogRecord> {
+        vec![
+            LogRecord::marker("testcase", "TC_ATTACH_COMPLETE"),
+            LogRecord::enter("air_msg_handler"),
+            LogRecord::enter("recv_attach_accept"),
+            LogRecord::global("emm_state", "EMM_REGISTERED_INIT"),
+            LogRecord::local("mac_valid", "true"),
+            LogRecord::enter("send_attach_complete"),
+            LogRecord::exit("send_attach_complete"),
+            LogRecord::global("emm_state", "EMM_REGISTERED"),
+            LogRecord::exit("recv_attach_accept"),
+        ]
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let log = sample();
+        let text = render_log(&log);
+        assert_eq!(parse_log(&text), log);
+    }
+
+    #[test]
+    fn non_instrumented_lines_ignored() {
+        let text = "\
+INFO: test framework starting
+[pc] enter recv_attach_accept
+random stderr noise
+[pc] global emm_state=EMM_REGISTERED
+";
+        let log = parse_log(text);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn malformed_pc_lines_skipped() {
+        let text = "\
+[pc] enter
+[pc] global no_equals_sign
+[pc] unknownkind x
+[pc] local ok=1
+";
+        let log = parse_log(text);
+        assert_eq!(log, vec![LogRecord::local("ok", "1")]);
+    }
+
+    #[test]
+    fn values_may_contain_equals() {
+        let text = "[pc] local expr=a=b";
+        assert_eq!(parse_log(text), vec![LogRecord::local("expr", "a=b")]);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let text = "   [pc]  global   emm_state = EMM_NULL  ";
+        assert_eq!(parse_log(text), vec![LogRecord::global("emm_state", "EMM_NULL")]);
+    }
+
+    #[test]
+    fn function_name_accessor() {
+        assert_eq!(LogRecord::enter("f").function_name(), Some("f"));
+        assert_eq!(LogRecord::exit("g").function_name(), Some("g"));
+        assert_eq!(LogRecord::global("a", "b").function_name(), None);
+    }
+
+    #[test]
+    fn display_format_matches_paper_style() {
+        assert_eq!(
+            LogRecord::enter("recv_attach_accept").to_string(),
+            "[pc] enter recv_attach_accept"
+        );
+        assert_eq!(
+            LogRecord::global("emm_state", "EMM_REGISTERED").to_string(),
+            "[pc] global emm_state=EMM_REGISTERED"
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! Source-level instrumentor for C-like code (paper §IV-A(2), Fig 3).
+//!
+//! The paper's tool "takes the code directory of the specific protocol
+//! layer as input, and instruments the code with print statements for
+//! function entrance, global and local variables", leveraging standard
+//! C/C++ coding practice: globals declared in header files, locals declared
+//! in the first basic block of each function.
+//!
+//! This module reproduces that tool for a C-like source dialect. It is a
+//! line-oriented, brace-counting transformer — deliberately requiring *no
+//! knowledge of the implementation* beyond the coding conventions above,
+//! exactly as the paper argues. It powers the `running_example` and the
+//! instrumentor unit tests; the Rust protocol stacks use the equivalent
+//! runtime hooks in [`crate::sink`] instead.
+
+use std::collections::BTreeSet;
+
+/// Options controlling the instrumentation pass.
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentOptions {
+    /// Names of global state variables (normally harvested from headers
+    /// with [`extract_globals_from_header`]).
+    pub globals: Vec<String>,
+}
+
+/// Result of instrumenting one source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrumentedSource {
+    /// The transformed source text.
+    pub text: String,
+    /// Functions that were instrumented, in order of appearance.
+    pub functions: Vec<String>,
+    /// Total number of print statements inserted.
+    pub inserted_statements: usize,
+}
+
+/// Harvests global variable names from a C-like header: top-level
+/// declarations of the form `type name;` or `type name = init;`.
+pub fn extract_globals_from_header(header: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    for line in header.lines() {
+        let trimmed = line.trim();
+        if depth == 0
+            && trimmed.ends_with(';')
+            && !trimmed.contains('(')
+            && !trimmed.starts_with("#")
+            && !trimmed.starts_with("typedef")
+            && !trimmed.starts_with("extern \"C\"")
+            && !trimmed.starts_with("//")
+        {
+            let decl = trimmed.trim_end_matches(';');
+            let decl = decl.split('=').next().unwrap_or(decl).trim();
+            if let Some(name) = decl.split_whitespace().last() {
+                let name = name.trim_start_matches('*');
+                if is_identifier(name) && decl.split_whitespace().count() >= 2 {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        depth += trimmed.matches('{').count() as i32;
+        depth -= trimmed.matches('}').count() as i32;
+    }
+    out
+}
+
+fn is_identifier(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// C keywords that look like function calls at statement heads.
+const CONTROL_KEYWORDS: &[&str] = &["if", "else", "while", "for", "switch", "return", "sizeof"];
+
+/// Attempts to parse a line as a function-definition head, returning the
+/// function name. Requires an identifier immediately before `(` that is
+/// not a control keyword, and at least one token (the return type) before
+/// the identifier.
+fn function_name_of(line: &str) -> Option<String> {
+    let open = line.find('(')?;
+    let head = &line[..open];
+    let mut toks = head.split_whitespace().collect::<Vec<_>>();
+    let name = toks.pop()?.trim_start_matches('*');
+    if toks.is_empty() || !is_identifier(name) || CONTROL_KEYWORDS.contains(&name) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Parses local declarations of the form `type name;` / `type name = …;`
+/// from a statement line inside a function body.
+fn local_decl_of(line: &str) -> Option<String> {
+    let trimmed = line.trim();
+    if !trimmed.ends_with(';') {
+        return None;
+    }
+    let decl = trimmed.trim_end_matches(';');
+    let lhs = decl.split('=').next().unwrap_or(decl).trim();
+    if lhs.contains('(') {
+        return None;
+    }
+    let toks: Vec<&str> = lhs.split_whitespace().collect();
+    if toks.len() < 2 {
+        return None;
+    }
+    let name = toks.last().unwrap().trim_start_matches('*');
+    let ty = toks[0];
+    const TYPES: &[&str] = &[
+        "int", "bool", "char", "short", "long", "unsigned", "uint8_t", "uint16_t", "uint32_t",
+        "uint64_t", "size_t", "status_t",
+    ];
+    if TYPES.contains(&ty) && is_identifier(name) {
+        Some(name.to_string())
+    } else {
+        None
+    }
+}
+
+fn print_enter(indent: &str, func: &str) -> String {
+    format!("{indent}printf(\"[pc] enter {func}\\n\");")
+}
+
+fn print_exit(indent: &str, func: &str) -> String {
+    format!("{indent}printf(\"[pc] exit {func}\\n\");")
+}
+
+fn print_global(indent: &str, name: &str) -> String {
+    format!("{indent}printf(\"[pc] global {name}=%d\\n\", {name});")
+}
+
+fn print_local(indent: &str, name: &str) -> String {
+    format!("{indent}printf(\"[pc] local {name}=%d\\n\", {name});")
+}
+
+fn indent_of(line: &str) -> String {
+    line.chars().take_while(|c| c.is_whitespace()).collect()
+}
+
+/// Instruments a C-like source file.
+///
+/// Inserted statements per function:
+/// * after the opening brace — `enter` marker and one `global` dump per
+///   configured global;
+/// * before every `return` and before the closing brace — one `local` dump
+///   per local declared in the function (first basic block convention),
+///   one `global` dump per global, and the `exit` marker.
+pub fn instrument_source(source: &str, options: &InstrumentOptions) -> InstrumentedSource {
+    let mut out: Vec<String> = Vec::new();
+    let mut functions = Vec::new();
+    let mut inserted = 0usize;
+
+    let mut depth = 0i32;
+    let mut current: Option<String> = None; // current function name
+    let mut locals: BTreeSet<String> = BTreeSet::new();
+    let mut pending_fn: Option<String> = None; // signature seen, waiting for '{'
+
+    let lines: Vec<&str> = source.lines().collect();
+    for raw in &lines {
+        let line = *raw;
+        let trimmed = line.trim();
+        let opens = trimmed.matches('{').count() as i32;
+        let closes = trimmed.matches('}').count() as i32;
+
+        // Function-head detection (only at top level).
+        if depth == 0 && current.is_none() {
+            if let Some(name) = function_name_of(trimmed) {
+                if trimmed.ends_with('{') || trimmed.ends_with(") {") {
+                    // `ret name(args) {` on one line.
+                    out.push(line.to_string());
+                    depth += opens - closes;
+                    current = Some(name.clone());
+                    functions.push(name.clone());
+                    locals.clear();
+                    let ind = format!("{}    ", indent_of(line));
+                    out.push(print_enter(&ind, &name));
+                    inserted += 1;
+                    for g in &options.globals {
+                        out.push(print_global(&ind, g));
+                        inserted += 1;
+                    }
+                    continue;
+                } else if !trimmed.ends_with(';') {
+                    pending_fn = Some(name);
+                    out.push(line.to_string());
+                    continue;
+                }
+            }
+        }
+
+        // Opening brace on its own line after a pending signature.
+        if let Some(name) = pending_fn.take() {
+            if trimmed.starts_with('{') {
+                out.push(line.to_string());
+                depth += opens - closes;
+                current = Some(name.clone());
+                functions.push(name.clone());
+                locals.clear();
+                let ind = format!("{}    ", indent_of(line));
+                out.push(print_enter(&ind, &name));
+                inserted += 1;
+                for g in &options.globals {
+                    out.push(print_global(&ind, g));
+                    inserted += 1;
+                }
+                continue;
+            }
+            // Not a function body after all (e.g. a prototype split oddly).
+        }
+
+        if let Some(func) = current.clone() {
+            // Record local declarations (first-basic-block convention: we
+            // accept them anywhere at depth 1, a superset that matches the
+            // paper's simple instrumentor).
+            if depth == 1 {
+                if let Some(name) = local_decl_of(trimmed) {
+                    locals.insert(name);
+                }
+            }
+
+            let is_return = trimmed.starts_with("return");
+            let closes_function = depth + opens - closes == 0 && closes > 0;
+
+            if is_return || closes_function {
+                let ind = if is_return {
+                    indent_of(line)
+                } else {
+                    format!("{}    ", indent_of(line))
+                };
+                for l in &locals {
+                    out.push(print_local(&ind, l));
+                    inserted += 1;
+                }
+                for g in &options.globals {
+                    out.push(print_global(&ind, g));
+                    inserted += 1;
+                }
+                out.push(print_exit(&ind, &func));
+                inserted += 1;
+            }
+
+            out.push(line.to_string());
+            depth += opens - closes;
+            if depth == 0 {
+                current = None;
+            }
+            continue;
+        }
+
+        out.push(line.to_string());
+        depth += opens - closes;
+    }
+
+    InstrumentedSource {
+        text: out.join("\n") + "\n",
+        functions,
+        inserted_statements: inserted,
+    }
+}
+
+/// The paper's Figure 3 example source (simplified UE-side attach-accept
+/// handling), bundled so the running example and tests can regenerate the
+/// figure.
+pub const FIG3_HEADER: &str = "\
+// nas_globals.h
+int emm_state;
+int guti;
+";
+
+/// Figure 3 example implementation body (see [`FIG3_HEADER`]).
+pub const FIG3_SOURCE: &str = "\
+void air_msg_handler(msg_t m) {
+    int msg_type = parse_type(m);
+    if (msg_type == ATTACH_ACCEPT) {
+        recv_attach_accept(m);
+    }
+}
+
+void recv_attach_accept(msg_t m) {
+    int mac_valid = check_mac(m);
+    if (mac_valid == 0) {
+        return;
+    }
+    emm_state = EMM_REGISTERED;
+    send_attach_complete(m);
+}
+
+void send_attach_complete(msg_t m) {
+    int status = transmit(build_attach_complete(m));
+}
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harvests_globals_from_header() {
+        assert_eq!(extract_globals_from_header(FIG3_HEADER), vec!["emm_state", "guti"]);
+    }
+
+    #[test]
+    fn header_parser_skips_functions_and_directives() {
+        let header = "\
+#include <stdio.h>
+typedef int state_t;
+int get_state(void);
+// int commented_out;
+state_t current_state;
+struct ctx {
+    int inner_field;
+};
+";
+        assert_eq!(extract_globals_from_header(header), vec!["current_state"]);
+    }
+
+    #[test]
+    fn instruments_fig3_functions() {
+        let opts = InstrumentOptions {
+            globals: extract_globals_from_header(FIG3_HEADER),
+        };
+        let result = instrument_source(FIG3_SOURCE, &opts);
+        assert_eq!(
+            result.functions,
+            vec!["air_msg_handler", "recv_attach_accept", "send_attach_complete"]
+        );
+        // Every function gets an enter marker...
+        for f in &result.functions {
+            assert!(
+                result.text.contains(&format!("[pc] enter {f}")),
+                "missing enter for {f} in:\n{}",
+                result.text
+            );
+            assert!(result.text.contains(&format!("[pc] exit {f}")));
+        }
+        // ...and global dumps at entry.
+        assert!(result.text.contains("[pc] global emm_state=%d"));
+    }
+
+    #[test]
+    fn locals_dumped_before_exit() {
+        let opts = InstrumentOptions {
+            globals: vec!["emm_state".into()],
+        };
+        let result = instrument_source(FIG3_SOURCE, &opts);
+        // `mac_valid` is a local of recv_attach_accept; it must be printed
+        // before both the early return and the closing brace.
+        let count = result.text.matches("[pc] local mac_valid=%d").count();
+        assert_eq!(count, 2, "text:\n{}", result.text);
+    }
+
+    #[test]
+    fn early_return_instrumented() {
+        let src = "\
+int handler(int x) {
+    int ok = check(x);
+    if (ok == 0) {
+        return 0;
+    }
+    return 1;
+}
+";
+        let result = instrument_source(src, &InstrumentOptions::default());
+        // Two returns -> two exit markers (no closing-brace exit because the
+        // last statement is a return... the brace still adds one).
+        let exits = result.text.matches("[pc] exit handler").count();
+        assert!(exits >= 2, "text:\n{}", result.text);
+        // Exit print appears before each return line.
+        let lines: Vec<&str> = result.text.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if l.trim().starts_with("return") {
+                assert!(lines[i - 1].contains("[pc] exit handler"));
+            }
+        }
+    }
+
+    #[test]
+    fn control_keywords_not_mistaken_for_functions() {
+        let src = "\
+void f(void) {
+    if (x) {
+        g();
+    }
+    while (y) {
+        h();
+    }
+}
+";
+        let result = instrument_source(src, &InstrumentOptions::default());
+        assert_eq!(result.functions, vec!["f"]);
+    }
+
+    #[test]
+    fn brace_on_next_line_supported() {
+        let src = "\
+int handler(int x)
+{
+    return x;
+}
+";
+        let result = instrument_source(src, &InstrumentOptions::default());
+        assert_eq!(result.functions, vec!["handler"]);
+        assert!(result.text.contains("[pc] enter handler"));
+    }
+
+    #[test]
+    fn prototypes_not_instrumented() {
+        let src = "\
+int handler(int x);
+
+int handler(int x) {
+    return x;
+}
+";
+        let result = instrument_source(src, &InstrumentOptions::default());
+        assert_eq!(result.functions, vec!["handler"]);
+    }
+
+    #[test]
+    fn insertion_count_reported() {
+        let opts = InstrumentOptions {
+            globals: vec!["g".into()],
+        };
+        let src = "void f(void) {\n    return;\n}\n";
+        let result = instrument_source(src, &opts);
+        // enter + global at entry; global + exit before return; global +
+        // exit at closing brace.
+        assert_eq!(result.inserted_statements, 6, "text:\n{}", result.text);
+    }
+
+    #[test]
+    fn idempotent_function_list_on_empty_source() {
+        let result = instrument_source("", &InstrumentOptions::default());
+        assert!(result.functions.is_empty());
+        assert_eq!(result.inserted_statements, 0);
+    }
+}

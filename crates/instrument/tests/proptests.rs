@@ -1,0 +1,55 @@
+//! Property-based tests for the log format and the C-like instrumentor.
+
+use proptest::prelude::*;
+use procheck_instrument::record::{parse_log, render_log, LogRecord};
+use procheck_instrument::source::{instrument_source, InstrumentOptions};
+
+fn arb_record() -> impl Strategy<Value = LogRecord> {
+    let ident = "[a-z_][a-z0-9_]{0,12}";
+    let value = "[a-zA-Z0-9_.:-]{1,12}";
+    prop_oneof![
+        ident.prop_map(LogRecord::enter),
+        ident.prop_map(LogRecord::exit),
+        (ident, value).prop_map(|(n, v)| LogRecord::global(n, v)),
+        (ident, value).prop_map(|(n, v)| LogRecord::local(n, v)),
+        (ident, value).prop_map(|(n, v)| LogRecord::marker(n, v)),
+    ]
+}
+
+proptest! {
+    /// The textual log format round-trips arbitrary records.
+    #[test]
+    fn log_text_round_trip(log in proptest::collection::vec(arb_record(), 0..40)) {
+        prop_assert_eq!(parse_log(&render_log(&log)), log);
+    }
+
+    /// Parsing arbitrary text never panics and only ever yields records
+    /// that render back to a parseable line.
+    #[test]
+    fn parse_total(text in "\\PC{0,200}") {
+        let records = parse_log(&text);
+        let rendered = render_log(&records);
+        prop_assert_eq!(parse_log(&rendered).len(), records.len());
+    }
+
+    /// The instrumentor is idempotent on function discovery: running it
+    /// on already-instrumented output finds the same functions (print
+    /// statements do not look like function heads).
+    #[test]
+    fn instrumentor_function_discovery_stable(
+        names in proptest::collection::btree_set("[a-z][a-z0-9_]{0,8}", 1..5),
+    ) {
+        let mut src = String::new();
+        for n in &names {
+            src.push_str(&format!("int {n}(int x) {{\n    return x;\n}}\n\n"));
+        }
+        let opts = InstrumentOptions::default();
+        let first = instrument_source(&src, &opts);
+        prop_assert_eq!(
+            &first.functions,
+            &names.iter().cloned().collect::<Vec<_>>()
+        );
+        let second = instrument_source(&first.text, &opts);
+        prop_assert_eq!(&second.functions, &first.functions);
+    }
+}

@@ -1,0 +1,583 @@
+//! NAS wire format: message bodies and the security-protected PDU framing.
+//!
+//! The framing mirrors TS 24.301 §9.1: a security header type
+//! (plain `0x0`, integrity-protected `0x1`, integrity-protected and
+//! ciphered `0x2`), a 32-bit message authentication code, a NAS COUNT, and
+//! the (possibly ciphered) message body. Attack **I2** hinges on the
+//! plain-NAS `0x0` header being accepted after security activation, and
+//! **I1/I3** on how receivers treat the COUNT — so the framing is explicit
+//! here rather than abstracted away.
+
+use crate::crypto::{Autn, Auts};
+use crate::ids::{Guti, Imsi, MobileIdentity};
+use crate::messages::{AuthFailureCause, EmmCause, IdentityType, NasMessage};
+use crate::security::{EeaAlg, EiaAlg};
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from decoding NAS bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the structure was complete.
+    UnexpectedEof,
+    /// Unknown message type code.
+    UnknownMessageType(u8),
+    /// Unknown security header type.
+    UnknownSecurityHeader(u8),
+    /// A field held an invalid value.
+    InvalidField(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => f.write_str("unexpected end of NAS PDU"),
+            CodecError::UnknownMessageType(t) => write!(f, "unknown NAS message type 0x{t:02x}"),
+            CodecError::UnknownSecurityHeader(h) => {
+                write!(f, "unknown security header type 0x{h:02x}")
+            }
+            CodecError::InvalidField(name) => write!(f, "invalid value for field `{name}`"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.data.get(self.pos).ok_or(CodecError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_be_bytes([self.u8()?, self.u8()?]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes([self.u8()?, self.u8()?, self.u8()?, self.u8()?]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let mut buf = [0u8; 8];
+        for b in &mut buf {
+            *b = self.u8()?;
+        }
+        Ok(u64::from_be_bytes(buf))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.data.len() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_identity(out: &mut Vec<u8>, id: &MobileIdentity) {
+    match id {
+        MobileIdentity::Imsi(imsi) => {
+            out.push(0x01);
+            let s = imsi.as_str().as_bytes();
+            out.push(s.len() as u8);
+            out.extend_from_slice(s);
+        }
+        MobileIdentity::Guti(g) => {
+            out.push(0x02);
+            put_u32(out, g.value());
+        }
+    }
+}
+
+fn read_identity(r: &mut Reader<'_>) -> Result<MobileIdentity, CodecError> {
+    match r.u8()? {
+        0x01 => {
+            let len = r.u8()? as usize;
+            let raw = r.bytes(len)?;
+            let s = std::str::from_utf8(raw).map_err(|_| CodecError::InvalidField("imsi"))?;
+            if s.is_empty() || !s.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(CodecError::InvalidField("imsi"));
+            }
+            Ok(MobileIdentity::Imsi(Imsi::new(s)))
+        }
+        0x02 => Ok(MobileIdentity::Guti(Guti(r.u32()?))),
+        _ => Err(CodecError::InvalidField("identity tag")),
+    }
+}
+
+// TS 24.301 §9.8 message type codes (subset; paging uses a private code as
+// it is carried on RRC in reality).
+const MT_ATTACH_REQUEST: u8 = 0x41;
+const MT_ATTACH_ACCEPT: u8 = 0x42;
+const MT_ATTACH_COMPLETE: u8 = 0x43;
+const MT_ATTACH_REJECT: u8 = 0x44;
+const MT_DETACH_REQUEST: u8 = 0x45;
+const MT_DETACH_ACCEPT: u8 = 0x46;
+const MT_TAU_REQUEST: u8 = 0x48;
+const MT_TAU_ACCEPT: u8 = 0x49;
+const MT_TAU_REJECT: u8 = 0x4b;
+const MT_SERVICE_REQUEST: u8 = 0x4d;
+const MT_SERVICE_REJECT: u8 = 0x4e;
+const MT_GUTI_REALLOC_COMMAND: u8 = 0x50;
+const MT_GUTI_REALLOC_COMPLETE: u8 = 0x51;
+const MT_AUTH_REQUEST: u8 = 0x52;
+const MT_AUTH_RESPONSE: u8 = 0x53;
+const MT_AUTH_REJECT: u8 = 0x54;
+const MT_IDENTITY_REQUEST: u8 = 0x55;
+const MT_IDENTITY_RESPONSE: u8 = 0x56;
+const MT_AUTH_FAILURE: u8 = 0x5c;
+const MT_SMC: u8 = 0x5d;
+const MT_SM_COMPLETE: u8 = 0x5e;
+const MT_SM_REJECT: u8 = 0x5f;
+const MT_EMM_INFORMATION: u8 = 0x61;
+const MT_PAGING: u8 = 0x62;
+
+/// Encodes a NAS message body (no security framing).
+pub fn encode_message(msg: &NasMessage) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match msg {
+        NasMessage::AttachRequest { identity, ue_net_caps } => {
+            out.push(MT_ATTACH_REQUEST);
+            put_identity(&mut out, identity);
+            put_u16(&mut out, *ue_net_caps);
+        }
+        NasMessage::IdentityRequest { id_type } => {
+            out.push(MT_IDENTITY_REQUEST);
+            out.push(match id_type {
+                IdentityType::Imsi => 1,
+                IdentityType::Imei => 2,
+            });
+        }
+        NasMessage::IdentityResponse { identity } => {
+            out.push(MT_IDENTITY_RESPONSE);
+            put_identity(&mut out, identity);
+        }
+        NasMessage::AuthenticationRequest { rand, autn } => {
+            out.push(MT_AUTH_REQUEST);
+            put_u64(&mut out, *rand);
+            put_u64(&mut out, autn.sqn_xor_ak);
+            put_u16(&mut out, autn.amf);
+            put_u64(&mut out, autn.mac);
+        }
+        NasMessage::AuthenticationResponse { res } => {
+            out.push(MT_AUTH_RESPONSE);
+            put_u64(&mut out, *res);
+        }
+        NasMessage::AuthenticationReject => out.push(MT_AUTH_REJECT),
+        NasMessage::AuthenticationFailure { cause } => {
+            out.push(MT_AUTH_FAILURE);
+            match cause {
+                AuthFailureCause::MacFailure => out.push(20), // cause #20
+                AuthFailureCause::SyncFailure { auts } => {
+                    out.push(21); // cause #21
+                    put_u64(&mut out, auts.sqn_ms_xor_ak);
+                    put_u64(&mut out, auts.mac_s);
+                }
+            }
+        }
+        NasMessage::SecurityModeCommand { eia, eea, replayed_ue_caps } => {
+            out.push(MT_SMC);
+            out.push(eia.code());
+            out.push(eea.code());
+            put_u16(&mut out, *replayed_ue_caps);
+        }
+        NasMessage::SecurityModeComplete => out.push(MT_SM_COMPLETE),
+        NasMessage::SecurityModeReject { cause } => {
+            out.push(MT_SM_REJECT);
+            out.push(cause.code());
+        }
+        NasMessage::AttachAccept { guti, tau_timer } => {
+            out.push(MT_ATTACH_ACCEPT);
+            put_u32(&mut out, guti.value());
+            put_u16(&mut out, *tau_timer);
+        }
+        NasMessage::AttachComplete => out.push(MT_ATTACH_COMPLETE),
+        NasMessage::AttachReject { cause } => {
+            out.push(MT_ATTACH_REJECT);
+            out.push(cause.code());
+        }
+        NasMessage::DetachRequest { switch_off } => {
+            out.push(MT_DETACH_REQUEST);
+            out.push(*switch_off as u8);
+        }
+        NasMessage::DetachAccept => out.push(MT_DETACH_ACCEPT),
+        NasMessage::GutiReallocationCommand { guti } => {
+            out.push(MT_GUTI_REALLOC_COMMAND);
+            put_u32(&mut out, guti.value());
+        }
+        NasMessage::GutiReallocationComplete => out.push(MT_GUTI_REALLOC_COMPLETE),
+        NasMessage::TrackingAreaUpdateRequest => out.push(MT_TAU_REQUEST),
+        NasMessage::TrackingAreaUpdateAccept => out.push(MT_TAU_ACCEPT),
+        NasMessage::TrackingAreaUpdateReject { cause } => {
+            out.push(MT_TAU_REJECT);
+            out.push(cause.code());
+        }
+        NasMessage::ServiceRequest => out.push(MT_SERVICE_REQUEST),
+        NasMessage::ServiceReject { cause } => {
+            out.push(MT_SERVICE_REJECT);
+            out.push(cause.code());
+        }
+        NasMessage::Paging { identity } => {
+            out.push(MT_PAGING);
+            put_identity(&mut out, identity);
+        }
+        NasMessage::EmmInformation => out.push(MT_EMM_INFORMATION),
+    }
+    out
+}
+
+/// Decodes a NAS message body.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] for truncated input, unknown message types, or
+/// invalid field values. Trailing bytes are rejected ([`CodecError::InvalidField`]).
+pub fn decode_message(data: &[u8]) -> Result<NasMessage, CodecError> {
+    let mut r = Reader::new(data);
+    let msg = match r.u8()? {
+        MT_ATTACH_REQUEST => NasMessage::AttachRequest {
+            identity: read_identity(&mut r)?,
+            ue_net_caps: r.u16()?,
+        },
+        MT_IDENTITY_REQUEST => NasMessage::IdentityRequest {
+            id_type: match r.u8()? {
+                1 => IdentityType::Imsi,
+                2 => IdentityType::Imei,
+                _ => return Err(CodecError::InvalidField("identity type")),
+            },
+        },
+        MT_IDENTITY_RESPONSE => NasMessage::IdentityResponse {
+            identity: read_identity(&mut r)?,
+        },
+        MT_AUTH_REQUEST => NasMessage::AuthenticationRequest {
+            rand: r.u64()?,
+            autn: Autn {
+                sqn_xor_ak: r.u64()?,
+                amf: r.u16()?,
+                mac: r.u64()?,
+            },
+        },
+        MT_AUTH_RESPONSE => NasMessage::AuthenticationResponse { res: r.u64()? },
+        MT_AUTH_REJECT => NasMessage::AuthenticationReject,
+        MT_AUTH_FAILURE => NasMessage::AuthenticationFailure {
+            cause: match r.u8()? {
+                20 => AuthFailureCause::MacFailure,
+                21 => AuthFailureCause::SyncFailure {
+                    auts: Auts {
+                        sqn_ms_xor_ak: r.u64()?,
+                        mac_s: r.u64()?,
+                    },
+                },
+                _ => return Err(CodecError::InvalidField("auth failure cause")),
+            },
+        },
+        MT_SMC => NasMessage::SecurityModeCommand {
+            eia: EiaAlg::from_code(r.u8()?).ok_or(CodecError::InvalidField("eia"))?,
+            eea: EeaAlg::from_code(r.u8()?).ok_or(CodecError::InvalidField("eea"))?,
+            replayed_ue_caps: r.u16()?,
+        },
+        MT_SM_COMPLETE => NasMessage::SecurityModeComplete,
+        MT_SM_REJECT => NasMessage::SecurityModeReject {
+            cause: EmmCause::from_code(r.u8()?).ok_or(CodecError::InvalidField("emm cause"))?,
+        },
+        MT_ATTACH_ACCEPT => NasMessage::AttachAccept {
+            guti: Guti(r.u32()?),
+            tau_timer: r.u16()?,
+        },
+        MT_ATTACH_COMPLETE => NasMessage::AttachComplete,
+        MT_ATTACH_REJECT => NasMessage::AttachReject {
+            cause: EmmCause::from_code(r.u8()?).ok_or(CodecError::InvalidField("emm cause"))?,
+        },
+        MT_DETACH_REQUEST => NasMessage::DetachRequest {
+            switch_off: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CodecError::InvalidField("switch_off")),
+            },
+        },
+        MT_DETACH_ACCEPT => NasMessage::DetachAccept,
+        MT_GUTI_REALLOC_COMMAND => NasMessage::GutiReallocationCommand { guti: Guti(r.u32()?) },
+        MT_GUTI_REALLOC_COMPLETE => NasMessage::GutiReallocationComplete,
+        MT_TAU_REQUEST => NasMessage::TrackingAreaUpdateRequest,
+        MT_TAU_ACCEPT => NasMessage::TrackingAreaUpdateAccept,
+        MT_TAU_REJECT => NasMessage::TrackingAreaUpdateReject {
+            cause: EmmCause::from_code(r.u8()?).ok_or(CodecError::InvalidField("emm cause"))?,
+        },
+        MT_SERVICE_REQUEST => NasMessage::ServiceRequest,
+        MT_SERVICE_REJECT => NasMessage::ServiceReject {
+            cause: EmmCause::from_code(r.u8()?).ok_or(CodecError::InvalidField("emm cause"))?,
+        },
+        MT_PAGING => NasMessage::Paging {
+            identity: read_identity(&mut r)?,
+        },
+        MT_EMM_INFORMATION => NasMessage::EmmInformation,
+        other => return Err(CodecError::UnknownMessageType(other)),
+    };
+    if !r.finished() {
+        return Err(CodecError::InvalidField("trailing bytes"));
+    }
+    Ok(msg)
+}
+
+/// NAS security header type (TS 24.301 §9.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SecurityHeader {
+    /// `0x0`: plain NAS message, no security.
+    Plain,
+    /// `0x1`: integrity protected.
+    IntegrityProtected,
+    /// `0x2`: integrity protected and ciphered.
+    IntegrityProtectedCiphered,
+}
+
+impl SecurityHeader {
+    /// The header nibble value.
+    pub fn code(self) -> u8 {
+        match self {
+            SecurityHeader::Plain => 0x0,
+            SecurityHeader::IntegrityProtected => 0x1,
+            SecurityHeader::IntegrityProtectedCiphered => 0x2,
+        }
+    }
+
+    /// Parses a header nibble.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0x0 => SecurityHeader::Plain,
+            0x1 => SecurityHeader::IntegrityProtected,
+            0x2 => SecurityHeader::IntegrityProtectedCiphered,
+            _ => return None,
+        })
+    }
+
+    /// True for headers that claim integrity protection.
+    pub fn is_protected(self) -> bool {
+        !matches!(self, SecurityHeader::Plain)
+    }
+}
+
+/// A framed NAS PDU as it travels the (simulated) air interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pdu {
+    /// Security header type.
+    pub header: SecurityHeader,
+    /// Message authentication code (0 for plain PDUs).
+    pub mac: u32,
+    /// NAS COUNT of the sender (0 for plain PDUs). Real NAS carries an
+    /// 8-bit sequence number and reconstructs the 32-bit COUNT; the
+    /// simulation carries the full COUNT, which does not change the replay
+    /// logic the paper's attacks exercise.
+    pub count: u32,
+    /// The message body — ciphered when the header says so.
+    pub body: Vec<u8>,
+}
+
+impl Pdu {
+    /// Frames a plain (unprotected) message.
+    pub fn plain(msg: &NasMessage) -> Self {
+        Pdu {
+            header: SecurityHeader::Plain,
+            mac: 0,
+            count: 0,
+            body: encode_message(msg),
+        }
+    }
+
+    /// Serialises the PDU to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.body.len() + 10);
+        out.push(self.header.code());
+        if self.header.is_protected() {
+            put_u32(&mut out, self.mac);
+            put_u32(&mut out, self.count);
+        }
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a PDU from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError`] on truncation or an unknown header nibble.
+    pub fn decode(data: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(data);
+        let header = SecurityHeader::from_code(r.u8()?)
+            .ok_or_else(|| CodecError::UnknownSecurityHeader(data[0]))?;
+        let (mac, count) = if header.is_protected() {
+            (r.u32()?, r.u32()?)
+        } else {
+            (0, 0)
+        };
+        let body = r.bytes(data.len() - r.pos)?.to_vec();
+        Ok(Pdu { header, mac, count, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::{build_autn, build_auts, Key};
+
+    fn all_messages() -> Vec<NasMessage> {
+        let k = Key::new(0x42);
+        vec![
+            NasMessage::AttachRequest {
+                identity: MobileIdentity::Imsi(Imsi::new("001010123456789")),
+                ue_net_caps: 0x00ff,
+            },
+            NasMessage::AttachRequest {
+                identity: MobileIdentity::Guti(Guti(0x1234)),
+                ue_net_caps: 0,
+            },
+            NasMessage::IdentityRequest { id_type: IdentityType::Imsi },
+            NasMessage::IdentityRequest { id_type: IdentityType::Imei },
+            NasMessage::IdentityResponse {
+                identity: MobileIdentity::Imsi(Imsi::new("12345")),
+            },
+            NasMessage::AuthenticationRequest { rand: 7, autn: build_autn(k, 0x20, 7) },
+            NasMessage::AuthenticationResponse { res: 0xdead },
+            NasMessage::AuthenticationReject,
+            NasMessage::AuthenticationFailure { cause: AuthFailureCause::MacFailure },
+            NasMessage::AuthenticationFailure {
+                cause: AuthFailureCause::SyncFailure { auts: build_auts(k, 0x40, 7) },
+            },
+            NasMessage::SecurityModeCommand {
+                eia: EiaAlg::Eia2,
+                eea: EeaAlg::Eea1,
+                replayed_ue_caps: 0x00ff,
+            },
+            NasMessage::SecurityModeComplete,
+            NasMessage::SecurityModeReject { cause: EmmCause::SecurityModeRejected },
+            NasMessage::AttachAccept { guti: Guti(9), tau_timer: 54 },
+            NasMessage::AttachComplete,
+            NasMessage::AttachReject { cause: EmmCause::IllegalUe },
+            NasMessage::DetachRequest { switch_off: true },
+            NasMessage::DetachRequest { switch_off: false },
+            NasMessage::DetachAccept,
+            NasMessage::GutiReallocationCommand { guti: Guti(77) },
+            NasMessage::GutiReallocationComplete,
+            NasMessage::TrackingAreaUpdateRequest,
+            NasMessage::TrackingAreaUpdateAccept,
+            NasMessage::TrackingAreaUpdateReject { cause: EmmCause::TrackingAreaNotAllowed },
+            NasMessage::ServiceRequest,
+            NasMessage::ServiceReject { cause: EmmCause::Congestion },
+            NasMessage::Paging { identity: MobileIdentity::Guti(Guti(5)) },
+            NasMessage::Paging {
+                identity: MobileIdentity::Imsi(Imsi::new("999")),
+            },
+            NasMessage::EmmInformation,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in all_messages() {
+            let bytes = encode_message(&msg);
+            let back = decode_message(&bytes)
+                .unwrap_or_else(|e| panic!("decode {} failed: {e}", msg.message_name()));
+            assert_eq!(msg, back, "round trip for {}", msg.message_name());
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_rejected() {
+        for msg in all_messages() {
+            let bytes = encode_message(&msg);
+            for cut in 0..bytes.len() {
+                let r = decode_message(&bytes[..cut]);
+                assert!(r.is_err(), "truncated {} at {cut} decoded", msg.message_name());
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_message(&NasMessage::AttachComplete);
+        bytes.push(0xff);
+        assert_eq!(decode_message(&bytes), Err(CodecError::InvalidField("trailing bytes")));
+    }
+
+    #[test]
+    fn unknown_message_type_rejected() {
+        assert_eq!(decode_message(&[0xee]), Err(CodecError::UnknownMessageType(0xee)));
+    }
+
+    #[test]
+    fn plain_pdu_round_trip() {
+        let msg = NasMessage::ServiceRequest;
+        let pdu = Pdu::plain(&msg);
+        let back = Pdu::decode(&pdu.encode()).unwrap();
+        assert_eq!(pdu, back);
+        assert_eq!(decode_message(&back.body).unwrap(), msg);
+    }
+
+    #[test]
+    fn protected_pdu_round_trip() {
+        let pdu = Pdu {
+            header: SecurityHeader::IntegrityProtectedCiphered,
+            mac: 0xdeadbeef,
+            count: 41,
+            body: vec![1, 2, 3],
+        };
+        let back = Pdu::decode(&pdu.encode()).unwrap();
+        assert_eq!(pdu, back);
+    }
+
+    #[test]
+    fn unknown_security_header_rejected() {
+        assert_eq!(Pdu::decode(&[0x7]), Err(CodecError::UnknownSecurityHeader(0x7)));
+    }
+
+    #[test]
+    fn empty_pdu_rejected() {
+        assert_eq!(Pdu::decode(&[]), Err(CodecError::UnexpectedEof));
+    }
+
+    #[test]
+    fn invalid_imsi_digits_rejected() {
+        // Hand-craft an identity with a letter in the IMSI.
+        let bytes = vec![MT_IDENTITY_RESPONSE, 0x01, 2, b'1', b'a'];
+        assert_eq!(decode_message(&bytes), Err(CodecError::InvalidField("imsi")));
+    }
+
+    #[test]
+    fn security_header_codes() {
+        for h in [
+            SecurityHeader::Plain,
+            SecurityHeader::IntegrityProtected,
+            SecurityHeader::IntegrityProtectedCiphered,
+        ] {
+            assert_eq!(SecurityHeader::from_code(h.code()), Some(h));
+        }
+        assert_eq!(SecurityHeader::from_code(0xf), None);
+        assert!(!SecurityHeader::Plain.is_protected());
+        assert!(SecurityHeader::IntegrityProtected.is_protected());
+    }
+}

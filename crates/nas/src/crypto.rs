@@ -1,0 +1,273 @@
+//! Toy cryptographic primitives with faithful *structure*.
+//!
+//! ProChecker's extracted model "abstracts out all cryptographic
+//! assumptions" (§III-E) — what matters for logical-vulnerability detection
+//! is which fields are MAC'd/encrypted under which keys, and what the
+//! Dolev–Yao adversary can consequently derive. These primitives therefore
+//! mirror the LTE key hierarchy and the AKA `f1..f5` interface exactly,
+//! while the underlying mixing function is a small 64-bit permutation
+//! (SplitMix64) rather than a real cipher. See DESIGN.md §2 for the
+//! substitution rationale.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 64-bit symmetric key. Real LTE keys are 128/256-bit; the width is a
+/// simulation parameter and does not affect the protocol logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Key(u64);
+
+impl Key {
+    /// Creates a key from raw material.
+    pub fn new(material: u64) -> Self {
+        Key(material)
+    }
+
+    /// The raw key material (used only by the test suite and the DY term
+    /// mapping, never leaked onto the simulated air interface).
+    pub fn material(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key-{:016x}", self.0)
+    }
+}
+
+/// SplitMix64 finalizer — the core mixing permutation for all primitives.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Keyed hash over a byte string (the basis of the NAS MAC).
+fn keyed_hash(key: Key, data: &[u8]) -> u64 {
+    let mut acc = mix64(key.0 ^ 0x6c62_272e_07bb_0142);
+    for chunk in data.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        acc = mix64(acc ^ u64::from_le_bytes(word));
+    }
+    mix64(acc ^ (data.len() as u64))
+}
+
+/// 32-bit message authentication code over `data` under `key`
+/// (the NAS-MAC / EIA role).
+pub fn mac(key: Key, data: &[u8]) -> u32 {
+    (keyed_hash(key, data) & 0xffff_ffff) as u32
+}
+
+/// Key derivation: derives a sub-key from `key` bound to a textual label
+/// and a numeric context (the KDF role, e.g. `KASME → K_NASint`).
+pub fn kdf(key: Key, label: &str, context: u64) -> Key {
+    Key(keyed_hash(key, label.as_bytes()) ^ mix64(context))
+}
+
+/// Generates a keystream block for NAS ciphering (the EEA role): the
+/// stream depends on the key, the NAS COUNT and the direction — as in LTE.
+fn keystream_byte(key: Key, count: u32, direction: u8, index: usize) -> u8 {
+    let word = mix64(key.0 ^ ((count as u64) << 8) ^ (direction as u64) ^ ((index as u64 / 8) << 40));
+    word.to_le_bytes()[index % 8]
+}
+
+/// Encrypts (or decrypts — XOR stream) `data` in place.
+pub fn apply_cipher(key: Key, count: u32, direction: u8, data: &mut [u8]) {
+    for (i, b) in data.iter_mut().enumerate() {
+        *b ^= keystream_byte(key, count, direction, i);
+    }
+}
+
+/// Uplink direction constant for [`apply_cipher`] / MAC binding.
+pub const DIR_UPLINK: u8 = 0;
+/// Downlink direction constant.
+pub const DIR_DOWNLINK: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// AKA f1..f5 (TS 33.102 interface, toy realisation)
+// ---------------------------------------------------------------------------
+
+/// `f1`: network authentication MAC over `(SQN, RAND, AMF)`.
+pub fn f1(k: Key, sqn: u64, rand: u64, amf: u16) -> u64 {
+    keyed_hash(k, &[sqn.to_le_bytes(), rand.to_le_bytes(), (amf as u64).to_le_bytes()].concat())
+}
+
+/// `f2`: expected response `RES` to challenge `RAND`.
+pub fn f2(k: Key, rand: u64) -> u64 {
+    keyed_hash(k, &rand.to_le_bytes()) ^ 0xf2
+}
+
+/// `f3`: cipher key `CK`.
+pub fn f3(k: Key, rand: u64) -> Key {
+    Key(keyed_hash(k, &rand.to_le_bytes()) ^ 0xf3)
+}
+
+/// `f4`: integrity key `IK`.
+pub fn f4(k: Key, rand: u64) -> Key {
+    Key(keyed_hash(k, &rand.to_le_bytes()) ^ 0xf4)
+}
+
+/// `f5`: anonymity key `AK` used to conceal the SQN in the AUTN.
+pub fn f5(k: Key, rand: u64) -> u64 {
+    keyed_hash(k, &rand.to_le_bytes()) ^ 0xf5
+}
+
+/// `f1*`: resynchronisation MAC (used in AUTS).
+pub fn f1_star(k: Key, sqn: u64, rand: u64) -> u64 {
+    keyed_hash(
+        k,
+        &[sqn.to_le_bytes(), rand.to_le_bytes(), *b"resync\0\0"].concat(),
+    )
+}
+
+/// `f5*`: resynchronisation anonymity key.
+pub fn f5_star(k: Key, rand: u64) -> u64 {
+    keyed_hash(k, &rand.to_le_bytes()) ^ 0x5f
+}
+
+/// The AUTN token carried in an `authentication_request`:
+/// `AUTN = (SQN ⊕ AK) ‖ AMF ‖ MAC` (TS 33.102).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Autn {
+    /// `SQN ⊕ AK` — the concealed sequence number.
+    pub sqn_xor_ak: u64,
+    /// Authentication management field.
+    pub amf: u16,
+    /// `f1(K, SQN, RAND, AMF)`.
+    pub mac: u64,
+}
+
+/// Builds a fresh AUTN for a challenge (the HSS/MME side of AKA).
+pub fn build_autn(k: Key, sqn: u64, rand: u64) -> Autn {
+    let ak = f5(k, rand);
+    Autn {
+        sqn_xor_ak: sqn ^ ak,
+        amf: 0x8000,
+        mac: f1(k, sqn, rand, 0x8000),
+    }
+}
+
+/// The AUTS token in an `authentication_failure (synch failure)`:
+/// `AUTS = (SQN_MS ⊕ AK*) ‖ MAC-S`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Auts {
+    /// `SQN_MS ⊕ AK*` — the USIM's highest accepted SQN, concealed.
+    pub sqn_ms_xor_ak: u64,
+    /// `f1*(K, SQN_MS, RAND)`.
+    pub mac_s: u64,
+}
+
+/// Builds an AUTS resynchronisation token (the USIM side).
+pub fn build_auts(k: Key, sqn_ms: u64, rand: u64) -> Auts {
+    Auts {
+        sqn_ms_xor_ak: sqn_ms ^ f5_star(k, rand),
+        mac_s: f1_star(k, sqn_ms, rand),
+    }
+}
+
+/// Derives `KASME` from `CK`/`IK` (simplified: one KDF step).
+pub fn derive_kasme(ck: Key, ik: Key) -> Key {
+    kdf(Key(ck.0 ^ ik.0.rotate_left(32)), "kasme", 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K: Key = Key(0x0123_4567_89ab_cdef);
+
+    #[test]
+    fn mac_is_deterministic_and_key_sensitive() {
+        let m1 = mac(K, b"attach_accept");
+        let m2 = mac(K, b"attach_accept");
+        assert_eq!(m1, m2);
+        assert_ne!(m1, mac(Key(K.0 ^ 1), b"attach_accept"));
+        assert_ne!(m1, mac(K, b"attach_reject"));
+    }
+
+    #[test]
+    fn mac_sensitive_to_length_extension() {
+        assert_ne!(mac(K, b"ab"), mac(K, b"ab\0"));
+    }
+
+    #[test]
+    fn cipher_round_trips() {
+        let mut data = b"security_mode_command".to_vec();
+        let original = data.clone();
+        apply_cipher(K, 7, DIR_DOWNLINK, &mut data);
+        assert_ne!(data, original);
+        apply_cipher(K, 7, DIR_DOWNLINK, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn cipher_depends_on_count_and_direction() {
+        let mut a = b"payload".to_vec();
+        let mut b = b"payload".to_vec();
+        let mut c = b"payload".to_vec();
+        apply_cipher(K, 1, DIR_DOWNLINK, &mut a);
+        apply_cipher(K, 2, DIR_DOWNLINK, &mut b);
+        apply_cipher(K, 1, DIR_UPLINK, &mut c);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kdf_separates_labels() {
+        let int = kdf(K, "nas-int", 0);
+        let enc = kdf(K, "nas-enc", 0);
+        assert_ne!(int, enc);
+        assert_ne!(int, K);
+    }
+
+    #[test]
+    fn aka_round_trip() {
+        let sqn = 0x20; // SEQ=1, IND=0 with 5 IND bits
+        let rand = 0xcafe;
+        let autn = build_autn(K, sqn, rand);
+        // The USIM recovers the SQN via f5 and checks f1.
+        let ak = f5(K, rand);
+        let recovered = autn.sqn_xor_ak ^ ak;
+        assert_eq!(recovered, sqn);
+        assert_eq!(autn.mac, f1(K, recovered, rand, autn.amf));
+    }
+
+    #[test]
+    fn autn_mac_fails_under_wrong_key() {
+        let autn = build_autn(K, 0x20, 0xcafe);
+        let wrong = Key(K.0 ^ 0xff);
+        let recovered = autn.sqn_xor_ak ^ f5(wrong, 0xcafe);
+        assert_ne!(autn.mac, f1(wrong, recovered, 0xcafe, autn.amf));
+    }
+
+    #[test]
+    fn auts_round_trip() {
+        let sqn_ms = 0x41;
+        let rand = 0xbeef;
+        let auts = build_auts(K, sqn_ms, rand);
+        let recovered = auts.sqn_ms_xor_ak ^ f5_star(K, rand);
+        assert_eq!(recovered, sqn_ms);
+        assert_eq!(auts.mac_s, f1_star(K, sqn_ms, rand));
+    }
+
+    #[test]
+    fn session_keys_differ_per_rand() {
+        let k1 = derive_kasme(f3(K, 1), f4(K, 1));
+        let k2 = derive_kasme(f3(K, 2), f4(K, 2));
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn f_functions_are_distinct() {
+        let rand = 99;
+        let outs = [f2(K, rand), f3(K, rand).material(), f4(K, rand).material(), f5(K, rand)];
+        for i in 0..outs.len() {
+            for j in i + 1..outs.len() {
+                assert_ne!(outs[i], outs[j], "f outputs {i} and {j} collide");
+            }
+        }
+    }
+}

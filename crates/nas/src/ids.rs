@@ -1,0 +1,121 @@
+//! Subscriber and temporary identities.
+//!
+//! The IMSI is the permanent identity stored on the SIM; the GUTI is the
+//! globally-unique *temporary* identifier the MME assigns after attach to
+//! limit IMSI exposure (§II-B). Several of the paper's privacy findings
+//! (P3's GUTI-reallocation denial, I5's IMSI leak) revolve around when each
+//! identity crosses the air interface.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// International Mobile Subscriber Identity — the permanent identity.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Imsi(String);
+
+impl Imsi {
+    /// Creates an IMSI from its decimal-digit string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digits` is empty or contains non-digit characters —
+    /// IMSIs are configuration data, so malformed values are programmer
+    /// error.
+    pub fn new(digits: impl AsRef<str>) -> Self {
+        let d = digits.as_ref();
+        assert!(
+            !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()),
+            "IMSI must be a non-empty digit string, got {d:?}"
+        );
+        Imsi(d.to_string())
+    }
+
+    /// The digit string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Imsi {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Globally Unique Temporary Identifier assigned by the MME.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Guti(pub u32);
+
+impl Guti {
+    /// The raw 32-bit value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Guti {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "guti-{:08x}", self.0)
+    }
+}
+
+/// Identity carried in a paging message or identity response: either the
+/// permanent IMSI or a temporary GUTI.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MobileIdentity {
+    /// Permanent identity (privacy-sensitive on the air interface).
+    Imsi(Imsi),
+    /// Temporary identity.
+    Guti(Guti),
+}
+
+impl MobileIdentity {
+    /// True if this identity exposes the permanent IMSI.
+    pub fn is_permanent(&self) -> bool {
+        matches!(self, MobileIdentity::Imsi(_))
+    }
+}
+
+impl fmt::Display for MobileIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobileIdentity::Imsi(i) => write!(f, "imsi:{i}"),
+            MobileIdentity::Guti(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imsi_accepts_digits() {
+        let i = Imsi::new("001010123456789");
+        assert_eq!(i.as_str(), "001010123456789");
+        assert_eq!(i.to_string(), "001010123456789");
+    }
+
+    #[test]
+    #[should_panic(expected = "digit string")]
+    fn imsi_rejects_letters() {
+        let _ = Imsi::new("00101a");
+    }
+
+    #[test]
+    #[should_panic(expected = "digit string")]
+    fn imsi_rejects_empty() {
+        let _ = Imsi::new("");
+    }
+
+    #[test]
+    fn identity_permanence() {
+        assert!(MobileIdentity::Imsi(Imsi::new("1")).is_permanent());
+        assert!(!MobileIdentity::Guti(Guti(7)).is_permanent());
+    }
+
+    #[test]
+    fn guti_display() {
+        assert_eq!(Guti(0xdeadbeef).to_string(), "guti-deadbeef");
+    }
+}

@@ -1,0 +1,52 @@
+//! 4G LTE NAS-layer substrate for the ProChecker reproduction.
+//!
+//! The paper analyses the Non-Access Stratum (NAS) control plane of 4G LTE
+//! implementations (§II-B). This crate provides everything the simulated
+//! protocol stacks in `procheck-stack` need:
+//!
+//! * [`messages`] — the NAS message vocabulary (attach, authentication,
+//!   security-mode, GUTI reallocation, TAU, paging, detach, …) with the
+//!   standard message names used for signature mapping;
+//! * [`codec`] — a compact wire format with the NAS security header
+//!   (plain / integrity-protected / integrity-protected-and-ciphered),
+//!   message authentication code, and sequence number;
+//! * [`crypto`] — *toy* cryptographic primitives (keyed MAC, stream cipher,
+//!   KDF, and the AKA `f1..f5` functions). These are simulations: bit-level
+//!   strength is irrelevant to logical-vulnerability detection, but the key
+//!   structure (what is MAC'd/encrypted under which key) is faithful;
+//! * [`sqn`] — the TS 33.102 Annex C sequence-number scheme
+//!   (`SQN = SEQ ‖ IND`, the USIM's `SQN_array` of `2^IND` entries, and the
+//!   *optional* freshness limit `L`) — the root cause of attacks P1/P2;
+//! * [`usim`] — the USIM model performing AKA verification;
+//! * [`security`] — the NAS security context (key hierarchy, NAS COUNTs,
+//!   algorithm identifiers, replay window).
+//!
+//! # Example
+//!
+//! ```
+//! use procheck_nas::crypto::{self, Key};
+//! use procheck_nas::usim::{AkaOutcome, Usim};
+//! use procheck_nas::sqn::{SqnConfig, SqnGenerator};
+//!
+//! let k = Key::new(0x1234_5678_9abc_def0);
+//! let cfg = SqnConfig::default();
+//! let mut usim = Usim::new("001010123456789", k, cfg);
+//! let mut gen = SqnGenerator::new(cfg);
+//!
+//! // Network generates a challenge; the USIM accepts it.
+//! let sqn = gen.next_sqn();
+//! let rand = 42;
+//! let autn = crypto::build_autn(k, sqn, rand);
+//! assert!(matches!(usim.process_authentication(rand, &autn), AkaOutcome::Success { .. }));
+//! ```
+
+pub mod codec;
+pub mod crypto;
+pub mod ids;
+pub mod messages;
+pub mod security;
+pub mod sqn;
+pub mod usim;
+
+pub use ids::{Guti, Imsi};
+pub use messages::NasMessage;

@@ -1,0 +1,344 @@
+//! The NAS message vocabulary (paper §II-B, Fig 1).
+//!
+//! Message names follow the 3GPP standard names verbatim — the extractor's
+//! mapping of implementation function signatures (`emm_recv_*`/`emm_send_*`)
+//! back to protocol messages depends on it (§IV-A(4)).
+
+use crate::crypto::{Autn, Auts};
+use crate::ids::{Guti, MobileIdentity};
+use crate::security::{EeaAlg, EiaAlg};
+use serde::{Deserialize, Serialize};
+
+/// EMM cause values carried in reject messages (subset of TS 24.301 §9.9.3.9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EmmCause {
+    /// #3: Illegal UE.
+    IllegalUe,
+    /// #7: EPS services not allowed.
+    EpsServicesNotAllowed,
+    /// #11: PLMN not allowed.
+    PlmnNotAllowed,
+    /// #12: Tracking area not allowed.
+    TrackingAreaNotAllowed,
+    /// #22: Congestion.
+    Congestion,
+    /// #24: Security mode rejected, unspecified.
+    SecurityModeRejected,
+}
+
+impl EmmCause {
+    /// The TS 24.301 numeric cause code.
+    pub fn code(self) -> u8 {
+        match self {
+            EmmCause::IllegalUe => 3,
+            EmmCause::EpsServicesNotAllowed => 7,
+            EmmCause::PlmnNotAllowed => 11,
+            EmmCause::TrackingAreaNotAllowed => 12,
+            EmmCause::Congestion => 22,
+            EmmCause::SecurityModeRejected => 24,
+        }
+    }
+
+    /// Parses a numeric cause code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            3 => EmmCause::IllegalUe,
+            7 => EmmCause::EpsServicesNotAllowed,
+            11 => EmmCause::PlmnNotAllowed,
+            12 => EmmCause::TrackingAreaNotAllowed,
+            22 => EmmCause::Congestion,
+            24 => EmmCause::SecurityModeRejected,
+            _ => return None,
+        })
+    }
+}
+
+/// Which identity an `identity_request` asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IdentityType {
+    /// The permanent IMSI (privacy-sensitive; I5 leaks it).
+    Imsi,
+    /// The equipment identity.
+    Imei,
+}
+
+/// Cause of an `authentication_failure` sent by the UE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuthFailureCause {
+    /// `auth_MAC_failure`: the network MAC did not verify.
+    MacFailure,
+    /// `auth_sync_failure`: the SQN was out of range; carries AUTS.
+    SyncFailure {
+        /// The resynchronisation token.
+        auts: Auts,
+    },
+}
+
+/// A NAS EMM message.
+///
+/// Uplink messages travel UE → MME, downlink MME → UE; [`NasMessage::is_uplink`]
+/// encodes the direction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NasMessage {
+    /// UE → MME: initial attach (identity is IMSI on first attach, GUTI
+    /// thereafter).
+    AttachRequest {
+        /// Identity presented by the UE.
+        identity: MobileIdentity,
+        /// UE security capabilities (echoed back in the SMC to detect
+        /// bidding-down).
+        ue_net_caps: u16,
+    },
+    /// MME → UE: request for an explicit identity.
+    IdentityRequest {
+        /// Which identity is requested.
+        id_type: IdentityType,
+    },
+    /// UE → MME: response carrying the requested identity.
+    IdentityResponse {
+        /// The identity disclosed.
+        identity: MobileIdentity,
+    },
+    /// MME → UE: AKA challenge.
+    AuthenticationRequest {
+        /// Network nonce.
+        rand: u64,
+        /// Authentication token (concealed SQN, AMF, MAC).
+        autn: Autn,
+    },
+    /// UE → MME: AKA response.
+    AuthenticationResponse {
+        /// `RES = f2(K, RAND)`.
+        res: u64,
+    },
+    /// MME → UE: authentication rejected outright.
+    AuthenticationReject,
+    /// UE → MME: authentication failed (MAC or sync failure).
+    AuthenticationFailure {
+        /// Failure cause, carrying AUTS for sync failures.
+        cause: AuthFailureCause,
+    },
+    /// MME → UE: negotiate security algorithms; first
+    /// integrity-protected downlink message.
+    SecurityModeCommand {
+        /// Selected integrity algorithm.
+        eia: EiaAlg,
+        /// Selected ciphering algorithm.
+        eea: EeaAlg,
+        /// Echo of the UE capabilities from `attach_request`.
+        replayed_ue_caps: u16,
+    },
+    /// UE → MME: security mode accepted.
+    SecurityModeComplete,
+    /// UE → MME: security mode rejected.
+    SecurityModeReject {
+        /// Reason for rejection.
+        cause: EmmCause,
+    },
+    /// MME → UE: attach accepted; assigns the GUTI.
+    AttachAccept {
+        /// Newly assigned temporary identity.
+        guti: Guti,
+        /// T3412 periodic TAU timer (abstract units).
+        tau_timer: u16,
+    },
+    /// UE → MME: attach completed.
+    AttachComplete,
+    /// MME → UE: attach rejected.
+    AttachReject {
+        /// Reason for rejection.
+        cause: EmmCause,
+    },
+    /// Either direction: detach initiation.
+    DetachRequest {
+        /// True when detaching due to power-off (no accept expected).
+        switch_off: bool,
+    },
+    /// Either direction: detach confirmation.
+    DetachAccept,
+    /// MME → UE: assign a fresh GUTI (the procedure P3 suppresses).
+    GutiReallocationCommand {
+        /// The new temporary identity.
+        guti: Guti,
+    },
+    /// UE → MME: GUTI reallocation confirmed.
+    GutiReallocationComplete,
+    /// UE → MME: tracking area update.
+    TrackingAreaUpdateRequest,
+    /// MME → UE: TAU accepted.
+    TrackingAreaUpdateAccept,
+    /// MME → UE: TAU rejected.
+    TrackingAreaUpdateReject {
+        /// Reason for rejection.
+        cause: EmmCause,
+    },
+    /// UE → MME: request for service while registered.
+    ServiceRequest,
+    /// MME → UE: service rejected.
+    ServiceReject {
+        /// Reason for rejection.
+        cause: EmmCause,
+    },
+    /// MME → UE (broadcast): page a device by identity.
+    Paging {
+        /// Paged identity (GUTI normally; IMSI paging is the classic
+        /// linkability primitive).
+        identity: MobileIdentity,
+    },
+    /// MME → UE: operator information (protected-only message used by the
+    /// replay/plaintext experiments).
+    EmmInformation,
+}
+
+impl NasMessage {
+    /// The standard protocol message name (lowercase snake case), exactly
+    /// as the conformance-log signatures use it.
+    pub fn message_name(&self) -> &'static str {
+        match self {
+            NasMessage::AttachRequest { .. } => "attach_request",
+            NasMessage::IdentityRequest { .. } => "identity_request",
+            NasMessage::IdentityResponse { .. } => "identity_response",
+            NasMessage::AuthenticationRequest { .. } => "authentication_request",
+            NasMessage::AuthenticationResponse { .. } => "authentication_response",
+            NasMessage::AuthenticationReject => "authentication_reject",
+            NasMessage::AuthenticationFailure { .. } => "authentication_failure",
+            NasMessage::SecurityModeCommand { .. } => "security_mode_command",
+            NasMessage::SecurityModeComplete => "security_mode_complete",
+            NasMessage::SecurityModeReject { .. } => "security_mode_reject",
+            NasMessage::AttachAccept { .. } => "attach_accept",
+            NasMessage::AttachComplete => "attach_complete",
+            NasMessage::AttachReject { .. } => "attach_reject",
+            NasMessage::DetachRequest { .. } => "detach_request",
+            NasMessage::DetachAccept => "detach_accept",
+            NasMessage::GutiReallocationCommand { .. } => "guti_reallocation_command",
+            NasMessage::GutiReallocationComplete => "guti_reallocation_complete",
+            NasMessage::TrackingAreaUpdateRequest => "tracking_area_update_request",
+            NasMessage::TrackingAreaUpdateAccept => "tracking_area_update_accept",
+            NasMessage::TrackingAreaUpdateReject { .. } => "tracking_area_update_reject",
+            NasMessage::ServiceRequest => "service_request",
+            NasMessage::ServiceReject { .. } => "service_reject",
+            NasMessage::Paging { .. } => "paging",
+            NasMessage::EmmInformation => "emm_information",
+        }
+    }
+
+    /// True if the message travels UE → MME.
+    pub fn is_uplink(&self) -> bool {
+        matches!(
+            self,
+            NasMessage::AttachRequest { .. }
+                | NasMessage::IdentityResponse { .. }
+                | NasMessage::AuthenticationResponse { .. }
+                | NasMessage::AuthenticationFailure { .. }
+                | NasMessage::SecurityModeComplete
+                | NasMessage::SecurityModeReject { .. }
+                | NasMessage::AttachComplete
+                | NasMessage::GutiReallocationComplete
+                | NasMessage::TrackingAreaUpdateRequest
+                | NasMessage::ServiceRequest
+                | NasMessage::DetachRequest { .. }
+                | NasMessage::DetachAccept
+        )
+    }
+
+    /// True for messages the standard requires to be integrity-protected
+    /// (and ciphered) once a security context exists. Messages that may
+    /// legitimately arrive plain before security activation — the initial
+    /// attach/identity/authentication exchanges and reject handling — are
+    /// excluded (TS 24.301 §4.4.4).
+    pub fn requires_protection_after_context(&self) -> bool {
+        !matches!(
+            self,
+            NasMessage::AttachRequest { .. }
+                | NasMessage::IdentityRequest { .. }
+                | NasMessage::IdentityResponse { .. }
+                | NasMessage::AuthenticationRequest { .. }
+                | NasMessage::AuthenticationResponse { .. }
+                | NasMessage::AuthenticationReject
+                | NasMessage::AuthenticationFailure { .. }
+                | NasMessage::AttachReject { .. }
+                | NasMessage::ServiceReject { .. }
+                | NasMessage::TrackingAreaUpdateReject { .. }
+                | NasMessage::Paging { .. }
+        )
+    }
+
+    /// True for release/reject messages that send the UE back to the
+    /// de-registered state (the class I4 mishandles).
+    pub fn is_reject(&self) -> bool {
+        matches!(
+            self,
+            NasMessage::AttachReject { .. }
+                | NasMessage::AuthenticationReject
+                | NasMessage::TrackingAreaUpdateReject { .. }
+                | NasMessage::ServiceReject { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::Key;
+    use crate::ids::Imsi;
+
+    #[test]
+    fn names_match_standard() {
+        let m = NasMessage::AuthenticationRequest {
+            rand: 1,
+            autn: crate::crypto::build_autn(Key::new(1), 1, 1),
+        };
+        assert_eq!(m.message_name(), "authentication_request");
+        assert_eq!(NasMessage::SecurityModeComplete.message_name(), "security_mode_complete");
+    }
+
+    #[test]
+    fn direction_split_is_consistent() {
+        let up = NasMessage::AttachRequest {
+            identity: MobileIdentity::Imsi(Imsi::new("1")),
+            ue_net_caps: 0,
+        };
+        assert!(up.is_uplink());
+        let down = NasMessage::AttachAccept { guti: Guti(1), tau_timer: 1 };
+        assert!(!down.is_uplink());
+    }
+
+    #[test]
+    fn protection_classification() {
+        assert!(NasMessage::EmmInformation.requires_protection_after_context());
+        assert!(NasMessage::GutiReallocationCommand { guti: Guti(2) }
+            .requires_protection_after_context());
+        let ar = NasMessage::AuthenticationRequest {
+            rand: 0,
+            autn: crate::crypto::build_autn(Key::new(0), 0, 0),
+        };
+        assert!(!ar.requires_protection_after_context());
+        assert!(!NasMessage::Paging {
+            identity: MobileIdentity::Guti(Guti(3))
+        }
+        .requires_protection_after_context());
+    }
+
+    #[test]
+    fn reject_classification() {
+        assert!(NasMessage::AttachReject { cause: EmmCause::IllegalUe }.is_reject());
+        assert!(NasMessage::AuthenticationReject.is_reject());
+        assert!(!NasMessage::SecurityModeReject { cause: EmmCause::SecurityModeRejected }.is_reject());
+        assert!(!NasMessage::DetachAccept.is_reject());
+    }
+
+    #[test]
+    fn emm_cause_codes_round_trip() {
+        for cause in [
+            EmmCause::IllegalUe,
+            EmmCause::EpsServicesNotAllowed,
+            EmmCause::PlmnNotAllowed,
+            EmmCause::TrackingAreaNotAllowed,
+            EmmCause::Congestion,
+            EmmCause::SecurityModeRejected,
+        ] {
+            assert_eq!(EmmCause::from_code(cause.code()), Some(cause));
+        }
+        assert_eq!(EmmCause::from_code(255), None);
+    }
+}

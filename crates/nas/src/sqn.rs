@@ -1,0 +1,368 @@
+//! TS 33.102 Annex C sequence-number management (paper Fig 5, attacks P1/P2).
+//!
+//! The authentication sequence number is a concatenation
+//! `SQN = SEQ ‖ IND`. The network increments both `SEQ` and `IND` when it
+//! generates a fresh challenge; the USIM keeps an `SQN_array` of
+//! `a = 2^IND_BITS` entries, one saved `SEQ` per index, and accepts a
+//! received `SQN_j = SEQ_j ‖ IND_j` iff `SEQ_j` is greater than the entry
+//! saved at index `IND_j`. This deliberately admits *out-of-order* SQNs (to
+//! tolerate roaming/desync) — and is exactly what attack **P1** exploits: a
+//! captured-and-dropped challenge remains acceptable until its index is
+//! overwritten, i.e. for up to `a − 1 = 31` subsequent challenges with the
+//! COTS choice of 5 IND bits.
+//!
+//! Annex C 2.2 also defines an *optional* freshness limit `L` on the age of
+//! accepted `SEQ` values. The paper's finding is that, being optional and
+//! unspecified, no major vendor implements it; [`SqnConfig::freshness_limit`]
+//! defaults to `None` accordingly, and setting it closes P1 (there is a test
+//! demonstrating both sides).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the SQN scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SqnConfig {
+    /// Number of bits allocated to `IND`; COTS UEs choose 5
+    /// (paper §VII-A P1), giving an `SQN_array` of 32 entries.
+    pub ind_bits: u32,
+    /// Optional freshness limit `L` (Annex C 2.2): a received `SEQ` is
+    /// rejected when `SEQ_MS − SEQ > L` where `SEQ_MS` is the highest
+    /// accepted sequence part. `None` (the vendor default the paper
+    /// observed) disables the check.
+    pub freshness_limit: Option<u64>,
+}
+
+impl SqnConfig {
+    /// The number of `SQN_array` entries, `a = 2^IND_BITS`.
+    pub fn array_len(&self) -> usize {
+        1usize << self.ind_bits
+    }
+
+    /// Mask extracting the `IND` component.
+    pub fn ind_mask(&self) -> u64 {
+        (1u64 << self.ind_bits) - 1
+    }
+
+    /// The 5G profile: the paper notes the generation/verification scheme
+    /// is *exactly the same* in the 5G specifications, making 5G directly
+    /// vulnerable to P1/P2. Identical to the default 4G profile; exists so
+    /// 5G-impact tests exercise the same code path under the 5G name.
+    pub fn fiveg() -> Self {
+        SqnConfig::default()
+    }
+}
+
+impl Default for SqnConfig {
+    fn default() -> Self {
+        SqnConfig {
+            ind_bits: 5,
+            freshness_limit: None,
+        }
+    }
+}
+
+/// A sequence number value `SEQ ‖ IND`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Sqn(pub u64);
+
+impl Sqn {
+    /// Composes a raw SQN from its components.
+    pub fn compose(seq: u64, ind: u64, cfg: SqnConfig) -> Self {
+        Sqn((seq << cfg.ind_bits) | (ind & cfg.ind_mask()))
+    }
+
+    /// The sequence component `SEQ`.
+    pub fn seq(self, cfg: SqnConfig) -> u64 {
+        self.0 >> cfg.ind_bits
+    }
+
+    /// The index component `IND`.
+    pub fn ind(self, cfg: SqnConfig) -> u64 {
+        self.0 & cfg.ind_mask()
+    }
+
+    /// The raw concatenated value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Network-side (HSS) SQN generator: increments both `SEQ` and `IND` for
+/// each fresh authentication vector (paper §VII-A P1 "Vulnerability").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SqnGenerator {
+    cfg: SqnConfig,
+    seq: u64,
+    ind: u64,
+}
+
+impl SqnGenerator {
+    /// Creates a generator starting at `SEQ = 0`, `IND = 0` (the first
+    /// generated value is `SEQ = 1, IND = 1`).
+    pub fn new(cfg: SqnConfig) -> Self {
+        SqnGenerator { cfg, seq: 0, ind: 0 }
+    }
+
+    /// Generates the next fresh SQN.
+    pub fn next_sqn(&mut self) -> u64 {
+        self.seq += 1;
+        self.ind = (self.ind + 1) % self.cfg.array_len() as u64;
+        Sqn::compose(self.seq, self.ind, self.cfg).raw()
+    }
+
+    /// Resynchronises to the SQN reported by an AUTS token: the HSS jumps
+    /// its `SEQ` past the USIM's highest accepted value.
+    pub fn resynchronise(&mut self, sqn_ms: u64) {
+        let seq_ms = Sqn(sqn_ms).seq(self.cfg);
+        if seq_ms > self.seq {
+            self.seq = seq_ms;
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> SqnConfig {
+        self.cfg
+    }
+}
+
+/// Verdict of the USIM's SQN check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SqnVerdict {
+    /// The SQN was accepted and the array entry updated.
+    Accepted,
+    /// The SQN was not acceptable; the USIM answers with a
+    /// synchronisation-failure AUTS built from `sqn_ms` — the highest
+    /// previously accepted SQN anywhere in the array (paper Fig 5).
+    SyncFailure {
+        /// Highest previously accepted SQN, recomposed as `SEQ_MS ‖ IND`.
+        sqn_ms: u64,
+    },
+}
+
+/// USIM-side `SQN_array`: one saved `SEQ` per `IND` value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SqnArray {
+    cfg: SqnConfig,
+    entries: Vec<u64>,
+    /// Index of the entry holding the highest accepted `SEQ`.
+    highest_ind: u64,
+}
+
+impl SqnArray {
+    /// Creates an array of `2^IND_BITS` zeroed entries.
+    pub fn new(cfg: SqnConfig) -> Self {
+        SqnArray {
+            cfg,
+            entries: vec![0; cfg.array_len()],
+            highest_ind: 0,
+        }
+    }
+
+    /// The highest `SEQ` accepted so far (`SEQ_MS`).
+    pub fn highest_seq(&self) -> u64 {
+        self.entries[self.highest_ind as usize]
+    }
+
+    /// The highest previously accepted SQN anywhere in the array,
+    /// recomposed with its index — the value AUTS reports.
+    pub fn sqn_ms(&self) -> u64 {
+        Sqn::compose(self.highest_seq(), self.highest_ind, self.cfg).raw()
+    }
+
+    /// The saved `SEQ` at a given index (test/diagnostic access).
+    pub fn seq_at(&self, ind: u64) -> u64 {
+        self.entries[(ind & self.cfg.ind_mask()) as usize]
+    }
+
+    /// Performs the Annex C acceptance check for a received SQN and
+    /// updates the array on acceptance.
+    ///
+    /// Acceptance requires `SEQ_j > SEQ_i` (the entry saved at `IND_j`),
+    /// and — only when a freshness limit `L` is configured —
+    /// `SEQ_MS − SEQ_j ≤ L`.
+    pub fn check_and_accept(&mut self, sqn: u64) -> SqnVerdict {
+        let sqn = Sqn(sqn);
+        let ind = sqn.ind(self.cfg);
+        let seq = sqn.seq(self.cfg);
+        let stored = self.entries[ind as usize];
+        let fresh_enough = match self.cfg.freshness_limit {
+            Some(l) => self.highest_seq().saturating_sub(seq) <= l,
+            None => true,
+        };
+        if seq > stored && fresh_enough {
+            self.entries[ind as usize] = seq;
+            if seq > self.highest_seq() {
+                self.highest_ind = ind;
+            }
+            SqnVerdict::Accepted
+        } else {
+            SqnVerdict::SyncFailure { sqn_ms: self.sqn_ms() }
+        }
+    }
+
+    /// How many *stale* (captured earlier, then dropped) challenges this
+    /// array would still accept right now: entries whose saved `SEQ` is
+    /// lower than the global highest — i.e. indices an attacker can still
+    /// replay into. With 5 IND bits this reaches the paper's figure of 31.
+    pub fn stale_acceptance_window(&self) -> usize {
+        let hi = self.highest_seq();
+        self.entries.iter().filter(|&&seq| seq < hi).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_increments_both_parts() {
+        let cfg = SqnConfig::default();
+        let mut g = SqnGenerator::new(cfg);
+        let a = Sqn(g.next_sqn());
+        let b = Sqn(g.next_sqn());
+        assert_eq!(a.seq(cfg), 1);
+        assert_eq!(a.ind(cfg), 1);
+        assert_eq!(b.seq(cfg), 2);
+        assert_eq!(b.ind(cfg), 2);
+    }
+
+    #[test]
+    fn ind_wraps_modulo_array_len() {
+        let cfg = SqnConfig { ind_bits: 2, freshness_limit: None };
+        let mut g = SqnGenerator::new(cfg);
+        let mut last_ind = 0;
+        for _ in 0..8 {
+            last_ind = Sqn(g.next_sqn()).ind(cfg);
+        }
+        assert_eq!(last_ind, 0); // 8 % 4
+    }
+
+    #[test]
+    fn in_order_sqns_accepted() {
+        let cfg = SqnConfig::default();
+        let mut g = SqnGenerator::new(cfg);
+        let mut arr = SqnArray::new(cfg);
+        for _ in 0..100 {
+            assert_eq!(arr.check_and_accept(g.next_sqn()), SqnVerdict::Accepted);
+        }
+        assert_eq!(arr.highest_seq(), 100);
+    }
+
+    #[test]
+    fn repeated_sqn_rejected() {
+        let cfg = SqnConfig::default();
+        let mut g = SqnGenerator::new(cfg);
+        let mut arr = SqnArray::new(cfg);
+        let sqn = g.next_sqn();
+        assert_eq!(arr.check_and_accept(sqn), SqnVerdict::Accepted);
+        assert!(matches!(arr.check_and_accept(sqn), SqnVerdict::SyncFailure { .. }));
+    }
+
+    /// The P1 scenario: capture challenge j, let later challenges through,
+    /// then replay j — the USIM still accepts it because index IND_j was
+    /// never overwritten (paper §VII-A, P1 "Vulnerability").
+    #[test]
+    fn p1_stale_sqn_accepted_without_freshness_limit() {
+        let cfg = SqnConfig::default();
+        let mut g = SqnGenerator::new(cfg);
+        let mut arr = SqnArray::new(cfg);
+        // Normal operation for a while.
+        for _ in 0..3 {
+            arr.check_and_accept(g.next_sqn());
+        }
+        // Attacker captures and drops SQN_j (never reaches the UE).
+        let captured = g.next_sqn();
+        // The network keeps authenticating the UE — up to a-1 further
+        // challenges land on *other* indices.
+        for _ in 0..(cfg.array_len() - 1) {
+            assert_eq!(arr.check_and_accept(g.next_sqn()), SqnVerdict::Accepted);
+        }
+        // Days later: the attacker replays the captured challenge.
+        assert_eq!(arr.check_and_accept(captured), SqnVerdict::Accepted);
+    }
+
+    /// After a full wrap of the IND counter the captured index is
+    /// overwritten and the replay finally fails.
+    #[test]
+    fn stale_sqn_rejected_after_index_overwritten() {
+        let cfg = SqnConfig::default();
+        let mut g = SqnGenerator::new(cfg);
+        let mut arr = SqnArray::new(cfg);
+        let captured = g.next_sqn();
+        for _ in 0..cfg.array_len() {
+            arr.check_and_accept(g.next_sqn());
+        }
+        assert!(matches!(arr.check_and_accept(captured), SqnVerdict::SyncFailure { .. }));
+    }
+
+    /// Annex C 2.2: configuring the optional freshness limit L closes P1.
+    #[test]
+    fn freshness_limit_closes_p1() {
+        let cfg = SqnConfig { ind_bits: 5, freshness_limit: Some(4) };
+        let mut g = SqnGenerator::new(cfg);
+        let mut arr = SqnArray::new(cfg);
+        let captured = g.next_sqn();
+        for _ in 0..10 {
+            arr.check_and_accept(g.next_sqn());
+        }
+        assert!(matches!(arr.check_and_accept(captured), SqnVerdict::SyncFailure { .. }));
+    }
+
+    /// The paper's quantitative claim: with 5 IND bits the USIM accepts up
+    /// to 31 previously captured stale challenges.
+    #[test]
+    fn stale_window_is_31_for_cots_config() {
+        let cfg = SqnConfig::default();
+        let mut g = SqnGenerator::new(cfg);
+        let mut arr = SqnArray::new(cfg);
+        // Fill every index once, then push the highest up.
+        for _ in 0..cfg.array_len() + 1 {
+            arr.check_and_accept(g.next_sqn());
+        }
+        assert_eq!(arr.stale_acceptance_window(), 31);
+    }
+
+    #[test]
+    fn sync_failure_reports_highest_sqn_anywhere() {
+        let cfg = SqnConfig::default();
+        let mut g = SqnGenerator::new(cfg);
+        let mut arr = SqnArray::new(cfg);
+        let mut last = 0;
+        for _ in 0..7 {
+            last = g.next_sqn();
+            arr.check_and_accept(last);
+        }
+        match arr.check_and_accept(last) {
+            SqnVerdict::SyncFailure { sqn_ms } => {
+                assert_eq!(Sqn(sqn_ms).seq(cfg), 7);
+            }
+            other => panic!("expected sync failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resynchronise_jumps_generator() {
+        let cfg = SqnConfig::default();
+        let mut g = SqnGenerator::new(cfg);
+        g.resynchronise(Sqn::compose(500, 3, cfg).raw());
+        let next = Sqn(g.next_sqn());
+        assert_eq!(next.seq(cfg), 501);
+        // Resync never moves the generator backwards.
+        g.resynchronise(Sqn::compose(10, 0, cfg).raw());
+        assert_eq!(Sqn(g.next_sqn()).seq(cfg), 502);
+    }
+
+    #[test]
+    fn fiveg_profile_identical_to_4g() {
+        // Executable form of the paper's "Impact on 5G" note for P1/P2.
+        assert_eq!(SqnConfig::fiveg(), SqnConfig::default());
+    }
+
+    #[test]
+    fn compose_and_split_round_trip() {
+        let cfg = SqnConfig::default();
+        let s = Sqn::compose(1234, 17, cfg);
+        assert_eq!(s.seq(cfg), 1234);
+        assert_eq!(s.ind(cfg), 17);
+    }
+}

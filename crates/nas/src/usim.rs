@@ -1,0 +1,205 @@
+//! USIM model: the SIM-resident side of AKA (paper §II-A, Fig 5).
+//!
+//! The USIM stores the permanent identity (IMSI), the subscriber key `K`,
+//! and the `SQN_array`. On an authentication challenge it (1) recovers the
+//! concealed SQN using the anonymity key, (2) verifies the network MAC
+//! (`f1`), and (3) runs the Annex C sequence-number check — in that order,
+//! which is precisely why the two failure messages (`auth_MAC_failure` vs
+//! `auth_sync_failure`) are distinguishable and linkability attacks work.
+
+use crate::crypto::{self, Autn, Auts, Key};
+use crate::ids::Imsi;
+use crate::sqn::{SqnArray, SqnConfig, SqnVerdict};
+use serde::{Deserialize, Serialize};
+
+/// Result of processing an `authentication_request` on the USIM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AkaOutcome {
+    /// MAC and SQN both verified: session keys are (re)generated. This is
+    /// the step P1 abuses — a *stale but acceptable* challenge regenerates
+    /// keys and desynchronises UE and network.
+    Success {
+        /// Authentication response `RES = f2(K, RAND)`.
+        res: u64,
+        /// Derived `KASME` (from `CK`, `IK`).
+        kasme: Key,
+    },
+    /// The network MAC did not verify — the message was not produced by a
+    /// network knowing `K` for this USIM.
+    MacFailure,
+    /// MAC verified but the SQN check failed: the USIM answers with an
+    /// AUTS resynchronisation token.
+    SyncFailure {
+        /// The AUTS token to embed in `authentication_failure`.
+        auts: Auts,
+    },
+}
+
+/// The USIM card: identity, subscriber key, and SQN state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Usim {
+    imsi: Imsi,
+    k: Key,
+    sqn_array: SqnArray,
+    cfg: SqnConfig,
+}
+
+impl Usim {
+    /// Creates a USIM with a fresh (all-zero) `SQN_array`.
+    pub fn new(imsi: impl AsRef<str>, k: Key, cfg: SqnConfig) -> Self {
+        Usim {
+            imsi: Imsi::new(imsi),
+            k,
+            sqn_array: SqnArray::new(cfg),
+            cfg,
+        }
+    }
+
+    /// The permanent identity.
+    pub fn imsi(&self) -> &Imsi {
+        &self.imsi
+    }
+
+    /// The subscriber key (exposed for the network-side simulation, which
+    /// in reality shares it via the HSS).
+    pub fn subscriber_key(&self) -> Key {
+        self.k
+    }
+
+    /// The SQN configuration in force.
+    pub fn sqn_config(&self) -> SqnConfig {
+        self.cfg
+    }
+
+    /// Read-only view of the SQN array (diagnostics/experiments).
+    pub fn sqn_array(&self) -> &SqnArray {
+        &self.sqn_array
+    }
+
+    /// Processes an authentication challenge `(RAND, AUTN)`.
+    ///
+    /// Order of checks (TS 33.102): recover SQN, verify MAC, then verify
+    /// SQN freshness. Distinct failure outcomes are externally observable
+    /// — the basis of linkability attacks P2 and prior work.
+    pub fn process_authentication(&mut self, rand: u64, autn: &Autn) -> AkaOutcome {
+        let ak = crypto::f5(self.k, rand);
+        let sqn = autn.sqn_xor_ak ^ ak;
+        if autn.mac != crypto::f1(self.k, sqn, rand, autn.amf) {
+            return AkaOutcome::MacFailure;
+        }
+        match self.sqn_array.check_and_accept(sqn) {
+            SqnVerdict::Accepted => {
+                let res = crypto::f2(self.k, rand);
+                let ck = crypto::f3(self.k, rand);
+                let ik = crypto::f4(self.k, rand);
+                AkaOutcome::Success {
+                    res,
+                    kasme: crypto::derive_kasme(ck, ik),
+                }
+            }
+            SqnVerdict::SyncFailure { sqn_ms } => AkaOutcome::SyncFailure {
+                auts: crypto::build_auts(self.k, sqn_ms, rand),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sqn::SqnGenerator;
+
+    fn setup() -> (Usim, SqnGenerator, Key) {
+        let k = Key::new(0xfeed_face_dead_beef);
+        let cfg = SqnConfig::default();
+        (Usim::new("001010000000001", k, cfg), SqnGenerator::new(cfg), k)
+    }
+
+    #[test]
+    fn fresh_challenge_succeeds() {
+        let (mut usim, mut gen, k) = setup();
+        let rand = 7;
+        let autn = crypto::build_autn(k, gen.next_sqn(), rand);
+        match usim.process_authentication(rand, &autn) {
+            AkaOutcome::Success { res, .. } => assert_eq!(res, crypto::f2(k, rand)),
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_key_gives_mac_failure() {
+        let (mut usim, mut gen, _) = setup();
+        let attacker_key = Key::new(0x1111);
+        let autn = crypto::build_autn(attacker_key, gen.next_sqn(), 9);
+        assert_eq!(usim.process_authentication(9, &autn), AkaOutcome::MacFailure);
+    }
+
+    #[test]
+    fn replayed_challenge_gives_sync_failure() {
+        let (mut usim, mut gen, k) = setup();
+        let rand = 5;
+        let autn = crypto::build_autn(k, gen.next_sqn(), rand);
+        assert!(matches!(usim.process_authentication(rand, &autn), AkaOutcome::Success { .. }));
+        // Immediate replay of the same challenge: same SQN, same index.
+        match usim.process_authentication(rand, &autn) {
+            AkaOutcome::SyncFailure { auts } => {
+                // AUTS reports the highest accepted SQN.
+                let sqn_ms = auts.sqn_ms_xor_ak ^ crypto::f5_star(k, rand);
+                assert_eq!(sqn_ms, usim.sqn_array().sqn_ms());
+            }
+            other => panic!("expected sync failure, got {other:?}"),
+        }
+    }
+
+    /// The observable distinction P2 exploits: the victim UE answers a
+    /// captured-stale challenge with *success* while every other UE answers
+    /// with *MAC failure*.
+    #[test]
+    fn p2_distinguishing_responses() {
+        let k_victim = Key::new(0xaaaa);
+        let k_other = Key::new(0xbbbb);
+        let cfg = SqnConfig::default();
+        let mut victim = Usim::new("001010000000001", k_victim, cfg);
+        let mut other = Usim::new("001010000000002", k_other, cfg);
+        let mut gen = SqnGenerator::new(cfg);
+
+        // Warm-up: the victim accepts a few challenges.
+        for r in 0..3u64 {
+            let autn = crypto::build_autn(k_victim, gen.next_sqn(), r);
+            assert!(matches!(victim.process_authentication(r, &autn), AkaOutcome::Success { .. }));
+        }
+        // Attacker captures a challenge destined for the victim and drops it.
+        let rand = 99;
+        let captured = crypto::build_autn(k_victim, gen.next_sqn(), rand);
+        // More legitimate traffic flows (different indices).
+        for r in 10..15u64 {
+            let autn = crypto::build_autn(k_victim, gen.next_sqn(), r);
+            victim.process_authentication(r, &autn);
+        }
+        // Later, the attacker replays the captured challenge to everyone.
+        let v = victim.process_authentication(rand, &captured);
+        let o = other.process_authentication(rand, &captured);
+        assert!(matches!(v, AkaOutcome::Success { .. }), "victim accepts the stale challenge");
+        assert_eq!(o, AkaOutcome::MacFailure, "bystanders fail the MAC check");
+    }
+
+    /// A successful stale acceptance regenerates keys — the desync at the
+    /// heart of P1's service disruption.
+    #[test]
+    fn p1_key_desynchronisation() {
+        let (mut usim, mut gen, k) = setup();
+        let stale_rand = 1;
+        let stale = crypto::build_autn(k, gen.next_sqn(), stale_rand);
+        // Drop `stale`; network proceeds with a fresh challenge the UE accepts.
+        let fresh_rand = 2;
+        let fresh = crypto::build_autn(k, gen.next_sqn(), fresh_rand);
+        let AkaOutcome::Success { kasme: current, .. } = usim.process_authentication(fresh_rand, &fresh) else {
+            panic!("fresh challenge must succeed");
+        };
+        // Attacker replays the stale challenge: accepted, new keys derived.
+        let AkaOutcome::Success { kasme: reinstalled, .. } = usim.process_authentication(stale_rand, &stale) else {
+            panic!("stale challenge accepted (P1)");
+        };
+        assert_ne!(current, reinstalled, "session keys desynchronised");
+    }
+}

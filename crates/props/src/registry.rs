@@ -1,0 +1,1235 @@
+//! The 62 security and privacy properties.
+//!
+//! Identifiers: `S01`–`S37` (security), `PR01`–`PR25` (privacy). Each
+//! property records the formal check, the *expected* verdict for a
+//! conformant implementation under the Dolev–Yao adversary, the model
+//! slice it needs, the attack it detects when violated, and — for the 14
+//! properties shared with LTEInspector's model — its Table II index.
+//!
+//! Expectations deserve a word: several properties are *expected to be
+//! violated even by a spec-conformant implementation* — those violations
+//! are the standards-level attacks (P1–P3 and the prior work's DoS
+//! family). Properties whose violation indicates an implementation bug
+//! (I1–I6) hold on the reference stack and fail on the buggy profiles.
+
+use crate::slice::{BaseProfile, SliceSpec};
+use procheck_smv::checker::Property;
+use procheck_smv::expr::Expr;
+use serde::{Deserialize, Serialize};
+
+/// Security or privacy (the paper's 37/25 split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Category {
+    /// Authenticity, availability, integrity, replay protection.
+    Security,
+    /// Identity confidentiality, linkability, tracking.
+    Privacy,
+}
+
+/// Linkability scenarios checked via the testbed + the CPV's
+/// observational-equivalence distinguisher (ProVerif's role in P2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkScenario {
+    /// P2: replay a captured stale `authentication_request` to every UE
+    /// in the cell; the victim answers, bystanders report MAC failure.
+    StaleAuthReplay,
+    /// Prior work: replay a *consumed* challenge; the victim answers
+    /// `auth_sync_failure`, bystanders `auth_MAC_failure`.
+    ConsumedAuthReplay,
+    /// Prior work (3G variant): forged challenge distinguishes by failure
+    /// cause.
+    ForgedAuthRequest,
+    /// I6: replay a captured `security_mode_command`.
+    SmcReplay,
+    /// Prior work: IMSI paging reveals presence (victim re-attaches).
+    ImsiPaging,
+    /// GUTI paging reveals presence (the victim alone answers).
+    GutiPagingPresence,
+    /// Prior work: a never-changing GUTI links sessions.
+    GutiReuse,
+    /// I1-privacy: replayed `attach_accept` distinguishes the victim.
+    AttachAcceptReplay,
+}
+
+/// How a property is checked.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum Check {
+    /// Model-check against the threat-instrumented model.
+    Model(Property),
+    /// Observational-equivalence over testbed traces.
+    Linkability(LinkScenario),
+}
+
+/// What a conformant implementation should yield.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expectation {
+    /// The property should hold (violation ⇒ attack / issue).
+    Holds,
+    /// The goal should be unreachable (reachability ⇒ attack).
+    Unreachable,
+    /// The goal should be reachable (sanity: normal function survives the
+    /// adversarial composition).
+    Reachable,
+    /// The property is violated *by the standard itself* — the violation
+    /// is a standards-level attack on every implementation.
+    ViolatedByDesign,
+    /// Equivalence expected (linkability properties): distinguishability
+    /// ⇒ privacy attack.
+    Equivalent,
+    /// Distinguishability is inherent to the procedure (documented
+    /// tracking primitive).
+    DistinguishableByDesign,
+}
+
+/// One registered property.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct NasProperty {
+    /// Stable identifier (`S01`…`S37`, `PR01`…`PR25`).
+    pub id: &'static str,
+    /// Short name.
+    pub title: &'static str,
+    /// The informal requirement the property formalises.
+    pub description: &'static str,
+    /// Security or privacy.
+    pub category: Category,
+    /// The formal check.
+    pub check: Check,
+    /// Expected verdict for a conformant implementation.
+    pub expectation: Expectation,
+    /// Table II index (1–14) when shared with LTEInspector.
+    pub table2_index: Option<u8>,
+    /// Attack detected when the expectation fails (`P1`…`P3`, `I1`…`I6`,
+    /// or a prior-attack tag).
+    pub related_attack: Option<&'static str>,
+    /// The model slice this property needs.
+    pub slice: SliceSpec,
+}
+
+fn eq(var: &str, val: &str) -> Expr {
+    Expr::var_eq(var, val)
+}
+
+fn ne(var: &str, val: &str) -> Expr {
+    Expr::var_ne(var, val)
+}
+
+fn sl() -> SliceSpec {
+    SliceSpec::default()
+}
+
+/// All 62 properties.
+pub fn registry() -> Vec<NasProperty> {
+    let mut props = security_properties();
+    props.extend(privacy_properties());
+    props
+}
+
+/// The 14 properties shared with LTEInspector's hand-built model
+/// (Table II), in index order.
+pub fn common_properties() -> Vec<NasProperty> {
+    let mut common: Vec<NasProperty> =
+        registry().into_iter().filter(|p| p.table2_index.is_some()).collect();
+    common.sort_by_key(|p| p.table2_index);
+    common
+}
+
+fn security_properties() -> Vec<NasProperty> {
+    let replay_all = vec![
+        "attach_accept",
+        "security_mode_command",
+        "guti_reallocation_command",
+        "emm_information",
+    ];
+    vec![
+        NasProperty {
+            id: "S01",
+            title: "authentication SQN monotonically fresh",
+            description: "If the UE is in the registered-initiated state, it will get \
+                          authenticated with an authentication sequence number greater than \
+                          the previously accepted one (paper P1/I3 property).",
+            category: Category::Security,
+            check: Check::Model(Property::invariant("s01", ne("last_auth_sqn", "stale"))),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(1),
+            related_attack: Some("P1"),
+            slice: SliceSpec {
+                replayable: vec!["authentication_request"],
+                forge: true,
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "S02",
+            title: "no replayed attach_accept accepted",
+            description: "A replayed attach_accept must be discarded by the replay check.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s02",
+                ne("mon_replay_accepted", "attach_accept"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I1"),
+            slice: SliceSpec {
+                replayable: vec!["attach_accept"],
+                monitor_replay: true,
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "S03",
+            title: "no replayed security_mode_command accepted",
+            description: "A replayed security_mode_command must be discarded.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s03",
+                ne("mon_replay_accepted", "security_mode_command"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I6"),
+            slice: SliceSpec {
+                replayable: vec!["security_mode_command"],
+                monitor_replay: true,
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "S04",
+            title: "no replayed guti_reallocation_command accepted",
+            description: "A replayed GUTI reallocation command must be discarded.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s04",
+                ne("mon_replay_accepted", "guti_reallocation_command"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I1"),
+            slice: SliceSpec {
+                replayable: vec!["guti_reallocation_command"],
+                monitor_replay: true,
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "S05",
+            title: "no replayed emm_information accepted",
+            description: "A replayed protected information message must be discarded.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s05",
+                ne("mon_replay_accepted", "emm_information"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I1"),
+            slice: SliceSpec {
+                replayable: vec!["emm_information"],
+                monitor_replay: true,
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "S06",
+            title: "replay protection for all protected messages",
+            description: "For a given NAS security context, a given NAS COUNT value shall be \
+                          accepted at most one time (TS 24.301).",
+            category: Category::Security,
+            check: Check::Model(Property::invariant("s06", eq("mon_replay_accepted", "none"))),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I1"),
+            slice: SliceSpec {
+                replayable: replay_all.clone(),
+                monitor_replay: true,
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "S07",
+            title: "no plaintext attach_accept accepted after security",
+            description: "Plain-NAS attach_accept must be discarded once a context exists.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s07",
+                ne("mon_plain_accepted", "attach_accept"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I2"),
+            slice: SliceSpec { monitor_plain: true, ..sl() },
+        },
+        NasProperty {
+            id: "S08",
+            title: "no plaintext guti_reallocation_command accepted",
+            description: "Plain-NAS GUTI reallocation must be discarded after security.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s08",
+                ne("mon_plain_accepted", "guti_reallocation_command"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I2"),
+            slice: SliceSpec { monitor_plain: true, ..sl() },
+        },
+        NasProperty {
+            id: "S09",
+            title: "no plaintext detach_request accepted",
+            description: "A plain network detach must be discarded after security (stealthy \
+                          kick-off protection).",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s09",
+                ne("mon_plain_accepted", "detach_request"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I2"),
+            slice: SliceSpec { monitor_plain: true, ..sl() },
+        },
+        NasProperty {
+            id: "S10",
+            title: "no plaintext emm_information accepted",
+            description: "Plain-NAS information messages must be discarded after security.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s10",
+                ne("mon_plain_accepted", "emm_information"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I2"),
+            slice: SliceSpec { monitor_plain: true, ..sl() },
+        },
+        NasProperty {
+            id: "S11",
+            title: "no plaintext security_mode_command accepted",
+            description: "A plain SMC must never activate a context.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s11",
+                ne("mon_plain_accepted", "security_mode_command"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I2"),
+            slice: SliceSpec { monitor_plain: true, ..sl() },
+        },
+        NasProperty {
+            id: "S12",
+            title: "integrity of all protected messages",
+            description: "A UE must not accept any plain-text message of the protected class \
+                          after the security context is established (TS 24.301 §4.4.4).",
+            category: Category::Security,
+            check: Check::Model(Property::invariant("s12", eq("mon_plain_accepted", "none"))),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I2"),
+            slice: SliceSpec { monitor_plain: true, ..sl() },
+        },
+        NasProperty {
+            id: "S13",
+            title: "no security bypass via reject messages",
+            description: "After a release/reject the UE must delete its contexts and re-run \
+                          authentication and SMC before returning to registered.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant("s13", eq("mon_security_bypass", "f"))),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I4"),
+            slice: SliceSpec {
+                replayable: vec!["attach_accept"],
+                monitor_bypass: true,
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "S14",
+            title: "no SQN-check bypass",
+            description: "The stack must honour the USIM's SQN verdict; accepting a repeated \
+                          SQN resets replay protection.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant("s14", eq("mon_sqn_bypass", "f"))),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I3"),
+            slice: SliceSpec {
+                replayable: vec!["authentication_request"],
+                monitor_bypass: true,
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "S15",
+            title: "registration requires authentication",
+            description: "The UE reaches the registered state only after a successful AKA run \
+                          in the same session.",
+            category: Category::Security,
+            check: Check::Model(Property::precedence(
+                "s15",
+                eq("ue_state", "emm_registered"),
+                eq("ue_last_action", "authentication_response"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: Some(2),
+            related_attack: Some("I4"),
+            slice: SliceSpec { replayable: vec!["attach_accept"], ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S16",
+            title: "registration requires security mode control",
+            description: "The UE reaches registered only after completing the security-mode \
+                          procedure.",
+            category: Category::Security,
+            check: Check::Model(Property::precedence(
+                "s16",
+                eq("ue_state", "emm_registered"),
+                eq("ue_last_action", "security_mode_complete"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: Some(3),
+            related_attack: Some("I4"),
+            slice: SliceSpec { replayable: vec!["attach_accept"], ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S17",
+            title: "network registration requires SMC completion",
+            description: "The MME registers the subscriber only after the security-mode \
+                          procedure completed.",
+            category: Category::Security,
+            check: Check::Model(Property::precedence(
+                "s17",
+                eq("mme_state", "mme_registered"),
+                eq("mme_state", "mme_wait_smc_complete"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: None,
+            slice: sl(),
+        },
+        NasProperty {
+            id: "S18",
+            title: "attach eventually completes",
+            description: "A UE that initiates attach eventually reaches registered.",
+            category: Category::Security,
+            check: Check::Model(Property::response(
+                "s18",
+                eq("ue_state", "emm_registered_initiated"),
+                eq("ue_state", "emm_registered"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(4),
+            related_attack: Some("prior:denial-of-all-services"),
+            slice: sl(),
+        },
+        NasProperty {
+            id: "S19",
+            title: "GUTI reallocation completes once initiated",
+            description: "If the MME initiates a common procedure (GUTI reallocation), the UE \
+                          will complete that procedure (paper P3 property).",
+            category: Category::Security,
+            check: Check::Model(Property::response(
+                "s19",
+                eq("mme_state", "mme_guti_realloc_initiated"),
+                eq("mme_last_event", "guti_reallocation_complete"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(5),
+            related_attack: Some("P3"),
+            slice: SliceSpec { mme_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S20",
+            title: "security mode procedure completes once initiated",
+            description: "If the MME initiates the security-mode procedure, it completes \
+                          (P3 applies to key renegotiation too).",
+            category: Category::Security,
+            check: Check::Model(Property::response(
+                "s20",
+                eq("mme_state", "mme_wait_smc_complete"),
+                eq("mme_last_event", "security_mode_complete"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("P3"),
+            slice: SliceSpec { mme_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S21",
+            title: "no deregistration by unauthenticated authentication_reject",
+            description: "A plain authentication_reject must not detach a registered UE.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s21",
+                Expr::not(Expr::and([
+                    eq("ue_state", "emm_deregistered"),
+                    eq("ue_last_event", "authentication_reject"),
+                ])),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(6),
+            related_attack: Some("prior:numb-attack"),
+            slice: SliceSpec { ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S22",
+            title: "no deregistration by unauthenticated tracking_area_update_reject",
+            description: "A plain TAU reject must not detach a registered UE.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s22",
+                Expr::not(Expr::and([
+                    eq("ue_state", "emm_deregistered"),
+                    eq("ue_last_event", "tracking_area_update_reject"),
+                ])),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(7),
+            related_attack: Some("prior:downgrade-tau-reject"),
+            slice: SliceSpec { ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S23",
+            title: "no deregistration by unauthenticated service_reject",
+            description: "A plain service reject must not detach a registered UE.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s23",
+                Expr::not(Expr::and([
+                    eq("ue_state", "emm_deregistered"),
+                    eq("ue_last_event", "service_reject"),
+                ])),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("prior:service-denial"),
+            slice: SliceSpec { ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S24",
+            title: "no abort of attach by unauthenticated attach_reject",
+            description: "A plain attach_reject must not abort an ongoing attach.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s24",
+                Expr::not(Expr::and([
+                    eq("ue_state", "emm_deregistered"),
+                    eq("ue_last_event", "attach_reject"),
+                ])),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(8),
+            related_attack: Some("prior:stealthy-kicking-off"),
+            slice: SliceSpec { ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S25",
+            title: "detach requires authentication",
+            description: "A network-initiated detach must be integrity-protected; an \
+                          unauthenticated plain detach must not move the UE out of registered.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s25",
+                ne("mon_plain_accepted", "detach_request"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I2"),
+            slice: SliceSpec { monitor_plain: true, ..sl() },
+        },
+        NasProperty {
+            id: "S26",
+            title: "authentication response only after challenge",
+            description: "The UE answers AKA only after a challenge was presented.",
+            category: Category::Security,
+            check: Check::Model(Property::precedence(
+                "s26",
+                eq("chan_ul", "authentication_response"),
+                eq("chan_dl", "authentication_request"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: None,
+            slice: SliceSpec { replayable: vec!["authentication_request"], ..sl() },
+        },
+        NasProperty {
+            id: "S27",
+            title: "network registration follows security-mode completion",
+            description: "The MME registers the subscriber only after the security-mode \
+                          procedure completed in the same session.",
+            category: Category::Security,
+            check: Check::Model(Property::precedence(
+                "s27",
+                eq("mme_state", "mme_registered"),
+                eq("mme_last_event", "security_mode_complete"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: None,
+            slice: SliceSpec { mme_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S28",
+            title: "no one-sided deregistration of the network",
+            description: "The network must not believe the subscriber detached while the UE \
+                          remains registered (detach spoofing).",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s28",
+                Expr::not(Expr::and([
+                    eq("ue_state", "emm_registered"),
+                    eq("mme_state", "mme_deregistered"),
+                ])),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(9),
+            related_attack: Some("prior:detach-spoofing"),
+            slice: sl(),
+        },
+        NasProperty {
+            id: "S29",
+            title: "paging reaches the UE",
+            description: "A paging broadcast eventually reaches the paged UE.",
+            category: Category::Security,
+            check: Check::Model(Property::response(
+                "s29",
+                eq("chan_dl", "paging"),
+                eq("ue_last_event", "paging"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(10),
+            related_attack: Some("prior:paging-hijacking"),
+            slice: SliceSpec { ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S30",
+            title: "registration implies network attach acceptance",
+            description: "The UE considers itself registered only if the network actually \
+                          accepted the attach (correspondence; the CEGAR demo property — the \
+                          optimistic model first blames a forged attach_accept, which the CPV \
+                          refutes).",
+            category: Category::Security,
+            check: Check::Model(Property::precedence(
+                "s30",
+                eq("ue_state", "emm_registered"),
+                eq("mme_last_action", "attach_accept"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: Some(11),
+            related_attack: Some("I4"),
+            slice: SliceSpec {
+                replayable: vec!["attach_accept"],
+                forge: true,
+                mme_last: true,
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "S31",
+            title: "security mode reject unreachable without tampering",
+            description: "Without capability tampering, the UE never rejects the SMC.",
+            category: Category::Security,
+            check: Check::Model(Property::reachable(
+                "s31",
+                eq("chan_ul", "security_mode_reject"),
+            )),
+            expectation: Expectation::Unreachable,
+            table2_index: None,
+            related_attack: None,
+            slice: sl(),
+        },
+        NasProperty {
+            id: "S32",
+            title: "no silent deregistration",
+            description: "The UE must not end up deregistered while the network still serves \
+                          it (victim-side denial).",
+            category: Category::Security,
+            check: Check::Model(Property::reachable(
+                "s32",
+                Expr::and([
+                    eq("ue_state", "emm_deregistered"),
+                    eq("mme_state", "mme_registered"),
+                ]),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(12),
+            related_attack: Some("prior:detach-downgrade"),
+            slice: sl(),
+        },
+        NasProperty {
+            id: "S33",
+            title: "tracking area update completes",
+            description: "An initiated TAU eventually completes.",
+            category: Category::Security,
+            check: Check::Model(Property::response(
+                "s33",
+                eq("ue_state", "emm_tau_initiated"),
+                eq("ue_state", "emm_registered"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(13),
+            related_attack: Some("prior:tau-denial"),
+            slice: sl(),
+        },
+        NasProperty {
+            id: "S34",
+            title: "detach completes",
+            description: "An initiated detach eventually completes.",
+            category: Category::Security,
+            check: Check::Model(Property::response(
+                "s34",
+                eq("ue_state", "emm_deregistered_initiated"),
+                eq("ue_state", "emm_deregistered"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: Some(14),
+            related_attack: Some("prior:detach-denial"),
+            slice: sl(),
+        },
+        NasProperty {
+            id: "S35",
+            title: "authentication reject only from the authentication procedure",
+            description: "authentication_reject is only meaningful while authenticating; \
+                          accepting it in registered state enables prolonged DoS.",
+            category: Category::Security,
+            check: Check::Model(Property::invariant(
+                "s35",
+                Expr::not(Expr::and([
+                    eq("ue_last_event", "authentication_reject"),
+                    eq("mme_state", "mme_registered"),
+                ])),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("prior:numb-attack"),
+            slice: SliceSpec { ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S36",
+            title: "challenge issued only on registration activity",
+            description: "The network enters the wait-for-authentication state only after a \
+                          registration request.",
+            category: Category::Security,
+            check: Check::Model(Property::precedence(
+                "s36",
+                eq("mme_state", "mme_wait_auth_response"),
+                eq("mme_last_event", "attach_request"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: None,
+            slice: SliceSpec { mme_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "S37",
+            title: "no session restart while registered",
+            description: "An attacker must not be able to restart the session security by \
+                          spoofing a new attach while the UE is registered.",
+            category: Category::Security,
+            check: Check::Model(Property::reachable(
+                "s37",
+                Expr::and([
+                    eq("mme_state", "mme_wait_auth_response"),
+                    eq("ue_state", "emm_registered"),
+                ]),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("prior:attach-spoofing"),
+            slice: sl(),
+        },
+    ]
+}
+
+fn privacy_properties() -> Vec<NasProperty> {
+    vec![
+        NasProperty {
+            id: "PR01",
+            title: "no identity disclosure after security activation",
+            description: "The UE must not answer a plain identity_request with the IMSI once \
+                          a security context exists.",
+            category: Category::Privacy,
+            check: Check::Model(Property::invariant(
+                "pr01",
+                ne("mon_imsi_disclosed", "post_security"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I5"),
+            slice: SliceSpec { monitor_imsi: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR02",
+            title: "no forced re-attach by IMSI paging",
+            description: "IMSI paging forces the UE to disclose its permanent identity in a \
+                          fresh attach — a tracking primitive.",
+            category: Category::Privacy,
+            check: Check::Model(Property::invariant(
+                "pr02",
+                ne("mon_imsi_disclosed", "paging"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("prior:imsi-paging-linkability"),
+            slice: SliceSpec { monitor_imsi: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR03",
+            title: "no identity disclosure before security activation",
+            description: "The pre-security identity window (the classic IMSI-catcher \
+                          weakness): the standard allows plain identity requests during \
+                          initial attach.",
+            category: Category::Privacy,
+            check: Check::Model(Property::invariant(
+                "pr03",
+                ne("mon_imsi_disclosed", "pre_security"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("prior:imsi-catcher"),
+            slice: SliceSpec { monitor_imsi: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR04",
+            title: "GUTI reallocation cannot be suppressed",
+            description: "Frequent GUTI updates are mandated to prevent tracking; the \
+                          procedure must not be silently deniable (P3's privacy impact).",
+            category: Category::Privacy,
+            check: Check::Model(Property::response(
+                "pr04",
+                eq("mme_state", "mme_guti_realloc_initiated"),
+                eq("mme_last_event", "guti_reallocation_complete"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("P3"),
+            slice: SliceSpec { mme_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR05",
+            title: "key renegotiation cannot be suppressed",
+            description: "The security-mode (rekeying) procedure must not be silently \
+                          deniable (P3 applied to session keys).",
+            category: Category::Privacy,
+            check: Check::Model(Property::response(
+                "pr05",
+                eq("mme_state", "mme_wait_smc_complete"),
+                eq("mme_last_event", "security_mode_complete"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("P3"),
+            slice: SliceSpec { mme_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR06",
+            title: "GUTI reallocation procedure functions",
+            description: "Sanity: the reallocation procedure is reachable and completable \
+                          under the adversary.",
+            category: Category::Privacy,
+            check: Check::Model(Property::reachable(
+                "pr06",
+                eq("mme_state", "mme_guti_realloc_initiated"),
+            )),
+            expectation: Expectation::Reachable,
+            table2_index: None,
+            related_attack: None,
+            slice: sl(),
+        },
+        NasProperty {
+            id: "PR07",
+            title: "unlinkability of authentication responses",
+            description: "Is it possible to distinguish two UEs based on their responses to a \
+                          (replayed stale) authentication_request? (paper P2)",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::StaleAuthReplay),
+            expectation: Expectation::DistinguishableByDesign,
+            table2_index: None,
+            related_attack: Some("P2"),
+            slice: SliceSpec { replayable: vec!["authentication_request"], ..sl() },
+        },
+        NasProperty {
+            id: "PR08",
+            title: "unlinkability of synchronisation failures",
+            description: "Replaying a consumed challenge distinguishes the victim \
+                          (auth_sync_failure) from bystanders (auth_MAC_failure).",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::ConsumedAuthReplay),
+            expectation: Expectation::DistinguishableByDesign,
+            table2_index: None,
+            related_attack: Some("prior:auth-sync-failure-linkability"),
+            slice: sl(),
+        },
+        NasProperty {
+            id: "PR09",
+            title: "uniform failure responses to forged challenges",
+            description: "All UEs must answer a forged challenge identically.",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::ForgedAuthRequest),
+            expectation: Expectation::Equivalent,
+            table2_index: None,
+            related_attack: None,
+            slice: sl(),
+        },
+        NasProperty {
+            id: "PR10",
+            title: "unlinkability under security_mode_command replay",
+            description: "A replayed SMC must not distinguish its original recipient (I6).",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::SmcReplay),
+            expectation: Expectation::Equivalent,
+            table2_index: None,
+            related_attack: Some("I6"),
+            slice: SliceSpec { replayable: vec!["security_mode_command"], ..sl() },
+        },
+        NasProperty {
+            id: "PR11",
+            title: "IMSI paging does not reveal presence",
+            description: "Paging by IMSI must not reveal whether the subscriber is present in \
+                          the cell.",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::ImsiPaging),
+            expectation: Expectation::DistinguishableByDesign,
+            table2_index: None,
+            related_attack: Some("prior:imsi-paging-linkability"),
+            slice: sl(),
+        },
+        NasProperty {
+            id: "PR12",
+            title: "GUTI paging presence disclosure (documented primitive)",
+            description: "Paging by GUTI inherently reveals the presence of the GUTI's owner; \
+                          mitigated only by frequent reallocation.",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::GutiPagingPresence),
+            expectation: Expectation::DistinguishableByDesign,
+            table2_index: None,
+            related_attack: Some("prior:guti-tmsi-linkability"),
+            slice: sl(),
+        },
+        NasProperty {
+            id: "PR13",
+            title: "GUTI reuse across sessions is linkable",
+            description: "If the GUTI never changes, sessions are linkable — the reason \
+                          reallocation is mandated.",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::GutiReuse),
+            expectation: Expectation::DistinguishableByDesign,
+            table2_index: None,
+            related_attack: Some("prior:tmsi-reallocation-linkability"),
+            slice: sl(),
+        },
+        NasProperty {
+            id: "PR14",
+            title: "unlinkability under attach_accept replay",
+            description: "A replayed attach_accept must not distinguish its original \
+                          recipient (I1's privacy face).",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::AttachAcceptReplay),
+            expectation: Expectation::Equivalent,
+            table2_index: None,
+            related_attack: Some("I1"),
+            slice: SliceSpec { replayable: vec!["attach_accept"], ..sl() },
+        },
+        NasProperty {
+            id: "PR15",
+            title: "no IMSI exposure in a fully protected session",
+            description: "Audit: an attach inevitably exposes identity material before \
+                          security activation; quantifies the exposure window.",
+            category: Category::Privacy,
+            check: Check::Model(Property::invariant("pr15", eq("mon_imsi_disclosed", "none"))),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("prior:imsi-catcher"),
+            slice: SliceSpec { monitor_imsi: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR16",
+            title: "identity disclosure requires an identity request",
+            description: "The UE discloses its identity only in response to an explicit \
+                          request or initial attach.",
+            category: Category::Privacy,
+            check: Check::Model(Property::precedence(
+                "pr16",
+                eq("ue_last_action", "identity_response"),
+                eq("ue_last_event", "identity_request"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: None,
+            slice: SliceSpec { ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR17",
+            title: "5G: unlinkability of authentication responses",
+            description: "The SQN scheme is unchanged in 5G: P2 carries over (executable \
+                          5G-impact note).",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::StaleAuthReplay),
+            expectation: Expectation::DistinguishableByDesign,
+            table2_index: None,
+            related_attack: Some("P2"),
+            slice: SliceSpec {
+                base: BaseProfile::FiveG,
+                replayable: vec!["authentication_request"],
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "PR18",
+            title: "5G: configuration update cannot be suppressed",
+            description: "5G's configuration-update procedure has the same five-transmission \
+                          budget; P3 carries over.",
+            category: Category::Privacy,
+            check: Check::Model(Property::response(
+                "pr18",
+                eq("mme_state", "mme_guti_realloc_initiated"),
+                eq("mme_last_event", "guti_reallocation_complete"),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("P3"),
+            slice: SliceSpec { base: BaseProfile::FiveG, mme_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR19",
+            title: "freshness limit closes the stale-challenge window",
+            description: "With the optional Annex C freshness limit L configured, stale \
+                          challenges are rejected (countermeasure validation).",
+            category: Category::Privacy,
+            check: Check::Model(Property::invariant("pr19", ne("last_auth_sqn", "stale"))),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("P1"),
+            slice: SliceSpec {
+                base: BaseProfile::LteFreshnessLimit,
+                replayable: vec!["authentication_request"],
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "PR20",
+            title: "freshness limit restores unlinkability",
+            description: "With L configured, the P2 distinguisher disappears.",
+            category: Category::Privacy,
+            check: Check::Linkability(LinkScenario::StaleAuthReplay),
+            expectation: Expectation::Equivalent,
+            table2_index: None,
+            related_attack: Some("P2"),
+            slice: SliceSpec {
+                base: BaseProfile::LteFreshnessLimit,
+                replayable: vec!["authentication_request"],
+                ..sl()
+            },
+        },
+        NasProperty {
+            id: "PR21",
+            title: "GUTI changes only through the reallocation procedure",
+            description: "The temporary identity changes only via an authenticated \
+                          reallocation exchange.",
+            category: Category::Privacy,
+            check: Check::Model(Property::precedence(
+                "pr21",
+                eq("mme_last_event", "guti_reallocation_complete"),
+                eq("mme_last_action", "guti_reallocation_command"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: None,
+            slice: SliceSpec { mme_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR22",
+            title: "no stealthy detach tracking",
+            description: "A plain detach must not silently park the UE in a re-attach state \
+                          (tracking via repeated identity exposure).",
+            category: Category::Privacy,
+            check: Check::Model(Property::invariant(
+                "pr22",
+                ne("mon_plain_accepted", "detach_request"),
+            )),
+            expectation: Expectation::Holds,
+            table2_index: None,
+            related_attack: Some("I2"),
+            slice: SliceSpec { monitor_plain: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR23",
+            title: "no tracking via plain service rejects",
+            description: "Plain service rejects force re-attach cycles that expose identity \
+                          material.",
+            category: Category::Privacy,
+            check: Check::Model(Property::invariant(
+                "pr23",
+                Expr::not(Expr::and([
+                    eq("ue_state", "emm_deregistered"),
+                    eq("ue_last_event", "service_reject"),
+                ])),
+            )),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("prior:service-denial"),
+            slice: SliceSpec { ue_last: true, ..sl() },
+        },
+        NasProperty {
+            id: "PR24",
+            title: "service continuity under the adversary",
+            description: "Sanity: registration remains reachable in the adversarial \
+                          composition (privacy procedures presuppose service).",
+            category: Category::Privacy,
+            check: Check::Model(Property::reachable(
+                "pr24",
+                Expr::and([
+                    eq("ue_state", "emm_registered"),
+                    eq("mme_state", "mme_registered"),
+                ]),
+            )),
+            expectation: Expectation::Reachable,
+            table2_index: None,
+            related_attack: None,
+            slice: sl(),
+        },
+        NasProperty {
+            id: "PR25",
+            title: "stale challenge acceptance window exists",
+            description: "Documents P1's root cause: with vendor-default SQN handling, a \
+                          stale-but-unconsumed challenge is accepted (the 31-challenge \
+                          window of the 5-bit IND configuration).",
+            category: Category::Privacy,
+            check: Check::Model(Property::reachable("pr25", eq("last_auth_sqn", "stale"))),
+            expectation: Expectation::ViolatedByDesign,
+            table2_index: None,
+            related_attack: Some("P1"),
+            slice: SliceSpec { replayable: vec!["authentication_request"], ..sl() },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn paper_counts_match() {
+        let all = registry();
+        assert_eq!(all.len(), 62, "the paper formalises 62 properties");
+        let security = all.iter().filter(|p| p.category == Category::Security).count();
+        let privacy = all.iter().filter(|p| p.category == Category::Privacy).count();
+        assert_eq!(security, 37, "37 security properties");
+        assert_eq!(privacy, 25, "25 privacy properties");
+    }
+
+    #[test]
+    fn ids_unique_and_well_formed() {
+        let all = registry();
+        let ids: BTreeSet<&str> = all.iter().map(|p| p.id).collect();
+        assert_eq!(ids.len(), all.len());
+        for p in &all {
+            match p.category {
+                Category::Security => assert!(p.id.starts_with('S'), "{}", p.id),
+                Category::Privacy => assert!(p.id.starts_with("PR"), "{}", p.id),
+            }
+            assert!(!p.title.is_empty());
+            assert!(!p.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn table2_has_14_distinct_indices() {
+        let common = common_properties();
+        assert_eq!(common.len(), 14, "Table II lists 14 common properties");
+        let idx: BTreeSet<u8> = common.iter().map(|p| p.table2_index.unwrap()).collect();
+        assert_eq!(idx.len(), 14);
+        assert_eq!(*idx.iter().next().unwrap(), 1);
+    }
+
+    #[test]
+    fn expectations_are_consistent_with_check_kind() {
+        for p in registry() {
+            match (&p.check, p.expectation) {
+                (Check::Model(Property::Reachable { .. }), e) => assert!(
+                    matches!(
+                        e,
+                        Expectation::Reachable
+                            | Expectation::Unreachable
+                            | Expectation::ViolatedByDesign
+                    ),
+                    "{}: reachability property with expectation {e:?}",
+                    p.id
+                ),
+                (Check::Linkability(_), e) => assert!(
+                    matches!(
+                        e,
+                        Expectation::Equivalent | Expectation::DistinguishableByDesign
+                    ),
+                    "{}: linkability property with expectation {e:?}",
+                    p.id
+                ),
+                (_, e) => assert!(
+                    matches!(e, Expectation::Holds | Expectation::ViolatedByDesign),
+                    "{}: model property with expectation {e:?}",
+                    p.id
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn attack_tags_cover_the_paper_findings() {
+        let all = registry();
+        for tag in ["P1", "P2", "P3", "I1", "I2", "I3", "I4", "I5", "I6"] {
+            assert!(
+                all.iter().any(|p| p.related_attack == Some(tag)),
+                "no property detects {tag}"
+            );
+        }
+    }
+
+    #[test]
+    fn monitor_slices_declared_where_needed() {
+        // Every property whose expression references a monitor variable
+        // must request that monitor in its slice.
+        for p in registry() {
+            if let Check::Model(prop) = &p.check {
+                let exprs: Vec<&Expr> = match prop {
+                    Property::Invariant { holds, .. } => vec![holds],
+                    Property::Reachable { goal, .. } => vec![goal],
+                    Property::Response { trigger, response, .. } => vec![trigger, response],
+                    Property::Precedence { event, requires_before, .. } => {
+                        vec![event, requires_before]
+                    }
+                };
+                let vars: BTreeSet<&str> =
+                    exprs.iter().flat_map(|e| e.variables()).collect();
+                if vars.contains("mon_replay_accepted") {
+                    assert!(p.slice.monitor_replay, "{} needs monitor_replay", p.id);
+                }
+                if vars.contains("mon_plain_accepted") {
+                    assert!(p.slice.monitor_plain, "{} needs monitor_plain", p.id);
+                }
+                if vars.contains("mon_security_bypass") || vars.contains("mon_sqn_bypass") {
+                    assert!(p.slice.monitor_bypass, "{} needs monitor_bypass", p.id);
+                }
+                if vars.contains("mon_imsi_disclosed") {
+                    assert!(p.slice.monitor_imsi, "{} needs monitor_imsi", p.id);
+                }
+                if vars.contains("ue_last_event") || vars.contains("ue_last_action") {
+                    assert!(p.slice.ue_last, "{} needs ue_last", p.id);
+                }
+                if vars.contains("mme_last_event") || vars.contains("mme_last_action") {
+                    assert!(p.slice.mme_last, "{} needs mme_last", p.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p1_property_slice_includes_auth_replay() {
+        let all = registry();
+        let s01 = all.iter().find(|p| p.id == "S01").unwrap();
+        assert!(s01.slice.replayable.contains(&"authentication_request"));
+        assert_eq!(s01.table2_index, Some(1));
+    }
+}

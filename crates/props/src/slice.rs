@@ -1,0 +1,124 @@
+//! Per-property model slices.
+//!
+//! ProChecker runs the model checker once per property; this module
+//! captures which observer variables, replay alphabet, and base threat
+//! profile each property needs, so the composed model stays as small as
+//! the property allows.
+
+use procheck_threat::ThreatConfig;
+use serde::{Deserialize, Serialize};
+
+/// Which base threat profile the property is evaluated under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BaseProfile {
+    /// Standard 4G LTE, vendor-default SQN handling (no freshness limit).
+    #[default]
+    Lte,
+    /// 4G LTE with the optional Annex C freshness limit `L` configured —
+    /// the countermeasure profile.
+    LteFreshnessLimit,
+    /// The 5G profile (same scheme; executable 5G-impact note).
+    FiveG,
+}
+
+/// Observer variables and replay alphabet a property needs.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize)]
+pub struct SliceSpec {
+    /// Base threat profile.
+    pub base: BaseProfile,
+    /// Replayable-message alphabet override (empty = no capture bits).
+    pub replayable: Vec<&'static str>,
+    /// Track `ue_last_event`/`ue_last_action`.
+    pub ue_last: bool,
+    /// Track `mme_last_event`/`mme_last_action`.
+    pub mme_last: bool,
+    /// Declare `mon_replay_accepted`.
+    pub monitor_replay: bool,
+    /// Declare `mon_plain_accepted`.
+    pub monitor_plain: bool,
+    /// Declare `mon_security_bypass`/`mon_sqn_bypass`.
+    pub monitor_bypass: bool,
+    /// Declare `mon_imsi_disclosed`.
+    pub monitor_imsi: bool,
+    /// Include the optimistic forge commands (CEGAR-relevant slices).
+    pub forge: bool,
+    /// Add the delivery-fairness constraint.
+    pub fair_delivery: bool,
+}
+
+impl SliceSpec {
+    /// Builds the [`ThreatConfig`] for this slice.
+    pub fn threat_config(&self) -> ThreatConfig {
+        let mut cfg = match self.base {
+            BaseProfile::Lte => ThreatConfig::lte(),
+            BaseProfile::LteFreshnessLimit => ThreatConfig::lte_with_freshness_limit(),
+            BaseProfile::FiveG => ThreatConfig::fiveg(),
+        };
+        cfg = cfg.with_replayable(self.replayable.iter().copied());
+        if self.ue_last {
+            cfg = cfg.with_ue_last();
+        }
+        if self.mme_last {
+            cfg = cfg.with_mme_last();
+        }
+        if self.monitor_replay {
+            cfg = cfg.with_replay_monitor();
+        }
+        if self.monitor_plain {
+            cfg = cfg.with_plain_monitor();
+        }
+        if self.monitor_bypass {
+            cfg = cfg.with_bypass_monitor();
+        }
+        if self.monitor_imsi {
+            cfg = cfg.with_imsi_monitor();
+        }
+        if !self.forge {
+            cfg = cfg.without_forge();
+        }
+        cfg.fair_delivery = self.fair_delivery;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_slice_is_minimal() {
+        let cfg = SliceSpec::default().threat_config();
+        assert!(cfg.replayable_dl.is_empty());
+        assert!(!cfg.track_ue_last);
+        assert!(!cfg.monitor_replay);
+        assert!(!cfg.optimistic_crypto, "forge off unless requested");
+    }
+
+    #[test]
+    fn full_slice_enables_everything() {
+        let spec = SliceSpec {
+            base: BaseProfile::Lte,
+            replayable: vec!["authentication_request"],
+            ue_last: true,
+            mme_last: true,
+            monitor_replay: true,
+            monitor_plain: true,
+            monitor_bypass: true,
+            monitor_imsi: true,
+            forge: true,
+            fair_delivery: true,
+        };
+        let cfg = spec.threat_config();
+        assert!(cfg.track_ue_last && cfg.track_mme_last);
+        assert!(cfg.monitor_replay && cfg.monitor_plain && cfg.monitor_bypass && cfg.monitor_imsi);
+        assert!(cfg.optimistic_crypto);
+        assert!(cfg.fair_delivery);
+        assert_eq!(cfg.replayable_dl.len(), 1);
+    }
+
+    #[test]
+    fn freshness_profile_propagates() {
+        let spec = SliceSpec { base: BaseProfile::LteFreshnessLimit, ..SliceSpec::default() };
+        assert!(!spec.threat_config().stale_unconsumed_sqn_accepted);
+    }
+}

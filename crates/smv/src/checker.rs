@@ -1,0 +1,886 @@
+//! Explicit-state checking engine.
+//!
+//! States are interned vectors of per-variable value indices. Safety
+//! properties (invariants, reachability, precedence) are checked by BFS
+//! with parent pointers for counterexample reconstruction. Response
+//! properties `G (trigger → F response)` are checked on the product with
+//! a one-bit obligation monitor: a violation is a reachable cycle whose
+//! states all carry an undischarged obligation, and which satisfies every
+//! fairness constraint (`JUSTICE`-style, as in nuXmv).
+
+use crate::expr::Expr;
+use crate::model::Model;
+use crate::trace::{Counterexample, TraceStep};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+
+/// Default bound on explored product states.
+pub const DEFAULT_STATE_LIMIT: usize = 4_000_000;
+
+/// A property to check against a model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Property {
+    /// `AG holds` — the expression is true in every reachable state.
+    Invariant {
+        /// Property name (for reports).
+        name: String,
+        /// The invariant expression.
+        holds: Expr,
+    },
+    /// `EF goal` — is the goal reachable? (Attack-goal queries.)
+    Reachable {
+        /// Property name.
+        name: String,
+        /// The goal expression.
+        goal: Expr,
+    },
+    /// `G (trigger → F response)` — every trigger is eventually answered.
+    Response {
+        /// Property name.
+        name: String,
+        /// The triggering condition.
+        trigger: Expr,
+        /// The discharging condition.
+        response: Expr,
+    },
+    /// `event` never occurs before `requires_before` has occurred
+    /// (correspondence / authentication-precedence properties).
+    Precedence {
+        /// Property name.
+        name: String,
+        /// The guarded event.
+        event: Expr,
+        /// The prerequisite.
+        requires_before: Expr,
+    },
+}
+
+impl Property {
+    /// Convenience constructor for [`Property::Invariant`].
+    pub fn invariant(name: impl Into<String>, holds: Expr) -> Self {
+        Property::Invariant { name: name.into(), holds }
+    }
+
+    /// Convenience constructor for [`Property::Reachable`].
+    pub fn reachable(name: impl Into<String>, goal: Expr) -> Self {
+        Property::Reachable { name: name.into(), goal }
+    }
+
+    /// Convenience constructor for [`Property::Response`].
+    pub fn response(name: impl Into<String>, trigger: Expr, response: Expr) -> Self {
+        Property::Response { name: name.into(), trigger, response }
+    }
+
+    /// Convenience constructor for [`Property::Precedence`].
+    pub fn precedence(name: impl Into<String>, event: Expr, requires_before: Expr) -> Self {
+        Property::Precedence { name: name.into(), event, requires_before }
+    }
+
+    /// The property's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Property::Invariant { name, .. }
+            | Property::Reachable { name, .. }
+            | Property::Response { name, .. }
+            | Property::Precedence { name, .. } => name,
+        }
+    }
+}
+
+/// Outcome of a check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds on all reachable behaviour.
+    Holds,
+    /// The property is violated; a counterexample is attached.
+    Violated(Counterexample),
+    /// (Reachability only) the goal is reachable; a witness is attached.
+    Reachable(Counterexample),
+    /// (Reachability only) the goal is unreachable.
+    Unreachable,
+}
+
+impl Verdict {
+    /// The attached trace, if any.
+    pub fn trace(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Violated(ce) | Verdict::Reachable(ce) => Some(ce),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The model failed validation.
+    InvalidModel(Vec<String>),
+    /// The reachable product exceeded the state limit.
+    StateLimit(usize),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::InvalidModel(problems) => {
+                write!(f, "invalid model: {}", problems.join("; "))
+            }
+            CheckError::StateLimit(n) => write!(f, "state limit of {n} states exceeded"),
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+/// Statistics from exploring a model's reachable state space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExploreStats {
+    /// Number of reachable states.
+    pub states: usize,
+    /// Number of transitions (fired commands, including stutters).
+    pub transitions: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+type Value = u16;
+type State = Vec<Value>;
+
+/// Index-resolved expression: variable names and symbolic values are
+/// replaced by positions, so evaluation is array indexing with no string
+/// hashing on the hot path.
+#[derive(Debug, Clone)]
+enum CExpr {
+    True,
+    False,
+    Eq(usize, Value),
+    Ne(usize, Value),
+    In(usize, Vec<Value>),
+    And(Vec<CExpr>),
+    Or(Vec<CExpr>),
+    Not(Box<CExpr>),
+}
+
+impl CExpr {
+    fn eval(&self, s: &State) -> bool {
+        match self {
+            CExpr::True => true,
+            CExpr::False => false,
+            CExpr::Eq(v, x) => s[*v] == *x,
+            CExpr::Ne(v, x) => s[*v] != *x,
+            CExpr::In(v, xs) => xs.contains(&s[*v]),
+            CExpr::And(xs) => xs.iter().all(|x| x.eval(s)),
+            CExpr::Or(xs) => xs.iter().any(|x| x.eval(s)),
+            CExpr::Not(x) => !x.eval(s),
+        }
+    }
+}
+
+/// A command with indices resolved.
+struct CCmd {
+    guard: CExpr,
+    updates: Vec<(usize, Value)>,
+}
+
+struct Compiled<'m> {
+    model: &'m Model,
+    var_index: HashMap<&'m str, usize>,
+    val_index: Vec<HashMap<&'m str, Value>>,
+    commands: Vec<CCmd>,
+}
+
+impl<'m> Compiled<'m> {
+    fn new(model: &'m Model) -> Result<Self, CheckError> {
+        let problems = model.validate();
+        if !problems.is_empty() {
+            return Err(CheckError::InvalidModel(problems));
+        }
+        let mut var_index = HashMap::new();
+        let mut val_index = Vec::new();
+        for (i, v) in model.vars().iter().enumerate() {
+            var_index.insert(v.name.as_str(), i);
+            let mut m = HashMap::new();
+            for (j, value) in v.domain.iter().enumerate() {
+                m.insert(value.as_str(), j as Value);
+            }
+            val_index.push(m);
+        }
+        let mut c = Compiled { model, var_index, val_index, commands: Vec::new() };
+        c.commands = model
+            .commands()
+            .iter()
+            .map(|cmd| CCmd {
+                guard: c.compile(&cmd.guard),
+                updates: cmd
+                    .updates
+                    .iter()
+                    .map(|(var, value)| {
+                        let vi = c.var_index[var.as_str()];
+                        (vi, c.val_index[vi][value.as_str()])
+                    })
+                    .collect(),
+            })
+            .collect();
+        Ok(c)
+    }
+
+    /// Compiles an expression against the declared domains. The model has
+    /// already been validated, so lookups cannot fail.
+    fn compile(&self, e: &Expr) -> CExpr {
+        match e {
+            Expr::True => CExpr::True,
+            Expr::False => CExpr::False,
+            Expr::Eq(v, x) => {
+                let vi = self.var_index[v.as_str()];
+                CExpr::Eq(vi, self.val_index[vi][x.as_str()])
+            }
+            Expr::Ne(v, x) => {
+                let vi = self.var_index[v.as_str()];
+                CExpr::Ne(vi, self.val_index[vi][x.as_str()])
+            }
+            Expr::In(v, xs) => {
+                let vi = self.var_index[v.as_str()];
+                CExpr::In(vi, xs.iter().map(|x| self.val_index[vi][x.as_str()]).collect())
+            }
+            Expr::And(xs) => CExpr::And(xs.iter().map(|x| self.compile(x)).collect()),
+            Expr::Or(xs) => CExpr::Or(xs.iter().map(|x| self.compile(x)).collect()),
+            Expr::Not(x) => CExpr::Not(Box::new(self.compile(x))),
+            Expr::Implies(a, b) => CExpr::Or(vec![
+                CExpr::Not(Box::new(self.compile(a))),
+                self.compile(b),
+            ]),
+        }
+    }
+
+    fn initial_states(&self) -> Vec<State> {
+        let mut states: Vec<State> = vec![Vec::new()];
+        for (i, v) in self.model.vars().iter().enumerate() {
+            let mut next = Vec::with_capacity(states.len() * v.init.len());
+            for s in &states {
+                for init in &v.init {
+                    let mut s2 = s.clone();
+                    s2.push(self.val_index[i][init.as_str()]);
+                    next.push(s2);
+                }
+            }
+            states = next;
+        }
+        states
+    }
+
+    /// Validates that a property expression only references declared
+    /// variables and in-domain values; compiles it on success.
+    fn compile_checked(&self, e: &Expr) -> Result<CExpr, CheckError> {
+        let mut problems = Vec::new();
+        self.model.validate_property_expr(e, &mut problems);
+        if !problems.is_empty() {
+            return Err(CheckError::InvalidModel(problems));
+        }
+        Ok(self.compile(e))
+    }
+
+    /// Enabled commands and their successor states. A deadlocked state
+    /// gets a single stutter self-loop (command index `usize::MAX`).
+    fn successors(&self, s: &State) -> Vec<(usize, State)> {
+        let mut out = Vec::new();
+        for (i, cmd) in self.commands.iter().enumerate() {
+            if cmd.guard.eval(s) {
+                let mut s2 = s.clone();
+                for &(vi, value) in &cmd.updates {
+                    s2[vi] = value;
+                }
+                out.push((i, s2));
+            }
+        }
+        if out.is_empty() {
+            out.push((usize::MAX, s.clone()));
+        }
+        out
+    }
+
+    fn label_of(&self, cmd: usize) -> &str {
+        if cmd == usize::MAX {
+            "stutter"
+        } else {
+            &self.model.commands()[cmd].label
+        }
+    }
+
+    fn assignment(&self, s: &State) -> BTreeMap<String, String> {
+        self.model
+            .vars()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.name.clone(), v.domain[s[i] as usize].clone()))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Product-graph exploration
+// ---------------------------------------------------------------------------
+
+/// Monitor bit carried in the product state (obligation pending or
+/// prerequisite seen). Unused by plain invariant checks.
+type Flag = bool;
+
+struct Graph {
+    /// Interned (state, flag) pairs.
+    nodes: Vec<(State, Flag)>,
+    index: HashMap<(State, Flag), u32>,
+    /// Parent pointer and incoming command label for trace rebuilding.
+    parent: Vec<Option<(u32, usize)>>,
+    /// Adjacency (filled only when `record_edges`).
+    edges: Vec<Vec<(usize, u32)>>,
+}
+
+impl Graph {
+    fn new() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            index: HashMap::new(),
+            parent: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, node: (State, Flag), parent: Option<(u32, usize)>) -> (u32, bool) {
+        if let Some(&id) = self.index.get(&node) {
+            return (id, false);
+        }
+        let id = self.nodes.len() as u32;
+        self.index.insert(node.clone(), id);
+        self.nodes.push(node);
+        self.parent.push(parent);
+        self.edges.push(Vec::new());
+        (id, true)
+    }
+}
+
+/// The flag-update function for the product monitor.
+type FlagUpdate<'a> = dyn Fn(Flag, &State) -> Flag + 'a;
+
+/// Explores the product graph from the initial states.
+fn explore(
+    c: &Compiled<'_>,
+    init_flag: &FlagUpdate<'_>,
+    step_flag: &FlagUpdate<'_>,
+    record_edges: bool,
+    limit: usize,
+) -> Result<Graph, CheckError> {
+    let mut g = Graph::new();
+    let mut queue = VecDeque::new();
+    for s in c.initial_states() {
+        let flag = init_flag(false, &s);
+        let (id, fresh) = g.intern((s, flag), None);
+        if fresh {
+            queue.push_back(id);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        if g.nodes.len() > limit {
+            return Err(CheckError::StateLimit(limit));
+        }
+        let (state, flag) = g.nodes[id as usize].clone();
+        for (cmd, succ) in c.successors(&state) {
+            let new_flag = step_flag(flag, &succ);
+            let (sid, fresh) = g.intern((succ, new_flag), Some((id, cmd)));
+            if record_edges {
+                g.edges[id as usize].push((cmd, sid));
+            }
+            if fresh {
+                queue.push_back(sid);
+            }
+        }
+    }
+    Ok(g)
+}
+
+fn rebuild_path(c: &Compiled<'_>, g: &Graph, target: u32) -> Vec<TraceStep> {
+    let mut rev = Vec::new();
+    let mut cur = Some(target);
+    while let Some(id) = cur {
+        let (state, _) = &g.nodes[id as usize];
+        let label = match g.parent[id as usize] {
+            Some((_, cmd)) => c.label_of(cmd).to_string(),
+            None => "init".to_string(),
+        };
+        rev.push(TraceStep { label, state: c.assignment(state) });
+        cur = g.parent[id as usize].map(|(p, _)| p);
+    }
+    rev.reverse();
+    rev
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+/// Checks a property with the default state limit.
+///
+/// # Panics
+///
+/// Panics if the model fails validation or the state space exceeds
+/// [`DEFAULT_STATE_LIMIT`] — use [`check_bounded`] to handle those as
+/// errors.
+pub fn check(model: &Model, property: &Property) -> Verdict {
+    check_bounded(model, property, DEFAULT_STATE_LIMIT)
+        .unwrap_or_else(|e| panic!("model check failed: {e}"))
+}
+
+/// Explores the reachable state space and reports its size.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] for invalid models or state-limit blowups.
+pub fn explore_stats(model: &Model, limit: usize) -> Result<ExploreStats, CheckError> {
+    let c = Compiled::new(model)?;
+    let no_flag: &FlagUpdate<'_> = &|_, _| false;
+    let g = explore(&c, no_flag, no_flag, true, limit)?;
+    let transitions = g.edges.iter().map(|e| e.len()).sum();
+    Ok(ExploreStats { states: g.nodes.len(), transitions })
+}
+
+/// Checks a property with an explicit state limit.
+///
+/// # Errors
+///
+/// Returns [`CheckError::InvalidModel`] if the model references
+/// undeclared variables or out-of-domain values, and
+/// [`CheckError::StateLimit`] if exploration exceeds `limit` states.
+pub fn check_bounded(
+    model: &Model,
+    property: &Property,
+    limit: usize,
+) -> Result<Verdict, CheckError> {
+    let c = Compiled::new(model)?;
+    match property {
+        Property::Invariant { holds, .. } => {
+            let holds = c.compile_checked(holds)?;
+            check_safety(&c, limit, |s, _| !holds.eval(s)).map(|r| match r {
+                Some(ce) => Verdict::Violated(ce),
+                None => Verdict::Holds,
+            })
+        }
+        Property::Reachable { goal, .. } => {
+            let goal = c.compile_checked(goal)?;
+            check_safety(&c, limit, |s, _| goal.eval(s)).map(|r| match r {
+                Some(ce) => Verdict::Reachable(ce),
+                None => Verdict::Unreachable,
+            })
+        }
+        Property::Precedence { event, requires_before, .. } => {
+            // Flag = "prerequisite has occurred". Violation: event in a
+            // state where the (updated) flag is still false.
+            let event = c.compile_checked(event)?;
+            let before = c.compile_checked(requires_before)?;
+            let init_flag: &FlagUpdate<'_> = &|_, s: &State| before.eval(s);
+            let step_flag: &FlagUpdate<'_> = &|f, s: &State| f || before.eval(s);
+            let g = explore(&c, init_flag, step_flag, false, limit)?;
+            for (id, (state, flag)) in g.nodes.iter().enumerate() {
+                if !flag && event.eval(state) {
+                    let steps = rebuild_path(&c, &g, id as u32);
+                    return Ok(Verdict::Violated(Counterexample { steps, lasso_start: None }));
+                }
+            }
+            Ok(Verdict::Holds)
+        }
+        Property::Response { trigger, response, .. } => {
+            let trigger = c.compile_checked(trigger)?;
+            let response = c.compile_checked(response)?;
+            check_response(&c, &trigger, &response, limit)
+        }
+    }
+}
+
+fn check_safety(
+    c: &Compiled<'_>,
+    limit: usize,
+    bad: impl Fn(&State, Flag) -> bool,
+) -> Result<Option<Counterexample>, CheckError> {
+    let no_flag: &FlagUpdate<'_> = &|_, _| false;
+    let g = explore(c, no_flag, no_flag, false, limit)?;
+    for (id, (state, flag)) in g.nodes.iter().enumerate() {
+        if bad(state, *flag) {
+            let steps = rebuild_path(c, &g, id as u32);
+            return Ok(Some(Counterexample { steps, lasso_start: None }));
+        }
+    }
+    Ok(None)
+}
+
+fn check_response(
+    c: &Compiled<'_>,
+    trigger: &CExpr,
+    response: &CExpr,
+    limit: usize,
+) -> Result<Verdict, CheckError> {
+    // Obligation monitor: pending' = (pending ∨ trigger(s')) ∧ ¬response(s').
+    let init_flag: &FlagUpdate<'_> = &|_, s: &State| trigger.eval(s) && !response.eval(s);
+    let step_flag: &FlagUpdate<'_> =
+        &|f, s: &State| (f || trigger.eval(s)) && !response.eval(s);
+    let g = explore(c, init_flag, step_flag, true, limit)?;
+
+    // Restrict to pending nodes and find a fair cycle among them.
+    let pending: Vec<bool> = g.nodes.iter().map(|(_, f)| *f).collect();
+    let sccs = tarjan_sccs(&g, &pending);
+    let fairness: Vec<CExpr> = c.model.fairness().iter().map(|f| c.compile(f)).collect();
+    for scc in &sccs {
+        if !scc_has_cycle(&g, scc, &pending) {
+            continue;
+        }
+        // Every fairness constraint must be satisfiable inside the SCC.
+        let fair_ok = fairness
+            .iter()
+            .all(|f| scc.iter().any(|&id| f.eval(&g.nodes[id as usize].0)));
+        if !fair_ok {
+            continue;
+        }
+        let entry = scc[0];
+        let prefix = rebuild_path(c, &g, entry);
+        let cycle = build_fair_cycle(c, &g, scc, entry, &fairness);
+        let lasso_start = prefix.len() - 1;
+        let mut steps = prefix;
+        steps.extend(cycle);
+        return Ok(Verdict::Violated(Counterexample { steps, lasso_start: Some(lasso_start) }));
+    }
+    Ok(Verdict::Holds)
+}
+
+/// Tarjan SCC over the subgraph induced by `mask` (iterative).
+fn tarjan_sccs(g: &Graph, mask: &[bool]) -> Vec<Vec<u32>> {
+    let n = g.nodes.len();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut sccs = Vec::new();
+
+    #[derive(Clone)]
+    struct Frame {
+        node: u32,
+        edge: usize,
+    }
+
+    for start in 0..n as u32 {
+        if !mask[start as usize] || index[start as usize] != u32::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame { node: start, edge: 0 }];
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(frame) = call.last_mut() {
+            let u = frame.node;
+            let edges = &g.edges[u as usize];
+            if frame.edge < edges.len() {
+                let (_, v) = edges[frame.edge];
+                frame.edge += 1;
+                if !mask[v as usize] {
+                    continue;
+                }
+                if index[v as usize] == u32::MAX {
+                    index[v as usize] = next_index;
+                    low[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    call.push(Frame { node: v, edge: 0 });
+                } else if on_stack[v as usize] {
+                    low[u as usize] = low[u as usize].min(index[v as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(parent) = call.last() {
+                    let p = parent.node;
+                    low[p as usize] = low[p as usize].min(low[u as usize]);
+                }
+                if low[u as usize] == index[u as usize] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        scc.push(w);
+                        if w == u {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+fn scc_has_cycle(g: &Graph, scc: &[u32], mask: &[bool]) -> bool {
+    if scc.len() > 1 {
+        return true;
+    }
+    let u = scc[0];
+    g.edges[u as usize]
+        .iter()
+        .any(|&(_, v)| v == u && mask[u as usize])
+}
+
+/// Builds a cycle within the SCC starting and ending at `entry`, visiting
+/// a witness state for every fairness constraint.
+fn build_fair_cycle(
+    c: &Compiled<'_>,
+    g: &Graph,
+    scc: &[u32],
+    entry: u32,
+    fairness: &[CExpr],
+) -> Vec<TraceStep> {
+    use std::collections::HashSet;
+    let members: HashSet<u32> = scc.iter().copied().collect();
+
+    // BFS within the SCC from `from` to the first node satisfying `pred`,
+    // returning the steps taken (labels + states), excluding `from`.
+    let bfs = |from: u32, pred: &dyn Fn(u32) -> bool| -> Vec<(usize, u32)> {
+        let mut prev: HashMap<u32, (u32, usize)> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut found = None;
+        // Note: `from` itself only counts if it has a self-edge path; we
+        // look for the first satisfying node reached by ≥1 edge.
+        'outer: while let Some(u) = queue.pop_front() {
+            for &(cmd, v) in &g.edges[u as usize] {
+                if !members.contains(&v) {
+                    continue;
+                }
+                if !prev.contains_key(&v) {
+                    prev.insert(v, (u, cmd));
+                    if pred(v) {
+                        found = Some(v);
+                        break 'outer;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        let Some(found) = found else {
+            return Vec::new();
+        };
+        // Walk parent pointers back to `from`. The target may equal
+        // `from` (a self-loop / cycle back to the start), so the walk is
+        // do-while-shaped: always take at least one edge.
+        let mut rev = Vec::new();
+        let mut cur = found;
+        loop {
+            let (p, cmd) = prev[&cur];
+            rev.push((cmd, cur));
+            if p == from || rev.len() > g.nodes.len() {
+                break;
+            }
+            cur = p;
+        }
+        rev.reverse();
+        rev
+    };
+
+    let mut pos = entry;
+    let mut segments: Vec<(usize, u32)> = Vec::new();
+    for f in fairness {
+        if f.eval(&g.nodes[pos as usize].0) {
+            continue; // already satisfied here
+        }
+        let seg = bfs(pos, &|id| f.eval(&g.nodes[id as usize].0));
+        if let Some(&(_, last)) = seg.last() {
+            pos = last;
+        }
+        segments.extend(seg);
+    }
+    // Close the loop back to entry.
+    if pos != entry || segments.is_empty() {
+        let seg = bfs(pos, &|id| id == entry);
+        segments.extend(seg);
+    }
+    segments
+        .into_iter()
+        .map(|(cmd, id)| TraceStep {
+            label: c.label_of(cmd).to_string(),
+            state: c.assignment(&g.nodes[id as usize].0),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GuardedCmd;
+
+    /// A 3-state token ring: idle -> req -> done -> idle.
+    fn ring(with_drop: bool) -> Model {
+        let mut m = Model::new("ring");
+        m.declare_var("st", &["idle", "req", "done"], &["idle"]);
+        m.add_command(GuardedCmd::new("request", Expr::var_eq("st", "idle")).set("st", "req"));
+        m.add_command(GuardedCmd::new("serve", Expr::var_eq("st", "req")).set("st", "done"));
+        m.add_command(GuardedCmd::new("reset", Expr::var_eq("st", "done")).set("st", "idle"));
+        if with_drop {
+            // The adversary may hold the system in `req` forever.
+            m.add_command(GuardedCmd::new("adv_drop", Expr::var_eq("st", "req")).set("st", "req"));
+        }
+        m
+    }
+
+    #[test]
+    fn invariant_holds() {
+        let m = ring(false);
+        let v = check(&m, &Property::invariant("no_ghost", Expr::var_ne("st", "done")));
+        assert!(matches!(v, Verdict::Violated(_)), "done is reachable");
+        let v2 = check(&m, &Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"])));
+        assert_eq!(v2, Verdict::Holds);
+    }
+
+    #[test]
+    fn invariant_counterexample_is_shortest_path() {
+        let m = ring(false);
+        let Verdict::Violated(ce) = check(&m, &Property::invariant("never_done", Expr::var_ne("st", "done"))) else {
+            panic!("expected violation");
+        };
+        assert_eq!(ce.command_labels(), vec!["request", "serve"]);
+        assert_eq!(ce.final_value("st"), Some("done"));
+        assert!(!ce.is_lasso());
+    }
+
+    #[test]
+    fn reachability() {
+        let m = ring(false);
+        assert!(matches!(
+            check(&m, &Property::reachable("can_serve", Expr::var_eq("st", "done"))),
+            Verdict::Reachable(_)
+        ));
+        let mut m2 = Model::new("m2");
+        m2.declare_var("x", &["a", "b"], &["a"]);
+        assert_eq!(
+            check(&m2, &Property::reachable("never_b", Expr::var_eq("x", "b"))),
+            Verdict::Unreachable
+        );
+    }
+
+    #[test]
+    fn response_holds_without_adversary() {
+        let m = ring(false);
+        let p = Property::response("served", Expr::var_eq("st", "req"), Expr::var_eq("st", "done"));
+        assert_eq!(check(&m, &p), Verdict::Holds);
+    }
+
+    #[test]
+    fn response_violated_by_adversary_stall() {
+        let m = ring(true);
+        let p = Property::response("served", Expr::var_eq("st", "req"), Expr::var_eq("st", "done"));
+        let Verdict::Violated(ce) = check(&m, &p) else {
+            panic!("adversary stall must violate response");
+        };
+        assert!(ce.is_lasso());
+        // The loop consists of adv_drop firings.
+        let lasso = ce.lasso_start.unwrap();
+        assert!(ce.steps[lasso + 1..].iter().all(|s| s.label == "adv_drop"));
+    }
+
+    #[test]
+    fn fairness_excludes_pure_stall_loops() {
+        let mut m = ring(true);
+        // Fairness: the service fires infinitely often — excludes the
+        // pure-drop loop (no state in the drop cycle satisfies st=done).
+        m.add_fairness(Expr::var_eq("st", "done"));
+        let p = Property::response("served", Expr::var_eq("st", "req"), Expr::var_eq("st", "done"));
+        assert_eq!(check(&m, &p), Verdict::Holds);
+    }
+
+    #[test]
+    fn deadlock_stutter_violates_response() {
+        let mut m = Model::new("dead");
+        m.declare_var("st", &["waiting", "go"], &["waiting"]);
+        // No command at all: the system deadlocks in `waiting`.
+        let p = Property::response("go_happens", Expr::var_eq("st", "waiting"), Expr::var_eq("st", "go"));
+        let Verdict::Violated(ce) = check(&m, &p) else {
+            panic!("deadlock must violate response");
+        };
+        assert!(ce.steps.iter().any(|s| s.label == "stutter"));
+    }
+
+    #[test]
+    fn precedence_detects_missing_prerequisite() {
+        let mut m = Model::new("prec");
+        m.declare_var("st", &["start", "auth", "data"], &["start"]);
+        m.add_command(GuardedCmd::new("skip_auth", Expr::var_eq("st", "start")).set("st", "data"));
+        m.add_command(GuardedCmd::new("auth", Expr::var_eq("st", "start")).set("st", "auth"));
+        m.add_command(GuardedCmd::new("then_data", Expr::var_eq("st", "auth")).set("st", "data"));
+        let p = Property::precedence("auth_before_data", Expr::var_eq("st", "data"), Expr::var_eq("st", "auth"));
+        let Verdict::Violated(ce) = check(&m, &p) else {
+            panic!("skip path must violate precedence");
+        };
+        assert_eq!(ce.command_labels(), vec!["skip_auth"]);
+    }
+
+    #[test]
+    fn precedence_holds_when_ordered() {
+        let mut m = Model::new("prec2");
+        m.declare_var("st", &["start", "auth", "data"], &["start"]);
+        m.add_command(GuardedCmd::new("auth", Expr::var_eq("st", "start")).set("st", "auth"));
+        m.add_command(GuardedCmd::new("then_data", Expr::var_eq("st", "auth")).set("st", "data"));
+        let p = Property::precedence("auth_before_data", Expr::var_eq("st", "data"), Expr::var_eq("st", "auth"));
+        assert_eq!(check(&m, &p), Verdict::Holds);
+    }
+
+    #[test]
+    fn multiple_initial_states_explored() {
+        let mut m = Model::new("multi");
+        m.declare_var("x", &["a", "b", "c"], &["a", "b"]);
+        let v = check(&m, &Property::reachable("from_b", Expr::var_eq("x", "b")));
+        assert!(matches!(v, Verdict::Reachable(_)));
+        assert_eq!(
+            check(&m, &Property::reachable("c", Expr::var_eq("x", "c"))),
+            Verdict::Unreachable
+        );
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let mut m = Model::new("big");
+        // 8 independent 4-valued variables -> 4^8 = 65536 states.
+        let domain = ["0", "1", "2", "3"];
+        for i in 0..8 {
+            m.declare_var(&format!("v{i}"), &domain, &["0"]);
+        }
+        for i in 0..8 {
+            for (a, b) in [("0", "1"), ("1", "2"), ("2", "3"), ("3", "0")] {
+                m.add_command(
+                    GuardedCmd::new(format!("v{i}_{a}to{b}"), Expr::var_eq(format!("v{i}"), a))
+                        .set(format!("v{i}"), b),
+                );
+            }
+        }
+        let err = check_bounded(&m, &Property::invariant("x", Expr::True), 1000).unwrap_err();
+        assert!(matches!(err, CheckError::StateLimit(1000)));
+        // And with an adequate limit it completes.
+        let ok = check_bounded(&m, &Property::invariant("x", Expr::True), 100_000).unwrap();
+        assert_eq!(ok, Verdict::Holds);
+    }
+
+    #[test]
+    fn invalid_model_rejected() {
+        let mut m = Model::new("bad");
+        m.declare_var("x", &["a"], &["a"]);
+        m.add_command(GuardedCmd::new("boom", Expr::var_eq("ghost", "1")));
+        let err = check_bounded(&m, &Property::invariant("x", Expr::True), 100).unwrap_err();
+        assert!(matches!(err, CheckError::InvalidModel(_)));
+    }
+
+    #[test]
+    fn explore_stats_counts() {
+        let m = ring(false);
+        let stats = explore_stats(&m, 1000).unwrap();
+        assert_eq!(stats.states, 3);
+        assert_eq!(stats.transitions, 3);
+    }
+}

@@ -1,0 +1,154 @@
+//! Boolean expressions over finite-domain model variables.
+//!
+//! Variables and values are referenced by name; the checker resolves them
+//! against the model's declarations when compiling the expression. Only
+//! current-state references are needed: guarded commands express the next
+//! state through explicit assignments, not `next()` constraints.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A boolean expression over model variables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// `var = value`.
+    Eq(String, String),
+    /// `var != value`.
+    Ne(String, String),
+    /// `var ∈ {values…}`.
+    In(String, Vec<String>),
+    /// Conjunction (empty = true).
+    And(Vec<Expr>),
+    /// Disjunction (empty = false).
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Implication.
+    Implies(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// `var = value` — the workhorse atom.
+    pub fn var_eq(var: impl Into<String>, value: impl Into<String>) -> Self {
+        Expr::Eq(var.into(), value.into())
+    }
+
+    /// `var != value`.
+    pub fn var_ne(var: impl Into<String>, value: impl Into<String>) -> Self {
+        Expr::Ne(var.into(), value.into())
+    }
+
+    /// `var ∈ {values…}`.
+    pub fn var_in<I, S>(var: impl Into<String>, values: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Expr::In(var.into(), values.into_iter().map(Into::into).collect())
+    }
+
+    /// Conjunction of the given expressions.
+    pub fn and<I: IntoIterator<Item = Expr>>(exprs: I) -> Self {
+        Expr::And(exprs.into_iter().collect())
+    }
+
+    /// Disjunction of the given expressions.
+    pub fn or<I: IntoIterator<Item = Expr>>(exprs: I) -> Self {
+        Expr::Or(exprs.into_iter().collect())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(expr: Expr) -> Self {
+        Expr::Not(Box::new(expr))
+    }
+
+    /// Implication `a → b`.
+    pub fn implies(a: Expr, b: Expr) -> Self {
+        Expr::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// All variable names referenced by the expression.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::True | Expr::False => {}
+            Expr::Eq(v, _) | Expr::Ne(v, _) | Expr::In(v, _) => out.push(v),
+            Expr::And(xs) | Expr::Or(xs) => {
+                for x in xs {
+                    x.collect_vars(out);
+                }
+            }
+            Expr::Not(x) => x.collect_vars(out),
+            Expr::Implies(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::True => f.write_str("TRUE"),
+            Expr::False => f.write_str("FALSE"),
+            Expr::Eq(v, x) => write!(f, "{v} = {x}"),
+            Expr::Ne(v, x) => write!(f, "{v} != {x}"),
+            Expr::In(v, xs) => write!(f, "{v} in {{{}}}", xs.join(", ")),
+            Expr::And(xs) => {
+                if xs.is_empty() {
+                    return f.write_str("TRUE");
+                }
+                let parts: Vec<String> = xs.iter().map(|x| format!("({x})")).collect();
+                f.write_str(&parts.join(" & "))
+            }
+            Expr::Or(xs) => {
+                if xs.is_empty() {
+                    return f.write_str("FALSE");
+                }
+                let parts: Vec<String> = xs.iter().map(|x| format!("({x})")).collect();
+                f.write_str(&parts.join(" | "))
+            }
+            Expr::Not(x) => write!(f, "!({x})"),
+            Expr::Implies(a, b) => write!(f, "({a}) -> ({b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = Expr::implies(
+            Expr::var_eq("state", "registered"),
+            Expr::or([Expr::var_eq("x", "1"), Expr::not(Expr::var_eq("y", "2"))]),
+        );
+        assert_eq!(e.to_string(), "(state = registered) -> ((x = 1) | (!(y = 2)))");
+        assert_eq!(Expr::And(vec![]).to_string(), "TRUE");
+        assert_eq!(Expr::Or(vec![]).to_string(), "FALSE");
+    }
+
+    #[test]
+    fn variable_collection_dedupes() {
+        let e = Expr::and([
+            Expr::var_eq("a", "1"),
+            Expr::var_ne("b", "2"),
+            Expr::var_in("a", ["1", "2"]),
+        ]);
+        assert_eq!(e.variables(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Finite-domain model-checking substrate (the paper's nuXmv role, §VI).
+//!
+//! ProChecker feeds its threat-instrumented model `IMP^μ` to a
+//! general-purpose symbolic model checker and asks for counterexamples to
+//! safety and liveness properties. This crate is that checker, built from
+//! scratch for the reproduction:
+//!
+//! * [`model`] — models as *guarded commands* over variables with
+//!   symbolic enum domains (the shape the paper's model generator emits
+//!   as SMV);
+//! * [`expr`] — the boolean expression language over those variables;
+//! * [`checker`] — an explicit-state engine: interned-state BFS for
+//!   invariants and reachability, and a product-monitor + SCC search for
+//!   response properties `G (trigger → F response)` under optional
+//!   fairness constraints;
+//! * [`trace`] — counterexample traces (finite paths for safety, lassos
+//!   for liveness) with per-step command labels, consumable by the
+//!   CEGAR loop's cryptographic feasibility check;
+//! * [`smvformat`] — SMV-syntax emission, reproducing the paper's "model
+//!   generator … outputs a SMV description".
+//!
+//! Explicit-state search is exact and fast at this problem's scale
+//! (threat-composed NAS models stay well below a million reachable
+//! states); see DESIGN.md §5.
+//!
+//! # Example
+//!
+//! ```
+//! use procheck_smv::model::{Model, GuardedCmd};
+//! use procheck_smv::expr::Expr;
+//! use procheck_smv::checker::{check, Property, Verdict};
+//!
+//! let mut m = Model::new("toggle");
+//! m.declare_var("light", &["off", "on"], &["off"]);
+//! m.add_command(GuardedCmd::new("switch_on", Expr::var_eq("light", "off"))
+//!     .set("light", "on"));
+//! m.add_command(GuardedCmd::new("switch_off", Expr::var_eq("light", "on"))
+//!     .set("light", "off"));
+//!
+//! // "the light is never stuck": on is reachable
+//! let verdict = check(&m, &Property::reachable("can_turn_on", Expr::var_eq("light", "on")));
+//! assert!(matches!(verdict, Verdict::Reachable(_)));
+//! ```
+
+pub mod checker;
+pub mod expr;
+pub mod model;
+pub mod smvformat;
+pub mod trace;
+
+pub use checker::{check, Property, Verdict};
+pub use expr::Expr;
+pub use model::{GuardedCmd, Model};
+pub use trace::Counterexample;

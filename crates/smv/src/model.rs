@@ -1,0 +1,262 @@
+//! Guarded-command models over finite enum domains.
+//!
+//! A model declares variables (each with a symbolic value domain and a set
+//! of allowed initial values) and commands. Each step of the system
+//! nondeterministically fires one *enabled* command (guard true in the
+//! current state), applying its assignments; unassigned variables keep
+//! their values. When no command is enabled the state stutters — matching
+//! the paper's threat model, where the adversary may simply do nothing
+//! (the "trivial counterexample" of attack P3 is exactly an infinite
+//! stutter of dropped messages).
+
+use crate::expr::Expr;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A variable declaration: symbolic enum domain plus allowed initial
+/// values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// The value domain, in declaration order.
+    pub domain: Vec<String>,
+    /// Allowed initial values (non-deterministic initial choice when more
+    /// than one).
+    pub init: Vec<String>,
+}
+
+/// A guarded command: `label: guard → var := value, …`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardedCmd {
+    /// Label reported in counterexample traces (the CEGAR loop keys its
+    /// feasibility queries on these).
+    pub label: String,
+    /// Enabling condition over the current state.
+    pub guard: Expr,
+    /// Assignments applied when the command fires (constant values —
+    /// nondeterministic choices are modelled as multiple commands).
+    pub updates: BTreeMap<String, String>,
+}
+
+impl GuardedCmd {
+    /// Creates a command with the given label and guard and no updates.
+    pub fn new(label: impl Into<String>, guard: Expr) -> Self {
+        GuardedCmd {
+            label: label.into(),
+            guard,
+            updates: BTreeMap::new(),
+        }
+    }
+
+    /// Adds an assignment `var := value`.
+    pub fn set(mut self, var: impl Into<String>, value: impl Into<String>) -> Self {
+        self.updates.insert(var.into(), value.into());
+        self
+    }
+}
+
+/// A complete guarded-command model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Model {
+    name: String,
+    vars: Vec<VarDecl>,
+    commands: Vec<GuardedCmd>,
+    fairness: Vec<Expr>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new(name: impl Into<String>) -> Self {
+        Model {
+            name: name.into(),
+            vars: Vec::new(),
+            commands: Vec::new(),
+            fairness: Vec::new(),
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already declared, the domain is empty, or an
+    /// initial value is not in the domain — model construction errors are
+    /// programmer errors.
+    pub fn declare_var(&mut self, name: &str, domain: &[&str], init: &[&str]) {
+        assert!(
+            self.vars.iter().all(|v| v.name != name),
+            "variable `{name}` declared twice"
+        );
+        assert!(!domain.is_empty(), "variable `{name}` has an empty domain");
+        for i in init {
+            assert!(
+                domain.contains(i),
+                "initial value `{i}` of `{name}` not in domain"
+            );
+        }
+        assert!(!init.is_empty(), "variable `{name}` has no initial value");
+        self.vars.push(VarDecl {
+            name: name.to_string(),
+            domain: domain.iter().map(|s| s.to_string()).collect(),
+            init: init.iter().map(|s| s.to_string()).collect(),
+        });
+    }
+
+    /// Declares a variable with owned strings (used by generated models).
+    pub fn declare_var_owned(&mut self, name: String, domain: Vec<String>, init: Vec<String>) {
+        let d: Vec<&str> = domain.iter().map(|s| s.as_str()).collect();
+        let i: Vec<&str> = init.iter().map(|s| s.as_str()).collect();
+        self.declare_var(&name, &d, &i);
+    }
+
+    /// Adds a guarded command.
+    pub fn add_command(&mut self, cmd: GuardedCmd) {
+        self.commands.push(cmd);
+    }
+
+    /// Adds a fairness constraint: every infinite execution considered by
+    /// liveness checking must satisfy the expression infinitely often
+    /// (`JUSTICE` in SMV terms).
+    pub fn add_fairness(&mut self, constraint: Expr) {
+        self.fairness.push(constraint);
+    }
+
+    /// The declared variables.
+    pub fn vars(&self) -> &[VarDecl] {
+        &self.vars
+    }
+
+    /// The commands.
+    pub fn commands(&self) -> &[GuardedCmd] {
+        &self.commands
+    }
+
+    /// The fairness constraints.
+    pub fn fairness(&self) -> &[Expr] {
+        &self.fairness
+    }
+
+    /// Looks up a variable declaration.
+    pub fn var(&self, name: &str) -> Option<&VarDecl> {
+        self.vars.iter().find(|v| v.name == name)
+    }
+
+    /// Validates that every variable/value referenced by commands and
+    /// fairness constraints is declared; returns human-readable problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let check_expr = |e: &Expr, ctx: &str, problems: &mut Vec<String>| {
+            self.validate_expr(e, ctx, problems);
+        };
+        for cmd in &self.commands {
+            check_expr(&cmd.guard, &cmd.label, &mut problems);
+            for (var, value) in &cmd.updates {
+                match self.var(var) {
+                    None => problems.push(format!("command `{}` assigns undeclared `{var}`", cmd.label)),
+                    Some(decl) if !decl.domain.contains(value) => problems.push(format!(
+                        "command `{}` assigns `{value}` outside `{var}`'s domain",
+                        cmd.label
+                    )),
+                    _ => {}
+                }
+            }
+        }
+        for f in &self.fairness {
+            check_expr(f, "fairness", &mut problems);
+        }
+        problems
+    }
+
+    /// Validates a property expression against the declared domains,
+    /// appending human-readable problems (used by the checker before it
+    /// compiles a property).
+    pub fn validate_property_expr(&self, e: &Expr, problems: &mut Vec<String>) {
+        self.validate_expr(e, "property", problems);
+    }
+
+    fn validate_expr(&self, e: &Expr, ctx: &str, problems: &mut Vec<String>) {
+        match e {
+            Expr::True | Expr::False => {}
+            Expr::Eq(v, x) | Expr::Ne(v, x) => match self.var(v) {
+                None => problems.push(format!("`{ctx}` references undeclared `{v}`")),
+                Some(decl) if !decl.domain.contains(x) => {
+                    problems.push(format!("`{ctx}` compares `{v}` to out-of-domain `{x}`"))
+                }
+                _ => {}
+            },
+            Expr::In(v, xs) => match self.var(v) {
+                None => problems.push(format!("`{ctx}` references undeclared `{v}`")),
+                Some(decl) => {
+                    for x in xs {
+                        if !decl.domain.contains(x) {
+                            problems.push(format!("`{ctx}` tests `{v}` against out-of-domain `{x}`"));
+                        }
+                    }
+                }
+            },
+            Expr::And(xs) | Expr::Or(xs) => {
+                for x in xs {
+                    self.validate_expr(x, ctx, problems);
+                }
+            }
+            Expr::Not(x) => self.validate_expr(x, ctx, problems),
+            Expr::Implies(a, b) => {
+                self.validate_expr(a, ctx, problems);
+                self.validate_expr(b, ctx, problems);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle() -> Model {
+        let mut m = Model::new("toggle");
+        m.declare_var("light", &["off", "on"], &["off"]);
+        m.add_command(GuardedCmd::new("on", Expr::var_eq("light", "off")).set("light", "on"));
+        m
+    }
+
+    #[test]
+    fn declaration_and_lookup() {
+        let m = toggle();
+        assert_eq!(m.var("light").unwrap().domain, vec!["off", "on"]);
+        assert!(m.var("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_declaration_panics() {
+        let mut m = toggle();
+        m.declare_var("light", &["x"], &["x"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in domain")]
+    fn bad_init_panics() {
+        let mut m = Model::new("m");
+        m.declare_var("x", &["a"], &["b"]);
+    }
+
+    #[test]
+    fn validation_catches_undeclared_and_out_of_domain() {
+        let mut m = toggle();
+        m.add_command(GuardedCmd::new("bad", Expr::var_eq("ghost", "1")).set("light", "purple"));
+        m.add_fairness(Expr::var_eq("light", "sideways"));
+        let problems = m.validate();
+        assert_eq!(problems.len(), 3, "{problems:?}");
+    }
+
+    #[test]
+    fn clean_model_validates() {
+        assert!(toggle().validate().is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! Counterexample traces.
+//!
+//! A counterexample is a finite path for safety violations, or a *lasso*
+//! (path + cycle) for liveness violations. Each step records the fired
+//! command's label — the CEGAR loop (paper §IV-B) asks the cryptographic
+//! protocol verifier about exactly these labels.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One step of a counterexample: the command that led here and the full
+/// variable assignment afterwards.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Label of the command that produced this state (`init` for the
+    /// first step, `stutter` for deadlock self-loops).
+    pub label: String,
+    /// Variable assignment in this state.
+    pub state: BTreeMap<String, String>,
+}
+
+/// A counterexample trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// The steps, starting from an initial state.
+    pub steps: Vec<TraceStep>,
+    /// For liveness violations, the index at which the infinite cycle
+    /// begins (the trace repeats from here forever). `None` for safety.
+    pub lasso_start: Option<usize>,
+}
+
+impl Counterexample {
+    /// Labels of all commands fired along the trace (without `init`).
+    pub fn command_labels(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .skip(1)
+            .map(|s| s.label.as_str())
+            .collect()
+    }
+
+    /// True if this is a liveness (lasso) counterexample.
+    pub fn is_lasso(&self) -> bool {
+        self.lasso_start.is_some()
+    }
+
+    /// The value of `var` in the final state, if present.
+    pub fn final_value(&self, var: &str) -> Option<&str> {
+        self.steps.last()?.state.get(var).map(|s| s.as_str())
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if Some(i) == self.lasso_start {
+                writeln!(f, "-- loop starts here --")?;
+            }
+            let assign: Vec<String> =
+                step.state.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            writeln!(f, "step {i} [{}]: {}", step.label, assign.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ce() -> Counterexample {
+        Counterexample {
+            steps: vec![
+                TraceStep {
+                    label: "init".into(),
+                    state: BTreeMap::from([("x".into(), "0".into())]),
+                },
+                TraceStep {
+                    label: "bump".into(),
+                    state: BTreeMap::from([("x".into(), "1".into())]),
+                },
+            ],
+            lasso_start: Some(1),
+        }
+    }
+
+    #[test]
+    fn labels_skip_init() {
+        assert_eq!(ce().command_labels(), vec!["bump"]);
+    }
+
+    #[test]
+    fn final_value_lookup() {
+        assert_eq!(ce().final_value("x"), Some("1"));
+        assert_eq!(ce().final_value("y"), None);
+    }
+
+    #[test]
+    fn display_marks_loop() {
+        let text = ce().to_string();
+        assert!(text.contains("-- loop starts here --"));
+        assert!(text.contains("step 1 [bump]: x=1"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Common endpoint abstraction for the simulated protocol participants.
+
+use procheck_nas::codec::Pdu;
+use serde::{Deserialize, Serialize};
+
+/// External (non-message) events that drive a protocol participant —
+/// power events and expiring timers. Together with received PDUs these are
+/// the "conditions" of the paper's event-driven model (§II-D).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TriggerEvent {
+    /// UE: power-on / attach enabled — start the attach procedure.
+    PowerOn,
+    /// UE: user-initiated detach (not switch-off: an accept is expected).
+    DetachRequested,
+    /// UE: tracking-area change — start the TAU procedure.
+    TauDue,
+    /// MME: start a GUTI reallocation (the procedure attack P3 suppresses).
+    StartGutiReallocation,
+    /// MME: timer T3450 expiry — retransmit `guti_reallocation_command`
+    /// (the standard allows four retransmissions, then aborts).
+    T3450Expiry,
+    /// MME: start a network-initiated detach.
+    StartDetach,
+    /// MME: page the UE.
+    PageUe,
+    /// MME: request the subscriber identity.
+    StartIdentityRequest,
+    /// MME: re-run authentication (fresh challenge).
+    StartAuthentication,
+    /// MME: re-run the security-mode procedure (rekeying).
+    StartSecurityModeCommand,
+    /// MME: send a protected `emm_information` message (used by the
+    /// conformance suite to exercise protected-message handling and by
+    /// replay experiments).
+    SendInformation,
+}
+
+impl TriggerEvent {
+    /// The condition name this event contributes to the extracted FSM
+    /// (the paper's `attach_enabled`-style internal conditions).
+    pub fn log_name(self) -> &'static str {
+        match self {
+            TriggerEvent::PowerOn => "attach_enabled",
+            TriggerEvent::DetachRequested => "detach_requested",
+            TriggerEvent::TauDue => "tau_due",
+            TriggerEvent::StartGutiReallocation => "start_guti_reallocation",
+            TriggerEvent::T3450Expiry => "t3450_expiry",
+            TriggerEvent::StartDetach => "start_detach",
+            TriggerEvent::PageUe => "page_ue",
+            TriggerEvent::StartIdentityRequest => "start_identity_request",
+            TriggerEvent::StartAuthentication => "start_authentication",
+            TriggerEvent::StartSecurityModeCommand => "start_security_mode",
+            TriggerEvent::SendInformation => "send_information",
+        }
+    }
+}
+
+/// A protocol participant attached to the simulated air interface.
+pub trait NasEndpoint {
+    /// Processes one received PDU and returns the response PDUs (possibly
+    /// empty — the `null_action` case of the paper's FSM).
+    fn handle_pdu(&mut self, pdu: &Pdu) -> Vec<Pdu>;
+
+    /// Processes an external trigger (power event or timer expiry) and
+    /// returns any PDUs it causes to be sent.
+    fn trigger(&mut self, event: TriggerEvent) -> Vec<Pdu>;
+
+    /// The participant's current protocol state name (for diagnostics and
+    /// conformance assertions).
+    fn state_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_events_are_hashable_and_copyable() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<String, TriggerEvent> = BTreeMap::new();
+        m.insert("a".into(), TriggerEvent::PowerOn);
+        let e = m["a"];
+        assert_eq!(e, TriggerEvent::PowerOn);
+    }
+}

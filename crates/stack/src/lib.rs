@@ -1,0 +1,70 @@
+//! Simulated 4G LTE NAS protocol stacks (paper §VI "Codebases").
+//!
+//! The paper evaluates ProChecker on one closed-source and two open-source
+//! (srsLTE, OpenAirInterface) C++ implementations. This crate provides the
+//! Rust-native equivalents used by the reproduction (see DESIGN.md §2 for
+//! the substitution argument):
+//!
+//! * [`UeStack`] with [`quirks::QuirkSet::reference`] — a spec-faithful UE
+//!   standing in for the closed-source commercial implementation;
+//! * [`quirks::QuirkSet::srs`] — the srsLTE/srsUE behaviour, seeded with
+//!   its published implementation bugs (I1: accepts any replayed protected
+//!   message and resets the downlink counter; I3: accepts a repeated
+//!   authentication SQN; I4: security bypass after reject messages;
+//!   I6: accepts a replayed `security_mode_command`);
+//! * [`quirks::QuirkSet::oai`] — the OpenAirInterface behaviour (I1: replay
+//!   of the last protected message accepted; I2: accepts plain-NAS `0x0`
+//!   messages after security activation; I5: answers plain
+//!   `identity_request` with the IMSI; I6);
+//! * [`MmeStack`] — the network side, driving authentication, security
+//!   mode control, GUTI reallocation (with the T3450 retry budget that
+//!   attack P3 exhausts), TAU, paging, and detach.
+//!
+//! Every incoming/outgoing message flows through handler functions named
+//! with the implementation's signature convention
+//! ([`quirks::SignatureProfile`]) and instrumented through
+//! [`procheck_instrument::Instrumentation`] — function entrance, global
+//! state variables at entry/exit, and check-result locals right before
+//! exit — exactly the information the paper's source instrumentor prints
+//! (§IV-A(2)).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use procheck_instrument::Recorder;
+//! use procheck_stack::{MmeStack, UeStack, UeConfig, MmeConfig, NasEndpoint, TriggerEvent};
+//!
+//! let rec = Recorder::new();
+//! let sink: Arc<Recorder> = Arc::new(rec.clone());
+//! let ue_cfg = UeConfig::reference("001010123456789", 0x1234);
+//! let mme_cfg = MmeConfig::for_subscriber(&ue_cfg);
+//! let mut ue = UeStack::new(ue_cfg, sink.clone());
+//! let mut mme = MmeStack::new(mme_cfg, sink);
+//!
+//! // Drive a full attach: power-on, then ping-pong PDUs to quiescence.
+//! let mut uplink = ue.trigger(TriggerEvent::PowerOn);
+//! while !uplink.is_empty() {
+//!     let mut downlink = Vec::new();
+//!     for pdu in &uplink {
+//!         downlink.extend(mme.handle_pdu(pdu));
+//!     }
+//!     uplink.clear();
+//!     for pdu in &downlink {
+//!         uplink.extend(ue.handle_pdu(pdu));
+//!     }
+//! }
+//! assert_eq!(ue.state().as_str(), "emm_registered");
+//! ```
+
+pub mod endpoint;
+pub mod mme;
+pub mod quirks;
+pub mod states;
+pub mod ue;
+
+pub use endpoint::{NasEndpoint, TriggerEvent};
+pub use mme::{MmeConfig, MmeStack};
+pub use quirks::{QuirkSet, SignatureProfile};
+pub use states::{MmeState, UeState};
+pub use ue::{UeConfig, UeStack};

@@ -1,0 +1,759 @@
+//! The simulated MME (network side).
+//!
+//! Drives the NAS procedures of Fig 1: attach with AKA and security-mode
+//! control, GUTI reallocation (with the T3450 retransmission budget whose
+//! exhaustion is attack P3's goal), tracking-area update, paging,
+//! identification, and detach. The HSS is folded in: the MME holds the
+//! subscriber key and the network-side SQN generator.
+
+use crate::endpoint::{NasEndpoint, TriggerEvent};
+use crate::quirks::SignatureProfile;
+use crate::states::MmeState;
+use crate::ue::UeConfig;
+use procheck_instrument::Instrumentation;
+use procheck_nas::codec::{self, Pdu};
+use procheck_nas::crypto::{self, Key, DIR_DOWNLINK, DIR_UPLINK};
+use procheck_nas::ids::{Guti, MobileIdentity};
+use procheck_nas::messages::{AuthFailureCause, IdentityType, NasMessage};
+use procheck_nas::security::{EeaAlg, EiaAlg, ProtectError, SecurityContext};
+use procheck_nas::sqn::{SqnConfig, SqnGenerator};
+use std::sync::Arc;
+
+/// Maximum number of T3450-driven retransmissions of
+/// `guti_reallocation_command` before the procedure is aborted
+/// (TS 24.301: "repeated four times, i.e. on the fifth expiry … the network
+/// shall abort the reallocation procedure").
+pub const T3450_MAX_RETRANSMISSIONS: u32 = 4;
+
+/// Static configuration of the simulated MME (per-subscriber session).
+#[derive(Debug, Clone)]
+pub struct MmeConfig {
+    /// Subscriber identity expected to attach.
+    pub imsi: String,
+    /// Subscriber key `K` (HSS-shared).
+    pub subscriber_key: Key,
+    /// SQN scheme parameters (must match the USIM's).
+    pub sqn_config: SqnConfig,
+    /// Integrity algorithm the network selects.
+    pub eia: EiaAlg,
+    /// Ciphering algorithm the network selects.
+    pub eea: EeaAlg,
+    /// Handler naming convention for instrumentation.
+    pub signatures: SignatureProfile,
+    /// Seed for GUTI assignment.
+    pub guti_seed: u32,
+}
+
+impl MmeConfig {
+    /// Builds the network-side configuration matching a UE's subscription.
+    pub fn for_subscriber(ue: &UeConfig) -> Self {
+        MmeConfig {
+            imsi: ue.imsi.clone(),
+            subscriber_key: ue.subscriber_key,
+            sqn_config: ue.sqn_config,
+            eia: EiaAlg::Eia2,
+            eea: EeaAlg::Eea1,
+            signatures: SignatureProfile {
+                incoming_prefix: "mme_recv_".into(),
+                outgoing_prefix: "mme_send_".into(),
+            },
+            // Per-subscriber GUTI space (folded from the IMSI) so two
+            // simulated subscribers never share temporary identities.
+            guti_seed: 0x4000_0000
+                ^ ue.imsi.bytes().fold(0u32, |acc, b| {
+                    acc.wrapping_mul(31).wrapping_add(b as u32)
+                }),
+        }
+    }
+}
+
+/// Observable network-side counters for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MmeMetrics {
+    /// Authentication vectors issued.
+    pub auth_challenges_sent: u32,
+    /// GUTI reallocation procedures aborted after exhausting T3450
+    /// retries (P3's observable).
+    pub guti_realloc_aborts: u32,
+    /// Successful GUTI reallocations.
+    pub guti_realloc_completions: u32,
+    /// Uplink messages discarded for failing integrity.
+    pub integrity_failures: u32,
+}
+
+/// The simulated MME session for one subscriber.
+pub struct MmeStack {
+    cfg: MmeConfig,
+    sink: Arc<dyn Instrumentation>,
+    state: MmeState,
+    sqn_gen: SqnGenerator,
+    rand_counter: u64,
+    current_rand: u64,
+    expected_res: u64,
+    pending_kasme: Option<Key>,
+    sec_ctx: Option<SecurityContext>,
+    ue_caps: u16,
+    guti_counter: u32,
+    current_guti: Option<Guti>,
+    pending_guti: Option<Guti>,
+    t3450_retransmissions: u32,
+    dl_count: u32,
+    ul_last: Option<u32>,
+    /// Replay-check verdict of the PDU being dispatched, logged inside
+    /// the handler block so the extractor attributes it correctly.
+    pending_count_ok: Option<bool>,
+    /// True while an authentication/SMC run is a *re-keying* of an
+    /// already-registered session: completion returns to registered
+    /// instead of re-running the attach tail.
+    resume_registered: bool,
+    metrics: MmeMetrics,
+}
+
+impl std::fmt::Debug for MmeStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmeStack")
+            .field("state", &self.state)
+            .field("sec_ctx", &self.sec_ctx.is_some())
+            .field("current_guti", &self.current_guti)
+            .field("t3450_retransmissions", &self.t3450_retransmissions)
+            .finish()
+    }
+}
+
+impl MmeStack {
+    /// Creates an MME session with no attached subscriber.
+    pub fn new(cfg: MmeConfig, sink: Arc<dyn Instrumentation>) -> Self {
+        let sqn_gen = SqnGenerator::new(cfg.sqn_config);
+        MmeStack {
+            cfg,
+            sink,
+            state: MmeState::Deregistered,
+            sqn_gen,
+            rand_counter: 0x1000,
+            current_rand: 0,
+            expected_res: 0,
+            pending_kasme: None,
+            sec_ctx: None,
+            ue_caps: 0,
+            guti_counter: 0,
+            current_guti: None,
+            pending_guti: None,
+            t3450_retransmissions: 0,
+            dl_count: 0,
+            ul_last: None,
+            pending_count_ok: None,
+            resume_registered: false,
+            metrics: MmeMetrics::default(),
+        }
+    }
+
+    /// Current MME state.
+    pub fn state(&self) -> MmeState {
+        self.state
+    }
+
+    /// The GUTI currently assigned to the subscriber.
+    pub fn current_guti(&self) -> Option<Guti> {
+        self.current_guti
+    }
+
+    /// The active security context, if any.
+    pub fn security_context(&self) -> Option<&SecurityContext> {
+        self.sec_ctx.as_ref()
+    }
+
+    /// Experiment counters.
+    pub fn metrics(&self) -> MmeMetrics {
+        self.metrics
+    }
+
+    /// Number of T3450 retransmissions performed in the current GUTI
+    /// reallocation procedure.
+    pub fn t3450_retransmissions(&self) -> u32 {
+        self.t3450_retransmissions
+    }
+
+    fn dump_globals(&self) {
+        self.sink.global("mme_state", self.state.as_str());
+        self.sink.global(
+            "sec_ctx",
+            if self.sec_ctx.is_some() { "active" } else { "none" },
+        );
+        self.sink
+            .global("t3450_retx", &self.t3450_retransmissions.to_string());
+    }
+
+    fn send_message(&mut self, msg: NasMessage) -> Pdu {
+        let fname = self.cfg.signatures.outgoing(msg.message_name());
+        let sink = self.sink.clone();
+        sink.enter(&fname);
+        self.dump_globals();
+        let pdu = match (&self.sec_ctx, &msg) {
+            // The SMC itself is integrity-protected but NOT ciphered: the
+            // UE must be able to read the algorithm selection before it
+            // derives the candidate context.
+            (Some(ctx), NasMessage::SecurityModeCommand { .. }) => {
+                let count = self.dl_count;
+                self.dl_count += 1;
+                ctx.protect_integrity_only(&msg, count, DIR_DOWNLINK)
+            }
+            (Some(ctx), _) => {
+                let count = self.dl_count;
+                self.dl_count += 1;
+                ctx.protect(&msg, count, DIR_DOWNLINK)
+            }
+            (None, _) => Pdu::plain(&msg),
+        };
+        self.dump_globals();
+        sink.exit(&fname);
+        pdu
+    }
+
+    fn fresh_challenge(&mut self) -> NasMessage {
+        self.rand_counter += 1;
+        self.current_rand = self.rand_counter;
+        let sqn = self.sqn_gen.next_sqn();
+        let k = self.cfg.subscriber_key;
+        self.expected_res = crypto::f2(k, self.current_rand);
+        self.pending_kasme = Some(crypto::derive_kasme(
+            crypto::f3(k, self.current_rand),
+            crypto::f4(k, self.current_rand),
+        ));
+        self.metrics.auth_challenges_sent += 1;
+        NasMessage::AuthenticationRequest {
+            rand: self.current_rand,
+            autn: crypto::build_autn(k, sqn, self.current_rand),
+        }
+    }
+
+    fn next_guti(&mut self) -> Guti {
+        self.guti_counter += 1;
+        Guti(self.cfg.guti_seed.wrapping_add(self.guti_counter))
+    }
+
+    fn route_pdu(&mut self, pdu: &Pdu) -> Vec<NasMessage> {
+        let sink = self.sink.clone();
+        let msg = if pdu.header.is_protected() {
+            let Some(ctx) = self.sec_ctx.clone() else {
+                sink.local("air_has_context", "false");
+                return Vec::new();
+            };
+            match ctx.verify_and_open(pdu, DIR_UPLINK) {
+                Ok(m) => {
+                    let count_ok = match self.ul_last {
+                        None => true,
+                        Some(last) => pdu.count > last,
+                    };
+                    if !count_ok {
+                        // Dropped at the air level; the handler block is
+                        // never entered (extractor sees no transition).
+                        return Vec::new();
+                    }
+                    self.ul_last = Some(pdu.count);
+                    self.pending_count_ok = Some(true);
+                    m
+                }
+                Err(ProtectError::BadMac) => {
+                    self.metrics.integrity_failures += 1;
+                    sink.local("air_mac_valid", "false");
+                    return Vec::new();
+                }
+                Err(ProtectError::Malformed(_)) => {
+                    sink.local("air_decode_ok", "false");
+                    return Vec::new();
+                }
+            }
+        } else {
+            match codec::decode_message(&pdu.body) {
+                Ok(m) => m,
+                Err(_) => {
+                    sink.local("air_decode_ok", "false");
+                    return Vec::new();
+                }
+            }
+        };
+        self.dispatch(msg)
+    }
+
+    fn dispatch(&mut self, msg: NasMessage) -> Vec<NasMessage> {
+        let fname = self.cfg.signatures.incoming(msg.message_name());
+        let sink = self.sink.clone();
+        sink.enter(&fname);
+        self.dump_globals();
+        if let Some(ok) = self.pending_count_ok.take() {
+            sink.local("count_ok", if ok { "true" } else { "false" });
+        }
+        let replies = self.process(msg);
+        self.dump_globals();
+        sink.exit(&fname);
+        replies
+    }
+
+    fn process(&mut self, msg: NasMessage) -> Vec<NasMessage> {
+        match msg {
+            NasMessage::AttachRequest { identity, ue_net_caps } => {
+                self.sink.local(
+                    "attach_with_imsi",
+                    if identity.is_permanent() { "true" } else { "false" },
+                );
+                self.ue_caps = ue_net_caps;
+                // Fresh attach restarts the session security.
+                self.resume_registered = false;
+                self.sec_ctx = None;
+                self.ul_last = None;
+                self.dl_count = 0;
+                self.state = MmeState::WaitAuthResponse;
+                vec![self.fresh_challenge()]
+            }
+            NasMessage::AuthenticationResponse { res } => {
+                let res_ok = res == self.expected_res;
+                self.sink.local("res_ok", if res_ok { "true" } else { "false" });
+                if !res_ok {
+                    self.state = MmeState::Deregistered;
+                    return vec![NasMessage::AuthenticationReject];
+                }
+                if self.state != MmeState::WaitAuthResponse {
+                    self.sink.local("proc_ok", "false");
+                    return Vec::new();
+                }
+                // Activate the new context and negotiate algorithms.
+                let kasme = self.pending_kasme.take().expect("challenge outstanding");
+                self.sec_ctx = Some(SecurityContext::new(kasme, self.cfg.eia, self.cfg.eea));
+                self.dl_count = 0;
+                self.ul_last = None;
+                self.state = MmeState::WaitSmcComplete;
+                vec![NasMessage::SecurityModeCommand {
+                    eia: self.cfg.eia,
+                    eea: self.cfg.eea,
+                    replayed_ue_caps: self.ue_caps,
+                }]
+            }
+            NasMessage::AuthenticationFailure { cause } => match cause {
+                AuthFailureCause::MacFailure => {
+                    self.sink.local("ue_reported_mac_failure", "true");
+                    self.state = MmeState::Deregistered;
+                    Vec::new()
+                }
+                AuthFailureCause::SyncFailure { auts } => {
+                    // Resynchronise the HSS SQN and retry.
+                    let sqn_ms = auts.sqn_ms_xor_ak
+                        ^ crypto::f5_star(self.cfg.subscriber_key, self.current_rand);
+                    let mac_ok =
+                        auts.mac_s == crypto::f1_star(self.cfg.subscriber_key, sqn_ms, self.current_rand);
+                    self.sink.local("auts_mac_ok", if mac_ok { "true" } else { "false" });
+                    if !mac_ok {
+                        return Vec::new();
+                    }
+                    self.sqn_gen.resynchronise(sqn_ms);
+                    self.state = MmeState::WaitAuthResponse;
+                    vec![self.fresh_challenge()]
+                }
+            },
+            NasMessage::SecurityModeComplete => {
+                if self.state != MmeState::WaitSmcComplete {
+                    self.sink.local("proc_ok", "false");
+                    return Vec::new();
+                }
+                let resume = self.resume_registered;
+                self.sink.local("rekey_resume", if resume { "true" } else { "false" });
+                if resume {
+                    // Re-keying of a registered session: no attach tail.
+                    self.resume_registered = false;
+                    self.state = MmeState::Registered;
+                    return Vec::new();
+                }
+                let guti = self.next_guti();
+                self.current_guti = Some(guti);
+                self.state = MmeState::WaitAttachComplete;
+                vec![NasMessage::AttachAccept { guti, tau_timer: 54 }]
+            }
+            NasMessage::SecurityModeReject { cause: _ } => {
+                self.state = MmeState::Deregistered;
+                Vec::new()
+            }
+            NasMessage::AttachComplete => {
+                if self.state == MmeState::WaitAttachComplete {
+                    self.state = MmeState::Registered;
+                }
+                Vec::new()
+            }
+            NasMessage::GutiReallocationComplete => {
+                if self.state == MmeState::GutiReallocInitiated {
+                    self.current_guti = self.pending_guti.take();
+                    self.t3450_retransmissions = 0;
+                    self.state = MmeState::Registered;
+                    self.metrics.guti_realloc_completions += 1;
+                } else {
+                    self.sink.local("proc_ok", "false");
+                }
+                Vec::new()
+            }
+            NasMessage::DetachRequest { switch_off } => {
+                // The security context is retained so the detach_accept
+                // can still be integrity-protected; the next
+                // attach_request resets session security anyway.
+                self.state = MmeState::Deregistered;
+                if switch_off {
+                    Vec::new()
+                } else {
+                    vec![NasMessage::DetachAccept]
+                }
+            }
+            NasMessage::DetachAccept => {
+                if self.state == MmeState::DetachInitiated {
+                    self.state = MmeState::Deregistered;
+                    self.sec_ctx = None;
+                }
+                Vec::new()
+            }
+            NasMessage::TrackingAreaUpdateRequest => {
+                if self.state == MmeState::Registered {
+                    vec![NasMessage::TrackingAreaUpdateAccept]
+                } else {
+                    vec![NasMessage::TrackingAreaUpdateReject {
+                        cause: procheck_nas::messages::EmmCause::TrackingAreaNotAllowed,
+                    }]
+                }
+            }
+            NasMessage::ServiceRequest => {
+                self.sink
+                    .local("service_granted", if self.state == MmeState::Registered { "true" } else { "false" });
+                Vec::new()
+            }
+            NasMessage::IdentityResponse { identity } => {
+                self.sink.local(
+                    "identity_is_imsi",
+                    if identity.is_permanent() { "true" } else { "false" },
+                );
+                if self.state == MmeState::WaitIdentityResponse {
+                    self.state = MmeState::Registered;
+                }
+                Vec::new()
+            }
+            _ => {
+                self.sink.local("proc_ok", "false");
+                Vec::new()
+            }
+        }
+    }
+}
+
+impl NasEndpoint for MmeStack {
+    fn handle_pdu(&mut self, pdu: &Pdu) -> Vec<Pdu> {
+        let sink = self.sink.clone();
+        sink.enter("mme_msg_handler");
+        let replies = self.route_pdu(pdu);
+        let out = replies.into_iter().map(|m| self.send_message(m)).collect();
+        sink.exit("mme_msg_handler");
+        out
+    }
+
+    fn trigger(&mut self, event: TriggerEvent) -> Vec<Pdu> {
+        self.sink.marker("trigger", event.log_name());
+        self.dump_globals();
+        let msgs: Vec<NasMessage> = match event {
+            TriggerEvent::StartGutiReallocation => {
+                if self.state == MmeState::Registered && self.sec_ctx.is_some() {
+                    let guti = self.next_guti();
+                    self.pending_guti = Some(guti);
+                    self.t3450_retransmissions = 0;
+                    self.state = MmeState::GutiReallocInitiated;
+                    vec![NasMessage::GutiReallocationCommand { guti }]
+                } else {
+                    Vec::new()
+                }
+            }
+            TriggerEvent::T3450Expiry => {
+                if self.state == MmeState::GutiReallocInitiated {
+                    let budget_left = self.t3450_retransmissions < T3450_MAX_RETRANSMISSIONS;
+                    self.sink.local(
+                        "t3450_budget_left",
+                        if budget_left { "true" } else { "false" },
+                    );
+                    if budget_left {
+                        self.t3450_retransmissions += 1;
+                        let guti = self.pending_guti.expect("pending reallocation");
+                        vec![NasMessage::GutiReallocationCommand { guti }]
+                    } else {
+                        // Fifth expiry: abort; UE and network keep using
+                        // the previous GUTI (P3's goal).
+                        self.pending_guti = None;
+                        self.t3450_retransmissions = 0;
+                        self.state = MmeState::Registered;
+                        self.metrics.guti_realloc_aborts += 1;
+                        Vec::new()
+                    }
+                } else {
+                    Vec::new()
+                }
+            }
+            TriggerEvent::StartDetach => {
+                if self.state == MmeState::Registered {
+                    self.state = MmeState::DetachInitiated;
+                    vec![NasMessage::DetachRequest { switch_off: false }]
+                } else {
+                    Vec::new()
+                }
+            }
+            TriggerEvent::PageUe => {
+                let identity = match self.current_guti {
+                    Some(g) => MobileIdentity::Guti(g),
+                    None => MobileIdentity::Imsi(procheck_nas::ids::Imsi::new(&self.cfg.imsi)),
+                };
+                // Paging is broadcast, always plain.
+                let fname = self.cfg.signatures.outgoing("paging");
+                self.sink.enter(&fname);
+                self.dump_globals();
+                let pdu = Pdu::plain(&NasMessage::Paging { identity });
+                self.dump_globals();
+                self.sink.exit(&fname);
+                return vec![pdu];
+            }
+            TriggerEvent::StartIdentityRequest => {
+                if self.state == MmeState::Registered {
+                    self.state = MmeState::WaitIdentityResponse;
+                }
+                vec![NasMessage::IdentityRequest { id_type: IdentityType::Imsi }]
+            }
+            TriggerEvent::StartAuthentication => {
+                self.resume_registered = self.state == MmeState::Registered;
+                self.state = MmeState::WaitAuthResponse;
+                vec![self.fresh_challenge()]
+            }
+            TriggerEvent::StartSecurityModeCommand => {
+                if self.sec_ctx.is_some() {
+                    self.resume_registered =
+                        self.resume_registered || self.state == MmeState::Registered;
+                    self.state = MmeState::WaitSmcComplete;
+                    vec![NasMessage::SecurityModeCommand {
+                        eia: self.cfg.eia,
+                        eea: self.cfg.eea,
+                        replayed_ue_caps: self.ue_caps,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            TriggerEvent::SendInformation => {
+                if self.sec_ctx.is_some() {
+                    vec![NasMessage::EmmInformation]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(), // UE-side triggers are no-ops on the MME
+        };
+        let out = msgs.into_iter().map(|m| self.send_message(m)).collect();
+        self.dump_globals();
+        out
+    }
+
+    fn state_name(&self) -> &'static str {
+        self.state.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ue::{UeConfig, UeStack};
+    use procheck_instrument::NullInstrumentation;
+    use procheck_nas::codec::SecurityHeader;
+
+    fn pair(ue_cfg: UeConfig) -> (UeStack, MmeStack) {
+        let sink: Arc<NullInstrumentation> = Arc::new(NullInstrumentation);
+        let mme_cfg = MmeConfig::for_subscriber(&ue_cfg);
+        (
+            UeStack::new(ue_cfg, sink.clone()),
+            MmeStack::new(mme_cfg, sink),
+        )
+    }
+
+    /// Exchanges PDUs until quiescence; returns the number of rounds.
+    pub(crate) fn run_to_quiescence(ue: &mut UeStack, mme: &mut MmeStack, initial: Vec<Pdu>) -> usize {
+        let mut uplink = initial;
+        let mut rounds = 0;
+        while !uplink.is_empty() && rounds < 64 {
+            rounds += 1;
+            let mut downlink = Vec::new();
+            for pdu in &uplink {
+                downlink.extend(mme.handle_pdu(pdu));
+            }
+            uplink.clear();
+            for pdu in &downlink {
+                uplink.extend(ue.handle_pdu(pdu));
+            }
+        }
+        rounds
+    }
+
+    #[test]
+    fn full_attach_reaches_registered_on_both_sides() {
+        let (mut ue, mut mme) = pair(UeConfig::reference("001010000000001", 0xabc));
+        let initial = ue.trigger(TriggerEvent::PowerOn);
+        run_to_quiescence(&mut ue, &mut mme, initial);
+        assert_eq!(ue.state(), crate::states::UeState::Registered);
+        assert_eq!(mme.state(), MmeState::Registered);
+        assert_eq!(ue.guti(), mme.current_guti());
+        assert!(ue.guti().is_some());
+        // Both sides derived the same KASME.
+        assert_eq!(
+            ue.security_context().unwrap().kasme(),
+            mme.security_context().unwrap().kasme()
+        );
+    }
+
+    #[test]
+    fn attach_works_for_all_three_profiles() {
+        for cfg in [
+            UeConfig::reference("001010000000001", 0xabc),
+            UeConfig::srs("001010000000002", 0xdef),
+            UeConfig::oai("001010000000003", 0x123),
+        ] {
+            let name = cfg.implementation.name();
+            let (mut ue, mut mme) = pair(cfg);
+            let initial = ue.trigger(TriggerEvent::PowerOn);
+            run_to_quiescence(&mut ue, &mut mme, initial);
+            assert_eq!(ue.state(), crate::states::UeState::Registered, "{name}");
+        }
+    }
+
+    #[test]
+    fn guti_reallocation_completes() {
+        let (mut ue, mut mme) = pair(UeConfig::reference("001010000000001", 0xabc));
+        let initial = ue.trigger(TriggerEvent::PowerOn);
+        run_to_quiescence(&mut ue, &mut mme, initial);
+        let old_guti = ue.guti().unwrap();
+        let cmds = mme.trigger(TriggerEvent::StartGutiReallocation);
+        assert_eq!(cmds.len(), 1);
+        let ups: Vec<Pdu> = cmds.iter().flat_map(|p| ue.handle_pdu(p)).collect();
+        for p in &ups {
+            mme.handle_pdu(p);
+        }
+        assert_eq!(mme.state(), MmeState::Registered);
+        assert_ne!(ue.guti().unwrap(), old_guti);
+        assert_eq!(ue.guti(), mme.current_guti());
+        assert_eq!(mme.metrics().guti_realloc_completions, 1);
+    }
+
+    /// P3's mechanism: dropping all five transmissions aborts the
+    /// procedure and both sides keep the old GUTI.
+    #[test]
+    fn t3450_exhaustion_aborts_guti_reallocation() {
+        let (mut ue, mut mme) = pair(UeConfig::reference("001010000000001", 0xabc));
+        let initial = ue.trigger(TriggerEvent::PowerOn);
+        run_to_quiescence(&mut ue, &mut mme, initial);
+        let old_guti = ue.guti().unwrap();
+        // Initial transmission (dropped by the attacker).
+        let first = mme.trigger(TriggerEvent::StartGutiReallocation);
+        assert_eq!(first.len(), 1);
+        // Four retransmissions (all dropped).
+        for i in 1..=T3450_MAX_RETRANSMISSIONS {
+            let retx = mme.trigger(TriggerEvent::T3450Expiry);
+            assert_eq!(retx.len(), 1, "retransmission {i}");
+        }
+        // Fifth expiry: abort.
+        let aborted = mme.trigger(TriggerEvent::T3450Expiry);
+        assert!(aborted.is_empty());
+        assert_eq!(mme.state(), MmeState::Registered);
+        assert_eq!(mme.metrics().guti_realloc_aborts, 1);
+        assert_eq!(ue.guti().unwrap(), old_guti, "UE keeps the old GUTI");
+        assert_eq!(mme.current_guti().unwrap(), old_guti, "MME keeps the old GUTI");
+    }
+
+    #[test]
+    fn tau_round_trip() {
+        let (mut ue, mut mme) = pair(UeConfig::reference("001010000000001", 0xabc));
+        let initial = ue.trigger(TriggerEvent::PowerOn);
+        run_to_quiescence(&mut ue, &mut mme, initial);
+        let tau = ue.trigger(TriggerEvent::TauDue);
+        assert_eq!(ue.state(), crate::states::UeState::TauInitiated);
+        run_to_quiescence(&mut ue, &mut mme, tau);
+        assert_eq!(ue.state(), crate::states::UeState::Registered);
+    }
+
+    #[test]
+    fn ue_initiated_detach() {
+        let (mut ue, mut mme) = pair(UeConfig::reference("001010000000001", 0xabc));
+        let initial = ue.trigger(TriggerEvent::PowerOn);
+        run_to_quiescence(&mut ue, &mut mme, initial);
+        let detach = ue.trigger(TriggerEvent::DetachRequested);
+        run_to_quiescence(&mut ue, &mut mme, detach);
+        assert_eq!(ue.state(), crate::states::UeState::Deregistered);
+        assert_eq!(mme.state(), MmeState::Deregistered);
+        assert!(ue.security_context().is_none());
+    }
+
+    #[test]
+    fn network_initiated_detach_leads_to_reattach_substate() {
+        let (mut ue, mut mme) = pair(UeConfig::reference("001010000000001", 0xabc));
+        let initial = ue.trigger(TriggerEvent::PowerOn);
+        run_to_quiescence(&mut ue, &mut mme, initial);
+        let det = mme.trigger(TriggerEvent::StartDetach);
+        let ups: Vec<Pdu> = det.iter().flat_map(|p| ue.handle_pdu(p)).collect();
+        assert_eq!(ue.state(), crate::states::UeState::DeregisteredAttachNeeded);
+        for p in &ups {
+            mme.handle_pdu(p);
+        }
+        assert_eq!(mme.state(), MmeState::Deregistered);
+        // The attach-needed sub-state re-attaches on the next trigger.
+        let re = ue.trigger(TriggerEvent::PowerOn);
+        assert_eq!(re.len(), 1);
+        assert_eq!(ue.state(), crate::states::UeState::RegisteredInitiated);
+    }
+
+    #[test]
+    fn paging_by_guti_yields_service_request() {
+        let (mut ue, mut mme) = pair(UeConfig::reference("001010000000001", 0xabc));
+        let initial = ue.trigger(TriggerEvent::PowerOn);
+        run_to_quiescence(&mut ue, &mut mme, initial);
+        let page = mme.trigger(TriggerEvent::PageUe);
+        assert_eq!(page.len(), 1);
+        assert_eq!(page[0].header, SecurityHeader::Plain);
+        let ups: Vec<Pdu> = page.iter().flat_map(|p| ue.handle_pdu(p)).collect();
+        assert_eq!(ups.len(), 1);
+        // The service request is integrity-protected.
+        assert!(ups[0].header.is_protected());
+    }
+
+    #[test]
+    fn sync_failure_resynchronises_and_recovers() {
+        // Give the USIM a head start so the MME's first SQN is stale.
+        let ue_cfg = UeConfig::reference("001010000000001", 0xabc);
+        let sink: Arc<NullInstrumentation> = Arc::new(NullInstrumentation);
+        let mut warm_gen = SqnGenerator::new(ue_cfg.sqn_config);
+        let mut ue = UeStack::new(ue_cfg.clone(), sink.clone());
+        // Warm the USIM's SQN array far ahead, including the index the
+        // MME's first challenge will use (IND=1).
+        for _ in 0..64 {
+            let r = 0x9999;
+            let autn = crypto::build_autn(ue_cfg.subscriber_key, warm_gen.next_sqn(), r);
+            let _ = ue.usim().sqn_array();
+            // Feed through a plain authentication request PDU.
+            let pdu = Pdu::plain(&NasMessage::AuthenticationRequest { rand: r, autn });
+            ue.handle_pdu(&pdu);
+        }
+        let mut mme = MmeStack::new(MmeConfig::for_subscriber(&ue_cfg), sink);
+        let initial = ue.trigger(TriggerEvent::PowerOn);
+        run_to_quiescence(&mut ue, &mut mme, initial);
+        // Despite the initial desynchronisation, AUTS-driven resync lets
+        // the attach complete.
+        assert_eq!(ue.state(), crate::states::UeState::Registered);
+        assert!(mme.metrics().auth_challenges_sent >= 2);
+    }
+
+    #[test]
+    fn forged_uplink_with_bad_mac_counted() {
+        let (mut ue, mut mme) = pair(UeConfig::reference("001010000000001", 0xabc));
+        let initial = ue.trigger(TriggerEvent::PowerOn);
+        run_to_quiescence(&mut ue, &mut mme, initial);
+        let forged = Pdu {
+            header: SecurityHeader::IntegrityProtectedCiphered,
+            mac: 0x1234,
+            count: 99,
+            body: vec![1, 2, 3],
+        };
+        assert!(mme.handle_pdu(&forged).is_empty());
+        assert_eq!(mme.metrics().integrity_failures, 1);
+    }
+}

@@ -1,0 +1,243 @@
+//! Implementation quirk profiles and handler signature conventions.
+//!
+//! The paper's three codebases share the standard but differ in observable
+//! behaviour at a handful of check sites. Those differences are *data*
+//! here — a [`QuirkSet`] consulted by the shared UE state-machine core —
+//! so the reproduction detects the implementation issues I1–I6 from
+//! behaviour, exactly as ProChecker does from the extracted FSMs, rather
+//! than from three forked codebases.
+
+use serde::{Deserialize, Serialize};
+
+/// Which implementation a profile models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Implementation {
+    /// The closed-source commercial stack (spec-faithful at the
+    /// implementation level; still subject to the standards-level attacks
+    /// P1–P3).
+    Reference,
+    /// srsLTE / srsUE.
+    Srs,
+    /// OpenAirInterface.
+    Oai,
+}
+
+impl Implementation {
+    /// Human-readable name used in reports and Table I.
+    pub fn name(self) -> &'static str {
+        match self {
+            Implementation::Reference => "closed-source",
+            Implementation::Srs => "srsLTE",
+            Implementation::Oai => "OAI",
+        }
+    }
+}
+
+/// Behavioural deviations at the UE's security check sites.
+///
+/// Every flag `false` yields the conformant reference behaviour; each
+/// `true` flag reproduces one published implementation issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QuirkSet {
+    /// **I1 (srsUE)**: accept *any* replayed protected message and reset
+    /// the downlink NAS COUNT to the replayed packet's counter value.
+    pub replay_accept_any_and_reset: bool,
+    /// **I1 (OAI)**: accept a replay of the *last* accepted protected
+    /// message (COUNT equal to the last accepted value).
+    pub replay_accept_last: bool,
+    /// **I2 (OAI)**: accept plain-NAS (`0x0` header) messages after the
+    /// security context is established.
+    pub accept_plain_after_context: bool,
+    /// **I3 (srsUE)**: accept an `authentication_request` whose SQN equals
+    /// the current one (USIM bypass), resetting the counter.
+    pub accept_repeated_sqn: bool,
+    /// **I4 (srsUE)**: keep the security context after a release/reject
+    /// message, so a later `attach_accept` moves the UE straight to
+    /// registered without authentication or SMC.
+    pub reject_keeps_security_context: bool,
+    /// **I5 (OAI)**: answer a plain `identity_request` with the IMSI even
+    /// after the security context is established.
+    pub identity_leak_after_context: bool,
+    /// **I6 (srsUE, OAI)**: accept a replayed `security_mode_command`
+    /// and answer `security_mode_complete` (linkability primitive).
+    pub accepts_replayed_smc: bool,
+}
+
+impl QuirkSet {
+    /// The conformant reference profile: no implementation quirks.
+    pub fn reference() -> Self {
+        QuirkSet::default()
+    }
+
+    /// The srsLTE/srsUE profile (issues I1, I3, I4, I6).
+    pub fn srs() -> Self {
+        QuirkSet {
+            replay_accept_any_and_reset: true,
+            accept_repeated_sqn: true,
+            reject_keeps_security_context: true,
+            accepts_replayed_smc: true,
+            ..QuirkSet::default()
+        }
+    }
+
+    /// The OpenAirInterface profile (issues I1-last, I2, I5, I6).
+    pub fn oai() -> Self {
+        QuirkSet {
+            replay_accept_last: true,
+            accept_plain_after_context: true,
+            identity_leak_after_context: true,
+            accepts_replayed_smc: true,
+            ..QuirkSet::default()
+        }
+    }
+
+    /// Profile for a named implementation.
+    pub fn for_implementation(imp: Implementation) -> Self {
+        match imp {
+            Implementation::Reference => QuirkSet::reference(),
+            Implementation::Srs => QuirkSet::srs(),
+            Implementation::Oai => QuirkSet::oai(),
+        }
+    }
+}
+
+/// Handler naming convention for incoming/outgoing message handlers.
+///
+/// The paper (§IX "Consistent message name signatures") observes that
+/// srsLTE uses `send_`/`parse_` and OAI uses `emm_send_`/`emm_recv_`
+/// prefixes, consistently followed by the standard message name. The
+/// extractor receives the matching profile per implementation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignatureProfile {
+    /// Prefix of incoming-message handlers (e.g. `emm_recv_`).
+    pub incoming_prefix: String,
+    /// Prefix of outgoing-message handlers (e.g. `emm_send_`).
+    pub outgoing_prefix: String,
+}
+
+impl SignatureProfile {
+    /// The closed-source convention: `recv_` / `send_` (paper §IV-A(4)).
+    pub fn reference() -> Self {
+        SignatureProfile {
+            incoming_prefix: "recv_".into(),
+            outgoing_prefix: "send_".into(),
+        }
+    }
+
+    /// The srsLTE convention: `parse_` / `send_`.
+    pub fn srs() -> Self {
+        SignatureProfile {
+            incoming_prefix: "parse_".into(),
+            outgoing_prefix: "send_".into(),
+        }
+    }
+
+    /// The OAI convention: `emm_recv_` / `emm_send_`.
+    pub fn oai() -> Self {
+        SignatureProfile {
+            incoming_prefix: "emm_recv_".into(),
+            outgoing_prefix: "emm_send_".into(),
+        }
+    }
+
+    /// Profile for a named implementation.
+    pub fn for_implementation(imp: Implementation) -> Self {
+        match imp {
+            Implementation::Reference => SignatureProfile::reference(),
+            Implementation::Srs => SignatureProfile::srs(),
+            Implementation::Oai => SignatureProfile::oai(),
+        }
+    }
+
+    /// Full handler name for an incoming message.
+    pub fn incoming(&self, message_name: &str) -> String {
+        format!("{}{}", self.incoming_prefix, message_name)
+    }
+
+    /// Full handler name for an outgoing message.
+    pub fn outgoing(&self, message_name: &str) -> String {
+        format!("{}{}", self.outgoing_prefix, message_name)
+    }
+
+    /// Extracts the message name from a handler name, if the prefix
+    /// matches either convention direction.
+    pub fn message_of(&self, function: &str) -> Option<(Direction, String)> {
+        if let Some(m) = function.strip_prefix(&self.incoming_prefix) {
+            return Some((Direction::Incoming, m.to_string()));
+        }
+        if let Some(m) = function.strip_prefix(&self.outgoing_prefix) {
+            return Some((Direction::Outgoing, m.to_string()));
+        }
+        None
+    }
+}
+
+/// Direction of a handler relative to the instrumented participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// The handler processes a received message (an FSM condition).
+    Incoming,
+    /// The handler emits a response (an FSM action).
+    Outgoing,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_profile_is_clean() {
+        assert_eq!(QuirkSet::reference(), QuirkSet::default());
+    }
+
+    #[test]
+    fn srs_profile_matches_table1() {
+        let q = QuirkSet::srs();
+        assert!(q.replay_accept_any_and_reset); // I1
+        assert!(!q.accept_plain_after_context); // I2 is OAI-only
+        assert!(q.accept_repeated_sqn); // I3
+        assert!(q.reject_keeps_security_context); // I4
+        assert!(!q.identity_leak_after_context); // I5 is OAI-only
+        assert!(q.accepts_replayed_smc); // I6
+    }
+
+    #[test]
+    fn oai_profile_matches_table1() {
+        let q = QuirkSet::oai();
+        assert!(!q.replay_accept_any_and_reset);
+        assert!(q.replay_accept_last); // I1 (last message)
+        assert!(q.accept_plain_after_context); // I2
+        assert!(!q.accept_repeated_sqn); // I3 is srs-only
+        assert!(!q.reject_keeps_security_context); // I4 is srs-only
+        assert!(q.identity_leak_after_context); // I5
+        assert!(q.accepts_replayed_smc); // I6
+    }
+
+    #[test]
+    fn signature_profiles_differ_as_in_paper() {
+        assert_eq!(SignatureProfile::srs().incoming("attach_accept"), "parse_attach_accept");
+        assert_eq!(SignatureProfile::oai().outgoing("attach_complete"), "emm_send_attach_complete");
+        assert_eq!(SignatureProfile::reference().incoming("paging"), "recv_paging");
+    }
+
+    #[test]
+    fn message_of_round_trips() {
+        let p = SignatureProfile::oai();
+        assert_eq!(
+            p.message_of("emm_recv_authentication_request"),
+            Some((Direction::Incoming, "authentication_request".into()))
+        );
+        assert_eq!(
+            p.message_of("emm_send_authentication_response"),
+            Some((Direction::Outgoing, "authentication_response".into()))
+        );
+        assert_eq!(p.message_of("check_mac"), None);
+    }
+
+    #[test]
+    fn implementation_names() {
+        assert_eq!(Implementation::Srs.name(), "srsLTE");
+        assert_eq!(Implementation::Oai.name(), "OAI");
+        assert_eq!(Implementation::Reference.name(), "closed-source");
+    }
+}

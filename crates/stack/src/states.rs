@@ -1,0 +1,174 @@
+//! EMM protocol states for the simulated UE and MME.
+//!
+//! The names follow TS 24.301 §5.1.3 (with the sub-states the paper's
+//! extracted model surfaces, e.g. `emm_deregistered_attach_needed` which
+//! produces the Fig 7(ii) transition split). Implementations reuse these
+//! standard names — the property the extractor's state-signature table
+//! relies on (§IV-A(4)).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// UE-side EMM states (including extracted sub-states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UeState {
+    /// No subscription activity.
+    Null,
+    /// Not registered; idle.
+    Deregistered,
+    /// Detached with an immediate re-attach pending (sub-state of
+    /// deregistered; the Fig 7(ii) intermediate state).
+    DeregisteredAttachNeeded,
+    /// `attach_request` sent, awaiting authentication.
+    RegisteredInitiated,
+    /// Authentication succeeded, awaiting `security_mode_command`
+    /// (sub-state of registered-initiated in the standard; surfaced by the
+    /// extracted model).
+    RegisteredInitiatedAuth,
+    /// Security mode completed, awaiting `attach_accept`.
+    RegisteredInitiatedSmc,
+    /// Attached and in normal service.
+    Registered,
+    /// UE-initiated detach in progress.
+    DeregisteredInitiated,
+    /// Tracking-area update in progress.
+    TauInitiated,
+}
+
+impl UeState {
+    /// The standard state name as it appears in logs and the FSM.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UeState::Null => "emm_null",
+            UeState::Deregistered => "emm_deregistered",
+            UeState::DeregisteredAttachNeeded => "emm_deregistered_attach_needed",
+            UeState::RegisteredInitiated => "emm_registered_initiated",
+            UeState::RegisteredInitiatedAuth => "emm_registered_initiated_auth",
+            UeState::RegisteredInitiatedSmc => "emm_registered_initiated_smc",
+            UeState::Registered => "emm_registered",
+            UeState::DeregisteredInitiated => "emm_deregistered_initiated",
+            UeState::TauInitiated => "emm_tau_initiated",
+        }
+    }
+
+    /// All UE states (the extractor's state-signature table).
+    pub fn all() -> &'static [UeState] {
+        &[
+            UeState::Null,
+            UeState::Deregistered,
+            UeState::DeregisteredAttachNeeded,
+            UeState::RegisteredInitiated,
+            UeState::RegisteredInitiatedAuth,
+            UeState::RegisteredInitiatedSmc,
+            UeState::Registered,
+            UeState::DeregisteredInitiated,
+            UeState::TauInitiated,
+        ]
+    }
+
+    /// True in any state where the UE holds a registration.
+    pub fn is_registered(self) -> bool {
+        matches!(self, UeState::Registered | UeState::TauInitiated)
+    }
+}
+
+impl fmt::Display for UeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// MME-side EMM states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MmeState {
+    /// No session for the subscriber.
+    Deregistered,
+    /// `authentication_request` sent, awaiting response.
+    WaitAuthResponse,
+    /// `security_mode_command` sent, awaiting completion.
+    WaitSmcComplete,
+    /// `attach_accept` sent, awaiting `attach_complete`.
+    WaitAttachComplete,
+    /// Subscriber registered.
+    Registered,
+    /// `guti_reallocation_command` sent, awaiting completion (timer T3450
+    /// running — the retry budget attack P3 exhausts).
+    GutiReallocInitiated,
+    /// Network-initiated detach in progress.
+    DetachInitiated,
+    /// `identity_request` sent, awaiting response.
+    WaitIdentityResponse,
+}
+
+impl MmeState {
+    /// The state name as it appears in logs and the FSM.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MmeState::Deregistered => "mme_deregistered",
+            MmeState::WaitAuthResponse => "mme_wait_auth_response",
+            MmeState::WaitSmcComplete => "mme_wait_smc_complete",
+            MmeState::WaitAttachComplete => "mme_wait_attach_complete",
+            MmeState::Registered => "mme_registered",
+            MmeState::GutiReallocInitiated => "mme_guti_realloc_initiated",
+            MmeState::DetachInitiated => "mme_detach_initiated",
+            MmeState::WaitIdentityResponse => "mme_wait_identity_response",
+        }
+    }
+
+    /// All MME states (the extractor's state-signature table).
+    pub fn all() -> &'static [MmeState] {
+        &[
+            MmeState::Deregistered,
+            MmeState::WaitAuthResponse,
+            MmeState::WaitSmcComplete,
+            MmeState::WaitAttachComplete,
+            MmeState::Registered,
+            MmeState::GutiReallocInitiated,
+            MmeState::DetachInitiated,
+            MmeState::WaitIdentityResponse,
+        ]
+    }
+}
+
+impl fmt::Display for MmeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ue_state_names_unique_and_prefixed() {
+        let names: BTreeSet<_> = UeState::all().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names.len(), UeState::all().len());
+        for n in names {
+            assert!(n.starts_with("emm_"), "{n}");
+        }
+    }
+
+    #[test]
+    fn mme_state_names_unique_and_prefixed() {
+        let names: BTreeSet<_> = MmeState::all().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names.len(), MmeState::all().len());
+        for n in names {
+            assert!(n.starts_with("mme_"), "{n}");
+        }
+    }
+
+    #[test]
+    fn registered_classification() {
+        assert!(UeState::Registered.is_registered());
+        assert!(UeState::TauInitiated.is_registered());
+        assert!(!UeState::RegisteredInitiated.is_registered());
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        assert_eq!(UeState::Deregistered.to_string(), "emm_deregistered");
+        assert_eq!(MmeState::Registered.to_string(), "mme_registered");
+    }
+}

@@ -1,0 +1,927 @@
+//! The simulated UE NAS stack.
+//!
+//! One state-machine core serves all three of the paper's codebases; the
+//! behavioural differences live in [`QuirkSet`] and are consulted at the
+//! exact check sites where the published bugs sit (replay check, plaintext
+//! check, SQN check, reject handling, identity disclosure). Every handler
+//! is instrumented in the paper's Figure-3 style: function entrance,
+//! global state variables at entry and exit, check-result locals right
+//! before exit.
+
+use crate::endpoint::{NasEndpoint, TriggerEvent};
+use crate::quirks::{Implementation, QuirkSet, SignatureProfile};
+use crate::states::UeState;
+use procheck_instrument::Instrumentation;
+use procheck_nas::codec::{self, Pdu, SecurityHeader};
+use procheck_nas::crypto::{self, Key, DIR_DOWNLINK, DIR_UPLINK};
+use procheck_nas::ids::{Guti, MobileIdentity};
+use procheck_nas::messages::{AuthFailureCause, IdentityType, NasMessage};
+use procheck_nas::security::{ProtectError, SecurityContext};
+use procheck_nas::sqn::SqnConfig;
+use procheck_nas::usim::{AkaOutcome, Usim};
+use std::sync::Arc;
+
+/// Static configuration of a simulated UE.
+#[derive(Debug, Clone)]
+pub struct UeConfig {
+    /// Subscriber identity (IMSI digits).
+    pub imsi: String,
+    /// Subscriber key `K` (shared with the HSS / MME simulation).
+    pub subscriber_key: Key,
+    /// SQN scheme parameters (5 IND bits, no freshness limit by default).
+    pub sqn_config: SqnConfig,
+    /// UE security capabilities advertised in `attach_request`.
+    pub ue_net_caps: u16,
+    /// Behavioural quirk profile (which implementation this UE models).
+    pub quirks: QuirkSet,
+    /// Handler naming convention for instrumentation.
+    pub signatures: SignatureProfile,
+    /// Which implementation this configuration models.
+    pub implementation: Implementation,
+}
+
+impl UeConfig {
+    fn for_impl(imp: Implementation, imsi: &str, key_material: u64) -> Self {
+        UeConfig {
+            imsi: imsi.to_string(),
+            subscriber_key: Key::new(key_material),
+            sqn_config: SqnConfig::default(),
+            ue_net_caps: 0x00ff,
+            quirks: QuirkSet::for_implementation(imp),
+            signatures: SignatureProfile::for_implementation(imp),
+            implementation: imp,
+        }
+    }
+
+    /// Spec-faithful reference UE (stands in for the closed-source stack).
+    pub fn reference(imsi: &str, key_material: u64) -> Self {
+        UeConfig::for_impl(Implementation::Reference, imsi, key_material)
+    }
+
+    /// srsLTE/srsUE profile.
+    pub fn srs(imsi: &str, key_material: u64) -> Self {
+        UeConfig::for_impl(Implementation::Srs, imsi, key_material)
+    }
+
+    /// OpenAirInterface profile.
+    pub fn oai(imsi: &str, key_material: u64) -> Self {
+        UeConfig::for_impl(Implementation::Oai, imsi, key_material)
+    }
+}
+
+/// Observable counters used by the testbed experiments (battery-depletion
+/// and privacy arguments of P1/P3/I5).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UeMetrics {
+    /// Successful AKA runs (each costs radio/crypto energy — P1's
+    /// battery-depletion impact).
+    pub auth_runs: u32,
+    /// Key (re)derivations that *replaced* an already-active security
+    /// context — the desynchronisations P1 forces.
+    pub key_reinstallations: u32,
+    /// Times the IMSI crossed the air interface in plaintext.
+    pub imsi_exposures: u32,
+    /// Completed attach procedures.
+    pub attach_completions: u32,
+}
+
+/// Metadata about how a message arrived (filled by the air handler).
+#[derive(Debug, Clone, Copy)]
+struct RxMeta {
+    /// Message arrived in a plain (unprotected) PDU.
+    plain: bool,
+    /// Integrity verified (always false for plain PDUs).
+    mac_valid: bool,
+    /// Replay check passed under this implementation's policy.
+    count_ok: bool,
+    /// Observable counter relation (`fresh`/`equal`/`stale`); `fresh` for
+    /// plain PDUs.
+    count_delta: &'static str,
+}
+
+/// The simulated UE NAS stack. See the crate docs for an end-to-end
+/// example.
+pub struct UeStack {
+    cfg: UeConfig,
+    sink: Arc<dyn Instrumentation>,
+    usim: Usim,
+    state: UeState,
+    sec_ctx: Option<SecurityContext>,
+    /// KASME derived by the last successful AKA, awaiting activation by a
+    /// security-mode command.
+    pending_kasme: Option<Key>,
+    guti: Option<Guti>,
+    ul_count: u32,
+    dl_last: Option<u32>,
+    /// I5 (OAI): the buggy identity-leak path answers a plain request in
+    /// plaintext, outside the security context.
+    force_plain_next_send: bool,
+    metrics: UeMetrics,
+}
+
+impl std::fmt::Debug for UeStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UeStack")
+            .field("implementation", &self.cfg.implementation)
+            .field("state", &self.state)
+            .field("sec_ctx", &self.sec_ctx.is_some())
+            .field("guti", &self.guti)
+            .field("dl_last", &self.dl_last)
+            .finish()
+    }
+}
+
+impl UeStack {
+    /// Creates a powered-off UE.
+    pub fn new(cfg: UeConfig, sink: Arc<dyn Instrumentation>) -> Self {
+        let usim = Usim::new(&cfg.imsi, cfg.subscriber_key, cfg.sqn_config);
+        UeStack {
+            cfg,
+            sink,
+            usim,
+            state: UeState::Deregistered,
+            sec_ctx: None,
+            pending_kasme: None,
+            guti: None,
+            ul_count: 0,
+            dl_last: None,
+            force_plain_next_send: false,
+            metrics: UeMetrics::default(),
+        }
+    }
+
+    /// Current EMM state.
+    pub fn state(&self) -> UeState {
+        self.state
+    }
+
+    /// The active security context, if any.
+    pub fn security_context(&self) -> Option<&SecurityContext> {
+        self.sec_ctx.as_ref()
+    }
+
+    /// The currently assigned GUTI, if any.
+    pub fn guti(&self) -> Option<Guti> {
+        self.guti
+    }
+
+    /// Last accepted downlink NAS COUNT.
+    pub fn dl_count_last(&self) -> Option<u32> {
+        self.dl_last
+    }
+
+    /// Experiment counters.
+    pub fn metrics(&self) -> UeMetrics {
+        self.metrics
+    }
+
+    /// The configuration this UE runs with.
+    pub fn config(&self) -> &UeConfig {
+        &self.cfg
+    }
+
+    /// Read access to the USIM (SQN-array inspection in experiments).
+    pub fn usim(&self) -> &Usim {
+        &self.usim
+    }
+
+    fn dump_globals(&self) {
+        self.sink.global("emm_state", self.state.as_str());
+        self.sink.global(
+            "sec_ctx",
+            if self.sec_ctx.is_some() { "active" } else { "none" },
+        );
+        self.sink.global(
+            "guti",
+            &self.guti.map_or_else(|| "none".to_string(), |g| g.to_string()),
+        );
+        self.sink.global(
+            "dl_count",
+            &self.dl_last.map_or_else(|| "none".to_string(), |c| c.to_string()),
+        );
+    }
+
+    /// Replay policy: the site of I1/I3's counter handling. Returns the
+    /// implementation's verdict plus the observable counter relation
+    /// (`fresh`/`equal`/`stale`) — the sequence-number constraint the
+    /// paper's extracted models carry (RQ2). Updates `dl_last` when the
+    /// packet is accepted.
+    fn check_dl_count(&mut self, count: u32) -> (bool, &'static str) {
+        let q = &self.cfg.quirks;
+        let delta = match self.dl_last {
+            None => "fresh",
+            Some(last) if count > last => "fresh",
+            Some(last) if count == last => "equal",
+            Some(_) => "stale",
+        };
+        let ok = delta == "fresh"
+            || q.replay_accept_any_and_reset
+            || (q.replay_accept_last && delta == "equal");
+        if ok {
+            // srsUE resets the counter to the replayed value even when it
+            // moves backwards (I1).
+            self.dl_last = Some(count);
+        }
+        (ok, delta)
+    }
+
+    fn send_message(&mut self, msg: NasMessage) -> Pdu {
+        let fname = self.cfg.signatures.outgoing(msg.message_name());
+        let sink = self.sink.clone();
+        sink.enter(&fname);
+        self.dump_globals();
+        let force_plain = std::mem::take(&mut self.force_plain_next_send);
+        let pdu = match &self.sec_ctx {
+            Some(ctx) if !force_plain => {
+                let p = ctx.protect(&msg, self.ul_count, DIR_UPLINK);
+                self.ul_count += 1;
+                p
+            }
+            _ => Pdu::plain(&msg),
+        };
+        if !pdu.header.is_protected() && message_carries_imsi(&msg) {
+            self.metrics.imsi_exposures += 1;
+        }
+        self.dump_globals();
+        sink.exit(&fname);
+        pdu
+    }
+
+    fn attach_identity(&self) -> MobileIdentity {
+        match self.guti {
+            Some(g) => MobileIdentity::Guti(g),
+            None => MobileIdentity::Imsi(procheck_nas::ids::Imsi::new(&self.cfg.imsi)),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Air interface routing
+    // -----------------------------------------------------------------
+
+    fn route_pdu(&mut self, pdu: &Pdu) -> Vec<NasMessage> {
+        let sink = self.sink.clone();
+        if pdu.header.is_protected() {
+            // Try the active context first.
+            if let Some(ctx) = self.sec_ctx.clone() {
+                match ctx.verify_and_open(pdu, DIR_DOWNLINK) {
+                    Ok(msg) => {
+                        let (count_ok, count_delta) = self.check_dl_count(pdu.count);
+                        return self.dispatch(
+                            msg,
+                            RxMeta { plain: false, mac_valid: true, count_ok, count_delta },
+                            None,
+                        );
+                    }
+                    Err(ProtectError::Malformed(_)) => {
+                        // Air-level diagnostic: prefixed so the extractor
+                        // never attributes it to the preceding handler
+                        // block.
+                        sink.local("air_decode_ok", "false");
+                        return Vec::new();
+                    }
+                    Err(ProtectError::BadMac) => {
+                        // Fall through: may be an SMC under a fresh context.
+                    }
+                }
+            }
+            // A security-mode command arrives integrity-protected (not
+            // ciphered) under the *new* context; verify against a
+            // candidate derived from the pending (or current) KASME.
+            if pdu.header == SecurityHeader::IntegrityProtected {
+                if let Ok(msg @ NasMessage::SecurityModeCommand { eia, eea, .. }) =
+                    codec::decode_message(&pdu.body)
+                {
+                    let root = self
+                        .pending_kasme
+                        .or_else(|| self.sec_ctx.as_ref().map(|c| c.kasme()));
+                    if let Some(kasme) = root {
+                        let candidate = SecurityContext::new(kasme, eia, eea);
+                        let mac_valid = candidate.verify_and_open(pdu, DIR_DOWNLINK).is_ok();
+                        if mac_valid {
+                            return self.dispatch(
+                                msg,
+                                RxMeta {
+                                    plain: false,
+                                    mac_valid: true,
+                                    count_ok: true,
+                                    count_delta: "fresh",
+                                },
+                                Some(candidate),
+                            );
+                        }
+                    }
+                }
+            }
+            sink.local("air_mac_valid", "false");
+            return Vec::new();
+        }
+        // Plain PDU.
+        match codec::decode_message(&pdu.body) {
+            Ok(msg) => self.dispatch(
+                msg,
+                RxMeta { plain: true, mac_valid: false, count_ok: true, count_delta: "fresh" },
+                None,
+            ),
+            Err(_) => {
+                sink.local("air_decode_ok", "false");
+                Vec::new()
+            }
+        }
+    }
+
+    /// Enters the incoming-message handler (with instrumentation), applies
+    /// the cross-cutting acceptance gates (plaintext policy, replay
+    /// policy), and runs the per-message protocol logic.
+    fn dispatch(
+        &mut self,
+        msg: NasMessage,
+        meta: RxMeta,
+        smc_candidate: Option<SecurityContext>,
+    ) -> Vec<NasMessage> {
+        let fname = self.cfg.signatures.incoming(msg.message_name());
+        let sink = self.sink.clone();
+        sink.enter(&fname);
+        self.dump_globals();
+        if !meta.plain {
+            sink.local("mac_valid", if meta.mac_valid { "true" } else { "false" });
+            sink.local("count_ok", if meta.count_ok { "true" } else { "false" });
+            sink.local("count_delta", meta.count_delta);
+        }
+
+        let is_smc = matches!(msg, NasMessage::SecurityModeCommand { .. });
+        let replies: Vec<NasMessage>;
+        if meta.plain
+            && self.sec_ctx.is_some()
+            && msg.requires_protection_after_context()
+            && !self.cfg.quirks.accept_plain_after_context
+        {
+            // TS 24.301 §4.4.4: discard plain messages once a context is
+            // active — the check OAI misses (I2).
+            sink.local("plain_ok", "false");
+            replies = Vec::new();
+        } else if !meta.count_ok && !(is_smc && self.cfg.quirks.accepts_replayed_smc) {
+            // Replay-protected path: `count_ok=false` yields null_action.
+            replies = Vec::new();
+        } else {
+            if !meta.count_ok && is_smc {
+                sink.local("smc_replay_accepted", "true"); // I6 footprint
+            }
+            replies = self.process(msg, meta, smc_candidate);
+        }
+
+        self.dump_globals();
+        sink.exit(&fname);
+        replies
+    }
+
+    // -----------------------------------------------------------------
+    // Per-message protocol logic
+    // -----------------------------------------------------------------
+
+    fn process(
+        &mut self,
+        msg: NasMessage,
+        meta: RxMeta,
+        smc_candidate: Option<SecurityContext>,
+    ) -> Vec<NasMessage> {
+        match msg {
+            NasMessage::AuthenticationRequest { rand, autn } => {
+                self.on_authentication_request(rand, autn)
+            }
+            NasMessage::AuthenticationReject => self.on_authentication_reject(),
+            NasMessage::SecurityModeCommand { eia: _, eea: _, replayed_ue_caps } => {
+                self.on_security_mode_command(replayed_ue_caps, smc_candidate)
+            }
+            NasMessage::AttachAccept { guti, tau_timer: _ } => self.on_attach_accept(guti),
+            NasMessage::AttachReject { cause } => self.on_attach_reject(cause.code()),
+            NasMessage::IdentityRequest { id_type } => self.on_identity_request(id_type, meta),
+            NasMessage::GutiReallocationCommand { guti } => self.on_guti_realloc(guti),
+            NasMessage::DetachRequest { switch_off: _ } => self.on_network_detach(),
+            NasMessage::DetachAccept => self.on_detach_accept(),
+            NasMessage::TrackingAreaUpdateAccept => self.on_tau_accept(),
+            NasMessage::TrackingAreaUpdateReject { cause } => self.on_tau_reject(cause.code()),
+            NasMessage::ServiceReject { cause } => self.on_service_reject(cause.code()),
+            NasMessage::Paging { identity } => self.on_paging(identity),
+            NasMessage::EmmInformation => Vec::new(),
+            // Downlink-irrelevant messages (uplink types echoed back, etc.)
+            // trigger no action.
+            _ => {
+                self.sink.local("proc_ok", "false");
+                Vec::new()
+            }
+        }
+    }
+
+    fn on_authentication_request(&mut self, rand: u64, autn: crypto::Autn) -> Vec<NasMessage> {
+        let outcome = self.usim.process_authentication(rand, &autn);
+        let (mac_valid, sqn_ok) = match &outcome {
+            AkaOutcome::Success { .. } => (true, true),
+            AkaOutcome::MacFailure => (false, false),
+            AkaOutcome::SyncFailure { .. } => (true, false),
+        };
+        self.sink.local("aka_mac_valid", if mac_valid { "true" } else { "false" });
+        self.sink.local("sqn_ok", if sqn_ok { "true" } else { "false" });
+        match outcome {
+            AkaOutcome::Success { res, kasme } => {
+                self.metrics.auth_runs += 1;
+                if self.sec_ctx.is_some() {
+                    // P1: regenerating keys while a context is active
+                    // desynchronises the UE from the legitimate network.
+                    self.metrics.key_reinstallations += 1;
+                }
+                self.pending_kasme = Some(kasme);
+                if self.state == UeState::RegisteredInitiated {
+                    self.state = UeState::RegisteredInitiatedAuth;
+                }
+                vec![NasMessage::AuthenticationResponse { res }]
+            }
+            AkaOutcome::MacFailure => vec![NasMessage::AuthenticationFailure {
+                cause: AuthFailureCause::MacFailure,
+            }],
+            AkaOutcome::SyncFailure { auts } => {
+                if self.cfg.quirks.accept_repeated_sqn {
+                    // I3 (srsUE): the stack overrides the USIM verdict for
+                    // repeated SQNs and rederives keys anyway.
+                    self.sink.local("sqn_check_bypassed", "true");
+                    self.metrics.auth_runs += 1;
+                    if self.sec_ctx.is_some() {
+                        self.metrics.key_reinstallations += 1;
+                    }
+                    let k = self.cfg.subscriber_key;
+                    let res = crypto::f2(k, rand);
+                    let kasme = crypto::derive_kasme(crypto::f3(k, rand), crypto::f4(k, rand));
+                    self.pending_kasme = Some(kasme);
+                    if self.state == UeState::RegisteredInitiated {
+                        self.state = UeState::RegisteredInitiatedAuth;
+                    }
+                    return vec![NasMessage::AuthenticationResponse { res }];
+                }
+                vec![NasMessage::AuthenticationFailure {
+                    cause: AuthFailureCause::SyncFailure { auts },
+                }]
+            }
+        }
+    }
+
+    fn on_authentication_reject(&mut self) -> Vec<NasMessage> {
+        // Plain-allowed by the standard: the lever of several prior DoS
+        // attacks. Contexts are deleted and the UE deregisters.
+        self.state = UeState::Deregistered;
+        self.sec_ctx = None;
+        self.pending_kasme = None;
+        self.guti = None;
+        self.dl_last = None;
+        Vec::new()
+    }
+
+    fn on_security_mode_command(
+        &mut self,
+        replayed_ue_caps: u16,
+        candidate: Option<SecurityContext>,
+    ) -> Vec<NasMessage> {
+        let caps_ok = replayed_ue_caps == self.cfg.ue_net_caps;
+        self.sink.local("caps_ok", if caps_ok { "true" } else { "false" });
+        if !caps_ok {
+            // Bidding-down detected: reject.
+            return vec![NasMessage::SecurityModeReject {
+                cause: procheck_nas::messages::EmmCause::SecurityModeRejected,
+            }];
+        }
+        let in_valid_state = matches!(
+            self.state,
+            UeState::RegisteredInitiatedAuth | UeState::Registered
+        ) || self.cfg.quirks.accepts_replayed_smc;
+        self.sink.local("proc_ok", if in_valid_state { "true" } else { "false" });
+        if !in_valid_state {
+            return Vec::new();
+        }
+        if let Some(ctx) = candidate {
+            // Installing a *new* context restarts both NAS COUNTs; a
+            // rekey under the current context keeps them running.
+            self.sec_ctx = Some(ctx);
+            self.ul_count = 0;
+            self.dl_last = Some(0);
+        } else if self.sec_ctx.is_none() {
+            // No candidate and no active context: cannot complete.
+            return Vec::new();
+        }
+        self.pending_kasme = None;
+        if self.state == UeState::RegisteredInitiatedAuth {
+            self.state = UeState::RegisteredInitiatedSmc;
+        }
+        vec![NasMessage::SecurityModeComplete]
+    }
+
+    fn on_attach_accept(&mut self, guti: Guti) -> Vec<NasMessage> {
+        let normal = self.state == UeState::RegisteredInitiatedSmc && self.sec_ctx.is_some()
+            // I1 (srsUE): a replayed attach_accept that passed the broken
+            // replay check is re-processed even while registered.
+            || (self.cfg.quirks.replay_accept_any_and_reset
+                && self.state == UeState::Registered
+                && self.sec_ctx.is_some());
+        // I4 (srsUE): with the security context wrongly retained across a
+        // reject, a protected attach_accept is honoured straight from
+        // de-registered / registered-initiated — bypassing AKA and SMC.
+        let bypass = self.cfg.quirks.reject_keeps_security_context
+            && self.sec_ctx.is_some()
+            && matches!(
+                self.state,
+                UeState::Deregistered | UeState::RegisteredInitiated
+            );
+        self.sink.local("proc_ok", if normal || bypass { "true" } else { "false" });
+        if bypass {
+            self.sink.local("security_bypassed", "true");
+        }
+        if !(normal || bypass) {
+            return Vec::new();
+        }
+        self.guti = Some(guti);
+        self.state = UeState::Registered;
+        self.metrics.attach_completions += 1;
+        vec![NasMessage::AttachComplete]
+    }
+
+    fn on_attach_reject(&mut self, cause: u8) -> Vec<NasMessage> {
+        self.sink.local("emm_cause", &cause.to_string());
+        self.state = UeState::Deregistered;
+        self.guti = None;
+        if !self.cfg.quirks.reject_keeps_security_context {
+            self.sec_ctx = None;
+            self.pending_kasme = None;
+            self.dl_last = None;
+        } else {
+            self.sink.local("sec_ctx_retained", "true"); // I4 footprint
+        }
+        Vec::new()
+    }
+
+    fn on_identity_request(&mut self, id_type: IdentityType, meta: RxMeta) -> Vec<NasMessage> {
+        let leak_window = self.sec_ctx.is_none() // pre-security: spec-allowed
+            || !meta.plain // protected request: legitimate
+            || self.cfg.quirks.identity_leak_after_context; // I5 (OAI)
+        self.sink.local("identity_disclosed", if leak_window { "true" } else { "false" });
+        if !leak_window {
+            return Vec::new();
+        }
+        if meta.plain && self.sec_ctx.is_some() {
+            self.sink.local("imsi_leaked_after_context", "true"); // I5 footprint
+            // The buggy path answers through the plain-send path, making
+            // the leak observable to the requester.
+            self.force_plain_next_send = true;
+        }
+        let identity = match id_type {
+            IdentityType::Imsi => {
+                MobileIdentity::Imsi(procheck_nas::ids::Imsi::new(&self.cfg.imsi))
+            }
+            IdentityType::Imei => MobileIdentity::Guti(Guti(0x1111_2222)), // stand-in IMEI
+        };
+        vec![NasMessage::IdentityResponse { identity }]
+    }
+
+    fn on_guti_realloc(&mut self, guti: Guti) -> Vec<NasMessage> {
+        let proc_ok = self.state.is_registered() && self.sec_ctx.is_some();
+        self.sink.local("proc_ok", if proc_ok { "true" } else { "false" });
+        if !proc_ok {
+            return Vec::new();
+        }
+        self.guti = Some(guti);
+        vec![NasMessage::GutiReallocationComplete]
+    }
+
+    fn on_network_detach(&mut self) -> Vec<NasMessage> {
+        // Network-initiated detach with re-attach required: the UE answers
+        // and drops to the attach-needed sub-state (the Fig 7(ii)
+        // intermediate).
+        self.state = UeState::DeregisteredAttachNeeded;
+        vec![NasMessage::DetachAccept]
+    }
+
+    fn on_detach_accept(&mut self) -> Vec<NasMessage> {
+        let proc_ok = self.state == UeState::DeregisteredInitiated;
+        self.sink.local("proc_ok", if proc_ok { "true" } else { "false" });
+        if proc_ok {
+            self.state = UeState::Deregistered;
+            self.sec_ctx = None;
+            self.pending_kasme = None;
+            self.dl_last = None;
+            self.ul_count = 0;
+        }
+        Vec::new()
+    }
+
+    fn on_tau_accept(&mut self) -> Vec<NasMessage> {
+        let proc_ok = self.state == UeState::TauInitiated;
+        self.sink.local("proc_ok", if proc_ok { "true" } else { "false" });
+        if proc_ok {
+            self.state = UeState::Registered;
+        }
+        Vec::new()
+    }
+
+    fn on_tau_reject(&mut self, cause: u8) -> Vec<NasMessage> {
+        self.sink.local("emm_cause", &cause.to_string());
+        // Plain-allowed reject: the lever of the prior downgrade/DoS
+        // attacks. The UE deregisters and deletes contexts.
+        self.state = UeState::Deregistered;
+        self.sec_ctx = None;
+        self.guti = None;
+        self.dl_last = None;
+        Vec::new()
+    }
+
+    fn on_service_reject(&mut self, cause: u8) -> Vec<NasMessage> {
+        self.sink.local("emm_cause", &cause.to_string());
+        self.state = UeState::Deregistered;
+        self.sec_ctx = None;
+        self.guti = None;
+        self.dl_last = None;
+        Vec::new()
+    }
+
+    fn on_paging(&mut self, identity: MobileIdentity) -> Vec<NasMessage> {
+        let by_guti = matches!((&identity, self.guti), (MobileIdentity::Guti(g), Some(mine)) if *g == mine);
+        let by_imsi =
+            matches!(&identity, MobileIdentity::Imsi(i) if i.as_str() == self.cfg.imsi);
+        self.sink.local("paged_match", if by_guti || by_imsi { "true" } else { "false" });
+        if by_imsi {
+            // IMSI paging forces a fresh attach disclosing the permanent
+            // identity (prior linkability attack: IMSI → GUTI mapping).
+            self.sink.local("paged_by_imsi", "true");
+            self.sec_ctx = None;
+            self.pending_kasme = None;
+            self.guti = None;
+            self.dl_last = None;
+            self.ul_count = 0;
+            self.state = UeState::RegisteredInitiated;
+            return vec![NasMessage::AttachRequest {
+                identity: MobileIdentity::Imsi(procheck_nas::ids::Imsi::new(&self.cfg.imsi)),
+                ue_net_caps: self.cfg.ue_net_caps,
+            }];
+        }
+        if by_guti && self.state.is_registered() {
+            return vec![NasMessage::ServiceRequest];
+        }
+        Vec::new()
+    }
+}
+
+fn message_carries_imsi(msg: &NasMessage) -> bool {
+    match msg {
+        NasMessage::AttachRequest { identity, .. }
+        | NasMessage::IdentityResponse { identity } => identity.is_permanent(),
+        _ => false,
+    }
+}
+
+impl NasEndpoint for UeStack {
+    fn handle_pdu(&mut self, pdu: &Pdu) -> Vec<Pdu> {
+        let sink = self.sink.clone();
+        sink.enter("air_msg_handler");
+        let replies = self.route_pdu(pdu);
+        let out = replies.into_iter().map(|m| self.send_message(m)).collect();
+        sink.exit("air_msg_handler");
+        out
+    }
+
+    fn trigger(&mut self, event: TriggerEvent) -> Vec<Pdu> {
+        self.sink.marker("trigger", event.log_name());
+        self.dump_globals();
+        let msgs: Vec<NasMessage> = match event {
+            TriggerEvent::PowerOn => {
+                // Attach (or attach retry): from any non-registered state
+                // — a power cycle or T3410 expiry restarts the procedure.
+                if !self.state.is_registered() {
+                    // A fresh attach starts a new NAS session: session
+                    // security is reset on both sides (the MME does the
+                    // same on receiving attach_request).
+                    self.sec_ctx = None;
+                    self.pending_kasme = None;
+                    self.dl_last = None;
+                    self.ul_count = 0;
+                    self.state = UeState::RegisteredInitiated;
+                    vec![NasMessage::AttachRequest {
+                        identity: self.attach_identity(),
+                        ue_net_caps: self.cfg.ue_net_caps,
+                    }]
+                } else {
+                    Vec::new()
+                }
+            }
+            TriggerEvent::DetachRequested => {
+                if self.state.is_registered() {
+                    self.state = UeState::DeregisteredInitiated;
+                    vec![NasMessage::DetachRequest { switch_off: false }]
+                } else {
+                    Vec::new()
+                }
+            }
+            TriggerEvent::TauDue => {
+                if self.state == UeState::Registered {
+                    self.state = UeState::TauInitiated;
+                    vec![NasMessage::TrackingAreaUpdateRequest]
+                } else {
+                    Vec::new()
+                }
+            }
+            _ => Vec::new(), // network-side triggers are no-ops on the UE
+        };
+        let out = msgs.into_iter().map(|m| self.send_message(m)).collect();
+        self.dump_globals();
+        out
+    }
+
+    fn state_name(&self) -> &'static str {
+        self.state.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procheck_instrument::NullInstrumentation;
+
+    fn ue(cfg: UeConfig) -> UeStack {
+        UeStack::new(cfg, Arc::new(NullInstrumentation))
+    }
+
+    #[test]
+    fn power_on_sends_plain_attach_request_with_imsi() {
+        let mut u = ue(UeConfig::reference("001010000000001", 7));
+        let out = u.trigger(TriggerEvent::PowerOn);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].header, SecurityHeader::Plain);
+        let msg = codec::decode_message(&out[0].body).unwrap();
+        assert!(matches!(
+            msg,
+            NasMessage::AttachRequest { identity: MobileIdentity::Imsi(_), .. }
+        ));
+        assert_eq!(u.state(), UeState::RegisteredInitiated);
+        assert_eq!(u.metrics().imsi_exposures, 1);
+    }
+
+    #[test]
+    fn power_on_restarts_a_stalled_attach() {
+        let mut u = ue(UeConfig::reference("001010000000001", 7));
+        u.trigger(TriggerEvent::PowerOn);
+        // A second power-on mid-attach restarts the procedure (T3410-style
+        // retry) with a fresh plain attach_request.
+        let retry = u.trigger(TriggerEvent::PowerOn);
+        assert_eq!(retry.len(), 1);
+        assert_eq!(u.state(), UeState::RegisteredInitiated);
+        assert!(u.security_context().is_none());
+    }
+
+    #[test]
+    fn power_on_ignored_when_registered() {
+        let mut u = ue(UeConfig::reference("001010000000001", 7));
+        u.state = UeState::Registered;
+        assert!(u.trigger(TriggerEvent::PowerOn).is_empty());
+    }
+
+    #[test]
+    fn plain_forged_protected_class_message_dropped_by_reference() {
+        let mut u = ue(UeConfig::reference("001010000000001", 7));
+        // Fabricate an active context.
+        u.sec_ctx = Some(SecurityContext::new(
+            Key::new(1),
+            procheck_nas::security::EiaAlg::Eia2,
+            procheck_nas::security::EeaAlg::Eea1,
+        ));
+        u.state = UeState::Registered;
+        u.guti = Some(Guti(9));
+        let forged = Pdu::plain(&NasMessage::GutiReallocationCommand { guti: Guti(666) });
+        let replies = u.handle_pdu(&forged);
+        assert!(replies.is_empty());
+        assert_eq!(u.guti(), Some(Guti(9)));
+    }
+
+    #[test]
+    fn oai_accepts_plain_after_context_i2() {
+        let mut u = ue(UeConfig::oai("001010000000001", 7));
+        u.sec_ctx = Some(SecurityContext::new(
+            Key::new(1),
+            procheck_nas::security::EiaAlg::Eia2,
+            procheck_nas::security::EeaAlg::Eea1,
+        ));
+        u.state = UeState::Registered;
+        u.guti = Some(Guti(9));
+        let forged = Pdu::plain(&NasMessage::GutiReallocationCommand { guti: Guti(666) });
+        let replies = u.handle_pdu(&forged);
+        assert_eq!(replies.len(), 1, "OAI answers the forged plain command");
+        assert_eq!(u.guti(), Some(Guti(666)));
+    }
+
+    #[test]
+    fn plain_detach_forgery_against_oai_detaches() {
+        let mut u = ue(UeConfig::oai("001010000000001", 7));
+        u.sec_ctx = Some(SecurityContext::new(
+            Key::new(1),
+            procheck_nas::security::EiaAlg::Eia2,
+            procheck_nas::security::EeaAlg::Eea1,
+        ));
+        u.state = UeState::Registered;
+        let forged = Pdu::plain(&NasMessage::DetachRequest { switch_off: false });
+        let replies = u.handle_pdu(&forged);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(u.state(), UeState::DeregisteredAttachNeeded);
+    }
+
+    #[test]
+    fn plain_tau_reject_deregisters_all_profiles() {
+        // Standards-level weakness exploited by prior attacks: plain
+        // reject accepted even while protected.
+        for cfg in [
+            UeConfig::reference("001010000000001", 7),
+            UeConfig::srs("001010000000001", 7),
+            UeConfig::oai("001010000000001", 7),
+        ] {
+            let mut u = ue(cfg);
+            u.state = UeState::Registered;
+            u.sec_ctx = Some(SecurityContext::new(
+                Key::new(1),
+                procheck_nas::security::EiaAlg::Eia2,
+                procheck_nas::security::EeaAlg::Eea1,
+            ));
+            let forged = Pdu::plain(&NasMessage::TrackingAreaUpdateReject {
+                cause: procheck_nas::messages::EmmCause::TrackingAreaNotAllowed,
+            });
+            u.handle_pdu(&forged);
+            assert_eq!(u.state(), UeState::Deregistered);
+            assert!(u.security_context().is_none());
+        }
+    }
+
+    #[test]
+    fn mac_failure_on_forged_auth_request() {
+        let mut u = ue(UeConfig::reference("001010000000001", 7));
+        u.trigger(TriggerEvent::PowerOn);
+        let attacker_key = Key::new(0x666);
+        let forged = Pdu::plain(&NasMessage::AuthenticationRequest {
+            rand: 1,
+            autn: crypto::build_autn(attacker_key, 0x20, 1),
+        });
+        let replies = u.handle_pdu(&forged);
+        assert_eq!(replies.len(), 1);
+        let msg = codec::decode_message(&replies[0].body).unwrap();
+        assert!(matches!(
+            msg,
+            NasMessage::AuthenticationFailure { cause: AuthFailureCause::MacFailure }
+        ));
+    }
+
+    #[test]
+    fn paging_by_imsi_forces_reattach_and_imsi_exposure() {
+        let mut u = ue(UeConfig::reference("001010000000001", 7));
+        u.state = UeState::Registered;
+        u.guti = Some(Guti(5));
+        let page = Pdu::plain(&NasMessage::Paging {
+            identity: MobileIdentity::Imsi(procheck_nas::ids::Imsi::new("001010000000001")),
+        });
+        let replies = u.handle_pdu(&page);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(u.state(), UeState::RegisteredInitiated);
+        assert_eq!(u.metrics().imsi_exposures, 1);
+        assert_eq!(u.guti(), None);
+    }
+
+    #[test]
+    fn paging_with_foreign_identity_ignored() {
+        let mut u = ue(UeConfig::reference("001010000000001", 7));
+        u.state = UeState::Registered;
+        u.guti = Some(Guti(5));
+        let page = Pdu::plain(&NasMessage::Paging { identity: MobileIdentity::Guti(Guti(77)) });
+        assert!(u.handle_pdu(&page).is_empty());
+    }
+
+    #[test]
+    fn identity_request_answered_before_security_context() {
+        // Spec-allowed IMSI disclosure during initial attach.
+        let mut u = ue(UeConfig::reference("001010000000001", 7));
+        u.trigger(TriggerEvent::PowerOn);
+        let req = Pdu::plain(&NasMessage::IdentityRequest { id_type: IdentityType::Imsi });
+        let replies = u.handle_pdu(&req);
+        assert_eq!(replies.len(), 1);
+        assert_eq!(u.metrics().imsi_exposures, 2); // attach + identity
+    }
+
+    #[test]
+    fn reference_refuses_plain_identity_request_after_context_but_oai_leaks_i5() {
+        for (cfg, expect_leak) in [
+            (UeConfig::reference("001010000000001", 7), false),
+            (UeConfig::srs("001010000000001", 7), false),
+            (UeConfig::oai("001010000000001", 7), true),
+        ] {
+            let name = cfg.implementation.name();
+            let mut u = ue(cfg);
+            u.sec_ctx = Some(SecurityContext::new(
+                Key::new(1),
+                procheck_nas::security::EiaAlg::Eia2,
+                procheck_nas::security::EeaAlg::Eea1,
+            ));
+            u.state = UeState::Registered;
+            let req = Pdu::plain(&NasMessage::IdentityRequest { id_type: IdentityType::Imsi });
+            let replies = u.handle_pdu(&req);
+            assert_eq!(!replies.is_empty(), expect_leak, "{name}");
+        }
+    }
+}

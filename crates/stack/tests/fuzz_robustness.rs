@@ -1,0 +1,98 @@
+//! Robustness fuzzing: the simulated stacks must never panic, whatever
+//! bytes arrive on the air interface — the paper's logical-vulnerability
+//! analysis presumes memory-safety issues are out of scope, and this
+//! keeps the simulation honest about it.
+
+use proptest::prelude::*;
+use procheck_instrument::NullInstrumentation;
+use procheck_nas::codec::{Pdu, SecurityHeader};
+use procheck_stack::{MmeConfig, MmeStack, NasEndpoint, TriggerEvent, UeConfig, UeStack};
+use std::sync::Arc;
+
+fn fresh_pair(which: u8) -> (UeStack, MmeStack) {
+    let cfg = match which % 3 {
+        0 => UeConfig::reference("001010000000001", 0x42),
+        1 => UeConfig::srs("001010000000001", 0x42),
+        _ => UeConfig::oai("001010000000001", 0x42),
+    };
+    let sink = Arc::new(NullInstrumentation);
+    let mme = MmeStack::new(MmeConfig::for_subscriber(&cfg), sink.clone());
+    (UeStack::new(cfg, sink), mme)
+}
+
+fn attach(ue: &mut UeStack, mme: &mut MmeStack) {
+    let mut up = ue.trigger(TriggerEvent::PowerOn);
+    for _ in 0..16 {
+        if up.is_empty() {
+            break;
+        }
+        let mut down = Vec::new();
+        for p in &up {
+            down.extend(mme.handle_pdu(p));
+        }
+        up.clear();
+        for p in &down {
+            up.extend(ue.handle_pdu(p));
+        }
+    }
+}
+
+fn arb_pdu() -> impl Strategy<Value = Pdu> {
+    (
+        0u8..3,
+        any::<u32>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..48),
+    )
+        .prop_map(|(h, mac, count, body)| Pdu {
+            header: SecurityHeader::from_code(h).unwrap(),
+            mac,
+            count,
+            body,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary PDUs never panic the UE or the MME — before or after a
+    /// completed attach — and never brick the UE (it still detaches and
+    /// re-attaches afterwards).
+    #[test]
+    fn stacks_survive_arbitrary_pdus(
+        which in any::<u8>(),
+        pdus in proptest::collection::vec(arb_pdu(), 1..12),
+        attach_first in any::<bool>(),
+    ) {
+        let (mut ue, mut mme) = fresh_pair(which);
+        if attach_first {
+            attach(&mut ue, &mut mme);
+        }
+        for pdu in &pdus {
+            let _ = ue.handle_pdu(pdu);
+            let _ = mme.handle_pdu(pdu);
+        }
+        // Liveness after the garbage storm: a fresh attach still works.
+        let (mut ue2, mut mme2) = (ue, mme);
+        let _ = ue2.trigger(TriggerEvent::DetachRequested);
+        let _ = ue2.trigger(TriggerEvent::PowerOn);
+        let _ = mme2.trigger(TriggerEvent::PageUe);
+    }
+
+    /// Arbitrary trigger sequences never panic either side.
+    #[test]
+    fn stacks_survive_arbitrary_triggers(which in any::<u8>(), seq in proptest::collection::vec(0u8..11, 1..16)) {
+        use TriggerEvent::*;
+        let events = [
+            PowerOn, DetachRequested, TauDue, StartGutiReallocation, T3450Expiry,
+            StartDetach, PageUe, StartIdentityRequest, StartAuthentication,
+            StartSecurityModeCommand, SendInformation,
+        ];
+        let (mut ue, mut mme) = fresh_pair(which);
+        for i in seq {
+            let ev = events[i as usize];
+            let _ = ue.trigger(ev);
+            let _ = mme.trigger(ev);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Linkability experiments: observational equivalence between a victim
+//! and a bystander UE (paper Fig 6 and the P2/prior linkability family).
+//!
+//! Each scenario runs the same adversarial stimulus against two UEs — the
+//! victim (whose traffic the attacker previously captured) and an
+//! unrelated bystander — and compares the observable response traces with
+//! the CPV's distinguisher. Observables follow the paper's metadata
+//! assumption: message names for plaintext, length classes for protected
+//! traffic; the `StaleAuthReplay` scenario additionally classifies
+//! *acceptance*, which the attacker learns from the key desynchronisation
+//! that follows (the victim's subsequent traffic stops verifying).
+
+use crate::link::{RadioLink, ScriptedAttacker};
+use procheck_cpv::equivalence::{distinguish, Distinguisher};
+use procheck_nas::codec::Pdu;
+use procheck_nas::ids::{Imsi, MobileIdentity};
+use procheck_nas::messages::NasMessage;
+use procheck_stack::{TriggerEvent, UeConfig};
+use serde::{Deserialize, Serialize};
+
+/// The linkability scenarios (mirrors the property registry's
+/// `LinkScenario`; kept separate so the testbed does not depend on the
+/// registry crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// P2: replayed stale-but-unconsumed challenge.
+    StaleAuthReplay,
+    /// Replayed consumed challenge (sync- vs MAC-failure distinguisher).
+    ConsumedAuthReplay,
+    /// Forged challenge under an unknown key.
+    ForgedAuthRequest,
+    /// Replayed security_mode_command (I6).
+    SmcReplay,
+    /// Paging by IMSI.
+    ImsiPaging,
+    /// Paging by GUTI.
+    GutiPagingPresence,
+    /// GUTI stability across procedures.
+    GutiReuse,
+    /// Replayed attach_accept (I1's privacy face).
+    AttachAcceptReplay,
+}
+
+/// Result of a linkability experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct LinkOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Victim's observable response trace.
+    pub victim_trace: Vec<String>,
+    /// Bystander's observable response trace.
+    pub bystander_trace: Vec<String>,
+    /// True if the traces distinguish the victim.
+    pub distinguishable: bool,
+    /// One-line narrative.
+    pub summary: String,
+}
+
+fn auth_request_filter() -> Box<dyn FnMut(&Pdu) -> bool> {
+    Box::new(|pdu: &Pdu| {
+        !pdu.header.is_protected()
+            && matches!(
+                procheck_nas::codec::decode_message(&pdu.body),
+                Ok(NasMessage::AuthenticationRequest { .. })
+            )
+    })
+}
+
+fn victim_and_bystander(cfg: &UeConfig) -> (RadioLink<ScriptedAttacker>, RadioLink<ScriptedAttacker>) {
+    let mut victim_cfg = cfg.clone();
+    victim_cfg.imsi = "001010000000077".into();
+    let mut bystander_cfg = cfg.clone();
+    bystander_cfg.imsi = "001010000000088".into();
+    bystander_cfg.subscriber_key = procheck_nas::crypto::Key::new(
+        bystander_cfg.subscriber_key.material() ^ 0xdead_beef,
+    );
+    let mut victim = RadioLink::new(victim_cfg, ScriptedAttacker::default());
+    let mut bystander = RadioLink::new(bystander_cfg, ScriptedAttacker::default());
+    victim.attach();
+    bystander.attach();
+    (victim, bystander)
+}
+
+/// Runs one linkability scenario for the given implementation profile.
+pub fn run_scenario(scenario: Scenario, cfg: &UeConfig) -> LinkOutcome {
+    let (mut victim, mut bystander) = victim_and_bystander(cfg);
+    let (victim_trace, bystander_trace): (Vec<String>, Vec<String>) = match scenario {
+        Scenario::StaleAuthReplay => {
+            // Harvest a genuine challenge for the victim via a spoofed
+            // attach (paper Fig 4); rebuild the victim link so its own
+            // attach happens *after* the harvest, leaving the harvested
+            // SQN index unconsumed.
+            let mut victim_cfg = cfg.clone();
+            victim_cfg.imsi = "001010000000077".into();
+            let mut v_link = RadioLink::new(victim_cfg, ScriptedAttacker::default());
+            let stale = crate::scenarios::harvest_challenge(&mut v_link, "001010000000077");
+            v_link.attach();
+            victim = v_link;
+            let Some(stale) = stale else {
+                return failed_setup(scenario, "challenge not captured");
+            };
+            // Age the harvested challenge: further authentications raise
+            // the USIM's highest accepted SEQ (this is what the optional
+            // freshness limit L keys on).
+            for _ in 0..6 {
+                victim.mme_trigger(TriggerEvent::StartAuthentication);
+            }
+            // Replay to everyone in the cell; classify by the UE's
+            // immediate reaction (acceptance = key rederivation).
+            let classify = |link: &mut RadioLink<ScriptedAttacker>| {
+                let reinstalls_before = link.ue.metrics().key_reinstallations;
+                let responses = procheck_stack::NasEndpoint::handle_pdu(&mut link.ue, &stale);
+                let verdict = if link.ue.metrics().key_reinstallations > reinstalls_before {
+                    vec!["accepts_stale_challenge".to_string()]
+                } else if responses.is_empty() {
+                    vec!["silent".to_string()]
+                } else {
+                    vec!["failure_response".to_string()]
+                };
+                link.settle(responses, Vec::new());
+                verdict
+            };
+            (classify(&mut victim), classify(&mut bystander))
+        }
+        Scenario::ConsumedAuthReplay => {
+            // Capture the victim's own (consumed) challenge during its
+            // initial attach.
+            let mut victim_cfg = cfg.clone();
+            victim_cfg.imsi = "001010000000077".into();
+            let mut v_link = RadioLink::new(
+                victim_cfg,
+                ScriptedAttacker {
+                    capture_dl: Some(auth_request_filter()),
+                    ..ScriptedAttacker::default()
+                },
+            );
+            v_link.attach();
+            let consumed = v_link.attacker.captured_dl.first().cloned();
+            v_link.attacker.capture_dl = None;
+            victim = v_link;
+            let Some(consumed) = consumed else {
+                return failed_setup(scenario, "challenge not captured");
+            };
+            let v = victim.inject_dl(&consumed).into_iter().map(|o| o.0).collect();
+            let b = bystander.inject_dl(&consumed).into_iter().map(|o| o.0).collect();
+            (v, b)
+        }
+        Scenario::ForgedAuthRequest => {
+            let forged = Pdu::plain(&NasMessage::AuthenticationRequest {
+                rand: 0x6666,
+                autn: procheck_nas::crypto::build_autn(
+                    procheck_nas::crypto::Key::new(0x6666_6666),
+                    0x20,
+                    0x6666,
+                ),
+            });
+            let v = victim.inject_dl(&forged).into_iter().map(|o| o.0).collect();
+            let b = bystander.inject_dl(&forged).into_iter().map(|o| o.0).collect();
+            (v, b)
+        }
+        Scenario::SmcReplay => {
+            // Re-run with an SMC capture from the start.
+            let mut victim_cfg = cfg.clone();
+            victim_cfg.imsi = "001010000000077".into();
+            let mut v_link = RadioLink::new(
+                victim_cfg,
+                ScriptedAttacker {
+                    capture_dl: Some(Box::new(|pdu: &Pdu| {
+                        pdu.header == procheck_nas::codec::SecurityHeader::IntegrityProtected
+                    })),
+                    ..ScriptedAttacker::default()
+                },
+            );
+            v_link.attach();
+            let Some(smc) = v_link.attacker.captured_dl.first().cloned() else {
+                return failed_setup(scenario, "SMC not captured");
+            };
+            v_link.attacker.capture_dl = None;
+            let v = v_link.inject_dl(&smc).into_iter().map(|o| o.0).collect();
+            let b = bystander.inject_dl(&smc).into_iter().map(|o| o.0).collect();
+            (v, b)
+        }
+        Scenario::ImsiPaging => {
+            let page = Pdu::plain(&NasMessage::Paging {
+                identity: MobileIdentity::Imsi(Imsi::new("001010000000077")),
+            });
+            let v = victim.inject_dl(&page).into_iter().map(|o| o.0).collect();
+            let b = bystander.inject_dl(&page).into_iter().map(|o| o.0).collect();
+            (v, b)
+        }
+        Scenario::GutiPagingPresence => {
+            let Some(guti) = victim.ue.guti() else {
+                return failed_setup(scenario, "victim has no GUTI");
+            };
+            let page = Pdu::plain(&NasMessage::Paging { identity: MobileIdentity::Guti(guti) });
+            let v = victim.inject_dl(&page).into_iter().map(|o| o.0).collect();
+            let b = bystander.inject_dl(&page).into_iter().map(|o| o.0).collect();
+            (v, b)
+        }
+        Scenario::GutiReuse => {
+            // The attacker observes the victim's temporary identity at two
+            // points in time; a stable GUTI links the observations. The
+            // bystander trace models a subscriber whose GUTI was
+            // reallocated in between.
+            let g1 = victim.ue.guti().map(|g| g.to_string()).unwrap_or_default();
+            victim.ue_trigger(TriggerEvent::TauDue);
+            let g2 = victim.ue.guti().map(|g| g.to_string()).unwrap_or_default();
+            let b1 = bystander.ue.guti().map(|g| g.to_string()).unwrap_or_default();
+            bystander.mme_trigger(TriggerEvent::StartGutiReallocation);
+            let b2 = bystander.ue.guti().map(|g| g.to_string()).unwrap_or_default();
+            let v = vec![
+                "first_observation".to_string(),
+                if g1 == g2 { "same_identity".into() } else { "fresh_identity".into() },
+            ];
+            let b = vec![
+                "first_observation".to_string(),
+                if b1 == b2 { "same_identity".into() } else { "fresh_identity".into() },
+            ];
+            (v, b)
+        }
+        Scenario::AttachAcceptReplay => {
+            let mut victim_cfg = cfg.clone();
+            victim_cfg.imsi = "001010000000077".into();
+            let mut v_link = RadioLink::new(
+                victim_cfg,
+                ScriptedAttacker {
+                    capture_dl: Some(Box::new(|pdu: &Pdu| {
+                        pdu.header
+                            == procheck_nas::codec::SecurityHeader::IntegrityProtectedCiphered
+                    })),
+                    ..ScriptedAttacker::default()
+                },
+            );
+            v_link.attach();
+            let Some(accept) = v_link.attacker.captured_dl.last().cloned() else {
+                return failed_setup(scenario, "attach_accept not captured");
+            };
+            v_link.attacker.capture_dl = None;
+            let v = v_link.inject_dl(&accept).into_iter().map(|o| o.0).collect();
+            let b = bystander.inject_dl(&accept).into_iter().map(|o| o.0).collect();
+            (v, b)
+        }
+    };
+
+    let verdict = distinguish(&victim_trace, &bystander_trace);
+    let distinguishable = verdict.is_distinguishable();
+    let summary = match &verdict {
+        Distinguisher::Equivalent => {
+            format!("{scenario:?}: victim and bystander indistinguishable")
+        }
+        Distinguisher::Distinguishable { position, left, right } => format!(
+            "{scenario:?}: distinguishable at observation {position}: victim {:?} vs bystander {:?}",
+            left.as_deref().unwrap_or("-"),
+            right.as_deref().unwrap_or("-")
+        ),
+    };
+    LinkOutcome {
+        scenario,
+        victim_trace,
+        bystander_trace,
+        distinguishable,
+        summary,
+    }
+}
+
+fn failed_setup(scenario: Scenario, why: &str) -> LinkOutcome {
+    LinkOutcome {
+        scenario,
+        victim_trace: Vec::new(),
+        bystander_trace: Vec::new(),
+        distinguishable: false,
+        summary: format!("{scenario:?}: setup failed: {why}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> UeConfig {
+        UeConfig::reference("001010000000001", 0x42)
+    }
+
+    /// P2: the stale-challenge replay distinguishes the victim on every
+    /// implementation (standards-level).
+    #[test]
+    fn p2_stale_auth_replay_links_on_all_impls() {
+        for cfg in [
+            reference(),
+            UeConfig::srs("001010000000001", 0x43),
+            UeConfig::oai("001010000000001", 0x44),
+        ] {
+            let outcome = run_scenario(Scenario::StaleAuthReplay, &cfg);
+            assert!(outcome.distinguishable, "{}", outcome.summary);
+            assert_eq!(outcome.victim_trace, vec!["accepts_stale_challenge"]);
+        }
+    }
+
+    /// PR20: the freshness limit closes P2's acceptance distinguisher.
+    #[test]
+    fn freshness_limit_restores_equivalence() {
+        let mut cfg = reference();
+        cfg.sqn_config.freshness_limit = Some(4);
+        let outcome = run_scenario(Scenario::StaleAuthReplay, &cfg);
+        assert!(!outcome.distinguishable, "{}", outcome.summary);
+    }
+
+    #[test]
+    fn consumed_replay_distinguishes_by_failure_cause() {
+        let outcome = run_scenario(Scenario::ConsumedAuthReplay, &reference());
+        assert!(outcome.distinguishable, "{}", outcome.summary);
+    }
+
+    #[test]
+    fn forged_challenge_is_uniform() {
+        let outcome = run_scenario(Scenario::ForgedAuthRequest, &reference());
+        assert!(!outcome.distinguishable, "{}", outcome.summary);
+    }
+
+    #[test]
+    fn smc_replay_links_only_buggy_impls() {
+        assert!(!run_scenario(Scenario::SmcReplay, &reference()).distinguishable);
+        assert!(
+            run_scenario(Scenario::SmcReplay, &UeConfig::srs("001010000000001", 0x43))
+                .distinguishable
+        );
+        assert!(
+            run_scenario(Scenario::SmcReplay, &UeConfig::oai("001010000000001", 0x44))
+                .distinguishable
+        );
+    }
+
+    #[test]
+    fn imsi_paging_reveals_presence() {
+        let outcome = run_scenario(Scenario::ImsiPaging, &reference());
+        assert!(outcome.distinguishable, "{}", outcome.summary);
+    }
+
+    #[test]
+    fn guti_paging_reveals_presence_by_design() {
+        let outcome = run_scenario(Scenario::GutiPagingPresence, &reference());
+        assert!(outcome.distinguishable, "{}", outcome.summary);
+    }
+
+    #[test]
+    fn guti_reuse_links_without_reallocation() {
+        let outcome = run_scenario(Scenario::GutiReuse, &reference());
+        assert!(outcome.distinguishable, "{}", outcome.summary);
+    }
+
+    #[test]
+    fn attach_accept_replay_links_buggy_impls() {
+        assert!(!run_scenario(Scenario::AttachAcceptReplay, &reference()).distinguishable);
+        assert!(
+            run_scenario(Scenario::AttachAcceptReplay, &UeConfig::srs("001010000000001", 0x43))
+                .distinguishable
+        );
+    }
+}

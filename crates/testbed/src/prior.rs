@@ -1,0 +1,309 @@
+//! The 14 previously-known attacks ProChecker re-detects (Table I,
+//! "Previous Attacks"), validated end-to-end on the simulated testbed.
+//!
+//! All fourteen are standards-level: they succeed against every
+//! implementation, which is exactly what Table I's filled rows record.
+
+use crate::link::{Passthrough, RadioLink, ScriptedAttacker};
+use crate::scenarios::AttackReport;
+use procheck_nas::codec::Pdu;
+use procheck_nas::ids::{Imsi, MobileIdentity};
+use procheck_nas::messages::{EmmCause, NasMessage};
+use procheck_stack::{MmeState, TriggerEvent, UeConfig, UeState};
+
+fn attach_link(cfg: &UeConfig) -> RadioLink<ScriptedAttacker> {
+    let mut link = RadioLink::new(cfg.clone(), ScriptedAttacker::default());
+    link.attach();
+    link
+}
+
+/// Authentication synchronisation failure (Hussain et al.): replaying a
+/// consumed challenge forces AUTS resynchronisation churn on the HSS.
+pub fn a01_auth_sync_failure(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A01", "Authentication sync. failure", cfg);
+    let mut link = RadioLink::new(
+        cfg.clone(),
+        ScriptedAttacker {
+            capture_dl: Some(Box::new(|pdu: &Pdu| {
+                !pdu.header.is_protected()
+                    && matches!(
+                        procheck_nas::codec::decode_message(&pdu.body),
+                        Ok(NasMessage::AuthenticationRequest { .. })
+                    )
+            })),
+            ..ScriptedAttacker::default()
+        },
+    );
+    link.attach();
+    let Some(consumed) = link.attacker.captured_dl.first().cloned() else {
+        report.note("setup failed");
+        return report;
+    };
+    link.attacker.capture_dl = None;
+    let responses = link.inject_dl(&consumed);
+    // The victim engages with the replay (sync failure or — on srsUE —
+    // re-authentication): resynchronisation machinery is attacker-driven.
+    if !responses.is_empty() {
+        report.succeeded = true;
+        report.note("victim processed the replayed challenge and answered");
+    }
+    report
+}
+
+/// Stealthy kicking-off: spoof a plain uplink detach_request; the network
+/// deregisters the victim without its knowledge.
+pub fn a02_stealthy_kicking_off(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A02", "Stealthy kicking-off", cfg);
+    let mut link = attach_link(cfg);
+    link.inject_ul(&Pdu::plain(&NasMessage::DetachRequest { switch_off: true }));
+    if link.mme.state() == MmeState::Deregistered && link.ue.state() == UeState::Registered {
+        report.succeeded = true;
+        report.note("network deregistered the subscriber while the UE still believes it is attached");
+    }
+    report
+}
+
+/// Panic attack: mass IMSI paging creates artificial re-attach chaos.
+pub fn a03_panic_attack(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A03", "Panic attack", cfg);
+    let mut link = attach_link(cfg);
+    let page = Pdu::plain(&NasMessage::Paging {
+        identity: MobileIdentity::Imsi(Imsi::new(&cfg.imsi)),
+    });
+    let before = link.ue.metrics().imsi_exposures;
+    link.inject_dl(&page);
+    if link.ue.metrics().imsi_exposures > before {
+        report.succeeded = true;
+        report.note("broadcast IMSI paging forced an identity-revealing re-attach");
+    }
+    report
+}
+
+/// Linkability using TMSI/GUTI reallocation persistence.
+pub fn a04_tmsi_reallocation_linkability(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A04", "Linkability using TMSI reallocation", cfg);
+    let mut link = attach_link(cfg);
+    let before = link.ue.guti();
+    // Without a reallocation, the same GUTI reappears across idle cycles:
+    // a stable pseudonym.
+    link.ue_trigger(TriggerEvent::TauDue);
+    link.mme_trigger(TriggerEvent::PageUe);
+    if link.ue.guti() == before {
+        report.succeeded = true;
+        report.note("temporary identity stable across procedures: sessions linkable");
+    }
+    report
+}
+
+/// Linkability from IMSI to GUTI via paging.
+pub fn a05_imsi_paging_linkability(cfg: &UeConfig) -> AttackReport {
+    let mut report =
+        AttackReport::new("A05", "Linkability IMSI→GUTI using paging_request", cfg);
+    let mut link = attach_link(cfg);
+    let page = Pdu::plain(&NasMessage::Paging {
+        identity: MobileIdentity::Imsi(Imsi::new(&cfg.imsi)),
+    });
+    let responses = link.inject_dl(&page);
+    if !responses.is_empty() {
+        report.succeeded = true;
+        report.note("IMSI paging answered: permanent and temporary identity linked");
+    }
+    report
+}
+
+/// Linkability using auth_sync_failure (Arapinis et al.): the victim's
+/// failure cause differs from bystanders'.
+pub fn a06_auth_sync_linkability(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A06", "Linkability using auth_sync_failure", cfg);
+    let outcome = crate::linkability::run_scenario(
+        crate::linkability::Scenario::ConsumedAuthReplay,
+        cfg,
+    );
+    if outcome.distinguishable {
+        report.succeeded = true;
+        report.note(outcome.summary);
+    }
+    report
+}
+
+/// Authentication relay: the attacker relays the whole attach through its
+/// own equipment; service succeeds with poisoned location history.
+pub fn a07_authentication_relay(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A07", "Authentication relay", cfg);
+    // The relay is a passthrough MITM: the protocol completes through
+    // attacker-controlled equipment without either endpoint noticing.
+    let mut link = RadioLink::new(cfg.clone(), Passthrough);
+    link.attach();
+    if link.ue.state() == UeState::Registered {
+        report.succeeded = true;
+        report.note("full attach relayed through attacker equipment undetected");
+    }
+    report
+}
+
+/// Numb attack: a plain authentication_reject silences the UE.
+pub fn a08_numb_attack(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A08", "Numb Attack", cfg);
+    let mut link = attach_link(cfg);
+    link.inject_dl(&Pdu::plain(&NasMessage::AuthenticationReject));
+    if link.ue.state() == UeState::Deregistered && link.ue.security_context().is_none() {
+        report.succeeded = true;
+        report.note("plain authentication_reject deregistered the UE and wiped its contexts");
+    }
+    report
+}
+
+/// Downgrade using tracking_area_update_reject.
+pub fn a09_tau_reject_downgrade(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A09", "Downgrade using tracking_area_reject", cfg);
+    let mut link = attach_link(cfg);
+    link.inject_dl(&Pdu::plain(&NasMessage::TrackingAreaUpdateReject {
+        cause: EmmCause::TrackingAreaNotAllowed,
+    }));
+    if link.ue.state() == UeState::Deregistered {
+        report.succeeded = true;
+        report.note("plain TAU reject detached the UE (downgrade/DoS)");
+    }
+    report
+}
+
+/// Denial of all services: plain attach_reject aborts every attach try.
+pub fn a10_denial_of_all_services(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A10", "Denial of all services", cfg);
+    let mut link = RadioLink::new(
+        cfg.clone(),
+        ScriptedAttacker {
+            // Drop every downlink so the network cannot help; the
+            // attacker rejects each attach.
+            drop_dl: Some(Box::new(|_| true)),
+            ..ScriptedAttacker::default()
+        },
+    );
+    let mut rejected = 0;
+    for _ in 0..3 {
+        link.ue_trigger(TriggerEvent::PowerOn);
+        link.inject_dl(&Pdu::plain(&NasMessage::AttachReject { cause: EmmCause::EpsServicesNotAllowed }));
+        if link.ue.state() == UeState::Deregistered {
+            rejected += 1;
+        }
+    }
+    if rejected == 3 {
+        report.succeeded = true;
+        report.note("every attach attempt aborted with a forged plain attach_reject");
+    }
+    report
+}
+
+/// Paging hijacking: the attacker drops the legitimate page; the service
+/// never reaches the UE.
+pub fn a11_paging_hijacking(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A11", "Paging hijacking", cfg);
+    let mut link = attach_link(cfg);
+    link.attacker.drop_dl = Some(Box::new(|pdu: &Pdu| {
+        matches!(
+            procheck_nas::codec::decode_message(&pdu.body),
+            Ok(NasMessage::Paging { .. })
+        )
+    }));
+    let ul_before = link.ul_observables.len();
+    link.mme_trigger(TriggerEvent::PageUe);
+    let answered = link.ul_observables.len() > ul_before;
+    if !answered && link.attacker.dropped_dl >= 1 {
+        report.succeeded = true;
+        report.note("legitimate page suppressed: service denied stealthily");
+    }
+    report
+}
+
+/// Detach/downgrade: a plain network detach pre-security or a service
+/// reject pushes the UE off the network.
+pub fn a12_detach_downgrade(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A12", "Detach/Downgrade", cfg);
+    let mut link = attach_link(cfg);
+    // Force re-attach identity exposure + service loss via plain service_reject.
+    link.inject_dl(&Pdu::plain(&NasMessage::ServiceReject { cause: EmmCause::Congestion }));
+    if link.ue.state() == UeState::Deregistered {
+        report.succeeded = true;
+        report.note("plain service_reject detached the UE; re-attach costs battery and identity");
+    }
+    report
+}
+
+/// Service denial via repeated reject injection.
+pub fn a13_service_denial(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A13", "Service Denial", cfg);
+    let mut link = attach_link(cfg);
+    let mut denials = 0;
+    for _ in 0..2 {
+        link.inject_dl(&Pdu::plain(&NasMessage::ServiceReject { cause: EmmCause::Congestion }));
+        if link.ue.state() == UeState::Deregistered {
+            denials += 1;
+        }
+        link.ue_trigger(TriggerEvent::PowerOn);
+    }
+    if denials == 2 {
+        report.succeeded = true;
+        report.note("service denied repeatedly via forged rejects");
+    }
+    report
+}
+
+/// Linkability via GUTI/TMSI stability.
+pub fn a14_guti_linkability(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("A14", "Linkability (GUTI/TMSI)", cfg);
+    let outcome =
+        crate::linkability::run_scenario(crate::linkability::Scenario::GutiPagingPresence, cfg);
+    if outcome.distinguishable {
+        report.succeeded = true;
+        report.note(outcome.summary);
+    }
+    report
+}
+
+/// Runs all fourteen prior attacks against one implementation.
+pub fn run_all_prior(cfg: &UeConfig) -> Vec<AttackReport> {
+    vec![
+        a01_auth_sync_failure(cfg),
+        a02_stealthy_kicking_off(cfg),
+        a03_panic_attack(cfg),
+        a04_tmsi_reallocation_linkability(cfg),
+        a05_imsi_paging_linkability(cfg),
+        a06_auth_sync_linkability(cfg),
+        a07_authentication_relay(cfg),
+        a08_numb_attack(cfg),
+        a09_tau_reject_downgrade(cfg),
+        a10_denial_of_all_services(cfg),
+        a11_paging_hijacking(cfg),
+        a12_detach_downgrade(cfg),
+        a13_service_denial(cfg),
+        a14_guti_linkability(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_prior_attacks_succeed_on_every_implementation() {
+        for cfg in [
+            UeConfig::reference("001010000000001", 0x42),
+            UeConfig::srs("001010000000002", 0x43),
+            UeConfig::oai("001010000000003", 0x44),
+        ] {
+            for report in run_all_prior(&cfg) {
+                assert!(
+                    report.succeeded,
+                    "{} on {}: {:?}",
+                    report.id, report.implementation, report.evidence
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prior_attack_count_matches_table1() {
+        let cfg = UeConfig::reference("001010000000001", 0x42);
+        assert_eq!(run_all_prior(&cfg).len(), 14);
+    }
+}

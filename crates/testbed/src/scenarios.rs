@@ -1,0 +1,460 @@
+//! End-to-end validation of the new attacks (P1–P3) and implementation
+//! issues (I1–I6) against the actual simulated stacks.
+//!
+//! Each scenario is the concrete message-level script from the paper's
+//! attack descriptions (Figs 4 and 6), run through the radio link with a
+//! scripted man-in-the-middle. `succeeded` records whether the attack
+//! worked against the given implementation; Table I is the matrix of
+//! these outcomes.
+
+use crate::link::{RadioLink, ScriptedAttacker};
+use procheck_nas::codec::Pdu;
+use procheck_nas::ids::Guti;
+use procheck_nas::messages::{EmmCause, IdentityType, NasMessage};
+use procheck_stack::{NasEndpoint, TriggerEvent, UeConfig, UeState};
+use serde::Serialize;
+
+/// Outcome of one attack validation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct AttackReport {
+    /// Attack identifier (`P1`…`P3`, `I1`…`I6`, `A01`…`A14` for priors).
+    pub id: &'static str,
+    /// Attack name as in Table I.
+    pub name: &'static str,
+    /// Implementation the scenario ran against.
+    pub implementation: String,
+    /// Whether the attack succeeded end-to-end.
+    pub succeeded: bool,
+    /// Human-readable evidence collected during the run.
+    pub evidence: Vec<String>,
+}
+
+impl AttackReport {
+    pub(crate) fn new(id: &'static str, name: &'static str, cfg: &UeConfig) -> Self {
+        AttackReport {
+            id,
+            name,
+            implementation: cfg.implementation.name().to_string(),
+            succeeded: false,
+            evidence: Vec::new(),
+        }
+    }
+
+    pub(crate) fn note(&mut self, text: impl Into<String>) {
+        self.evidence.push(text.into());
+    }
+}
+
+fn capture_plain_auth_request() -> ScriptedAttacker {
+    ScriptedAttacker {
+        capture_dl: Some(Box::new(|pdu: &Pdu| {
+            !pdu.header.is_protected()
+                && matches!(
+                    procheck_nas::codec::decode_message(&pdu.body),
+                    Ok(NasMessage::AuthenticationRequest { .. })
+                )
+        })),
+        ..ScriptedAttacker::default()
+    }
+}
+
+/// The paper's Fig 4 capture phase: the attacker's malicious UE sends an
+/// `attach_request` with the victim's identity; the MME answers with a
+/// genuine (plain) challenge for the victim, which the attacker pockets.
+/// The challenge never reaches the victim, so its SQN index stays
+/// unconsumed.
+pub(crate) fn harvest_challenge<A: crate::link::Attacker>(
+    link: &mut crate::link::RadioLink<A>,
+    imsi: &str,
+) -> Option<Pdu> {
+    let spoofed = Pdu::plain(&NasMessage::AttachRequest {
+        identity: procheck_nas::ids::MobileIdentity::Imsi(procheck_nas::ids::Imsi::new(imsi)),
+        ue_net_caps: 0x00ff,
+    });
+    let responses = link.mme.handle_pdu(&spoofed);
+    responses.into_iter().find(|p| {
+        !p.header.is_protected()
+            && matches!(
+                procheck_nas::codec::decode_message(&p.body),
+                Ok(NasMessage::AuthenticationRequest { .. })
+            )
+    })
+}
+
+/// **P1** — service disruption using a captured `authentication_request`
+/// (paper Fig 4): a stale challenge whose SQN-array index was never
+/// overwritten is replayed days later; the victim accepts it and
+/// regenerates keys, desynchronising it from the network.
+pub fn p1_service_disruption(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("P1", "Service disruption using authentication_request", cfg);
+    let mut link = RadioLink::new(cfg.clone(), ScriptedAttacker::default());
+    // Phase 1 (capture, Fig 4): the attacker's malicious UE spoofs an
+    // attach with the victim's identity and pockets the resulting genuine
+    // challenge. It never reaches the victim, so its SQN-array index
+    // stays unconsumed.
+    let Some(stale) = harvest_challenge(&mut link, &cfg.imsi) else {
+        report.note("setup failed: no challenge harvested");
+        return report;
+    };
+    report.note("harvested a genuine authentication_request via a spoofed attach (unconsumed SQN index)");
+    // The victim attaches normally; its own challenges use later SQNs.
+    link.attach();
+    if link.ue.state() != UeState::Registered {
+        report.note("setup failed: attach did not complete");
+        return report;
+    }
+    let auth_runs_before = link.ue.metrics().auth_runs;
+    let reinstalls_before = link.ue.metrics().key_reinstallations;
+
+    // Phase 2 (attack): replay the stale challenge — repeatedly, as the
+    // paper notes the adversary can. Acceptance is measured on the UE's
+    // immediate reaction (key rederivation), before any network follow-up.
+    let mut acceptances = 0;
+    for _ in 0..3 {
+        let reinstalls = link.ue.metrics().key_reinstallations;
+        let responses = link.ue.handle_pdu(&stale);
+        if link.ue.metrics().key_reinstallations > reinstalls {
+            acceptances += 1;
+        }
+        link.settle(responses, Vec::new());
+    }
+    let auth_runs = link.ue.metrics().auth_runs - auth_runs_before;
+    let reinstalls = link.ue.metrics().key_reinstallations - reinstalls_before;
+    if reinstalls >= 1 {
+        report.succeeded = true;
+        report.note(format!(
+            "stale challenge accepted; {auth_runs} forced AKA run(s), {reinstalls} key \
+             reinstallation(s) (desynchronisation + battery depletion)"
+        ));
+        report.note(format!("{acceptances} replay(s) drew a response"));
+    } else {
+        report.note("stale challenge rejected");
+    }
+    report
+}
+
+/// **P3** — selective security-procedure denial: drop all five
+/// transmissions of `guti_reallocation_command`; the network aborts and
+/// both sides keep the old GUTI.
+pub fn p3_selective_denial(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("P3", "Selective service dropping", cfg);
+    let mut link = RadioLink::new(cfg.clone(), ScriptedAttacker::default());
+    link.attach();
+    let old_guti = link.ue.guti();
+    // The attacker infers GUTI reallocation commands from metadata and
+    // drops them selectively.
+    link.attacker.drop_dl = Some(Box::new(|pdu: &Pdu| pdu.header.is_protected()));
+    link.mme_trigger(TriggerEvent::StartGutiReallocation);
+    for _ in 0..4 {
+        link.mme_trigger(TriggerEvent::T3450Expiry);
+    }
+    // Fifth expiry: abort.
+    link.mme_trigger(TriggerEvent::T3450Expiry);
+    link.attacker.drop_dl = None;
+    let aborted = link.mme.metrics().guti_realloc_aborts == 1;
+    let unchanged = link.ue.guti() == old_guti && link.mme.current_guti() == old_guti;
+    if aborted && unchanged {
+        report.succeeded = true;
+        report.note(format!(
+            "dropped {} transmissions; procedure aborted; GUTI unchanged on both sides \
+             (long-term tracking enabled)",
+            link.attacker.dropped_dl
+        ));
+    } else {
+        report.note(format!(
+            "abort={aborted} unchanged={unchanged} drops={}",
+            link.attacker.dropped_dl
+        ));
+    }
+    report
+}
+
+/// **I1** — broken replay protection with all protected messages:
+/// srsUE accepts any replayed protected message (and resets its counter);
+/// OAI accepts a replay of the last message.
+pub fn i1_broken_replay_protection(cfg: &UeConfig) -> AttackReport {
+    let mut report =
+        AttackReport::new("I1", "Broken replay protection with all protected messages", cfg);
+    let mut link = RadioLink::new(
+        cfg.clone(),
+        ScriptedAttacker {
+            capture_dl: Some(Box::new(|pdu: &Pdu| pdu.header.is_protected())),
+            ..ScriptedAttacker::default()
+        },
+    );
+    link.attach();
+    // Two GUTI reallocations: the first command becomes the *stale*
+    // capture, the second the *last* one.
+    let mark = link.attacker.captured_dl.len();
+    link.mme_trigger(TriggerEvent::StartGutiReallocation);
+    let guti_after_first = link.ue.guti();
+    let stale_cmd = link.attacker.captured_dl.get(mark).cloned();
+    let mark2 = link.attacker.captured_dl.len();
+    link.mme_trigger(TriggerEvent::StartGutiReallocation);
+    let last_cmd = link.attacker.captured_dl.get(mark2).cloned();
+    let current_guti = link.ue.guti();
+    link.attacker.capture_dl = None;
+    let (Some(stale_cmd), Some(last_cmd)) = (stale_cmd, last_cmd) else {
+        report.note("setup failed: commands not captured");
+        return report;
+    };
+
+    // Replay the stale command: acceptance rewinds the UE's GUTI.
+    let stale_responses = link.inject_dl(&stale_cmd);
+    let stale_accepted = link.ue.guti() == guti_after_first && !stale_responses.is_empty();
+    if stale_accepted {
+        report.note("stale replayed command accepted: GUTI rewound, counter reset");
+    }
+    // Re-deliver the last command: acceptance re-answers it.
+    let last_responses = link.inject_dl(&last_cmd);
+    let last_accepted = !last_responses.is_empty();
+    if last_accepted {
+        report.note("replay of the last protected message accepted");
+    }
+    report.succeeded = stale_accepted || last_accepted;
+    if !report.succeeded {
+        report.note("all replays discarded");
+    }
+    let _ = current_guti;
+    report
+}
+
+/// **I2** — broken integrity/confidentiality: plain-NAS (0x0) messages
+/// accepted after the security context is established.
+pub fn i2_plaintext_acceptance(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new(
+        "I2",
+        "Broken integrity, confidentiality with all protected messages",
+        cfg,
+    );
+    let mut link = RadioLink::new(cfg.clone(), ScriptedAttacker::default());
+    link.attach();
+    let forged = Pdu::plain(&NasMessage::GutiReallocationCommand { guti: Guti(0x6666_6666) });
+    let responses = link.inject_dl(&forged);
+    if link.ue.guti() == Some(Guti(0x6666_6666)) {
+        report.succeeded = true;
+        report.note("forged plaintext command processed: attacker-chosen GUTI installed");
+        report.note(format!("UE answered with {} message(s)", responses.len()));
+    } else {
+        report.note("plaintext command discarded");
+    }
+    report
+}
+
+/// **I3** — counter reset with a replayed `authentication_request`:
+/// srsUE accepts the *same* SQN again.
+pub fn i3_counter_reset(cfg: &UeConfig) -> AttackReport {
+    let mut report =
+        AttackReport::new("I3", "Counter-reset with replayed authentication_request", cfg);
+    let mut link = RadioLink::new(cfg.clone(), capture_plain_auth_request());
+    link.attach();
+    let Some(consumed) = link.attacker.captured_dl.first().cloned() else {
+        report.note("setup failed: challenge not captured");
+        return report;
+    };
+    link.attacker.capture_dl = None;
+    let reinstalls_before = link.ue.metrics().key_reinstallations;
+    // Probe the UE directly: acceptance means immediate key rederivation
+    // (the follow-up resynchronisation flow must not pollute the metric).
+    let responses = link.ue.handle_pdu(&consumed);
+    let accepted = link.ue.metrics().key_reinstallations > reinstalls_before;
+    if accepted {
+        report.succeeded = true;
+        report.note("consumed SQN re-accepted: replay counter reset, keys rederived");
+    } else {
+        report.note(format!(
+            "replayed consumed challenge answered with a failure ({} response(s))",
+            responses.len()
+        ));
+    }
+    link.settle(responses, Vec::new());
+    report
+}
+
+/// **I4** — security bypass with reject messages: after a plain
+/// `attach_reject`, srsUE keeps its context and honours a replayed
+/// `attach_accept` straight into registered.
+pub fn i4_security_bypass(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("I4", "Security bypass with reject messages", cfg);
+    let mut link = RadioLink::new(
+        cfg.clone(),
+        ScriptedAttacker {
+            capture_dl: Some(Box::new(|pdu: &Pdu| pdu.header.is_protected())),
+            ..ScriptedAttacker::default()
+        },
+    );
+    link.attach();
+    // The attach_accept is one of the captured protected PDUs; find it by
+    // re-verification through the UE later (the last protected downlink of
+    // the attach is the attach_accept).
+    let Some(attach_accept) = link.attacker.captured_dl.last().cloned() else {
+        report.note("setup failed: no protected downlink captured");
+        return report;
+    };
+    link.attacker.capture_dl = None;
+    // Kick the UE out with a plain reject.
+    link.inject_dl(&Pdu::plain(&NasMessage::AttachReject { cause: EmmCause::IllegalUe }));
+    if link.ue.state() != UeState::Deregistered {
+        report.note("setup failed: reject not processed");
+        return report;
+    }
+    let kept_ctx = link.ue.security_context().is_some();
+    if kept_ctx {
+        report.note("security context retained across the reject");
+    }
+    // Replay the captured attach_accept.
+    link.inject_dl(&attach_accept);
+    if link.ue.state() == UeState::Registered {
+        report.succeeded = true;
+        report.note(
+            "UE moved deregistered → registered without authentication or security mode \
+             control",
+        );
+    } else {
+        report.note("replayed attach_accept discarded after reject");
+    }
+    report
+}
+
+/// **I5** — privacy leakage with `identity_request`: OAI answers a plain
+/// request with the IMSI even after security activation.
+pub fn i5_identity_leak(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("I5", "Privacy leakage with identity request", cfg);
+    let mut link = RadioLink::new(cfg.clone(), ScriptedAttacker::default());
+    link.attach();
+    let exposures_before = link.ue.metrics().imsi_exposures;
+    let responses =
+        link.inject_dl(&Pdu::plain(&NasMessage::IdentityRequest { id_type: IdentityType::Imsi }));
+    let leaked = link.ue.metrics().imsi_exposures > exposures_before;
+    if leaked {
+        report.succeeded = true;
+        report.note(format!(
+            "IMSI disclosed in plaintext to an unauthenticated requester ({:?})",
+            responses.first().map(|o| o.0.as_str()).unwrap_or("-")
+        ));
+    } else {
+        report.note("plain identity request ignored after security activation");
+    }
+    report
+}
+
+/// **I6** — linkability with `security_mode_command`: a replayed SMC is
+/// answered with `security_mode_complete`.
+pub fn i6_smc_replay(cfg: &UeConfig) -> AttackReport {
+    let mut report = AttackReport::new("I6", "Linkability with security_mode_command", cfg);
+    let mut link = RadioLink::new(
+        cfg.clone(),
+        ScriptedAttacker {
+            capture_dl: Some(Box::new(|pdu: &Pdu| {
+                pdu.header == procheck_nas::codec::SecurityHeader::IntegrityProtected
+            })),
+            ..ScriptedAttacker::default()
+        },
+    );
+    link.attach();
+    let Some(smc) = link.attacker.captured_dl.first().cloned() else {
+        report.note("setup failed: SMC not captured");
+        return report;
+    };
+    link.attacker.capture_dl = None;
+    let responses = link.inject_dl(&smc);
+    if !responses.is_empty() {
+        report.succeeded = true;
+        report.note("replayed security_mode_command answered with security_mode_complete");
+    } else {
+        report.note("replayed SMC discarded");
+    }
+    report
+}
+
+/// Runs P1, P3 and I1–I6 against one implementation (P2 lives in the
+/// linkability module, as in the paper).
+pub fn run_all(cfg: &UeConfig) -> Vec<AttackReport> {
+    vec![
+        p1_service_disruption(cfg),
+        p3_selective_denial(cfg),
+        i1_broken_replay_protection(cfg),
+        i2_plaintext_acceptance(cfg),
+        i3_counter_reset(cfg),
+        i4_security_bypass(cfg),
+        i5_identity_leak(cfg),
+        i6_smc_replay(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfgs() -> [UeConfig; 3] {
+        [
+            UeConfig::reference("001010000000001", 0x42),
+            UeConfig::srs("001010000000002", 0x43),
+            UeConfig::oai("001010000000003", 0x44),
+        ]
+    }
+
+    #[test]
+    fn p1_succeeds_on_every_implementation() {
+        for cfg in cfgs() {
+            let r = p1_service_disruption(&cfg);
+            assert!(r.succeeded, "{}: {:?}", r.implementation, r.evidence);
+        }
+    }
+
+    #[test]
+    fn p3_succeeds_on_every_implementation() {
+        for cfg in cfgs() {
+            let r = p3_selective_denial(&cfg);
+            assert!(r.succeeded, "{}: {:?}", r.implementation, r.evidence);
+        }
+    }
+
+    #[test]
+    fn i1_matches_table1() {
+        let [reference, srs, oai] = cfgs();
+        assert!(!i1_broken_replay_protection(&reference).succeeded);
+        assert!(i1_broken_replay_protection(&srs).succeeded);
+        assert!(i1_broken_replay_protection(&oai).succeeded);
+    }
+
+    #[test]
+    fn i2_matches_table1() {
+        let [reference, srs, oai] = cfgs();
+        assert!(!i2_plaintext_acceptance(&reference).succeeded);
+        assert!(!i2_plaintext_acceptance(&srs).succeeded);
+        assert!(i2_plaintext_acceptance(&oai).succeeded);
+    }
+
+    #[test]
+    fn i3_matches_table1() {
+        let [reference, srs, oai] = cfgs();
+        assert!(!i3_counter_reset(&reference).succeeded);
+        assert!(i3_counter_reset(&srs).succeeded);
+        assert!(!i3_counter_reset(&oai).succeeded);
+    }
+
+    #[test]
+    fn i4_matches_table1() {
+        let [reference, srs, oai] = cfgs();
+        assert!(!i4_security_bypass(&reference).succeeded);
+        assert!(i4_security_bypass(&srs).succeeded);
+        assert!(!i4_security_bypass(&oai).succeeded);
+    }
+
+    #[test]
+    fn i5_matches_table1() {
+        let [reference, srs, oai] = cfgs();
+        assert!(!i5_identity_leak(&reference).succeeded);
+        assert!(!i5_identity_leak(&srs).succeeded);
+        assert!(i5_identity_leak(&oai).succeeded);
+    }
+
+    #[test]
+    fn i6_matches_table1() {
+        let [reference, srs, oai] = cfgs();
+        assert!(!i6_smc_replay(&reference).succeeded);
+        assert!(i6_smc_replay(&srs).succeeded);
+        assert!(i6_smc_replay(&oai).succeeded);
+    }
+}

@@ -1,0 +1,207 @@
+//! Threat-model configuration.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Configuration of the adversarial composition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreatConfig {
+    /// Downlink messages the adversary may capture and replay.
+    pub replayable_dl: BTreeSet<String>,
+    /// Downlink messages the adversary may fabricate in plaintext.
+    pub plain_injectable_dl: BTreeSet<String>,
+    /// Uplink messages the adversary may fabricate in plaintext.
+    pub plain_injectable_ul: BTreeSet<String>,
+    /// Downlink messages that travel in plaintext even from the
+    /// legitimate network (challenges, rejects, paging).
+    pub plain_legit_dl: BTreeSet<String>,
+    /// Downlink messages the standard requires to be integrity-protected
+    /// once a security context exists (TS 24.301 §4.4.4) — accepting one
+    /// of these in plaintext is issue I2's class.
+    pub protected_class_dl: BTreeSet<String>,
+    /// TS 33.102 Annex C semantics: a stale-but-unconsumed SQN is
+    /// accepted when no freshness limit `L` is configured — the vendor
+    /// default the paper observed, and the root cause of P1/P2.
+    pub stale_unconsumed_sqn_accepted: bool,
+    /// Over-approximate cryptography: include `adv_forged` commands that
+    /// claim valid MACs. The CPV refutes them, driving CEGAR refinement.
+    pub optimistic_crypto: bool,
+    /// Track the UE's `ue_last_event`/`ue_last_action` observer variables
+    /// (needed by some properties; costs state space).
+    pub track_ue_last: bool,
+    /// Track the MME's `mme_last_event`/`mme_last_action` observers.
+    pub track_mme_last: bool,
+    /// Declare the `mon_replay_accepted` trap variable.
+    pub monitor_replay: bool,
+    /// Declare the `mon_plain_accepted` trap variable.
+    pub monitor_plain: bool,
+    /// Declare the `mon_security_bypass`/`mon_sqn_bypass` trap variables.
+    pub monitor_bypass: bool,
+    /// Declare the `mon_imsi_disclosed` trap variable.
+    pub monitor_imsi: bool,
+    /// Add the delivery-fairness constraint (both channels empty
+    /// infinitely often) to the model, for liveness checks that should
+    /// not be refuted by pure message-starvation loops.
+    pub fair_delivery: bool,
+}
+
+impl ThreatConfig {
+    /// The default 4G LTE configuration used by the evaluation.
+    pub fn lte() -> Self {
+        let set = |items: &[&str]| -> BTreeSet<String> {
+            items.iter().map(|s| s.to_string()).collect()
+        };
+        ThreatConfig {
+            replayable_dl: set(&[
+                "authentication_request",
+                "attach_accept",
+                "security_mode_command",
+                "guti_reallocation_command",
+                "emm_information",
+            ]),
+            plain_injectable_dl: set(&[
+                "authentication_request",
+                "authentication_reject",
+                "attach_reject",
+                "identity_request",
+                "paging",
+                "tracking_area_update_reject",
+                "service_reject",
+                "detach_request",
+                "guti_reallocation_command",
+                "emm_information",
+            ]),
+            plain_injectable_ul: set(&["attach_request", "identity_response", "detach_request"]),
+            plain_legit_dl: set(&[
+                "authentication_request",
+                "authentication_reject",
+                "attach_reject",
+                "identity_request",
+                "paging",
+                "tracking_area_update_reject",
+                "service_reject",
+            ]),
+            protected_class_dl: set(&[
+                "attach_accept",
+                "security_mode_command",
+                "guti_reallocation_command",
+                "detach_request",
+                "detach_accept",
+                "tracking_area_update_accept",
+                "emm_information",
+            ]),
+            stale_unconsumed_sqn_accepted: true,
+            optimistic_crypto: true,
+            track_ue_last: false,
+            track_mme_last: false,
+            monitor_replay: false,
+            monitor_plain: false,
+            monitor_bypass: false,
+            monitor_imsi: false,
+            fair_delivery: false,
+        }
+    }
+
+    /// Enables the UE observer variables.
+    pub fn with_ue_last(mut self) -> Self {
+        self.track_ue_last = true;
+        self
+    }
+
+    /// Enables the MME observer variables.
+    pub fn with_mme_last(mut self) -> Self {
+        self.track_mme_last = true;
+        self
+    }
+
+    /// Enables the replay-acceptance trap variable.
+    pub fn with_replay_monitor(mut self) -> Self {
+        self.monitor_replay = true;
+        self
+    }
+
+    /// Enables the plaintext-acceptance trap variable.
+    pub fn with_plain_monitor(mut self) -> Self {
+        self.monitor_plain = true;
+        self
+    }
+
+    /// Enables the bypass trap variables.
+    pub fn with_bypass_monitor(mut self) -> Self {
+        self.monitor_bypass = true;
+        self
+    }
+
+    /// Enables the identity-disclosure trap variable.
+    pub fn with_imsi_monitor(mut self) -> Self {
+        self.monitor_imsi = true;
+        self
+    }
+
+    /// Restricts the replayable-message alphabet (a smaller capture-bit
+    /// vector keeps the composed state space small — the per-property
+    /// slicing ProChecker's property-guided runs rely on).
+    pub fn with_replayable<I, S>(mut self, messages: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.replayable_dl = messages.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Disables the optimistic forge commands (for slices where the CEGAR
+    /// refinement is not under study).
+    pub fn without_forge(mut self) -> Self {
+        self.optimistic_crypto = false;
+        self
+    }
+
+    /// LTE configuration with the optional Annex C freshness limit `L`
+    /// enabled — the (hypothetical) fixed deployment; P1/P2 disappear.
+    pub fn lte_with_freshness_limit() -> Self {
+        ThreatConfig {
+            stale_unconsumed_sqn_accepted: false,
+            ..ThreatConfig::lte()
+        }
+    }
+
+    /// The 5G profile: the paper notes the SQN scheme and the affected
+    /// procedures are unchanged in 5G, so the threat configuration is the
+    /// same code path under the 5G name (executable 5G-impact note).
+    pub fn fiveg() -> Self {
+        ThreatConfig::lte()
+    }
+}
+
+impl Default for ThreatConfig {
+    fn default() -> Self {
+        ThreatConfig::lte()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lte_defaults_reflect_vendor_reality() {
+        let c = ThreatConfig::lte();
+        assert!(c.stale_unconsumed_sqn_accepted, "no vendor sets L (paper P1)");
+        assert!(c.replayable_dl.contains("authentication_request"));
+        assert!(c.plain_injectable_dl.contains("attach_reject"));
+    }
+
+    #[test]
+    fn freshness_limit_profile_differs_only_in_sqn() {
+        let a = ThreatConfig::lte();
+        let b = ThreatConfig::lte_with_freshness_limit();
+        assert!(!b.stale_unconsumed_sqn_accepted);
+        assert_eq!(a.replayable_dl, b.replayable_dl);
+    }
+
+    #[test]
+    fn fiveg_equals_lte() {
+        assert_eq!(ThreatConfig::fiveg(), ThreatConfig::lte());
+    }
+}

@@ -1,0 +1,220 @@
+//! Command-label vocabulary of the threat-instrumented model.
+//!
+//! Every guarded command in `IMP^μ` carries a structured label; the CEGAR
+//! loop parses it back to decide which terms the step observes or must
+//! derive. Format:
+//!
+//! ```text
+//! <who>:<kind>:<message-or-event>:<meta>:<action>#<uniq>
+//! ```
+//!
+//! e.g. `ue:recv:attach_accept:legit:attach_complete#17` or
+//! `adv:replay_old:authentication_request:-:-#3`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Who fires the command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Participant {
+    /// The UE state machine.
+    Ue,
+    /// The MME state machine.
+    Mme,
+    /// The Dolev–Yao adversary.
+    Adversary,
+}
+
+/// Adversary command kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdvKind {
+    /// Observe a legit message in flight (knowledge only).
+    Capture,
+    /// Observe and remove a legit message (the P1 capture step).
+    CaptureDrop,
+    /// Remove whatever is in flight.
+    Drop,
+    /// Re-send a captured message with a counter newer receivers saw last.
+    ReplayLast,
+    /// Re-send an older captured message (stale counter / consumed SQN).
+    ReplayOld,
+    /// Re-send an old captured authentication challenge whose SQN-array
+    /// index is still unconsumed (the Annex C window, P1).
+    ReplayOldUnconsumed,
+    /// Fabricate a plaintext message.
+    InjectPlain,
+    /// Fabricate a message *claiming* valid protection — the optimistic
+    /// over-approximation the CPV refutes.
+    Forge,
+}
+
+impl AdvKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            AdvKind::Capture => "capture",
+            AdvKind::CaptureDrop => "capture_drop",
+            AdvKind::Drop => "drop",
+            AdvKind::ReplayLast => "replay_last",
+            AdvKind::ReplayOld => "replay_old",
+            AdvKind::ReplayOldUnconsumed => "replay_old_unconsumed",
+            AdvKind::InjectPlain => "inject_plain",
+            AdvKind::Forge => "forge",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Self> {
+        Some(match text {
+            "capture" => AdvKind::Capture,
+            "capture_drop" => AdvKind::CaptureDrop,
+            "drop" => AdvKind::Drop,
+            "replay_last" => AdvKind::ReplayLast,
+            "replay_old" => AdvKind::ReplayOld,
+            "replay_old_unconsumed" => AdvKind::ReplayOldUnconsumed,
+            "inject_plain" => AdvKind::InjectPlain,
+            "forge" => AdvKind::Forge,
+            _ => return None,
+        })
+    }
+}
+
+/// Parsed command label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandInfo {
+    /// Who fires the command.
+    pub who: Participant,
+    /// For participants: `recv` or `trig`; for the adversary: the
+    /// [`AdvKind`].
+    pub kind: String,
+    /// The message (or internal trigger) the command handles.
+    pub subject: String,
+    /// Provenance of the consumed message (participants) — `-` when not
+    /// applicable.
+    pub meta: String,
+    /// The response message the command puts on the opposite channel
+    /// (`-` for none).
+    pub action: String,
+}
+
+impl CommandInfo {
+    /// Renders the label (without the uniqueness suffix).
+    pub fn render(&self, uniq: usize) -> String {
+        let who = match self.who {
+            Participant::Ue => "ue",
+            Participant::Mme => "mme",
+            Participant::Adversary => "adv",
+        };
+        format!(
+            "{who}:{}:{}:{}:{}#{uniq}",
+            self.kind, self.subject, self.meta, self.action
+        )
+    }
+
+    /// Parses a label produced by [`CommandInfo::render`].
+    pub fn parse(label: &str) -> Option<CommandInfo> {
+        let body = label.split('#').next()?;
+        let parts: Vec<&str> = body.split(':').collect();
+        if parts.len() != 5 {
+            return None;
+        }
+        let who = match parts[0] {
+            "ue" => Participant::Ue,
+            "mme" => Participant::Mme,
+            "adv" => Participant::Adversary,
+            _ => return None,
+        };
+        if who == Participant::Adversary && AdvKind::parse(parts[1]).is_none() {
+            return None;
+        }
+        Some(CommandInfo {
+            who,
+            kind: parts[1].to_string(),
+            subject: parts[2].to_string(),
+            meta: parts[3].to_string(),
+            action: parts[4].to_string(),
+        })
+    }
+
+    /// The adversary kind, when this is an adversary command.
+    pub fn adv_kind(&self) -> Option<AdvKind> {
+        if self.who == Participant::Adversary {
+            AdvKind::parse(&self.kind)
+        } else {
+            None
+        }
+    }
+
+    /// True for adversary commands.
+    pub fn is_adversarial(&self) -> bool {
+        self.who == Participant::Adversary
+    }
+}
+
+impl fmt::Display for CommandInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(0))
+    }
+}
+
+/// Builds an adversary-command label.
+pub fn adv_label(kind: AdvKind, subject: &str, uniq: usize) -> String {
+    CommandInfo {
+        who: Participant::Adversary,
+        kind: kind.as_str().to_string(),
+        subject: subject.to_string(),
+        meta: "-".to_string(),
+        action: "-".to_string(),
+    }
+    .render(uniq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let info = CommandInfo {
+            who: Participant::Ue,
+            kind: "recv".into(),
+            subject: "attach_accept".into(),
+            meta: "legit".into(),
+            action: "attach_complete".into(),
+        };
+        let label = info.render(17);
+        assert_eq!(label, "ue:recv:attach_accept:legit:attach_complete#17");
+        assert_eq!(CommandInfo::parse(&label), Some(info));
+    }
+
+    #[test]
+    fn adversary_labels() {
+        let label = adv_label(AdvKind::ReplayOldUnconsumed, "authentication_request", 3);
+        let info = CommandInfo::parse(&label).unwrap();
+        assert!(info.is_adversarial());
+        assert_eq!(info.adv_kind(), Some(AdvKind::ReplayOldUnconsumed));
+        assert_eq!(info.subject, "authentication_request");
+    }
+
+    #[test]
+    fn malformed_labels_rejected() {
+        assert_eq!(CommandInfo::parse("stutter"), None);
+        assert_eq!(CommandInfo::parse("xx:recv:a:b:c#0"), None);
+        assert_eq!(CommandInfo::parse("adv:unknown_kind:a:-:-#0"), None);
+        assert_eq!(CommandInfo::parse("ue:recv:only:three#0"), None);
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for k in [
+            AdvKind::Capture,
+            AdvKind::CaptureDrop,
+            AdvKind::Drop,
+            AdvKind::ReplayLast,
+            AdvKind::ReplayOld,
+            AdvKind::ReplayOldUnconsumed,
+            AdvKind::InjectPlain,
+            AdvKind::Forge,
+        ] {
+            assert_eq!(AdvKind::parse(k.as_str()), Some(k));
+        }
+    }
+}

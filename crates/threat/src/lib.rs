@@ -1,0 +1,34 @@
+//! Adversarial model instrumentor (paper §IV-B, §VI).
+//!
+//! Takes the two extracted FSMs — `UE^μ` and `MME^μ` — and builds the
+//! threat-instrumented model `IMP^μ`: the participants communicate over
+//! two unidirectional channels (`chan_ul`, `chan_dl`), and a Dolev–Yao
+//! adversary may, per transition, **capture**, **drop**, **replay**,
+//! **inject plaintext**, or (in the optimistic over-approximation that
+//! drives the CEGAR refinement) **forge** protected messages.
+//!
+//! Each message in flight carries a *provenance* (`…_meta` variable):
+//! `legit`, `replay_last`, `replay_old`, `replay_old_unconsumed` (an old
+//! authentication challenge whose SQN-array index was never overwritten —
+//! the P1 window), `adv_plain`, `adv_bad_mac`, or `adv_forged`. The
+//! binding between provenance and the FSM's extracted check predicates
+//! (`mac_valid`, `count_delta`, `aka_mac_valid`, `sqn_ok`, `plain_ok`) is
+//! the cryptographic semantics of the Dolev–Yao model: replays carry
+//! valid MACs but non-fresh counters; plaintext fabrications fail MAC
+//! checks; forgeries claim fresh validity and are later refuted by the
+//! cryptographic protocol verifier ([`steps`]), which is exactly how the
+//! paper's spurious counterexamples arise and are refined away.
+//!
+//! The output is a `procheck-smv` guarded-command model plus the label
+//! vocabulary ([`labels`]) and term mapping ([`steps`]) the CEGAR loop in
+//! `procheck-core` consumes.
+
+pub mod build;
+pub mod config;
+pub mod labels;
+pub mod steps;
+
+pub use build::{build_threat_model, exclude_commands};
+pub use config::ThreatConfig;
+pub use labels::{AdvKind, CommandInfo, Participant};
+pub use steps::{replay_feasibility, StepOutcome, StepSemantics, TraceValidation};

@@ -1,0 +1,140 @@
+//! Property-based tests for the threat instrumentor: label round-trips
+//! and structural invariants of the composed model.
+
+use proptest::prelude::*;
+use procheck_fsm::{Fsm, Transition};
+use procheck_smv::expr::Expr;
+use procheck_threat::{build_threat_model, AdvKind, CommandInfo, Participant, ThreatConfig};
+
+fn arb_info() -> impl Strategy<Value = CommandInfo> {
+    let ident = "[a-z_][a-z0-9_]{0,16}";
+    (
+        prop_oneof![Just(Participant::Ue), Just(Participant::Mme)],
+        prop_oneof![Just("recv"), Just("trig")],
+        ident,
+        prop_oneof![Just("legit"), Just("replay_old"), Just("adv_plain"), Just("-")],
+        prop_oneof![Just("attach_complete".to_string()), Just("-".to_string())],
+    )
+        .prop_map(|(who, kind, subject, meta, action)| CommandInfo {
+            who,
+            kind: kind.to_string(),
+            subject,
+            meta: meta.to_string(),
+            action,
+        })
+}
+
+/// Small random FSM over the threat vocabulary.
+fn arb_protocol_fsm(participant: &'static str) -> impl Strategy<Value = Fsm> {
+    let (states, events, actions): (&[&str], &[&str], &[&str]) = if participant == "ue" {
+        (
+            &["emm_deregistered", "emm_registered_initiated", "emm_registered"],
+            &["attach_enabled", "authentication_request", "emm_information", "paging"],
+            &["attach_request", "authentication_response", "service_request"],
+        )
+    } else {
+        (
+            &["mme_deregistered", "mme_wait_auth_response", "mme_registered"],
+            &["attach_request", "authentication_response", "service_request"],
+            &["authentication_request", "emm_information", "paging"],
+        )
+    };
+    let transition = (
+        0..states.len(),
+        0..states.len(),
+        0..events.len(),
+        proptest::option::of(0..actions.len()),
+        any::<bool>(),
+    )
+        .prop_map(move |(f, t, e, a, protected)| {
+            let mut tr = Transition::build(states[f], states[t]).when(events[e]);
+            if protected && events[e] != "attach_enabled" {
+                tr = tr.when("mac_valid=true").when("count_delta=fresh");
+            }
+            if let Some(a) = a {
+                tr = tr.then(actions[a]);
+            }
+            tr.or_null_action()
+        });
+    proptest::collection::vec(transition, 1..8).prop_map(move |ts| {
+        let mut f = Fsm::new(participant);
+        f.set_initial(states[0]);
+        for t in ts {
+            f.add_transition(t);
+        }
+        f
+    })
+}
+
+proptest! {
+    /// Command labels round-trip through render/parse.
+    #[test]
+    fn label_round_trip(info in arb_info(), uniq in 0usize..10_000) {
+        let label = info.render(uniq);
+        prop_assert_eq!(CommandInfo::parse(&label), Some(info));
+    }
+
+    /// Adversary labels of every kind parse back to the same kind.
+    #[test]
+    fn adv_label_round_trip(subject in "[a-z_]{1,20}", uniq in 0usize..1000) {
+        for kind in [
+            AdvKind::Capture, AdvKind::CaptureDrop, AdvKind::Drop, AdvKind::ReplayLast,
+            AdvKind::ReplayOld, AdvKind::ReplayOldUnconsumed, AdvKind::InjectPlain, AdvKind::Forge,
+        ] {
+            let label = procheck_threat::labels::adv_label(kind, &subject, uniq);
+            let info = CommandInfo::parse(&label).expect("adv label parses");
+            prop_assert!(info.is_adversarial());
+            prop_assert_eq!(info.adv_kind(), Some(kind));
+        }
+    }
+
+    /// Any composed model validates, and every participant command's
+    /// label parses back to structured info.
+    #[test]
+    fn composed_models_validate(
+        ue in arb_protocol_fsm("ue"),
+        mme in arb_protocol_fsm("mme"),
+    ) {
+        let cfg = ThreatConfig::lte().with_replayable(["authentication_request"]);
+        let model = build_threat_model(&ue, &mme, &cfg);
+        prop_assert!(model.validate().is_empty(), "{:?}", model.validate());
+        for cmd in model.commands() {
+            prop_assert!(
+                CommandInfo::parse(&cmd.label).is_some(),
+                "unparseable label {}",
+                cmd.label
+            );
+        }
+        // Channels always start empty and every guard mentions a state or
+        // channel variable (no unguarded commands).
+        for cmd in model.commands() {
+            prop_assert!(cmd.guard != Expr::True, "unguarded command {}", cmd.label);
+        }
+    }
+
+    /// Monitor slicing never changes the command count for participant
+    /// commands (observers only add updates, not behaviour).
+    #[test]
+    fn observers_do_not_change_behaviour(
+        ue in arb_protocol_fsm("ue"),
+        mme in arb_protocol_fsm("mme"),
+    ) {
+        let plain = build_threat_model(&ue, &mme, &ThreatConfig::lte());
+        let observed = build_threat_model(
+            &ue,
+            &mme,
+            &ThreatConfig::lte()
+                .with_ue_last()
+                .with_mme_last()
+                .with_replay_monitor()
+                .with_plain_monitor()
+                .with_bypass_monitor()
+                .with_imsi_monitor(),
+        );
+        prop_assert_eq!(plain.commands().len(), observed.commands().len());
+        for (a, b) in plain.commands().iter().zip(observed.commands()) {
+            prop_assert_eq!(&a.label, &b.label);
+            prop_assert_eq!(&a.guard, &b.guard);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! P1's quantitative argument (paper §VII-A, Fig 5): how long does a
+//! captured `authentication_request` stay replayable?
+//!
+//! With the COTS choice of 5 IND bits and no freshness limit, a captured
+//! challenge's SQN-array index survives 31 subsequent challenges — at
+//! operator authentication cadences, *days*. The optional Annex C limit
+//! `L` shrinks the window to a handful of challenges.
+//!
+//! ```sh
+//! cargo run --release -p procheck-core --example sqn_replay_window
+//! ```
+
+use procheck_nas::sqn::SqnConfig;
+use procheck_testbed::traces::{generate_trace, replay_window};
+
+fn main() {
+    println!("synthetic operator traces: exponential authentication inter-arrivals\n");
+    println!(
+        "{:<28} {:>10} {:>18} {:>14}",
+        "configuration", "mean gap", "challenges survived", "window"
+    );
+    println!("{}", "-".repeat(76));
+    for (label, cfg) in [
+        ("4G/5G vendor default (L unset)", SqnConfig::default()),
+        ("with freshness limit L=4", SqnConfig { ind_bits: 5, freshness_limit: Some(4) }),
+        ("with freshness limit L=16", SqnConfig { ind_bits: 5, freshness_limit: Some(16) }),
+    ] {
+        for mean_hours in [2.0f64, 6.0, 12.0] {
+            let trace = generate_trace(cfg, 42, 64, mean_hours);
+            let w = replay_window(cfg, &trace, 8);
+            println!(
+                "{:<28} {:>8.1} h {:>18} {:>11.1} h",
+                label, mean_hours, w.challenges_survived, w.window_hours
+            );
+        }
+        println!();
+    }
+    println!(
+        "the vendor-default window spans days (the paper observed days-old\n\
+         challenges accepted on commercial networks); the optional freshness\n\
+         limit — which no major vendor implements — closes it."
+    );
+}
