@@ -9,7 +9,7 @@
 //! comparable.
 
 use procheck::cegar::cegar_check;
-use procheck_bench::{col, Fig8Models};
+use procheck_bench::{col, default_threads, parallel_map, Fig8Models};
 use procheck_props::{common_properties, Check};
 use procheck_threat::StepSemantics;
 use std::time::Instant;
@@ -35,11 +35,22 @@ fn main() {
     );
     println!("{}", "-".repeat(84));
     let mut ratios = Vec::new();
-    for p in common_properties() {
+    // Threat-model composition for all properties runs on the worker
+    // pool; the timed checks below stay serial so each measurement has
+    // the machine to itself.
+    let props: Vec<_> = common_properties()
+        .into_iter()
+        .filter(|p| matches!(p.check, Check::Model(_)))
+        .collect();
+    let prepared = parallel_map(&props, default_threads(), |p| {
+        (
+            StepSemantics::new(p.slice.threat_config()),
+            models.lteinspector_model(p),
+            models.prochecker_model(p),
+        )
+    });
+    for (p, (semantics, lte_model, pro_model)) in props.iter().zip(&prepared) {
         let Check::Model(prop) = &p.check else { continue };
-        let semantics = StepSemantics::new(p.slice.threat_config());
-        let lte_model = models.lteinspector_model(&p);
-        let pro_model = models.prochecker_model(&p);
 
         let time = |model: &procheck_smv::model::Model| -> f64 {
             let start = Instant::now();
@@ -48,8 +59,8 @@ fn main() {
             }
             start.elapsed().as_secs_f64() * 1e3 / RUNS as f64
         };
-        let lte_ms = time(&lte_model);
-        let pro_ms = time(&pro_model);
+        let lte_ms = time(lte_model);
+        let pro_ms = time(pro_model);
         let ratio = pro_ms / lte_ms.max(1e-6);
         ratios.push(ratio);
         println!(

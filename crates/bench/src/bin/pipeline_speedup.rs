@@ -1,0 +1,118 @@
+//! Parallel-engine speedup measurement.
+//!
+//! Times `analyze_implementation` over the full property registry on
+//! the Reference implementation at 1/2/4/8 worker threads, and writes
+//! `BENCH_pipeline.json` at the repo root so later changes have a perf
+//! trajectory to compare against. Also reported: how many distinct
+//! threat models a run composes (the shared cache builds one per
+//! distinct `ThreatConfig`, not one per property) and the checker's
+//! states-explored/second over the measured runs.
+
+use procheck::pipeline::{analyze_implementation, extract_models, AnalysisConfig};
+use procheck_props::registry;
+use procheck_smv::checker::states_explored_total;
+use procheck_stack::quirks::Implementation;
+use procheck_threat::build_threat_model;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let properties = registry().len();
+    let distinct_threat_models: HashSet<_> =
+        registry().iter().map(|p| p.slice.threat_config()).collect();
+    println!(
+        "pipeline speedup: {properties} properties, {} distinct threat models, \
+         {hardware} hardware thread(s)",
+        distinct_threat_models.len()
+    );
+
+    let mut rows: Vec<(usize, f64, u64)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let cfg = AnalysisConfig { threads, ..AnalysisConfig::default() };
+        // One warm-up run so extraction caches and allocator state do
+        // not bill the first measured configuration.
+        if rows.is_empty() {
+            let _ = analyze_implementation(Implementation::Reference, &cfg);
+        }
+        let states_before = states_explored_total();
+        let start = Instant::now();
+        let report = analyze_implementation(Implementation::Reference, &cfg);
+        let secs = start.elapsed().as_secs_f64();
+        let states = states_explored_total() - states_before;
+        assert_eq!(report.results.len(), properties, "full registry must be checked");
+        println!(
+            "  threads={threads}: {secs:.3}s  ({:.0} states/s)",
+            states as f64 / secs.max(1e-9)
+        );
+        rows.push((threads, secs, states));
+    }
+
+    let serial = rows[0].1;
+    let best = rows.iter().map(|&(_, s, _)| s).fold(f64::INFINITY, f64::min);
+    println!("  best speedup vs threads=1: {:.2}x", serial / best.max(1e-9));
+
+    // Cache effect in isolation: composing one `IMP^μ` per property
+    // (the pre-cache engine's behavior) vs one per distinct config
+    // (what the shared cache does). This part of the win is
+    // hardware-independent.
+    let models = extract_models(Implementation::Reference, &AnalysisConfig::default());
+    let start = Instant::now();
+    for p in registry() {
+        let _ = build_threat_model(&models.ue, &models.mme, &p.slice.threat_config());
+    }
+    let per_property_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    for cfg in &distinct_threat_models {
+        let _ = build_threat_model(&models.ue, &models.mme, cfg);
+    }
+    let distinct_secs = start.elapsed().as_secs_f64();
+    println!(
+        "  threat-model composition: {per_property_secs:.3}s per-property vs \
+         {distinct_secs:.3}s distinct-only ({:.2}x)",
+        per_property_secs / distinct_secs.max(1e-9)
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"analyze_implementation full registry\",");
+    let _ = writeln!(json, "  \"implementation\": \"reference\",");
+    let _ = writeln!(json, "  \"properties\": {properties},");
+    let _ = writeln!(
+        json,
+        "  \"distinct_threat_models_built\": {},",
+        distinct_threat_models.len()
+    );
+    let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, (threads, secs, states)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"wall_clock_secs\": {secs:.4}, \
+             \"states_explored\": {states}, \"states_per_sec\": {:.0}}}{comma}",
+            *states as f64 / secs.max(1e-9)
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"best_speedup_vs_serial\": {:.3},", serial / best.max(1e-9));
+    let _ = writeln!(
+        json,
+        "  \"threat_build_per_property_secs\": {per_property_secs:.4},"
+    );
+    let _ = writeln!(json, "  \"threat_build_distinct_secs\": {distinct_secs:.4},");
+    let _ = writeln!(
+        json,
+        "  \"threat_build_speedup\": {:.3}",
+        per_property_secs / distinct_secs.max(1e-9)
+    );
+    json.push_str("}\n");
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    std::fs::write(&out, json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", out.display());
+}

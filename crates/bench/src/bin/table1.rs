@@ -9,7 +9,7 @@
 
 use procheck::pipeline::{analyze_implementation, ue_config_for, AnalysisConfig};
 use procheck::report::PropertyOutcome;
-use procheck_bench::{col, dot};
+use procheck_bench::{col, default_threads, dot, parallel_map};
 use procheck_stack::quirks::Implementation;
 use procheck_testbed::linkability::{run_scenario, Scenario};
 use procheck_testbed::{prior, scenarios};
@@ -31,17 +31,26 @@ fn main() {
     let impls = [Implementation::Reference, Implementation::Srs, Implementation::Oai];
 
     // --- testbed validation (ground truth for the dots) -----------------
-    let mut testbed: Vec<(String, Vec<(Implementation, bool)>)> = Vec::new();
-    for imp in impls {
+    // The three implementations are independent: validate them on the
+    // worker pool and merge per-implementation results in `impls` order.
+    let per_imp = parallel_map(&impls, default_threads(), |&imp| {
         let ue_cfg = ue_config_for(imp, &cfg);
+        let mut verdicts: Vec<(String, bool)> = Vec::new();
         for report in scenarios::run_all(&ue_cfg) {
-            push(&mut testbed, report.id, imp, report.succeeded);
+            verdicts.push((report.id.to_string(), report.succeeded));
         }
         // P2 runs as a linkability experiment (paper Fig 6).
         let p2 = run_scenario(Scenario::StaleAuthReplay, &ue_cfg);
-        push(&mut testbed, "P2", imp, p2.distinguishable);
+        verdicts.push(("P2".to_string(), p2.distinguishable));
         for report in prior::run_all_prior(&ue_cfg) {
-            push(&mut testbed, report.id, imp, report.succeeded);
+            verdicts.push((report.id.to_string(), report.succeeded));
+        }
+        verdicts
+    });
+    let mut testbed: Vec<(String, Vec<(Implementation, bool)>)> = Vec::new();
+    for (imp, verdicts) in impls.iter().zip(per_imp) {
+        for (id, succeeded) in verdicts {
+            push(&mut testbed, &id, *imp, succeeded);
         }
     }
     let succeeded = |id: &str, imp: Implementation| -> bool {
@@ -66,27 +75,34 @@ fn main() {
         ("I6", "S03"),
     ];
     println!("running the ProChecker pipeline on all three implementations…\n");
-    let mut detections: Vec<(Implementation, String, String)> = Vec::new();
-    for imp in impls {
-        let ids: Vec<&'static str> = detecting.iter().map(|(_, p)| *p).collect();
-        let analysis = analyze_implementation(
-            imp,
-            &AnalysisConfig { property_filter: Some(ids), ..cfg.clone() },
-        );
-        for (attack, prop) in detecting {
-            if let Some(r) = analysis.result(prop) {
-                let flagged = matches!(
-                    r.outcome,
-                    PropertyOutcome::Attack(_)
-                        | PropertyOutcome::GoalReachable(_)
-                        | PropertyOutcome::Distinguishable(_)
-                );
-                if flagged {
-                    detections.push((imp, attack.to_string(), prop.to_string()));
+    // One full analysis per implementation, on the pool; detection rows
+    // are merged in `impls` order so the output is run-to-run stable.
+    let detections: Vec<(Implementation, String, String)> =
+        parallel_map(&impls, default_threads(), |&imp| {
+            let ids: Vec<&'static str> = detecting.iter().map(|(_, p)| *p).collect();
+            let analysis = analyze_implementation(
+                imp,
+                &AnalysisConfig { property_filter: Some(ids), ..cfg.clone() },
+            );
+            let mut found = Vec::new();
+            for (attack, prop) in detecting {
+                if let Some(r) = analysis.result(prop) {
+                    let flagged = matches!(
+                        r.outcome,
+                        PropertyOutcome::Attack(_)
+                            | PropertyOutcome::GoalReachable(_)
+                            | PropertyOutcome::Distinguishable(_)
+                    );
+                    if flagged {
+                        found.push((imp, attack.to_string(), prop.to_string()));
+                    }
                 }
             }
-        }
-    }
+            found
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     // --- assemble the rows ------------------------------------------------
     let new_attacks: Vec<Row> = vec![

@@ -56,6 +56,44 @@ impl Fig8Models {
     }
 }
 
+/// Order-preserving parallel map over a slice on scoped threads.
+///
+/// Workers pull indices from a shared counter, so results land in input
+/// order regardless of completion order, and a slow item never blocks
+/// the others. `threads` is clamped to `1..=items.len()`.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::OnceLock;
+    let slots: Vec<OnceLock<R>> = items.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(item) = items.get(i) else { break };
+        slots[i].set(f(item)).unwrap_or_else(|_| panic!("index {i} claimed twice"));
+    };
+    let workers = threads.clamp(1, items.len().max(1));
+    std::thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(work);
+        }
+        work();
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all slots filled"))
+        .collect()
+}
+
+/// One worker per available hardware thread (≥ 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
 /// Renders a filled/empty dot for attack-matrix cells (Table I style).
 pub fn dot(filled: bool) -> &'static str {
     if filled {
@@ -84,6 +122,17 @@ mod tests {
         assert_eq!(col("abc", 5), "abc  ");
         assert_eq!(col("abcdefgh", 5), "abcd…");
         assert_eq!(dot(true), "●");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_width() {
+        let items: Vec<usize> = (0..97).collect();
+        let expected: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 8, 200] {
+            assert_eq!(parallel_map(&items, threads, |x| x * 3), expected);
+        }
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, 4, |x| *x).is_empty());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Shared threat-model cache.
+//!
+//! Property slicing (paper §V) keys each property to a `ThreatConfig`,
+//! and many of the 60+ registry properties share a slice: building the
+//! composed `IMP^μ` fresh per property repeats the same FSM × adversary
+//! composition dozens of times per run. This cache builds each distinct
+//! configuration exactly once and hands out shared `Arc<Model>`s, safe
+//! to use from the parallel property-checking pool.
+//!
+//! Locking: the map mutex is held only to fetch/insert a per-key slot;
+//! the (expensive) composition runs under the slot's `OnceLock`, so
+//! concurrent builds of *different* configurations proceed in parallel
+//! while two threads asking for the *same* configuration result in one
+//! build and one waiter.
+
+use procheck_fsm::Fsm;
+use procheck_smv::model::Model;
+use procheck_threat::{build_threat_model, ThreatConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Per-run cache of composed threat models, keyed by the full
+/// [`ThreatConfig`].
+#[derive(Debug, Default)]
+pub struct ThreatModelCache {
+    slots: Mutex<HashMap<ThreatConfig, Arc<OnceLock<Arc<Model>>>>>,
+    builds: AtomicUsize,
+}
+
+impl ThreatModelCache {
+    pub fn new() -> Self {
+        ThreatModelCache::default()
+    }
+
+    /// Returns the composed `IMP^μ` for `cfg`, building it on first use.
+    /// Every caller passing an equal `cfg` gets the same `Arc`.
+    pub fn get_or_build(&self, ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Arc<Model> {
+        let slot = {
+            let mut map = self.slots.lock().expect("cache map lock");
+            Arc::clone(map.entry(cfg.clone()).or_default())
+        };
+        Arc::clone(slot.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            Arc::new(build_threat_model(ue, mme, cfg))
+        }))
+    }
+
+    /// How many distinct threat models this cache has actually composed.
+    pub fn distinct_models_built(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use procheck_props::registry;
+    use procheck_stack::UeConfig;
+
+    fn small_models() -> (Fsm, Fsm) {
+        use procheck_conformance::runner::run_suite;
+        use procheck_conformance::suites;
+        use procheck_extractor::{extract_fsm, ExtractorConfig};
+        let ue_cfg = UeConfig::reference("001010123456789", 0x42);
+        let report = run_suite(&ue_cfg, &suites::full_suite(&ue_cfg));
+        let ue = extract_fsm("ue", &report.ue_log, &ExtractorConfig::for_ue(&ue_cfg.signatures));
+        let mme = extract_fsm("mme", &report.mme_log, &ExtractorConfig::for_mme());
+        (ue, mme)
+    }
+
+    /// Two properties sharing a ThreatConfig get the *same* model (by
+    /// pointer), and the build counter shows one composition.
+    #[test]
+    fn shared_config_shares_one_model() {
+        let (ue, mme) = small_models();
+        let cache = ThreatModelCache::new();
+        let mut shared = None;
+        for p in registry() {
+            let cfg = p.slice.threat_config();
+            let a = cache.get_or_build(&ue, &mme, &cfg);
+            let b = cache.get_or_build(&ue, &mme, &cfg);
+            assert!(Arc::ptr_eq(&a, &b), "{}: repeat lookup must share", p.id);
+            if let Some((prev_cfg, prev_model)) = &shared {
+                if *prev_cfg == cfg {
+                    assert!(
+                        Arc::ptr_eq(prev_model, &a),
+                        "equal configs must share one model"
+                    );
+                }
+            } else {
+                shared = Some((cfg, a));
+            }
+        }
+        let distinct: std::collections::HashSet<_> =
+            registry().iter().map(|p| p.slice.threat_config()).collect();
+        assert_eq!(cache.distinct_models_built(), distinct.len());
+        assert!(
+            distinct.len() < registry().len(),
+            "slicing must share configs across properties for the cache to pay off"
+        );
+    }
+}

@@ -38,12 +38,14 @@
 //! }
 //! ```
 
+pub mod cache;
 pub mod cegar;
 pub mod confirm;
 pub mod lteinspector;
 pub mod pipeline;
 pub mod report;
 
+pub use cache::ThreatModelCache;
 pub use cegar::{cegar_check, CegarOutcome, FinalVerdict};
 pub use confirm::{testbed_confirm, Confirmation};
 pub use pipeline::{analyze_implementation, extract_models, AnalysisConfig, AnalysisReport};

@@ -10,7 +10,16 @@
 //!    **linkability** experiment on the simulated testbed;
 //! 4. classify outcomes against each property's conformant expectation
 //!    into findings (standards-level vs implementation-specific).
+//!
+//! Step 3 fans out across a worker pool ([`AnalysisConfig::threads`]):
+//! properties are independent once the models are extracted, so workers
+//! pull indices from a shared counter and deposit results into
+//! per-property slots — the report is always in registry order, byte-
+//! identical to a single-threaded run. Composed threat models are
+//! shared through a [`ThreatModelCache`], so each distinct property
+//! slice is built once per run instead of once per property.
 
+use crate::cache::ThreatModelCache;
 use crate::cegar::{cegar_check, FinalVerdict};
 use crate::report::{Finding, PropertyOutcome, PropertyResult};
 use procheck_conformance::runner::run_suite;
@@ -20,11 +29,15 @@ use procheck_extractor::{extract_fsm, ExtractorConfig};
 use procheck_fsm::stats::FsmStats;
 use procheck_fsm::Fsm;
 use procheck_props::{registry, BaseProfile, Check, LinkScenario, NasProperty};
-use procheck_smv::checker::CheckError;
+use procheck_smv::checker::{CheckError, DEFAULT_STATE_LIMIT};
 use procheck_stack::quirks::Implementation;
 use procheck_stack::UeConfig;
 use procheck_testbed::linkability::{run_scenario, Scenario};
-use procheck_threat::{build_threat_model, StepSemantics};
+use procheck_threat::StepSemantics;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
 use std::time::Instant;
 
 /// Pipeline configuration.
@@ -40,6 +53,10 @@ pub struct AnalysisConfig {
     pub max_cegar_iterations: usize,
     /// When set, only properties with these ids are checked.
     pub property_filter: Option<Vec<&'static str>>,
+    /// Worker threads for the property-checking pool. Values are clamped
+    /// to ≥ 1; results are identical (and identically ordered) for any
+    /// value.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -47,11 +64,18 @@ impl Default for AnalysisConfig {
         AnalysisConfig {
             imsi: "001010123456789".into(),
             key_material: 0x1122_3344_5566_7788,
-            state_limit: 2_000_000,
+            state_limit: DEFAULT_STATE_LIMIT,
             max_cegar_iterations: 24,
             property_filter: None,
+            threads: default_threads(),
         }
     }
+}
+
+/// One worker per available hardware thread, falling back to 1 where
+/// parallelism cannot be queried.
+fn default_threads() -> usize {
+    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
 /// The extracted models plus extraction metadata.
@@ -171,18 +195,22 @@ impl AnalysisReport {
     }
 }
 
-/// Checks one property against the extracted models.
+/// Checks one property against the extracted models. The composed
+/// threat model for the property's slice is fetched from (or built
+/// into) `cache`, so callers checking many properties share one
+/// composition per distinct configuration.
 pub fn check_property(
     prop: &NasProperty,
     models: &ExtractedModels,
     implementation: Implementation,
     cfg: &AnalysisConfig,
+    cache: &ThreatModelCache,
 ) -> PropertyResult {
     let start = Instant::now();
     let (outcome, iterations, refinements) = match &prop.check {
         Check::Model(p) => {
             let threat_cfg = prop.slice.threat_config();
-            let model = build_threat_model(&models.ue, &models.mme, &threat_cfg);
+            let model = cache.get_or_build(&models.ue, &models.mme, &threat_cfg);
             let semantics = StepSemantics::new(threat_cfg);
             match cegar_check(&model, p, &semantics, cfg.state_limit, cfg.max_cegar_iterations) {
                 Ok(outcome) => {
@@ -258,19 +286,45 @@ fn map_scenario(s: LinkScenario) -> Scenario {
 }
 
 /// Runs the whole pipeline for one implementation.
+///
+/// Property checks run on [`AnalysisConfig::threads`] workers. Work is
+/// handed out by index from a shared counter and each result lands in
+/// its property's slot, so `results` is in registry order and identical
+/// for every thread count.
 pub fn analyze_implementation(
     implementation: Implementation,
     cfg: &AnalysisConfig,
 ) -> AnalysisReport {
     let models = extract_models(implementation, cfg);
-    let results = registry()
+    let cache = ThreatModelCache::new();
+    let all = registry();
+    let props: Vec<&NasProperty> = all
         .iter()
         .filter(|p| {
             cfg.property_filter
                 .as_ref()
                 .map_or(true, |ids| ids.contains(&p.id))
         })
-        .map(|p| check_property(p, &models, implementation, cfg))
+        .collect();
+    let slots: Vec<OnceLock<PropertyResult>> =
+        props.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let work = || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(prop) = props.get(i) else { break };
+        let result = check_property(prop, &models, implementation, cfg, &cache);
+        slots[i].set(result).expect("each index is claimed exactly once");
+    };
+    let workers = cfg.threads.clamp(1, props.len().max(1));
+    thread::scope(|s| {
+        for _ in 1..workers {
+            s.spawn(work);
+        }
+        work();
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all slots filled by the pool"))
         .collect();
     AnalysisReport {
         implementation,

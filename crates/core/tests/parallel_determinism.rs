@@ -1,0 +1,68 @@
+//! The parallel property-checking pool must be invisible in results:
+//! a multi-threaded `analyze_implementation` run returns the same
+//! outcomes, in the same registry order, as a serial run. Only
+//! `elapsed` (wall-clock) may differ between the two.
+
+use procheck::pipeline::{analyze_implementation, AnalysisConfig};
+use procheck::report::PropertyResult;
+use procheck_stack::quirks::Implementation;
+
+/// Everything observable about a result except the wall-clock time.
+fn fingerprint(r: &PropertyResult) -> String {
+    format!(
+        "{}|{}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+        r.property_id,
+        r.title,
+        r.category,
+        r.expectation,
+        r.outcome,
+        r.cegar_iterations,
+        r.refinements,
+        r.related_attack,
+    )
+}
+
+#[test]
+fn parallel_run_matches_serial_run_exactly() {
+    let base = AnalysisConfig { state_limit: 2_000_000, ..AnalysisConfig::default() };
+    let serial = analyze_implementation(
+        Implementation::Reference,
+        &AnalysisConfig { threads: 1, ..base.clone() },
+    );
+    let parallel = analyze_implementation(
+        Implementation::Reference,
+        &AnalysisConfig { threads: 4, ..base },
+    );
+
+    assert_eq!(serial.results.len(), parallel.results.len());
+    assert!(!serial.results.is_empty(), "registry must not be empty");
+    for (s, p) in serial.results.iter().zip(&parallel.results) {
+        assert_eq!(
+            fingerprint(s),
+            fingerprint(p),
+            "{}: parallel result diverged from serial",
+            s.property_id
+        );
+    }
+    // Same outcomes is not enough — the order must be registry order too.
+    let serial_ids: Vec<_> = serial.results.iter().map(|r| r.property_id).collect();
+    let parallel_ids: Vec<_> = parallel.results.iter().map(|r| r.property_id).collect();
+    assert_eq!(serial_ids, parallel_ids);
+}
+
+/// `threads: 0` and absurd widths degrade to a working pool, never a
+/// panic or an empty report.
+#[test]
+fn thread_count_is_clamped() {
+    let cfg = AnalysisConfig {
+        property_filter: Some(vec!["S01"]),
+        state_limit: 2_000_000,
+        threads: 0,
+        ..AnalysisConfig::default()
+    };
+    let report = analyze_implementation(Implementation::Reference, &cfg);
+    assert_eq!(report.results.len(), 1);
+    let wide = AnalysisConfig { threads: 512, ..cfg };
+    let report = analyze_implementation(Implementation::Reference, &wide);
+    assert_eq!(report.results.len(), 1);
+}

@@ -9,15 +9,33 @@
 //! fairness constraint (`JUSTICE`-style, as in nuXmv).
 
 use crate::expr::Expr;
+use crate::fxhash::{FxBuildHasher, FxHashMap};
 use crate::model::Model;
 use crate::trace::{Counterexample, TraceStep};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default bound on explored product states.
 pub const DEFAULT_STATE_LIMIT: usize = 4_000_000;
+
+/// Cap on up-front visited-table/queue allocation. Exact domain-product
+/// bounds below this are allocated exactly; anything larger starts here
+/// and grows, so a sliced model with a huge *declared* product but a
+/// small *reachable* set does not pay for the difference.
+const PRESIZE_CAP: usize = 1 << 16;
+
+/// Distinct product states interned since process start, across all
+/// checks on all threads. Benchmarks read this to report states/second;
+/// it is telemetry only and never feeds back into verdicts.
+static STATES_EXPLORED: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the cumulative states-explored counter.
+pub fn states_explored_total() -> u64 {
+    STATES_EXPLORED.load(Ordering::Relaxed)
+}
 
 /// A property to check against a model.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -256,6 +274,20 @@ impl<'m> Compiled<'m> {
         }
     }
 
+    /// Capacity hint for exploration: the exact product of declared
+    /// domain sizes (×2 for the monitor flag) when that is small, else
+    /// [`PRESIZE_CAP`], never beyond the state limit.
+    fn capacity_hint(&self, limit: usize) -> usize {
+        let mut bound = 2usize;
+        for v in self.model.vars() {
+            bound = bound.saturating_mul(v.domain.len().max(1));
+            if bound >= PRESIZE_CAP {
+                return PRESIZE_CAP.min(limit);
+            }
+        }
+        bound.min(limit)
+    }
+
     fn initial_states(&self) -> Vec<State> {
         let mut states: Vec<State> = vec![Vec::new()];
         for (i, v) in self.model.vars().iter().enumerate() {
@@ -331,7 +363,10 @@ type Flag = bool;
 struct Graph {
     /// Interned (state, flag) pairs.
     nodes: Vec<(State, Flag)>,
-    index: HashMap<(State, Flag), u32>,
+    /// Interning table. FxHash: the keys are machine-generated value
+    /// vectors, so SipHash's keyed DoS resistance buys nothing and costs
+    /// most of the interning time (see [`crate::fxhash`]).
+    index: FxHashMap<(State, Flag), u32>,
     /// Parent pointer and incoming command label for trace rebuilding.
     parent: Vec<Option<(u32, usize)>>,
     /// Adjacency (filled only when `record_edges`).
@@ -339,12 +374,12 @@ struct Graph {
 }
 
 impl Graph {
-    fn new() -> Self {
+    fn with_capacity(cap: usize) -> Self {
         Graph {
-            nodes: Vec::new(),
-            index: HashMap::new(),
-            parent: Vec::new(),
-            edges: Vec::new(),
+            nodes: Vec::with_capacity(cap),
+            index: FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default()),
+            parent: Vec::with_capacity(cap),
+            edges: Vec::with_capacity(cap),
         }
     }
 
@@ -372,8 +407,9 @@ fn explore(
     record_edges: bool,
     limit: usize,
 ) -> Result<Graph, CheckError> {
-    let mut g = Graph::new();
-    let mut queue = VecDeque::new();
+    let cap = c.capacity_hint(limit);
+    let mut g = Graph::with_capacity(cap);
+    let mut queue = VecDeque::with_capacity(cap);
     for s in c.initial_states() {
         let flag = init_flag(false, &s);
         let (id, fresh) = g.intern((s, flag), None);
@@ -383,6 +419,7 @@ fn explore(
     }
     while let Some(id) = queue.pop_front() {
         if g.nodes.len() > limit {
+            STATES_EXPLORED.fetch_add(g.nodes.len() as u64, Ordering::Relaxed);
             return Err(CheckError::StateLimit(limit));
         }
         let (state, flag) = g.nodes[id as usize].clone();
@@ -397,6 +434,7 @@ fn explore(
             }
         }
     }
+    STATES_EXPLORED.fetch_add(g.nodes.len() as u64, Ordering::Relaxed);
     Ok(g)
 }
 
@@ -874,6 +912,14 @@ mod tests {
         m.add_command(GuardedCmd::new("boom", Expr::var_eq("ghost", "1")));
         let err = check_bounded(&m, &Property::invariant("x", Expr::True), 100).unwrap_err();
         assert!(matches!(err, CheckError::InvalidModel(_)));
+    }
+
+    #[test]
+    fn telemetry_counts_explored_states() {
+        let before = states_explored_total();
+        let m = ring(false);
+        check(&m, &Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"])));
+        assert!(states_explored_total() >= before + 3);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod checker;
 pub mod expr;
+pub mod fxhash;
 pub mod model;
 pub mod smvformat;
 pub mod trace;

@@ -4,7 +4,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// Configuration of the adversarial composition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash` (with `Eq`) lets the analysis pipeline key its shared
+/// threat-model cache on the full configuration: two property slices
+/// with identical configurations share one composed `IMP^μ`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ThreatConfig {
     /// Downlink messages the adversary may capture and replay.
     pub replayable_dl: BTreeSet<String>,

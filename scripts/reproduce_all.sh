@@ -32,3 +32,6 @@ cargo run --release -p procheck-bench --bin model_diff
 
 echo "== criterion benches =="
 cargo bench -p procheck-bench
+
+echo "== parallel-engine speedup (writes BENCH_pipeline.json) =="
+cargo run --release -p procheck-bench --bin pipeline_speedup

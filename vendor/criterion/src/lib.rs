@@ -1,0 +1,209 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The workspace must build air-gapped (see `vendor/README.md`), so the
+//! crates-io criterion is replaced with a minimal wall-clock harness
+//! behind the same API subset the benches use: `benchmark_group` with
+//! chainable `sample_size`/`warm_up_time`/`measurement_time`/
+//! `throughput`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! There is no statistical analysis or HTML report: each benchmark runs
+//! a short calibration pass, scales the iteration count to roughly the
+//! configured measurement time, and prints the mean time per iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level handle, created by `criterion_group!`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+}
+
+/// Per-element/byte normalization hint; recorded and echoed, not used
+/// for statistics.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            mean: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut b);
+        let per_elem = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if n > 0 => {
+                format!("  ({:?}/elem over {n})", b.mean / n.max(1) as u32)
+            }
+            _ => String::new(),
+        };
+        eprintln!(
+            "  {}/{id}: {:?}/iter over {} iterations{per_elem}",
+            self.name, b.mean, b.iterations
+        );
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Handed to the benchmark closure; `iter` runs the routine and records
+/// the mean wall-clock time per call.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up doubles as calibration for the per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        let budget_iters = if est.is_zero() {
+            self.sample_size as u64 * 1_000
+        } else {
+            (self.measurement_time.as_nanos() / est.as_nanos().max(1)).max(1) as u64
+        };
+        let iterations = budget_iters.clamp(self.sample_size as u64, 5_000_000);
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean = total.checked_div(iterations as u32).unwrap_or_default();
+        self.iterations = iterations;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, n| {
+            b.iter(|| *n * 2)
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+}

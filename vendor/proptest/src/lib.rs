@@ -1,0 +1,763 @@
+//! Offline stand-in for `proptest`.
+//!
+//! This workspace must build air-gapped (see `vendor/README.md`), so the
+//! crates-io proptest is replaced with a minimal generate-and-check
+//! engine behind the same API subset:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, `boxed`;
+//! * strategies for integer ranges, tuples, [`strategy::Just`],
+//!   `&str`-as-regex (a small class/repetition subset), and
+//!   [`arbitrary::any`] over primitives and [`sample::Index`];
+//! * [`collection::vec`], [`collection::btree_set`], [`option::of`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`]-family macros.
+//!
+//! Differences from real proptest: generation is seeded purely from the
+//! test's module path (fully deterministic run-to-run, no
+//! `PROPTEST_CASES` env override), and failing cases are **not shrunk**
+//! — the failing input is printed as generated. Test sources compile
+//! unchanged against either implementation.
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 stream used for all generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x6C62_272E_07BB_0142 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// FNV-1a over the test's path — the per-test deterministic seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        h
+    }
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure — aborts the whole test.
+        Fail(String),
+        /// `prop_assume!` rejection — the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A value generator. Unlike real proptest there is no shrinking
+    /// tree — `generate` returns the value directly.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let rc = Rc::new(self);
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| rc.generate(rng)))
+        }
+
+        /// Depth-bounded recursive strategy: each level flips between the
+        /// leaf strategy and one application of `branch` to the previous
+        /// level, so generated values never exceed `depth` nesting.
+        /// The `_desired_size`/`_expected_branch` hints of real proptest
+        /// are accepted and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut level = leaf.clone();
+            for _ in 0..depth {
+                let wider = branch(level).boxed();
+                let l = leaf.clone();
+                level = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                    if rng.next_u64() & 1 == 0 {
+                        l.generate(rng)
+                    } else {
+                        wider.generate(rng)
+                    }
+                }));
+            }
+            level
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy over empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "strategy over empty range");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// `&str` as a regex strategy, supporting the subset the workspace
+    /// uses: literal characters, `[a-z0-9_]`-style classes, and `{m}` /
+    /// `{m,n}` repetitions.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = if c == '[' {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated class in regex strategy `{pattern}`")
+                    });
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = chars.next().expect("range end");
+                            for x in lo..=hi {
+                                set.push(x);
+                            }
+                        }
+                        _ => {
+                            if let Some(p) = prev.replace(c) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                if let Some(p) = prev {
+                    set.push(p);
+                }
+                assert!(!set.is_empty(), "empty class in regex strategy `{pattern}`");
+                Atom::Class(set)
+            } else {
+                Atom::Literal(c)
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut bounds = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    bounds.push(c);
+                }
+                match bounds.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("repeat lower bound"),
+                        n.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n = bounds.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Generates one string matching the pattern subset.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.below(set.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// A collection-size-agnostic index, resolved against a length with
+    /// [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Maps this abstract index into `0..size`; `size` must be
+        /// non-zero.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index(0)");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Collection-size argument, mirroring proptest's `Into<SizeRange>`
+    /// bound: implemented only for `usize` shapes so bare literals like
+    /// `1..8` infer as `usize`.
+    pub trait SizeBound {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeBound for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeBound for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "collection size from empty range");
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    impl SizeBound for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "collection size from empty range");
+            start + rng.below(end - start + 1)
+        }
+    }
+
+    pub struct VecStrategy<S, L> {
+        element: S,
+        length: L,
+    }
+
+    impl<S: Strategy, L: SizeBound> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.length.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` — a vector whose length is drawn from
+    /// the given size range.
+    pub fn vec<S: Strategy, L: SizeBound>(element: S, length: L) -> VecStrategy<S, L> {
+        VecStrategy { element, length }
+    }
+
+    pub struct BTreeSetStrategy<S, L> {
+        element: S,
+        length: L,
+    }
+
+    impl<S, L> Strategy for BTreeSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: SizeBound,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let n = self.length.pick(rng);
+            let mut out = BTreeSet::new();
+            // Bounded retries: duplicates may keep the set below `n`,
+            // mirroring proptest's best-effort sizing.
+            for _ in 0..n * 4 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S, L>(element: S, length: L) -> BTreeSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: SizeBound,
+    {
+        BTreeSetStrategy { element, length }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // 3:1 Some-to-None, matching proptest's Some-biased default.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), l, r
+                );
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), l
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "{}\n  both: {:?}",
+                    format!($($fmt)+), l
+                );
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::new(
+                    $crate::test_runner::seed_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                    ),
+                );
+                let mut passed = 0u32;
+                let mut rejected = 0u32;
+                while passed < config.cases {
+                    let values = (
+                        $($crate::strategy::Strategy::generate(&($strat), &mut rng),)+
+                    );
+                    let described = format!("{:?}", &values);
+                    let outcome = (move || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        let ($($pat,)+) = values;
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(why),
+                        ) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < 10_000,
+                                "proptest `{}`: too many rejected cases ({why})",
+                                stringify!($name),
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest `{}` failed after {} passing case(s): {}\ninput: {}",
+                                stringify!($name), passed, msg, described,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s}");
+            let t = crate::string::generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!t.is_empty() && t.len() <= 9, "{t}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 5u64..9), v in prop::collection::vec(1i32..4, 2..5)) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (1..4).contains(x)));
+        }
+
+        #[test]
+        fn oneof_union_and_just(x in prop_oneof![Just(1u8), Just(7u8), 20u8..30]) {
+            prop_assert!(x == 1 || x == 7 || (20..30).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+}

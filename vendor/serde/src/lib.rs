@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace must build in a fully air-gapped container (see
+//! `vendor/README.md`), so the crates-io `serde` is replaced by this
+//! minimal vocabulary crate. The workspace only ever *derives*
+//! `Serialize`/`Deserialize` — it never serializes through a data
+//! format — so marker traits are sufficient. Swapping the real serde
+//! back in is a one-line change in the workspace `Cargo.toml`.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
