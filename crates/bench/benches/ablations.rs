@@ -36,7 +36,10 @@ fn ablations(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(2));
     let with = ExtractorConfig::for_ue(&ue_cfg.signatures);
-    let without = ExtractorConfig { include_predicates: false, ..with.clone() };
+    let without = ExtractorConfig {
+        include_predicates: false,
+        ..with.clone()
+    };
     group.bench_function("with_predicates", |b| {
         b.iter(|| extract_fsm("ue", &report.ue_log, &with))
     });
@@ -50,7 +53,9 @@ fn ablations(c: &mut Criterion) {
     // is what property-guided model construction buys.
     let models = extract_models(Implementation::Reference, &AnalysisConfig::default());
     let s01 = registry().into_iter().find(|p| p.id == "S01").unwrap();
-    let Check::Model(prop) = s01.check.clone() else { unreachable!() };
+    let Check::Model(prop) = s01.check.clone() else {
+        unreachable!()
+    };
     let base_cfg = ThreatConfig::lte()
         .with_replayable(["authentication_request"])
         .without_forge();

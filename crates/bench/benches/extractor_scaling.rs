@@ -5,8 +5,8 @@
 //! conformance-run cost it piggybacks on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use procheck_conformance::runner::run_suite;
 use procheck_conformance::generator::generate_suite;
+use procheck_conformance::runner::run_suite;
 use procheck_extractor::{extract_fsm, ExtractorConfig};
 use procheck_instrument::LogRecord;
 use procheck_stack::UeConfig;

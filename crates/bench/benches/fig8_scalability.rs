@@ -19,7 +19,9 @@ fn fig8(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(2));
     for p in common_properties() {
-        let Check::Model(prop) = &p.check else { continue };
+        let Check::Model(prop) = &p.check else {
+            continue;
+        };
         let semantics = StepSemantics::new(p.slice.threat_config());
         let idx = p.table2_index.unwrap();
         let lte_model = models.lteinspector_model(&p);

@@ -19,10 +19,15 @@ fn microbench(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(1));
 
-    let msg = NasMessage::AttachAccept { guti: Guti(0xabcd), tau_timer: 54 };
+    let msg = NasMessage::AttachAccept {
+        guti: Guti(0xabcd),
+        tau_timer: 54,
+    };
     group.bench_function("codec_encode", |b| b.iter(|| codec::encode_message(&msg)));
     let bytes = codec::encode_message(&msg);
-    group.bench_function("codec_decode", |b| b.iter(|| codec::decode_message(&bytes).unwrap()));
+    group.bench_function("codec_decode", |b| {
+        b.iter(|| codec::decode_message(&bytes).unwrap())
+    });
 
     let ctx = SecurityContext::new(Key::new(0xfeed), EiaAlg::Eia2, EeaAlg::Eea1);
     group.bench_function("protect", |b| b.iter(|| ctx.protect(&msg, 7, DIR_DOWNLINK)));
@@ -43,7 +48,9 @@ fn microbench(c: &mut Criterion) {
         Term::senc(Term::atom("m7"), Term::key("k_nas_enc")),
         Term::mac(Term::atom("m7"), Term::key("k_nas_int")),
     );
-    group.bench_function("dy_derivability_20msgs", |b| b.iter(|| ded.can_derive(&goal)));
+    group.bench_function("dy_derivability_20msgs", |b| {
+        b.iter(|| ded.can_derive(&goal))
+    });
     group.finish();
 }
 

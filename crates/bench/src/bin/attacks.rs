@@ -14,7 +14,11 @@ use procheck_testbed::{prior, scenarios};
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let cfg = AnalysisConfig::default();
-    let impls = [Implementation::Reference, Implementation::Srs, Implementation::Oai];
+    let impls = [
+        Implementation::Reference,
+        Implementation::Srs,
+        Implementation::Oai,
+    ];
 
     let run_one = |name: &str, f: &dyn Fn(&UeConfig) -> AttackReport| {
         println!("== {name} ==");
@@ -27,7 +31,10 @@ fn main() {
 
     let all = which == "all";
     if all || which == "p1" {
-        run_one("P1: service disruption using authentication_request (Fig 4)", &scenarios::p1_service_disruption);
+        run_one(
+            "P1: service disruption using authentication_request (Fig 4)",
+            &scenarios::p1_service_disruption,
+        );
     }
     if all || which == "p2" {
         println!("== P2: linkability using authentication_response (Fig 6) ==");
@@ -35,7 +42,11 @@ fn main() {
             let outcome = run_scenario(Scenario::StaleAuthReplay, &ue_config_for(imp, &cfg));
             println!(
                 "  [{}] {:14} victim={:?} bystander={:?}",
-                if outcome.distinguishable { "ATTACK " } else { "  ok   " },
+                if outcome.distinguishable {
+                    "ATTACK "
+                } else {
+                    "  ok   "
+                },
                 imp.name(),
                 outcome.victim_trace,
                 outcome.bystander_trace
@@ -44,15 +55,42 @@ fn main() {
         println!();
     }
     if all || which == "p3" {
-        run_one("P3: selective security-procedure denial", &scenarios::p3_selective_denial);
+        run_one(
+            "P3: selective security-procedure denial",
+            &scenarios::p3_selective_denial,
+        );
     }
     for (tag, name, f) in [
-        ("i1", "I1: broken replay protection", &scenarios::i1_broken_replay_protection as &dyn Fn(&UeConfig) -> AttackReport),
-        ("i2", "I2: plaintext acceptance after security", &scenarios::i2_plaintext_acceptance),
-        ("i3", "I3: counter reset with replayed challenge", &scenarios::i3_counter_reset),
-        ("i4", "I4: security bypass with reject messages", &scenarios::i4_security_bypass),
-        ("i5", "I5: identity leak after security", &scenarios::i5_identity_leak),
-        ("i6", "I6: security_mode_command replay", &scenarios::i6_smc_replay),
+        (
+            "i1",
+            "I1: broken replay protection",
+            &scenarios::i1_broken_replay_protection as &dyn Fn(&UeConfig) -> AttackReport,
+        ),
+        (
+            "i2",
+            "I2: plaintext acceptance after security",
+            &scenarios::i2_plaintext_acceptance,
+        ),
+        (
+            "i3",
+            "I3: counter reset with replayed challenge",
+            &scenarios::i3_counter_reset,
+        ),
+        (
+            "i4",
+            "I4: security bypass with reject messages",
+            &scenarios::i4_security_bypass,
+        ),
+        (
+            "i5",
+            "I5: identity leak after security",
+            &scenarios::i5_identity_leak,
+        ),
+        (
+            "i6",
+            "I6: security_mode_command replay",
+            &scenarios::i6_smc_replay,
+        ),
     ] {
         if all || which == tag {
             run_one(name, f);
@@ -69,7 +107,12 @@ fn main() {
             println!("  {:14} {ok}/14 prior attacks reproduce", imp.name());
         }
         for report in prior::run_all_prior(&ue_config_for(Implementation::Reference, &cfg)) {
-            println!("  {} {} — {}", report.id, report.name, report.evidence.join("; "));
+            println!(
+                "  {} {} — {}",
+                report.id,
+                report.name,
+                report.evidence.join("; ")
+            );
         }
     }
 }
@@ -77,7 +120,11 @@ fn main() {
 fn print_report(report: &AttackReport) {
     println!(
         "  [{}] {:14} {}",
-        if report.succeeded { "ATTACK " } else { "  ok   " },
+        if report.succeeded {
+            "ATTACK "
+        } else {
+            "  ok   "
+        },
         report.implementation,
         report.evidence.join("; ")
     );

@@ -39,7 +39,11 @@ fn main() {
         ];
         for (name, cases) in tiers {
             let report = run_suite(cfg, &cases);
-            let fsm = extract_fsm("ue", &report.ue_log, &ExtractorConfig::for_ue(&cfg.signatures));
+            let fsm = extract_fsm(
+                "ue",
+                &report.ue_log,
+                &ExtractorConfig::for_ue(&cfg.signatures),
+            );
             let st = FsmStats::of(&fsm);
             println!(
                 "{} {} {} {} {}",
@@ -48,7 +52,10 @@ fn main() {
                 col(&cases.len().to_string(), 6),
                 col(&report.coverage.to_string(), 24),
                 col(
-                    &format!("|S|={} |T|={} predicates={}", st.states, st.transitions, st.predicate_conditions),
+                    &format!(
+                        "|S|={} |T|={} predicates={}",
+                        st.states, st.transitions, st.predicate_conditions
+                    ),
                     40
                 )
             );
@@ -60,7 +67,11 @@ fn main() {
     // enhance testing by detecting missing test cases").
     let cfg = &configs[0];
     let base = run_suite(cfg, &suites::base_suite());
-    let base_fsm = extract_fsm("ue", &base.ue_log, &ExtractorConfig::for_ue(&cfg.signatures));
+    let base_fsm = extract_fsm(
+        "ue",
+        &base.ue_log,
+        &ExtractorConfig::for_ue(&cfg.signatures),
+    );
     let gaps = missing_test_cases(
         &base_fsm,
         &ExtractorConfig::for_ue(&cfg.signatures),

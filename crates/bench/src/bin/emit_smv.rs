@@ -13,7 +13,9 @@ use procheck_stack::quirks::Implementation;
 use procheck_threat::build_threat_model;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "reference".into());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "reference".into());
     let prop_id = std::env::args().nth(2).unwrap_or_else(|| "S01".into());
     let implementation = match which.as_str() {
         "srs" => Implementation::Srs,

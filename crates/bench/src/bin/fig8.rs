@@ -8,10 +8,12 @@
 //! differ from the paper's i7-3750QCM laptop, but the ratio series is
 //! comparable.
 
-use procheck::cegar::cegar_check;
+use procheck::cegar::{cegar_check, cegar_check_traced};
 use procheck_bench::{col, default_threads, parallel_map, Fig8Models};
 use procheck_props::{common_properties, Check};
+use procheck_telemetry::{json, Collector};
 use procheck_threat::StepSemantics;
+use std::path::Path;
 use std::time::Instant;
 
 const STATE_LIMIT: usize = 2_000_000;
@@ -35,6 +37,8 @@ fn main() {
     );
     println!("{}", "-".repeat(84));
     let mut ratios = Vec::new();
+    let mut telemetry_rows: Vec<String> = Vec::new();
+    let collector = Collector::enabled();
     // Threat-model composition for all properties runs on the worker
     // pool; the timed checks below stay serial so each measurement has
     // the machine to itself.
@@ -50,12 +54,14 @@ fn main() {
         )
     });
     for (p, (semantics, lte_model, pro_model)) in props.iter().zip(&prepared) {
-        let Check::Model(prop) = &p.check else { continue };
+        let Check::Model(prop) = &p.check else {
+            continue;
+        };
 
         let time = |model: &procheck_smv::model::Model| -> f64 {
             let start = Instant::now();
             for _ in 0..RUNS {
-                let _ = cegar_check(model, prop, &semantics, STATE_LIMIT, 24);
+                let _ = cegar_check(model, prop, semantics, STATE_LIMIT, 24);
             }
             start.elapsed().as_secs_f64() * 1e3 / RUNS as f64
         };
@@ -63,6 +69,24 @@ fn main() {
         let pro_ms = time(pro_model);
         let ratio = pro_ms / lte_ms.max(1e-6);
         ratios.push(ratio);
+        // One untimed traced run per model for the exploration numbers
+        // (kept out of the timing loop so the measurement stays clean).
+        let pro = cegar_check_traced(pro_model, prop, semantics, STATE_LIMIT, 24, &collector);
+        let lte = cegar_check_traced(lte_model, prop, semantics, STATE_LIMIT, 24, &collector);
+        if let (Ok(pro), Ok(lte)) = (pro, lte) {
+            telemetry_rows.push(format!(
+                "    {{\"index\": {}, \"title\": {}, \"lte_ms\": {lte_ms:.3}, \
+                 \"pro_ms\": {pro_ms:.3}, \"ratio\": {ratio:.3}, \
+                 \"pro_states_explored\": {}, \"lte_states_explored\": {}, \
+                 \"pro_cegar_iterations\": {}, \"lte_cegar_iterations\": {}}}",
+                p.table2_index.unwrap(),
+                json::escape(p.title),
+                pro.explore.states,
+                lte.explore.states,
+                pro.iterations,
+                lte.iterations,
+            ));
+        }
         println!(
             "{} {} {} {} {}",
             col(&p.table2_index.unwrap().to_string(), 3),
@@ -78,4 +102,22 @@ fn main() {
         "geometric-mean slowdown of the extracted model: {gmean:.2}x \
          (paper: \"only a fraction higher\")"
     );
+
+    let mut out = String::from("{\n  \"benchmark\": \"fig8 common properties\",\n");
+    out.push_str(&format!("  \"geometric_mean_ratio\": {gmean:.3},\n"));
+    out.push_str("  \"properties\": [\n");
+    out.push_str(&telemetry_rows.join(",\n"));
+    out.push_str("\n  ],\n  \"counters\": {");
+    out.push_str(
+        &collector
+            .counters()
+            .into_iter()
+            .map(|(name, value)| format!("{}: {}", json::escape(&name), value))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    out.push_str("}\n}\n");
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_telemetry_fig8.json");
+    std::fs::write(&path, out).expect("write BENCH_telemetry_fig8.json");
+    println!("wrote {}", path.display());
 }

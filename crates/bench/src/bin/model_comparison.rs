@@ -29,8 +29,18 @@ fn main() {
     println!();
 
     for (side, abstract_, refined, mapping) in [
-        ("UE", &baseline_ue, &models.ue, lteinspector::ue_state_mapping()),
-        ("MME", &baseline_mme, &models.mme, lteinspector::mme_state_mapping()),
+        (
+            "UE",
+            &baseline_ue,
+            &models.ue,
+            lteinspector::ue_state_mapping(),
+        ),
+        (
+            "MME",
+            &baseline_mme,
+            &models.mme,
+            lteinspector::mme_state_mapping(),
+        ),
     ] {
         let report = check_refinement(abstract_, refined, &mapping);
         let (direct, cond, split, unmapped) = report.mapping_histogram();
@@ -55,7 +65,10 @@ fn main() {
                 }
                 TransitionMapping::Split { via } => format!(
                     "split via {}",
-                    via.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" → ")
+                    via.iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" → ")
                 ),
                 TransitionMapping::Unmapped => "UNMAPPED".to_string(),
             };

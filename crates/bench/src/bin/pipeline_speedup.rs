@@ -7,11 +7,19 @@
 //! threat models a run composes (the shared cache builds one per
 //! distinct `ThreatConfig`, not one per property) and the checker's
 //! states-explored/second over the measured runs.
+//!
+//! Each measured run records into its own telemetry [`Collector`]; the
+//! counter snapshots must be identical across thread counts (the
+//! determinism contract), and the last run's aggregation is written as
+//! `BENCH_telemetry.json` — the per-property Table II rows plus stage
+//! totals that `scripts/check_bench_regression.sh` gates on.
 
 use procheck::pipeline::{analyze_implementation, extract_models, AnalysisConfig};
+use procheck::telemetry_report::TelemetryReport;
 use procheck_props::registry;
 use procheck_smv::checker::states_explored_total;
 use procheck_stack::quirks::Implementation;
+use procheck_telemetry::Collector;
 use procheck_threat::build_threat_model;
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -21,7 +29,9 @@ use std::time::Instant;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
-    let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let properties = registry().len();
     let distinct_threat_models: HashSet<_> =
         registry().iter().map(|p| p.slice.threat_config()).collect();
@@ -32,29 +42,68 @@ fn main() {
     );
 
     let mut rows: Vec<(usize, f64, u64)> = Vec::new();
+    let mut counter_snapshots = Vec::new();
+    let mut last_run = None;
     for threads in THREAD_COUNTS {
-        let cfg = AnalysisConfig { threads, ..AnalysisConfig::default() };
+        let collector = Collector::enabled();
+        let cfg = AnalysisConfig {
+            threads,
+            collector: collector.clone(),
+            ..AnalysisConfig::default()
+        };
         // One warm-up run so extraction caches and allocator state do
         // not bill the first measured configuration.
         if rows.is_empty() {
-            let _ = analyze_implementation(Implementation::Reference, &cfg);
+            let _ = analyze_implementation(
+                Implementation::Reference,
+                &AnalysisConfig {
+                    threads,
+                    ..AnalysisConfig::default()
+                },
+            );
         }
         let states_before = states_explored_total();
         let start = Instant::now();
         let report = analyze_implementation(Implementation::Reference, &cfg);
         let secs = start.elapsed().as_secs_f64();
         let states = states_explored_total() - states_before;
-        assert_eq!(report.results.len(), properties, "full registry must be checked");
+        assert_eq!(
+            report.results.len(),
+            properties,
+            "full registry must be checked"
+        );
         println!(
             "  threads={threads}: {secs:.3}s  ({:.0} states/s)",
             states as f64 / secs.max(1e-9)
         );
         rows.push((threads, secs, states));
+        counter_snapshots.push((threads, collector.counters()));
+        last_run = Some((report, collector));
     }
 
+    // Determinism contract: the same work at any thread count leaves
+    // identical counter totals.
+    let (first_threads, first) = &counter_snapshots[0];
+    for (threads, snapshot) in &counter_snapshots[1..] {
+        assert_eq!(
+            snapshot, first,
+            "telemetry counters differ between threads={first_threads} and threads={threads}"
+        );
+    }
+    println!(
+        "  telemetry counters identical across all {} thread counts",
+        rows.len()
+    );
+
     let serial = rows[0].1;
-    let best = rows.iter().map(|&(_, s, _)| s).fold(f64::INFINITY, f64::min);
-    println!("  best speedup vs threads=1: {:.2}x", serial / best.max(1e-9));
+    let best = rows
+        .iter()
+        .map(|&(_, s, _)| s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "  best speedup vs threads=1: {:.2}x",
+        serial / best.max(1e-9)
+    );
 
     // Cache effect in isolation: composing one `IMP^μ` per property
     // (the pre-cache engine's behavior) vs one per distinct config
@@ -79,7 +128,10 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"benchmark\": \"analyze_implementation full registry\",");
+    let _ = writeln!(
+        json,
+        "  \"benchmark\": \"analyze_implementation full registry\","
+    );
     let _ = writeln!(json, "  \"implementation\": \"reference\",");
     let _ = writeln!(json, "  \"properties\": {properties},");
     let _ = writeln!(
@@ -99,12 +151,19 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"best_speedup_vs_serial\": {:.3},", serial / best.max(1e-9));
+    let _ = writeln!(
+        json,
+        "  \"best_speedup_vs_serial\": {:.3},",
+        serial / best.max(1e-9)
+    );
     let _ = writeln!(
         json,
         "  \"threat_build_per_property_secs\": {per_property_secs:.4},"
     );
-    let _ = writeln!(json, "  \"threat_build_distinct_secs\": {distinct_secs:.4},");
+    let _ = writeln!(
+        json,
+        "  \"threat_build_distinct_secs\": {distinct_secs:.4},"
+    );
     let _ = writeln!(
         json,
         "  \"threat_build_speedup\": {:.3}",
@@ -114,5 +173,12 @@ fn main() {
 
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     std::fs::write(&out, json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", out.display());
+
+    let (report, collector) = last_run.expect("at least one measured run");
+    let telemetry = TelemetryReport::from_run(&report, &collector);
+    print!("{}", telemetry.render_text());
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_telemetry.json");
+    std::fs::write(&out, telemetry.to_json()).expect("write BENCH_telemetry.json");
     println!("wrote {}", out.display());
 }

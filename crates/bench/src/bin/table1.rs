@@ -9,10 +9,13 @@
 
 use procheck::pipeline::{analyze_implementation, ue_config_for, AnalysisConfig};
 use procheck::report::PropertyOutcome;
+use procheck::telemetry_report::TelemetryReport;
 use procheck_bench::{col, default_threads, dot, parallel_map};
 use procheck_stack::quirks::Implementation;
+use procheck_telemetry::Collector;
 use procheck_testbed::linkability::{run_scenario, Scenario};
 use procheck_testbed::{prior, scenarios};
+use std::path::Path;
 
 /// One Table I row: name, detecting property, and the per-implementation
 /// testbed verdicts.
@@ -28,7 +31,11 @@ struct Row {
 
 fn main() {
     let cfg = AnalysisConfig::default();
-    let impls = [Implementation::Reference, Implementation::Srs, Implementation::Oai];
+    let impls = [
+        Implementation::Reference,
+        Implementation::Srs,
+        Implementation::Oai,
+    ];
 
     // --- testbed validation (ground truth for the dots) -----------------
     // The three implementations are independent: validate them on the
@@ -77,57 +84,120 @@ fn main() {
     println!("running the ProChecker pipeline on all three implementations…\n");
     // One full analysis per implementation, on the pool; detection rows
     // are merged in `impls` order so the output is run-to-run stable.
-    let detections: Vec<(Implementation, String, String)> =
-        parallel_map(&impls, default_threads(), |&imp| {
-            let ids: Vec<&'static str> = detecting.iter().map(|(_, p)| *p).collect();
-            let analysis = analyze_implementation(
-                imp,
-                &AnalysisConfig { property_filter: Some(ids), ..cfg.clone() },
-            );
-            let mut found = Vec::new();
-            for (attack, prop) in detecting {
-                if let Some(r) = analysis.result(prop) {
-                    let flagged = matches!(
-                        r.outcome,
-                        PropertyOutcome::Attack(_)
-                            | PropertyOutcome::GoalReachable(_)
-                            | PropertyOutcome::Distinguishable(_)
-                    );
-                    if flagged {
-                        found.push((imp, attack.to_string(), prop.to_string()));
-                    }
+    // Each implementation records into its own telemetry collector.
+    let per_imp_runs = parallel_map(&impls, default_threads(), |&imp| {
+        let collector = Collector::enabled();
+        let ids: Vec<&'static str> = detecting.iter().map(|(_, p)| *p).collect();
+        let analysis = analyze_implementation(
+            imp,
+            &AnalysisConfig {
+                property_filter: Some(ids),
+                collector: collector.clone(),
+                ..cfg.clone()
+            },
+        );
+        let mut found = Vec::new();
+        for (attack, prop) in detecting {
+            if let Some(r) = analysis.result(prop) {
+                let flagged = matches!(
+                    r.outcome,
+                    PropertyOutcome::Attack(_)
+                        | PropertyOutcome::GoalReachable(_)
+                        | PropertyOutcome::Distinguishable(_)
+                );
+                if flagged {
+                    found.push((imp, attack.to_string(), prop.to_string()));
                 }
             }
-            found
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+        }
+        (found, TelemetryReport::from_run(&analysis, &collector))
+    });
+    let mut telemetry_runs = Vec::new();
+    let mut detections: Vec<(Implementation, String, String)> = Vec::new();
+    for (found, telemetry) in per_imp_runs {
+        detections.extend(found);
+        telemetry_runs.push(telemetry);
+    }
 
     // --- assemble the rows ------------------------------------------------
     let new_attacks: Vec<Row> = vec![
-        row("P1", "Service disruption using authentication_request", "S01", "Standards", &succeeded),
-        row("P2", "Linkability using authentication_response", "PR07", "Standards", &succeeded),
-        row("P3", "Selective service dropping", "S19", "Standards", &succeeded),
-        row("I1", "Broken replay protection (all protected messages)", "S06", "Implementation", &succeeded),
-        row("I2", "Broken integrity/confidentiality (plaintext accepted)", "S12", "Implementation", &succeeded),
-        row("I3", "Counter-reset with replayed authentication_request", "S14", "Implementation", &succeeded),
-        row("I4", "Security bypass with reject messages", "S13", "Implementation", &succeeded),
-        row("I5", "Privacy leakage with identity request", "PR01", "Implementation", &succeeded),
-        row("I6", "Linkability with security_mode_command", "S03", "Implementation", &succeeded),
+        row(
+            "P1",
+            "Service disruption using authentication_request",
+            "S01",
+            "Standards",
+            &succeeded,
+        ),
+        row(
+            "P2",
+            "Linkability using authentication_response",
+            "PR07",
+            "Standards",
+            &succeeded,
+        ),
+        row(
+            "P3",
+            "Selective service dropping",
+            "S19",
+            "Standards",
+            &succeeded,
+        ),
+        row(
+            "I1",
+            "Broken replay protection (all protected messages)",
+            "S06",
+            "Implementation",
+            &succeeded,
+        ),
+        row(
+            "I2",
+            "Broken integrity/confidentiality (plaintext accepted)",
+            "S12",
+            "Implementation",
+            &succeeded,
+        ),
+        row(
+            "I3",
+            "Counter-reset with replayed authentication_request",
+            "S14",
+            "Implementation",
+            &succeeded,
+        ),
+        row(
+            "I4",
+            "Security bypass with reject messages",
+            "S13",
+            "Implementation",
+            &succeeded,
+        ),
+        row(
+            "I5",
+            "Privacy leakage with identity request",
+            "PR01",
+            "Implementation",
+            &succeeded,
+        ),
+        row(
+            "I6",
+            "Linkability with security_mode_command",
+            "S03",
+            "Implementation",
+            &succeeded,
+        ),
     ];
-    let prior_rows: Vec<Row> = prior::run_all_prior(&ue_config_for(Implementation::Reference, &cfg))
-        .into_iter()
-        .map(|r| Row {
-            id: r.id,
-            name: r.name,
-            property: "-",
-            kind: "Standards",
-            srs: succeeded(r.id, Implementation::Srs),
-            oai: succeeded(r.id, Implementation::Oai),
-            reference: succeeded(r.id, Implementation::Reference),
-        })
-        .collect();
+    let prior_rows: Vec<Row> =
+        prior::run_all_prior(&ue_config_for(Implementation::Reference, &cfg))
+            .into_iter()
+            .map(|r| Row {
+                id: r.id,
+                name: r.name,
+                property: "-",
+                kind: "Standards",
+                srs: succeeded(r.id, Implementation::Srs),
+                oai: succeeded(r.id, Implementation::Oai),
+                reference: succeeded(r.id, Implementation::Reference),
+            })
+            .collect();
 
     // --- print -------------------------------------------------------------
     println!(
@@ -159,8 +229,26 @@ fn main() {
     println!(
         "\nsummary: {new_count} protocol-specific attacks, {impl_count} implementation issues, \
          {} prior attacks re-detected",
-        prior_rows.iter().filter(|r| r.reference && r.srs && r.oai).count()
+        prior_rows
+            .iter()
+            .filter(|r| r.reference && r.srs && r.oai)
+            .count()
     );
+
+    // Per-implementation telemetry for the three pipeline runs above.
+    let mut json = String::from("{\n  \"runs\": [\n");
+    for (i, telemetry) in telemetry_runs.iter().enumerate() {
+        json.push_str(&telemetry.to_json());
+        if i + 1 < telemetry_runs.len() {
+            // to_json ends with "}\n"; splice the separator in.
+            json.truncate(json.len() - 1);
+            json.push_str(",\n");
+        }
+    }
+    json.push_str("  ]\n}\n");
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_telemetry_table1.json");
+    std::fs::write(&out, json).expect("write BENCH_telemetry_table1.json");
+    println!("wrote {}", out.display());
 }
 
 fn push(

@@ -31,6 +31,9 @@ fn main() {
             col(kind, 11),
             col(p.title, 72)
         );
-        println!("      {}", p.description.split(" (").next().unwrap_or(p.description));
+        println!(
+            "      {}",
+            p.description.split(" (").next().unwrap_or(p.description)
+        );
     }
 }

@@ -13,8 +13,8 @@
 //! | §VI coverage / extractor stats | `--bin coverage`, `cargo bench --bench extractor_scaling` |
 //! | Figs 4 & 6 (attack walkthroughs) | `--bin attacks -- p1` etc. |
 
-use procheck::pipeline::{extract_models, AnalysisConfig, ExtractedModels};
 use procheck::lteinspector;
+use procheck::pipeline::{extract_models, AnalysisConfig, ExtractedModels};
 use procheck_fsm::Fsm;
 use procheck_props::NasProperty;
 use procheck_smv::model::Model;
@@ -52,7 +52,11 @@ impl Fig8Models {
 
     /// The threat-instrumented LTEInspector model for a property.
     pub fn lteinspector_model(&self, prop: &NasProperty) -> Model {
-        build_threat_model(&self.baseline_ue, &self.baseline_mme, &prop.slice.threat_config())
+        build_threat_model(
+            &self.baseline_ue,
+            &self.baseline_mme,
+            &prop.slice.threat_config(),
+        )
     }
 }
 
@@ -74,7 +78,9 @@ where
     let work = || loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(item) = items.get(i) else { break };
-        slots[i].set(f(item)).unwrap_or_else(|_| panic!("index {i} claimed twice"));
+        slots[i]
+            .set(f(item))
+            .unwrap_or_else(|_| panic!("index {i} claimed twice"));
     };
     let workers = threads.clamp(1, items.len().max(1));
     std::thread::scope(|s| {
@@ -91,7 +97,9 @@ where
 
 /// One worker per available hardware thread (≥ 1).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Renders a filled/empty dot for attack-matrix cells (Table I style).

@@ -58,11 +58,7 @@ pub struct TestCase {
 
 impl TestCase {
     /// Creates a test case from its parts.
-    pub fn new(
-        id: impl Into<String>,
-        description: impl Into<String>,
-        steps: Vec<Step>,
-    ) -> Self {
+    pub fn new(id: impl Into<String>, description: impl Into<String>, steps: Vec<Step>) -> Self {
         TestCase {
             id: id.into(),
             description: description.into(),
@@ -80,7 +76,10 @@ mod tests {
         let tc = TestCase::new(
             "TC_X",
             "does x",
-            vec![Step::UeTrigger(TriggerEvent::PowerOn), Step::ExpectUeState("emm_registered")],
+            vec![
+                Step::UeTrigger(TriggerEvent::PowerOn),
+                Step::ExpectUeState("emm_registered"),
+            ],
         );
         assert_eq!(tc.id, "TC_X");
         assert_eq!(tc.steps.len(), 2);

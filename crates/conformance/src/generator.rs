@@ -8,11 +8,11 @@
 //! experiments consume the resulting multi-thousand-case logs.
 
 use crate::case::{Step, TestCase};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use procheck_nas::ids::Guti;
 use procheck_nas::messages::NasMessage;
 use procheck_stack::{TriggerEvent, UeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Registered-mode procedure atoms the generator samples from.
 const PROCEDURES: &[&str] = &[
@@ -35,7 +35,9 @@ const PROCEDURES: &[&str] = &[
 /// detaches.
 pub fn generate_suite(cfg: &UeConfig, seed: u64, count: usize) -> Vec<TestCase> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..count).map(|i| generate_case(cfg, &mut rng, i)).collect()
+    (0..count)
+        .map(|i| generate_case(cfg, &mut rng, i))
+        .collect()
 }
 
 fn generate_case(cfg: &UeConfig, rng: &mut StdRng, index: usize) -> TestCase {
@@ -57,9 +59,11 @@ fn generate_case(cfg: &UeConfig, rng: &mut StdRng, index: usize) -> TestCase {
                 steps.push(Step::MmeTrigger(TriggerEvent::SendInformation));
                 steps.push(Step::ReplayLastDownlink);
             }
-            "plain_inject" => steps.push(Step::InjectUePlain(NasMessage::GutiReallocationCommand {
-                guti: Guti(rng.gen()),
-            })),
+            "plain_inject" => {
+                steps.push(Step::InjectUePlain(NasMessage::GutiReallocationCommand {
+                    guti: Guti(rng.gen()),
+                }))
+            }
             "bad_mac" => steps.push(Step::InjectUeBadMac(NasMessage::EmmInformation)),
             "network_detach" => {
                 steps.push(Step::MmeTrigger(TriggerEvent::StartDetach));
@@ -71,7 +75,9 @@ fn generate_case(cfg: &UeConfig, rng: &mut StdRng, index: usize) -> TestCase {
                     0 => NasMessage::TrackingAreaUpdateReject {
                         cause: EmmCause::TrackingAreaNotAllowed,
                     },
-                    1 => NasMessage::ServiceReject { cause: EmmCause::Congestion },
+                    1 => NasMessage::ServiceReject {
+                        cause: EmmCause::Congestion,
+                    },
                     _ => NasMessage::AuthenticationReject,
                 };
                 steps.push(Step::InjectUePlain(reject));
@@ -123,7 +129,10 @@ mod tests {
         let report = run_suite(&cfg, &suite);
         let failed: Vec<_> = report.results.iter().filter(|r| !r.passed).collect();
         assert!(failed.is_empty(), "failed: {failed:?}");
-        assert!(report.ue_log.len() + report.mme_log.len() > 1000, "generated suite produces a rich log");
+        assert!(
+            report.ue_log.len() + report.mme_log.len() > 1000,
+            "generated suite produces a rich log"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::coverage::CoverageReport;
 use procheck_instrument::{Instrumentation, LogRecord, Recorder};
 use procheck_nas::codec::{self, Pdu, SecurityHeader};
 use procheck_stack::{MmeConfig, MmeStack, NasEndpoint, UeConfig, UeStack};
+use procheck_telemetry::Collector;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -181,7 +182,9 @@ pub fn run_case(
             }
             Step::ReplayDownlinkFromEnd(n) => {
                 let len = h.downlink_history.len();
-                if let Some(pdu) = len.checked_sub(n + 1).map(|k| h.downlink_history[k].clone())
+                if let Some(pdu) = len
+                    .checked_sub(n + 1)
+                    .map(|k| h.downlink_history[k].clone())
                 {
                     let up = h.ue.handle_pdu(&pdu);
                     h.pending_up.extend(up);
@@ -205,10 +208,7 @@ pub fn run_case(
             Step::ExpectUeHasContext(want) => {
                 let got = h.ue.security_context().is_some();
                 if got != *want {
-                    failures.push(format!(
-                        "step {i}: UE context {}, expected {}",
-                        got, want
-                    ));
+                    failures.push(format!("step {i}: UE context {}, expected {}", got, want));
                 }
             }
         }
@@ -225,18 +225,45 @@ pub fn run_case(
 /// Runs a suite of cases, accumulating one combined log and computing the
 /// handler coverage it achieves.
 pub fn run_suite(ue_cfg: &UeConfig, cases: &[TestCase]) -> SuiteReport {
+    run_suite_traced(ue_cfg, cases, &Collector::disabled())
+}
+
+/// [`run_suite`] that records replay telemetry on `collector`:
+/// `conformance.cases`, `conformance.rounds` (total exchange rounds),
+/// `conformance.log_records` (combined UE+MME log size), and a
+/// `conformance.suite` span around the whole replay.
+pub fn run_suite_traced(
+    ue_cfg: &UeConfig,
+    cases: &[TestCase],
+    collector: &Collector,
+) -> SuiteReport {
+    let _span = collector.span("conformance.suite");
     let ue_recorder = Recorder::new();
     let mme_recorder = Recorder::new();
     let ue_sink: Arc<Recorder> = Arc::new(ue_recorder.clone());
     let mme_sink: Arc<Recorder> = Arc::new(mme_recorder.clone());
-    let results = cases
+    let results: Vec<CaseResult> = cases
         .iter()
         .map(|c| run_case(ue_cfg, c, ue_sink.clone(), mme_sink.clone()))
         .collect();
     let ue_log = ue_recorder.take();
     let mme_log = mme_recorder.take();
     let coverage = CoverageReport::for_ue_log(&ue_log, &ue_cfg.signatures);
-    SuiteReport { results, ue_log, mme_log, coverage }
+    collector.add("conformance.cases", cases.len() as u64);
+    collector.add(
+        "conformance.rounds",
+        results.iter().map(|r| r.exchange_rounds as u64).sum(),
+    );
+    collector.add(
+        "conformance.log_records",
+        (ue_log.len() + mme_log.len()) as u64,
+    );
+    SuiteReport {
+        results,
+        ue_log,
+        mme_log,
+        coverage,
+    }
 }
 
 #[cfg(test)]
@@ -278,10 +305,9 @@ mod tests {
             .ue_log
             .iter()
             .any(|r| matches!(r, LogRecord::FunctionEnter { name } if name == "recv_authentication_request")));
-        assert!(report
-            .mme_log
-            .iter()
-            .any(|r| matches!(r, LogRecord::FunctionEnter { name } if name == "mme_recv_attach_request")));
+        assert!(report.mme_log.iter().any(
+            |r| matches!(r, LogRecord::FunctionEnter { name } if name == "mme_recv_attach_request")
+        ));
     }
 
     #[test]
@@ -303,7 +329,11 @@ mod tests {
     #[test]
     fn replay_without_history_fails_gracefully() {
         let cfg = UeConfig::reference("001010000000001", 0x42);
-        let case = TestCase::new("TC_REPLAY_EMPTY", "replay with no traffic", vec![Step::ReplayLastDownlink]);
+        let case = TestCase::new(
+            "TC_REPLAY_EMPTY",
+            "replay with no traffic",
+            vec![Step::ReplayLastDownlink],
+        );
         let report = run_suite(&cfg, &[case]);
         assert!(!report.results[0].passed);
     }
@@ -321,7 +351,7 @@ mod tests {
         );
         // Reference: replay is discarded, counter untouched.
         let ref_cfg = UeConfig::reference("001010000000001", 0x42);
-        let report = run_suite(&ref_cfg, &[case.clone()]);
+        let report = run_suite(&ref_cfg, std::slice::from_ref(&case));
         assert!(report.all_passed());
 
         // srsUE (I1): replay accepted — observable as extra send handler
@@ -333,6 +363,9 @@ mod tests {
             .iter()
             .filter(|r| matches!(r, LogRecord::FunctionEnter { name } if name == "send_attach_complete"))
             .count();
-        assert!(srs_completes >= 2, "srsUE answers the replayed attach_accept");
+        assert!(
+            srs_completes >= 2,
+            "srsUE answers the replayed attach_accept"
+        );
     }
 }

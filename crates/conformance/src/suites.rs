@@ -93,7 +93,9 @@ pub fn added_cases(cfg: &UeConfig) -> Vec<TestCase> {
             "TC_IDENTITY_PRE_SECURITY",
             "identity request answered before security activation",
             vec![
-                Step::InjectUePlain(NasMessage::IdentityRequest { id_type: IdentityType::Imsi }),
+                Step::InjectUePlain(NasMessage::IdentityRequest {
+                    id_type: IdentityType::Imsi,
+                }),
                 Step::ExpectUeState("emm_deregistered"),
             ],
         ),
@@ -121,11 +123,7 @@ pub fn added_cases(cfg: &UeConfig) -> Vec<TestCase> {
                 // network recovers via AUTS.
                 Step::InjectUePlain(NasMessage::AuthenticationRequest {
                     rand: 0x7777,
-                    autn: crypto::build_autn(
-                        k,
-                        Sqn::compose(1, 1, cfg.sqn_config).raw(),
-                        0x7777,
-                    ),
+                    autn: crypto::build_autn(k, Sqn::compose(1, 1, cfg.sqn_config).raw(), 0x7777),
                 }),
                 Step::Settle,
             ],
@@ -175,7 +173,9 @@ pub fn added_cases(cfg: &UeConfig) -> Vec<TestCase> {
                 Step::UeTriggerHold(TriggerEvent::PowerOn),
                 Step::AdvanceRounds(1),
                 Step::DropPending,
-                Step::InjectUePlain(NasMessage::AttachReject { cause: EmmCause::IllegalUe }),
+                Step::InjectUePlain(NasMessage::AttachReject {
+                    cause: EmmCause::IllegalUe,
+                }),
                 Step::ExpectUeState("emm_deregistered"),
             ],
         ),
@@ -348,7 +348,9 @@ pub fn negative_cases(cfg: &UeConfig) -> Vec<TestCase> {
             "plain service_reject deregisters the UE",
             vec![
                 Step::UeTrigger(TriggerEvent::PowerOn),
-                Step::InjectUePlain(NasMessage::ServiceReject { cause: EmmCause::Congestion }),
+                Step::InjectUePlain(NasMessage::ServiceReject {
+                    cause: EmmCause::Congestion,
+                }),
                 Step::ExpectUeState("emm_deregistered"),
             ],
         ),
@@ -380,7 +382,9 @@ pub fn negative_cases(cfg: &UeConfig) -> Vec<TestCase> {
             "after a reject, a replayed attach_accept must not restore registration",
             vec![
                 Step::UeTrigger(TriggerEvent::PowerOn),
-                Step::InjectUePlain(NasMessage::AttachReject { cause: EmmCause::IllegalUe }),
+                Step::InjectUePlain(NasMessage::AttachReject {
+                    cause: EmmCause::IllegalUe,
+                }),
                 // The last downlink of the attach was the attach_accept.
                 Step::ReplayLastDownlink,
             ],
@@ -410,7 +414,9 @@ pub fn negative_cases(cfg: &UeConfig) -> Vec<TestCase> {
             "plain identity_request after security must not be answered",
             vec![
                 Step::UeTrigger(TriggerEvent::PowerOn),
-                Step::InjectUePlain(NasMessage::IdentityRequest { id_type: IdentityType::Imsi }),
+                Step::InjectUePlain(NasMessage::IdentityRequest {
+                    id_type: IdentityType::Imsi,
+                }),
                 Step::ExpectUeState("emm_registered"),
             ],
         ),
@@ -443,7 +449,11 @@ mod tests {
     #[test]
     fn added_cases_count_matches_paper() {
         let cfg = UeConfig::srs("001010000000001", 0x42);
-        assert_eq!(added_cases(&cfg).len(), 9, "the paper adds 9 cases to srsLTE");
+        assert_eq!(
+            added_cases(&cfg).len(),
+            9,
+            "the paper adds 9 cases to srsLTE"
+        );
     }
 
     #[test]

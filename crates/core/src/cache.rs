@@ -15,6 +15,7 @@
 
 use procheck_fsm::Fsm;
 use procheck_smv::model::Model;
+use procheck_telemetry::Collector;
 use procheck_threat::{build_threat_model, ThreatConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -26,6 +27,32 @@ use std::sync::{Arc, Mutex, OnceLock};
 pub struct ThreatModelCache {
     slots: Mutex<HashMap<ThreatConfig, Arc<OnceLock<Arc<Model>>>>>,
     builds: AtomicUsize,
+    lookups: AtomicUsize,
+}
+
+/// Snapshot of a cache's hit/miss accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total `get_or_build` calls.
+    pub lookups: usize,
+    /// Lookups that composed a new model (cache misses).
+    pub builds: usize,
+}
+
+impl CacheStats {
+    /// Lookups served from an already-composed model.
+    pub fn hits(&self) -> usize {
+        self.lookups - self.builds
+    }
+
+    /// Fraction of lookups served from cache (0.0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups as f64
+        }
+    }
 }
 
 impl ThreatModelCache {
@@ -36,12 +63,29 @@ impl ThreatModelCache {
     /// Returns the composed `IMP^μ` for `cfg`, building it on first use.
     /// Every caller passing an equal `cfg` gets the same `Arc`.
     pub fn get_or_build(&self, ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Arc<Model> {
+        self.get_or_build_traced(ue, mme, cfg, &Collector::disabled())
+    }
+
+    /// [`Self::get_or_build`] that also records `compose.lookups`,
+    /// `compose.builds`, and a `compose.build` span per actual
+    /// composition on `collector`.
+    pub fn get_or_build_traced(
+        &self,
+        ue: &Fsm,
+        mme: &Fsm,
+        cfg: &ThreatConfig,
+        collector: &Collector,
+    ) -> Arc<Model> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        collector.add("compose.lookups", 1);
         let slot = {
             let mut map = self.slots.lock().expect("cache map lock");
             Arc::clone(map.entry(cfg.clone()).or_default())
         };
         Arc::clone(slot.get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
+            collector.add("compose.builds", 1);
+            let _span = collector.span("compose.build");
             Arc::new(build_threat_model(ue, mme, cfg))
         }))
     }
@@ -49,6 +93,14 @@ impl ThreatModelCache {
     /// How many distinct threat models this cache has actually composed.
     pub fn distinct_models_built(&self) -> usize {
         self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Hit/miss accounting since construction.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -64,7 +116,11 @@ mod tests {
         use procheck_extractor::{extract_fsm, ExtractorConfig};
         let ue_cfg = UeConfig::reference("001010123456789", 0x42);
         let report = run_suite(&ue_cfg, &suites::full_suite(&ue_cfg));
-        let ue = extract_fsm("ue", &report.ue_log, &ExtractorConfig::for_ue(&ue_cfg.signatures));
+        let ue = extract_fsm(
+            "ue",
+            &report.ue_log,
+            &ExtractorConfig::for_ue(&ue_cfg.signatures),
+        );
         let mme = extract_fsm("mme", &report.mme_log, &ExtractorConfig::for_mme());
         (ue, mme)
     }
@@ -99,5 +155,32 @@ mod tests {
             distinct.len() < registry().len(),
             "slicing must share configs across properties for the cache to pay off"
         );
+    }
+
+    /// Hit/miss accounting: lookups = hits + builds, and the traced path
+    /// mirrors the numbers onto the collector.
+    #[test]
+    fn cache_stats_and_collector_agree() {
+        use procheck_telemetry::Collector;
+        let (ue, mme) = small_models();
+        let cache = ThreatModelCache::new();
+        let collector = Collector::enabled();
+        let cfg_a = registry()[0].slice.threat_config();
+        for _ in 0..3 {
+            let _ = cache.get_or_build_traced(&ue, &mme, &cfg_a, &collector);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.hits(), 2);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(collector.counter_value("compose.lookups"), 3);
+        assert_eq!(collector.counter_value("compose.builds"), 1);
+        let spans = collector
+            .events()
+            .iter()
+            .filter(|e| matches!(e, procheck_telemetry::Event::Span { name, .. } if name == "compose.build"))
+            .count();
+        assert_eq!(spans, 1, "one build span per composition");
     }
 }

@@ -16,10 +16,11 @@
 //! (bounded further by `max_iterations`).
 
 use procheck_cpv::term::Term;
-use procheck_smv::checker::{check_bounded, CheckError, Property, Verdict};
+use procheck_smv::checker::{check_bounded_stats, CheckError, CheckStats, Property, Verdict};
 use procheck_smv::model::Model;
-use procheck_threat::{exclude_commands, StepSemantics};
 use procheck_smv::trace::Counterexample;
+use procheck_telemetry::Collector;
+use procheck_threat::{exclude_commands, StepSemantics};
 use serde::Serialize;
 use std::collections::BTreeSet;
 
@@ -56,6 +57,14 @@ pub struct CegarOutcome {
     pub iterations: usize,
     /// The refinements applied, in order.
     pub refinements: Vec<Refinement>,
+    /// Counterexamples submitted to the cryptographic protocol verifier
+    /// (one query per candidate trace).
+    pub cpv_queries: usize,
+    /// Adversarial steps the CPV checked across all queries.
+    pub cpv_steps: usize,
+    /// Model-checker exploration totals summed over all iterations
+    /// (`peak_queue` is a max across iterations).
+    pub explore: CheckStats,
 }
 
 impl CegarOutcome {
@@ -80,53 +89,162 @@ pub fn cegar_check(
     state_limit: usize,
     max_iterations: usize,
 ) -> Result<CegarOutcome, CheckError> {
+    cegar_check_traced(
+        model,
+        property,
+        semantics,
+        state_limit,
+        max_iterations,
+        &Collector::disabled(),
+    )
+}
+
+/// [`cegar_check`] that records per-loop telemetry on `collector`:
+/// `cegar.runs`, `cegar.iterations`, `cegar.refinements`, `cpv.queries`,
+/// `cpv.steps`, plus the checker's `smv.*` counters for every bounded
+/// check performed inside the loop. Counter totals depend only on the
+/// model and property, never on scheduling, so parallel callers summing
+/// into one collector stay deterministic.
+///
+/// # Errors
+///
+/// Propagates [`CheckError`] from the model checker; the `smv.*`
+/// counters still reflect the partial exploration in that case.
+pub fn cegar_check_traced(
+    model: &Model,
+    property: &Property,
+    semantics: &StepSemantics,
+    state_limit: usize,
+    max_iterations: usize,
+    collector: &Collector,
+) -> Result<CegarOutcome, CheckError> {
     let mut excluded: BTreeSet<String> = BTreeSet::new();
     let mut refinements = Vec::new();
+    let mut explore = CheckStats::default();
+    let mut cpv_queries = 0usize;
+    let mut cpv_steps = 0usize;
+    // One closure so every exit path (including errors) flushes the
+    // same counter set.
+    let record = |iterations: usize,
+                  refinements: usize,
+                  cpv_queries: usize,
+                  cpv_steps: usize,
+                  explore: &CheckStats| {
+        collector.add("cegar.runs", 1);
+        collector.add("cegar.iterations", iterations as u64);
+        collector.add("cegar.refinements", refinements as u64);
+        collector.add("cpv.queries", cpv_queries as u64);
+        collector.add("cpv.steps", cpv_steps as u64);
+        collector.add("smv.checks", iterations as u64);
+        collector.add("smv.states_explored", explore.states);
+        collector.add("smv.transitions", explore.transitions);
+        collector.record_max("smv.peak_queue", explore.peak_queue);
+    };
     for iteration in 1..=max_iterations.max(1) {
         let refined_model = if excluded.is_empty() {
             model.clone()
         } else {
             exclude_commands(model, &excluded)
         };
-        let verdict = check_bounded(&refined_model, property, state_limit)?;
+        let verdict = match check_bounded_stats(&refined_model, property, state_limit, &mut explore)
+        {
+            Ok(v) => v,
+            Err(e) => {
+                record(
+                    iteration,
+                    refinements.len(),
+                    cpv_queries,
+                    cpv_steps,
+                    &explore,
+                );
+                return Err(e);
+            }
+        };
         let trace = match verdict {
             Verdict::Holds => {
+                record(
+                    iteration,
+                    refinements.len(),
+                    cpv_queries,
+                    cpv_steps,
+                    &explore,
+                );
                 return Ok(CegarOutcome {
                     verdict: FinalVerdict::Verified,
                     iterations: iteration,
                     refinements,
-                })
+                    cpv_queries,
+                    cpv_steps,
+                    explore,
+                });
             }
             Verdict::Unreachable => {
+                record(
+                    iteration,
+                    refinements.len(),
+                    cpv_queries,
+                    cpv_steps,
+                    &explore,
+                );
                 return Ok(CegarOutcome {
                     verdict: FinalVerdict::GoalUnreachable,
                     iterations: iteration,
                     refinements,
-                })
+                    cpv_queries,
+                    cpv_steps,
+                    explore,
+                });
             }
             Verdict::Violated(ce) | Verdict::Reachable(ce) => ce,
         };
         let labels: Vec<&str> = trace.command_labels();
         let validation = semantics.validate_trace(&labels);
+        cpv_queries += 1;
+        cpv_steps += validation.adversarial_steps;
         if validation.feasible {
             let verdict = match check_kind(property) {
                 Kind::Reachability => FinalVerdict::GoalReachable(trace),
                 Kind::Other => FinalVerdict::Attack(trace),
             };
-            return Ok(CegarOutcome { verdict, iterations: iteration, refinements });
+            record(
+                iteration,
+                refinements.len(),
+                cpv_queries,
+                cpv_steps,
+                &explore,
+            );
+            return Ok(CegarOutcome {
+                verdict,
+                iterations: iteration,
+                refinements,
+                cpv_queries,
+                cpv_steps,
+                explore,
+            });
         }
-        let (_, label, required) =
-            validation.first_infeasible.expect("infeasible validation names a step");
+        let (_, label, required) = validation
+            .first_infeasible
+            .expect("infeasible validation names a step");
         refinements.push(Refinement {
             excluded_command: label.clone(),
             underivable: required,
         });
         excluded.insert(label);
     }
+    record(
+        max_iterations,
+        refinements.len(),
+        cpv_queries,
+        cpv_steps,
+        &explore,
+    );
     Ok(CegarOutcome {
         verdict: FinalVerdict::Inconclusive,
         iterations: max_iterations,
         refinements,
+        cpv_queries,
+        cpv_steps,
+        explore,
     })
 }
 
@@ -243,10 +361,16 @@ mod tests {
         let cfg = ThreatConfig::lte();
         let model = build_threat_model(&ue, &mme, &cfg);
         let sem = StepSemantics::new(cfg);
-        let p = Property::invariant("never_registered", Expr::var_ne("ue_state", "emm_registered"));
+        let p = Property::invariant(
+            "never_registered",
+            Expr::var_ne("ue_state", "emm_registered"),
+        );
         let outcome = cegar_check(&model, &p, &sem, 1_000_000, 16).unwrap();
         assert_eq!(outcome.verdict, FinalVerdict::Verified);
-        assert!(outcome.refined(), "the forge counterexample must be refined away");
+        assert!(
+            outcome.refined(),
+            "the forge counterexample must be refined away"
+        );
         assert!(outcome.iterations >= 2);
         assert!(outcome.refinements[0].excluded_command.contains("forge"));
     }

@@ -34,7 +34,9 @@ impl Confirmation {
     pub fn confirmed(&self) -> bool {
         match self {
             Confirmation::Scenario(r) => r.succeeded,
-            Confirmation::Linkability { distinguishable, .. } => *distinguishable,
+            Confirmation::Linkability {
+                distinguishable, ..
+            } => *distinguishable,
             Confirmation::NoScenario => false,
         }
     }
@@ -96,7 +98,11 @@ mod tests {
 
     #[test]
     fn unknown_tags_have_no_scenario() {
-        let c = testbed_confirm("prior:numb-attack", Implementation::Srs, &AnalysisConfig::default());
+        let c = testbed_confirm(
+            "prior:numb-attack",
+            Implementation::Srs,
+            &AnalysisConfig::default(),
+        );
         assert!(matches!(c, Confirmation::NoScenario));
         assert!(!c.confirmed());
     }
@@ -104,8 +110,13 @@ mod tests {
     #[test]
     fn scenario_reports_carry_evidence() {
         let c = testbed_confirm("I6", Implementation::Srs, &AnalysisConfig::default());
-        let Confirmation::Scenario(report) = c else { panic!("scenario expected") };
+        let Confirmation::Scenario(report) = c else {
+            panic!("scenario expected")
+        };
         assert!(report.succeeded);
-        assert!(!report.evidence.is_empty(), "confirmed attacks carry evidence");
+        assert!(
+            !report.evidence.is_empty(),
+            "confirmed attacks carry evidence"
+        );
     }
 }

@@ -44,9 +44,11 @@ pub mod confirm;
 pub mod lteinspector;
 pub mod pipeline;
 pub mod report;
+pub mod telemetry_report;
 
-pub use cache::ThreatModelCache;
-pub use cegar::{cegar_check, CegarOutcome, FinalVerdict};
+pub use cache::{CacheStats, ThreatModelCache};
+pub use cegar::{cegar_check, cegar_check_traced, CegarOutcome, FinalVerdict};
 pub use confirm::{testbed_confirm, Confirmation};
 pub use pipeline::{analyze_implementation, extract_models, AnalysisConfig, AnalysisReport};
 pub use report::{Finding, PropertyOutcome, PropertyResult};
+pub use telemetry_report::{PropertyTelemetry, StageTotals, TelemetryReport};

@@ -21,7 +21,12 @@ pub fn ue_model() -> Fsm {
         Transition::build(from, to).when(cond).then(act)
     };
     // Attach / authentication / security-mode control (Fig 7(i) shape).
-    f.add_transition(t("emm_deregistered", "emm_registered_initiated", "attach_enabled", "attach_request"));
+    f.add_transition(t(
+        "emm_deregistered",
+        "emm_registered_initiated",
+        "attach_enabled",
+        "attach_request",
+    ));
     f.add_transition(t(
         "emm_registered_initiated",
         "emm_registered_initiated",
@@ -47,22 +52,82 @@ pub fn ue_model() -> Fsm {
         "guti_reallocation_command",
         "guti_reallocation_complete",
     ));
-    f.add_transition(t("emm_registered", "emm_registered", "paging", "service_request"));
-    f.add_transition(t("emm_registered", "emm_registered", "emm_information", "null_action"));
-    f.add_transition(t("emm_registered", "emm_registered_initiated", "paging", "attach_request"));
+    f.add_transition(t(
+        "emm_registered",
+        "emm_registered",
+        "paging",
+        "service_request",
+    ));
+    f.add_transition(t(
+        "emm_registered",
+        "emm_registered",
+        "emm_information",
+        "null_action",
+    ));
+    f.add_transition(t(
+        "emm_registered",
+        "emm_registered_initiated",
+        "paging",
+        "attach_request",
+    ));
     // TAU.
-    f.add_transition(t("emm_registered", "emm_tau_initiated", "tau_due", "tracking_area_update_request"));
-    f.add_transition(t("emm_tau_initiated", "emm_registered", "tracking_area_update_accept", "null_action"));
+    f.add_transition(t(
+        "emm_registered",
+        "emm_tau_initiated",
+        "tau_due",
+        "tracking_area_update_request",
+    ));
+    f.add_transition(t(
+        "emm_tau_initiated",
+        "emm_registered",
+        "tracking_area_update_accept",
+        "null_action",
+    ));
     // Rejects (plain-allowed by the standard).
-    f.add_transition(t("emm_registered", "emm_deregistered", "tracking_area_update_reject", "null_action"));
-    f.add_transition(t("emm_registered", "emm_deregistered", "service_reject", "null_action"));
-    f.add_transition(t("emm_registered", "emm_deregistered", "authentication_reject", "null_action"));
-    f.add_transition(t("emm_registered_initiated", "emm_deregistered", "attach_reject", "null_action"));
+    f.add_transition(t(
+        "emm_registered",
+        "emm_deregistered",
+        "tracking_area_update_reject",
+        "null_action",
+    ));
+    f.add_transition(t(
+        "emm_registered",
+        "emm_deregistered",
+        "service_reject",
+        "null_action",
+    ));
+    f.add_transition(t(
+        "emm_registered",
+        "emm_deregistered",
+        "authentication_reject",
+        "null_action",
+    ));
+    f.add_transition(t(
+        "emm_registered_initiated",
+        "emm_deregistered",
+        "attach_reject",
+        "null_action",
+    ));
     // Detach (Fig 7(ii) shape: the extracted model splits the network-
     // initiated case through `emm_deregistered_attach_needed`).
-    f.add_transition(t("emm_registered", "emm_deregistered_initiated", "detach_requested", "detach_request"));
-    f.add_transition(t("emm_deregistered_initiated", "emm_deregistered", "detach_accept", "null_action"));
-    f.add_transition(t("emm_registered", "emm_deregistered", "detach_request", "detach_accept"));
+    f.add_transition(t(
+        "emm_registered",
+        "emm_deregistered_initiated",
+        "detach_requested",
+        "detach_request",
+    ));
+    f.add_transition(t(
+        "emm_deregistered_initiated",
+        "emm_deregistered",
+        "detach_accept",
+        "null_action",
+    ));
+    f.add_transition(t(
+        "emm_registered",
+        "emm_deregistered",
+        "detach_request",
+        "detach_accept",
+    ));
     f
 }
 
@@ -73,23 +138,88 @@ pub fn mme_model() -> Fsm {
     let t = |from: &str, to: &str, cond: &str, act: &str| {
         Transition::build(from, to).when(cond).then(act)
     };
-    f.add_transition(t("mme_deregistered", "mme_wait_auth_response", "attach_request", "authentication_request"));
+    f.add_transition(t(
+        "mme_deregistered",
+        "mme_wait_auth_response",
+        "attach_request",
+        "authentication_request",
+    ));
     // The coarse model jumps from authentication straight to registered —
     // the extracted model splits this through the SMC and attach-complete
     // wait states (RQ2 case (iii)).
-    f.add_transition(t("mme_wait_auth_response", "mme_registered", "authentication_response", "attach_accept"));
-    f.add_transition(t("mme_wait_auth_response", "mme_deregistered", "authentication_failure", "null_action"));
-    f.add_transition(t("mme_registered", "mme_guti_realloc_initiated", "start_guti_reallocation", "guti_reallocation_command"));
-    f.add_transition(t("mme_guti_realloc_initiated", "mme_registered", "guti_reallocation_complete", "null_action"));
-    f.add_transition(t("mme_guti_realloc_initiated", "mme_guti_realloc_initiated", "t3450_expiry", "guti_reallocation_command"));
-    f.add_transition(t("mme_guti_realloc_initiated", "mme_registered", "t3450_expiry", "null_action"));
-    f.add_transition(t("mme_registered", "mme_registered", "tracking_area_update_request", "tracking_area_update_accept"));
+    f.add_transition(t(
+        "mme_wait_auth_response",
+        "mme_registered",
+        "authentication_response",
+        "attach_accept",
+    ));
+    f.add_transition(t(
+        "mme_wait_auth_response",
+        "mme_deregistered",
+        "authentication_failure",
+        "null_action",
+    ));
+    f.add_transition(t(
+        "mme_registered",
+        "mme_guti_realloc_initiated",
+        "start_guti_reallocation",
+        "guti_reallocation_command",
+    ));
+    f.add_transition(t(
+        "mme_guti_realloc_initiated",
+        "mme_registered",
+        "guti_reallocation_complete",
+        "null_action",
+    ));
+    f.add_transition(t(
+        "mme_guti_realloc_initiated",
+        "mme_guti_realloc_initiated",
+        "t3450_expiry",
+        "guti_reallocation_command",
+    ));
+    f.add_transition(t(
+        "mme_guti_realloc_initiated",
+        "mme_registered",
+        "t3450_expiry",
+        "null_action",
+    ));
+    f.add_transition(t(
+        "mme_registered",
+        "mme_registered",
+        "tracking_area_update_request",
+        "tracking_area_update_accept",
+    ));
     f.add_transition(t("mme_registered", "mme_registered", "page_ue", "paging"));
-    f.add_transition(t("mme_registered", "mme_wait_auth_response", "start_authentication", "authentication_request"));
-    f.add_transition(t("mme_registered", "mme_detach_initiated", "start_detach", "detach_request"));
-    f.add_transition(t("mme_detach_initiated", "mme_deregistered", "detach_accept", "null_action"));
-    f.add_transition(t("mme_registered", "mme_deregistered", "detach_request", "detach_accept"));
-    f.add_transition(t("mme_registered", "mme_registered", "send_information", "emm_information"));
+    f.add_transition(t(
+        "mme_registered",
+        "mme_wait_auth_response",
+        "start_authentication",
+        "authentication_request",
+    ));
+    f.add_transition(t(
+        "mme_registered",
+        "mme_detach_initiated",
+        "start_detach",
+        "detach_request",
+    ));
+    f.add_transition(t(
+        "mme_detach_initiated",
+        "mme_deregistered",
+        "detach_accept",
+        "null_action",
+    ));
+    f.add_transition(t(
+        "mme_registered",
+        "mme_deregistered",
+        "detach_request",
+        "detach_accept",
+    ));
+    f.add_transition(t(
+        "mme_registered",
+        "mme_registered",
+        "send_information",
+        "emm_information",
+    ));
     f
 }
 
@@ -139,9 +269,8 @@ mod tests {
             "detach_request",
         ] {
             assert!(
-                mme.transitions().any(|t| t
-                    .trigger_events()
-                    .any(|c| c.name() == ev)),
+                mme.transitions()
+                    .any(|t| t.trigger_events().any(|c| c.name() == ev)),
                 "missing {ev}"
             );
         }

@@ -19,21 +19,23 @@
 //! shared through a [`ThreatModelCache`], so each distinct property
 //! slice is built once per run instead of once per property.
 
-use crate::cache::ThreatModelCache;
-use crate::cegar::{cegar_check, FinalVerdict};
+use crate::cache::{CacheStats, ThreatModelCache};
+use crate::cegar::{cegar_check_traced, FinalVerdict};
 use crate::report::{Finding, PropertyOutcome, PropertyResult};
-use procheck_conformance::runner::run_suite;
+use procheck_conformance::runner::run_suite_traced;
 use procheck_conformance::suites;
 use procheck_conformance::CoverageReport;
-use procheck_extractor::{extract_fsm, ExtractorConfig};
+use procheck_extractor::{extract_fsm_traced, ExtractorConfig};
 use procheck_fsm::stats::FsmStats;
 use procheck_fsm::Fsm;
 use procheck_props::{registry, BaseProfile, Check, LinkScenario, NasProperty};
 use procheck_smv::checker::{CheckError, DEFAULT_STATE_LIMIT};
 use procheck_stack::quirks::Implementation;
 use procheck_stack::UeConfig;
+use procheck_telemetry::Collector;
 use procheck_testbed::linkability::{run_scenario, Scenario};
 use procheck_threat::StepSemantics;
+use std::collections::HashSet;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -57,6 +59,11 @@ pub struct AnalysisConfig {
     /// to ≥ 1; results are identical (and identically ordered) for any
     /// value.
     pub threads: usize,
+    /// Telemetry sink every pipeline stage reports into. Disabled by
+    /// default (all operations are no-ops); pass
+    /// [`Collector::enabled`] to record counters, spans, and marks.
+    /// Counter totals are identical for any `threads` value.
+    pub collector: Collector,
 }
 
 impl Default for AnalysisConfig {
@@ -68,6 +75,7 @@ impl Default for AnalysisConfig {
             max_cegar_iterations: 24,
             property_filter: None,
             threads: default_threads(),
+            collector: Collector::disabled(),
         }
     }
 }
@@ -75,7 +83,9 @@ impl Default for AnalysisConfig {
 /// One worker per available hardware thread, falling back to 1 where
 /// parallelism cannot be queried.
 fn default_threads() -> usize {
-    thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// The extracted models plus extraction metadata.
@@ -104,9 +114,19 @@ pub fn ue_config_for(implementation: Implementation, cfg: &AnalysisConfig) -> Ue
 /// FSMs.
 pub fn extract_models(implementation: Implementation, cfg: &AnalysisConfig) -> ExtractedModels {
     let ue_cfg = ue_config_for(implementation, cfg);
-    let report = run_suite(&ue_cfg, &suites::full_suite(&ue_cfg));
-    let ue = extract_fsm("ue", &report.ue_log, &ExtractorConfig::for_ue(&ue_cfg.signatures));
-    let mme = extract_fsm("mme", &report.mme_log, &ExtractorConfig::for_mme());
+    let report = run_suite_traced(&ue_cfg, &suites::full_suite(&ue_cfg), &cfg.collector);
+    let ue = extract_fsm_traced(
+        "ue",
+        &report.ue_log,
+        &ExtractorConfig::for_ue(&ue_cfg.signatures),
+        &cfg.collector,
+    );
+    let mme = extract_fsm_traced(
+        "mme",
+        &report.mme_log,
+        &ExtractorConfig::for_mme(),
+        &cfg.collector,
+    );
     ExtractedModels {
         ue,
         mme,
@@ -128,6 +148,8 @@ pub struct AnalysisReport {
     pub mme_stats: FsmStats,
     /// Conformance coverage.
     pub coverage: CoverageReport,
+    /// Threat-model composition cache accounting for this run.
+    pub cache_stats: CacheStats,
 }
 
 impl AnalysisReport {
@@ -169,8 +191,10 @@ impl AnalysisReport {
         let _ = writeln!(out, "  MME model: {}", self.mme_stats);
         let _ = writeln!(out, "  coverage : {}", self.coverage);
         let findings = self.findings();
-        let standards =
-            findings.iter().filter(|f| f.vulnerability_type == "standards").count();
+        let standards = findings
+            .iter()
+            .filter(|f| f.vulnerability_type == "standards")
+            .count();
         let _ = writeln!(
             out,
             "  properties: {} checked, {} conforming, {} findings \
@@ -207,13 +231,27 @@ pub fn check_property(
     cache: &ThreatModelCache,
 ) -> PropertyResult {
     let start = Instant::now();
+    let mut states_explored = 0u64;
+    let mut peak_queue = 0u64;
+    let mut cpv_queries = 0usize;
     let (outcome, iterations, refinements) = match &prop.check {
         Check::Model(p) => {
             let threat_cfg = prop.slice.threat_config();
-            let model = cache.get_or_build(&models.ue, &models.mme, &threat_cfg);
+            let model =
+                cache.get_or_build_traced(&models.ue, &models.mme, &threat_cfg, &cfg.collector);
             let semantics = StepSemantics::new(threat_cfg);
-            match cegar_check(&model, p, &semantics, cfg.state_limit, cfg.max_cegar_iterations) {
+            match cegar_check_traced(
+                &model,
+                p,
+                &semantics,
+                cfg.state_limit,
+                cfg.max_cegar_iterations,
+                &cfg.collector,
+            ) {
                 Ok(outcome) => {
+                    states_explored = outcome.explore.states;
+                    peak_queue = outcome.explore.peak_queue;
+                    cpv_queries = outcome.cpv_queries;
                     let mapped = match outcome.verdict {
                         FinalVerdict::Verified => PropertyOutcome::Verified,
                         FinalVerdict::Attack(ce) => PropertyOutcome::Attack(ce),
@@ -240,9 +278,11 @@ pub fn check_property(
                     };
                     (outcome, 0, 0)
                 }
-                Err(CheckError::StateLimit(n)) => {
-                    (PropertyOutcome::Skipped(format!("state limit {n} exceeded")), 0, 0)
-                }
+                Err(CheckError::StateLimit(n)) => (
+                    PropertyOutcome::Skipped(format!("state limit {n} exceeded")),
+                    0,
+                    0,
+                ),
             }
         }
         Check::Linkability(scenario) => {
@@ -267,9 +307,32 @@ pub fn check_property(
         outcome,
         cegar_iterations: iterations,
         refinements,
+        states_explored,
+        peak_queue,
+        cpv_queries,
+        // Overwritten by `analyze_implementation` with the
+        // registry-order value; a standalone check has a cold cache.
+        cache_hit: false,
         elapsed: start.elapsed(),
         related_attack: prop.related_attack,
     }
+}
+
+/// Which of `props` are served from the composition cache, computed
+/// from property order alone: the first property to use each distinct
+/// threat configuration is the miss, every later one the hit. This is
+/// what a sequential run observes, and the parallel pool builds each
+/// configuration exactly once, so it is also the only scheduling-
+/// independent answer. Linkability properties never compose a model.
+fn cache_hits_in_order(props: &[&NasProperty]) -> Vec<bool> {
+    let mut seen = HashSet::new();
+    props
+        .iter()
+        .map(|p| match &p.check {
+            Check::Model(_) => !seen.insert(p.slice.threat_config()),
+            Check::Linkability(_) => false,
+        })
+        .collect()
 }
 
 fn map_scenario(s: LinkScenario) -> Scenario {
@@ -303,35 +366,58 @@ pub fn analyze_implementation(
         .filter(|p| {
             cfg.property_filter
                 .as_ref()
-                .map_or(true, |ids| ids.contains(&p.id))
+                .is_none_or(|ids| ids.contains(&p.id))
         })
         .collect();
-    let slots: Vec<OnceLock<PropertyResult>> =
-        props.iter().map(|_| OnceLock::new()).collect();
+    let slots: Vec<OnceLock<PropertyResult>> = props.iter().map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
     let work = || loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(prop) = props.get(i) else { break };
         let result = check_property(prop, &models, implementation, cfg, &cache);
-        slots[i].set(result).expect("each index is claimed exactly once");
+        slots[i]
+            .set(result)
+            .expect("each index is claimed exactly once");
     };
     let workers = cfg.threads.clamp(1, props.len().max(1));
-    thread::scope(|s| {
-        for _ in 1..workers {
-            s.spawn(work);
-        }
-        work();
-    });
-    let results = slots
+    {
+        let _span = cfg.collector.span("stage.check");
+        thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(work);
+            }
+            work();
+        });
+    }
+    let hits = cache_hits_in_order(&props);
+    let mut results: Vec<PropertyResult> = slots
         .into_iter()
         .map(|slot| slot.into_inner().expect("all slots filled by the pool"))
         .collect();
+    for (result, hit) in results.iter_mut().zip(hits) {
+        result.cache_hit = hit;
+    }
+    // Marks go out after the pool, in registry order, so the event
+    // stream is identical for every thread count.
+    for r in &results {
+        cfg.collector.mark(
+            "property.checked",
+            &[
+                ("id", r.property_id),
+                ("outcome", r.outcome.tag()),
+                ("states", &r.states_explored.to_string()),
+                ("cegar_iterations", &r.cegar_iterations.to_string()),
+                ("cache_hit", if r.cache_hit { "true" } else { "false" }),
+            ],
+        );
+    }
     AnalysisReport {
         implementation,
         results,
         ue_stats: FsmStats::of(&models.ue),
         mme_stats: FsmStats::of(&models.mme),
         coverage: models.coverage,
+        cache_stats: cache.stats(),
     }
 }
 
@@ -350,7 +436,11 @@ mod tests {
     #[test]
     fn extraction_produces_models_for_all_impls() {
         let cfg = AnalysisConfig::default();
-        for imp in [Implementation::Reference, Implementation::Srs, Implementation::Oai] {
+        for imp in [
+            Implementation::Reference,
+            Implementation::Srs,
+            Implementation::Oai,
+        ] {
             let m = extract_models(imp, &cfg);
             assert!(m.ue.transition_count() >= 15, "{imp:?}");
             assert!(m.mme.transition_count() >= 8, "{imp:?}");
@@ -362,8 +452,7 @@ mod tests {
     /// *reference* implementation — a standards-level attack.
     #[test]
     fn s01_finds_p1_on_reference() {
-        let report =
-            analyze_implementation(Implementation::Reference, &quick_cfg(&["S01"]));
+        let report = analyze_implementation(Implementation::Reference, &quick_cfg(&["S01"]));
         let r = report.result("S01").unwrap();
         let PropertyOutcome::Attack(trace) = &r.outcome else {
             panic!("expected attack, got {:?}", r.outcome.tag());
@@ -380,8 +469,7 @@ mod tests {
     /// fails on OAI.
     #[test]
     fn s12_separates_reference_from_oai() {
-        let reference =
-            analyze_implementation(Implementation::Reference, &quick_cfg(&["S12"]));
+        let reference = analyze_implementation(Implementation::Reference, &quick_cfg(&["S12"]));
         assert_eq!(
             reference.result("S12").unwrap().outcome.tag(),
             "verified",
@@ -420,10 +508,8 @@ mod tests {
     /// PR19/PR20: the freshness-limit countermeasure closes P1/P2.
     #[test]
     fn freshness_limit_countermeasure_verified() {
-        let report = analyze_implementation(
-            Implementation::Reference,
-            &quick_cfg(&["PR19", "PR20"]),
-        );
+        let report =
+            analyze_implementation(Implementation::Reference, &quick_cfg(&["PR19", "PR20"]));
         assert_eq!(report.result("PR19").unwrap().outcome.tag(), "verified");
         assert_eq!(report.result("PR20").unwrap().outcome.tag(), "equivalent");
         assert!(report.findings().is_empty());

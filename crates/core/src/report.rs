@@ -58,6 +58,18 @@ pub struct PropertyResult {
     pub cegar_iterations: usize,
     /// Number of CPV-driven refinements performed.
     pub refinements: usize,
+    /// States the model checker explored across all CEGAR iterations
+    /// (0 for linkability properties).
+    pub states_explored: u64,
+    /// Peak BFS/DFS queue depth observed during exploration.
+    pub peak_queue: u64,
+    /// Counterexample-feasibility queries submitted to the CPV.
+    pub cpv_queries: usize,
+    /// Whether this property's threat-model composition was served from
+    /// the shared cache. Computed deterministically from registry order
+    /// (the first property to use a distinct slice is the miss), not
+    /// from which worker thread happened to build it.
+    pub cache_hit: bool,
     /// Wall-clock time of the check.
     pub elapsed: Duration,
     /// Attack tag this property detects when deviating (`P1`, `I2`, …).
@@ -122,6 +134,10 @@ mod tests {
             outcome,
             cegar_iterations: 1,
             refinements: 0,
+            states_explored: 0,
+            peak_queue: 0,
+            cpv_queries: 0,
+            cache_hit: false,
             elapsed: Duration::from_millis(1),
             related_attack: None,
         }
@@ -129,15 +145,26 @@ mod tests {
 
     #[test]
     fn finding_classification() {
-        let ce = Counterexample { steps: vec![], lasso_start: None };
+        let ce = Counterexample {
+            steps: vec![],
+            lasso_start: None,
+        };
         assert!(result(Expectation::Holds, PropertyOutcome::Attack(ce.clone())).is_finding());
         assert!(!result(Expectation::Holds, PropertyOutcome::Verified).is_finding());
-        assert!(result(Expectation::Unreachable, PropertyOutcome::GoalReachable(ce.clone()))
-            .is_finding());
-        assert!(!result(Expectation::Reachable, PropertyOutcome::GoalReachable(ce.clone()))
-            .is_finding());
-        let standards =
-            result(Expectation::ViolatedByDesign, PropertyOutcome::Attack(ce.clone()));
+        assert!(result(
+            Expectation::Unreachable,
+            PropertyOutcome::GoalReachable(ce.clone())
+        )
+        .is_finding());
+        assert!(!result(
+            Expectation::Reachable,
+            PropertyOutcome::GoalReachable(ce.clone())
+        )
+        .is_finding());
+        let standards = result(
+            Expectation::ViolatedByDesign,
+            PropertyOutcome::Attack(ce.clone()),
+        );
         assert!(standards.is_finding());
         assert!(!standards.is_implementation_finding());
         let implementation = result(Expectation::Holds, PropertyOutcome::Attack(ce));

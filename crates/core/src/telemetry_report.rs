@@ -1,0 +1,375 @@
+//! Per-run telemetry aggregation.
+//!
+//! [`TelemetryReport`] condenses one pipeline run into the shape the
+//! paper reports its measurements in: a per-property row set mirroring
+//! Table II (states explored, CEGAR iterations, CPV queries, cache
+//! behaviour, wall-clock), plus pipeline-stage totals read off the
+//! run's [`Collector`] counters and spans. The bench binaries render
+//! it next to their existing outputs as `BENCH_telemetry.json`, and
+//! `scripts/check_bench_regression.sh` gates CI on the totals.
+//!
+//! Everything in the report except the `elapsed_ms`/`*_us` fields is
+//! deterministic: identical for every `threads` value and across runs
+//! on the same inputs.
+
+use crate::pipeline::AnalysisReport;
+use procheck_telemetry::{json, Collector, Event};
+
+/// One per-property row (Table II shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyTelemetry {
+    /// Property id (`S01`…, `PR01`…).
+    pub property_id: String,
+    /// Outcome tag (`verified`, `attack`, …).
+    pub outcome: String,
+    /// States the model checker explored across all CEGAR iterations.
+    pub states_explored: u64,
+    /// Peak frontier depth during exploration.
+    pub peak_queue: u64,
+    /// CEGAR iterations performed.
+    pub cegar_iterations: u64,
+    /// CPV-driven refinements applied.
+    pub refinements: u64,
+    /// Counterexample-feasibility queries submitted to the CPV.
+    pub cpv_queries: u64,
+    /// Whether the property's threat-model composition was a cache hit.
+    pub cache_hit: bool,
+    /// Wall-clock milliseconds for the check (non-deterministic).
+    pub elapsed_ms: f64,
+}
+
+/// Pipeline-stage totals for one run, read off the collector.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageTotals {
+    /// Conformance cases replayed.
+    pub conformance_cases: u64,
+    /// Total message-exchange rounds across the suite.
+    pub conformance_rounds: u64,
+    /// Information-rich log records dissected (UE + MME).
+    pub extract_log_records: u64,
+    /// Blocks `DivideBlock` opened during dissection.
+    pub extract_blocks: u64,
+    /// Threat-model compositions requested.
+    pub compose_lookups: u64,
+    /// Compositions actually built (cache misses).
+    pub compose_builds: u64,
+    /// States explored by the model checker, summed over properties.
+    pub smv_states_explored: u64,
+    /// Transitions taken by the model checker.
+    pub smv_transitions: u64,
+    /// CEGAR iterations, summed over properties.
+    pub cegar_iterations: u64,
+    /// CPV feasibility queries, summed over properties.
+    pub cpv_queries: u64,
+    /// Adversarial steps the CPV validated.
+    pub cpv_steps: u64,
+    /// Wall-clock microseconds per recorded stage span, summed by name
+    /// (non-deterministic), sorted by name.
+    pub stage_elapsed_us: Vec<(String, u64)>,
+}
+
+impl StageTotals {
+    /// Composition-cache hit rate in `[0, 1]` (0 when never used).
+    pub fn compose_hit_rate(&self) -> f64 {
+        if self.compose_lookups == 0 {
+            0.0
+        } else {
+            (self.compose_lookups - self.compose_builds) as f64 / self.compose_lookups as f64
+        }
+    }
+
+    /// Reads the totals off a collector's counters and spans.
+    pub fn from_collector(collector: &Collector) -> Self {
+        let counters = collector.counters();
+        let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+        let mut spans: std::collections::BTreeMap<String, u64> = Default::default();
+        for event in collector.events() {
+            if let Event::Span { name, elapsed_us } = event {
+                *spans.entry(name).or_default() += elapsed_us;
+            }
+        }
+        StageTotals {
+            conformance_cases: get("conformance.cases"),
+            conformance_rounds: get("conformance.rounds"),
+            extract_log_records: get("extract.log_records"),
+            extract_blocks: get("extract.blocks"),
+            compose_lookups: get("compose.lookups"),
+            compose_builds: get("compose.builds"),
+            smv_states_explored: get("smv.states_explored"),
+            smv_transitions: get("smv.transitions"),
+            cegar_iterations: get("cegar.iterations"),
+            cpv_queries: get("cpv.queries"),
+            cpv_steps: get("cpv.steps"),
+            stage_elapsed_us: spans.into_iter().collect(),
+        }
+    }
+}
+
+/// Aggregated telemetry for one pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryReport {
+    /// Implementation analysed (`reference`, `srsue`, `oai`).
+    pub implementation: String,
+    /// Per-property rows, in registry order.
+    pub properties: Vec<PropertyTelemetry>,
+    /// Stage totals for the whole run.
+    pub totals: StageTotals,
+    /// Raw counter snapshot (name-sorted), for consumers that want
+    /// counters this struct does not break out.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TelemetryReport {
+    /// Builds the report from a finished run: deterministic per-property
+    /// numbers come from the [`AnalysisReport`], stage totals from the
+    /// [`Collector`] the run recorded into.
+    pub fn from_run(report: &AnalysisReport, collector: &Collector) -> Self {
+        let properties = report
+            .results
+            .iter()
+            .map(|r| PropertyTelemetry {
+                property_id: r.property_id.to_string(),
+                outcome: r.outcome.tag().to_string(),
+                states_explored: r.states_explored,
+                peak_queue: r.peak_queue,
+                cegar_iterations: r.cegar_iterations as u64,
+                refinements: r.refinements as u64,
+                cpv_queries: r.cpv_queries as u64,
+                cache_hit: r.cache_hit,
+                elapsed_ms: r.elapsed.as_secs_f64() * 1e3,
+            })
+            .collect();
+        TelemetryReport {
+            implementation: report.implementation.name().to_string(),
+            properties,
+            totals: StageTotals::from_collector(collector),
+            counters: collector.counters().into_iter().collect(),
+        }
+    }
+
+    /// Table II-style text rendering.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "telemetry — {}", self.implementation);
+        let _ = writeln!(
+            out,
+            "  {:6} {:>15} {:>10} {:>6} {:>5} {:>5} {:>6} {:>10}",
+            "prop", "outcome", "states", "queue", "cegar", "cpv", "cache", "ms"
+        );
+        for p in &self.properties {
+            let _ = writeln!(
+                out,
+                "  {:6} {:>15} {:>10} {:>6} {:>5} {:>5} {:>6} {:>10.2}",
+                p.property_id,
+                p.outcome,
+                p.states_explored,
+                p.peak_queue,
+                p.cegar_iterations,
+                p.cpv_queries,
+                if p.cache_hit { "hit" } else { "miss" },
+                p.elapsed_ms,
+            );
+        }
+        let t = &self.totals;
+        let _ = writeln!(
+            out,
+            "  totals: {} cases / {} rounds replayed, {} records -> {} blocks dissected",
+            t.conformance_cases, t.conformance_rounds, t.extract_log_records, t.extract_blocks
+        );
+        let _ = writeln!(
+            out,
+            "          {} compositions for {} lookups (hit rate {:.1}%), \
+             {} states / {} transitions explored",
+            t.compose_builds,
+            t.compose_lookups,
+            t.compose_hit_rate() * 100.0,
+            t.smv_states_explored,
+            t.smv_transitions
+        );
+        let _ = writeln!(
+            out,
+            "          {} CEGAR iterations, {} CPV queries ({} adversarial steps)",
+            t.cegar_iterations, t.cpv_queries, t.cpv_steps
+        );
+        for (name, us) in &t.stage_elapsed_us {
+            let _ = writeln!(out, "          span {:20} {:>10} us", name, us);
+        }
+        out
+    }
+
+    /// JSON rendering (the `BENCH_telemetry.json` payload for one run).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"implementation\": {},\n",
+            json::escape(&self.implementation)
+        ));
+        out.push_str("  \"properties\": [\n");
+        for (i, p) in self.properties.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"property_id\": {}, \"outcome\": {}, \"states_explored\": {}, \
+                 \"peak_queue\": {}, \"cegar_iterations\": {}, \"refinements\": {}, \
+                 \"cpv_queries\": {}, \"cache_hit\": {}, \"elapsed_ms\": {:.3}}}{}\n",
+                json::escape(&p.property_id),
+                json::escape(&p.outcome),
+                p.states_explored,
+                p.peak_queue,
+                p.cegar_iterations,
+                p.refinements,
+                p.cpv_queries,
+                p.cache_hit,
+                p.elapsed_ms,
+                if i + 1 < self.properties.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        out.push_str("  ],\n");
+        let t = &self.totals;
+        out.push_str("  \"totals\": {\n");
+        out.push_str(&format!(
+            "    \"conformance_cases\": {},\n",
+            t.conformance_cases
+        ));
+        out.push_str(&format!(
+            "    \"conformance_rounds\": {},\n",
+            t.conformance_rounds
+        ));
+        out.push_str(&format!(
+            "    \"extract_log_records\": {},\n",
+            t.extract_log_records
+        ));
+        out.push_str(&format!("    \"extract_blocks\": {},\n", t.extract_blocks));
+        out.push_str(&format!(
+            "    \"compose_lookups\": {},\n",
+            t.compose_lookups
+        ));
+        out.push_str(&format!("    \"compose_builds\": {},\n", t.compose_builds));
+        out.push_str(&format!(
+            "    \"compose_hit_rate\": {:.6},\n",
+            t.compose_hit_rate()
+        ));
+        out.push_str(&format!(
+            "    \"smv_states_explored\": {},\n",
+            t.smv_states_explored
+        ));
+        out.push_str(&format!(
+            "    \"smv_transitions\": {},\n",
+            t.smv_transitions
+        ));
+        out.push_str(&format!(
+            "    \"cegar_iterations\": {},\n",
+            t.cegar_iterations
+        ));
+        out.push_str(&format!("    \"cpv_queries\": {},\n", t.cpv_queries));
+        out.push_str(&format!("    \"cpv_steps\": {},\n", t.cpv_steps));
+        out.push_str("    \"stage_elapsed_us\": {");
+        out.push_str(
+            &t.stage_elapsed_us
+                .iter()
+                .map(|(name, us)| format!("{}: {}", json::escape(name), us))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("}\n");
+        out.push_str("  },\n");
+        out.push_str("  \"counters\": {");
+        out.push_str(
+            &self
+                .counters
+                .iter()
+                .map(|(name, value)| format!("{}: {}", json::escape(name), value))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze_implementation, AnalysisConfig};
+    use procheck_stack::quirks::Implementation;
+
+    fn run(ids: &[&'static str], threads: usize) -> (TelemetryReport, Collector) {
+        let collector = Collector::enabled();
+        let cfg = AnalysisConfig {
+            property_filter: Some(ids.to_vec()),
+            threads,
+            collector: collector.clone(),
+            ..AnalysisConfig::default()
+        };
+        let report = analyze_implementation(Implementation::Reference, &cfg);
+        (TelemetryReport::from_run(&report, &collector), collector)
+    }
+
+    /// The checker-side counters and the per-property rows describe the
+    /// same run, so their sums must agree.
+    #[test]
+    fn rows_sum_to_counter_totals() {
+        let (report, collector) = run(&["S01", "S02", "S12"], 2);
+        assert_eq!(report.properties.len(), 3);
+        let row_states: u64 = report.properties.iter().map(|p| p.states_explored).sum();
+        assert_eq!(row_states, collector.counter_value("smv.states_explored"));
+        let row_iters: u64 = report.properties.iter().map(|p| p.cegar_iterations).sum();
+        assert_eq!(row_iters, collector.counter_value("cegar.iterations"));
+        let row_queries: u64 = report.properties.iter().map(|p| p.cpv_queries).sum();
+        assert_eq!(row_queries, collector.counter_value("cpv.queries"));
+        assert!(row_states > 0, "model checks explore states");
+    }
+
+    /// Cache hits in the rows agree with the compose counters: misses
+    /// (builds) = rows with cache_hit=false among model properties.
+    #[test]
+    fn cache_hit_rows_match_compose_counters() {
+        let (report, _) = run(&["S01", "S02", "S03"], 1);
+        let misses = report.properties.iter().filter(|p| !p.cache_hit).count() as u64;
+        assert_eq!(misses, report.totals.compose_builds);
+        assert_eq!(
+            report.properties.len() as u64,
+            report.totals.compose_lookups
+        );
+    }
+
+    /// Rendered JSON parses with the crate's own parser and preserves
+    /// the row count and key totals.
+    #[test]
+    fn json_rendering_round_trips() {
+        let (report, _) = run(&["S01", "PR07"], 1);
+        let text = report.to_json();
+        let value = json::parse(&text).expect("telemetry JSON parses");
+        let obj = value.as_object().unwrap();
+        let props = obj
+            .iter()
+            .find(|(k, _)| k == "properties")
+            .and_then(|(_, v)| v.as_array())
+            .unwrap();
+        assert_eq!(props.len(), 2);
+        let first = props[0].as_object().unwrap();
+        for key in [
+            "property_id",
+            "outcome",
+            "states_explored",
+            "cegar_iterations",
+            "cache_hit",
+            "elapsed_ms",
+        ] {
+            assert!(first.iter().any(|(k, _)| k == key), "row has {key}");
+        }
+        let totals = obj
+            .iter()
+            .find(|(k, _)| k == "totals")
+            .and_then(|(_, v)| v.as_object())
+            .unwrap();
+        assert!(totals.iter().any(|(k, _)| k == "compose_hit_rate"));
+        let rendered = report.render_text();
+        assert!(rendered.contains("S01"));
+        assert!(rendered.contains("CPV queries"));
+    }
+}

@@ -6,11 +6,12 @@
 use procheck::pipeline::{analyze_implementation, AnalysisConfig};
 use procheck::report::PropertyResult;
 use procheck_stack::quirks::Implementation;
+use procheck_telemetry::Collector;
 
 /// Everything observable about a result except the wall-clock time.
 fn fingerprint(r: &PropertyResult) -> String {
     format!(
-        "{}|{}|{:?}|{:?}|{:?}|{}|{}|{:?}",
+        "{}|{}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}",
         r.property_id,
         r.title,
         r.category,
@@ -19,15 +20,25 @@ fn fingerprint(r: &PropertyResult) -> String {
         r.cegar_iterations,
         r.refinements,
         r.related_attack,
+        r.states_explored,
+        r.peak_queue,
+        r.cpv_queries,
+        r.cache_hit,
     )
 }
 
 #[test]
 fn parallel_run_matches_serial_run_exactly() {
-    let base = AnalysisConfig { state_limit: 2_000_000, ..AnalysisConfig::default() };
+    let base = AnalysisConfig {
+        state_limit: 2_000_000,
+        ..AnalysisConfig::default()
+    };
     let serial = analyze_implementation(
         Implementation::Reference,
-        &AnalysisConfig { threads: 1, ..base.clone() },
+        &AnalysisConfig {
+            threads: 1,
+            ..base.clone()
+        },
     );
     let parallel = analyze_implementation(
         Implementation::Reference,
@@ -50,6 +61,28 @@ fn parallel_run_matches_serial_run_exactly() {
     assert_eq!(serial_ids, parallel_ids);
 }
 
+/// Telemetry counters are work measurements, not timing measurements,
+/// so their totals must be identical at any pool width.
+#[test]
+fn counter_totals_identical_across_thread_counts() {
+    let totals = |threads: usize| {
+        let collector = Collector::enabled();
+        analyze_implementation(
+            Implementation::Reference,
+            &AnalysisConfig {
+                threads,
+                state_limit: 2_000_000,
+                collector: collector.clone(),
+                ..AnalysisConfig::default()
+            },
+        );
+        collector.counters()
+    };
+    let serial = totals(1);
+    assert!(!serial.is_empty(), "enabled collector must record counters");
+    assert_eq!(serial, totals(4), "threads=4 diverged from threads=1");
+}
+
 /// `threads: 0` and absurd widths degrade to a working pool, never a
 /// panic or an empty report.
 #[test]
@@ -62,7 +95,10 @@ fn thread_count_is_clamped() {
     };
     let report = analyze_implementation(Implementation::Reference, &cfg);
     assert_eq!(report.results.len(), 1);
-    let wide = AnalysisConfig { threads: 512, ..cfg };
+    let wide = AnalysisConfig {
+        threads: 512,
+        ..cfg
+    };
     let report = analyze_implementation(Implementation::Reference, &wide);
     assert_eq!(report.results.len(), 1);
 }

@@ -96,13 +96,12 @@ fn saturate(knowledge: &BTreeSet<Term>) -> BTreeSet<Term> {
                         added.push(b.as_ref().clone());
                     }
                 }
-                Term::SEnc(m, k) => {
+                Term::SEnc(m, k)
                     // Decryption requires the key to be *synthesisable*
                     // from the current set.
-                    if !set.contains(m.as_ref()) && synthesise(&set, k, 0) {
+                    if !set.contains(m.as_ref()) && synthesise(&set, k, 0) => {
                         added.push(m.as_ref().clone());
                     }
-                }
                 _ => {}
             }
         }
@@ -129,9 +128,7 @@ fn synthesise(set: &BTreeSet<Term>, goal: &Term, depth: usize) -> bool {
     }
     match goal {
         Term::Atom(_) | Term::Key(_) => false,
-        Term::Pair(a, b) => {
-            synthesise(set, a, depth + 1) && synthesise(set, b, depth + 1)
-        }
+        Term::Pair(a, b) => synthesise(set, a, depth + 1) && synthesise(set, b, depth + 1),
         Term::SEnc(m, k) | Term::Mac(m, k) => {
             synthesise(set, m, depth + 1) && synthesise(set, k, depth + 1)
         }

@@ -41,7 +41,11 @@ pub fn distinguish<S: AsRef<str>>(left: &[S], right: &[S]) -> Distinguisher {
         let l = left.get(i).map(|s| s.as_ref().to_string());
         let r = right.get(i).map(|s| s.as_ref().to_string());
         if l != r {
-            return Distinguisher::Distinguishable { position: i, left: l, right: r };
+            return Distinguisher::Distinguishable {
+                position: i,
+                left: l,
+                right: r,
+            };
         }
     }
     Distinguisher::Equivalent
@@ -65,7 +69,12 @@ mod tests {
         let bystander = ["authentication_failure(mac)"];
         let d = distinguish(&victim, &bystander);
         assert!(d.is_distinguishable());
-        let Distinguisher::Distinguishable { position, left, right } = d else {
+        let Distinguisher::Distinguishable {
+            position,
+            left,
+            right,
+        } = d
+        else {
             unreachable!()
         };
         assert_eq!(position, 0);
@@ -78,7 +87,12 @@ mod tests {
         let a = ["x", "y"];
         let b = ["x"];
         let d = distinguish(&a, &b);
-        let Distinguisher::Distinguishable { position, left, right } = d else {
+        let Distinguisher::Distinguishable {
+            position,
+            left,
+            right,
+        } = d
+        else {
             panic!("expected distinguishable");
         };
         assert_eq!(position, 1);

@@ -112,7 +112,10 @@ mod tests {
         let t = Term::tuple([Term::atom("a"), Term::atom("b"), Term::atom("c")]);
         assert_eq!(
             t,
-            Term::pair(Term::atom("a"), Term::pair(Term::atom("b"), Term::atom("c")))
+            Term::pair(
+                Term::atom("a"),
+                Term::pair(Term::atom("b"), Term::atom("c"))
+            )
         );
     }
 

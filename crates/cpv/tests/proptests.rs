@@ -1,17 +1,14 @@
 //! Property-based tests for the Dolev–Yao deduction engine: soundness
 //! invariants that must hold for *any* knowledge set and goal.
 
-use proptest::prelude::*;
 use procheck_cpv::deduce::Deduction;
 use procheck_cpv::equivalence::{distinguish, Distinguisher};
 use procheck_cpv::term::Term;
+use proptest::prelude::*;
 
 /// Arbitrary terms over a small alphabet (depth-bounded).
 fn arb_term() -> impl Strategy<Value = Term> {
-    let leaf = prop_oneof![
-        "[a-e]".prop_map(Term::atom),
-        "[kl]".prop_map(Term::key),
-    ];
+    let leaf = prop_oneof!["[a-e]".prop_map(Term::atom), "[kl]".prop_map(Term::key),];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Term::pair(a, b)),

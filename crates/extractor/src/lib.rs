@@ -48,6 +48,7 @@ pub use missing::{missing_test_cases, MissingCases};
 use procheck_fsm::{ActionAtom, CondAtom, Fsm, Transition};
 use procheck_instrument::LogRecord;
 use procheck_stack::{MmeState, SignatureProfile, UeState};
+use procheck_telemetry::Collector;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -134,11 +135,20 @@ impl ExtractorConfig {
     /// names from the standard.
     pub fn for_ue(profile: &SignatureProfile) -> Self {
         ExtractorConfig {
-            state_signatures: UeState::all().iter().map(|s| s.as_str().to_string()).collect(),
+            state_signatures: UeState::all()
+                .iter()
+                .map(|s| s.as_str().to_string())
+                .collect(),
             incoming_prefix: profile.incoming_prefix.clone(),
             outgoing_prefix: profile.outgoing_prefix.clone(),
-            message_names: STANDARD_MESSAGE_NAMES.iter().map(|s| s.to_string()).collect(),
-            condition_locals: DEFAULT_CONDITION_LOCALS.iter().map(|s| s.to_string()).collect(),
+            message_names: STANDARD_MESSAGE_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            condition_locals: DEFAULT_CONDITION_LOCALS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             include_predicates: true,
         }
     }
@@ -151,11 +161,20 @@ impl ExtractorConfig {
     /// Builds a config for the MME side (`mme_recv_`/`mme_send_`).
     pub fn for_mme() -> Self {
         ExtractorConfig {
-            state_signatures: MmeState::all().iter().map(|s| s.as_str().to_string()).collect(),
+            state_signatures: MmeState::all()
+                .iter()
+                .map(|s| s.as_str().to_string())
+                .collect(),
             incoming_prefix: "mme_recv_".into(),
             outgoing_prefix: "mme_send_".into(),
-            message_names: STANDARD_MESSAGE_NAMES.iter().map(|s| s.to_string()).collect(),
-            condition_locals: DEFAULT_CONDITION_LOCALS.iter().map(|s| s.to_string()).collect(),
+            message_names: STANDARD_MESSAGE_NAMES
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            condition_locals: DEFAULT_CONDITION_LOCALS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             include_predicates: true,
         }
     }
@@ -227,6 +246,21 @@ impl Block {
 /// signature are ignored, which makes the extractor robust to interleaved
 /// records from the peer participant and from the test framework.
 pub fn extract_fsm(name: &str, log: &[LogRecord], cfg: &ExtractorConfig) -> Fsm {
+    extract_fsm_traced(name, log, cfg, &Collector::disabled())
+}
+
+/// [`extract_fsm`] that records dissection telemetry on `collector`:
+/// `extract.log_records` (records consumed), `extract.blocks` (blocks
+/// opened by `DivideBlock`), `extract.transitions` (transitions in the
+/// resulting FSM, after dedup), and an `extract.fsm` span.
+pub fn extract_fsm_traced(
+    name: &str,
+    log: &[LogRecord],
+    cfg: &ExtractorConfig,
+    collector: &Collector,
+) -> Fsm {
+    let _span = collector.span("extract.fsm");
+    let mut blocks_opened: u64 = 0;
     let mut fsm = Fsm::new(name);
     let mut current: Option<Block> = None;
     let mut initial_set = false;
@@ -252,6 +286,7 @@ pub fn extract_fsm(name: &str, log: &[LogRecord], cfg: &ExtractorConfig) -> Fsm 
                     close(&mut fsm, current.take(), &mut initial_set);
                 } else if name == "trigger" {
                     close(&mut fsm, current.take(), &mut initial_set);
+                    blocks_opened += 1;
                     current = Some(Block {
                         event: Some(value.clone()),
                         ..Block::default()
@@ -261,6 +296,7 @@ pub fn extract_fsm(name: &str, log: &[LogRecord], cfg: &ExtractorConfig) -> Fsm 
             LogRecord::FunctionEnter { name } => {
                 if let Some(msg) = cfg.incoming_message_of(name) {
                     close(&mut fsm, current.take(), &mut initial_set);
+                    blocks_opened += 1;
                     current = Some(Block {
                         event: Some(msg.to_string()),
                         ..Block::default()
@@ -289,6 +325,9 @@ pub fn extract_fsm(name: &str, log: &[LogRecord], cfg: &ExtractorConfig) -> Fsm 
         }
     }
     close(&mut fsm, current.take(), &mut initial_set);
+    collector.add("extract.log_records", log.len() as u64);
+    collector.add("extract.blocks", blocks_opened);
+    collector.add("extract.transitions", fsm.transition_count() as u64);
     fsm
 }
 

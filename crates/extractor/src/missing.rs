@@ -34,7 +34,9 @@ impl MissingCases {
     pub fn suggestions(&self) -> Vec<String> {
         let mut out = Vec::new();
         for s in &self.unreached_states {
-            out.push(format!("add a case driving the implementation into state `{s}`"));
+            out.push(format!(
+                "add a case driving the implementation into state `{s}`"
+            ));
         }
         for m in &self.unexercised_messages {
             out.push(format!("add a case delivering `{m}` to the implementation"));
@@ -80,9 +82,9 @@ pub fn missing_test_cases(
             if !exercised.contains(*message) {
                 continue; // already reported as wholly unexercised
             }
-            let covered = fsm.outgoing(state).any(|t| {
-                t.condition.contains(&CondAtom::event(*message))
-            });
+            let covered = fsm
+                .outgoing(state)
+                .any(|t| t.condition.contains(&CondAtom::event(*message)));
             if !covered {
                 untested_combinations.push((state.as_str().to_string(), message.to_string()));
             }
@@ -117,7 +119,9 @@ mod tests {
         let cfg = ExtractorConfig::for_reference_ue();
         let gaps = missing_test_cases(&tiny_fsm(), &cfg, &["attach_accept", "paging"]);
         assert!(!gaps.is_complete());
-        assert!(gaps.unreached_states.contains(&"emm_tau_initiated".to_string()));
+        assert!(gaps
+            .unreached_states
+            .contains(&"emm_tau_initiated".to_string()));
         assert_eq!(gaps.unexercised_messages, vec!["paging".to_string()]);
     }
 

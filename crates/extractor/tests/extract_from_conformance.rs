@@ -17,7 +17,11 @@ fn extract_for(cfg: &UeConfig) -> Fsm {
 fn reference_extraction_covers_main_procedures() {
     let cfg = UeConfig::reference("001010000000001", 0x42);
     let fsm = extract_for(&cfg);
-    assert!(fsm.transition_count() >= 15, "got {}", fsm.transition_count());
+    assert!(
+        fsm.transition_count() >= 15,
+        "got {}",
+        fsm.transition_count()
+    );
     assert_eq!(fsm.initial().unwrap().as_str(), "emm_deregistered");
     for state in [
         "emm_deregistered",
@@ -29,7 +33,10 @@ fn reference_extraction_covers_main_procedures() {
         "emm_deregistered_attach_needed",
         "emm_tau_initiated",
     ] {
-        assert!(fsm.contains_state(&StateName::new(state)), "missing state {state}");
+        assert!(
+            fsm.contains_state(&StateName::new(state)),
+            "missing state {state}"
+        );
     }
     // The attach chain exists with the paper's predicate refinements.
     let attach_accept = fsm
@@ -40,7 +47,9 @@ fn reference_extraction_covers_main_procedures() {
                 && t.condition.contains(&CondAtom::event("attach_accept"))
         })
         .expect("attach_accept transition extracted");
-    assert!(attach_accept.condition.contains(&CondAtom::pred("mac_valid", "true")));
+    assert!(attach_accept
+        .condition
+        .contains(&CondAtom::pred("mac_valid", "true")));
 }
 
 #[test]
@@ -84,12 +93,18 @@ fn srs_model_shows_replay_acceptance_reference_does_not() {
     // re-processed (count_ok=true despite count_delta=stale) and answered.
     let srs_reprocess = srs.transitions().any(|t| {
         t.condition.contains(&CondAtom::event("attach_accept"))
-            && (t.condition.contains(&CondAtom::pred("count_delta", "stale"))
-                || t.condition.contains(&CondAtom::pred("count_delta", "equal")))
+            && (t
+                .condition
+                .contains(&CondAtom::pred("count_delta", "stale"))
+                || t.condition
+                    .contains(&CondAtom::pred("count_delta", "equal")))
             && t.condition.contains(&CondAtom::pred("count_ok", "true"))
             && t.action.iter().any(|a| a.as_str() == "attach_complete")
     });
-    assert!(srs_reprocess, "srsUE model re-answers a replayed attach_accept (I1)");
+    assert!(
+        srs_reprocess,
+        "srsUE model re-answers a replayed attach_accept (I1)"
+    );
 }
 
 #[test]
@@ -98,19 +113,31 @@ fn oai_model_shows_plaintext_acceptance() {
     let oai = extract_for(&oai_cfg);
     // I2: a forged plain guti_reallocation_command is *answered* by OAI.
     let answers_plain = oai.transitions().any(|t| {
-        t.condition.contains(&CondAtom::event("guti_reallocation_command"))
-            && t.action.iter().any(|a| a.as_str() == "guti_reallocation_complete")
+        t.condition
+            .contains(&CondAtom::event("guti_reallocation_command"))
+            && t.action
+                .iter()
+                .any(|a| a.as_str() == "guti_reallocation_complete")
             && !t.condition.contains(&CondAtom::pred("mac_valid", "true"))
     });
-    assert!(answers_plain, "OAI model answers plain protected-class messages (I2)");
+    assert!(
+        answers_plain,
+        "OAI model answers plain protected-class messages (I2)"
+    );
 
     let ref_fsm = extract_for(&UeConfig::reference("001010000000001", 0x42));
     let ref_answers_plain = ref_fsm.transitions().any(|t| {
-        t.condition.contains(&CondAtom::event("guti_reallocation_command"))
-            && t.action.iter().any(|a| a.as_str() == "guti_reallocation_complete")
+        t.condition
+            .contains(&CondAtom::event("guti_reallocation_command"))
+            && t.action
+                .iter()
+                .any(|a| a.as_str() == "guti_reallocation_complete")
             && !t.condition.contains(&CondAtom::pred("mac_valid", "true"))
     });
-    assert!(!ref_answers_plain, "reference only answers verified commands");
+    assert!(
+        !ref_answers_plain,
+        "reference only answers verified commands"
+    );
 }
 
 #[test]
@@ -118,7 +145,11 @@ fn mme_model_extracts_too() {
     let cfg = UeConfig::reference("001010000000001", 0x42);
     let report = run_suite(&cfg, &suites::full_suite(&cfg));
     let fsm = extract_fsm("mme", &report.mme_log, &ExtractorConfig::for_mme());
-    assert!(fsm.transition_count() >= 8, "got {}", fsm.transition_count());
+    assert!(
+        fsm.transition_count() >= 8,
+        "got {}",
+        fsm.transition_count()
+    );
     assert!(fsm.contains_state(&StateName::new("mme_registered")));
     assert!(fsm.is_deterministic());
 }

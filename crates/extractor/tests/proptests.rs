@@ -3,15 +3,24 @@
 //! tables — real conformance logs mix instrumentation output with
 //! framework chatter and peer-participant records) and determinism.
 
-use proptest::prelude::*;
 use procheck_extractor::{extract_fsm, ExtractorConfig};
 use procheck_instrument::record::{parse_log, render_log};
 use procheck_instrument::LogRecord;
+use proptest::prelude::*;
 
 /// A structurally well-formed random log: a sequence of handler blocks.
 fn arb_log() -> impl Strategy<Value = Vec<LogRecord>> {
-    let states = ["emm_deregistered", "emm_registered_initiated", "emm_registered"];
-    let messages = ["attach_accept", "emm_information", "paging", "identity_request"];
+    let states = [
+        "emm_deregistered",
+        "emm_registered_initiated",
+        "emm_registered",
+    ];
+    let messages = [
+        "attach_accept",
+        "emm_information",
+        "paging",
+        "identity_request",
+    ];
     let actions = ["attach_complete", "service_request", "identity_response"];
     let block = (
         0usize..messages.len(),
@@ -45,7 +54,8 @@ fn arb_noise() -> impl Strategy<Value = LogRecord> {
         "[a-z]{3,8}".prop_map(|n| LogRecord::exit(format!("check_{n}"))),
         ("[a-z]{3,8}", "[a-z0-9]{1,6}").prop_map(|(n, v)| LogRecord::global(format!("zz_{n}"), v)),
         ("[a-z]{3,8}", "[a-z0-9]{1,6}").prop_map(|(n, v)| LogRecord::local(format!("zz_{n}"), v)),
-        ("[a-z]{3,8}", "[a-z0-9]{1,6}").prop_map(|(n, v)| LogRecord::marker(format!("note_{n}"), v)),
+        ("[a-z]{3,8}", "[a-z0-9]{1,6}")
+            .prop_map(|(n, v)| LogRecord::marker(format!("note_{n}"), v)),
         "[a-z]{3,8}".prop_map(|n| LogRecord::enter(format!("mme_recv_{n}"))),
         "[a-z]{3,8}".prop_map(|n| LogRecord::global("mme_state", format!("mme_{n}"))),
     ]

@@ -73,7 +73,12 @@ pub fn diff(left: &Fsm, right: &Fsm) -> FsmDiff {
         .filter(|s| !right.contains_state(s))
         .map(|s| s.as_str().to_string())
         .collect();
-    FsmDiff { added, removed, added_states, removed_states }
+    FsmDiff {
+        added,
+        removed,
+        added_states,
+        removed_states,
+    }
 }
 
 #[cfg(test)]

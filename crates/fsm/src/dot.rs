@@ -55,8 +55,8 @@ pub fn to_dot(fsm: &Fsm) -> String {
     // Orphan states (registered but not on any transition) are emitted as
     // bare node lines so round-tripping preserves S exactly.
     for s in fsm.states() {
-        let on_edge = fsm.transitions().any(|t| &t.from == s || &t.to == s)
-            || fsm.initial() == Some(s);
+        let on_edge =
+            fsm.transitions().any(|t| &t.from == s || &t.to == s) || fsm.initial() == Some(s);
         if !on_edge {
             out.push_str(&format!("  {s};\n"));
         }
@@ -154,8 +154,11 @@ fn parse_header(line: &str) -> Option<String> {
     Some(rest.to_string())
 }
 
+/// Parsed `k="v"` attribute pairs of one edge.
+type EdgeAttrs = Vec<(String, String)>;
+
 /// Splits `"  target [k=\"v\", ...]"` into the target and parsed attributes.
-fn split_edge_target(rhs: &str) -> Result<(&str, Option<Vec<(String, String)>>), String> {
+fn split_edge_target(rhs: &str) -> Result<(&str, Option<EdgeAttrs>), String> {
     let rhs = rhs.trim();
     match rhs.find('[') {
         None => Ok((rhs, None)),
@@ -279,8 +282,7 @@ mod tests {
 
     #[test]
     fn multi_cond_multi_act() {
-        let text =
-            "digraph g {\n a -> b [cond=\"m & x=1 & y=0\", act=\"send_r, send_s\"];\n}\n";
+        let text = "digraph g {\n a -> b [cond=\"m & x=1 & y=0\", act=\"send_r, send_s\"];\n}\n";
         let f = from_dot(text).unwrap();
         let t = f.transitions().next().unwrap();
         assert_eq!(t.condition.len(), 3);

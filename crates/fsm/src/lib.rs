@@ -518,7 +518,10 @@ mod tests {
 
     #[test]
     fn state_names_normalised() {
-        assert_eq!(StateName::new("EMM_REGISTERED"), StateName::new("emm_registered"));
+        assert_eq!(
+            StateName::new("EMM_REGISTERED"),
+            StateName::new("emm_registered")
+        );
     }
 
     #[test]
@@ -584,7 +587,10 @@ mod tests {
     fn null_action_fills_empty() {
         let t = Transition::build("a", "b").when("x").or_null_action();
         assert!(t.action.iter().any(|a| a.is_null()));
-        let t2 = Transition::build("a", "b").when("x").then("send_y").or_null_action();
+        let t2 = Transition::build("a", "b")
+            .when("x")
+            .then("send_y")
+            .or_null_action();
         assert!(!t2.action.iter().any(|a| a.is_null()));
     }
 

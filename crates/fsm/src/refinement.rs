@@ -217,7 +217,7 @@ fn map_transition(
             // Prefer the tightest refinement (fewest extra atoms).
             let better = best_condition_refined
                 .as_ref()
-                .map_or(true, |prev| extra.len() < prev.len());
+                .is_none_or(|prev| extra.len() < prev.len());
             if better {
                 best_condition_refined = Some(extra);
             }
@@ -418,7 +418,11 @@ mod tests {
     #[test]
     fn substate_mapping() {
         let mut abstract_ = Fsm::new("a");
-        abstract_.add_transition(Transition::build("reg", "dereg").when("detach_request").then("detach_accept"));
+        abstract_.add_transition(
+            Transition::build("reg", "dereg")
+                .when("detach_request")
+                .then("detach_accept"),
+        );
         let mut refined = Fsm::new("b");
         refined.add_transition(
             Transition::build("reg_normal_service", "dereg_normal")

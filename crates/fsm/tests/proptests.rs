@@ -1,9 +1,9 @@
 //! Property-based tests for the FSM model: DOT round-trips for arbitrary
 //! machines, refinement laws, and merge algebra.
 
-use proptest::prelude::*;
 use procheck_fsm::refinement::{check_refinement, StateMapping};
 use procheck_fsm::{dot, Fsm, Transition};
+use proptest::prelude::*;
 
 fn arb_fsm() -> impl Strategy<Value = Fsm> {
     let state = "[a-f]";
@@ -12,7 +12,12 @@ fn arb_fsm() -> impl Strategy<Value = Fsm> {
         ("[x-z]", "[01]").prop_map(|(n, v)| format!("{n}={v}")),
     ];
     let action = "[q-s]";
-    let transition = (state, state, proptest::collection::btree_set(cond, 1..3), action)
+    let transition = (
+        state,
+        state,
+        proptest::collection::btree_set(cond, 1..3),
+        action,
+    )
         .prop_map(|(from, to, conds, act)| {
             let mut t = Transition::build(from.as_str(), to.as_str()).then(act.as_str());
             for c in conds {

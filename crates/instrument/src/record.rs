@@ -72,17 +72,26 @@ impl LogRecord {
 
     /// Convenience constructor for [`LogRecord::GlobalVar`].
     pub fn global(name: impl Into<String>, value: impl Into<String>) -> Self {
-        LogRecord::GlobalVar { name: name.into(), value: value.into() }
+        LogRecord::GlobalVar {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor for [`LogRecord::LocalVar`].
     pub fn local(name: impl Into<String>, value: impl Into<String>) -> Self {
-        LogRecord::LocalVar { name: name.into(), value: value.into() }
+        LogRecord::LocalVar {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 
     /// Convenience constructor for [`LogRecord::Marker`].
     pub fn marker(name: impl Into<String>, value: impl Into<String>) -> Self {
-        LogRecord::Marker { name: name.into(), value: value.into() }
+        LogRecord::Marker {
+            name: name.into(),
+            value: value.into(),
+        }
     }
 
     /// The function name, for enter/exit records.
@@ -219,7 +228,10 @@ random stderr noise
     #[test]
     fn whitespace_tolerated() {
         let text = "   [pc]  global   emm_state = EMM_NULL  ";
-        assert_eq!(parse_log(text), vec![LogRecord::global("emm_state", "EMM_NULL")]);
+        assert_eq!(
+            parse_log(text),
+            vec![LogRecord::global("emm_state", "EMM_NULL")]
+        );
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub fn extract_globals_from_header(header: &str) -> Vec<String> {
 
 fn is_identifier(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -296,7 +298,10 @@ mod tests {
 
     #[test]
     fn harvests_globals_from_header() {
-        assert_eq!(extract_globals_from_header(FIG3_HEADER), vec!["emm_state", "guti"]);
+        assert_eq!(
+            extract_globals_from_header(FIG3_HEADER),
+            vec!["emm_state", "guti"]
+        );
     }
 
     #[test]
@@ -322,7 +327,11 @@ struct ctx {
         let result = instrument_source(FIG3_SOURCE, &opts);
         assert_eq!(
             result.functions,
-            vec!["air_msg_handler", "recv_attach_accept", "send_attach_complete"]
+            vec![
+                "air_msg_handler",
+                "recv_attach_accept",
+                "send_attach_complete"
+            ]
         );
         // Every function gets an enter marker...
         for f in &result.functions {

@@ -1,8 +1,8 @@
 //! Property-based tests for the log format and the C-like instrumentor.
 
-use proptest::prelude::*;
 use procheck_instrument::record::{parse_log, render_log, LogRecord};
 use procheck_instrument::source::{instrument_source, InstrumentOptions};
+use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = LogRecord> {
     let ident = "[a-z_][a-z0-9_]{0,12}";

@@ -65,7 +65,12 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_be_bytes([self.u8()?, self.u8()?, self.u8()?, self.u8()?]))
+        Ok(u32::from_be_bytes([
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+            self.u8()?,
+        ]))
     }
 
     fn u64(&mut self) -> Result<u64, CodecError> {
@@ -162,7 +167,10 @@ const MT_PAGING: u8 = 0x62;
 pub fn encode_message(msg: &NasMessage) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
     match msg {
-        NasMessage::AttachRequest { identity, ue_net_caps } => {
+        NasMessage::AttachRequest {
+            identity,
+            ue_net_caps,
+        } => {
             out.push(MT_ATTACH_REQUEST);
             put_identity(&mut out, identity);
             put_u16(&mut out, *ue_net_caps);
@@ -201,7 +209,11 @@ pub fn encode_message(msg: &NasMessage) -> Vec<u8> {
                 }
             }
         }
-        NasMessage::SecurityModeCommand { eia, eea, replayed_ue_caps } => {
+        NasMessage::SecurityModeCommand {
+            eia,
+            eea,
+            replayed_ue_caps,
+        } => {
             out.push(MT_SMC);
             out.push(eia.code());
             out.push(eea.code());
@@ -322,7 +334,9 @@ pub fn decode_message(data: &[u8]) -> Result<NasMessage, CodecError> {
             },
         },
         MT_DETACH_ACCEPT => NasMessage::DetachAccept,
-        MT_GUTI_REALLOC_COMMAND => NasMessage::GutiReallocationCommand { guti: Guti(r.u32()?) },
+        MT_GUTI_REALLOC_COMMAND => NasMessage::GutiReallocationCommand {
+            guti: Guti(r.u32()?),
+        },
         MT_GUTI_REALLOC_COMPLETE => NasMessage::GutiReallocationComplete,
         MT_TAU_REQUEST => NasMessage::TrackingAreaUpdateRequest,
         MT_TAU_ACCEPT => NasMessage::TrackingAreaUpdateAccept,
@@ -436,7 +450,12 @@ impl Pdu {
             (0, 0)
         };
         let body = r.bytes(data.len() - r.pos)?.to_vec();
-        Ok(Pdu { header, mac, count, body })
+        Ok(Pdu {
+            header,
+            mac,
+            count,
+            body,
+        })
     }
 }
 
@@ -456,17 +475,28 @@ mod tests {
                 identity: MobileIdentity::Guti(Guti(0x1234)),
                 ue_net_caps: 0,
             },
-            NasMessage::IdentityRequest { id_type: IdentityType::Imsi },
-            NasMessage::IdentityRequest { id_type: IdentityType::Imei },
+            NasMessage::IdentityRequest {
+                id_type: IdentityType::Imsi,
+            },
+            NasMessage::IdentityRequest {
+                id_type: IdentityType::Imei,
+            },
             NasMessage::IdentityResponse {
                 identity: MobileIdentity::Imsi(Imsi::new("12345")),
             },
-            NasMessage::AuthenticationRequest { rand: 7, autn: build_autn(k, 0x20, 7) },
+            NasMessage::AuthenticationRequest {
+                rand: 7,
+                autn: build_autn(k, 0x20, 7),
+            },
             NasMessage::AuthenticationResponse { res: 0xdead },
             NasMessage::AuthenticationReject,
-            NasMessage::AuthenticationFailure { cause: AuthFailureCause::MacFailure },
             NasMessage::AuthenticationFailure {
-                cause: AuthFailureCause::SyncFailure { auts: build_auts(k, 0x40, 7) },
+                cause: AuthFailureCause::MacFailure,
+            },
+            NasMessage::AuthenticationFailure {
+                cause: AuthFailureCause::SyncFailure {
+                    auts: build_auts(k, 0x40, 7),
+                },
             },
             NasMessage::SecurityModeCommand {
                 eia: EiaAlg::Eia2,
@@ -474,10 +504,17 @@ mod tests {
                 replayed_ue_caps: 0x00ff,
             },
             NasMessage::SecurityModeComplete,
-            NasMessage::SecurityModeReject { cause: EmmCause::SecurityModeRejected },
-            NasMessage::AttachAccept { guti: Guti(9), tau_timer: 54 },
+            NasMessage::SecurityModeReject {
+                cause: EmmCause::SecurityModeRejected,
+            },
+            NasMessage::AttachAccept {
+                guti: Guti(9),
+                tau_timer: 54,
+            },
             NasMessage::AttachComplete,
-            NasMessage::AttachReject { cause: EmmCause::IllegalUe },
+            NasMessage::AttachReject {
+                cause: EmmCause::IllegalUe,
+            },
             NasMessage::DetachRequest { switch_off: true },
             NasMessage::DetachRequest { switch_off: false },
             NasMessage::DetachAccept,
@@ -485,10 +522,16 @@ mod tests {
             NasMessage::GutiReallocationComplete,
             NasMessage::TrackingAreaUpdateRequest,
             NasMessage::TrackingAreaUpdateAccept,
-            NasMessage::TrackingAreaUpdateReject { cause: EmmCause::TrackingAreaNotAllowed },
+            NasMessage::TrackingAreaUpdateReject {
+                cause: EmmCause::TrackingAreaNotAllowed,
+            },
             NasMessage::ServiceRequest,
-            NasMessage::ServiceReject { cause: EmmCause::Congestion },
-            NasMessage::Paging { identity: MobileIdentity::Guti(Guti(5)) },
+            NasMessage::ServiceReject {
+                cause: EmmCause::Congestion,
+            },
+            NasMessage::Paging {
+                identity: MobileIdentity::Guti(Guti(5)),
+            },
             NasMessage::Paging {
                 identity: MobileIdentity::Imsi(Imsi::new("999")),
             },
@@ -512,7 +555,11 @@ mod tests {
             let bytes = encode_message(&msg);
             for cut in 0..bytes.len() {
                 let r = decode_message(&bytes[..cut]);
-                assert!(r.is_err(), "truncated {} at {cut} decoded", msg.message_name());
+                assert!(
+                    r.is_err(),
+                    "truncated {} at {cut} decoded",
+                    msg.message_name()
+                );
             }
         }
     }
@@ -521,12 +568,18 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = encode_message(&NasMessage::AttachComplete);
         bytes.push(0xff);
-        assert_eq!(decode_message(&bytes), Err(CodecError::InvalidField("trailing bytes")));
+        assert_eq!(
+            decode_message(&bytes),
+            Err(CodecError::InvalidField("trailing bytes"))
+        );
     }
 
     #[test]
     fn unknown_message_type_rejected() {
-        assert_eq!(decode_message(&[0xee]), Err(CodecError::UnknownMessageType(0xee)));
+        assert_eq!(
+            decode_message(&[0xee]),
+            Err(CodecError::UnknownMessageType(0xee))
+        );
     }
 
     #[test]
@@ -552,7 +605,10 @@ mod tests {
 
     #[test]
     fn unknown_security_header_rejected() {
-        assert_eq!(Pdu::decode(&[0x7]), Err(CodecError::UnknownSecurityHeader(0x7)));
+        assert_eq!(
+            Pdu::decode(&[0x7]),
+            Err(CodecError::UnknownSecurityHeader(0x7))
+        );
     }
 
     #[test]
@@ -564,7 +620,10 @@ mod tests {
     fn invalid_imsi_digits_rejected() {
         // Hand-craft an identity with a letter in the IMSI.
         let bytes = vec![MT_IDENTITY_RESPONSE, 0x01, 2, b'1', b'a'];
-        assert_eq!(decode_message(&bytes), Err(CodecError::InvalidField("imsi")));
+        assert_eq!(
+            decode_message(&bytes),
+            Err(CodecError::InvalidField("imsi"))
+        );
     }
 
     #[test]

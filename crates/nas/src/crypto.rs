@@ -70,7 +70,8 @@ pub fn kdf(key: Key, label: &str, context: u64) -> Key {
 /// Generates a keystream block for NAS ciphering (the EEA role): the
 /// stream depends on the key, the NAS COUNT and the direction — as in LTE.
 fn keystream_byte(key: Key, count: u32, direction: u8, index: usize) -> u8 {
-    let word = mix64(key.0 ^ ((count as u64) << 8) ^ (direction as u64) ^ ((index as u64 / 8) << 40));
+    let word =
+        mix64(key.0 ^ ((count as u64) << 8) ^ (direction as u64) ^ ((index as u64 / 8) << 40));
     word.to_le_bytes()[index % 8]
 }
 
@@ -92,7 +93,15 @@ pub const DIR_DOWNLINK: u8 = 1;
 
 /// `f1`: network authentication MAC over `(SQN, RAND, AMF)`.
 pub fn f1(k: Key, sqn: u64, rand: u64, amf: u16) -> u64 {
-    keyed_hash(k, &[sqn.to_le_bytes(), rand.to_le_bytes(), (amf as u64).to_le_bytes()].concat())
+    keyed_hash(
+        k,
+        &[
+            sqn.to_le_bytes(),
+            rand.to_le_bytes(),
+            (amf as u64).to_le_bytes(),
+        ]
+        .concat(),
+    )
 }
 
 /// `f2`: expected response `RES` to challenge `RAND`.
@@ -263,7 +272,12 @@ mod tests {
     #[test]
     fn f_functions_are_distinct() {
         let rand = 99;
-        let outs = [f2(K, rand), f3(K, rand).material(), f4(K, rand).material(), f5(K, rand)];
+        let outs = [
+            f2(K, rand),
+            f3(K, rand).material(),
+            f4(K, rand).material(),
+            f5(K, rand),
+        ];
         for i in 0..outs.len() {
             for j in i + 1..outs.len() {
                 assert_ne!(outs[i], outs[j], "f outputs {i} and {j} collide");

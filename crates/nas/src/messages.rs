@@ -289,7 +289,10 @@ mod tests {
             autn: crate::crypto::build_autn(Key::new(1), 1, 1),
         };
         assert_eq!(m.message_name(), "authentication_request");
-        assert_eq!(NasMessage::SecurityModeComplete.message_name(), "security_mode_complete");
+        assert_eq!(
+            NasMessage::SecurityModeComplete.message_name(),
+            "security_mode_complete"
+        );
     }
 
     #[test]
@@ -299,7 +302,10 @@ mod tests {
             ue_net_caps: 0,
         };
         assert!(up.is_uplink());
-        let down = NasMessage::AttachAccept { guti: Guti(1), tau_timer: 1 };
+        let down = NasMessage::AttachAccept {
+            guti: Guti(1),
+            tau_timer: 1,
+        };
         assert!(!down.is_uplink());
     }
 
@@ -321,9 +327,15 @@ mod tests {
 
     #[test]
     fn reject_classification() {
-        assert!(NasMessage::AttachReject { cause: EmmCause::IllegalUe }.is_reject());
+        assert!(NasMessage::AttachReject {
+            cause: EmmCause::IllegalUe
+        }
+        .is_reject());
         assert!(NasMessage::AuthenticationReject.is_reject());
-        assert!(!NasMessage::SecurityModeReject { cause: EmmCause::SecurityModeRejected }.is_reject());
+        assert!(!NasMessage::SecurityModeReject {
+            cause: EmmCause::SecurityModeRejected
+        }
+        .is_reject());
         assert!(!NasMessage::DetachAccept.is_reject());
     }
 

@@ -175,7 +175,12 @@ impl SecurityContext {
             SecurityHeader::IntegrityProtectedCiphered
         };
         let mac = self.compute_mac(count, direction, &body);
-        Pdu { header, mac, count, body }
+        Pdu {
+            header,
+            mac,
+            count,
+            body,
+        }
     }
 
     /// Protects a message with integrity only — the body stays plaintext.
@@ -256,14 +261,20 @@ mod tests {
         let ctx = ctx();
         let mut pdu = ctx.protect(&NasMessage::EmmInformation, 5, DIR_DOWNLINK);
         pdu.body[0] ^= 1;
-        assert_eq!(ctx.verify_and_open(&pdu, DIR_DOWNLINK), Err(ProtectError::BadMac));
+        assert_eq!(
+            ctx.verify_and_open(&pdu, DIR_DOWNLINK),
+            Err(ProtectError::BadMac)
+        );
     }
 
     #[test]
     fn wrong_direction_fails_mac() {
         let ctx = ctx();
         let pdu = ctx.protect(&NasMessage::EmmInformation, 5, DIR_DOWNLINK);
-        assert_eq!(ctx.verify_and_open(&pdu, DIR_UPLINK), Err(ProtectError::BadMac));
+        assert_eq!(
+            ctx.verify_and_open(&pdu, DIR_UPLINK),
+            Err(ProtectError::BadMac)
+        );
     }
 
     #[test]
@@ -271,7 +282,10 @@ mod tests {
         let ctx = ctx();
         let mut pdu = ctx.protect(&NasMessage::EmmInformation, 5, DIR_DOWNLINK);
         pdu.count = 6;
-        assert_eq!(ctx.verify_and_open(&pdu, DIR_DOWNLINK), Err(ProtectError::BadMac));
+        assert_eq!(
+            ctx.verify_and_open(&pdu, DIR_DOWNLINK),
+            Err(ProtectError::BadMac)
+        );
     }
 
     #[test]
@@ -279,7 +293,10 @@ mod tests {
         let a = ctx();
         let b = SecurityContext::new(Key::new(0xdecaf), EiaAlg::Eia2, EeaAlg::Eea1);
         let pdu = a.protect(&NasMessage::EmmInformation, 1, DIR_DOWNLINK);
-        assert_eq!(b.verify_and_open(&pdu, DIR_DOWNLINK), Err(ProtectError::BadMac));
+        assert_eq!(
+            b.verify_and_open(&pdu, DIR_DOWNLINK),
+            Err(ProtectError::BadMac)
+        );
     }
 
     #[test]

@@ -100,7 +100,11 @@ impl SqnGenerator {
     /// Creates a generator starting at `SEQ = 0`, `IND = 0` (the first
     /// generated value is `SEQ = 1, IND = 1`).
     pub fn new(cfg: SqnConfig) -> Self {
-        SqnGenerator { cfg, seq: 0, ind: 0 }
+        SqnGenerator {
+            cfg,
+            seq: 0,
+            ind: 0,
+        }
     }
 
     /// Generates the next fresh SQN.
@@ -196,7 +200,9 @@ impl SqnArray {
             }
             SqnVerdict::Accepted
         } else {
-            SqnVerdict::SyncFailure { sqn_ms: self.sqn_ms() }
+            SqnVerdict::SyncFailure {
+                sqn_ms: self.sqn_ms(),
+            }
         }
     }
 
@@ -228,7 +234,10 @@ mod tests {
 
     #[test]
     fn ind_wraps_modulo_array_len() {
-        let cfg = SqnConfig { ind_bits: 2, freshness_limit: None };
+        let cfg = SqnConfig {
+            ind_bits: 2,
+            freshness_limit: None,
+        };
         let mut g = SqnGenerator::new(cfg);
         let mut last_ind = 0;
         for _ in 0..8 {
@@ -255,7 +264,10 @@ mod tests {
         let mut arr = SqnArray::new(cfg);
         let sqn = g.next_sqn();
         assert_eq!(arr.check_and_accept(sqn), SqnVerdict::Accepted);
-        assert!(matches!(arr.check_and_accept(sqn), SqnVerdict::SyncFailure { .. }));
+        assert!(matches!(
+            arr.check_and_accept(sqn),
+            SqnVerdict::SyncFailure { .. }
+        ));
     }
 
     /// The P1 scenario: capture challenge j, let later challenges through,
@@ -292,20 +304,29 @@ mod tests {
         for _ in 0..cfg.array_len() {
             arr.check_and_accept(g.next_sqn());
         }
-        assert!(matches!(arr.check_and_accept(captured), SqnVerdict::SyncFailure { .. }));
+        assert!(matches!(
+            arr.check_and_accept(captured),
+            SqnVerdict::SyncFailure { .. }
+        ));
     }
 
     /// Annex C 2.2: configuring the optional freshness limit L closes P1.
     #[test]
     fn freshness_limit_closes_p1() {
-        let cfg = SqnConfig { ind_bits: 5, freshness_limit: Some(4) };
+        let cfg = SqnConfig {
+            ind_bits: 5,
+            freshness_limit: Some(4),
+        };
         let mut g = SqnGenerator::new(cfg);
         let mut arr = SqnArray::new(cfg);
         let captured = g.next_sqn();
         for _ in 0..10 {
             arr.check_and_accept(g.next_sqn());
         }
-        assert!(matches!(arr.check_and_accept(captured), SqnVerdict::SyncFailure { .. }));
+        assert!(matches!(
+            arr.check_and_accept(captured),
+            SqnVerdict::SyncFailure { .. }
+        ));
     }
 
     /// The paper's quantitative claim: with 5 IND bits the USIM accepts up

@@ -112,7 +112,11 @@ mod tests {
     fn setup() -> (Usim, SqnGenerator, Key) {
         let k = Key::new(0xfeed_face_dead_beef);
         let cfg = SqnConfig::default();
-        (Usim::new("001010000000001", k, cfg), SqnGenerator::new(cfg), k)
+        (
+            Usim::new("001010000000001", k, cfg),
+            SqnGenerator::new(cfg),
+            k,
+        )
     }
 
     #[test]
@@ -131,7 +135,10 @@ mod tests {
         let (mut usim, mut gen, _) = setup();
         let attacker_key = Key::new(0x1111);
         let autn = crypto::build_autn(attacker_key, gen.next_sqn(), 9);
-        assert_eq!(usim.process_authentication(9, &autn), AkaOutcome::MacFailure);
+        assert_eq!(
+            usim.process_authentication(9, &autn),
+            AkaOutcome::MacFailure
+        );
     }
 
     #[test]
@@ -139,7 +146,10 @@ mod tests {
         let (mut usim, mut gen, k) = setup();
         let rand = 5;
         let autn = crypto::build_autn(k, gen.next_sqn(), rand);
-        assert!(matches!(usim.process_authentication(rand, &autn), AkaOutcome::Success { .. }));
+        assert!(matches!(
+            usim.process_authentication(rand, &autn),
+            AkaOutcome::Success { .. }
+        ));
         // Immediate replay of the same challenge: same SQN, same index.
         match usim.process_authentication(rand, &autn) {
             AkaOutcome::SyncFailure { auts } => {
@@ -166,7 +176,10 @@ mod tests {
         // Warm-up: the victim accepts a few challenges.
         for r in 0..3u64 {
             let autn = crypto::build_autn(k_victim, gen.next_sqn(), r);
-            assert!(matches!(victim.process_authentication(r, &autn), AkaOutcome::Success { .. }));
+            assert!(matches!(
+                victim.process_authentication(r, &autn),
+                AkaOutcome::Success { .. }
+            ));
         }
         // Attacker captures a challenge destined for the victim and drops it.
         let rand = 99;
@@ -179,7 +192,10 @@ mod tests {
         // Later, the attacker replays the captured challenge to everyone.
         let v = victim.process_authentication(rand, &captured);
         let o = other.process_authentication(rand, &captured);
-        assert!(matches!(v, AkaOutcome::Success { .. }), "victim accepts the stale challenge");
+        assert!(
+            matches!(v, AkaOutcome::Success { .. }),
+            "victim accepts the stale challenge"
+        );
         assert_eq!(o, AkaOutcome::MacFailure, "bystanders fail the MAC check");
     }
 
@@ -193,11 +209,16 @@ mod tests {
         // Drop `stale`; network proceeds with a fresh challenge the UE accepts.
         let fresh_rand = 2;
         let fresh = crypto::build_autn(k, gen.next_sqn(), fresh_rand);
-        let AkaOutcome::Success { kasme: current, .. } = usim.process_authentication(fresh_rand, &fresh) else {
+        let AkaOutcome::Success { kasme: current, .. } =
+            usim.process_authentication(fresh_rand, &fresh)
+        else {
             panic!("fresh challenge must succeed");
         };
         // Attacker replays the stale challenge: accepted, new keys derived.
-        let AkaOutcome::Success { kasme: reinstalled, .. } = usim.process_authentication(stale_rand, &stale) else {
+        let AkaOutcome::Success {
+            kasme: reinstalled, ..
+        } = usim.process_authentication(stale_rand, &stale)
+        else {
             panic!("stale challenge accepted (P1)");
         };
         assert_ne!(current, reinstalled, "session keys desynchronised");

@@ -37,7 +37,10 @@ fn integrity_only_still_authenticated() {
     let c = ctx();
     let mut pdu = c.protect_integrity_only(&NasMessage::EmmInformation, 5, DIR_DOWNLINK);
     pdu.body[0] ^= 0x01;
-    assert_eq!(c.verify_and_open(&pdu, DIR_DOWNLINK), Err(ProtectError::BadMac));
+    assert_eq!(
+        c.verify_and_open(&pdu, DIR_DOWNLINK),
+        Err(ProtectError::BadMac)
+    );
 }
 
 #[test]

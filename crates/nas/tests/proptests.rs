@@ -2,13 +2,13 @@
 //! arbitrary messages, the SQN array against a brute-force oracle, and
 //! cipher/MAC algebra over arbitrary data.
 
-use proptest::prelude::*;
 use procheck_nas::codec::{self, Pdu, SecurityHeader};
 use procheck_nas::crypto::{self, Key};
 use procheck_nas::ids::{Guti, Imsi, MobileIdentity};
 use procheck_nas::messages::{AuthFailureCause, EmmCause, IdentityType, NasMessage};
 use procheck_nas::security::{EeaAlg, EiaAlg, SecurityContext};
 use procheck_nas::sqn::{Sqn, SqnArray, SqnConfig, SqnVerdict};
+use proptest::prelude::*;
 
 fn arb_identity() -> impl Strategy<Value = MobileIdentity> {
     prop_oneof![
@@ -30,23 +30,43 @@ fn arb_cause() -> impl Strategy<Value = EmmCause> {
 
 fn arb_message() -> impl Strategy<Value = NasMessage> {
     prop_oneof![
-        (arb_identity(), any::<u16>())
-            .prop_map(|(identity, ue_net_caps)| NasMessage::AttachRequest { identity, ue_net_caps }),
+        (arb_identity(), any::<u16>()).prop_map(|(identity, ue_net_caps)| {
+            NasMessage::AttachRequest {
+                identity,
+                ue_net_caps,
+            }
+        }),
         prop_oneof![Just(IdentityType::Imsi), Just(IdentityType::Imei)]
             .prop_map(|id_type| NasMessage::IdentityRequest { id_type }),
         arb_identity().prop_map(|identity| NasMessage::IdentityResponse { identity }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u16>(), any::<u64>()).prop_map(
-            |(rand, sqn_xor_ak, mac, amf, _)| NasMessage::AuthenticationRequest {
-                rand,
-                autn: crypto::Autn { sqn_xor_ak, amf, mac },
-            }
-        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u16>(),
+            any::<u64>()
+        )
+            .prop_map(|(rand, sqn_xor_ak, mac, amf, _)| {
+                NasMessage::AuthenticationRequest {
+                    rand,
+                    autn: crypto::Autn {
+                        sqn_xor_ak,
+                        amf,
+                        mac,
+                    },
+                }
+            }),
         any::<u64>().prop_map(|res| NasMessage::AuthenticationResponse { res }),
         Just(NasMessage::AuthenticationReject),
-        Just(NasMessage::AuthenticationFailure { cause: AuthFailureCause::MacFailure }),
+        Just(NasMessage::AuthenticationFailure {
+            cause: AuthFailureCause::MacFailure
+        }),
         (any::<u64>(), any::<u64>()).prop_map(|(s, m)| NasMessage::AuthenticationFailure {
             cause: AuthFailureCause::SyncFailure {
-                auts: crypto::Auts { sqn_ms_xor_ak: s, mac_s: m },
+                auts: crypto::Auts {
+                    sqn_ms_xor_ak: s,
+                    mac_s: m
+                },
             },
         }),
         (0u8..3, 0u8..3, any::<u16>()).prop_map(|(i, e, caps)| NasMessage::SecurityModeCommand {
@@ -56,8 +76,10 @@ fn arb_message() -> impl Strategy<Value = NasMessage> {
         }),
         Just(NasMessage::SecurityModeComplete),
         arb_cause().prop_map(|cause| NasMessage::SecurityModeReject { cause }),
-        (any::<u32>(), any::<u16>())
-            .prop_map(|(g, t)| NasMessage::AttachAccept { guti: Guti(g), tau_timer: t }),
+        (any::<u32>(), any::<u16>()).prop_map(|(g, t)| NasMessage::AttachAccept {
+            guti: Guti(g),
+            tau_timer: t
+        }),
         Just(NasMessage::AttachComplete),
         arb_cause().prop_map(|cause| NasMessage::AttachReject { cause }),
         any::<bool>().prop_map(|switch_off| NasMessage::DetachRequest { switch_off }),

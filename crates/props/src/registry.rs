@@ -127,8 +127,10 @@ pub fn registry() -> Vec<NasProperty> {
 /// The 14 properties shared with LTEInspector's hand-built model
 /// (Table II), in index order.
 pub fn common_properties() -> Vec<NasProperty> {
-    let mut common: Vec<NasProperty> =
-        registry().into_iter().filter(|p| p.table2_index.is_some()).collect();
+    let mut common: Vec<NasProperty> = registry()
+        .into_iter()
+        .filter(|p| p.table2_index.is_some())
+        .collect();
     common.sort_by_key(|p| p.table2_index);
     common
 }
@@ -236,7 +238,10 @@ fn security_properties() -> Vec<NasProperty> {
             description: "For a given NAS security context, a given NAS COUNT value shall be \
                           accepted at most one time (TS 24.301).",
             category: Category::Security,
-            check: Check::Model(Property::invariant("s06", eq("mon_replay_accepted", "none"))),
+            check: Check::Model(Property::invariant(
+                "s06",
+                eq("mon_replay_accepted", "none"),
+            )),
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I1"),
@@ -258,7 +263,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I2"),
-            slice: SliceSpec { monitor_plain: true, ..sl() },
+            slice: SliceSpec {
+                monitor_plain: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S08",
@@ -272,7 +280,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I2"),
-            slice: SliceSpec { monitor_plain: true, ..sl() },
+            slice: SliceSpec {
+                monitor_plain: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S09",
@@ -287,7 +298,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I2"),
-            slice: SliceSpec { monitor_plain: true, ..sl() },
+            slice: SliceSpec {
+                monitor_plain: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S10",
@@ -301,7 +315,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I2"),
-            slice: SliceSpec { monitor_plain: true, ..sl() },
+            slice: SliceSpec {
+                monitor_plain: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S11",
@@ -315,7 +332,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I2"),
-            slice: SliceSpec { monitor_plain: true, ..sl() },
+            slice: SliceSpec {
+                monitor_plain: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S12",
@@ -327,7 +347,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I2"),
-            slice: SliceSpec { monitor_plain: true, ..sl() },
+            slice: SliceSpec {
+                monitor_plain: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S13",
@@ -375,7 +398,11 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: Some(2),
             related_attack: Some("I4"),
-            slice: SliceSpec { replayable: vec!["attach_accept"], ue_last: true, ..sl() },
+            slice: SliceSpec {
+                replayable: vec!["attach_accept"],
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S16",
@@ -391,7 +418,11 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: Some(3),
             related_attack: Some("I4"),
-            slice: SliceSpec { replayable: vec!["attach_accept"], ue_last: true, ..sl() },
+            slice: SliceSpec {
+                replayable: vec!["attach_accept"],
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S17",
@@ -438,7 +469,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: Some(5),
             related_attack: Some("P3"),
-            slice: SliceSpec { mme_last: true, ..sl() },
+            slice: SliceSpec {
+                mme_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S20",
@@ -454,7 +488,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("P3"),
-            slice: SliceSpec { mme_last: true, ..sl() },
+            slice: SliceSpec {
+                mme_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S21",
@@ -471,7 +508,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: Some(6),
             related_attack: Some("prior:numb-attack"),
-            slice: SliceSpec { ue_last: true, ..sl() },
+            slice: SliceSpec {
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S22",
@@ -488,7 +528,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: Some(7),
             related_attack: Some("prior:downgrade-tau-reject"),
-            slice: SliceSpec { ue_last: true, ..sl() },
+            slice: SliceSpec {
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S23",
@@ -505,7 +548,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("prior:service-denial"),
-            slice: SliceSpec { ue_last: true, ..sl() },
+            slice: SliceSpec {
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S24",
@@ -522,7 +568,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: Some(8),
             related_attack: Some("prior:stealthy-kicking-off"),
-            slice: SliceSpec { ue_last: true, ..sl() },
+            slice: SliceSpec {
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S25",
@@ -537,7 +586,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I2"),
-            slice: SliceSpec { monitor_plain: true, ..sl() },
+            slice: SliceSpec {
+                monitor_plain: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S26",
@@ -552,7 +604,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: None,
-            slice: SliceSpec { replayable: vec!["authentication_request"], ..sl() },
+            slice: SliceSpec {
+                replayable: vec!["authentication_request"],
+                ..sl()
+            },
         },
         NasProperty {
             id: "S27",
@@ -568,7 +623,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: None,
-            slice: SliceSpec { mme_last: true, ..sl() },
+            slice: SliceSpec {
+                mme_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S28",
@@ -601,7 +659,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: Some(10),
             related_attack: Some("prior:paging-hijacking"),
-            slice: SliceSpec { ue_last: true, ..sl() },
+            slice: SliceSpec {
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S30",
@@ -704,7 +765,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("prior:numb-attack"),
-            slice: SliceSpec { ue_last: true, ..sl() },
+            slice: SliceSpec {
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S36",
@@ -720,7 +784,10 @@ fn security_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: None,
-            slice: SliceSpec { mme_last: true, ..sl() },
+            slice: SliceSpec {
+                mme_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "S37",
@@ -758,7 +825,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I5"),
-            slice: SliceSpec { monitor_imsi: true, ..sl() },
+            slice: SliceSpec {
+                monitor_imsi: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR02",
@@ -773,7 +843,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("prior:imsi-paging-linkability"),
-            slice: SliceSpec { monitor_imsi: true, ..sl() },
+            slice: SliceSpec {
+                monitor_imsi: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR03",
@@ -789,7 +862,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("prior:imsi-catcher"),
-            slice: SliceSpec { monitor_imsi: true, ..sl() },
+            slice: SliceSpec {
+                monitor_imsi: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR04",
@@ -805,7 +881,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("P3"),
-            slice: SliceSpec { mme_last: true, ..sl() },
+            slice: SliceSpec {
+                mme_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR05",
@@ -821,7 +900,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("P3"),
-            slice: SliceSpec { mme_last: true, ..sl() },
+            slice: SliceSpec {
+                mme_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR06",
@@ -848,7 +930,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::DistinguishableByDesign,
             table2_index: None,
             related_attack: Some("P2"),
-            slice: SliceSpec { replayable: vec!["authentication_request"], ..sl() },
+            slice: SliceSpec {
+                replayable: vec!["authentication_request"],
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR08",
@@ -882,7 +967,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::Equivalent,
             table2_index: None,
             related_attack: Some("I6"),
-            slice: SliceSpec { replayable: vec!["security_mode_command"], ..sl() },
+            slice: SliceSpec {
+                replayable: vec!["security_mode_command"],
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR11",
@@ -930,7 +1018,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::Equivalent,
             table2_index: None,
             related_attack: Some("I1"),
-            slice: SliceSpec { replayable: vec!["attach_accept"], ..sl() },
+            slice: SliceSpec {
+                replayable: vec!["attach_accept"],
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR15",
@@ -938,11 +1029,17 @@ fn privacy_properties() -> Vec<NasProperty> {
             description: "Audit: an attach inevitably exposes identity material before \
                           security activation; quantifies the exposure window.",
             category: Category::Privacy,
-            check: Check::Model(Property::invariant("pr15", eq("mon_imsi_disclosed", "none"))),
+            check: Check::Model(Property::invariant(
+                "pr15",
+                eq("mon_imsi_disclosed", "none"),
+            )),
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("prior:imsi-catcher"),
-            slice: SliceSpec { monitor_imsi: true, ..sl() },
+            slice: SliceSpec {
+                monitor_imsi: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR16",
@@ -958,7 +1055,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: None,
-            slice: SliceSpec { ue_last: true, ..sl() },
+            slice: SliceSpec {
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR17",
@@ -990,7 +1090,11 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("P3"),
-            slice: SliceSpec { base: BaseProfile::FiveG, mme_last: true, ..sl() },
+            slice: SliceSpec {
+                base: BaseProfile::FiveG,
+                mme_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR19",
@@ -1037,7 +1141,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: None,
-            slice: SliceSpec { mme_last: true, ..sl() },
+            slice: SliceSpec {
+                mme_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR22",
@@ -1052,7 +1159,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::Holds,
             table2_index: None,
             related_attack: Some("I2"),
-            slice: SliceSpec { monitor_plain: true, ..sl() },
+            slice: SliceSpec {
+                monitor_plain: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR23",
@@ -1070,7 +1180,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("prior:service-denial"),
-            slice: SliceSpec { ue_last: true, ..sl() },
+            slice: SliceSpec {
+                ue_last: true,
+                ..sl()
+            },
         },
         NasProperty {
             id: "PR24",
@@ -1101,7 +1214,10 @@ fn privacy_properties() -> Vec<NasProperty> {
             expectation: Expectation::ViolatedByDesign,
             table2_index: None,
             related_attack: Some("P1"),
-            slice: SliceSpec { replayable: vec!["authentication_request"], ..sl() },
+            slice: SliceSpec {
+                replayable: vec!["authentication_request"],
+                ..sl()
+            },
         },
     ]
 }
@@ -1115,8 +1231,14 @@ mod tests {
     fn paper_counts_match() {
         let all = registry();
         assert_eq!(all.len(), 62, "the paper formalises 62 properties");
-        let security = all.iter().filter(|p| p.category == Category::Security).count();
-        let privacy = all.iter().filter(|p| p.category == Category::Privacy).count();
+        let security = all
+            .iter()
+            .filter(|p| p.category == Category::Security)
+            .count();
+        let privacy = all
+            .iter()
+            .filter(|p| p.category == Category::Privacy)
+            .count();
         assert_eq!(security, 37, "37 security properties");
         assert_eq!(privacy, 25, "25 privacy properties");
     }
@@ -1196,13 +1318,18 @@ mod tests {
                 let exprs: Vec<&Expr> = match prop {
                     Property::Invariant { holds, .. } => vec![holds],
                     Property::Reachable { goal, .. } => vec![goal],
-                    Property::Response { trigger, response, .. } => vec![trigger, response],
-                    Property::Precedence { event, requires_before, .. } => {
+                    Property::Response {
+                        trigger, response, ..
+                    } => vec![trigger, response],
+                    Property::Precedence {
+                        event,
+                        requires_before,
+                        ..
+                    } => {
                         vec![event, requires_before]
                     }
                 };
-                let vars: BTreeSet<&str> =
-                    exprs.iter().flat_map(|e| e.variables()).collect();
+                let vars: BTreeSet<&str> = exprs.iter().flat_map(|e| e.variables()).collect();
                 if vars.contains("mon_replay_accepted") {
                     assert!(p.slice.monitor_replay, "{} needs monitor_replay", p.id);
                 }

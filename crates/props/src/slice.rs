@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn freshness_profile_propagates() {
-        let spec = SliceSpec { base: BaseProfile::LteFreshnessLimit, ..SliceSpec::default() };
+        let spec = SliceSpec {
+            base: BaseProfile::LteFreshnessLimit,
+            ..SliceSpec::default()
+        };
         assert!(!spec.threat_config().stale_unconsumed_sqn_accepted);
     }
 }

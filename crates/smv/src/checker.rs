@@ -12,6 +12,7 @@ use crate::expr::Expr;
 use crate::fxhash::{FxBuildHasher, FxHashMap};
 use crate::model::Model;
 use crate::trace::{Counterexample, TraceStep};
+use procheck_telemetry::Collector;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::error::Error;
@@ -78,22 +79,36 @@ pub enum Property {
 impl Property {
     /// Convenience constructor for [`Property::Invariant`].
     pub fn invariant(name: impl Into<String>, holds: Expr) -> Self {
-        Property::Invariant { name: name.into(), holds }
+        Property::Invariant {
+            name: name.into(),
+            holds,
+        }
     }
 
     /// Convenience constructor for [`Property::Reachable`].
     pub fn reachable(name: impl Into<String>, goal: Expr) -> Self {
-        Property::Reachable { name: name.into(), goal }
+        Property::Reachable {
+            name: name.into(),
+            goal,
+        }
     }
 
     /// Convenience constructor for [`Property::Response`].
     pub fn response(name: impl Into<String>, trigger: Expr, response: Expr) -> Self {
-        Property::Response { name: name.into(), trigger, response }
+        Property::Response {
+            name: name.into(),
+            trigger,
+            response,
+        }
     }
 
     /// Convenience constructor for [`Property::Precedence`].
     pub fn precedence(name: impl Into<String>, event: Expr, requires_before: Expr) -> Self {
-        Property::Precedence { name: name.into(), event, requires_before }
+        Property::Precedence {
+            name: name.into(),
+            event,
+            requires_before,
+        }
     }
 
     /// The property's name.
@@ -159,6 +174,30 @@ pub struct ExploreStats {
     pub states: usize,
     /// Number of transitions (fired commands, including stutters).
     pub transitions: usize,
+}
+
+/// Per-check telemetry accumulated by the engine. Deterministic for a
+/// given model and property: none of the fields depend on scheduling or
+/// wall-clock, so a caller summing these across a run gets the same
+/// totals at any thread count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckStats {
+    /// Distinct product states interned.
+    pub states: u64,
+    /// Successor edges generated (fired commands, including stutters).
+    pub transitions: u64,
+    /// High-water mark of the BFS frontier queue.
+    pub peak_queue: u64,
+}
+
+impl CheckStats {
+    /// Folds another check's stats into this one (`peak_queue` by max,
+    /// the monotonic counters by sum).
+    pub fn absorb(&mut self, other: CheckStats) {
+        self.states += other.states;
+        self.transitions += other.transitions;
+        self.peak_queue = self.peak_queue.max(other.peak_queue);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -227,7 +266,12 @@ impl<'m> Compiled<'m> {
             }
             val_index.push(m);
         }
-        let mut c = Compiled { model, var_index, val_index, commands: Vec::new() };
+        let mut c = Compiled {
+            model,
+            var_index,
+            val_index,
+            commands: Vec::new(),
+        };
         c.commands = model
             .commands()
             .iter()
@@ -262,15 +306,17 @@ impl<'m> Compiled<'m> {
             }
             Expr::In(v, xs) => {
                 let vi = self.var_index[v.as_str()];
-                CExpr::In(vi, xs.iter().map(|x| self.val_index[vi][x.as_str()]).collect())
+                CExpr::In(
+                    vi,
+                    xs.iter().map(|x| self.val_index[vi][x.as_str()]).collect(),
+                )
             }
             Expr::And(xs) => CExpr::And(xs.iter().map(|x| self.compile(x)).collect()),
             Expr::Or(xs) => CExpr::Or(xs.iter().map(|x| self.compile(x)).collect()),
             Expr::Not(x) => CExpr::Not(Box::new(self.compile(x))),
-            Expr::Implies(a, b) => CExpr::Or(vec![
-                CExpr::Not(Box::new(self.compile(a))),
-                self.compile(b),
-            ]),
+            Expr::Implies(a, b) => {
+                CExpr::Or(vec![CExpr::Not(Box::new(self.compile(a))), self.compile(b)])
+            }
         }
     }
 
@@ -399,17 +445,22 @@ impl Graph {
 /// The flag-update function for the product monitor.
 type FlagUpdate<'a> = dyn Fn(Flag, &State) -> Flag + 'a;
 
-/// Explores the product graph from the initial states.
+/// Explores the product graph from the initial states. Exploration
+/// telemetry accumulates into `stats` (including on the state-limit
+/// error path, so callers see how far the blowup got).
 fn explore(
     c: &Compiled<'_>,
     init_flag: &FlagUpdate<'_>,
     step_flag: &FlagUpdate<'_>,
     record_edges: bool,
     limit: usize,
+    stats: &mut CheckStats,
 ) -> Result<Graph, CheckError> {
     let cap = c.capacity_hint(limit);
     let mut g = Graph::with_capacity(cap);
     let mut queue = VecDeque::with_capacity(cap);
+    let mut transitions = 0u64;
+    let mut peak_queue = 0u64;
     for s in c.initial_states() {
         let flag = init_flag(false, &s);
         let (id, fresh) = g.intern((s, flag), None);
@@ -417,13 +468,20 @@ fn explore(
             queue.push_back(id);
         }
     }
+    peak_queue = peak_queue.max(queue.len() as u64);
     while let Some(id) = queue.pop_front() {
         if g.nodes.len() > limit {
             STATES_EXPLORED.fetch_add(g.nodes.len() as u64, Ordering::Relaxed);
+            stats.absorb(CheckStats {
+                states: g.nodes.len() as u64,
+                transitions,
+                peak_queue,
+            });
             return Err(CheckError::StateLimit(limit));
         }
         let (state, flag) = g.nodes[id as usize].clone();
         for (cmd, succ) in c.successors(&state) {
+            transitions += 1;
             let new_flag = step_flag(flag, &succ);
             let (sid, fresh) = g.intern((succ, new_flag), Some((id, cmd)));
             if record_edges {
@@ -433,8 +491,14 @@ fn explore(
                 queue.push_back(sid);
             }
         }
+        peak_queue = peak_queue.max(queue.len() as u64);
     }
     STATES_EXPLORED.fetch_add(g.nodes.len() as u64, Ordering::Relaxed);
+    stats.absorb(CheckStats {
+        states: g.nodes.len() as u64,
+        transitions,
+        peak_queue,
+    });
     Ok(g)
 }
 
@@ -447,7 +511,10 @@ fn rebuild_path(c: &Compiled<'_>, g: &Graph, target: u32) -> Vec<TraceStep> {
             Some((_, cmd)) => c.label_of(cmd).to_string(),
             None => "init".to_string(),
         };
-        rev.push(TraceStep { label, state: c.assignment(state) });
+        rev.push(TraceStep {
+            label,
+            state: c.assignment(state),
+        });
         cur = g.parent[id as usize].map(|(p, _)| p);
     }
     rev.reverse();
@@ -478,9 +545,13 @@ pub fn check(model: &Model, property: &Property) -> Verdict {
 pub fn explore_stats(model: &Model, limit: usize) -> Result<ExploreStats, CheckError> {
     let c = Compiled::new(model)?;
     let no_flag: &FlagUpdate<'_> = &|_, _| false;
-    let g = explore(&c, no_flag, no_flag, true, limit)?;
+    let mut stats = CheckStats::default();
+    let g = explore(&c, no_flag, no_flag, true, limit, &mut stats)?;
     let transitions = g.edges.iter().map(|e| e.len()).sum();
-    Ok(ExploreStats { states: g.nodes.len(), transitions })
+    Ok(ExploreStats {
+        states: g.nodes.len(),
+        transitions,
+    })
 }
 
 /// Checks a property with an explicit state limit.
@@ -495,42 +566,93 @@ pub fn check_bounded(
     property: &Property,
     limit: usize,
 ) -> Result<Verdict, CheckError> {
+    let mut stats = CheckStats::default();
+    check_bounded_stats(model, property, limit, &mut stats)
+}
+
+/// [`check_bounded`] that additionally records the named counters on
+/// `collector`: `smv.checks`, `smv.states_explored`, `smv.transitions`,
+/// and `smv.peak_queue` (high-water mark). Counters are recorded even
+/// when the check errors out, so a state-limit blowup is visible in the
+/// telemetry. Returns the verdict together with this check's stats.
+///
+/// # Errors
+///
+/// Same as [`check_bounded`].
+pub fn check_bounded_traced(
+    model: &Model,
+    property: &Property,
+    limit: usize,
+    collector: &Collector,
+) -> Result<(Verdict, CheckStats), CheckError> {
+    let mut stats = CheckStats::default();
+    let result = check_bounded_stats(model, property, limit, &mut stats);
+    collector.add("smv.checks", 1);
+    collector.add("smv.states_explored", stats.states);
+    collector.add("smv.transitions", stats.transitions);
+    collector.record_max("smv.peak_queue", stats.peak_queue);
+    result.map(|verdict| (verdict, stats))
+}
+
+/// Checks a property, accumulating exploration telemetry into `stats`.
+/// `stats` grows even on the error path (the state-limit case records
+/// how many states were interned before the limit tripped), so CEGAR
+/// callers can keep one accumulator across refinement iterations.
+///
+/// # Errors
+///
+/// Same as [`check_bounded`].
+pub fn check_bounded_stats(
+    model: &Model,
+    property: &Property,
+    limit: usize,
+    stats: &mut CheckStats,
+) -> Result<Verdict, CheckError> {
     let c = Compiled::new(model)?;
     match property {
         Property::Invariant { holds, .. } => {
             let holds = c.compile_checked(holds)?;
-            check_safety(&c, limit, |s, _| !holds.eval(s)).map(|r| match r {
+            check_safety(&c, limit, stats, |s, _| !holds.eval(s)).map(|r| match r {
                 Some(ce) => Verdict::Violated(ce),
                 None => Verdict::Holds,
             })
         }
         Property::Reachable { goal, .. } => {
             let goal = c.compile_checked(goal)?;
-            check_safety(&c, limit, |s, _| goal.eval(s)).map(|r| match r {
+            check_safety(&c, limit, stats, |s, _| goal.eval(s)).map(|r| match r {
                 Some(ce) => Verdict::Reachable(ce),
                 None => Verdict::Unreachable,
             })
         }
-        Property::Precedence { event, requires_before, .. } => {
+        Property::Precedence {
+            event,
+            requires_before,
+            ..
+        } => {
             // Flag = "prerequisite has occurred". Violation: event in a
             // state where the (updated) flag is still false.
             let event = c.compile_checked(event)?;
             let before = c.compile_checked(requires_before)?;
             let init_flag: &FlagUpdate<'_> = &|_, s: &State| before.eval(s);
             let step_flag: &FlagUpdate<'_> = &|f, s: &State| f || before.eval(s);
-            let g = explore(&c, init_flag, step_flag, false, limit)?;
+            let g = explore(&c, init_flag, step_flag, false, limit, stats)?;
             for (id, (state, flag)) in g.nodes.iter().enumerate() {
                 if !flag && event.eval(state) {
                     let steps = rebuild_path(&c, &g, id as u32);
-                    return Ok(Verdict::Violated(Counterexample { steps, lasso_start: None }));
+                    return Ok(Verdict::Violated(Counterexample {
+                        steps,
+                        lasso_start: None,
+                    }));
                 }
             }
             Ok(Verdict::Holds)
         }
-        Property::Response { trigger, response, .. } => {
+        Property::Response {
+            trigger, response, ..
+        } => {
             let trigger = c.compile_checked(trigger)?;
             let response = c.compile_checked(response)?;
-            check_response(&c, &trigger, &response, limit)
+            check_response(&c, &trigger, &response, limit, stats)
         }
     }
 }
@@ -538,14 +660,18 @@ pub fn check_bounded(
 fn check_safety(
     c: &Compiled<'_>,
     limit: usize,
+    stats: &mut CheckStats,
     bad: impl Fn(&State, Flag) -> bool,
 ) -> Result<Option<Counterexample>, CheckError> {
     let no_flag: &FlagUpdate<'_> = &|_, _| false;
-    let g = explore(c, no_flag, no_flag, false, limit)?;
+    let g = explore(c, no_flag, no_flag, false, limit, stats)?;
     for (id, (state, flag)) in g.nodes.iter().enumerate() {
         if bad(state, *flag) {
             let steps = rebuild_path(c, &g, id as u32);
-            return Ok(Some(Counterexample { steps, lasso_start: None }));
+            return Ok(Some(Counterexample {
+                steps,
+                lasso_start: None,
+            }));
         }
     }
     Ok(None)
@@ -556,12 +682,12 @@ fn check_response(
     trigger: &CExpr,
     response: &CExpr,
     limit: usize,
+    stats: &mut CheckStats,
 ) -> Result<Verdict, CheckError> {
     // Obligation monitor: pending' = (pending ∨ trigger(s')) ∧ ¬response(s').
     let init_flag: &FlagUpdate<'_> = &|_, s: &State| trigger.eval(s) && !response.eval(s);
-    let step_flag: &FlagUpdate<'_> =
-        &|f, s: &State| (f || trigger.eval(s)) && !response.eval(s);
-    let g = explore(c, init_flag, step_flag, true, limit)?;
+    let step_flag: &FlagUpdate<'_> = &|f, s: &State| (f || trigger.eval(s)) && !response.eval(s);
+    let g = explore(c, init_flag, step_flag, true, limit, stats)?;
 
     // Restrict to pending nodes and find a fair cycle among them.
     let pending: Vec<bool> = g.nodes.iter().map(|(_, f)| *f).collect();
@@ -584,7 +710,10 @@ fn check_response(
         let lasso_start = prefix.len() - 1;
         let mut steps = prefix;
         steps.extend(cycle);
-        return Ok(Verdict::Violated(Counterexample { steps, lasso_start: Some(lasso_start) }));
+        return Ok(Verdict::Violated(Counterexample {
+            steps,
+            lasso_start: Some(lasso_start),
+        }));
     }
     Ok(Verdict::Holds)
 }
@@ -609,7 +738,10 @@ fn tarjan_sccs(g: &Graph, mask: &[bool]) -> Vec<Vec<u32>> {
         if !mask[start as usize] || index[start as usize] != u32::MAX {
             continue;
         }
-        let mut call: Vec<Frame> = vec![Frame { node: start, edge: 0 }];
+        let mut call: Vec<Frame> = vec![Frame {
+            node: start,
+            edge: 0,
+        }];
         index[start as usize] = next_index;
         low[start as usize] = next_index;
         next_index += 1;
@@ -694,8 +826,8 @@ fn build_fair_cycle(
                 if !members.contains(&v) {
                     continue;
                 }
-                if !prev.contains_key(&v) {
-                    prev.insert(v, (u, cmd));
+                if let std::collections::hash_map::Entry::Vacant(e) = prev.entry(v) {
+                    e.insert((u, cmd));
                     if pred(v) {
                         found = Some(v);
                         break 'outer;
@@ -772,16 +904,25 @@ mod tests {
     #[test]
     fn invariant_holds() {
         let m = ring(false);
-        let v = check(&m, &Property::invariant("no_ghost", Expr::var_ne("st", "done")));
+        let v = check(
+            &m,
+            &Property::invariant("no_ghost", Expr::var_ne("st", "done")),
+        );
         assert!(matches!(v, Verdict::Violated(_)), "done is reachable");
-        let v2 = check(&m, &Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"])));
+        let v2 = check(
+            &m,
+            &Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"])),
+        );
         assert_eq!(v2, Verdict::Holds);
     }
 
     #[test]
     fn invariant_counterexample_is_shortest_path() {
         let m = ring(false);
-        let Verdict::Violated(ce) = check(&m, &Property::invariant("never_done", Expr::var_ne("st", "done"))) else {
+        let Verdict::Violated(ce) = check(
+            &m,
+            &Property::invariant("never_done", Expr::var_ne("st", "done")),
+        ) else {
             panic!("expected violation");
         };
         assert_eq!(ce.command_labels(), vec!["request", "serve"]);
@@ -793,7 +934,10 @@ mod tests {
     fn reachability() {
         let m = ring(false);
         assert!(matches!(
-            check(&m, &Property::reachable("can_serve", Expr::var_eq("st", "done"))),
+            check(
+                &m,
+                &Property::reachable("can_serve", Expr::var_eq("st", "done"))
+            ),
             Verdict::Reachable(_)
         ));
         let mut m2 = Model::new("m2");
@@ -807,14 +951,22 @@ mod tests {
     #[test]
     fn response_holds_without_adversary() {
         let m = ring(false);
-        let p = Property::response("served", Expr::var_eq("st", "req"), Expr::var_eq("st", "done"));
+        let p = Property::response(
+            "served",
+            Expr::var_eq("st", "req"),
+            Expr::var_eq("st", "done"),
+        );
         assert_eq!(check(&m, &p), Verdict::Holds);
     }
 
     #[test]
     fn response_violated_by_adversary_stall() {
         let m = ring(true);
-        let p = Property::response("served", Expr::var_eq("st", "req"), Expr::var_eq("st", "done"));
+        let p = Property::response(
+            "served",
+            Expr::var_eq("st", "req"),
+            Expr::var_eq("st", "done"),
+        );
         let Verdict::Violated(ce) = check(&m, &p) else {
             panic!("adversary stall must violate response");
         };
@@ -830,7 +982,11 @@ mod tests {
         // Fairness: the service fires infinitely often — excludes the
         // pure-drop loop (no state in the drop cycle satisfies st=done).
         m.add_fairness(Expr::var_eq("st", "done"));
-        let p = Property::response("served", Expr::var_eq("st", "req"), Expr::var_eq("st", "done"));
+        let p = Property::response(
+            "served",
+            Expr::var_eq("st", "req"),
+            Expr::var_eq("st", "done"),
+        );
         assert_eq!(check(&m, &p), Verdict::Holds);
     }
 
@@ -839,7 +995,11 @@ mod tests {
         let mut m = Model::new("dead");
         m.declare_var("st", &["waiting", "go"], &["waiting"]);
         // No command at all: the system deadlocks in `waiting`.
-        let p = Property::response("go_happens", Expr::var_eq("st", "waiting"), Expr::var_eq("st", "go"));
+        let p = Property::response(
+            "go_happens",
+            Expr::var_eq("st", "waiting"),
+            Expr::var_eq("st", "go"),
+        );
         let Verdict::Violated(ce) = check(&m, &p) else {
             panic!("deadlock must violate response");
         };
@@ -853,7 +1013,11 @@ mod tests {
         m.add_command(GuardedCmd::new("skip_auth", Expr::var_eq("st", "start")).set("st", "data"));
         m.add_command(GuardedCmd::new("auth", Expr::var_eq("st", "start")).set("st", "auth"));
         m.add_command(GuardedCmd::new("then_data", Expr::var_eq("st", "auth")).set("st", "data"));
-        let p = Property::precedence("auth_before_data", Expr::var_eq("st", "data"), Expr::var_eq("st", "auth"));
+        let p = Property::precedence(
+            "auth_before_data",
+            Expr::var_eq("st", "data"),
+            Expr::var_eq("st", "auth"),
+        );
         let Verdict::Violated(ce) = check(&m, &p) else {
             panic!("skip path must violate precedence");
         };
@@ -866,7 +1030,11 @@ mod tests {
         m.declare_var("st", &["start", "auth", "data"], &["start"]);
         m.add_command(GuardedCmd::new("auth", Expr::var_eq("st", "start")).set("st", "auth"));
         m.add_command(GuardedCmd::new("then_data", Expr::var_eq("st", "auth")).set("st", "data"));
-        let p = Property::precedence("auth_before_data", Expr::var_eq("st", "data"), Expr::var_eq("st", "auth"));
+        let p = Property::precedence(
+            "auth_before_data",
+            Expr::var_eq("st", "data"),
+            Expr::var_eq("st", "auth"),
+        );
         assert_eq!(check(&m, &p), Verdict::Holds);
     }
 
@@ -918,7 +1086,10 @@ mod tests {
     fn telemetry_counts_explored_states() {
         let before = states_explored_total();
         let m = ring(false);
-        check(&m, &Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"])));
+        check(
+            &m,
+            &Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"])),
+        );
         assert!(states_explored_total() >= before + 3);
     }
 
@@ -928,5 +1099,70 @@ mod tests {
         let stats = explore_stats(&m, 1000).unwrap();
         assert_eq!(stats.states, 3);
         assert_eq!(stats.transitions, 3);
+    }
+
+    #[test]
+    fn check_stats_match_exploration() {
+        let m = ring(false);
+        let p = Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"]));
+        let mut stats = CheckStats::default();
+        let verdict = check_bounded_stats(&m, &p, 1000, &mut stats).unwrap();
+        assert_eq!(verdict, Verdict::Holds);
+        assert_eq!(stats.states, 3);
+        assert_eq!(stats.transitions, 3);
+        assert!(stats.peak_queue >= 1);
+
+        // The accumulator folds across checks: a second check doubles the
+        // monotonic counters and keeps the peak as a max.
+        let first = stats;
+        check_bounded_stats(&m, &p, 1000, &mut stats).unwrap();
+        assert_eq!(stats.states, first.states * 2);
+        assert_eq!(stats.transitions, first.transitions * 2);
+        assert_eq!(stats.peak_queue, first.peak_queue);
+    }
+
+    #[test]
+    fn stats_recorded_even_when_state_limit_trips() {
+        let mut m = Model::new("big");
+        let domain = ["0", "1", "2", "3"];
+        for i in 0..8 {
+            m.declare_var(&format!("v{i}"), &domain, &["0"]);
+        }
+        for i in 0..8 {
+            for (a, b) in [("0", "1"), ("1", "2"), ("2", "3"), ("3", "0")] {
+                m.add_command(
+                    GuardedCmd::new(format!("v{i}_{a}to{b}"), Expr::var_eq(format!("v{i}"), a))
+                        .set(format!("v{i}"), b),
+                );
+            }
+        }
+        let mut stats = CheckStats::default();
+        let err = check_bounded_stats(&m, &Property::invariant("x", Expr::True), 1000, &mut stats)
+            .unwrap_err();
+        assert!(matches!(err, CheckError::StateLimit(1000)));
+        assert!(stats.states > 1000, "partial exploration must be visible");
+    }
+
+    #[test]
+    fn traced_check_records_collector_counters() {
+        use procheck_telemetry::Collector;
+        let m = ring(false);
+        let p = Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"]));
+
+        let collector = Collector::enabled();
+        let (verdict, stats) = check_bounded_traced(&m, &p, 1000, &collector).unwrap();
+        assert_eq!(verdict, Verdict::Holds);
+        assert_eq!(collector.counter_value("smv.checks"), 1);
+        assert_eq!(collector.counter_value("smv.states_explored"), stats.states);
+        assert_eq!(
+            collector.counter_value("smv.transitions"),
+            stats.transitions
+        );
+        assert_eq!(collector.counter_value("smv.peak_queue"), stats.peak_queue);
+
+        // A disabled collector yields the identical verdict and stats.
+        let (v2, s2) = check_bounded_traced(&m, &p, 1000, &Collector::disabled()).unwrap();
+        assert_eq!(v2, verdict);
+        assert_eq!(s2, stats);
     }
 }

@@ -137,7 +137,10 @@ mod tests {
             Expr::var_eq("state", "registered"),
             Expr::or([Expr::var_eq("x", "1"), Expr::not(Expr::var_eq("y", "2"))]),
         );
-        assert_eq!(e.to_string(), "(state = registered) -> ((x = 1) | (!(y = 2)))");
+        assert_eq!(
+            e.to_string(),
+            "(state = registered) -> ((x = 1) | (!(y = 2)))"
+        );
         assert_eq!(Expr::And(vec![]).to_string(), "TRUE");
         assert_eq!(Expr::Or(vec![]).to_string(), "FALSE");
     }

@@ -158,7 +158,10 @@ impl Model {
             check_expr(&cmd.guard, &cmd.label, &mut problems);
             for (var, value) in &cmd.updates {
                 match self.var(var) {
-                    None => problems.push(format!("command `{}` assigns undeclared `{var}`", cmd.label)),
+                    None => problems.push(format!(
+                        "command `{}` assigns undeclared `{var}`",
+                        cmd.label
+                    )),
                     Some(decl) if !decl.domain.contains(value) => problems.push(format!(
                         "command `{}` assigns `{value}` outside `{var}`'s domain",
                         cmd.label
@@ -195,7 +198,8 @@ impl Model {
                 Some(decl) => {
                     for x in xs {
                         if !decl.domain.contains(x) {
-                            problems.push(format!("`{ctx}` tests `{v}` against out-of-domain `{x}`"));
+                            problems
+                                .push(format!("`{ctx}` tests `{v}` against out-of-domain `{x}`"));
                         }
                     }
                 }

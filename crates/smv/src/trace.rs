@@ -57,8 +57,7 @@ impl fmt::Display for Counterexample {
             if Some(i) == self.lasso_start {
                 writeln!(f, "-- loop starts here --")?;
             }
-            let assign: Vec<String> =
-                step.state.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let assign: Vec<String> = step.state.iter().map(|(k, v)| format!("{k}={v}")).collect();
             writeln!(f, "step {i} [{}]: {}", step.label, assign.join(" "))?;
         }
         Ok(())

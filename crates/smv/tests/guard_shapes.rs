@@ -19,12 +19,16 @@ fn counter() -> Model {
 fn in_guard_and_in_property() {
     let mut m = counter();
     // A reset that fires only from the upper half of the domain.
-    m.add_command(
-        GuardedCmd::new("reset", Expr::var_in("x", ["2", "3"])).set("x", "0"),
+    m.add_command(GuardedCmd::new("reset", Expr::var_in("x", ["2", "3"])).set("x", "0"));
+    let v = check(
+        &m,
+        &Property::invariant("bounded", Expr::var_in("x", ["0", "1", "2", "3"])),
     );
-    let v = check(&m, &Property::invariant("bounded", Expr::var_in("x", ["0", "1", "2", "3"])));
     assert_eq!(v, Verdict::Holds);
-    let v2 = check(&m, &Property::reachable("resettable", Expr::var_eq("x", "0")));
+    let v2 = check(
+        &m,
+        &Property::reachable("resettable", Expr::var_eq("x", "0")),
+    );
     assert!(matches!(v2, Verdict::Reachable(_)));
 }
 
@@ -62,7 +66,10 @@ fn nested_not_evaluates() {
     let m = counter();
     let v = check(
         &m,
-        &Property::invariant("double_neg", Expr::not(Expr::not(Expr::var_in("x", ["0", "1", "2", "3"])))),
+        &Property::invariant(
+            "double_neg",
+            Expr::not(Expr::not(Expr::var_in("x", ["0", "1", "2", "3"]))),
+        ),
     );
     assert_eq!(v, Verdict::Holds);
 }
@@ -72,8 +79,7 @@ fn disjunctive_initial_states_all_explored() {
     let m = counter();
     // From init {0,1}: both 0-origin and 1-origin paths exist; a witness
     // for x=1 must be length zero (initial state), not via inc0.
-    let Verdict::Reachable(ce) =
-        check(&m, &Property::reachable("one", Expr::var_eq("x", "1")))
+    let Verdict::Reachable(ce) = check(&m, &Property::reachable("one", Expr::var_eq("x", "1")))
     else {
         panic!("x=1 reachable");
     };

@@ -1,10 +1,10 @@
 //! Property-based tests for the explicit-state checker: internal
 //! consistency laws and counterexample validity on random models.
 
-use proptest::prelude::*;
 use procheck_smv::checker::{check_bounded, Property, Verdict};
 use procheck_smv::expr::Expr;
 use procheck_smv::model::{GuardedCmd, Model};
+use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 const DOMAIN: [&str; 3] = ["v0", "v1", "v2"];
@@ -35,11 +35,8 @@ fn arb_model() -> impl Strategy<Value = RandomModel> {
             let gv = gv % vars;
             let uv = uv % vars;
             model.add_command(
-                GuardedCmd::new(
-                    format!("c{i}"),
-                    Expr::var_eq(format!("x{gv}"), DOMAIN[gx]),
-                )
-                .set(format!("x{uv}"), DOMAIN[ux]),
+                GuardedCmd::new(format!("c{i}"), Expr::var_eq(format!("x{gv}"), DOMAIN[gx]))
+                    .set(format!("x{uv}"), DOMAIN[ux]),
             );
         }
         let atom = Expr::var_eq(format!("x{}", pv % vars), DOMAIN[pi]);

@@ -60,9 +60,9 @@ impl MmeConfig {
             // Per-subscriber GUTI space (folded from the IMSI) so two
             // simulated subscribers never share temporary identities.
             guti_seed: 0x4000_0000
-                ^ ue.imsi.bytes().fold(0u32, |acc, b| {
-                    acc.wrapping_mul(31).wrapping_add(b as u32)
-                }),
+                ^ ue.imsi
+                    .bytes()
+                    .fold(0u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32)),
         }
     }
 }
@@ -177,7 +177,11 @@ impl MmeStack {
         self.sink.global("mme_state", self.state.as_str());
         self.sink.global(
             "sec_ctx",
-            if self.sec_ctx.is_some() { "active" } else { "none" },
+            if self.sec_ctx.is_some() {
+                "active"
+            } else {
+                "none"
+            },
         );
         self.sink
             .global("t3450_retx", &self.t3450_retransmissions.to_string());
@@ -291,10 +295,17 @@ impl MmeStack {
 
     fn process(&mut self, msg: NasMessage) -> Vec<NasMessage> {
         match msg {
-            NasMessage::AttachRequest { identity, ue_net_caps } => {
+            NasMessage::AttachRequest {
+                identity,
+                ue_net_caps,
+            } => {
                 self.sink.local(
                     "attach_with_imsi",
-                    if identity.is_permanent() { "true" } else { "false" },
+                    if identity.is_permanent() {
+                        "true"
+                    } else {
+                        "false"
+                    },
                 );
                 self.ue_caps = ue_net_caps;
                 // Fresh attach restarts the session security.
@@ -307,7 +318,8 @@ impl MmeStack {
             }
             NasMessage::AuthenticationResponse { res } => {
                 let res_ok = res == self.expected_res;
-                self.sink.local("res_ok", if res_ok { "true" } else { "false" });
+                self.sink
+                    .local("res_ok", if res_ok { "true" } else { "false" });
                 if !res_ok {
                     self.state = MmeState::Deregistered;
                     return vec![NasMessage::AuthenticationReject];
@@ -338,9 +350,10 @@ impl MmeStack {
                     // Resynchronise the HSS SQN and retry.
                     let sqn_ms = auts.sqn_ms_xor_ak
                         ^ crypto::f5_star(self.cfg.subscriber_key, self.current_rand);
-                    let mac_ok =
-                        auts.mac_s == crypto::f1_star(self.cfg.subscriber_key, sqn_ms, self.current_rand);
-                    self.sink.local("auts_mac_ok", if mac_ok { "true" } else { "false" });
+                    let mac_ok = auts.mac_s
+                        == crypto::f1_star(self.cfg.subscriber_key, sqn_ms, self.current_rand);
+                    self.sink
+                        .local("auts_mac_ok", if mac_ok { "true" } else { "false" });
                     if !mac_ok {
                         return Vec::new();
                     }
@@ -355,7 +368,8 @@ impl MmeStack {
                     return Vec::new();
                 }
                 let resume = self.resume_registered;
-                self.sink.local("rekey_resume", if resume { "true" } else { "false" });
+                self.sink
+                    .local("rekey_resume", if resume { "true" } else { "false" });
                 if resume {
                     // Re-keying of a registered session: no attach tail.
                     self.resume_registered = false;
@@ -365,7 +379,10 @@ impl MmeStack {
                 let guti = self.next_guti();
                 self.current_guti = Some(guti);
                 self.state = MmeState::WaitAttachComplete;
-                vec![NasMessage::AttachAccept { guti, tau_timer: 54 }]
+                vec![NasMessage::AttachAccept {
+                    guti,
+                    tau_timer: 54,
+                }]
             }
             NasMessage::SecurityModeReject { cause: _ } => {
                 self.state = MmeState::Deregistered;
@@ -416,14 +433,24 @@ impl MmeStack {
                 }
             }
             NasMessage::ServiceRequest => {
-                self.sink
-                    .local("service_granted", if self.state == MmeState::Registered { "true" } else { "false" });
+                self.sink.local(
+                    "service_granted",
+                    if self.state == MmeState::Registered {
+                        "true"
+                    } else {
+                        "false"
+                    },
+                );
                 Vec::new()
             }
             NasMessage::IdentityResponse { identity } => {
                 self.sink.local(
                     "identity_is_imsi",
-                    if identity.is_permanent() { "true" } else { "false" },
+                    if identity.is_permanent() {
+                        "true"
+                    } else {
+                        "false"
+                    },
                 );
                 if self.state == MmeState::WaitIdentityResponse {
                     self.state = MmeState::Registered;
@@ -513,7 +540,9 @@ impl NasEndpoint for MmeStack {
                 if self.state == MmeState::Registered {
                     self.state = MmeState::WaitIdentityResponse;
                 }
-                vec![NasMessage::IdentityRequest { id_type: IdentityType::Imsi }]
+                vec![NasMessage::IdentityRequest {
+                    id_type: IdentityType::Imsi,
+                }]
             }
             TriggerEvent::StartAuthentication => {
                 self.resume_registered = self.state == MmeState::Registered;
@@ -570,7 +599,11 @@ mod tests {
     }
 
     /// Exchanges PDUs until quiescence; returns the number of rounds.
-    pub(crate) fn run_to_quiescence(ue: &mut UeStack, mme: &mut MmeStack, initial: Vec<Pdu>) -> usize {
+    pub(crate) fn run_to_quiescence(
+        ue: &mut UeStack,
+        mme: &mut MmeStack,
+        initial: Vec<Pdu>,
+    ) -> usize {
         let mut uplink = initial;
         let mut rounds = 0;
         while !uplink.is_empty() && rounds < 64 {
@@ -658,7 +691,11 @@ mod tests {
         assert_eq!(mme.state(), MmeState::Registered);
         assert_eq!(mme.metrics().guti_realloc_aborts, 1);
         assert_eq!(ue.guti().unwrap(), old_guti, "UE keeps the old GUTI");
-        assert_eq!(mme.current_guti().unwrap(), old_guti, "MME keeps the old GUTI");
+        assert_eq!(
+            mme.current_guti().unwrap(),
+            old_guti,
+            "MME keeps the old GUTI"
+        );
     }
 
     #[test]

@@ -215,9 +215,18 @@ mod tests {
 
     #[test]
     fn signature_profiles_differ_as_in_paper() {
-        assert_eq!(SignatureProfile::srs().incoming("attach_accept"), "parse_attach_accept");
-        assert_eq!(SignatureProfile::oai().outgoing("attach_complete"), "emm_send_attach_complete");
-        assert_eq!(SignatureProfile::reference().incoming("paging"), "recv_paging");
+        assert_eq!(
+            SignatureProfile::srs().incoming("attach_accept"),
+            "parse_attach_accept"
+        );
+        assert_eq!(
+            SignatureProfile::oai().outgoing("attach_complete"),
+            "emm_send_attach_complete"
+        );
+        assert_eq!(
+            SignatureProfile::reference().incoming("paging"),
+            "recv_paging"
+        );
     }
 
     #[test]

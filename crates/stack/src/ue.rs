@@ -189,15 +189,23 @@ impl UeStack {
         self.sink.global("emm_state", self.state.as_str());
         self.sink.global(
             "sec_ctx",
-            if self.sec_ctx.is_some() { "active" } else { "none" },
+            if self.sec_ctx.is_some() {
+                "active"
+            } else {
+                "none"
+            },
         );
         self.sink.global(
             "guti",
-            &self.guti.map_or_else(|| "none".to_string(), |g| g.to_string()),
+            &self
+                .guti
+                .map_or_else(|| "none".to_string(), |g| g.to_string()),
         );
         self.sink.global(
             "dl_count",
-            &self.dl_last.map_or_else(|| "none".to_string(), |c| c.to_string()),
+            &self
+                .dl_last
+                .map_or_else(|| "none".to_string(), |c| c.to_string()),
         );
     }
 
@@ -268,7 +276,12 @@ impl UeStack {
                         let (count_ok, count_delta) = self.check_dl_count(pdu.count);
                         return self.dispatch(
                             msg,
-                            RxMeta { plain: false, mac_valid: true, count_ok, count_delta },
+                            RxMeta {
+                                plain: false,
+                                mac_valid: true,
+                                count_ok,
+                                count_delta,
+                            },
                             None,
                         );
                     }
@@ -319,7 +332,12 @@ impl UeStack {
         match codec::decode_message(&pdu.body) {
             Ok(msg) => self.dispatch(
                 msg,
-                RxMeta { plain: true, mac_valid: false, count_ok: true, count_delta: "fresh" },
+                RxMeta {
+                    plain: true,
+                    mac_valid: false,
+                    count_ok: true,
+                    count_delta: "fresh",
+                },
                 None,
             ),
             Err(_) => {
@@ -359,7 +377,7 @@ impl UeStack {
             // active — the check OAI misses (I2).
             sink.local("plain_ok", "false");
             replies = Vec::new();
-        } else if !meta.count_ok && !(is_smc && self.cfg.quirks.accepts_replayed_smc) {
+        } else if !(meta.count_ok || is_smc && self.cfg.quirks.accepts_replayed_smc) {
             // Replay-protected path: `count_ok=false` yields null_action.
             replies = Vec::new();
         } else {
@@ -389,9 +407,11 @@ impl UeStack {
                 self.on_authentication_request(rand, autn)
             }
             NasMessage::AuthenticationReject => self.on_authentication_reject(),
-            NasMessage::SecurityModeCommand { eia: _, eea: _, replayed_ue_caps } => {
-                self.on_security_mode_command(replayed_ue_caps, smc_candidate)
-            }
+            NasMessage::SecurityModeCommand {
+                eia: _,
+                eea: _,
+                replayed_ue_caps,
+            } => self.on_security_mode_command(replayed_ue_caps, smc_candidate),
             NasMessage::AttachAccept { guti, tau_timer: _ } => self.on_attach_accept(guti),
             NasMessage::AttachReject { cause } => self.on_attach_reject(cause.code()),
             NasMessage::IdentityRequest { id_type } => self.on_identity_request(id_type, meta),
@@ -419,8 +439,10 @@ impl UeStack {
             AkaOutcome::MacFailure => (false, false),
             AkaOutcome::SyncFailure { .. } => (true, false),
         };
-        self.sink.local("aka_mac_valid", if mac_valid { "true" } else { "false" });
-        self.sink.local("sqn_ok", if sqn_ok { "true" } else { "false" });
+        self.sink
+            .local("aka_mac_valid", if mac_valid { "true" } else { "false" });
+        self.sink
+            .local("sqn_ok", if sqn_ok { "true" } else { "false" });
         match outcome {
             AkaOutcome::Success { res, kasme } => {
                 self.metrics.auth_runs += 1;
@@ -480,7 +502,8 @@ impl UeStack {
         candidate: Option<SecurityContext>,
     ) -> Vec<NasMessage> {
         let caps_ok = replayed_ue_caps == self.cfg.ue_net_caps;
-        self.sink.local("caps_ok", if caps_ok { "true" } else { "false" });
+        self.sink
+            .local("caps_ok", if caps_ok { "true" } else { "false" });
         if !caps_ok {
             // Bidding-down detected: reject.
             return vec![NasMessage::SecurityModeReject {
@@ -491,7 +514,8 @@ impl UeStack {
             self.state,
             UeState::RegisteredInitiatedAuth | UeState::Registered
         ) || self.cfg.quirks.accepts_replayed_smc;
-        self.sink.local("proc_ok", if in_valid_state { "true" } else { "false" });
+        self.sink
+            .local("proc_ok", if in_valid_state { "true" } else { "false" });
         if !in_valid_state {
             return Vec::new();
         }
@@ -528,7 +552,8 @@ impl UeStack {
                 self.state,
                 UeState::Deregistered | UeState::RegisteredInitiated
             );
-        self.sink.local("proc_ok", if normal || bypass { "true" } else { "false" });
+        self.sink
+            .local("proc_ok", if normal || bypass { "true" } else { "false" });
         if bypass {
             self.sink.local("security_bypassed", "true");
         }
@@ -559,14 +584,17 @@ impl UeStack {
         let leak_window = self.sec_ctx.is_none() // pre-security: spec-allowed
             || !meta.plain // protected request: legitimate
             || self.cfg.quirks.identity_leak_after_context; // I5 (OAI)
-        self.sink.local("identity_disclosed", if leak_window { "true" } else { "false" });
+        self.sink.local(
+            "identity_disclosed",
+            if leak_window { "true" } else { "false" },
+        );
         if !leak_window {
             return Vec::new();
         }
         if meta.plain && self.sec_ctx.is_some() {
             self.sink.local("imsi_leaked_after_context", "true"); // I5 footprint
-            // The buggy path answers through the plain-send path, making
-            // the leak observable to the requester.
+                                                                  // The buggy path answers through the plain-send path, making
+                                                                  // the leak observable to the requester.
             self.force_plain_next_send = true;
         }
         let identity = match id_type {
@@ -580,7 +608,8 @@ impl UeStack {
 
     fn on_guti_realloc(&mut self, guti: Guti) -> Vec<NasMessage> {
         let proc_ok = self.state.is_registered() && self.sec_ctx.is_some();
-        self.sink.local("proc_ok", if proc_ok { "true" } else { "false" });
+        self.sink
+            .local("proc_ok", if proc_ok { "true" } else { "false" });
         if !proc_ok {
             return Vec::new();
         }
@@ -598,7 +627,8 @@ impl UeStack {
 
     fn on_detach_accept(&mut self) -> Vec<NasMessage> {
         let proc_ok = self.state == UeState::DeregisteredInitiated;
-        self.sink.local("proc_ok", if proc_ok { "true" } else { "false" });
+        self.sink
+            .local("proc_ok", if proc_ok { "true" } else { "false" });
         if proc_ok {
             self.state = UeState::Deregistered;
             self.sec_ctx = None;
@@ -611,7 +641,8 @@ impl UeStack {
 
     fn on_tau_accept(&mut self) -> Vec<NasMessage> {
         let proc_ok = self.state == UeState::TauInitiated;
-        self.sink.local("proc_ok", if proc_ok { "true" } else { "false" });
+        self.sink
+            .local("proc_ok", if proc_ok { "true" } else { "false" });
         if proc_ok {
             self.state = UeState::Registered;
         }
@@ -639,10 +670,13 @@ impl UeStack {
     }
 
     fn on_paging(&mut self, identity: MobileIdentity) -> Vec<NasMessage> {
-        let by_guti = matches!((&identity, self.guti), (MobileIdentity::Guti(g), Some(mine)) if *g == mine);
-        let by_imsi =
-            matches!(&identity, MobileIdentity::Imsi(i) if i.as_str() == self.cfg.imsi);
-        self.sink.local("paged_match", if by_guti || by_imsi { "true" } else { "false" });
+        let by_guti =
+            matches!((&identity, self.guti), (MobileIdentity::Guti(g), Some(mine)) if *g == mine);
+        let by_imsi = matches!(&identity, MobileIdentity::Imsi(i) if i.as_str() == self.cfg.imsi);
+        self.sink.local(
+            "paged_match",
+            if by_guti || by_imsi { "true" } else { "false" },
+        );
         if by_imsi {
             // IMSI paging forces a fresh attach disclosing the permanent
             // identity (prior linkability attack: IMSI → GUTI mapping).
@@ -667,8 +701,9 @@ impl UeStack {
 
 fn message_carries_imsi(msg: &NasMessage) -> bool {
     match msg {
-        NasMessage::AttachRequest { identity, .. }
-        | NasMessage::IdentityResponse { identity } => identity.is_permanent(),
+        NasMessage::AttachRequest { identity, .. } | NasMessage::IdentityResponse { identity } => {
+            identity.is_permanent()
+        }
         _ => false,
     }
 }
@@ -753,7 +788,10 @@ mod tests {
         let msg = codec::decode_message(&out[0].body).unwrap();
         assert!(matches!(
             msg,
-            NasMessage::AttachRequest { identity: MobileIdentity::Imsi(_), .. }
+            NasMessage::AttachRequest {
+                identity: MobileIdentity::Imsi(_),
+                ..
+            }
         ));
         assert_eq!(u.state(), UeState::RegisteredInitiated);
         assert_eq!(u.metrics().imsi_exposures, 1);
@@ -865,7 +903,9 @@ mod tests {
         let msg = codec::decode_message(&replies[0].body).unwrap();
         assert!(matches!(
             msg,
-            NasMessage::AuthenticationFailure { cause: AuthFailureCause::MacFailure }
+            NasMessage::AuthenticationFailure {
+                cause: AuthFailureCause::MacFailure
+            }
         ));
     }
 
@@ -889,7 +929,9 @@ mod tests {
         let mut u = ue(UeConfig::reference("001010000000001", 7));
         u.state = UeState::Registered;
         u.guti = Some(Guti(5));
-        let page = Pdu::plain(&NasMessage::Paging { identity: MobileIdentity::Guti(Guti(77)) });
+        let page = Pdu::plain(&NasMessage::Paging {
+            identity: MobileIdentity::Guti(Guti(77)),
+        });
         assert!(u.handle_pdu(&page).is_empty());
     }
 
@@ -898,7 +940,9 @@ mod tests {
         // Spec-allowed IMSI disclosure during initial attach.
         let mut u = ue(UeConfig::reference("001010000000001", 7));
         u.trigger(TriggerEvent::PowerOn);
-        let req = Pdu::plain(&NasMessage::IdentityRequest { id_type: IdentityType::Imsi });
+        let req = Pdu::plain(&NasMessage::IdentityRequest {
+            id_type: IdentityType::Imsi,
+        });
         let replies = u.handle_pdu(&req);
         assert_eq!(replies.len(), 1);
         assert_eq!(u.metrics().imsi_exposures, 2); // attach + identity
@@ -919,7 +963,9 @@ mod tests {
                 procheck_nas::security::EeaAlg::Eea1,
             ));
             u.state = UeState::Registered;
-            let req = Pdu::plain(&NasMessage::IdentityRequest { id_type: IdentityType::Imsi });
+            let req = Pdu::plain(&NasMessage::IdentityRequest {
+                id_type: IdentityType::Imsi,
+            });
             let replies = u.handle_pdu(&req);
             assert_eq!(!replies.is_empty(), expect_leak, "{name}");
         }

@@ -3,10 +3,10 @@
 //! analysis presumes memory-safety issues are out of scope, and this
 //! keeps the simulation honest about it.
 
-use proptest::prelude::*;
 use procheck_instrument::NullInstrumentation;
 use procheck_nas::codec::{Pdu, SecurityHeader};
 use procheck_stack::{MmeConfig, MmeStack, NasEndpoint, TriggerEvent, UeConfig, UeStack};
+use proptest::prelude::*;
 use std::sync::Arc;
 
 fn fresh_pair(which: u8) -> (UeStack, MmeStack) {

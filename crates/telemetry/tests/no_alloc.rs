@@ -1,0 +1,100 @@
+//! The disabled (default) collector must be free on hot paths: no
+//! allocation for counter bumps, span guards, or marks. The checker's
+//! state-interning loop runs with one of these handles in scope, so a
+//! disabled collector that allocated would tax every model check.
+
+use procheck_telemetry::{Collector, Counter};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocations.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_collector_is_allocation_free() {
+    let collector = Collector::disabled();
+    let counter = collector.counter("smv.states_explored");
+    // Warm up any lazily-initialized runtime machinery outside the
+    // measured window.
+    counter.add(1);
+    drop(collector.span("warmup"));
+
+    let before = allocations();
+    for i in 0..10_000 {
+        counter.add(1);
+        counter.record_max(i);
+        collector.add("smv.transitions", 2);
+        collector.record_max("smv.peak_queue", i);
+        drop(collector.span("stage.check"));
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "disabled-collector operations must not allocate"
+    );
+}
+
+#[test]
+fn disabled_counter_handle_is_allocation_free_to_acquire() {
+    let collector = Collector::disabled();
+    let before = allocations();
+    for _ in 0..1_000 {
+        let counter = collector.counter("hot.loop");
+        counter.incr();
+        let noop = Counter::noop();
+        noop.add(3);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "acquiring a disabled counter must not allocate"
+    );
+}
+
+#[test]
+fn enabled_counter_bump_is_allocation_free_after_registration() {
+    // Live counters allocate once at registration (the Arc'd cell);
+    // the per-bump cost is a relaxed fetch_add on a plain AtomicU64.
+    let collector = Collector::enabled();
+    let counter = collector.counter("hot.bump");
+    let peak = collector.counter("hot.peak");
+    counter.add(1);
+    peak.record_max(1);
+    let before = allocations();
+    for _ in 0..10_000 {
+        counter.add(1);
+        peak.record_max(7);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "live counter bumps must not allocate"
+    );
+    assert_eq!(counter.value(), 10_001);
+    assert_eq!(peak.value(), 7);
+}

@@ -45,6 +45,9 @@ pub struct Passthrough;
 
 impl Attacker for Passthrough {}
 
+/// A PDU-selection predicate used by [`ScriptedAttacker`] hooks.
+pub type PduPredicate = Box<dyn FnMut(&Pdu) -> bool>;
+
 /// A scriptable attacker assembled from closures and capture storage —
 /// sufficient for every Table I scenario.
 #[derive(Default)]
@@ -53,13 +56,13 @@ pub struct ScriptedAttacker {
     pub captured_dl: Vec<Pdu>,
     /// Predicate selecting downlink PDUs to capture (observing does not
     /// disturb delivery unless `drop_captured_dl` is set).
-    pub capture_dl: Option<Box<dyn FnMut(&Pdu) -> bool>>,
+    pub capture_dl: Option<PduPredicate>,
     /// Whether captured downlink PDUs are also dropped.
     pub drop_captured_dl: bool,
     /// Predicate selecting downlink PDUs to drop silently.
-    pub drop_dl: Option<Box<dyn FnMut(&Pdu) -> bool>>,
+    pub drop_dl: Option<PduPredicate>,
     /// Predicate selecting uplink PDUs to drop silently.
-    pub drop_ul: Option<Box<dyn FnMut(&Pdu) -> bool>>,
+    pub drop_ul: Option<PduPredicate>,
     /// Count of downlink PDUs dropped.
     pub dropped_dl: usize,
     /// Count of uplink PDUs dropped.

@@ -66,14 +66,15 @@ fn auth_request_filter() -> Box<dyn FnMut(&Pdu) -> bool> {
     })
 }
 
-fn victim_and_bystander(cfg: &UeConfig) -> (RadioLink<ScriptedAttacker>, RadioLink<ScriptedAttacker>) {
+fn victim_and_bystander(
+    cfg: &UeConfig,
+) -> (RadioLink<ScriptedAttacker>, RadioLink<ScriptedAttacker>) {
     let mut victim_cfg = cfg.clone();
     victim_cfg.imsi = "001010000000077".into();
     let mut bystander_cfg = cfg.clone();
     bystander_cfg.imsi = "001010000000088".into();
-    bystander_cfg.subscriber_key = procheck_nas::crypto::Key::new(
-        bystander_cfg.subscriber_key.material() ^ 0xdead_beef,
-    );
+    bystander_cfg.subscriber_key =
+        procheck_nas::crypto::Key::new(bystander_cfg.subscriber_key.material() ^ 0xdead_beef);
     let mut victim = RadioLink::new(victim_cfg, ScriptedAttacker::default());
     let mut bystander = RadioLink::new(bystander_cfg, ScriptedAttacker::default());
     victim.attach();
@@ -141,8 +142,16 @@ pub fn run_scenario(scenario: Scenario, cfg: &UeConfig) -> LinkOutcome {
             let Some(consumed) = consumed else {
                 return failed_setup(scenario, "challenge not captured");
             };
-            let v = victim.inject_dl(&consumed).into_iter().map(|o| o.0).collect();
-            let b = bystander.inject_dl(&consumed).into_iter().map(|o| o.0).collect();
+            let v = victim
+                .inject_dl(&consumed)
+                .into_iter()
+                .map(|o| o.0)
+                .collect();
+            let b = bystander
+                .inject_dl(&consumed)
+                .into_iter()
+                .map(|o| o.0)
+                .collect();
             (v, b)
         }
         Scenario::ForgedAuthRequest => {
@@ -155,7 +164,11 @@ pub fn run_scenario(scenario: Scenario, cfg: &UeConfig) -> LinkOutcome {
                 ),
             });
             let v = victim.inject_dl(&forged).into_iter().map(|o| o.0).collect();
-            let b = bystander.inject_dl(&forged).into_iter().map(|o| o.0).collect();
+            let b = bystander
+                .inject_dl(&forged)
+                .into_iter()
+                .map(|o| o.0)
+                .collect();
             (v, b)
         }
         Scenario::SmcReplay => {
@@ -185,16 +198,26 @@ pub fn run_scenario(scenario: Scenario, cfg: &UeConfig) -> LinkOutcome {
                 identity: MobileIdentity::Imsi(Imsi::new("001010000000077")),
             });
             let v = victim.inject_dl(&page).into_iter().map(|o| o.0).collect();
-            let b = bystander.inject_dl(&page).into_iter().map(|o| o.0).collect();
+            let b = bystander
+                .inject_dl(&page)
+                .into_iter()
+                .map(|o| o.0)
+                .collect();
             (v, b)
         }
         Scenario::GutiPagingPresence => {
             let Some(guti) = victim.ue.guti() else {
                 return failed_setup(scenario, "victim has no GUTI");
             };
-            let page = Pdu::plain(&NasMessage::Paging { identity: MobileIdentity::Guti(guti) });
+            let page = Pdu::plain(&NasMessage::Paging {
+                identity: MobileIdentity::Guti(guti),
+            });
             let v = victim.inject_dl(&page).into_iter().map(|o| o.0).collect();
-            let b = bystander.inject_dl(&page).into_iter().map(|o| o.0).collect();
+            let b = bystander
+                .inject_dl(&page)
+                .into_iter()
+                .map(|o| o.0)
+                .collect();
             (v, b)
         }
         Scenario::GutiReuse => {
@@ -205,16 +228,32 @@ pub fn run_scenario(scenario: Scenario, cfg: &UeConfig) -> LinkOutcome {
             let g1 = victim.ue.guti().map(|g| g.to_string()).unwrap_or_default();
             victim.ue_trigger(TriggerEvent::TauDue);
             let g2 = victim.ue.guti().map(|g| g.to_string()).unwrap_or_default();
-            let b1 = bystander.ue.guti().map(|g| g.to_string()).unwrap_or_default();
+            let b1 = bystander
+                .ue
+                .guti()
+                .map(|g| g.to_string())
+                .unwrap_or_default();
             bystander.mme_trigger(TriggerEvent::StartGutiReallocation);
-            let b2 = bystander.ue.guti().map(|g| g.to_string()).unwrap_or_default();
+            let b2 = bystander
+                .ue
+                .guti()
+                .map(|g| g.to_string())
+                .unwrap_or_default();
             let v = vec![
                 "first_observation".to_string(),
-                if g1 == g2 { "same_identity".into() } else { "fresh_identity".into() },
+                if g1 == g2 {
+                    "same_identity".into()
+                } else {
+                    "fresh_identity".into()
+                },
             ];
             let b = vec![
                 "first_observation".to_string(),
-                if b1 == b2 { "same_identity".into() } else { "fresh_identity".into() },
+                if b1 == b2 {
+                    "same_identity".into()
+                } else {
+                    "fresh_identity".into()
+                },
             ];
             (v, b)
         }
@@ -237,7 +276,11 @@ pub fn run_scenario(scenario: Scenario, cfg: &UeConfig) -> LinkOutcome {
             };
             v_link.attacker.capture_dl = None;
             let v = v_link.inject_dl(&accept).into_iter().map(|o| o.0).collect();
-            let b = bystander.inject_dl(&accept).into_iter().map(|o| o.0).collect();
+            let b = bystander
+                .inject_dl(&accept)
+                .into_iter()
+                .map(|o| o.0)
+                .collect();
             (v, b)
         }
     };
@@ -352,8 +395,11 @@ mod tests {
     fn attach_accept_replay_links_buggy_impls() {
         assert!(!run_scenario(Scenario::AttachAcceptReplay, &reference()).distinguishable);
         assert!(
-            run_scenario(Scenario::AttachAcceptReplay, &UeConfig::srs("001010000000001", 0x43))
-                .distinguishable
+            run_scenario(
+                Scenario::AttachAcceptReplay,
+                &UeConfig::srs("001010000000001", 0x43)
+            )
+            .distinguishable
         );
     }
 }

@@ -58,7 +58,8 @@ pub fn a02_stealthy_kicking_off(cfg: &UeConfig) -> AttackReport {
     link.inject_ul(&Pdu::plain(&NasMessage::DetachRequest { switch_off: true }));
     if link.mme.state() == MmeState::Deregistered && link.ue.state() == UeState::Registered {
         report.succeeded = true;
-        report.note("network deregistered the subscriber while the UE still believes it is attached");
+        report
+            .note("network deregistered the subscriber while the UE still believes it is attached");
     }
     report
 }
@@ -97,8 +98,7 @@ pub fn a04_tmsi_reallocation_linkability(cfg: &UeConfig) -> AttackReport {
 
 /// Linkability from IMSI to GUTI via paging.
 pub fn a05_imsi_paging_linkability(cfg: &UeConfig) -> AttackReport {
-    let mut report =
-        AttackReport::new("A05", "Linkability IMSI→GUTI using paging_request", cfg);
+    let mut report = AttackReport::new("A05", "Linkability IMSI→GUTI using paging_request", cfg);
     let mut link = attach_link(cfg);
     let page = Pdu::plain(&NasMessage::Paging {
         identity: MobileIdentity::Imsi(Imsi::new(&cfg.imsi)),
@@ -115,10 +115,8 @@ pub fn a05_imsi_paging_linkability(cfg: &UeConfig) -> AttackReport {
 /// failure cause differs from bystanders'.
 pub fn a06_auth_sync_linkability(cfg: &UeConfig) -> AttackReport {
     let mut report = AttackReport::new("A06", "Linkability using auth_sync_failure", cfg);
-    let outcome = crate::linkability::run_scenario(
-        crate::linkability::Scenario::ConsumedAuthReplay,
-        cfg,
-    );
+    let outcome =
+        crate::linkability::run_scenario(crate::linkability::Scenario::ConsumedAuthReplay, cfg);
     if outcome.distinguishable {
         report.succeeded = true;
         report.note(outcome.summary);
@@ -182,7 +180,9 @@ pub fn a10_denial_of_all_services(cfg: &UeConfig) -> AttackReport {
     let mut rejected = 0;
     for _ in 0..3 {
         link.ue_trigger(TriggerEvent::PowerOn);
-        link.inject_dl(&Pdu::plain(&NasMessage::AttachReject { cause: EmmCause::EpsServicesNotAllowed }));
+        link.inject_dl(&Pdu::plain(&NasMessage::AttachReject {
+            cause: EmmCause::EpsServicesNotAllowed,
+        }));
         if link.ue.state() == UeState::Deregistered {
             rejected += 1;
         }
@@ -221,7 +221,9 @@ pub fn a12_detach_downgrade(cfg: &UeConfig) -> AttackReport {
     let mut report = AttackReport::new("A12", "Detach/Downgrade", cfg);
     let mut link = attach_link(cfg);
     // Force re-attach identity exposure + service loss via plain service_reject.
-    link.inject_dl(&Pdu::plain(&NasMessage::ServiceReject { cause: EmmCause::Congestion }));
+    link.inject_dl(&Pdu::plain(&NasMessage::ServiceReject {
+        cause: EmmCause::Congestion,
+    }));
     if link.ue.state() == UeState::Deregistered {
         report.succeeded = true;
         report.note("plain service_reject detached the UE; re-attach costs battery and identity");
@@ -235,7 +237,9 @@ pub fn a13_service_denial(cfg: &UeConfig) -> AttackReport {
     let mut link = attach_link(cfg);
     let mut denials = 0;
     for _ in 0..2 {
-        link.inject_dl(&Pdu::plain(&NasMessage::ServiceReject { cause: EmmCause::Congestion }));
+        link.inject_dl(&Pdu::plain(&NasMessage::ServiceReject {
+            cause: EmmCause::Congestion,
+        }));
         if link.ue.state() == UeState::Deregistered {
             denials += 1;
         }

@@ -86,7 +86,8 @@ pub(crate) fn harvest_challenge<A: crate::link::Attacker>(
 /// overwritten is replayed days later; the victim accepts it and
 /// regenerates keys, desynchronising it from the network.
 pub fn p1_service_disruption(cfg: &UeConfig) -> AttackReport {
-    let mut report = AttackReport::new("P1", "Service disruption using authentication_request", cfg);
+    let mut report =
+        AttackReport::new("P1", "Service disruption using authentication_request", cfg);
     let mut link = RadioLink::new(cfg.clone(), ScriptedAttacker::default());
     // Phase 1 (capture, Fig 4): the attacker's malicious UE spoofs an
     // attach with the victim's identity and pockets the resulting genuine
@@ -96,7 +97,9 @@ pub fn p1_service_disruption(cfg: &UeConfig) -> AttackReport {
         report.note("setup failed: no challenge harvested");
         return report;
     };
-    report.note("harvested a genuine authentication_request via a spoofed attach (unconsumed SQN index)");
+    report.note(
+        "harvested a genuine authentication_request via a spoofed attach (unconsumed SQN index)",
+    );
     // The victim attaches normally; its own challenges use later SQNs.
     link.attach();
     if link.ue.state() != UeState::Registered {
@@ -173,8 +176,11 @@ pub fn p3_selective_denial(cfg: &UeConfig) -> AttackReport {
 /// srsUE accepts any replayed protected message (and resets its counter);
 /// OAI accepts a replay of the last message.
 pub fn i1_broken_replay_protection(cfg: &UeConfig) -> AttackReport {
-    let mut report =
-        AttackReport::new("I1", "Broken replay protection with all protected messages", cfg);
+    let mut report = AttackReport::new(
+        "I1",
+        "Broken replay protection with all protected messages",
+        cfg,
+    );
     let mut link = RadioLink::new(
         cfg.clone(),
         ScriptedAttacker {
@@ -229,7 +235,9 @@ pub fn i2_plaintext_acceptance(cfg: &UeConfig) -> AttackReport {
     );
     let mut link = RadioLink::new(cfg.clone(), ScriptedAttacker::default());
     link.attach();
-    let forged = Pdu::plain(&NasMessage::GutiReallocationCommand { guti: Guti(0x6666_6666) });
+    let forged = Pdu::plain(&NasMessage::GutiReallocationCommand {
+        guti: Guti(0x6666_6666),
+    });
     let responses = link.inject_dl(&forged);
     if link.ue.guti() == Some(Guti(0x6666_6666)) {
         report.succeeded = true;
@@ -244,8 +252,11 @@ pub fn i2_plaintext_acceptance(cfg: &UeConfig) -> AttackReport {
 /// **I3** — counter reset with a replayed `authentication_request`:
 /// srsUE accepts the *same* SQN again.
 pub fn i3_counter_reset(cfg: &UeConfig) -> AttackReport {
-    let mut report =
-        AttackReport::new("I3", "Counter-reset with replayed authentication_request", cfg);
+    let mut report = AttackReport::new(
+        "I3",
+        "Counter-reset with replayed authentication_request",
+        cfg,
+    );
     let mut link = RadioLink::new(cfg.clone(), capture_plain_auth_request());
     link.attach();
     let Some(consumed) = link.attacker.captured_dl.first().cloned() else {
@@ -293,7 +304,9 @@ pub fn i4_security_bypass(cfg: &UeConfig) -> AttackReport {
     };
     link.attacker.capture_dl = None;
     // Kick the UE out with a plain reject.
-    link.inject_dl(&Pdu::plain(&NasMessage::AttachReject { cause: EmmCause::IllegalUe }));
+    link.inject_dl(&Pdu::plain(&NasMessage::AttachReject {
+        cause: EmmCause::IllegalUe,
+    }));
     if link.ue.state() != UeState::Deregistered {
         report.note("setup failed: reject not processed");
         return report;
@@ -323,8 +336,9 @@ pub fn i5_identity_leak(cfg: &UeConfig) -> AttackReport {
     let mut link = RadioLink::new(cfg.clone(), ScriptedAttacker::default());
     link.attach();
     let exposures_before = link.ue.metrics().imsi_exposures;
-    let responses =
-        link.inject_dl(&Pdu::plain(&NasMessage::IdentityRequest { id_type: IdentityType::Imsi }));
+    let responses = link.inject_dl(&Pdu::plain(&NasMessage::IdentityRequest {
+        id_type: IdentityType::Imsi,
+    }));
     let leaked = link.ue.metrics().imsi_exposures > exposures_before;
     if leaked {
         report.succeeded = true;

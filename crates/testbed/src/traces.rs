@@ -39,7 +39,10 @@ pub fn generate_trace(
             // Inverse-CDF exponential sampling.
             let u: f64 = rng.gen_range(1e-9..1.0);
             t += -mean_interval_hours * u.ln();
-            AuthEvent { at_hours: t, sqn: gen.next_sqn() }
+            AuthEvent {
+                at_hours: t,
+                sqn: gen.next_sqn(),
+            }
         })
         .collect()
 }
@@ -121,7 +124,10 @@ mod tests {
     /// The optional freshness limit L shrinks the window drastically.
     #[test]
     fn freshness_limit_shrinks_window() {
-        let cfg = SqnConfig { ind_bits: 5, freshness_limit: Some(4) };
+        let cfg = SqnConfig {
+            ind_bits: 5,
+            freshness_limit: Some(4),
+        };
         let trace = generate_trace(cfg, 42, 64, 6.0);
         let w = replay_window(cfg, &trace, 8);
         assert!(w.challenges_survived <= 4, "got {}", w.challenges_survived);

@@ -18,7 +18,10 @@ struct ReorderOnce {
 
 impl ReorderOnce {
     fn new() -> Self {
-        ReorderOnce { held: None, armed: true }
+        ReorderOnce {
+            held: None,
+            armed: true,
+        }
     }
 }
 
@@ -68,7 +71,9 @@ fn lossy_link_is_safe_and_recoverable() {
         let mut counter = seed;
         let attacker = ScriptedAttacker {
             drop_dl: Some(Box::new(move |_pdu: &Pdu| {
-                counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                counter = counter
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (counter >> 33) % 2 == 0
             })),
             ..ScriptedAttacker::default()

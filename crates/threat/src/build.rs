@@ -102,7 +102,10 @@ fn compatible_dl_metas(preds: &BTreeMap<&str, &str>, cfg: &ThreatConfig) -> Vec<
         retain(&mut metas, &["legit", "adv_plain"]);
     }
     match preds.get("mac_valid") {
-        Some(&"true") => retain(&mut metas, &["legit", "replay_last", "replay_old", "adv_forged"]),
+        Some(&"true") => retain(
+            &mut metas,
+            &["legit", "replay_last", "replay_old", "adv_forged"],
+        ),
         Some(_) => retain(&mut metas, &["adv_bad_mac"]),
         None => {}
     }
@@ -233,20 +236,36 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
     model.declare_var_owned(
         "ue_state".into(),
         ue_states.clone(),
-        vec![ue.initial().expect("UE FSM has an initial state").as_str().to_string()],
+        vec![ue
+            .initial()
+            .expect("UE FSM has an initial state")
+            .as_str()
+            .to_string()],
     );
     model.declare_var_owned(
         "mme_state".into(),
         mme_states.clone(),
-        vec![mme.initial().expect("MME FSM has an initial state").as_str().to_string()],
+        vec![mme
+            .initial()
+            .expect("MME FSM has an initial state")
+            .as_str()
+            .to_string()],
     );
-    model.declare_var_owned("chan_dl".into(), str_refs(&dl_messages), vec!["none".into()]);
+    model.declare_var_owned(
+        "chan_dl".into(),
+        str_refs(&dl_messages),
+        vec!["none".into()],
+    );
     model.declare_var_owned(
         "chan_dl_meta".into(),
         DL_METAS.iter().map(|s| s.to_string()).collect(),
         vec!["none".into()],
     );
-    model.declare_var_owned("chan_ul".into(), str_refs(&ul_messages), vec!["none".into()]);
+    model.declare_var_owned(
+        "chan_ul".into(),
+        str_refs(&ul_messages),
+        vec!["none".into()],
+    );
     model.declare_var_owned(
         "chan_ul_meta".into(),
         UL_METAS.iter().map(|s| s.to_string()).collect(),
@@ -262,10 +281,18 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
     let mut mon_domain = vec!["none".to_string()];
     mon_domain.extend(dl_messages.iter().cloned());
     if cfg.monitor_replay {
-        model.declare_var_owned("mon_replay_accepted".into(), mon_domain.clone(), vec!["none".into()]);
+        model.declare_var_owned(
+            "mon_replay_accepted".into(),
+            mon_domain.clone(),
+            vec!["none".into()],
+        );
     }
     if cfg.monitor_plain {
-        model.declare_var_owned("mon_plain_accepted".into(), mon_domain.clone(), vec!["none".into()]);
+        model.declare_var_owned(
+            "mon_plain_accepted".into(),
+            mon_domain.clone(),
+            vec!["none".into()],
+        );
     }
     if cfg.monitor_bypass {
         model.declare_var_owned(
@@ -282,7 +309,12 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
     if cfg.monitor_imsi {
         model.declare_var_owned(
             "mon_imsi_disclosed".into(),
-            vec!["none".into(), "pre_security".into(), "post_security".into(), "paging".into()],
+            vec![
+                "none".into(),
+                "pre_security".into(),
+                "post_security".into(),
+                "paging".into(),
+            ],
             vec!["none".into()],
         );
     }
@@ -293,7 +325,11 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
         .cloned()
         .collect();
     for m in &replayable {
-        model.declare_var_owned(format!("cap_{m}"), vec!["f".into(), "t".into()], vec!["f".into()]);
+        model.declare_var_owned(
+            format!("cap_{m}"),
+            vec!["f".into(), "t".into()],
+            vec!["f".into()],
+        );
     }
     let mk = |set: &BTreeSet<String>| -> Vec<String> {
         let mut d = vec!["none".to_string()];
@@ -307,10 +343,18 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
         model.declare_var_owned("ue_last_action".into(), ue_act_domain, vec!["none".into()]);
     }
     if cfg.track_mme_last {
-        model.declare_var_owned("mme_last_event".into(), mk(&mme_events), vec!["none".into()]);
+        model.declare_var_owned(
+            "mme_last_event".into(),
+            mk(&mme_events),
+            vec!["none".into()],
+        );
         let mut mme_act_domain = mk(&mme_actions);
         mme_act_domain.push("null_action".into());
-        model.declare_var_owned("mme_last_action".into(), mme_act_domain, vec!["none".into()]);
+        model.declare_var_owned(
+            "mme_last_action".into(),
+            mme_act_domain,
+            vec!["none".into()],
+        );
     }
 
     // ----- UE commands ----------------------------------------------------
@@ -413,8 +457,8 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
                 meta: "-".into(),
                 action: action.unwrap_or("-").into(),
             };
-            let mut cmd = GuardedCmd::new(info.render(uniq), Expr::and(guard))
-                .set("ue_state", t.to.as_str());
+            let mut cmd =
+                GuardedCmd::new(info.render(uniq), Expr::and(guard)).set("ue_state", t.to.as_str());
             uniq += 1;
             if let Some(a) = action {
                 cmd = cmd.set("chan_ul", a).set("chan_ul_meta", "legit");
@@ -711,11 +755,21 @@ mod tests {
     fn model_validates_and_has_expected_vars() {
         let model = build_threat_model(&mini_ue(), &mini_mme(), &ThreatConfig::lte());
         assert!(model.validate().is_empty(), "{:?}", model.validate());
-        for v in ["ue_state", "mme_state", "chan_dl", "chan_dl_meta", "chan_ul", "last_auth_sqn"] {
+        for v in [
+            "ue_state",
+            "mme_state",
+            "chan_dl",
+            "chan_dl_meta",
+            "chan_ul",
+            "last_auth_sqn",
+        ] {
             assert!(model.var(v).is_some(), "missing {v}");
         }
         assert!(model.var("cap_authentication_request").is_some());
-        assert!(model.var("cap_attach_accept").is_none(), "not in this mini FSM");
+        assert!(
+            model.var("cap_attach_accept").is_none(),
+            "not in this mini FSM"
+        );
     }
 
     #[test]
@@ -723,13 +777,17 @@ mod tests {
         let model = build_threat_model(&mini_ue(), &mini_mme(), &ThreatConfig::lte());
         let labels: Vec<&str> = model.commands().iter().map(|c| c.label.as_str()).collect();
         // The fresh-count transition binds to legit (and forged), never replays.
-        assert!(labels.iter().any(|l| l.starts_with("ue:recv:emm_information:legit")));
+        assert!(labels
+            .iter()
+            .any(|l| l.starts_with("ue:recv:emm_information:legit")));
         assert!(!labels
             .iter()
             .any(|l| l.starts_with("ue:recv:emm_information:replay_old:")
                 && l.contains(":null_action")));
         // The stale-count transition binds to replay_old.
-        assert!(labels.iter().any(|l| l.starts_with("ue:recv:emm_information:replay_old")));
+        assert!(labels
+            .iter()
+            .any(|l| l.starts_with("ue:recv:emm_information:replay_old")));
         // The accepting auth transition binds to the unconsumed replay (P1 window).
         assert!(labels
             .iter()
@@ -742,23 +800,28 @@ mod tests {
 
     #[test]
     fn freshness_limit_removes_unconsumed_binding_from_accepting_transition() {
-        let model =
-            build_threat_model(&mini_ue(), &mini_mme(), &ThreatConfig::lte_with_freshness_limit());
+        let model = build_threat_model(
+            &mini_ue(),
+            &mini_mme(),
+            &ThreatConfig::lte_with_freshness_limit(),
+        );
         let accepting_unconsumed = model.commands().iter().any(|c| {
             c.label
                 .starts_with("ue:recv:authentication_request:replay_old_unconsumed")
                 && c.updates.get("last_auth_sqn").map(|s| s.as_str()) == Some("stale")
         });
-        assert!(!accepting_unconsumed, "L closes the stale-acceptance window");
+        assert!(
+            !accepting_unconsumed,
+            "L closes the stale-acceptance window"
+        );
     }
 
     #[test]
     fn res_protected_uplink_not_forgeable() {
         let model = build_threat_model(&mini_ue(), &mini_mme(), &ThreatConfig::lte());
-        assert!(!model
-            .commands()
-            .iter()
-            .any(|c| c.label.starts_with("mme:recv:authentication_response:adv_plain")));
+        assert!(!model.commands().iter().any(|c| c
+            .label
+            .starts_with("mme:recv:authentication_response:adv_plain")));
     }
 
     #[test]

@@ -52,9 +52,8 @@ pub struct ThreatConfig {
 impl ThreatConfig {
     /// The default 4G LTE configuration used by the evaluation.
     pub fn lte() -> Self {
-        let set = |items: &[&str]| -> BTreeSet<String> {
-            items.iter().map(|s| s.to_string()).collect()
-        };
+        let set =
+            |items: &[&str]| -> BTreeSet<String> { items.iter().map(|s| s.to_string()).collect() };
         ThreatConfig {
             replayable_dl: set(&[
                 "authentication_request",
@@ -191,7 +190,10 @@ mod tests {
     #[test]
     fn lte_defaults_reflect_vendor_reality() {
         let c = ThreatConfig::lte();
-        assert!(c.stale_unconsumed_sqn_accepted, "no vendor sets L (paper P1)");
+        assert!(
+            c.stale_unconsumed_sqn_accepted,
+            "no vendor sets L (paper P1)"
+        );
         assert!(c.replayable_dl.contains("authentication_request"));
         assert!(c.plain_injectable_dl.contains("attach_reject"));
     }

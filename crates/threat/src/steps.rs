@@ -125,7 +125,10 @@ impl StepSemantics {
             Participant::Adversary => match self.required_term(info) {
                 None => {
                     // Capture steps also grow knowledge.
-                    if matches!(info.adv_kind(), Some(AdvKind::Capture | AdvKind::CaptureDrop)) {
+                    if matches!(
+                        info.adv_kind(),
+                        Some(AdvKind::Capture | AdvKind::CaptureDrop)
+                    ) {
                         ded.observe(self.legit_dl_term(&info.subject));
                     }
                     StepOutcome::Feasible
@@ -246,19 +249,28 @@ mod tests {
     fn auth_request_term_is_keyed() {
         let s = sem();
         let t = s.legit_dl_term("authentication_request");
-        assert!(t.subterms().iter().any(|st| matches!(st, Term::Key(k) if k == "k_subscriber")));
+        assert!(t
+            .subterms()
+            .iter()
+            .any(|st| matches!(st, Term::Key(k) if k == "k_subscriber")));
     }
 
     #[test]
     fn protected_vs_plain_term_shapes() {
         let s = sem();
         assert!(matches!(s.legit_dl_term("paging"), Term::Atom(_)));
-        assert!(matches!(s.legit_dl_term("emm_information"), Term::Pair(_, _)));
+        assert!(matches!(
+            s.legit_dl_term("emm_information"),
+            Term::Pair(_, _)
+        ));
     }
 
     #[test]
     fn replay_helper() {
-        assert!(replay_feasibility(&ThreatConfig::lte(), "authentication_request"));
+        assert!(replay_feasibility(
+            &ThreatConfig::lte(),
+            "authentication_request"
+        ));
         assert!(replay_feasibility(&ThreatConfig::lte(), "emm_information"));
     }
 }

@@ -11,7 +11,11 @@ use procheck_threat::{build_threat_model, ThreatConfig};
 
 fn models(cfg: &UeConfig) -> (procheck_fsm::Fsm, procheck_fsm::Fsm) {
     let report = run_suite(cfg, &suites::full_suite(cfg));
-    let ue = extract_fsm("ue", &report.ue_log, &ExtractorConfig::for_ue(&cfg.signatures));
+    let ue = extract_fsm(
+        "ue",
+        &report.ue_log,
+        &ExtractorConfig::for_ue(&cfg.signatures),
+    );
     let mme = extract_fsm("mme", &report.mme_log, &ExtractorConfig::for_mme());
     (ue, mme)
 }
@@ -24,7 +28,11 @@ fn composed_model_is_tractable() {
     assert!(model.validate().is_empty(), "{:?}", model.validate());
     let stats = explore_stats(&model, 3_000_000).expect("within limits");
     assert!(stats.states > 100, "non-trivial: {} states", stats.states);
-    assert!(stats.states < 3_000_000, "tractable: {} states", stats.states);
+    assert!(
+        stats.states < 3_000_000,
+        "tractable: {} states",
+        stats.states
+    );
     println!(
         "IMP^mu: {} commands, {} reachable states, {} transitions",
         model.commands().len(),
@@ -46,7 +54,10 @@ fn attach_completion_reachable_under_adversary() {
         ]),
     );
     let v = check_bounded(&model, &p, 3_000_000).expect("check runs");
-    assert!(matches!(v, Verdict::Reachable(_)), "normal attach must survive composition");
+    assert!(
+        matches!(v, Verdict::Reachable(_)),
+        "normal attach must survive composition"
+    );
 }
 
 #[test]
@@ -61,7 +72,9 @@ fn p1_stale_acceptance_reachable_in_imp() {
     };
     // The trace must involve a replayed challenge.
     assert!(
-        ce.command_labels().iter().any(|l| l.contains("replay_old_unconsumed")),
+        ce.command_labels()
+            .iter()
+            .any(|l| l.contains("replay_old_unconsumed")),
         "trace: {ce}"
     );
 }

@@ -1,10 +1,10 @@
 //! Property-based tests for the threat instrumentor: label round-trips
 //! and structural invariants of the composed model.
 
-use proptest::prelude::*;
 use procheck_fsm::{Fsm, Transition};
 use procheck_smv::expr::Expr;
 use procheck_threat::{build_threat_model, AdvKind, CommandInfo, Participant, ThreatConfig};
+use proptest::prelude::*;
 
 fn arb_info() -> impl Strategy<Value = CommandInfo> {
     let ident = "[a-z_][a-z0-9_]{0,16}";
@@ -12,7 +12,12 @@ fn arb_info() -> impl Strategy<Value = CommandInfo> {
         prop_oneof![Just(Participant::Ue), Just(Participant::Mme)],
         prop_oneof![Just("recv"), Just("trig")],
         ident,
-        prop_oneof![Just("legit"), Just("replay_old"), Just("adv_plain"), Just("-")],
+        prop_oneof![
+            Just("legit"),
+            Just("replay_old"),
+            Just("adv_plain"),
+            Just("-")
+        ],
         prop_oneof![Just("attach_complete".to_string()), Just("-".to_string())],
     )
         .prop_map(|(who, kind, subject, meta, action)| CommandInfo {
@@ -28,14 +33,35 @@ fn arb_info() -> impl Strategy<Value = CommandInfo> {
 fn arb_protocol_fsm(participant: &'static str) -> impl Strategy<Value = Fsm> {
     let (states, events, actions): (&[&str], &[&str], &[&str]) = if participant == "ue" {
         (
-            &["emm_deregistered", "emm_registered_initiated", "emm_registered"],
-            &["attach_enabled", "authentication_request", "emm_information", "paging"],
-            &["attach_request", "authentication_response", "service_request"],
+            &[
+                "emm_deregistered",
+                "emm_registered_initiated",
+                "emm_registered",
+            ],
+            &[
+                "attach_enabled",
+                "authentication_request",
+                "emm_information",
+                "paging",
+            ],
+            &[
+                "attach_request",
+                "authentication_response",
+                "service_request",
+            ],
         )
     } else {
         (
-            &["mme_deregistered", "mme_wait_auth_response", "mme_registered"],
-            &["attach_request", "authentication_response", "service_request"],
+            &[
+                "mme_deregistered",
+                "mme_wait_auth_response",
+                "mme_registered",
+            ],
+            &[
+                "attach_request",
+                "authentication_response",
+                "service_request",
+            ],
             &["authentication_request", "emm_information", "paging"],
         )
     };

@@ -28,15 +28,23 @@ fn main() {
     println!("{}", dot::to_dot(&models.ue));
 
     // 2. Pick a property — S06, TS 24.301's replay-protection requirement.
-    let prop = registry().into_iter().find(|p| p.id == "S06").expect("S06 exists");
-    println!("property {}: {}\n  \"{}\"", prop.id, prop.title, prop.description);
+    let prop = registry()
+        .into_iter()
+        .find(|p| p.id == "S06")
+        .expect("S06 exists");
+    println!(
+        "property {}: {}\n  \"{}\"",
+        prop.id, prop.title, prop.description
+    );
 
     // 3. Compose the threat-instrumented model IMP^u and run the CEGAR
     //    loop (model checker <-> crypto verifier).
     let threat_cfg = prop.slice.threat_config();
     let model = build_threat_model(&models.ue, &models.mme, &threat_cfg);
     let semantics = StepSemantics::new(threat_cfg);
-    let Check::Model(formula) = &prop.check else { unreachable!("S06 is a model property") };
+    let Check::Model(formula) = &prop.check else {
+        unreachable!("S06 is a model property")
+    };
     let outcome = cegar_check(&model, formula, &semantics, 2_000_000, 24).expect("check runs");
 
     // 4. Report. On srsUE this property is violated: issue I1.

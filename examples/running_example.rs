@@ -51,7 +51,11 @@ fn main() {
     for t in fsm.transitions() {
         println!("  {t}");
     }
-    assert_eq!(fsm.transition_count(), 1, "the example yields one transition");
+    assert_eq!(
+        fsm.transition_count(),
+        1,
+        "the example yields one transition"
+    );
     let t = fsm.transitions().next().expect("one transition");
     assert_eq!(t.from.as_str(), "emm_registered_initiated_smc");
     assert_eq!(t.to.as_str(), "emm_registered");

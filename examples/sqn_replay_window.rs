@@ -22,8 +22,20 @@ fn main() {
     println!("{}", "-".repeat(76));
     for (label, cfg) in [
         ("4G/5G vendor default (L unset)", SqnConfig::default()),
-        ("with freshness limit L=4", SqnConfig { ind_bits: 5, freshness_limit: Some(4) }),
-        ("with freshness limit L=16", SqnConfig { ind_bits: 5, freshness_limit: Some(16) }),
+        (
+            "with freshness limit L=4",
+            SqnConfig {
+                ind_bits: 5,
+                freshness_limit: Some(4),
+            },
+        ),
+        (
+            "with freshness limit L=16",
+            SqnConfig {
+                ind_bits: 5,
+                freshness_limit: Some(16),
+            },
+        ),
     ] {
         for mean_hours in [2.0f64, 6.0, 12.0] {
             let trace = generate_trace(cfg, 42, 64, mean_hours);

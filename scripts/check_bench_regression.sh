@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Benchmark regression gate.
+#
+# Compares the freshly generated BENCH_pipeline.json / BENCH_telemetry.json
+# against the committed BENCH_baseline.json and fails when either gated
+# metric drops more than 25% below its baseline:
+#
+#   * states_per_sec     — best checker throughput across the measured
+#                          thread counts (BENCH_pipeline.json)
+#   * compose_hit_rate   — threat-model composition cache hit rate
+#                          (BENCH_telemetry.json totals; deterministic)
+#
+# Usage: scripts/check_bench_regression.sh [baseline] [pipeline] [telemetry]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${1:-BENCH_baseline.json}
+PIPELINE=${2:-BENCH_pipeline.json}
+TELEMETRY=${3:-BENCH_telemetry.json}
+
+for f in "$BASELINE" "$PIPELINE" "$TELEMETRY"; do
+  if [ ! -f "$f" ]; then
+    echo "missing $f (run: cargo run --release --bin pipeline_speedup)" >&2
+    exit 1
+  fi
+done
+
+python3 - "$BASELINE" "$PIPELINE" "$TELEMETRY" <<'EOF'
+import json
+import sys
+
+baseline_path, pipeline_path, telemetry_path = sys.argv[1:4]
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(pipeline_path) as f:
+    pipeline = json.load(f)
+with open(telemetry_path) as f:
+    telemetry = json.load(f)
+
+ALLOWED_DROP = 0.25
+current = {
+    "states_per_sec": max(run["states_per_sec"] for run in pipeline["runs"]),
+    "compose_hit_rate": telemetry["totals"]["compose_hit_rate"],
+}
+
+failures = []
+for name, value in current.items():
+    base = baseline[name]
+    floor = base * (1.0 - ALLOWED_DROP)
+    ok = value >= floor
+    print(f"  {name}: current {value:.2f}, baseline {base:.2f}, "
+          f"floor {floor:.2f} -> {'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        failures.append(name)
+
+if failures:
+    sys.exit(f"benchmark regression: {', '.join(failures)} dropped more "
+             f"than {ALLOWED_DROP:.0%} below {baseline_path}")
+print("benchmark gates passed")
+EOF

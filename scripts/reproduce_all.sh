@@ -33,5 +33,8 @@ cargo run --release -p procheck-bench --bin model_diff
 echo "== criterion benches =="
 cargo bench -p procheck-bench
 
-echo "== parallel-engine speedup (writes BENCH_pipeline.json) =="
+echo "== parallel-engine speedup + telemetry (writes BENCH_pipeline.json, BENCH_telemetry.json) =="
 cargo run --release -p procheck-bench --bin pipeline_speedup
+
+echo "== benchmark regression gate (vs BENCH_baseline.json) =="
+scripts/check_bench_regression.sh

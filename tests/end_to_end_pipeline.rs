@@ -35,7 +35,10 @@ fn run_matrix(implementation: Implementation, expected_col: usize) {
     let ids: Vec<&'static str> = MATRIX.iter().map(|(_, p, _, _, _)| *p).collect();
     let report = analyze_implementation(
         implementation,
-        &AnalysisConfig { property_filter: Some(ids), ..AnalysisConfig::default() },
+        &AnalysisConfig {
+            property_filter: Some(ids),
+            ..AnalysisConfig::default()
+        },
     );
     for (attack, prop, on_ref, on_srs, on_oai) in MATRIX {
         let expected = match expected_col {
@@ -43,7 +46,9 @@ fn run_matrix(implementation: Implementation, expected_col: usize) {
             1 => *on_srs,
             _ => *on_oai,
         };
-        let r = report.result(prop).unwrap_or_else(|| panic!("{prop} missing"));
+        let r = report
+            .result(prop)
+            .unwrap_or_else(|| panic!("{prop} missing"));
         assert_eq!(
             flagged(&r.outcome),
             expected,
@@ -77,10 +82,17 @@ fn table1_matrix_oai() {
 fn standards_attacks_are_implementation_independent() {
     let ids = vec!["S01", "S19", "S21", "S22", "S24", "S29"];
     let mut per_impl = Vec::new();
-    for imp in [Implementation::Reference, Implementation::Srs, Implementation::Oai] {
+    for imp in [
+        Implementation::Reference,
+        Implementation::Srs,
+        Implementation::Oai,
+    ] {
         let report = analyze_implementation(
             imp,
-            &AnalysisConfig { property_filter: Some(ids.clone()), ..AnalysisConfig::default() },
+            &AnalysisConfig {
+                property_filter: Some(ids.clone()),
+                ..AnalysisConfig::default()
+            },
         );
         let flagged_ids: Vec<&str> = report
             .results
@@ -92,7 +104,11 @@ fn standards_attacks_are_implementation_independent() {
     }
     assert_eq!(per_impl[0], per_impl[1], "reference vs srs");
     assert_eq!(per_impl[1], per_impl[2], "srs vs oai");
-    assert_eq!(per_impl[0].len(), ids.len(), "all standards-level attacks fire");
+    assert_eq!(
+        per_impl[0].len(),
+        ids.len(),
+        "all standards-level attacks fire"
+    );
 }
 
 /// The paper's summary numbers: 62 properties split 37/25; the reference
@@ -119,6 +135,9 @@ fn finding_classification_split() {
         .filter(|r| r.is_implementation_finding())
         .map(|r| r.property_id)
         .collect();
-    assert!(!srs_impl.is_empty(), "srsUE has implementation findings: {srs_impl:?}");
+    assert!(
+        !srs_impl.is_empty(),
+        "srsUE has implementation findings: {srs_impl:?}"
+    );
     assert!(srs_impl.contains(&"S13"), "I4 flagged: {srs_impl:?}");
 }

@@ -60,5 +60,8 @@ fn freshness_limit_closes_both_generations() {
     for _ in 0..10 {
         arr.check_and_accept(gen.next_sqn());
     }
-    assert!(matches!(arr.check_and_accept(captured), SqnVerdict::SyncFailure { .. }));
+    assert!(matches!(
+        arr.check_and_accept(captured),
+        SqnVerdict::SyncFailure { .. }
+    ));
 }

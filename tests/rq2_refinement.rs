@@ -51,12 +51,17 @@ fn all_three_mapping_kinds_exercised() {
         .transition_mappings
         .iter()
         .find_map(|(t, m)| {
-            (t.condition.iter().any(|c| c.name() == "security_mode_command")).then_some(m)
+            (t.condition
+                .iter()
+                .any(|c| c.name() == "security_mode_command"))
+            .then_some(m)
         })
         .expect("SMC transition is mapped");
     match smc_split {
         TransitionMapping::Split { via } => {
-            assert!(via.iter().any(|s| s.as_str().contains("emm_registered_initiated")));
+            assert!(via
+                .iter()
+                .any(|s| s.as_str().contains("emm_registered_initiated")));
         }
         other => panic!("expected the SMC transition to split, got {other:?}"),
     }
@@ -67,20 +72,24 @@ fn all_three_mapping_kinds_exercised() {
 /// constraints like sequence numbers).
 #[test]
 fn extracted_model_is_strictly_richer() {
-    for imp in [Implementation::Reference, Implementation::Srs, Implementation::Oai] {
+    for imp in [
+        Implementation::Reference,
+        Implementation::Srs,
+        Implementation::Oai,
+    ] {
         let models = extract_models(imp, &AnalysisConfig::default());
         let pro = FsmStats::of(&models.ue);
         let lte = FsmStats::of(&lteinspector::ue_model());
         assert!(pro.states > lte.states, "{imp:?}: more states (sub-states)");
         assert!(pro.conditions > lte.conditions, "{imp:?}: more conditions");
-        assert!(pro.predicate_conditions > 0, "{imp:?}: payload predicates present");
+        assert!(
+            pro.predicate_conditions > 0,
+            "{imp:?}: payload predicates present"
+        );
         assert_eq!(lte.predicate_conditions, 0, "hand-built model has none");
         // Sequence-number constraints (count_delta) are among them.
         assert!(
-            models
-                .ue
-                .conditions()
-                .any(|c| c.name() == "count_delta"),
+            models.ue.conditions().any(|c| c.name() == "count_delta"),
             "{imp:?}: sequence-number constraints extracted"
         );
     }

@@ -53,7 +53,10 @@ fn all_common_properties_run_on_both_models() {
 #[test]
 fn composed_state_spaces_are_tractable() {
     let models = extract_models(Implementation::Reference, &AnalysisConfig::default());
-    let p1 = common_properties().into_iter().next().expect("14 properties");
+    let p1 = common_properties()
+        .into_iter()
+        .next()
+        .expect("14 properties");
     let threat_cfg = p1.slice.threat_config();
 
     let pro = build_threat_model(&models.ue, &models.mme, &threat_cfg);
@@ -66,6 +69,13 @@ fn composed_state_spaces_are_tractable() {
     );
     let lte_stats = explore_stats(&lte, STATE_LIMIT).expect("baseline model explores");
 
-    assert!(pro_stats.states > lte_stats.states, "extracted model is richer");
-    assert!(pro_stats.states < STATE_LIMIT, "and still tractable: {}", pro_stats.states);
+    assert!(
+        pro_stats.states > lte_stats.states,
+        "extracted model is richer"
+    );
+    assert!(
+        pro_stats.states < STATE_LIMIT,
+        "and still tractable: {}",
+        pro_stats.states
+    );
 }

@@ -51,11 +51,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
@@ -149,7 +153,10 @@ impl Bencher {
             black_box(routine());
             warm_iters += 1;
         }
-        let est = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        let est = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
         let budget_iters = if est.is_zero() {
             self.sample_size as u64 * 1_000
         } else {

@@ -17,7 +17,9 @@ impl<T> Mutex<T> {
     }
 
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|_| panic!("lock poisoned by a panicking holder"))
+        self.0
+            .lock()
+            .unwrap_or_else(|_| panic!("lock poisoned by a panicking holder"))
     }
 
     pub fn into_inner(self) -> T {
@@ -36,11 +38,15 @@ impl<T> RwLock<T> {
     }
 
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(|_| panic!("lock poisoned by a panicking holder"))
+        self.0
+            .read()
+            .unwrap_or_else(|_| panic!("lock poisoned by a panicking holder"))
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(|_| panic!("lock poisoned by a panicking holder"))
+        self.0
+            .write()
+            .unwrap_or_else(|_| panic!("lock poisoned by a panicking holder"))
     }
 }
 

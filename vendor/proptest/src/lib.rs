@@ -26,7 +26,9 @@ pub mod test_runner {
 
     impl TestRng {
         pub fn new(seed: u64) -> Self {
-            TestRng { state: seed ^ 0x6C62_272E_07BB_0142 }
+            TestRng {
+                state: seed ^ 0x6C62_272E_07BB_0142,
+            }
         }
 
         pub fn next_u64(&mut self) -> u64 {

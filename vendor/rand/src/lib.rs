@@ -36,7 +36,9 @@ pub trait SeedableRng: Sized {
 
 impl SeedableRng for rngs::StdRng {
     fn seed_from_u64(seed: u64) -> Self {
-        rngs::StdRng { state: seed ^ 0x51F0_6E85_36A8_CB0D }
+        rngs::StdRng {
+            state: seed ^ 0x51F0_6E85_36A8_CB0D,
+        }
     }
 }
 
