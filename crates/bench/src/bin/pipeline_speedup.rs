@@ -1,50 +1,72 @@
 //! Parallel-engine speedup measurement.
 //!
 //! Times `analyze_implementation` over the full property registry on
-//! the Reference implementation at 1/2/4/8 worker threads, and writes
+//! the Reference implementation across a thread sweep, and writes
 //! `BENCH_pipeline.json` at the repo root so later changes have a perf
-//! trajectory to compare against. Also reported: how many distinct
-//! threat models a run composes (the shared cache builds one per
-//! distinct `ThreatConfig`, not one per property) and the checker's
-//! states-explored/second over the measured runs.
+//! trajectory to compare against. The sweep is capped at the machine's
+//! `available_parallelism`: timing more workers than hardware threads
+//! measures scheduler noise, not the engine (each row still records
+//! `hardware_threads` and an `oversubscribed` flag so rows from
+//! different machines stay comparable). Also reported: how many
+//! distinct threat models a run composes (the shared cache builds one
+//! per distinct `ThreatConfig`, not one per property), the
+//! reachability-graph cache's explore-once accounting, and the
+//! checker's states-explored/second over the measured runs.
 //!
 //! Each measured run records into its own telemetry [`Collector`]; the
 //! counter snapshots must be identical across thread counts (the
 //! determinism contract), and the last run's aggregation is written as
 //! `BENCH_telemetry.json` — the per-property Table II rows plus stage
-//! totals that `scripts/check_bench_regression.sh` gates on.
+//! totals that `scripts/check_bench_regression.sh` gates on. Set
+//! `PROCHECK_NO_GRAPH_CACHE=1` to measure the re-exploration cost the
+//! graph cache removes (CI runs both and uploads both artifacts).
 
 use procheck::pipeline::{analyze_implementation, extract_models, AnalysisConfig};
 use procheck::telemetry_report::TelemetryReport;
-use procheck_props::registry;
+use procheck_props::{distinct_threat_configs, registry};
 use procheck_smv::checker::states_explored_total;
 use procheck_stack::quirks::Implementation;
 use procheck_telemetry::Collector;
 use procheck_threat::build_threat_model;
-use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const CANDIDATE_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The sweep actually run: serial, the classic powers of two that fit
+/// the machine, and the machine's own width — deduplicated, ascending.
+fn thread_sweep(hardware: usize) -> Vec<usize> {
+    let mut sweep: Vec<usize> = CANDIDATE_THREAD_COUNTS
+        .iter()
+        .copied()
+        .filter(|&t| t <= hardware)
+        .chain([1, hardware])
+        .collect();
+    sweep.sort_unstable();
+    sweep.dedup();
+    sweep
+}
 
 fn main() {
     let hardware = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let graph_cache_on = std::env::var_os("PROCHECK_NO_GRAPH_CACHE").is_none();
     let properties = registry().len();
-    let distinct_threat_models: HashSet<_> =
-        registry().iter().map(|p| p.slice.threat_config()).collect();
+    let distinct_threat_models = distinct_threat_configs();
     println!(
         "pipeline speedup: {properties} properties, {} distinct threat models, \
-         {hardware} hardware thread(s)",
-        distinct_threat_models.len()
+         {hardware} hardware thread(s), graph cache {}",
+        distinct_threat_models.len(),
+        if graph_cache_on { "on" } else { "off" },
     );
 
+    let sweep = thread_sweep(hardware);
     let mut rows: Vec<(usize, f64, u64)> = Vec::new();
     let mut counter_snapshots = Vec::new();
     let mut last_run = None;
-    for threads in THREAD_COUNTS {
+    for &threads in &sweep {
         let collector = Collector::enabled();
         let cfg = AnalysisConfig {
             threads,
@@ -95,9 +117,14 @@ fn main() {
         rows.len()
     );
 
+    // Speedup is computed over well-posed rows only: a run with more
+    // workers than hardware threads measures oversubscription, not the
+    // engine. The capped sweep should never produce one, but the guard
+    // keeps the number honest if the sweep policy changes.
     let serial = rows[0].1;
     let best = rows
         .iter()
+        .filter(|&&(threads, _, _)| threads <= hardware)
         .map(|&(_, s, _)| s)
         .fold(f64::INFINITY, f64::min);
     println!(
@@ -111,7 +138,10 @@ fn main() {
     // hardware-independent.
     let models = extract_models(Implementation::Reference, &AnalysisConfig::default());
     let start = Instant::now();
-    for p in registry() {
+    for p in registry()
+        .iter()
+        .filter(|p| matches!(p.check, procheck_props::Check::Model(_)))
+    {
         let _ = build_threat_model(&models.ue, &models.mme, &p.slice.threat_config());
     }
     let per_property_secs = start.elapsed().as_secs_f64();
@@ -125,6 +155,10 @@ fn main() {
          {distinct_secs:.3}s distinct-only ({:.2}x)",
         per_property_secs / distinct_secs.max(1e-9)
     );
+
+    let (report, collector) = last_run.expect("at least one measured run");
+    let telemetry = TelemetryReport::from_run(&report, &collector);
+    let graph = &report.graph_cache_stats;
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -140,13 +174,16 @@ fn main() {
         distinct_threat_models.len()
     );
     let _ = writeln!(json, "  \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "  \"graph_cache_enabled\": {graph_cache_on},");
     let _ = writeln!(json, "  \"runs\": [");
     for (i, (threads, secs, states)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"threads\": {threads}, \"wall_clock_secs\": {secs:.4}, \
+            "    {{\"threads\": {threads}, \"hardware_threads\": {hardware}, \
+             \"oversubscribed\": {}, \"wall_clock_secs\": {secs:.4}, \
              \"states_explored\": {states}, \"states_per_sec\": {:.0}}}{comma}",
+            *threads > hardware,
             *states as f64 / secs.max(1e-9)
         );
     }
@@ -156,6 +193,27 @@ fn main() {
         "  \"best_speedup_vs_serial\": {:.3},",
         serial / best.max(1e-9)
     );
+    let _ = writeln!(json, "  \"graph_cache\": {{");
+    let _ = writeln!(json, "    \"lookups\": {},", graph.lookups);
+    let _ = writeln!(json, "    \"builds\": {},", graph.builds);
+    let _ = writeln!(json, "    \"hits\": {},", graph.hits());
+    let _ = writeln!(json, "    \"hit_rate\": {:.6},", graph.hit_rate());
+    let _ = writeln!(
+        json,
+        "    \"nodes_reused\": {},",
+        telemetry.totals.graph_cache_nodes_reused
+    );
+    let _ = writeln!(
+        json,
+        "    \"states_explored\": {},",
+        telemetry.totals.smv_states_explored
+    );
+    let _ = writeln!(
+        json,
+        "    \"total_state_visits\": {}",
+        telemetry.totals.total_state_visits()
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(
         json,
         "  \"threat_build_per_property_secs\": {per_property_secs:.4},"
@@ -175,8 +233,6 @@ fn main() {
     std::fs::write(&out, json).expect("write BENCH_pipeline.json");
     println!("wrote {}", out.display());
 
-    let (report, collector) = last_run.expect("at least one measured run");
-    let telemetry = TelemetryReport::from_run(&report, &collector);
     print!("{}", telemetry.render_text());
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_telemetry.json");
     std::fs::write(&out, telemetry.to_json()).expect("write BENCH_telemetry.json");

@@ -1,4 +1,4 @@
-//! Shared threat-model cache.
+//! Shared threat-model and reachability-graph cache.
 //!
 //! Property slicing (paper §V) keys each property to a `ThreatConfig`,
 //! and many of the 60+ registry properties share a slice: building the
@@ -7,27 +7,50 @@
 //! configuration exactly once and hands out shared `Arc<Model>`s, safe
 //! to use from the parallel property-checking pool.
 //!
+//! The same sharing applies one layer up: *exploring* a composed model
+//! costs far more than composing it, and every property keyed to the
+//! same configuration explores the identical reachable state space. The
+//! cache therefore also memoizes one fully-explored
+//! [`ReachGraph`](procheck_smv::reach::ReachGraph) per configuration
+//! ([`ThreatModelCache::get_or_build_graph_traced`]); properties answer
+//! as queries over the shared graph instead of re-running BFS. Failed
+//! builds (state-limit blowups) are cached too — every property sharing
+//! the configuration sees the same error without re-paying for the
+//! partial exploration. Graphs are keyed by `ThreatConfig` alone, so all
+//! callers of one cache must use one state limit (the analysis pipeline
+//! has a single per-run limit).
+//!
 //! Locking: the map mutex is held only to fetch/insert a per-key slot;
-//! the (expensive) composition runs under the slot's `OnceLock`, so
-//! concurrent builds of *different* configurations proceed in parallel
-//! while two threads asking for the *same* configuration result in one
-//! build and one waiter.
+//! the (expensive) composition or exploration runs under the slot's
+//! `OnceLock`, so concurrent builds of *different* configurations
+//! proceed in parallel while two threads asking for the *same*
+//! configuration result in one build and one waiter.
 
 use procheck_fsm::Fsm;
+use procheck_smv::checker::{build_reach_graph_stats, CheckError, CheckStats};
 use procheck_smv::model::Model;
+use procheck_smv::reach::ReachGraph;
 use procheck_telemetry::Collector;
 use procheck_threat::{build_threat_model, ThreatConfig};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Per-run cache of composed threat models, keyed by the full
-/// [`ThreatConfig`].
+/// A memoized graph build: the graph (or the error the build died with)
+/// plus what the build cost, kept even on failure so partial
+/// explorations stay visible in reports.
+type GraphSlot = OnceLock<(Result<Arc<ReachGraph>, CheckError>, CheckStats)>;
+
+/// Per-run cache of composed threat models and their explored
+/// reachability graphs, keyed by the full [`ThreatConfig`].
 #[derive(Debug, Default)]
 pub struct ThreatModelCache {
     slots: Mutex<HashMap<ThreatConfig, Arc<OnceLock<Arc<Model>>>>>,
     builds: AtomicUsize,
     lookups: AtomicUsize,
+    graph_slots: Mutex<HashMap<ThreatConfig, Arc<GraphSlot>>>,
+    graph_builds: AtomicUsize,
+    graph_lookups: AtomicUsize,
 }
 
 /// Snapshot of a cache's hit/miss accounting.
@@ -90,16 +113,99 @@ impl ThreatModelCache {
         }))
     }
 
+    /// Returns the fully-explored reachability graph for `model` (the
+    /// composed `IMP^μ` for `cfg`), exploring it on first use. Every
+    /// caller passing an equal `cfg` gets the same `Arc` — or the same
+    /// cached [`CheckError`] when the one build failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) [`CheckError`] from the graph build.
+    pub fn get_or_build_graph(
+        &self,
+        model: &Model,
+        cfg: &ThreatConfig,
+        state_limit: usize,
+    ) -> Result<Arc<ReachGraph>, CheckError> {
+        self.get_or_build_graph_traced(model, cfg, state_limit, &Collector::disabled())
+    }
+
+    /// [`Self::get_or_build_graph`] that also records
+    /// `graph_cache.lookups`, `graph_cache.builds`, `graph_cache.hits`,
+    /// a `graph.build` span, and the build's `smv.*` exploration
+    /// counters on `collector`. The `smv.*` counters are recorded here,
+    /// once per distinct configuration, and *not* by the queries served
+    /// from the graph — so `smv.states_explored` measures genuinely
+    /// distinct exploration work and stays identical at any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::get_or_build_graph`].
+    pub fn get_or_build_graph_traced(
+        &self,
+        model: &Model,
+        cfg: &ThreatConfig,
+        state_limit: usize,
+        collector: &Collector,
+    ) -> Result<Arc<ReachGraph>, CheckError> {
+        self.graph_lookups.fetch_add(1, Ordering::Relaxed);
+        collector.add("graph_cache.lookups", 1);
+        let slot = {
+            let mut map = self.graph_slots.lock().expect("graph cache map lock");
+            Arc::clone(map.entry(cfg.clone()).or_default())
+        };
+        let mut built_now = false;
+        let (result, _) = slot.get_or_init(|| {
+            built_now = true;
+            self.graph_builds.fetch_add(1, Ordering::Relaxed);
+            collector.add("graph_cache.builds", 1);
+            let _span = collector.span("graph.build");
+            let mut stats = CheckStats::default();
+            let result = build_reach_graph_stats(model, state_limit, &mut stats).map(Arc::new);
+            collector.add("smv.states_explored", stats.states);
+            collector.add("smv.transitions", stats.transitions);
+            collector.record_max("smv.peak_queue", stats.peak_queue);
+            (result, stats)
+        });
+        if !built_now {
+            collector.add("graph_cache.hits", 1);
+        }
+        result.clone()
+    }
+
+    /// What building `cfg`'s graph cost, if a build has happened —
+    /// recorded even when the build failed (partial exploration up to
+    /// the state limit).
+    pub fn graph_build_stats(&self, cfg: &ThreatConfig) -> Option<CheckStats> {
+        let map = self.graph_slots.lock().expect("graph cache map lock");
+        map.get(cfg)
+            .and_then(|slot| slot.get().map(|(_, stats)| *stats))
+    }
+
     /// How many distinct threat models this cache has actually composed.
     pub fn distinct_models_built(&self) -> usize {
         self.builds.load(Ordering::Relaxed)
     }
 
-    /// Hit/miss accounting since construction.
+    /// How many distinct reachability graphs this cache has explored.
+    pub fn distinct_graphs_built(&self) -> usize {
+        self.graph_builds.load(Ordering::Relaxed)
+    }
+
+    /// Hit/miss accounting for the composed-model layer.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             lookups: self.lookups.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hit/miss accounting for the reachability-graph layer.
+    pub fn graph_stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.graph_lookups.load(Ordering::Relaxed),
+            builds: self.graph_builds.load(Ordering::Relaxed),
         }
     }
 }
@@ -155,6 +261,62 @@ mod tests {
             distinct.len() < registry().len(),
             "slicing must share configs across properties for the cache to pay off"
         );
+    }
+
+    /// The graph layer shares one exploration per distinct config,
+    /// records build telemetry exactly once, and serves repeat lookups
+    /// as hits.
+    #[test]
+    fn graph_layer_shares_one_exploration() {
+        use procheck_telemetry::Collector;
+        let (ue, mme) = small_models();
+        let cache = ThreatModelCache::new();
+        let collector = Collector::enabled();
+        let cfg = registry()[0].slice.threat_config();
+        let model = cache.get_or_build(&ue, &mme, &cfg);
+        let mut graphs = Vec::new();
+        for _ in 0..3 {
+            graphs.push(
+                cache
+                    .get_or_build_graph_traced(&model, &cfg, 1_000_000, &collector)
+                    .unwrap(),
+            );
+        }
+        assert!(Arc::ptr_eq(&graphs[0], &graphs[1]));
+        assert!(Arc::ptr_eq(&graphs[0], &graphs[2]));
+        let stats = cache.graph_stats();
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.hits(), 2);
+        assert_eq!(cache.distinct_graphs_built(), 1);
+        assert_eq!(collector.counter_value("graph_cache.lookups"), 3);
+        assert_eq!(collector.counter_value("graph_cache.builds"), 1);
+        assert_eq!(collector.counter_value("graph_cache.hits"), 2);
+        // Exploration counters are recorded once, at build.
+        assert_eq!(
+            collector.counter_value("smv.states_explored"),
+            graphs[0].build_stats().states
+        );
+        assert_eq!(cache.graph_build_stats(&cfg), Some(graphs[0].build_stats()));
+    }
+
+    /// A failed graph build (state-limit blowup) is cached like a
+    /// successful one: every sharer sees the same error, the exploration
+    /// is paid for once, and the partial stats stay readable.
+    #[test]
+    fn failed_graph_builds_are_cached() {
+        use procheck_smv::checker::CheckError;
+        let (ue, mme) = small_models();
+        let cache = ThreatModelCache::new();
+        let cfg = registry()[0].slice.threat_config();
+        let model = cache.get_or_build(&ue, &mme, &cfg);
+        let a = cache.get_or_build_graph(&model, &cfg, 1).unwrap_err();
+        let b = cache.get_or_build_graph(&model, &cfg, 1).unwrap_err();
+        assert!(matches!(a, CheckError::StateLimit(1)));
+        assert_eq!(a, b);
+        assert_eq!(cache.graph_stats().builds, 1);
+        let partial = cache.graph_build_stats(&cfg).expect("stats recorded");
+        assert!(partial.states > 1, "partial exploration must be visible");
     }
 
     /// Hit/miss accounting: lookups = hits + builds, and the traced path

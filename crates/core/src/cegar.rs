@@ -16,11 +16,15 @@
 //! (bounded further by `max_iterations`).
 
 use procheck_cpv::term::Term;
-use procheck_smv::checker::{check_bounded_stats, CheckError, CheckStats, Property, Verdict};
+use procheck_smv::checker::{
+    build_reach_graph_stats, check_on_graph, validate_property, CheckError, CheckStats, Property,
+    QueryStats, Verdict,
+};
 use procheck_smv::model::Model;
+use procheck_smv::reach::ReachGraph;
 use procheck_smv::trace::Counterexample;
 use procheck_telemetry::Collector;
-use procheck_threat::{exclude_commands, StepSemantics};
+use procheck_threat::StepSemantics;
 use serde::Serialize;
 use std::collections::BTreeSet;
 
@@ -62,9 +66,16 @@ pub struct CegarOutcome {
     pub cpv_queries: usize,
     /// Adversarial steps the CPV checked across all queries.
     pub cpv_steps: usize,
-    /// Model-checker exploration totals summed over all iterations
-    /// (`peak_queue` is a max across iterations).
+    /// Exploration charged to this call: the one reachability-graph
+    /// build when the loop explored privately ([`cegar_check`] /
+    /// [`cegar_check_traced`]), or zero when the graph came from a
+    /// shared cache ([`cegar_check_on_graph`] — the build is charged
+    /// once at the cache, not per property).
     pub explore: CheckStats,
+    /// Graph-query totals summed over all iterations: cached nodes
+    /// re-used instead of re-explored, product-monitor states, and the
+    /// query BFS peak (`peak_queue` is a max across iterations).
+    pub query: QueryStats,
 }
 
 impl CegarOutcome {
@@ -101,10 +112,18 @@ pub fn cegar_check(
 
 /// [`cegar_check`] that records per-loop telemetry on `collector`:
 /// `cegar.runs`, `cegar.iterations`, `cegar.refinements`, `cpv.queries`,
-/// `cpv.steps`, plus the checker's `smv.*` counters for every bounded
-/// check performed inside the loop. Counter totals depend only on the
-/// model and property, never on scheduling, so parallel callers summing
-/// into one collector stay deterministic.
+/// `cpv.steps`, the checker's `smv.*` counters for the one graph build,
+/// and `graph_cache.nodes_reused` for the per-iteration graph queries.
+/// Counter totals depend only on the model and property, never on
+/// scheduling, so parallel callers summing into one collector stay
+/// deterministic.
+///
+/// This entry point explores *privately*: it builds a fresh
+/// [`ReachGraph`] for the model and re-queries it across refinement
+/// iterations. Callers checking many properties against one threat
+/// configuration should share the graph via
+/// `ThreatModelCache::get_or_build_graph_traced` and call
+/// [`cegar_check_on_graph_traced`] instead.
 ///
 /// # Errors
 ///
@@ -118,9 +137,105 @@ pub fn cegar_check_traced(
     max_iterations: usize,
     collector: &Collector,
 ) -> Result<CegarOutcome, CheckError> {
+    // Flush the loop's counter families even when we fail before it
+    // starts, so pre-loop errors stay visible in telemetry.
+    let abort = |e: CheckError| {
+        collector.add("cegar.runs", 1);
+        collector.add("cegar.iterations", 1);
+        collector.add("cegar.refinements", 0);
+        collector.add("cpv.queries", 0);
+        collector.add("cpv.steps", 0);
+        collector.add("smv.checks", 1);
+        Err(e)
+    };
+    // Bad property vocabulary is rejected before paying for exploration
+    // (same errors, same precedence as the historical per-iteration
+    // model checks).
+    if let Err(e) = validate_property(model, property) {
+        return abort(e);
+    }
+    let mut build = CheckStats::default();
+    let built = {
+        let _span = collector.span("graph.build");
+        build_reach_graph_stats(model, state_limit, &mut build)
+    };
+    collector.add("smv.states_explored", build.states);
+    collector.add("smv.transitions", build.transitions);
+    collector.record_max("smv.peak_queue", build.peak_queue);
+    let graph = match built {
+        Ok(g) => g,
+        Err(e) => return abort(e),
+    };
+    let mut outcome = cegar_check_on_graph_traced(
+        model,
+        &graph,
+        property,
+        semantics,
+        state_limit,
+        max_iterations,
+        collector,
+    )?;
+    // The build was ours, so this call is charged for it.
+    outcome.explore = build;
+    Ok(outcome)
+}
+
+/// [`cegar_check_on_graph_traced`] without telemetry.
+///
+/// # Errors
+///
+/// Same as [`cegar_check_on_graph_traced`].
+pub fn cegar_check_on_graph(
+    model: &Model,
+    graph: &ReachGraph,
+    property: &Property,
+    semantics: &StepSemantics,
+    state_limit: usize,
+    max_iterations: usize,
+) -> Result<CegarOutcome, CheckError> {
+    cegar_check_on_graph_traced(
+        model,
+        graph,
+        property,
+        semantics,
+        state_limit,
+        max_iterations,
+        &Collector::disabled(),
+    )
+}
+
+/// Runs the CEGAR loop against an already-explored [`ReachGraph`] for
+/// `model` (typically shared behind the per-`ThreatConfig` cache).
+///
+/// Refinements never rebuild or re-explore anything: excluding an
+/// adversary command only *masks* its edges in the next query, and the
+/// checker synthesizes the deadlock stutter exactly where the filtered
+/// model would have one, so verdicts, traces, and refinement sequences
+/// are identical to a loop that re-explored a command-filtered model
+/// each iteration. The shared graph is never invalidated by property
+/// refinement — only a different `ThreatConfig` (a different composed
+/// model) needs a different graph.
+///
+/// The returned outcome's `explore` is zero — exploration is charged
+/// wherever the graph was built — while `query` accounts for the graph
+/// re-use (also recorded as `graph_cache.nodes_reused` on `collector`).
+///
+/// # Errors
+///
+/// Propagates [`CheckError`] from the graph queries.
+#[allow(clippy::too_many_arguments)]
+pub fn cegar_check_on_graph_traced(
+    model: &Model,
+    graph: &ReachGraph,
+    property: &Property,
+    semantics: &StepSemantics,
+    state_limit: usize,
+    max_iterations: usize,
+    collector: &Collector,
+) -> Result<CegarOutcome, CheckError> {
     let mut excluded: BTreeSet<String> = BTreeSet::new();
     let mut refinements = Vec::new();
-    let mut explore = CheckStats::default();
+    let mut query = QueryStats::default();
     let mut cpv_queries = 0usize;
     let mut cpv_steps = 0usize;
     // One closure so every exit path (including errors) flushes the
@@ -129,70 +244,48 @@ pub fn cegar_check_traced(
                   refinements: usize,
                   cpv_queries: usize,
                   cpv_steps: usize,
-                  explore: &CheckStats| {
+                  query: &QueryStats| {
         collector.add("cegar.runs", 1);
         collector.add("cegar.iterations", iterations as u64);
         collector.add("cegar.refinements", refinements as u64);
         collector.add("cpv.queries", cpv_queries as u64);
         collector.add("cpv.steps", cpv_steps as u64);
         collector.add("smv.checks", iterations as u64);
-        collector.add("smv.states_explored", explore.states);
-        collector.add("smv.transitions", explore.transitions);
-        collector.record_max("smv.peak_queue", explore.peak_queue);
+        collector.add("graph_cache.nodes_reused", query.nodes_reused);
+        collector.record_max("smv.peak_queue", query.peak_queue);
     };
     for iteration in 1..=max_iterations.max(1) {
-        let refined_model = if excluded.is_empty() {
-            model.clone()
-        } else {
-            exclude_commands(model, &excluded)
-        };
-        let verdict = match check_bounded_stats(&refined_model, property, state_limit, &mut explore)
-        {
-            Ok(v) => v,
-            Err(e) => {
-                record(
-                    iteration,
-                    refinements.len(),
-                    cpv_queries,
-                    cpv_steps,
-                    &explore,
-                );
-                return Err(e);
-            }
-        };
+        let verdict =
+            match check_on_graph(model, graph, property, &excluded, state_limit, &mut query) {
+                Ok(v) => v,
+                Err(e) => {
+                    record(iteration, refinements.len(), cpv_queries, cpv_steps, &query);
+                    return Err(e);
+                }
+            };
         let trace = match verdict {
             Verdict::Holds => {
-                record(
-                    iteration,
-                    refinements.len(),
-                    cpv_queries,
-                    cpv_steps,
-                    &explore,
-                );
+                record(iteration, refinements.len(), cpv_queries, cpv_steps, &query);
                 return Ok(CegarOutcome {
                     verdict: FinalVerdict::Verified,
                     iterations: iteration,
                     refinements,
                     cpv_queries,
                     cpv_steps,
-                    explore,
+                    explore: CheckStats::default(),
+                    query,
                 });
             }
             Verdict::Unreachable => {
-                record(
-                    iteration,
-                    refinements.len(),
-                    cpv_queries,
-                    cpv_steps,
-                    &explore,
-                );
+                record(iteration, refinements.len(), cpv_queries, cpv_steps, &query);
                 return Ok(CegarOutcome {
                     verdict: FinalVerdict::GoalUnreachable,
                     iterations: iteration,
                     refinements,
                     cpv_queries,
                     cpv_steps,
-                    explore,
+                    explore: CheckStats::default(),
+                    query,
                 });
             }
             Verdict::Violated(ce) | Verdict::Reachable(ce) => ce,
@@ -206,20 +299,15 @@ pub fn cegar_check_traced(
                 Kind::Reachability => FinalVerdict::GoalReachable(trace),
                 Kind::Other => FinalVerdict::Attack(trace),
             };
-            record(
-                iteration,
-                refinements.len(),
-                cpv_queries,
-                cpv_steps,
-                &explore,
-            );
+            record(iteration, refinements.len(), cpv_queries, cpv_steps, &query);
             return Ok(CegarOutcome {
                 verdict,
                 iterations: iteration,
                 refinements,
                 cpv_queries,
                 cpv_steps,
-                explore,
+                explore: CheckStats::default(),
+                query,
             });
         }
         let (_, label, required) = validation
@@ -236,7 +324,7 @@ pub fn cegar_check_traced(
         refinements.len(),
         cpv_queries,
         cpv_steps,
-        &explore,
+        &query,
     );
     Ok(CegarOutcome {
         verdict: FinalVerdict::Inconclusive,
@@ -244,7 +332,8 @@ pub fn cegar_check_traced(
         refinements,
         cpv_queries,
         cpv_steps,
-        explore,
+        explore: CheckStats::default(),
+        query,
     })
 }
 
@@ -373,6 +462,39 @@ mod tests {
         );
         assert!(outcome.iterations >= 2);
         assert!(outcome.refinements[0].excluded_command.contains("forge"));
+    }
+
+    /// The shared-graph loop must be indistinguishable from the
+    /// private-exploration loop: same verdicts, traces, refinement
+    /// sequences, CPV traffic, and query work — only the exploration
+    /// charge moves to wherever the graph was built.
+    #[test]
+    fn on_graph_loop_matches_private_loop() {
+        use procheck_smv::checker::build_reach_graph;
+        let (ue, mme) = mini_models();
+        for p in [
+            Property::invariant("no_stale", Expr::var_ne("last_auth_sqn", "stale")),
+            Property::reachable("fresh", Expr::var_eq("last_auth_sqn", "fresh")),
+        ] {
+            let cfg = ThreatConfig::lte();
+            let model = build_threat_model(&ue, &mme, &cfg);
+            let sem = StepSemantics::new(cfg);
+            let private = cegar_check(&model, &p, &sem, 1_000_000, 16).unwrap();
+            let graph = build_reach_graph(&model, 1_000_000).unwrap();
+            let shared = cegar_check_on_graph(&model, &graph, &p, &sem, 1_000_000, 16).unwrap();
+            assert_eq!(private.verdict, shared.verdict);
+            assert_eq!(private.iterations, shared.iterations);
+            assert_eq!(private.refinements, shared.refinements);
+            assert_eq!(private.cpv_queries, shared.cpv_queries);
+            assert_eq!(private.cpv_steps, shared.cpv_steps);
+            assert_eq!(private.query, shared.query, "same queries must run");
+            assert_eq!(
+                shared.explore,
+                CheckStats::default(),
+                "shared-graph runs are not charged for exploration"
+            );
+            assert_eq!(private.explore, graph.build_stats());
+        }
     }
 
     #[test]

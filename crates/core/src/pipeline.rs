@@ -17,10 +17,14 @@
 //! per-property slots — the report is always in registry order, byte-
 //! identical to a single-threaded run. Composed threat models are
 //! shared through a [`ThreatModelCache`], so each distinct property
-//! slice is built once per run instead of once per property.
+//! slice is built once per run instead of once per property — and (by
+//! default, [`AnalysisConfig::graph_cache`]) the same cache shares one
+//! fully-explored reachability graph per distinct configuration, so
+//! each distinct threat model is *explored* once per run and every
+//! property answers as a query over the shared graph.
 
 use crate::cache::{CacheStats, ThreatModelCache};
-use crate::cegar::{cegar_check_traced, FinalVerdict};
+use crate::cegar::{cegar_check_on_graph_traced, cegar_check_traced, FinalVerdict};
 use crate::report::{Finding, PropertyOutcome, PropertyResult};
 use procheck_conformance::runner::run_suite_traced;
 use procheck_conformance::suites;
@@ -29,7 +33,7 @@ use procheck_extractor::{extract_fsm_traced, ExtractorConfig};
 use procheck_fsm::stats::FsmStats;
 use procheck_fsm::Fsm;
 use procheck_props::{registry, BaseProfile, Check, LinkScenario, NasProperty};
-use procheck_smv::checker::{CheckError, DEFAULT_STATE_LIMIT};
+use procheck_smv::checker::{validate_property, CheckError, DEFAULT_STATE_LIMIT};
 use procheck_stack::quirks::Implementation;
 use procheck_stack::UeConfig;
 use procheck_telemetry::Collector;
@@ -59,6 +63,15 @@ pub struct AnalysisConfig {
     /// to ≥ 1; results are identical (and identically ordered) for any
     /// value.
     pub threads: usize,
+    /// Share one fully-explored reachability graph per distinct threat
+    /// configuration ("explore once, check many"): properties keyed to
+    /// the same configuration answer as queries over the cached graph
+    /// instead of each re-running BFS. Verdicts, counterexample traces,
+    /// and CEGAR outcomes are identical either way — only the
+    /// exploration accounting moves. Defaults to on; set the
+    /// `PROCHECK_NO_GRAPH_CACHE` environment variable (any value) to
+    /// default it off, e.g. to measure the re-exploration cost.
+    pub graph_cache: bool,
     /// Telemetry sink every pipeline stage reports into. Disabled by
     /// default (all operations are no-ops); pass
     /// [`Collector::enabled`] to record counters, spans, and marks.
@@ -75,6 +88,7 @@ impl Default for AnalysisConfig {
             max_cegar_iterations: 24,
             property_filter: None,
             threads: default_threads(),
+            graph_cache: std::env::var_os("PROCHECK_NO_GRAPH_CACHE").is_none(),
             collector: Collector::disabled(),
         }
     }
@@ -150,6 +164,9 @@ pub struct AnalysisReport {
     pub coverage: CoverageReport,
     /// Threat-model composition cache accounting for this run.
     pub cache_stats: CacheStats,
+    /// Reachability-graph cache accounting for this run (all zeros when
+    /// [`AnalysisConfig::graph_cache`] is off).
+    pub graph_cache_stats: CacheStats,
 }
 
 impl AnalysisReport {
@@ -234,24 +251,62 @@ pub fn check_property(
     let mut states_explored = 0u64;
     let mut peak_queue = 0u64;
     let mut cpv_queries = 0usize;
+    let mut nodes_reused = 0u64;
+    let mut graph_cache_hit = None;
     let (outcome, iterations, refinements) = match &prop.check {
         Check::Model(p) => {
             let threat_cfg = prop.slice.threat_config();
             let model =
                 cache.get_or_build_traced(&models.ue, &models.mme, &threat_cfg, &cfg.collector);
-            let semantics = StepSemantics::new(threat_cfg);
-            match cegar_check_traced(
-                &model,
-                p,
-                &semantics,
-                cfg.state_limit,
-                cfg.max_cegar_iterations,
-                &cfg.collector,
-            ) {
+            let semantics = StepSemantics::new(threat_cfg.clone());
+            let checked = if cfg.graph_cache {
+                // The property's vocabulary is validated *before* asking
+                // the cache for a graph: an inapplicable property must
+                // report "not applicable", never the state-limit skip a
+                // doomed shared build would produce — the same error
+                // precedence as the private path below.
+                match validate_property(&model, p) {
+                    Err(e) => Err(e),
+                    Ok(()) => {
+                        // Placeholder: `analyze_implementation` rewrites
+                        // this to the registry-order attribution.
+                        graph_cache_hit = Some(false);
+                        cache
+                            .get_or_build_graph_traced(
+                                &model,
+                                &threat_cfg,
+                                cfg.state_limit,
+                                &cfg.collector,
+                            )
+                            .and_then(|graph| {
+                                cegar_check_on_graph_traced(
+                                    &model,
+                                    &graph,
+                                    p,
+                                    &semantics,
+                                    cfg.state_limit,
+                                    cfg.max_cegar_iterations,
+                                    &cfg.collector,
+                                )
+                            })
+                    }
+                }
+            } else {
+                cegar_check_traced(
+                    &model,
+                    p,
+                    &semantics,
+                    cfg.state_limit,
+                    cfg.max_cegar_iterations,
+                    &cfg.collector,
+                )
+            };
+            match checked {
                 Ok(outcome) => {
                     states_explored = outcome.explore.states;
-                    peak_queue = outcome.explore.peak_queue;
+                    peak_queue = outcome.explore.peak_queue.max(outcome.query.peak_queue);
                     cpv_queries = outcome.cpv_queries;
+                    nodes_reused = outcome.query.nodes_reused;
                     let mapped = match outcome.verdict {
                         FinalVerdict::Verified => PropertyOutcome::Verified,
                         FinalVerdict::Attack(ce) => PropertyOutcome::Attack(ce),
@@ -310,9 +365,11 @@ pub fn check_property(
         states_explored,
         peak_queue,
         cpv_queries,
+        nodes_reused,
         // Overwritten by `analyze_implementation` with the
         // registry-order value; a standalone check has a cold cache.
         cache_hit: false,
+        graph_cache_hit,
         elapsed: start.elapsed(),
         related_attack: prop.related_attack,
     }
@@ -397,6 +454,31 @@ pub fn analyze_implementation(
     for (result, hit) in results.iter_mut().zip(hits) {
         result.cache_hit = hit;
     }
+    // Graph-cache attribution, like `cache_hits_in_order`: among the
+    // properties that consulted the graph cache, the first (in registry
+    // order) per distinct threat configuration is the designated
+    // builder — it is charged the one exploration; every later sharer is
+    // a hit charged nothing. Which worker thread actually built the
+    // graph is a scheduling accident; this assignment is the only
+    // thread-count-independent one, and it is what a sequential run
+    // observes.
+    let mut built_graphs = HashSet::new();
+    for (result, prop) in results.iter_mut().zip(&props) {
+        if result.graph_cache_hit.is_none() {
+            continue;
+        }
+        let threat_cfg = prop.slice.threat_config();
+        if built_graphs.insert(threat_cfg.clone()) {
+            result.graph_cache_hit = Some(false);
+            if let Some(build) = cache.graph_build_stats(&threat_cfg) {
+                result.states_explored = build.states;
+                result.peak_queue = result.peak_queue.max(build.peak_queue);
+            }
+        } else {
+            result.graph_cache_hit = Some(true);
+            result.states_explored = 0;
+        }
+    }
     // Marks go out after the pool, in registry order, so the event
     // stream is identical for every thread count.
     for r in &results {
@@ -418,6 +500,7 @@ pub fn analyze_implementation(
         mme_stats: FsmStats::of(&models.mme),
         coverage: models.coverage,
         cache_stats: cache.stats(),
+        graph_cache_stats: cache.graph_stats(),
     }
 }
 

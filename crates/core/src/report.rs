@@ -65,11 +65,22 @@ pub struct PropertyResult {
     pub peak_queue: u64,
     /// Counterexample-feasibility queries submitted to the CPV.
     pub cpv_queries: usize,
+    /// Reachability-graph nodes the property's queries visited instead
+    /// of re-exploring (0 for linkability properties). Non-zero even
+    /// with the graph cache disabled: a private graph still answers its
+    /// CEGAR re-checks as queries.
+    pub nodes_reused: u64,
     /// Whether this property's threat-model composition was served from
     /// the shared cache. Computed deterministically from registry order
     /// (the first property to use a distinct slice is the miss), not
     /// from which worker thread happened to build it.
     pub cache_hit: bool,
+    /// Reachability-graph cache outcome: `None` when the property never
+    /// consulted the graph cache (linkability checks, inapplicable
+    /// properties, or the cache disabled), `Some(false)` for the
+    /// registry-order designated builder of its configuration's graph,
+    /// `Some(true)` for properties served from the shared graph.
+    pub graph_cache_hit: Option<bool>,
     /// Wall-clock time of the check.
     pub elapsed: Duration,
     /// Attack tag this property detects when deviating (`P1`, `I2`, …).
@@ -137,7 +148,9 @@ mod tests {
             states_explored: 0,
             peak_queue: 0,
             cpv_queries: 0,
+            nodes_reused: 0,
             cache_hit: false,
+            graph_cache_hit: None,
             elapsed: Duration::from_millis(1),
             related_attack: None,
         }

@@ -32,8 +32,14 @@ pub struct PropertyTelemetry {
     pub refinements: u64,
     /// Counterexample-feasibility queries submitted to the CPV.
     pub cpv_queries: u64,
+    /// Cached reachability-graph nodes the property's queries visited
+    /// instead of re-exploring.
+    pub nodes_reused: u64,
     /// Whether the property's threat-model composition was a cache hit.
     pub cache_hit: bool,
+    /// Reachability-graph cache outcome (`None` when the property never
+    /// consulted the graph cache).
+    pub graph_cache_hit: Option<bool>,
     /// Wall-clock milliseconds for the check (non-deterministic).
     pub elapsed_ms: f64,
 }
@@ -53,10 +59,22 @@ pub struct StageTotals {
     pub compose_lookups: u64,
     /// Compositions actually built (cache misses).
     pub compose_builds: u64,
-    /// States explored by the model checker, summed over properties.
+    /// States explored by the model checker — with the graph cache on,
+    /// this counts *distinct* exploration work only (one build per
+    /// distinct threat configuration).
     pub smv_states_explored: u64,
     /// Transitions taken by the model checker.
     pub smv_transitions: u64,
+    /// Reachability-graph cache lookups.
+    pub graph_cache_lookups: u64,
+    /// Graphs actually explored (graph-cache misses).
+    pub graph_cache_builds: u64,
+    /// Lookups served from an already-explored graph.
+    pub graph_cache_hits: u64,
+    /// Cached graph nodes visited by property queries instead of
+    /// re-explored — the states the run *would* have re-explored
+    /// without the cache show up here, not in `smv_states_explored`.
+    pub graph_cache_nodes_reused: u64,
     /// CEGAR iterations, summed over properties.
     pub cegar_iterations: u64,
     /// CPV feasibility queries, summed over properties.
@@ -78,6 +96,24 @@ impl StageTotals {
         }
     }
 
+    /// Reachability-graph cache hit rate in `[0, 1]` (0 when the cache
+    /// was never consulted, e.g. disabled).
+    pub fn graph_cache_hit_rate(&self) -> f64 {
+        if self.graph_cache_lookups == 0 {
+            0.0
+        } else {
+            self.graph_cache_hits as f64 / self.graph_cache_lookups as f64
+        }
+    }
+
+    /// Total state visits across the run: distinct exploration
+    /// (`smv_states_explored`) plus cached nodes re-used by queries —
+    /// the "total states" side of the distinct-vs-total comparison the
+    /// graph cache exists to improve.
+    pub fn total_state_visits(&self) -> u64 {
+        self.smv_states_explored + self.graph_cache_nodes_reused
+    }
+
     /// Reads the totals off a collector's counters and spans.
     pub fn from_collector(collector: &Collector) -> Self {
         let counters = collector.counters();
@@ -97,6 +133,10 @@ impl StageTotals {
             compose_builds: get("compose.builds"),
             smv_states_explored: get("smv.states_explored"),
             smv_transitions: get("smv.transitions"),
+            graph_cache_lookups: get("graph_cache.lookups"),
+            graph_cache_builds: get("graph_cache.builds"),
+            graph_cache_hits: get("graph_cache.hits"),
+            graph_cache_nodes_reused: get("graph_cache.nodes_reused"),
             cegar_iterations: get("cegar.iterations"),
             cpv_queries: get("cpv.queries"),
             cpv_steps: get("cpv.steps"),
@@ -135,7 +175,9 @@ impl TelemetryReport {
                 cegar_iterations: r.cegar_iterations as u64,
                 refinements: r.refinements as u64,
                 cpv_queries: r.cpv_queries as u64,
+                nodes_reused: r.nodes_reused,
                 cache_hit: r.cache_hit,
+                graph_cache_hit: r.graph_cache_hit,
                 elapsed_ms: r.elapsed.as_secs_f64() * 1e3,
             })
             .collect();
@@ -189,6 +231,16 @@ impl TelemetryReport {
         );
         let _ = writeln!(
             out,
+            "          graph cache: {} builds for {} lookups (hit rate {:.1}%), \
+             {} nodes re-used / {} total state visits",
+            t.graph_cache_builds,
+            t.graph_cache_lookups,
+            t.graph_cache_hit_rate() * 100.0,
+            t.graph_cache_nodes_reused,
+            t.total_state_visits()
+        );
+        let _ = writeln!(
+            out,
             "          {} CEGAR iterations, {} CPV queries ({} adversarial steps)",
             t.cegar_iterations, t.cpv_queries, t.cpv_steps
         );
@@ -211,7 +263,8 @@ impl TelemetryReport {
             out.push_str(&format!(
                 "    {{\"property_id\": {}, \"outcome\": {}, \"states_explored\": {}, \
                  \"peak_queue\": {}, \"cegar_iterations\": {}, \"refinements\": {}, \
-                 \"cpv_queries\": {}, \"cache_hit\": {}, \"elapsed_ms\": {:.3}}}{}\n",
+                 \"cpv_queries\": {}, \"nodes_reused\": {}, \"cache_hit\": {}, \
+                 \"graph_cache_hit\": {}, \"elapsed_ms\": {:.3}}}{}\n",
                 json::escape(&p.property_id),
                 json::escape(&p.outcome),
                 p.states_explored,
@@ -219,7 +272,13 @@ impl TelemetryReport {
                 p.cegar_iterations,
                 p.refinements,
                 p.cpv_queries,
+                p.nodes_reused,
                 p.cache_hit,
+                match p.graph_cache_hit {
+                    Some(true) => "true",
+                    Some(false) => "false",
+                    None => "null",
+                },
                 p.elapsed_ms,
                 if i + 1 < self.properties.len() {
                     ","
@@ -260,6 +319,30 @@ impl TelemetryReport {
         out.push_str(&format!(
             "    \"smv_transitions\": {},\n",
             t.smv_transitions
+        ));
+        out.push_str(&format!(
+            "    \"graph_cache_lookups\": {},\n",
+            t.graph_cache_lookups
+        ));
+        out.push_str(&format!(
+            "    \"graph_cache_builds\": {},\n",
+            t.graph_cache_builds
+        ));
+        out.push_str(&format!(
+            "    \"graph_cache_hits\": {},\n",
+            t.graph_cache_hits
+        ));
+        out.push_str(&format!(
+            "    \"graph_cache_hit_rate\": {:.6},\n",
+            t.graph_cache_hit_rate()
+        ));
+        out.push_str(&format!(
+            "    \"graph_cache_nodes_reused\": {},\n",
+            t.graph_cache_nodes_reused
+        ));
+        out.push_str(&format!(
+            "    \"total_state_visits\": {},\n",
+            t.total_state_visits()
         ));
         out.push_str(&format!(
             "    \"cegar_iterations\": {},\n",
@@ -334,6 +417,42 @@ mod tests {
         assert_eq!(
             report.properties.len() as u64,
             report.totals.compose_lookups
+        );
+    }
+
+    /// Graph-cache accounting in the rows agrees with the collector:
+    /// designated builders = graphs explored, consulting rows = lookups,
+    /// and the per-row node re-use sums to the counter total.
+    #[test]
+    fn graph_cache_rows_match_counters() {
+        let (report, collector) = run(&["S01", "S07", "S08", "S12"], 2);
+        let t = &report.totals;
+        let builders = report
+            .properties
+            .iter()
+            .filter(|p| p.graph_cache_hit == Some(false))
+            .count() as u64;
+        let consulted = report
+            .properties
+            .iter()
+            .filter(|p| p.graph_cache_hit.is_some())
+            .count() as u64;
+        assert_eq!(builders, t.graph_cache_builds);
+        assert_eq!(consulted, t.graph_cache_lookups);
+        assert_eq!(t.graph_cache_hits, consulted - builders);
+        let row_reuse: u64 = report.properties.iter().map(|p| p.nodes_reused).sum();
+        assert_eq!(row_reuse, t.graph_cache_nodes_reused);
+        assert_eq!(
+            row_reuse,
+            collector.counter_value("graph_cache.nodes_reused")
+        );
+        assert!(
+            t.graph_cache_hits > 0,
+            "shared slices must produce graph-cache hits"
+        );
+        assert_eq!(
+            t.total_state_visits(),
+            t.smv_states_explored + t.graph_cache_nodes_reused
         );
     }
 

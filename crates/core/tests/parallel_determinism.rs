@@ -11,7 +11,7 @@ use procheck_telemetry::Collector;
 /// Everything observable about a result except the wall-clock time.
 fn fingerprint(r: &PropertyResult) -> String {
     format!(
-        "{}|{}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}",
+        "{}|{}|{:?}|{:?}|{:?}|{}|{}|{:?}|{}|{}|{}|{}|{}|{:?}",
         r.property_id,
         r.title,
         r.category,
@@ -23,7 +23,9 @@ fn fingerprint(r: &PropertyResult) -> String {
         r.states_explored,
         r.peak_queue,
         r.cpv_queries,
+        r.nodes_reused,
         r.cache_hit,
+        r.graph_cache_hit,
     )
 }
 

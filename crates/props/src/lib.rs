@@ -26,6 +26,7 @@ pub mod registry;
 pub mod slice;
 
 pub use registry::{
-    common_properties, registry, Category, Check, Expectation, LinkScenario, NasProperty,
+    common_properties, distinct_threat_configs, registry, Category, Check, Expectation,
+    LinkScenario, NasProperty,
 };
 pub use slice::{BaseProfile, SliceSpec};

@@ -124,6 +124,18 @@ pub fn registry() -> Vec<NasProperty> {
     props
 }
 
+/// The distinct threat configurations the model-checked registry
+/// properties slice to — the number of compositions (and, with the
+/// reachability-graph cache, explorations) one full run pays for.
+/// Linkability properties never compose a model and are excluded.
+pub fn distinct_threat_configs() -> std::collections::HashSet<procheck_threat::ThreatConfig> {
+    registry()
+        .iter()
+        .filter(|p| matches!(p.check, Check::Model(_)))
+        .map(|p| p.slice.threat_config())
+        .collect()
+}
+
 /// The 14 properties shared with LTEInspector's hand-built model
 /// (Table II), in index order.
 pub fn common_properties() -> Vec<NasProperty> {

@@ -1,20 +1,36 @@
 //! Explicit-state checking engine.
 //!
-//! States are interned vectors of per-variable value indices. Safety
-//! properties (invariants, reachability, precedence) are checked by BFS
-//! with parent pointers for counterexample reconstruction. Response
-//! properties `G (trigger → F response)` are checked on the product with
-//! a one-bit obligation monitor: a violation is a reachable cycle whose
-//! states all carry an undischarged obligation, and which satisfies every
-//! fairness constraint (`JUSTICE`-style, as in nuXmv).
+//! States are interned vectors of per-variable value indices. The engine
+//! is split into an *explore* phase and an *evaluate* phase:
+//!
+//! * [`build_reach_graph`] runs one flagless BFS over the model and
+//!   produces a [`ReachGraph`](crate::reach::ReachGraph) — packed state
+//!   arena, CSR successor adjacency, predecessor links, BFS parents.
+//! * [`check_on_graph`] answers any [`Property`] as a *query* over that
+//!   graph: invariants and reachability are direct scans in BFS order;
+//!   precedence and response run a product BFS that carries the one-bit
+//!   obligation monitor over the cached adjacency (no guard re-evaluation,
+//!   no re-interning of model states). Response violations are reachable
+//!   cycles whose states all carry an undischarged obligation and which
+//!   satisfy every fairness constraint (`JUSTICE`-style, as in nuXmv).
+//!
+//! Queries also accept a set of *excluded command labels* so a CEGAR
+//! refinement can re-query the same cached graph instead of re-exploring
+//! a filtered copy of the model: excluded edges are skipped during the
+//! product BFS, and a node whose outgoing commands are all excluded
+//! receives the same stutter self-loop a fresh exploration of the
+//! filtered model would give it. [`check_bounded_stats`] composes the two
+//! phases for one-shot callers and behaves exactly like the historical
+//! single-pass checker.
 
 use crate::expr::Expr;
 use crate::fxhash::{FxBuildHasher, FxHashMap};
 use crate::model::Model;
+use crate::reach::{PackLayout, ReachGraph, StateArena, NO_PARENT, STUTTER_CMD};
 use crate::trace::{Counterexample, TraceStep};
 use procheck_telemetry::Collector;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,9 +44,11 @@ pub const DEFAULT_STATE_LIMIT: usize = 4_000_000;
 /// small *reachable* set does not pay for the difference.
 const PRESIZE_CAP: usize = 1 << 16;
 
-/// Distinct product states interned since process start, across all
-/// checks on all threads. Benchmarks read this to report states/second;
-/// it is telemetry only and never feeds back into verdicts.
+/// Distinct model states interned by graph builds since process start,
+/// across all checks on all threads. Benchmarks read this to report
+/// states/second; it is telemetry only and never feeds back into
+/// verdicts. Product-monitor states visited by graph *queries* are not
+/// counted here — they re-use already-explored states.
 static STATES_EXPLORED: AtomicU64 = AtomicU64::new(0);
 
 /// Reads the cumulative states-explored counter.
@@ -200,11 +218,40 @@ impl CheckStats {
     }
 }
 
+/// Telemetry from answering a property as a query over a cached
+/// [`ReachGraph`](crate::reach::ReachGraph). Deterministic for a given
+/// graph, property, and exclusion set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Cached graph nodes consulted instead of being re-explored
+    /// (scanned states plus product-monitor visits).
+    pub nodes_reused: u64,
+    /// Product-monitor states interned by the query (0 for direct
+    /// scans; these are the states a non-cached checker would have
+    /// explored from scratch).
+    pub product_states: u64,
+    /// Edges traversed while re-querying the graph.
+    pub transitions: u64,
+    /// High-water mark of the query's product BFS frontier.
+    pub peak_queue: u64,
+}
+
+impl QueryStats {
+    /// Folds another query's stats into this one (`peak_queue` by max,
+    /// the monotonic counters by sum).
+    pub fn absorb(&mut self, other: QueryStats) {
+        self.nodes_reused += other.nodes_reused;
+        self.product_states += other.product_states;
+        self.transitions += other.transitions;
+        self.peak_queue = self.peak_queue.max(other.peak_queue);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Compilation
 // ---------------------------------------------------------------------------
 
-type Value = u16;
+type Value = crate::reach::Value;
 type State = Vec<Value>;
 
 /// Index-resolved expression: variable names and symbolic values are
@@ -223,7 +270,7 @@ enum CExpr {
 }
 
 impl CExpr {
-    fn eval(&self, s: &State) -> bool {
+    fn eval(&self, s: &[Value]) -> bool {
         match self {
             CExpr::True => true,
             CExpr::False => false,
@@ -361,34 +408,15 @@ impl<'m> Compiled<'m> {
         Ok(self.compile(e))
     }
 
-    /// Enabled commands and their successor states. A deadlocked state
-    /// gets a single stutter self-loop (command index `usize::MAX`).
-    fn successors(&self, s: &State) -> Vec<(usize, State)> {
-        let mut out = Vec::new();
-        for (i, cmd) in self.commands.iter().enumerate() {
-            if cmd.guard.eval(s) {
-                let mut s2 = s.clone();
-                for &(vi, value) in &cmd.updates {
-                    s2[vi] = value;
-                }
-                out.push((i, s2));
-            }
-        }
-        if out.is_empty() {
-            out.push((usize::MAX, s.clone()));
-        }
-        out
-    }
-
-    fn label_of(&self, cmd: usize) -> &str {
-        if cmd == usize::MAX {
+    fn label_of(&self, cmd: u32) -> &str {
+        if cmd == STUTTER_CMD {
             "stutter"
         } else {
-            &self.model.commands()[cmd].label
+            &self.model.commands()[cmd as usize].label
         }
     }
 
-    fn assignment(&self, s: &State) -> BTreeMap<String, String> {
+    fn assignment(&self, s: &[Value]) -> BTreeMap<String, String> {
         self.model
             .vars()
             .iter()
@@ -399,130 +427,643 @@ impl<'m> Compiled<'m> {
 }
 
 // ---------------------------------------------------------------------------
-// Product-graph exploration
+// Explore phase: building the reachable graph
 // ---------------------------------------------------------------------------
 
-/// Monitor bit carried in the product state (obligation pending or
-/// prerequisite seen). Unused by plain invariant checks.
-type Flag = bool;
-
-struct Graph {
-    /// Interned (state, flag) pairs.
-    nodes: Vec<(State, Flag)>,
-    /// Interning table. FxHash: the keys are machine-generated value
-    /// vectors, so SipHash's keyed DoS resistance buys nothing and costs
-    /// most of the interning time (see [`crate::fxhash`]).
-    index: FxHashMap<(State, Flag), u32>,
-    /// Parent pointer and incoming command label for trace rebuilding.
-    parent: Vec<Option<(u32, usize)>>,
-    /// Adjacency (filled only when `record_edges`).
-    edges: Vec<Vec<(usize, u32)>>,
+/// Interning state-arena builder. The index tables exist only during the
+/// BFS; the finished [`ReachGraph`] keeps just the arena.
+struct ArenaBuilder {
+    arena: StateArena,
+    packed_index: FxHashMap<u64, u32>,
+    wide_index: FxHashMap<Box<[Value]>, u32>,
+    parent_node: Vec<u32>,
+    parent_cmd: Vec<u32>,
 }
 
-impl Graph {
-    fn with_capacity(cap: usize) -> Self {
-        Graph {
-            nodes: Vec::with_capacity(cap),
-            index: FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default()),
-            parent: Vec::with_capacity(cap),
-            edges: Vec::with_capacity(cap),
-        }
+impl ArenaBuilder {
+    fn len(&self) -> usize {
+        self.parent_node.len()
     }
 
-    fn intern(&mut self, node: (State, Flag), parent: Option<(u32, usize)>) -> (u32, bool) {
-        if let Some(&id) = self.index.get(&node) {
-            return (id, false);
+    /// Interns a state, recording BFS parent info on first sight. The
+    /// state is *borrowed*: the packed arena derives a `u64` key from it
+    /// and the wide arena copies it only when it is actually fresh, so
+    /// the BFS hot loop never clones per pop or per duplicate successor.
+    fn intern(&mut self, s: &[Value], parent: (u32, u32)) -> (u32, bool) {
+        match &mut self.arena {
+            StateArena::Packed { layout, keys } => {
+                let key = layout.pack(s);
+                if let Some(&id) = self.packed_index.get(&key) {
+                    return (id, false);
+                }
+                let id = keys.len() as u32;
+                keys.push(key);
+                self.packed_index.insert(key, id);
+                self.parent_node.push(parent.0);
+                self.parent_cmd.push(parent.1);
+                (id, true)
+            }
+            StateArena::Wide { values, .. } => {
+                if let Some(&id) = self.wide_index.get(s) {
+                    return (id, false);
+                }
+                let id = self.wide_index.len() as u32;
+                values.extend_from_slice(s);
+                self.wide_index.insert(s.to_vec().into_boxed_slice(), id);
+                self.parent_node.push(parent.0);
+                self.parent_cmd.push(parent.1);
+                (id, true)
+            }
         }
-        let id = self.nodes.len() as u32;
-        self.index.insert(node.clone(), id);
-        self.nodes.push(node);
-        self.parent.push(parent);
-        self.edges.push(Vec::new());
-        (id, true)
     }
 }
 
-/// The flag-update function for the product monitor.
-type FlagUpdate<'a> = dyn Fn(Flag, &State) -> Flag + 'a;
+/// Explores the model's reachable state space once and returns it as a
+/// [`ReachGraph`] ready for any number of property queries.
+///
+/// # Errors
+///
+/// Returns [`CheckError`] for invalid models or state-limit blowups.
+pub fn build_reach_graph(model: &Model, limit: usize) -> Result<ReachGraph, CheckError> {
+    let mut stats = CheckStats::default();
+    build_reach_graph_stats(model, limit, &mut stats)
+}
 
-/// Explores the product graph from the initial states. Exploration
-/// telemetry accumulates into `stats` (including on the state-limit
-/// error path, so callers see how far the blowup got).
-fn explore(
-    c: &Compiled<'_>,
-    init_flag: &FlagUpdate<'_>,
-    step_flag: &FlagUpdate<'_>,
-    record_edges: bool,
+/// [`build_reach_graph`] that additionally accumulates exploration
+/// telemetry into `stats` — including on the state-limit error path, so
+/// callers see how far the blowup got.
+///
+/// # Errors
+///
+/// Same as [`build_reach_graph`].
+pub fn build_reach_graph_stats(
+    model: &Model,
     limit: usize,
     stats: &mut CheckStats,
-) -> Result<Graph, CheckError> {
+) -> Result<ReachGraph, CheckError> {
+    let c = Compiled::new(model)?;
+    explore_graph(&c, limit, stats)
+}
+
+fn explore_graph(
+    c: &Compiled<'_>,
+    limit: usize,
+    stats: &mut CheckStats,
+) -> Result<ReachGraph, CheckError> {
+    let num_vars = c.model.vars().len();
+    let domain_sizes: Vec<usize> = c.model.vars().iter().map(|v| v.domain.len()).collect();
+    let layout = PackLayout::for_domains(&domain_sizes);
+    let packed = layout.is_some();
     let cap = c.capacity_hint(limit);
-    let mut g = Graph::with_capacity(cap);
-    let mut queue = VecDeque::with_capacity(cap);
-    let mut transitions = 0u64;
-    let mut peak_queue = 0u64;
+
+    let mut b = ArenaBuilder {
+        arena: match layout {
+            Some(layout) => StateArena::Packed {
+                layout,
+                keys: Vec::with_capacity(cap),
+            },
+            None => StateArena::Wide {
+                num_vars,
+                values: Vec::new(),
+            },
+        },
+        packed_index: FxHashMap::with_capacity_and_hasher(
+            if packed { cap } else { 0 },
+            FxBuildHasher::default(),
+        ),
+        wide_index: FxHashMap::with_capacity_and_hasher(
+            if packed { 0 } else { cap },
+            FxBuildHasher::default(),
+        ),
+        parent_node: Vec::with_capacity(cap),
+        parent_cmd: Vec::with_capacity(cap),
+    };
+
     for s in c.initial_states() {
-        let flag = init_flag(false, &s);
-        let (id, fresh) = g.intern((s, flag), None);
-        if fresh {
-            queue.push_back(id);
-        }
+        b.intern(&s, (NO_PARENT, NO_PARENT));
     }
-    peak_queue = peak_queue.max(queue.len() as u64);
-    while let Some(id) = queue.pop_front() {
-        if g.nodes.len() > limit {
-            STATES_EXPLORED.fetch_add(g.nodes.len() as u64, Ordering::Relaxed);
+    let init_count = b.len() as u32;
+
+    let mut succ_off: Vec<u32> = Vec::with_capacity(cap + 1);
+    succ_off.push(0);
+    let mut succ_cmd: Vec<u32> = Vec::new();
+    let mut succ_node: Vec<u32> = Vec::new();
+    let mut transitions = 0u64;
+    let mut peak_queue = init_count as u64;
+    let mut cur: State = vec![0; num_vars];
+    let mut scratch: State = vec![0; num_vars];
+
+    // BFS with an implicit queue: pop order equals intern order, so the
+    // frontier is just the ids in `next..len` and the CSR offsets can be
+    // sealed as each node is popped.
+    let mut next: usize = 0;
+    while next < b.len() {
+        if b.len() > limit {
+            let states = b.len() as u64;
+            STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
             stats.absorb(CheckStats {
-                states: g.nodes.len() as u64,
+                states,
                 transitions,
                 peak_queue,
             });
             return Err(CheckError::StateLimit(limit));
         }
-        let (state, flag) = g.nodes[id as usize].clone();
-        for (cmd, succ) in c.successors(&state) {
-            transitions += 1;
-            let new_flag = step_flag(flag, &succ);
-            let (sid, fresh) = g.intern((succ, new_flag), Some((id, cmd)));
-            if record_edges {
-                g.edges[id as usize].push((cmd, sid));
-            }
-            if fresh {
-                queue.push_back(sid);
+        let id = next as u32;
+        next += 1;
+        b.arena.load(id, &mut cur);
+        let mut any = false;
+        for (i, cmd) in c.commands.iter().enumerate() {
+            if cmd.guard.eval(&cur) {
+                any = true;
+                transitions += 1;
+                scratch.copy_from_slice(&cur);
+                for &(vi, value) in &cmd.updates {
+                    scratch[vi] = value;
+                }
+                let (sid, _) = b.intern(&scratch, (id, i as u32));
+                succ_cmd.push(i as u32);
+                succ_node.push(sid);
             }
         }
-        peak_queue = peak_queue.max(queue.len() as u64);
+        if !any {
+            // Deadlocked state: a single stutter self-loop, as the
+            // single-pass checker generated.
+            transitions += 1;
+            succ_cmd.push(STUTTER_CMD);
+            succ_node.push(id);
+        }
+        succ_off.push(succ_cmd.len() as u32);
+        peak_queue = peak_queue.max((b.len() - next) as u64);
     }
-    STATES_EXPLORED.fetch_add(g.nodes.len() as u64, Ordering::Relaxed);
-    stats.absorb(CheckStats {
-        states: g.nodes.len() as u64,
+
+    let states = b.len() as u64;
+    STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
+    let build_stats = CheckStats {
+        states,
         transitions,
         peak_queue,
-    });
+    };
+    stats.absorb(build_stats);
+
+    let mut g = ReachGraph {
+        num_vars,
+        arena: b.arena,
+        parent_node: b.parent_node,
+        parent_cmd: b.parent_cmd,
+        succ_off,
+        succ_cmd,
+        succ_node,
+        pred_off: Vec::new(),
+        pred: Vec::new(),
+        init_count,
+        packed,
+        stats: build_stats,
+    };
+    g.build_predecessors();
     Ok(g)
 }
 
-fn rebuild_path(c: &Compiled<'_>, g: &Graph, target: u32) -> Vec<TraceStep> {
+// ---------------------------------------------------------------------------
+// Evaluate phase: property queries over a cached graph
+// ---------------------------------------------------------------------------
+
+/// The product of a cached graph with the one-bit obligation monitor.
+/// Ephemeral: built per query, in the same BFS order a direct product
+/// exploration of the (possibly command-filtered) model would use, so
+/// verdicts and counterexample traces are bit-identical to the
+/// single-pass checker's.
+struct ProductGraph {
+    /// Interned (graph node, monitor flag) pairs, in BFS order.
+    nodes: Vec<(u32, bool)>,
+    /// BFS parent (product id, command index); `None` for roots.
+    parent: Vec<Option<(u32, u32)>>,
+    /// Adjacency (filled only when `record_edges`).
+    edges: Vec<Vec<(u32, u32)>>,
+}
+
+fn product_intern(
+    pg: &mut ProductGraph,
+    index: &mut FxHashMap<u64, u32>,
+    gid: u32,
+    flag: bool,
+    parent: Option<(u32, u32)>,
+    record_edges: bool,
+) -> u32 {
+    let key = ((gid as u64) << 1) | flag as u64;
+    if let Some(&id) = index.get(&key) {
+        return id;
+    }
+    let id = pg.nodes.len() as u32;
+    index.insert(key, id);
+    pg.nodes.push((gid, flag));
+    pg.parent.push(parent);
+    if record_edges {
+        pg.edges.push(Vec::new());
+    }
+    id
+}
+
+/// BFS over the cached adjacency, carrying the monitor flag. `excluded`
+/// masks command indices a CEGAR refinement has removed; a node whose
+/// outgoing commands are all masked gets the stutter self-loop the
+/// filtered model would have.
+fn product_bfs(
+    g: &ReachGraph,
+    excluded: Option<&[bool]>,
+    init_flag: impl Fn(u32) -> bool,
+    step_flag: impl Fn(bool, u32) -> bool,
+    record_edges: bool,
+    limit: usize,
+    stats: &mut QueryStats,
+) -> Result<ProductGraph, CheckError> {
+    let cap = g.node_count().max(1);
+    let mut pg = ProductGraph {
+        nodes: Vec::with_capacity(cap),
+        parent: Vec::with_capacity(cap),
+        edges: Vec::new(),
+    };
+    if record_edges {
+        pg.edges.reserve(cap);
+    }
+    let mut index: FxHashMap<u64, u32> =
+        FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default());
+    let mut transitions = 0u64;
+
+    for gid in 0..g.init_count() {
+        product_intern(&mut pg, &mut index, gid, init_flag(gid), None, record_edges);
+    }
+    let mut peak_queue = pg.nodes.len() as u64;
+    let mut next = 0usize;
+    while next < pg.nodes.len() {
+        if pg.nodes.len() > limit {
+            stats.absorb(QueryStats {
+                nodes_reused: pg.nodes.len() as u64,
+                product_states: pg.nodes.len() as u64,
+                transitions,
+                peak_queue,
+            });
+            return Err(CheckError::StateLimit(limit));
+        }
+        let pid = next as u32;
+        next += 1;
+        let (gid, flag) = pg.nodes[pid as usize];
+        let mut any = false;
+        for (cmd, succ) in g.successors(gid) {
+            if cmd != STUTTER_CMD {
+                if let Some(mask) = excluded {
+                    if mask[cmd as usize] {
+                        continue;
+                    }
+                }
+            }
+            any = true;
+            transitions += 1;
+            let new_flag = step_flag(flag, succ);
+            let sid = product_intern(
+                &mut pg,
+                &mut index,
+                succ,
+                new_flag,
+                Some((pid, cmd)),
+                record_edges,
+            );
+            if record_edges {
+                pg.edges[pid as usize].push((cmd, sid));
+            }
+        }
+        if !any {
+            // Every outgoing command is excluded: the refined model
+            // deadlocks here and stutters, exactly as a fresh exploration
+            // of the command-filtered model would.
+            transitions += 1;
+            let new_flag = step_flag(flag, gid);
+            let sid = product_intern(
+                &mut pg,
+                &mut index,
+                gid,
+                new_flag,
+                Some((pid, STUTTER_CMD)),
+                record_edges,
+            );
+            if record_edges {
+                pg.edges[pid as usize].push((STUTTER_CMD, sid));
+            }
+        }
+        peak_queue = peak_queue.max((pg.nodes.len() - next) as u64);
+    }
+    stats.absorb(QueryStats {
+        nodes_reused: pg.nodes.len() as u64,
+        product_states: pg.nodes.len() as u64,
+        transitions,
+        peak_queue,
+    });
+    Ok(pg)
+}
+
+/// Evaluates a compiled expression in every graph node, in id order.
+fn eval_nodes(g: &ReachGraph, e: &CExpr) -> Vec<bool> {
+    let mut cur: State = vec![0; g.num_vars()];
+    (0..g.node_count() as u32)
+        .map(|id| {
+            g.load_state(id, &mut cur);
+            e.eval(&cur)
+        })
+        .collect()
+}
+
+/// Rebuilds the BFS-shortest path to `target` from the graph's own
+/// parent pointers (no re-search).
+fn rebuild_graph_path(c: &Compiled<'_>, g: &ReachGraph, target: u32) -> Vec<TraceStep> {
+    let mut cur: State = vec![0; g.num_vars()];
     let mut rev = Vec::new();
-    let mut cur = Some(target);
-    while let Some(id) = cur {
-        let (state, _) = &g.nodes[id as usize];
-        let label = match g.parent[id as usize] {
-            Some((_, cmd)) => c.label_of(cmd).to_string(),
-            None => "init".to_string(),
+    let mut id = target;
+    loop {
+        g.load_state(id, &mut cur);
+        let parent = g.parent_node[id as usize];
+        let label = if parent == NO_PARENT {
+            "init".to_string()
+        } else {
+            c.label_of(g.parent_cmd[id as usize]).to_string()
         };
         rev.push(TraceStep {
             label,
-            state: c.assignment(state),
+            state: c.assignment(&cur),
         });
-        cur = g.parent[id as usize].map(|(p, _)| p);
+        if parent == NO_PARENT {
+            break;
+        }
+        id = parent;
     }
     rev.reverse();
     rev
 }
 
+/// Rebuilds the path to a product node from the product BFS parents.
+fn rebuild_product_path(
+    c: &Compiled<'_>,
+    g: &ReachGraph,
+    pg: &ProductGraph,
+    target: u32,
+) -> Vec<TraceStep> {
+    let mut cur: State = vec![0; g.num_vars()];
+    let mut rev = Vec::new();
+    let mut id = Some(target);
+    while let Some(pid) = id {
+        let (gid, _) = pg.nodes[pid as usize];
+        g.load_state(gid, &mut cur);
+        let label = match pg.parent[pid as usize] {
+            Some((_, cmd)) => c.label_of(cmd).to_string(),
+            None => "init".to_string(),
+        };
+        rev.push(TraceStep {
+            label,
+            state: c.assignment(&cur),
+        });
+        id = pg.parent[pid as usize].map(|(p, _)| p);
+    }
+    rev.reverse();
+    rev
+}
+
+/// Scans graph nodes in BFS (id) order for the first state matching
+/// `bad`; the trace comes straight from the graph's parent pointers.
+fn scan_graph(
+    c: &Compiled<'_>,
+    g: &ReachGraph,
+    stats: &mut QueryStats,
+    bad: impl Fn(&[Value]) -> bool,
+) -> Option<Counterexample> {
+    let mut cur: State = vec![0; g.num_vars()];
+    for id in 0..g.node_count() as u32 {
+        g.load_state(id, &mut cur);
+        stats.nodes_reused += 1;
+        if bad(&cur) {
+            return Some(Counterexample {
+                steps: rebuild_graph_path(c, g, id),
+                lasso_start: None,
+            });
+        }
+    }
+    None
+}
+
+/// Scans product nodes in BFS order for the first node matching `bad`.
+fn scan_product(
+    c: &Compiled<'_>,
+    g: &ReachGraph,
+    pg: &ProductGraph,
+    bad: impl Fn(u32, bool) -> bool,
+) -> Option<Counterexample> {
+    for (pid, &(gid, flag)) in pg.nodes.iter().enumerate() {
+        if bad(gid, flag) {
+            return Some(Counterexample {
+                steps: rebuild_product_path(c, g, pg, pid as u32),
+                lasso_start: None,
+            });
+        }
+    }
+    None
+}
+
+/// Answers a property as a query over a cached graph.
+///
+/// `excluded` is a set of command *labels* removed by CEGAR refinement;
+/// the query behaves exactly as if the model had been filtered with
+/// those commands deleted and re-explored (same verdicts, same traces),
+/// but touches only the cached adjacency. `model` must be the model the
+/// graph was built from.
+///
+/// # Errors
+///
+/// Returns [`CheckError::InvalidModel`] for invalid models, property
+/// expressions over undeclared vocabulary, or a model/graph shape
+/// mismatch; [`CheckError::StateLimit`] if the product BFS exceeds
+/// `limit` states.
+pub fn check_on_graph(
+    model: &Model,
+    graph: &ReachGraph,
+    property: &Property,
+    excluded: &BTreeSet<String>,
+    limit: usize,
+    stats: &mut QueryStats,
+) -> Result<Verdict, CheckError> {
+    let c = Compiled::new(model)?;
+    if c.model.vars().len() != graph.num_vars() {
+        return Err(CheckError::InvalidModel(vec![format!(
+            "graph/model mismatch: graph has {} variables, model declares {}",
+            graph.num_vars(),
+            c.model.vars().len()
+        )]));
+    }
+    check_compiled_on_graph(&c, graph, property, excluded, limit, stats)
+}
+
+fn check_compiled_on_graph(
+    c: &Compiled<'_>,
+    g: &ReachGraph,
+    property: &Property,
+    excluded: &BTreeSet<String>,
+    limit: usize,
+    stats: &mut QueryStats,
+) -> Result<Verdict, CheckError> {
+    let excluded_cmds: Option<Vec<bool>> = if excluded.is_empty() {
+        None
+    } else {
+        Some(
+            c.model
+                .commands()
+                .iter()
+                .map(|cmd| excluded.contains(&cmd.label))
+                .collect(),
+        )
+    };
+    match property {
+        Property::Invariant { holds, .. } => {
+            let holds = c.compile_checked(holds)?;
+            match &excluded_cmds {
+                // No refinement: every graph node is reachable, so the
+                // invariant is a straight scan in BFS order.
+                None => Ok(match scan_graph(c, g, stats, |s| !holds.eval(s)) {
+                    Some(ce) => Verdict::Violated(ce),
+                    None => Verdict::Holds,
+                }),
+                Some(mask) => {
+                    let holds_at = eval_nodes(g, &holds);
+                    let pg =
+                        product_bfs(g, Some(mask), |_| false, |_, _| false, false, limit, stats)?;
+                    Ok(
+                        match scan_product(c, g, &pg, |gid, _| !holds_at[gid as usize]) {
+                            Some(ce) => Verdict::Violated(ce),
+                            None => Verdict::Holds,
+                        },
+                    )
+                }
+            }
+        }
+        Property::Reachable { goal, .. } => {
+            let goal = c.compile_checked(goal)?;
+            match &excluded_cmds {
+                None => Ok(match scan_graph(c, g, stats, |s| goal.eval(s)) {
+                    Some(ce) => Verdict::Reachable(ce),
+                    None => Verdict::Unreachable,
+                }),
+                Some(mask) => {
+                    let goal_at = eval_nodes(g, &goal);
+                    let pg =
+                        product_bfs(g, Some(mask), |_| false, |_, _| false, false, limit, stats)?;
+                    Ok(
+                        match scan_product(c, g, &pg, |gid, _| goal_at[gid as usize]) {
+                            Some(ce) => Verdict::Reachable(ce),
+                            None => Verdict::Unreachable,
+                        },
+                    )
+                }
+            }
+        }
+        Property::Precedence {
+            event,
+            requires_before,
+            ..
+        } => {
+            // Flag = "prerequisite has occurred". Violation: event in a
+            // state where the (updated) flag is still false.
+            let event = c.compile_checked(event)?;
+            let before = c.compile_checked(requires_before)?;
+            let event_at = eval_nodes(g, &event);
+            let before_at = eval_nodes(g, &before);
+            let pg = product_bfs(
+                g,
+                excluded_cmds.as_deref(),
+                |gid| before_at[gid as usize],
+                |f, gid| f || before_at[gid as usize],
+                false,
+                limit,
+                stats,
+            )?;
+            Ok(
+                match scan_product(c, g, &pg, |gid, flag| !flag && event_at[gid as usize]) {
+                    Some(ce) => Verdict::Violated(ce),
+                    None => Verdict::Holds,
+                },
+            )
+        }
+        Property::Response {
+            trigger, response, ..
+        } => {
+            let trigger = c.compile_checked(trigger)?;
+            let response = c.compile_checked(response)?;
+            check_response_on_graph(
+                c,
+                g,
+                &trigger,
+                &response,
+                excluded_cmds.as_deref(),
+                limit,
+                stats,
+            )
+        }
+    }
+}
+
+fn check_response_on_graph(
+    c: &Compiled<'_>,
+    g: &ReachGraph,
+    trigger: &CExpr,
+    response: &CExpr,
+    excluded: Option<&[bool]>,
+    limit: usize,
+    stats: &mut QueryStats,
+) -> Result<Verdict, CheckError> {
+    // Obligation monitor: pending' = (pending ∨ trigger(s')) ∧ ¬response(s').
+    let trig_at = eval_nodes(g, trigger);
+    let resp_at = eval_nodes(g, response);
+    let pg = product_bfs(
+        g,
+        excluded,
+        |gid| trig_at[gid as usize] && !resp_at[gid as usize],
+        |f, gid| (f || trig_at[gid as usize]) && !resp_at[gid as usize],
+        true,
+        limit,
+        stats,
+    )?;
+
+    // Restrict to pending nodes and find a fair cycle among them.
+    let pending: Vec<bool> = pg.nodes.iter().map(|&(_, f)| f).collect();
+    let sccs = tarjan_sccs(&pg, &pending);
+    let fairness: Vec<Vec<bool>> = c
+        .model
+        .fairness()
+        .iter()
+        .map(|f| eval_nodes(g, &c.compile(f)))
+        .collect();
+    for scc in &sccs {
+        if !scc_has_cycle(&pg, scc, &pending) {
+            continue;
+        }
+        // Every fairness constraint must be satisfiable inside the SCC.
+        let fair_ok = fairness.iter().all(|f_at| {
+            scc.iter()
+                .any(|&pid| f_at[pg.nodes[pid as usize].0 as usize])
+        });
+        if !fair_ok {
+            continue;
+        }
+        let entry = scc[0];
+        let prefix = rebuild_product_path(c, g, &pg, entry);
+        let cycle = build_fair_cycle(c, g, &pg, scc, entry, &fairness);
+        let lasso_start = prefix.len() - 1;
+        let mut steps = prefix;
+        steps.extend(cycle);
+        return Ok(Verdict::Violated(Counterexample {
+            steps,
+            lasso_start: Some(lasso_start),
+        }));
+    }
+    Ok(Verdict::Holds)
+}
+
 // ---------------------------------------------------------------------------
-// Public API
+// Public one-shot API
 // ---------------------------------------------------------------------------
 
 /// Checks a property with the default state limit.
@@ -543,15 +1084,45 @@ pub fn check(model: &Model, property: &Property) -> Verdict {
 ///
 /// Returns [`CheckError`] for invalid models or state-limit blowups.
 pub fn explore_stats(model: &Model, limit: usize) -> Result<ExploreStats, CheckError> {
-    let c = Compiled::new(model)?;
-    let no_flag: &FlagUpdate<'_> = &|_, _| false;
-    let mut stats = CheckStats::default();
-    let g = explore(&c, no_flag, no_flag, true, limit, &mut stats)?;
-    let transitions = g.edges.iter().map(|e| e.len()).sum();
+    let g = build_reach_graph(model, limit)?;
     Ok(ExploreStats {
-        states: g.nodes.len(),
-        transitions,
+        states: g.node_count(),
+        transitions: g.edge_count(),
     })
+}
+
+/// Validates a property's expressions against a model without exploring
+/// anything — the same checks (and the same error ordering) the full
+/// check would apply before paying for exploration.
+///
+/// # Errors
+///
+/// Returns [`CheckError::InvalidModel`] with the model's problems first,
+/// then the property's.
+pub fn validate_property(model: &Model, property: &Property) -> Result<(), CheckError> {
+    let c = Compiled::new(model)?;
+    validate_property_exprs(&c, property)
+}
+
+fn validate_property_exprs(c: &Compiled<'_>, property: &Property) -> Result<(), CheckError> {
+    match property {
+        Property::Invariant { holds, .. } => c.compile_checked(holds).map(drop),
+        Property::Reachable { goal, .. } => c.compile_checked(goal).map(drop),
+        Property::Precedence {
+            event,
+            requires_before,
+            ..
+        } => {
+            c.compile_checked(event)?;
+            c.compile_checked(requires_before).map(drop)
+        }
+        Property::Response {
+            trigger, response, ..
+        } => {
+            c.compile_checked(trigger)?;
+            c.compile_checked(response).map(drop)
+        }
+    }
 }
 
 /// Checks a property with an explicit state limit.
@@ -599,6 +1170,11 @@ pub fn check_bounded_traced(
 /// how many states were interned before the limit tripped), so CEGAR
 /// callers can keep one accumulator across refinement iterations.
 ///
+/// Internally this is explore + evaluate: it builds a private
+/// [`ReachGraph`] and answers the property as a query over it. Callers
+/// checking many properties against one model should build the graph
+/// once ([`build_reach_graph`]) and use [`check_on_graph`] instead.
+///
 /// # Errors
 ///
 /// Same as [`check_bounded`].
@@ -609,117 +1185,27 @@ pub fn check_bounded_stats(
     stats: &mut CheckStats,
 ) -> Result<Verdict, CheckError> {
     let c = Compiled::new(model)?;
-    match property {
-        Property::Invariant { holds, .. } => {
-            let holds = c.compile_checked(holds)?;
-            check_safety(&c, limit, stats, |s, _| !holds.eval(s)).map(|r| match r {
-                Some(ce) => Verdict::Violated(ce),
-                None => Verdict::Holds,
-            })
-        }
-        Property::Reachable { goal, .. } => {
-            let goal = c.compile_checked(goal)?;
-            check_safety(&c, limit, stats, |s, _| goal.eval(s)).map(|r| match r {
-                Some(ce) => Verdict::Reachable(ce),
-                None => Verdict::Unreachable,
-            })
-        }
-        Property::Precedence {
-            event,
-            requires_before,
-            ..
-        } => {
-            // Flag = "prerequisite has occurred". Violation: event in a
-            // state where the (updated) flag is still false.
-            let event = c.compile_checked(event)?;
-            let before = c.compile_checked(requires_before)?;
-            let init_flag: &FlagUpdate<'_> = &|_, s: &State| before.eval(s);
-            let step_flag: &FlagUpdate<'_> = &|f, s: &State| f || before.eval(s);
-            let g = explore(&c, init_flag, step_flag, false, limit, stats)?;
-            for (id, (state, flag)) in g.nodes.iter().enumerate() {
-                if !flag && event.eval(state) {
-                    let steps = rebuild_path(&c, &g, id as u32);
-                    return Ok(Verdict::Violated(Counterexample {
-                        steps,
-                        lasso_start: None,
-                    }));
-                }
-            }
-            Ok(Verdict::Holds)
-        }
-        Property::Response {
-            trigger, response, ..
-        } => {
-            let trigger = c.compile_checked(trigger)?;
-            let response = c.compile_checked(response)?;
-            check_response(&c, &trigger, &response, limit, stats)
-        }
-    }
+    // Reject bad property vocabulary before paying for exploration,
+    // preserving the historical error precedence (model problems, then
+    // property problems, then state-limit blowups).
+    validate_property_exprs(&c, property)?;
+    let g = explore_graph(&c, limit, stats)?;
+    let mut q = QueryStats::default();
+    let verdict = check_compiled_on_graph(&c, &g, property, &BTreeSet::new(), limit, &mut q)?;
+    stats.absorb(CheckStats {
+        states: q.product_states,
+        transitions: q.transitions,
+        peak_queue: q.peak_queue,
+    });
+    Ok(verdict)
 }
 
-fn check_safety(
-    c: &Compiled<'_>,
-    limit: usize,
-    stats: &mut CheckStats,
-    bad: impl Fn(&State, Flag) -> bool,
-) -> Result<Option<Counterexample>, CheckError> {
-    let no_flag: &FlagUpdate<'_> = &|_, _| false;
-    let g = explore(c, no_flag, no_flag, false, limit, stats)?;
-    for (id, (state, flag)) in g.nodes.iter().enumerate() {
-        if bad(state, *flag) {
-            let steps = rebuild_path(c, &g, id as u32);
-            return Ok(Some(Counterexample {
-                steps,
-                lasso_start: None,
-            }));
-        }
-    }
-    Ok(None)
-}
-
-fn check_response(
-    c: &Compiled<'_>,
-    trigger: &CExpr,
-    response: &CExpr,
-    limit: usize,
-    stats: &mut CheckStats,
-) -> Result<Verdict, CheckError> {
-    // Obligation monitor: pending' = (pending ∨ trigger(s')) ∧ ¬response(s').
-    let init_flag: &FlagUpdate<'_> = &|_, s: &State| trigger.eval(s) && !response.eval(s);
-    let step_flag: &FlagUpdate<'_> = &|f, s: &State| (f || trigger.eval(s)) && !response.eval(s);
-    let g = explore(c, init_flag, step_flag, true, limit, stats)?;
-
-    // Restrict to pending nodes and find a fair cycle among them.
-    let pending: Vec<bool> = g.nodes.iter().map(|(_, f)| *f).collect();
-    let sccs = tarjan_sccs(&g, &pending);
-    let fairness: Vec<CExpr> = c.model.fairness().iter().map(|f| c.compile(f)).collect();
-    for scc in &sccs {
-        if !scc_has_cycle(&g, scc, &pending) {
-            continue;
-        }
-        // Every fairness constraint must be satisfiable inside the SCC.
-        let fair_ok = fairness
-            .iter()
-            .all(|f| scc.iter().any(|&id| f.eval(&g.nodes[id as usize].0)));
-        if !fair_ok {
-            continue;
-        }
-        let entry = scc[0];
-        let prefix = rebuild_path(c, &g, entry);
-        let cycle = build_fair_cycle(c, &g, scc, entry, &fairness);
-        let lasso_start = prefix.len() - 1;
-        let mut steps = prefix;
-        steps.extend(cycle);
-        return Ok(Verdict::Violated(Counterexample {
-            steps,
-            lasso_start: Some(lasso_start),
-        }));
-    }
-    Ok(Verdict::Holds)
-}
+// ---------------------------------------------------------------------------
+// Cycle machinery on the product graph
+// ---------------------------------------------------------------------------
 
 /// Tarjan SCC over the subgraph induced by `mask` (iterative).
-fn tarjan_sccs(g: &Graph, mask: &[bool]) -> Vec<Vec<u32>> {
+fn tarjan_sccs(g: &ProductGraph, mask: &[bool]) -> Vec<Vec<u32>> {
     let n = g.nodes.len();
     let mut index = vec![u32::MAX; n];
     let mut low = vec![0u32; n];
@@ -791,7 +1277,7 @@ fn tarjan_sccs(g: &Graph, mask: &[bool]) -> Vec<Vec<u32>> {
     sccs
 }
 
-fn scc_has_cycle(g: &Graph, scc: &[u32], mask: &[bool]) -> bool {
+fn scc_has_cycle(g: &ProductGraph, scc: &[u32], mask: &[bool]) -> bool {
     if scc.len() > 1 {
         return true;
     }
@@ -802,27 +1288,30 @@ fn scc_has_cycle(g: &Graph, scc: &[u32], mask: &[bool]) -> bool {
 }
 
 /// Builds a cycle within the SCC starting and ending at `entry`, visiting
-/// a witness state for every fairness constraint.
+/// a witness state for every fairness constraint (each constraint given
+/// as its per-graph-node truth table).
 fn build_fair_cycle(
     c: &Compiled<'_>,
-    g: &Graph,
+    g: &ReachGraph,
+    pg: &ProductGraph,
     scc: &[u32],
     entry: u32,
-    fairness: &[CExpr],
+    fairness: &[Vec<bool>],
 ) -> Vec<TraceStep> {
     use std::collections::HashSet;
     let members: HashSet<u32> = scc.iter().copied().collect();
+    let fair_at = |f_at: &[bool], pid: u32| f_at[pg.nodes[pid as usize].0 as usize];
 
     // BFS within the SCC from `from` to the first node satisfying `pred`,
     // returning the steps taken (labels + states), excluding `from`.
-    let bfs = |from: u32, pred: &dyn Fn(u32) -> bool| -> Vec<(usize, u32)> {
-        let mut prev: HashMap<u32, (u32, usize)> = HashMap::new();
+    let bfs = |from: u32, pred: &dyn Fn(u32) -> bool| -> Vec<(u32, u32)> {
+        let mut prev: HashMap<u32, (u32, u32)> = HashMap::new();
         let mut queue = VecDeque::from([from]);
         let mut found = None;
         // Note: `from` itself only counts if it has a self-edge path; we
         // look for the first satisfying node reached by ≥1 edge.
         'outer: while let Some(u) = queue.pop_front() {
-            for &(cmd, v) in &g.edges[u as usize] {
+            for &(cmd, v) in &pg.edges[u as usize] {
                 if !members.contains(&v) {
                     continue;
                 }
@@ -847,7 +1336,7 @@ fn build_fair_cycle(
         loop {
             let (p, cmd) = prev[&cur];
             rev.push((cmd, cur));
-            if p == from || rev.len() > g.nodes.len() {
+            if p == from || rev.len() > pg.nodes.len() {
                 break;
             }
             cur = p;
@@ -857,12 +1346,12 @@ fn build_fair_cycle(
     };
 
     let mut pos = entry;
-    let mut segments: Vec<(usize, u32)> = Vec::new();
-    for f in fairness {
-        if f.eval(&g.nodes[pos as usize].0) {
+    let mut segments: Vec<(u32, u32)> = Vec::new();
+    for f_at in fairness {
+        if fair_at(f_at, pos) {
             continue; // already satisfied here
         }
-        let seg = bfs(pos, &|id| f.eval(&g.nodes[id as usize].0));
+        let seg = bfs(pos, &|pid| fair_at(f_at, pid));
         if let Some(&(_, last)) = seg.last() {
             pos = last;
         }
@@ -870,14 +1359,18 @@ fn build_fair_cycle(
     }
     // Close the loop back to entry.
     if pos != entry || segments.is_empty() {
-        let seg = bfs(pos, &|id| id == entry);
+        let seg = bfs(pos, &|pid| pid == entry);
         segments.extend(seg);
     }
+    let mut cur: State = vec![0; g.num_vars()];
     segments
         .into_iter()
-        .map(|(cmd, id)| TraceStep {
-            label: c.label_of(cmd).to_string(),
-            state: c.assignment(&g.nodes[id as usize].0),
+        .map(|(cmd, pid)| {
+            g.load_state(pg.nodes[pid as usize].0, &mut cur);
+            TraceStep {
+                label: c.label_of(cmd).to_string(),
+                state: c.assignment(&cur),
+            }
         })
         .collect()
 }
@@ -1164,5 +1657,193 @@ mod tests {
         let (v2, s2) = check_bounded_traced(&m, &p, 1000, &Collector::disabled()).unwrap();
         assert_eq!(v2, verdict);
         assert_eq!(s2, stats);
+    }
+
+    // --- explore-once / query-many -------------------------------------
+
+    /// Every property kind answered as a graph query must match a direct
+    /// (explore-per-check) run exactly, traces included.
+    #[test]
+    fn graph_queries_match_direct_checks() {
+        for with_drop in [false, true] {
+            let mut m = ring(with_drop);
+            m.add_fairness(Expr::var_eq("st", "done"));
+            let g = build_reach_graph(&m, 1000).unwrap();
+            assert!(g.is_packed(), "3-value domain must bit-pack");
+            let props = [
+                Property::invariant("inv", Expr::var_ne("st", "done")),
+                Property::invariant("dom", Expr::var_in("st", ["idle", "req", "done"])),
+                Property::reachable("done", Expr::var_eq("st", "done")),
+                Property::reachable("ghost", Expr::var_eq("st", "idle")),
+                Property::response(
+                    "served",
+                    Expr::var_eq("st", "req"),
+                    Expr::var_eq("st", "done"),
+                ),
+                Property::precedence(
+                    "req_first",
+                    Expr::var_eq("st", "done"),
+                    Expr::var_eq("st", "req"),
+                ),
+            ];
+            for p in &props {
+                let direct = check_bounded(&m, p, 1000).unwrap();
+                let mut q = QueryStats::default();
+                let cached = check_on_graph(&m, &g, p, &BTreeSet::new(), 1000, &mut q).unwrap();
+                assert_eq!(direct, cached, "{} (with_drop={with_drop})", p.name());
+                assert!(q.nodes_reused > 0, "query must report reuse");
+            }
+        }
+    }
+
+    /// Excluding command labels from a query must be indistinguishable
+    /// from deleting those commands from the model and re-exploring.
+    #[test]
+    fn excluded_query_matches_filtered_model() {
+        let full = ring(true); // request, serve, reset, adv_drop
+        let filtered = ring(false); // identical minus adv_drop
+        let g = build_reach_graph(&full, 1000).unwrap();
+        let excluded: BTreeSet<String> = ["adv_drop".to_string()].into();
+        let props = [
+            Property::invariant("inv", Expr::var_ne("st", "done")),
+            Property::reachable("done", Expr::var_eq("st", "done")),
+            Property::response(
+                "served",
+                Expr::var_eq("st", "req"),
+                Expr::var_eq("st", "done"),
+            ),
+            Property::precedence(
+                "req_first",
+                Expr::var_eq("st", "done"),
+                Expr::var_eq("st", "req"),
+            ),
+        ];
+        for p in &props {
+            let direct = check_bounded(&filtered, p, 1000).unwrap();
+            let mut q = QueryStats::default();
+            let refined = check_on_graph(&full, &g, p, &excluded, 1000, &mut q).unwrap();
+            assert_eq!(direct, refined, "{}", p.name());
+        }
+    }
+
+    /// A node whose every command is excluded must deadlock-stutter in
+    /// the query, exactly as the filtered model would.
+    #[test]
+    fn excluding_all_commands_synthesizes_stutter() {
+        let m = ring(false);
+        let g = build_reach_graph(&m, 1000).unwrap();
+        let excluded: BTreeSet<String> = ["serve".to_string()].into();
+        let p = Property::response(
+            "served",
+            Expr::var_eq("st", "req"),
+            Expr::var_eq("st", "done"),
+        );
+        let mut q = QueryStats::default();
+        let Verdict::Violated(ce) = check_on_graph(&m, &g, &p, &excluded, 1000, &mut q).unwrap()
+        else {
+            panic!("removing serve must stall the ring");
+        };
+        assert!(ce.is_lasso());
+        assert!(ce.steps.iter().any(|s| s.label == "stutter"));
+
+        // Reference: the same model with `serve` actually deleted.
+        let mut stalled = Model::new("ring");
+        stalled.declare_var("st", &["idle", "req", "done"], &["idle"]);
+        stalled
+            .add_command(GuardedCmd::new("request", Expr::var_eq("st", "idle")).set("st", "req"));
+        stalled.add_command(GuardedCmd::new("reset", Expr::var_eq("st", "done")).set("st", "idle"));
+        let Verdict::Violated(ref_ce) = check_bounded(&stalled, &p, 1000).unwrap() else {
+            panic!("reference model must also stall");
+        };
+        assert_eq!(ce.command_labels(), ref_ce.command_labels());
+        assert_eq!(ce.lasso_start, ref_ce.lasso_start);
+    }
+
+    /// Models whose packed width exceeds 64 bits fall back to the wide
+    /// arena and still answer queries identically.
+    #[test]
+    fn wide_fallback_matches_direct_checks() {
+        let mut m = Model::new("wide");
+        let domain: Vec<String> = (0..64).map(|i| format!("v{i}")).collect();
+        let domain_refs: Vec<&str> = domain.iter().map(String::as_str).collect();
+        for i in 0..11 {
+            m.declare_var(&format!("x{i}"), &domain_refs, &["v0"]);
+        }
+        m.add_command(GuardedCmd::new("step", Expr::var_eq("x0", "v0")).set("x0", "v1"));
+        let g = build_reach_graph(&m, 1000).unwrap();
+        assert!(!g.is_packed(), "11 x 6 bits must overflow the u64 key");
+        assert_eq!(g.node_count(), 2);
+        let p = Property::reachable("moved", Expr::var_eq("x0", "v1"));
+        let direct = check_bounded(&m, &p, 1000).unwrap();
+        let mut q = QueryStats::default();
+        let cached = check_on_graph(&m, &g, &p, &BTreeSet::new(), 1000, &mut q).unwrap();
+        assert_eq!(direct, cached);
+        assert_eq!(direct.trace().unwrap(), cached.trace().unwrap());
+    }
+
+    /// Structural sanity of the cached graph on the ring: CSR successor
+    /// and predecessor views agree, parents form a BFS tree.
+    #[test]
+    fn reach_graph_structure_is_consistent() {
+        let m = ring(true);
+        let g = build_reach_graph(&m, 1000).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.init_count(), 1);
+        // Every successor edge appears as a predecessor link and vice versa.
+        let mut fwd = Vec::new();
+        for u in 0..g.node_count() as u32 {
+            for (_, v) in g.successors(u) {
+                fwd.push((u, v));
+            }
+        }
+        let mut bwd = Vec::new();
+        for v in 0..g.node_count() as u32 {
+            for &u in g.predecessors(v) {
+                bwd.push((u, v));
+            }
+        }
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        assert_eq!(fwd, bwd);
+        assert_eq!(g.edge_count(), fwd.len());
+        assert_eq!(g.build_stats().states, g.node_count() as u64);
+        assert_eq!(g.build_stats().transitions, g.edge_count() as u64);
+    }
+
+    /// The graph build honours the state limit exactly like the
+    /// single-pass exploration did.
+    #[test]
+    fn graph_build_honours_state_limit() {
+        let mut m = Model::new("big");
+        let domain = ["0", "1", "2", "3"];
+        for i in 0..8 {
+            m.declare_var(&format!("v{i}"), &domain, &["0"]);
+        }
+        for i in 0..8 {
+            for (a, b) in [("0", "1"), ("1", "2"), ("2", "3"), ("3", "0")] {
+                m.add_command(
+                    GuardedCmd::new(format!("v{i}_{a}to{b}"), Expr::var_eq(format!("v{i}"), a))
+                        .set(format!("v{i}"), b),
+                );
+            }
+        }
+        let mut stats = CheckStats::default();
+        let err = build_reach_graph_stats(&m, 1000, &mut stats).unwrap_err();
+        assert!(matches!(err, CheckError::StateLimit(1000)));
+        assert!(stats.states > 1000, "partial exploration must be visible");
+    }
+
+    /// `validate_property` mirrors the full check's error precedence
+    /// without exploring anything.
+    #[test]
+    fn validate_property_matches_check_errors() {
+        let m = ring(false);
+        assert!(
+            validate_property(&m, &Property::invariant("ok", Expr::var_eq("st", "idle"))).is_ok()
+        );
+        let bad = Property::invariant("bad", Expr::var_eq("ghost", "1"));
+        let via_validate = validate_property(&m, &bad).unwrap_err();
+        let via_check = check_bounded(&m, &bad, 1000).unwrap_err();
+        assert_eq!(via_validate, via_check);
     }
 }

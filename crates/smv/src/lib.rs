@@ -9,10 +9,14 @@
 //!   symbolic enum domains (the shape the paper's model generator emits
 //!   as SMV);
 //! * [`expr`] — the boolean expression language over those variables;
-//! * [`checker`] — an explicit-state engine: interned-state BFS for
-//!   invariants and reachability, and a product-monitor + SCC search for
-//!   response properties `G (trigger → F response)` under optional
-//!   fairness constraints;
+//! * [`checker`] — an explicit-state engine split into an explore phase
+//!   (one interned-state BFS per model, producing a cached
+//!   [`reach::ReachGraph`]) and an evaluate phase (invariants,
+//!   reachability, precedence, and product-monitor + SCC response
+//!   checks under optional fairness constraints, all answered as
+//!   queries over that graph);
+//! * [`reach`] — the cached reachable-state graph itself: packed state
+//!   arena, CSR successor/predecessor adjacency, BFS parent pointers;
 //! * [`trace`] — counterexample traces (finite paths for safety, lassos
 //!   for liveness) with per-step command labels, consumable by the
 //!   CEGAR loop's cryptographic feasibility check;
@@ -46,10 +50,12 @@ pub mod checker;
 pub mod expr;
 pub mod fxhash;
 pub mod model;
+pub mod reach;
 pub mod smvformat;
 pub mod trace;
 
 pub use checker::{check, Property, Verdict};
 pub use expr::Expr;
 pub use model::{GuardedCmd, Model};
+pub use reach::ReachGraph;
 pub use trace::Counterexample;

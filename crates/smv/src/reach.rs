@@ -1,0 +1,297 @@
+//! Cached reachable-state graphs ("explore once, check many").
+//!
+//! The explicit-state engine used to re-explore the composed model's
+//! reachable state space once per property, even though every property
+//! sliced to the same threat configuration sees the *same* graph. A
+//! [`ReachGraph`] is that graph, fully explored once and kept:
+//!
+//! * a **packed state arena** — when the product of the declared domain
+//!   sizes fits 64 bits, each state is bit-packed into one `u64` key
+//!   ([`PackLayout`]); wider models fall back to the boxed value-vector
+//!   encoding the interner used before;
+//! * **CSR successor adjacency** — per node, the enabled commands and
+//!   their successor states, in command declaration order (plus the
+//!   deadlock stutter self-loop), so queries never re-evaluate guards;
+//! * **predecessor links** (CSR as well), so counterexample paths can be
+//!   reconstructed or goals back-propagated without re-search;
+//! * **BFS parent pointers** from the original exploration — the
+//!   shortest-path tree every safety counterexample is rebuilt from.
+//!
+//! Properties are then answered as *queries* over this graph (direct
+//! scans for invariants/reachability, a product BFS carrying the monitor
+//! bit for precedence/response and CEGAR-refined re-checks) — see
+//! [`crate::checker::check_on_graph`]. Queries visit graph nodes by
+//! index; they never touch the interning table, which is dropped once
+//! construction finishes.
+
+use crate::checker::CheckStats;
+
+/// Per-variable value index (position in the declared domain).
+pub(crate) type Value = u16;
+
+/// Sentinel command index for the deadlock stutter self-loop.
+pub(crate) const STUTTER_CMD: u32 = u32::MAX;
+
+/// Sentinel parent id for initial states.
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// Bit layout packing one state (a value-index per variable) into a
+/// `u64`. Variable `i` occupies `widths[i]` bits starting at
+/// `shifts[i]`; variables with singleton domains occupy zero bits.
+#[derive(Debug, Clone)]
+pub(crate) struct PackLayout {
+    shifts: Vec<u8>,
+    widths: Vec<u8>,
+}
+
+impl PackLayout {
+    /// Computes the layout for the given domain sizes, or `None` when the
+    /// packed representation does not fit 64 bits.
+    pub(crate) fn for_domains(domain_sizes: &[usize]) -> Option<PackLayout> {
+        let mut shifts = Vec::with_capacity(domain_sizes.len());
+        let mut widths = Vec::with_capacity(domain_sizes.len());
+        let mut total: u32 = 0;
+        for &d in domain_sizes {
+            let width = if d <= 1 {
+                0u8
+            } else {
+                (usize::BITS - (d - 1).leading_zeros()) as u8
+            };
+            if total + width as u32 > 64 {
+                return None;
+            }
+            shifts.push(total as u8);
+            widths.push(width);
+            total += width as u32;
+        }
+        Some(PackLayout { shifts, widths })
+    }
+
+    /// Packs a state into its `u64` key.
+    pub(crate) fn pack(&self, s: &[Value]) -> u64 {
+        debug_assert_eq!(s.len(), self.shifts.len());
+        let mut key = 0u64;
+        for (i, &v) in s.iter().enumerate() {
+            key |= (v as u64) << self.shifts[i];
+        }
+        key
+    }
+
+    /// Unpacks a `u64` key back into per-variable value indices.
+    pub(crate) fn unpack(&self, key: u64, out: &mut [Value]) {
+        debug_assert_eq!(out.len(), self.shifts.len());
+        for (i, slot) in out.iter_mut().enumerate() {
+            let width = self.widths[i];
+            *slot = if width == 0 {
+                0
+            } else {
+                ((key >> self.shifts[i]) & ((1u64 << width) - 1)) as Value
+            };
+        }
+    }
+}
+
+/// The state store behind a [`ReachGraph`]: packed `u64` keys when the
+/// domains fit, the wide value-vector encoding otherwise.
+#[derive(Debug)]
+pub(crate) enum StateArena {
+    /// One `u64` per state.
+    Packed { layout: PackLayout, keys: Vec<u64> },
+    /// Flat `num_vars`-stride value-index arena.
+    Wide { num_vars: usize, values: Vec<Value> },
+}
+
+impl StateArena {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            StateArena::Packed { keys, .. } => keys.len(),
+            StateArena::Wide { num_vars, values } => {
+                if *num_vars == 0 {
+                    // Zero-variable models have exactly one (empty) state
+                    // once anything is interned; the wide arena cannot
+                    // count it by stride.
+                    usize::from(!values.is_empty())
+                } else {
+                    values.len() / num_vars
+                }
+            }
+        }
+    }
+
+    /// Copies node `id`'s state into `out` (`out.len() == num_vars`).
+    pub(crate) fn load(&self, id: u32, out: &mut [Value]) {
+        match self {
+            StateArena::Packed { layout, keys } => layout.unpack(keys[id as usize], out),
+            StateArena::Wide { num_vars, values } => {
+                let start = id as usize * num_vars;
+                out.copy_from_slice(&values[start..start + num_vars]);
+            }
+        }
+    }
+}
+
+/// A fully-explored reachable state graph for one model.
+///
+/// Built by [`crate::checker::build_reach_graph`]; immutable afterwards.
+/// Shared (e.g. behind an `Arc` in a per-threat-configuration cache) so
+/// every property keyed to the same model answers its query against one
+/// exploration instead of re-running BFS.
+#[derive(Debug)]
+pub struct ReachGraph {
+    pub(crate) num_vars: usize,
+    pub(crate) arena: StateArena,
+    /// BFS parent node per node ([`NO_PARENT`] for initial states).
+    pub(crate) parent_node: Vec<u32>,
+    /// Command index of the edge from the BFS parent.
+    pub(crate) parent_cmd: Vec<u32>,
+    /// CSR offsets into `succ_cmd`/`succ_node` (length `nodes + 1`).
+    pub(crate) succ_off: Vec<u32>,
+    /// Command index per successor edge ([`STUTTER_CMD`] for stutters).
+    pub(crate) succ_cmd: Vec<u32>,
+    /// Successor node per edge.
+    pub(crate) succ_node: Vec<u32>,
+    /// CSR offsets into `pred` (length `nodes + 1`).
+    pub(crate) pred_off: Vec<u32>,
+    /// Predecessor node per incoming edge, grouped by target.
+    pub(crate) pred: Vec<u32>,
+    /// The first `init_count` nodes are the (distinct) initial states.
+    pub(crate) init_count: u32,
+    /// Whether the arena uses the packed `u64` encoding.
+    pub(crate) packed: bool,
+    /// Exploration cost of building this graph.
+    pub(crate) stats: CheckStats,
+}
+
+impl ReachGraph {
+    /// Number of reachable states.
+    pub fn node_count(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Number of successor edges (including deadlock stutters).
+    pub fn edge_count(&self) -> usize {
+        self.succ_node.len()
+    }
+
+    /// Number of distinct initial states (nodes `0..init_count`).
+    pub fn init_count(&self) -> u32 {
+        self.init_count
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// True when states are stored as packed `u64` keys.
+    pub fn is_packed(&self) -> bool {
+        self.packed
+    }
+
+    /// What exploring this graph cost (states interned, transitions
+    /// generated, peak BFS frontier).
+    pub fn build_stats(&self) -> CheckStats {
+        self.stats
+    }
+
+    /// Successor edges of `id` as `(command index, successor node)`, in
+    /// command declaration order.
+    pub fn successors(&self, id: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.succ_off[id as usize] as usize;
+        let hi = self.succ_off[id as usize + 1] as usize;
+        self.succ_cmd[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.succ_node[lo..hi].iter().copied())
+    }
+
+    /// Predecessor nodes of `id` (sources of incoming edges, ascending).
+    pub fn predecessors(&self, id: u32) -> &[u32] {
+        let lo = self.pred_off[id as usize] as usize;
+        let hi = self.pred_off[id as usize + 1] as usize;
+        &self.pred[lo..hi]
+    }
+
+    /// Copies node `id`'s state (value indices) into `out`.
+    pub(crate) fn load_state(&self, id: u32, out: &mut [Value]) {
+        self.arena.load(id, out);
+    }
+
+    /// Builds the predecessor CSR from the successor lists (counting
+    /// sort, so each node's predecessors come out ascending).
+    pub(crate) fn build_predecessors(&mut self) {
+        let n = self.arena.len();
+        let mut counts = vec![0u32; n + 1];
+        for &v in &self.succ_node {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut cursor = counts.clone();
+        let mut pred = vec![0u32; self.succ_node.len()];
+        for u in 0..n {
+            let lo = self.succ_off[u] as usize;
+            let hi = self.succ_off[u + 1] as usize;
+            for &v in &self.succ_node[lo..hi] {
+                pred[cursor[v as usize] as usize] = u as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        self.pred_off = counts;
+        self.pred = pred;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_layout_roundtrips() {
+        let layout = PackLayout::for_domains(&[3, 1, 7, 2]).expect("fits");
+        let states = [
+            vec![0u16, 0, 0, 0],
+            vec![2, 0, 6, 1],
+            vec![1, 0, 3, 0],
+            vec![2, 0, 0, 1],
+        ];
+        let mut out = vec![0u16; 4];
+        for s in &states {
+            layout.unpack(layout.pack(s), &mut out);
+            assert_eq!(&out, s);
+        }
+    }
+
+    #[test]
+    fn pack_layout_rejects_wide_products() {
+        // 11 variables × 64-value domains = 66 bits: does not fit.
+        let sizes = vec![64usize; 11];
+        assert!(PackLayout::for_domains(&sizes).is_none());
+        // 10 × 6 bits = 60 bits: fits.
+        assert!(PackLayout::for_domains(&sizes[..10]).is_some());
+    }
+
+    #[test]
+    fn singleton_domains_take_no_bits() {
+        let layout = PackLayout::for_domains(&[1; 100]).expect("zero bits each");
+        assert_eq!(layout.pack(&[0u16; 100]), 0);
+        let mut out = vec![9u16; 100];
+        layout.unpack(0, &mut out);
+        assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn wide_arena_roundtrips() {
+        let arena = StateArena::Wide {
+            num_vars: 3,
+            values: vec![1, 2, 3, 4, 5, 6],
+        };
+        assert_eq!(arena.len(), 2);
+        let mut out = [0u16; 3];
+        arena.load(1, &mut out);
+        assert_eq!(out, [4, 5, 6]);
+        arena.load(0, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+    }
+}

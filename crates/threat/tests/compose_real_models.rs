@@ -6,6 +6,7 @@ use procheck_conformance::suites;
 use procheck_extractor::{extract_fsm, ExtractorConfig};
 use procheck_smv::checker::{check_bounded, explore_stats, Property, Verdict};
 use procheck_smv::expr::Expr;
+use procheck_smv::smvformat::to_smv;
 use procheck_stack::UeConfig;
 use procheck_threat::{build_threat_model, ThreatConfig};
 
@@ -38,6 +39,31 @@ fn composed_model_is_tractable() {
         model.commands().len(),
         stats.states,
         stats.transitions
+    );
+}
+
+/// The reachability-graph cache keys graphs by `ThreatConfig` and
+/// assumes composition is a pure function of (FSMs, config): the same
+/// config must compose the same model, and only then may two
+/// properties share one explored graph. A nondeterministic composer
+/// would silently hand one property another property's state space.
+#[test]
+fn composition_is_deterministic_per_config() {
+    let cfg = UeConfig::reference("001010000000001", 0x42);
+    let (ue, mme) = models(&cfg);
+    let lte = ThreatConfig::lte();
+    let a = build_threat_model(&ue, &mme, &lte);
+    let b = build_threat_model(&ue, &mme, &lte);
+    assert_eq!(
+        to_smv(&a),
+        to_smv(&b),
+        "same ThreatConfig must compose a textually identical model"
+    );
+    let sliced = build_threat_model(&ue, &mme, &ThreatConfig::lte().with_replay_monitor());
+    assert_ne!(
+        to_smv(&a),
+        to_smv(&sliced),
+        "a config with extra trap monitors must not alias to one cache slot"
     );
 }
 

@@ -2,13 +2,27 @@
 # Benchmark regression gate.
 #
 # Compares the freshly generated BENCH_pipeline.json / BENCH_telemetry.json
-# against the committed BENCH_baseline.json and fails when either gated
-# metric drops more than 25% below its baseline:
+# against the committed BENCH_baseline.json and fails when a gated metric
+# regresses:
 #
-#   * states_per_sec     — best checker throughput across the measured
-#                          thread counts (BENCH_pipeline.json)
-#   * compose_hit_rate   — threat-model composition cache hit rate
-#                          (BENCH_telemetry.json totals; deterministic)
+#   * states_per_sec       — best checker throughput across the measured
+#                            thread counts (BENCH_pipeline.json); floor
+#                            at baseline - 25%
+#   * compose_hit_rate     — threat-model composition cache hit rate
+#                            (BENCH_telemetry.json totals; deterministic);
+#                            floor at baseline - 25%
+#   * graph_cache_hit_rate — reachability-graph cache hit rate
+#                            (deterministic); floor at baseline - 25%
+#   * max_states_explored  — absolute ceiling on distinct states explored
+#                            by a full-registry run: "explore once" must
+#                            stay explore-once, so any rise past the
+#                            committed ceiling means graphs are being
+#                            rebuilt or slices regressed
+#
+# The two graph-cache gates are skipped when the telemetry reports zero
+# graph-cache lookups — i.e. the artifacts came from a
+# PROCHECK_NO_GRAPH_CACHE=1 run, which CI generates for comparison but
+# does not gate.
 #
 # Usage: scripts/check_bench_regression.sh [baseline] [pipeline] [telemetry]
 set -euo pipefail
@@ -38,13 +52,21 @@ with open(telemetry_path) as f:
     telemetry = json.load(f)
 
 ALLOWED_DROP = 0.25
-current = {
+totals = telemetry["totals"]
+graph_cache_active = totals.get("graph_cache_lookups", 0) > 0
+
+floors = {
     "states_per_sec": max(run["states_per_sec"] for run in pipeline["runs"]),
-    "compose_hit_rate": telemetry["totals"]["compose_hit_rate"],
+    "compose_hit_rate": totals["compose_hit_rate"],
 }
+if graph_cache_active:
+    floors["graph_cache_hit_rate"] = totals["graph_cache_hit_rate"]
+else:
+    print("  graph_cache_hit_rate: skipped (zero graph-cache lookups; "
+          "PROCHECK_NO_GRAPH_CACHE artifacts)")
 
 failures = []
-for name, value in current.items():
+for name, value in floors.items():
     base = baseline[name]
     floor = base * (1.0 - ALLOWED_DROP)
     ok = value >= floor
@@ -53,8 +75,20 @@ for name, value in current.items():
     if not ok:
         failures.append(name)
 
+if graph_cache_active:
+    states = totals["smv_states_explored"]
+    ceiling = baseline["max_states_explored"]
+    ok = states <= ceiling
+    print(f"  smv_states_explored: current {states}, ceiling {ceiling} "
+          f"-> {'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        failures.append("max_states_explored")
+else:
+    print("  max_states_explored: skipped (zero graph-cache lookups; "
+          "PROCHECK_NO_GRAPH_CACHE artifacts)")
+
 if failures:
-    sys.exit(f"benchmark regression: {', '.join(failures)} dropped more "
-             f"than {ALLOWED_DROP:.0%} below {baseline_path}")
+    sys.exit(f"benchmark regression: {', '.join(failures)} regressed "
+             f"against {baseline_path}")
 print("benchmark gates passed")
 EOF
