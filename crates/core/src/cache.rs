@@ -7,11 +7,18 @@
 //! configuration exactly once and hands out shared `Arc<Model>`s, safe
 //! to use from the parallel property-checking pool.
 //!
+//! Between composition and exploration sits the compiled-model layer
+//! ([`ThreatModelCache::get_or_compile_traced`]): each distinct
+//! configuration's model is lowered once to the checker's id-space
+//! [`CompiledModel`] (interned variable/value/command tables), and every
+//! property query and CEGAR iteration for that configuration reuses the
+//! one compiled form instead of re-resolving names.
+//!
 //! The same sharing applies one layer up: *exploring* a composed model
 //! costs far more than composing it, and every property keyed to the
 //! same configuration explores the identical reachable state space. The
 //! cache therefore also memoizes one fully-explored
-//! [`ReachGraph`](procheck_smv::reach::ReachGraph) per configuration
+//! [`ReachGraph`] per configuration
 //! ([`ThreatModelCache::get_or_build_graph_traced`]); properties answer
 //! as queries over the shared graph instead of re-running BFS. Failed
 //! builds (state-limit blowups) are cached too — every property sharing
@@ -27,7 +34,7 @@
 //! configuration result in one build and one waiter.
 
 use procheck_fsm::Fsm;
-use procheck_smv::checker::{build_reach_graph_stats, CheckError, CheckStats};
+use procheck_smv::checker::{build_reach_graph_compiled, CheckError, CheckStats, CompiledModel};
 use procheck_smv::model::Model;
 use procheck_smv::reach::ReachGraph;
 use procheck_telemetry::Collector;
@@ -41,13 +48,22 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// explorations stay visible in reports.
 type GraphSlot = OnceLock<(Result<Arc<ReachGraph>, CheckError>, CheckStats)>;
 
-/// Per-run cache of composed threat models and their explored
-/// reachability graphs, keyed by the full [`ThreatConfig`].
+/// A memoized model compilation: the id-space [`CompiledModel`] every
+/// query and CEGAR iteration for the configuration shares, or the
+/// validation error the one compile died with.
+type CompiledSlot = OnceLock<Result<Arc<CompiledModel>, CheckError>>;
+
+/// Per-run cache of composed threat models, their compiled (id-space)
+/// forms, and their explored reachability graphs, keyed by the full
+/// [`ThreatConfig`].
 #[derive(Debug, Default)]
 pub struct ThreatModelCache {
     slots: Mutex<HashMap<ThreatConfig, Arc<OnceLock<Arc<Model>>>>>,
     builds: AtomicUsize,
     lookups: AtomicUsize,
+    compiled_slots: Mutex<HashMap<ThreatConfig, Arc<CompiledSlot>>>,
+    compile_builds: AtomicUsize,
+    compile_lookups: AtomicUsize,
     graph_slots: Mutex<HashMap<ThreatConfig, Arc<GraphSlot>>>,
     graph_builds: AtomicUsize,
     graph_lookups: AtomicUsize,
@@ -113,17 +129,63 @@ impl ThreatModelCache {
         }))
     }
 
-    /// Returns the fully-explored reachability graph for `model` (the
-    /// composed `IMP^μ` for `cfg`), exploring it on first use. Every
-    /// caller passing an equal `cfg` gets the same `Arc` — or the same
-    /// cached [`CheckError`] when the one build failed.
+    /// Returns the compiled (id-space) form of `model` (the composed
+    /// `IMP^μ` for `cfg`), compiling it on first use. Every caller
+    /// passing an equal `cfg` gets the same `Arc` — or the same cached
+    /// validation [`CheckError`] when the one compile failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) [`CheckError`] from model validation.
+    pub fn get_or_compile(
+        &self,
+        model: &Model,
+        cfg: &ThreatConfig,
+    ) -> Result<Arc<CompiledModel>, CheckError> {
+        self.get_or_compile_traced(model, cfg, &Collector::disabled())
+    }
+
+    /// [`Self::get_or_compile`] that also records `compile.lookups`,
+    /// `compile.builds`, a `compile` span per actual compilation, and
+    /// the high-water `ident.symbols_interned` gauge on `collector`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::get_or_compile`].
+    pub fn get_or_compile_traced(
+        &self,
+        model: &Model,
+        cfg: &ThreatConfig,
+        collector: &Collector,
+    ) -> Result<Arc<CompiledModel>, CheckError> {
+        self.compile_lookups.fetch_add(1, Ordering::Relaxed);
+        collector.add("compile.lookups", 1);
+        let slot = {
+            let mut map = self.compiled_slots.lock().expect("compile cache map lock");
+            Arc::clone(map.entry(cfg.clone()).or_default())
+        };
+        let result = slot.get_or_init(|| {
+            self.compile_builds.fetch_add(1, Ordering::Relaxed);
+            collector.add("compile.builds", 1);
+            let _span = collector.span("compile");
+            let compiled = CompiledModel::new(model).map(Arc::new);
+            collector.record_max("ident.symbols_interned", procheck_ident::symbols_interned());
+            compiled
+        });
+        result.clone()
+    }
+
+    /// Returns the fully-explored reachability graph for the compiled
+    /// `model` (the composed `IMP^μ` for `cfg`), exploring it on first
+    /// use. Every caller passing an equal `cfg` gets the same `Arc` —
+    /// or the same cached [`CheckError`] when the one build failed.
     ///
     /// # Errors
     ///
     /// Returns the (cached) [`CheckError`] from the graph build.
     pub fn get_or_build_graph(
         &self,
-        model: &Model,
+        model: &CompiledModel,
         cfg: &ThreatConfig,
         state_limit: usize,
     ) -> Result<Arc<ReachGraph>, CheckError> {
@@ -144,7 +206,7 @@ impl ThreatModelCache {
     /// Same as [`Self::get_or_build_graph`].
     pub fn get_or_build_graph_traced(
         &self,
-        model: &Model,
+        model: &CompiledModel,
         cfg: &ThreatConfig,
         state_limit: usize,
         collector: &Collector,
@@ -162,7 +224,7 @@ impl ThreatModelCache {
             collector.add("graph_cache.builds", 1);
             let _span = collector.span("graph.build");
             let mut stats = CheckStats::default();
-            let result = build_reach_graph_stats(model, state_limit, &mut stats).map(Arc::new);
+            let result = build_reach_graph_compiled(model, state_limit, &mut stats).map(Arc::new);
             collector.add("smv.states_explored", stats.states);
             collector.add("smv.transitions", stats.transitions);
             collector.record_max("smv.peak_queue", stats.peak_queue);
@@ -188,6 +250,12 @@ impl ThreatModelCache {
         self.builds.load(Ordering::Relaxed)
     }
 
+    /// How many distinct threat models this cache has compiled to id
+    /// space.
+    pub fn distinct_models_compiled(&self) -> usize {
+        self.compile_builds.load(Ordering::Relaxed)
+    }
+
     /// How many distinct reachability graphs this cache has explored.
     pub fn distinct_graphs_built(&self) -> usize {
         self.graph_builds.load(Ordering::Relaxed)
@@ -198,6 +266,14 @@ impl ThreatModelCache {
         CacheStats {
             lookups: self.lookups.load(Ordering::Relaxed),
             builds: self.builds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Hit/miss accounting for the compiled-model layer.
+    pub fn compile_stats(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.compile_lookups.load(Ordering::Relaxed),
+            builds: self.compile_builds.load(Ordering::Relaxed),
         }
     }
 
@@ -274,11 +350,12 @@ mod tests {
         let collector = Collector::enabled();
         let cfg = registry()[0].slice.threat_config();
         let model = cache.get_or_build(&ue, &mme, &cfg);
+        let compiled = cache.get_or_compile(&model, &cfg).unwrap();
         let mut graphs = Vec::new();
         for _ in 0..3 {
             graphs.push(
                 cache
-                    .get_or_build_graph_traced(&model, &cfg, 1_000_000, &collector)
+                    .get_or_build_graph_traced(&compiled, &cfg, 1_000_000, &collector)
                     .unwrap(),
             );
         }
@@ -300,6 +377,45 @@ mod tests {
         assert_eq!(cache.graph_build_stats(&cfg), Some(graphs[0].build_stats()));
     }
 
+    /// The compiled-model layer shares one compilation per distinct
+    /// config, records the `compile` span and `ident.symbols_interned`
+    /// gauge once, and serves repeat lookups from cache.
+    #[test]
+    fn compiled_layer_shares_one_compilation() {
+        use procheck_telemetry::Collector;
+        let (ue, mme) = small_models();
+        let cache = ThreatModelCache::new();
+        let collector = Collector::enabled();
+        let cfg = registry()[0].slice.threat_config();
+        let model = cache.get_or_build(&ue, &mme, &cfg);
+        let a = cache
+            .get_or_compile_traced(&model, &cfg, &collector)
+            .unwrap();
+        let b = cache
+            .get_or_compile_traced(&model, &cfg, &collector)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat lookup must share");
+        assert_eq!(a.command_count(), model.commands().len());
+        let stats = cache.compile_stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.builds, 1);
+        assert_eq!(cache.distinct_models_compiled(), 1);
+        assert_eq!(collector.counter_value("compile.lookups"), 2);
+        assert_eq!(collector.counter_value("compile.builds"), 1);
+        assert!(
+            collector.counter_value("ident.symbols_interned") > 0,
+            "intern-table gauge recorded at compile time"
+        );
+        let spans = collector
+            .events()
+            .iter()
+            .filter(
+                |e| matches!(e, procheck_telemetry::Event::Span { name, .. } if name == "compile"),
+            )
+            .count();
+        assert_eq!(spans, 1, "one compile span per compilation");
+    }
+
     /// A failed graph build (state-limit blowup) is cached like a
     /// successful one: every sharer sees the same error, the exploration
     /// is paid for once, and the partial stats stay readable.
@@ -310,8 +426,9 @@ mod tests {
         let cache = ThreatModelCache::new();
         let cfg = registry()[0].slice.threat_config();
         let model = cache.get_or_build(&ue, &mme, &cfg);
-        let a = cache.get_or_build_graph(&model, &cfg, 1).unwrap_err();
-        let b = cache.get_or_build_graph(&model, &cfg, 1).unwrap_err();
+        let compiled = cache.get_or_compile(&model, &cfg).unwrap();
+        let a = cache.get_or_build_graph(&compiled, &cfg, 1).unwrap_err();
+        let b = cache.get_or_build_graph(&compiled, &cfg, 1).unwrap_err();
         assert!(matches!(a, CheckError::StateLimit(1)));
         assert_eq!(a, b);
         assert_eq!(cache.graph_stats().builds, 1);

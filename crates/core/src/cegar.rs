@@ -16,8 +16,9 @@
 //! (bounded further by `max_iterations`).
 
 use procheck_cpv::term::Term;
+use procheck_ident::Sym;
 use procheck_smv::checker::{
-    build_reach_graph_stats, check_on_graph, validate_property, CheckError, CheckStats, Property,
+    build_reach_graph_compiled, check_on_graph, CheckError, CheckStats, CompiledModel, Property,
     QueryStats, Verdict,
 };
 use procheck_smv::model::Model;
@@ -26,7 +27,6 @@ use procheck_smv::trace::Counterexample;
 use procheck_telemetry::Collector;
 use procheck_threat::StepSemantics;
 use serde::Serialize;
-use std::collections::BTreeSet;
 
 /// Final verdict of a CEGAR run.
 #[derive(Debug, Clone, PartialEq)]
@@ -148,16 +148,23 @@ pub fn cegar_check_traced(
         collector.add("smv.checks", 1);
         Err(e)
     };
-    // Bad property vocabulary is rejected before paying for exploration
-    // (same errors, same precedence as the historical per-iteration
-    // model checks).
-    if let Err(e) = validate_property(model, property) {
+    // An invalid model, then bad property vocabulary, are rejected
+    // before paying for exploration (same errors, same precedence as the
+    // historical per-iteration model checks).
+    let compiled = {
+        let _span = collector.span("compile");
+        match CompiledModel::new(model) {
+            Ok(c) => c,
+            Err(e) => return abort(e),
+        }
+    };
+    if let Err(e) = compiled.compile_property(property) {
         return abort(e);
     }
     let mut build = CheckStats::default();
     let built = {
         let _span = collector.span("graph.build");
-        build_reach_graph_stats(model, state_limit, &mut build)
+        build_reach_graph_compiled(&compiled, state_limit, &mut build)
     };
     collector.add("smv.states_explored", build.states);
     collector.add("smv.transitions", build.transitions);
@@ -167,7 +174,7 @@ pub fn cegar_check_traced(
         Err(e) => return abort(e),
     };
     let mut outcome = cegar_check_on_graph_traced(
-        model,
+        &compiled,
         &graph,
         property,
         semantics,
@@ -186,7 +193,7 @@ pub fn cegar_check_traced(
 ///
 /// Same as [`cegar_check_on_graph_traced`].
 pub fn cegar_check_on_graph(
-    model: &Model,
+    model: &CompiledModel,
     graph: &ReachGraph,
     property: &Property,
     semantics: &StepSemantics,
@@ -205,27 +212,30 @@ pub fn cegar_check_on_graph(
 }
 
 /// Runs the CEGAR loop against an already-explored [`ReachGraph`] for
-/// `model` (typically shared behind the per-`ThreatConfig` cache).
+/// the compiled `model` (typically shared behind the per-`ThreatConfig`
+/// cache).
 ///
 /// Refinements never rebuild or re-explore anything: excluding an
-/// adversary command only *masks* its edges in the next query, and the
-/// checker synthesizes the deadlock stutter exactly where the filtered
-/// model would have one, so verdicts, traces, and refinement sequences
-/// are identical to a loop that re-explored a command-filtered model
-/// each iteration. The shared graph is never invalidated by property
-/// refinement — only a different `ThreatConfig` (a different composed
-/// model) needs a different graph.
+/// adversary command only sets its bit in a [`procheck_ident::CmdIdSet`]
+/// mask for the next query, and the checker synthesizes the deadlock
+/// stutter exactly where the filtered model would have one, so verdicts,
+/// traces, and refinement sequences are identical to a loop that
+/// re-explored a command-filtered model each iteration. The shared graph
+/// is never invalidated by property refinement — only a different
+/// `ThreatConfig` (a different composed model) needs a different graph.
 ///
-/// The returned outcome's `explore` is zero — exploration is charged
-/// wherever the graph was built — while `query` accounts for the graph
-/// re-use (also recorded as `graph_cache.nodes_reused` on `collector`).
+/// The property is compiled once before the loop; every iteration is a
+/// pure id-space query (`smv.expr_reresolved` stays zero). The returned
+/// outcome's `explore` is zero — exploration is charged wherever the
+/// graph was built — while `query` accounts for the graph re-use (also
+/// recorded as `graph_cache.nodes_reused` on `collector`).
 ///
 /// # Errors
 ///
 /// Propagates [`CheckError`] from the graph queries.
 #[allow(clippy::too_many_arguments)]
 pub fn cegar_check_on_graph_traced(
-    model: &Model,
+    model: &CompiledModel,
     graph: &ReachGraph,
     property: &Property,
     semantics: &StepSemantics,
@@ -233,7 +243,7 @@ pub fn cegar_check_on_graph_traced(
     max_iterations: usize,
     collector: &Collector,
 ) -> Result<CegarOutcome, CheckError> {
-    let mut excluded: BTreeSet<String> = BTreeSet::new();
+    let mut excluded = model.exclusion_set();
     let mut refinements = Vec::new();
     let mut query = QueryStats::default();
     let mut cpv_queries = 0usize;
@@ -252,17 +262,33 @@ pub fn cegar_check_on_graph_traced(
         collector.add("cpv.steps", cpv_steps as u64);
         collector.add("smv.checks", iterations as u64);
         collector.add("graph_cache.nodes_reused", query.nodes_reused);
+        collector.add("smv.expr_reresolved", query.exprs_resolved);
         collector.record_max("smv.peak_queue", query.peak_queue);
     };
+    // Compile once; every refinement iteration re-queries the compiled
+    // form with a wider mask — no per-iteration name resolution.
+    let compiled_property = match model.compile_property(property) {
+        Ok(p) => p,
+        Err(e) => {
+            record(1, 0, 0, 0, &query);
+            return Err(e);
+        }
+    };
     for iteration in 1..=max_iterations.max(1) {
-        let verdict =
-            match check_on_graph(model, graph, property, &excluded, state_limit, &mut query) {
-                Ok(v) => v,
-                Err(e) => {
-                    record(iteration, refinements.len(), cpv_queries, cpv_steps, &query);
-                    return Err(e);
-                }
-            };
+        let verdict = match check_on_graph(
+            model,
+            graph,
+            &compiled_property,
+            &excluded,
+            state_limit,
+            &mut query,
+        ) {
+            Ok(v) => v,
+            Err(e) => {
+                record(iteration, refinements.len(), cpv_queries, cpv_steps, &query);
+                return Err(e);
+            }
+        };
         let trace = match verdict {
             Verdict::Holds => {
                 record(iteration, refinements.len(), cpv_queries, cpv_steps, &query);
@@ -313,11 +339,13 @@ pub fn cegar_check_on_graph_traced(
         let (_, label, required) = validation
             .first_infeasible
             .expect("infeasible validation names a step");
+        for id in model.commands_labeled(Sym::intern(&label)) {
+            excluded.insert(id);
+        }
         refinements.push(Refinement {
-            excluded_command: label.clone(),
+            excluded_command: label,
             underivable: required,
         });
-        excluded.insert(label);
     }
     record(
         max_iterations,
@@ -480,8 +508,9 @@ mod tests {
             let model = build_threat_model(&ue, &mme, &cfg);
             let sem = StepSemantics::new(cfg);
             let private = cegar_check(&model, &p, &sem, 1_000_000, 16).unwrap();
+            let compiled = CompiledModel::new(&model).unwrap();
             let graph = build_reach_graph(&model, 1_000_000).unwrap();
-            let shared = cegar_check_on_graph(&model, &graph, &p, &sem, 1_000_000, 16).unwrap();
+            let shared = cegar_check_on_graph(&compiled, &graph, &p, &sem, 1_000_000, 16).unwrap();
             assert_eq!(private.verdict, shared.verdict);
             assert_eq!(private.iterations, shared.iterations);
             assert_eq!(private.refinements, shared.refinements);

@@ -33,7 +33,7 @@ use procheck_extractor::{extract_fsm_traced, ExtractorConfig};
 use procheck_fsm::stats::FsmStats;
 use procheck_fsm::Fsm;
 use procheck_props::{registry, BaseProfile, Check, LinkScenario, NasProperty};
-use procheck_smv::checker::{validate_property, CheckError, DEFAULT_STATE_LIMIT};
+use procheck_smv::checker::{CheckError, DEFAULT_STATE_LIMIT};
 use procheck_stack::quirks::Implementation;
 use procheck_stack::UeConfig;
 use procheck_telemetry::Collector;
@@ -260,37 +260,35 @@ pub fn check_property(
                 cache.get_or_build_traced(&models.ue, &models.mme, &threat_cfg, &cfg.collector);
             let semantics = StepSemantics::new(threat_cfg.clone());
             let checked = if cfg.graph_cache {
-                // The property's vocabulary is validated *before* asking
-                // the cache for a graph: an inapplicable property must
-                // report "not applicable", never the state-limit skip a
-                // doomed shared build would produce — the same error
-                // precedence as the private path below.
-                match validate_property(&model, p) {
-                    Err(e) => Err(e),
-                    Ok(()) => {
+                // The model is compiled (validated) and the property's
+                // vocabulary checked *before* asking the cache for a
+                // graph: an inapplicable property must report "not
+                // applicable", never the state-limit skip a doomed
+                // shared build would produce — the same error precedence
+                // as the private path below.
+                cache
+                    .get_or_compile_traced(&model, &threat_cfg, &cfg.collector)
+                    .and_then(|compiled| {
+                        compiled.compile_property(p)?;
                         // Placeholder: `analyze_implementation` rewrites
                         // this to the registry-order attribution.
                         graph_cache_hit = Some(false);
-                        cache
-                            .get_or_build_graph_traced(
-                                &model,
-                                &threat_cfg,
-                                cfg.state_limit,
-                                &cfg.collector,
-                            )
-                            .and_then(|graph| {
-                                cegar_check_on_graph_traced(
-                                    &model,
-                                    &graph,
-                                    p,
-                                    &semantics,
-                                    cfg.state_limit,
-                                    cfg.max_cegar_iterations,
-                                    &cfg.collector,
-                                )
-                            })
-                    }
-                }
+                        let graph = cache.get_or_build_graph_traced(
+                            &compiled,
+                            &threat_cfg,
+                            cfg.state_limit,
+                            &cfg.collector,
+                        )?;
+                        cegar_check_on_graph_traced(
+                            &compiled,
+                            &graph,
+                            p,
+                            &semantics,
+                            cfg.state_limit,
+                            cfg.max_cegar_iterations,
+                            &cfg.collector,
+                        )
+                    })
             } else {
                 cegar_check_traced(
                     &model,
@@ -446,6 +444,10 @@ pub fn analyze_implementation(
             work();
         });
     }
+    // End-of-run high-water mark of the process-global intern table —
+    // the `symbols_interned` total the telemetry report breaks out.
+    cfg.collector
+        .record_max("ident.symbols_interned", procheck_ident::symbols_interned());
     let hits = cache_hits_in_order(&props);
     let mut results: Vec<PropertyResult> = slots
         .into_iter()

@@ -59,6 +59,16 @@ pub struct StageTotals {
     pub compose_lookups: u64,
     /// Compositions actually built (cache misses).
     pub compose_builds: u64,
+    /// Id-space model compilations requested.
+    pub compile_lookups: u64,
+    /// Compilations actually performed (cache misses).
+    pub compile_builds: u64,
+    /// Distinct symbols in the process-global intern table at the end
+    /// of the run (high-water `ident.symbols_interned` gauge).
+    pub symbols_interned: u64,
+    /// Model/property expressions re-resolved by name at query time —
+    /// zero when every query went through a compiled model.
+    pub expr_reresolved: u64,
     /// States explored by the model checker — with the graph cache on,
     /// this counts *distinct* exploration work only (one build per
     /// distinct threat configuration).
@@ -131,6 +141,10 @@ impl StageTotals {
             extract_blocks: get("extract.blocks"),
             compose_lookups: get("compose.lookups"),
             compose_builds: get("compose.builds"),
+            compile_lookups: get("compile.lookups"),
+            compile_builds: get("compile.builds"),
+            symbols_interned: get("ident.symbols_interned"),
+            expr_reresolved: get("smv.expr_reresolved"),
             smv_states_explored: get("smv.states_explored"),
             smv_transitions: get("smv.transitions"),
             graph_cache_lookups: get("graph_cache.lookups"),
@@ -241,6 +255,12 @@ impl TelemetryReport {
         );
         let _ = writeln!(
             out,
+            "          {} compilations for {} lookups, {} symbols interned, \
+             {} exprs re-resolved by name",
+            t.compile_builds, t.compile_lookups, t.symbols_interned, t.expr_reresolved
+        );
+        let _ = writeln!(
+            out,
             "          {} CEGAR iterations, {} CPV queries ({} adversarial steps)",
             t.cegar_iterations, t.cpv_queries, t.cpv_steps
         );
@@ -311,6 +331,19 @@ impl TelemetryReport {
         out.push_str(&format!(
             "    \"compose_hit_rate\": {:.6},\n",
             t.compose_hit_rate()
+        ));
+        out.push_str(&format!(
+            "    \"compile_lookups\": {},\n",
+            t.compile_lookups
+        ));
+        out.push_str(&format!("    \"compile_builds\": {},\n", t.compile_builds));
+        out.push_str(&format!(
+            "    \"symbols_interned\": {},\n",
+            t.symbols_interned
+        ));
+        out.push_str(&format!(
+            "    \"expr_reresolved\": {},\n",
+            t.expr_reresolved
         ));
         out.push_str(&format!(
             "    \"smv_states_explored\": {},\n",
@@ -454,6 +487,30 @@ mod tests {
             t.total_state_visits(),
             t.smv_states_explored + t.graph_cache_nodes_reused
         );
+    }
+
+    /// The interning layer is visible in the totals: the symbol gauge is
+    /// populated, a `compile` span is recorded, and the compiled query
+    /// path never re-resolves expressions by name.
+    #[test]
+    fn interning_totals_reported_and_no_reresolution() {
+        let (report, collector) = run(&["S01", "S02"], 1);
+        let t = &report.totals;
+        assert!(t.symbols_interned > 0, "symbol gauge must be recorded");
+        assert_eq!(t.expr_reresolved, 0, "all queries use compiled models");
+        assert!(t.compile_builds >= 1, "at least one model compiled");
+        assert!(t.compile_lookups >= t.compile_builds);
+        assert!(
+            t.stage_elapsed_us.iter().any(|(name, _)| name == "compile"),
+            "compile span present in stage totals"
+        );
+        assert_eq!(
+            t.symbols_interned,
+            collector.counter_value("ident.symbols_interned")
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"symbols_interned\""));
+        assert!(json.contains("\"expr_reresolved\": 0"));
     }
 
     /// Rendered JSON parses with the crate's own parser and preserves

@@ -269,7 +269,7 @@ pub fn extract_fsm_traced(
         if let Some(b) = block {
             if let Some(t) = b.into_transition(cfg) {
                 if !*initial_set {
-                    fsm.set_initial(t.from.clone());
+                    fsm.set_initial(t.from);
                     *initial_set = true;
                 }
                 fsm.add_transition(t);

@@ -32,7 +32,7 @@
 //! # Ok::<(), procheck_fsm::FsmError>(())
 //! ```
 
-use crate::{ActionAtom, CondAtom, Fsm, FsmError, Transition};
+use crate::{ActionAtom, CondAtom, Fsm, FsmError, StateName, Transition};
 
 /// Renders an FSM in the Graphviz-like language.
 pub fn to_dot(fsm: &Fsm) -> String {
@@ -100,11 +100,21 @@ pub fn from_dot(text: &str) -> Result<Fsm, FsmError> {
                 line: i + 1,
                 message,
             })?;
+            // State names go through the fallible constructor: an empty
+            // edge endpoint is a parse error here, never a silently
+            // interned empty symbol.
+            let state = |name: &str| {
+                StateName::try_new(name).map_err(|e| FsmError::Parse {
+                    line: i + 1,
+                    message: e.to_string(),
+                })
+            };
+            let to = state(to)?;
             if from == "init" {
                 fsm.set_initial(to);
                 continue;
             }
-            let mut t = Transition::build(from, to);
+            let mut t = Transition::build(state(from)?, to);
             if let Some(attrs) = attrs {
                 for (key, val) in attrs {
                     match key.as_str() {
@@ -136,7 +146,10 @@ pub fn from_dot(text: &str) -> Result<Fsm, FsmError> {
             fsm.add_transition(t);
         } else {
             // Bare node declaration.
-            fsm.add_state(line);
+            fsm.add_state(StateName::try_new(line).map_err(|e| FsmError::Parse {
+                line: i + 1,
+                message: e.to_string(),
+            })?);
         }
     }
     if !closed {
@@ -278,6 +291,16 @@ mod tests {
         let t = f.transitions().next().unwrap();
         assert!(t.condition.is_empty());
         assert!(t.action.is_empty());
+    }
+
+    #[test]
+    fn rejects_empty_state_name() {
+        // `a -> ` parses the target as an empty string; the fallible
+        // StateName constructor must turn that into a parse error.
+        let text = "digraph g {\n a -> [cond=\"x\"];\n}\n";
+        let err = from_dot(text).unwrap_err();
+        assert!(matches!(err, FsmError::Parse { line: 2, .. }));
+        assert!(err.to_string().contains("invalid state name"));
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum FsmError {
     },
     /// The model is missing a required element (e.g. an initial state).
     Incomplete(String),
+    /// A state name was empty or all whitespace — rejected at intern
+    /// time instead of silently producing an unusable model.
+    InvalidStateName(String),
 }
 
 impl fmt::Display for FsmError {
@@ -25,6 +28,9 @@ impl fmt::Display for FsmError {
                 write!(f, "parse error at line {line}: {message}")
             }
             FsmError::Incomplete(what) => write!(f, "incomplete model: {what}"),
+            FsmError::InvalidStateName(name) => {
+                write!(f, "invalid state name {name:?}: empty or whitespace")
+            }
         }
     }
 }

@@ -41,6 +41,7 @@ pub mod stats;
 
 pub use error::FsmError;
 
+use procheck_ident::{MsgId, StateId, Sym};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -49,31 +50,67 @@ use std::fmt;
 /// response (paper Algorithm 1, lines 20–21).
 pub const NULL_ACTION: &str = "null_action";
 
+/// Interns `s` lowercased, skipping the allocation when it already is.
+fn intern_lower(s: &str) -> Sym {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        Sym::intern(&s.to_ascii_lowercase())
+    } else {
+        Sym::intern(s)
+    }
+}
+
 /// Name of a protocol state (e.g. `emm_registered_initiated`).
 ///
 /// State names are taken verbatim from the 3GPP standards: the paper's key
 /// mapping insight (§IV-A(4)) is that implementations reuse standard state
-/// names for interoperability.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct StateName(String);
+/// names for interoperability. Backed by an interned [`StateId`]: 4 bytes,
+/// `Copy`, ordered by the resolved string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateName(StateId);
 
 impl StateName {
     /// Creates a state name. Names are compared case-insensitively by
     /// normalising to lowercase, mirroring the extractor's tolerance for
     /// `EMM_REGISTERED` vs `emm_registered` in logs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or all-whitespace name — those were silently
+    /// accepted once and produced unusable models; fallible callers
+    /// (parsers) should use [`StateName::try_new`].
     pub fn new(name: impl AsRef<str>) -> Self {
-        StateName(name.as_ref().to_ascii_lowercase())
+        StateName::try_new(name).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a state name, rejecting empty or all-whitespace input at
+    /// intern time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::InvalidStateName`] when `name` contains no
+    /// non-whitespace character.
+    pub fn try_new(name: impl AsRef<str>) -> Result<Self, FsmError> {
+        let raw = name.as_ref();
+        if raw.trim().is_empty() {
+            return Err(FsmError::InvalidStateName(raw.to_string()));
+        }
+        Ok(StateName(StateId(intern_lower(raw))))
     }
 
     /// The normalised textual form.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The interned id.
+    pub fn id(&self) -> StateId {
+        self.0
     }
 }
 
 impl fmt::Display for StateName {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -96,17 +133,17 @@ impl From<String> for StateName {
 /// information-rich log (e.g. `mac_valid=true`, `sqn_in_range=false`).
 /// The paper's refinement comparison (RQ2) hinges on extracted models having
 /// *more* such predicates than hand-built ones.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct CondAtom {
-    name: String,
-    value: Option<String>,
+    name: Sym,
+    value: Option<Sym>,
 }
 
 impl CondAtom {
     /// An event-style condition (no value), e.g. an incoming message name.
     pub fn event(name: impl AsRef<str>) -> Self {
         CondAtom {
-            name: name.as_ref().to_ascii_lowercase(),
+            name: intern_lower(name.as_ref()),
             value: None,
         }
     }
@@ -114,8 +151,8 @@ impl CondAtom {
     /// A predicate-style condition `name=value`.
     pub fn pred(name: impl AsRef<str>, value: impl AsRef<str>) -> Self {
         CondAtom {
-            name: name.as_ref().to_ascii_lowercase(),
-            value: Some(value.as_ref().to_ascii_lowercase()),
+            name: intern_lower(name.as_ref()),
+            value: Some(intern_lower(value.as_ref())),
         }
     }
 
@@ -128,13 +165,13 @@ impl CondAtom {
     }
 
     /// The condition's name component.
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
     }
 
     /// The condition's value component, if it is a predicate.
-    pub fn value(&self) -> Option<&str> {
-        self.value.as_deref()
+    pub fn value(&self) -> Option<&'static str> {
+        self.value.map(Sym::as_str)
     }
 
     /// True if this is an event-style condition (no `=value` part).
@@ -147,7 +184,7 @@ impl fmt::Display for CondAtom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.value {
             Some(v) => write!(f, "{}={}", self.name, v),
-            None => f.write_str(&self.name),
+            None => f.write_str(self.name.as_str()),
         }
     }
 }
@@ -160,13 +197,13 @@ impl From<&str> for CondAtom {
 
 /// One atomic action on a transition — an outgoing message name, or
 /// [`NULL_ACTION`].
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct ActionAtom(String);
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActionAtom(MsgId);
 
 impl ActionAtom {
     /// Creates an action atom (normalised to lowercase).
     pub fn new(name: impl AsRef<str>) -> Self {
-        ActionAtom(name.as_ref().to_ascii_lowercase())
+        ActionAtom(MsgId(intern_lower(name.as_ref())))
     }
 
     /// The `null_action` atom.
@@ -175,19 +212,24 @@ impl ActionAtom {
     }
 
     /// The textual form.
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The interned id.
+    pub fn id(&self) -> MsgId {
+        self.0
     }
 
     /// True if this is the `null_action`.
     pub fn is_null(&self) -> bool {
-        self.0 == NULL_ACTION
+        self.as_str() == NULL_ACTION
     }
 }
 
 impl fmt::Display for ActionAtom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -306,7 +348,7 @@ impl Fsm {
     /// Sets the initial state `s0`, inserting it into `S`.
     pub fn set_initial(&mut self, state: impl Into<StateName>) {
         let s = state.into();
-        self.states.insert(s.clone());
+        self.states.insert(s);
         self.initial = Some(s);
     }
 
@@ -336,16 +378,16 @@ impl Fsm {
         if self.transitions.contains(&t) {
             return false;
         }
-        self.states.insert(t.from.clone());
-        self.states.insert(t.to.clone());
+        self.states.insert(t.from);
+        self.states.insert(t.to);
         for c in &t.condition {
-            self.conditions.insert(c.clone());
+            self.conditions.insert(*c);
         }
         for a in &t.action {
-            self.actions.insert(a.clone());
+            self.actions.insert(*a);
         }
         if self.initial.is_none() {
-            self.initial = Some(t.from.clone());
+            self.initial = Some(t.from);
         }
         self.transitions.push(t);
         true
@@ -420,14 +462,14 @@ impl Fsm {
         let Some(init) = &self.initial else {
             return seen;
         };
-        let mut stack = vec![init.clone()];
+        let mut stack = vec![*init];
         while let Some(s) = stack.pop() {
-            if !seen.insert(s.clone()) {
+            if !seen.insert(s) {
                 continue;
             }
             for t in self.outgoing(&s) {
                 if !seen.contains(&t.to) {
-                    stack.push(t.to.clone());
+                    stack.push(t.to);
                 }
             }
         }
@@ -441,13 +483,13 @@ impl Fsm {
     pub fn merge(&mut self, other: &Fsm) -> usize {
         let mut added = 0;
         for s in &other.states {
-            self.states.insert(s.clone());
+            self.states.insert(*s);
         }
         for c in &other.conditions {
-            self.conditions.insert(c.clone());
+            self.conditions.insert(*c);
         }
         for a in &other.actions {
-            self.actions.insert(a.clone());
+            self.actions.insert(*a);
         }
         for t in &other.transitions {
             if self.add_transition(t.clone()) {
@@ -522,6 +564,19 @@ mod tests {
             StateName::new("EMM_REGISTERED"),
             StateName::new("emm_registered")
         );
+    }
+
+    #[test]
+    fn state_name_rejects_empty_and_whitespace() {
+        assert!(matches!(
+            StateName::try_new(""),
+            Err(FsmError::InvalidStateName(_))
+        ));
+        assert!(matches!(
+            StateName::try_new("  \t"),
+            Err(FsmError::InvalidStateName(_))
+        ));
+        assert!(StateName::try_new("emm_null").is_ok());
     }
 
     #[test]

@@ -55,7 +55,7 @@ impl StateMapping {
     pub fn image(&self, state: &StateName) -> BTreeSet<StateName> {
         match self.map.get(state) {
             Some(set) => set.clone(),
-            None => BTreeSet::from([state.clone()]),
+            None => BTreeSet::from([*state]),
         }
     }
 }
@@ -138,7 +138,7 @@ pub fn check_refinement(
         let image = mapping.image(s);
         let missing = image.iter().any(|t| !refined.contains_state(t));
         if image.is_empty() || missing {
-            unmapped_states.push(s.clone());
+            unmapped_states.push(*s);
         }
         image_of_abstract.extend(image);
     }
@@ -276,7 +276,7 @@ fn find_split_path(
             let is_new_state = !image_of_abstract.contains(&t2.to);
             if is_new_state && frame.via.len() < MAX_SPLIT_DEPTH && !frame.via.contains(&t2.to) {
                 let mut via = frame.via.clone();
-                via.push(t2.to.clone());
+                via.push(t2.to);
                 stack.push(Frame {
                     state: path_state(refined, &t2.to),
                     via,

@@ -4,7 +4,7 @@
 //! is split into an *explore* phase and an *evaluate* phase:
 //!
 //! * [`build_reach_graph`] runs one flagless BFS over the model and
-//!   produces a [`ReachGraph`](crate::reach::ReachGraph) — packed state
+//!   produces a [`ReachGraph`] — packed state
 //!   arena, CSR successor adjacency, predecessor links, BFS parents.
 //! * [`check_on_graph`] answers any [`Property`] as a *query* over that
 //!   graph: invariants and reachability are direct scans in BFS order;
@@ -28,6 +28,7 @@ use crate::fxhash::{FxBuildHasher, FxHashMap};
 use crate::model::Model;
 use crate::reach::{PackLayout, ReachGraph, StateArena, NO_PARENT, STUTTER_CMD};
 use crate::trace::{Counterexample, TraceStep};
+use procheck_ident::{CmdId, CmdIdSet, Sym, ValId, VarId};
 use procheck_telemetry::Collector;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
@@ -219,7 +220,7 @@ impl CheckStats {
 }
 
 /// Telemetry from answering a property as a query over a cached
-/// [`ReachGraph`](crate::reach::ReachGraph). Deterministic for a given
+/// [`ReachGraph`]. Deterministic for a given
 /// graph, property, and exclusion set.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryStats {
@@ -234,6 +235,12 @@ pub struct QueryStats {
     pub transitions: u64,
     /// High-water mark of the query's product BFS frontier.
     pub peak_queue: u64,
+    /// Expressions resolved against string tables *by this query*. A
+    /// query over a [`CompiledModel`] + [`CompiledProperty`] never
+    /// touches a string table, so this stays 0; the legacy name-based
+    /// wrappers count the model guards, fairness constraints, and
+    /// property expressions they re-resolve per call.
+    pub exprs_resolved: u64,
 }
 
 impl QueryStats {
@@ -244,6 +251,7 @@ impl QueryStats {
         self.product_states += other.product_states;
         self.transitions += other.transitions;
         self.peak_queue = self.peak_queue.max(other.peak_queue);
+        self.exprs_resolved += other.exprs_resolved;
     }
 }
 
@@ -255,15 +263,15 @@ type Value = crate::reach::Value;
 type State = Vec<Value>;
 
 /// Index-resolved expression: variable names and symbolic values are
-/// replaced by positions, so evaluation is array indexing with no string
-/// hashing on the hot path.
+/// replaced by typed dense indices ([`VarId`], [`ValId`]), so evaluation
+/// is array indexing with no string hashing on the hot path.
 #[derive(Debug, Clone)]
 enum CExpr {
     True,
     False,
-    Eq(usize, Value),
-    Ne(usize, Value),
-    In(usize, Vec<Value>),
+    Eq(VarId, ValId),
+    Ne(VarId, ValId),
+    In(VarId, Vec<ValId>),
     And(Vec<CExpr>),
     Or(Vec<CExpr>),
     Not(Box<CExpr>),
@@ -274,9 +282,9 @@ impl CExpr {
         match self {
             CExpr::True => true,
             CExpr::False => false,
-            CExpr::Eq(v, x) => s[*v] == *x,
-            CExpr::Ne(v, x) => s[*v] != *x,
-            CExpr::In(v, xs) => xs.contains(&s[*v]),
+            CExpr::Eq(v, x) => s[v.index()] == x.0,
+            CExpr::Ne(v, x) => s[v.index()] != x.0,
+            CExpr::In(v, xs) => xs.contains(&ValId(s[v.index()])),
             CExpr::And(xs) => xs.iter().all(|x| x.eval(s)),
             CExpr::Or(xs) => xs.iter().any(|x| x.eval(s)),
             CExpr::Not(x) => !x.eval(s),
@@ -285,56 +293,188 @@ impl CExpr {
 }
 
 /// A command with indices resolved.
+#[derive(Debug)]
 struct CCmd {
+    label: Sym,
     guard: CExpr,
-    updates: Vec<(usize, Value)>,
+    updates: Vec<(VarId, ValId)>,
 }
 
-struct Compiled<'m> {
-    model: &'m Model,
-    var_index: HashMap<&'m str, usize>,
-    val_index: Vec<HashMap<&'m str, Value>>,
+/// A compiled variable: interned name and domain for trace resolution,
+/// initial values as dense indices for exploration.
+#[derive(Debug)]
+struct CVar {
+    name: Sym,
+    domain: Vec<Sym>,
+    init: Vec<ValId>,
+}
+
+/// A model with every name resolved to a dense index, built **once** per
+/// model and reused by every query and CEGAR iteration on it. Owns its
+/// tables (no borrow of the source [`Model`]), so caches can hold it next
+/// to the model and the reachability graph.
+#[derive(Debug)]
+pub struct CompiledModel {
+    vars: Vec<CVar>,
+    var_index: FxHashMap<Sym, VarId>,
+    val_index: Vec<FxHashMap<Sym, ValId>>,
     commands: Vec<CCmd>,
+    fairness: Vec<CExpr>,
 }
 
-impl<'m> Compiled<'m> {
-    fn new(model: &'m Model) -> Result<Self, CheckError> {
+/// A property with its expressions compiled against one
+/// [`CompiledModel`]'s tables. Compile once, query any number of times —
+/// including across CEGAR iterations — with zero further string
+/// resolution.
+#[derive(Debug)]
+pub struct CompiledProperty {
+    kind: CProp,
+}
+
+#[derive(Debug)]
+enum CProp {
+    Invariant {
+        holds: CExpr,
+    },
+    Reachable {
+        goal: CExpr,
+    },
+    Response {
+        trigger: CExpr,
+        response: CExpr,
+    },
+    Precedence {
+        event: CExpr,
+        requires_before: CExpr,
+    },
+}
+
+impl CompiledModel {
+    /// Validates and compiles a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::InvalidModel`] with the model's validation
+    /// problems (same strings, same order as [`Model::validate`]).
+    pub fn new(model: &Model) -> Result<Self, CheckError> {
         let problems = model.validate();
         if !problems.is_empty() {
             return Err(CheckError::InvalidModel(problems));
         }
-        let mut var_index = HashMap::new();
-        let mut val_index = Vec::new();
+        let mut var_index =
+            FxHashMap::with_capacity_and_hasher(model.vars().len(), FxBuildHasher::default());
+        let mut val_index = Vec::with_capacity(model.vars().len());
+        let mut vars = Vec::with_capacity(model.vars().len());
         for (i, v) in model.vars().iter().enumerate() {
-            var_index.insert(v.name.as_str(), i);
-            let mut m = HashMap::new();
-            for (j, value) in v.domain.iter().enumerate() {
-                m.insert(value.as_str(), j as Value);
+            var_index.insert(v.name, VarId::new(i));
+            let mut m =
+                FxHashMap::with_capacity_and_hasher(v.domain.len(), FxBuildHasher::default());
+            for (j, &value) in v.domain.iter().enumerate() {
+                m.insert(value, ValId::new(j));
             }
+            vars.push(CVar {
+                name: v.name,
+                domain: v.domain.clone(),
+                init: v.init.iter().map(|s| m[s]).collect(),
+            });
             val_index.push(m);
         }
-        let mut c = Compiled {
-            model,
+        let mut c = CompiledModel {
+            vars,
             var_index,
             val_index,
             commands: Vec::new(),
+            fairness: Vec::new(),
         };
         c.commands = model
             .commands()
             .iter()
             .map(|cmd| CCmd {
+                label: cmd.label,
                 guard: c.compile(&cmd.guard),
                 updates: cmd
                     .updates
                     .iter()
                     .map(|(var, value)| {
-                        let vi = c.var_index[var.as_str()];
-                        (vi, c.val_index[vi][value.as_str()])
+                        let vi = c.var_index[var];
+                        (vi, c.val_index[vi.index()][value])
                     })
                     .collect(),
             })
             .collect();
+        c.fairness = model.fairness().iter().map(|f| c.compile(f)).collect();
         Ok(c)
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of commands; [`CmdId`]s index `0..command_count()` in the
+    /// source model's declaration order.
+    pub fn command_count(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// The label of a command.
+    pub fn command_label(&self, id: CmdId) -> Sym {
+        self.commands[id.index()].label
+    }
+
+    /// All command ids carrying the given label (labels are unique in
+    /// generated threat models, but the engine does not assume it).
+    pub fn commands_labeled(&self, label: Sym) -> impl Iterator<Item = CmdId> + '_ {
+        self.commands
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.label == label)
+            .map(|(i, _)| CmdId::new(i))
+    }
+
+    /// An empty exclusion mask sized for this model's commands.
+    pub fn exclusion_set(&self) -> CmdIdSet {
+        CmdIdSet::with_capacity(self.commands.len())
+    }
+
+    /// Validates a property's expressions against the compiled domains
+    /// and compiles them for querying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::InvalidModel`] listing the property's
+    /// vocabulary problems (same strings and order as the name-based
+    /// checker produced).
+    pub fn compile_property(&self, property: &Property) -> Result<CompiledProperty, CheckError> {
+        let kind = match property {
+            Property::Invariant { holds, .. } => CProp::Invariant {
+                holds: self.compile_checked(holds)?,
+            },
+            Property::Reachable { goal, .. } => CProp::Reachable {
+                goal: self.compile_checked(goal)?,
+            },
+            Property::Response {
+                trigger, response, ..
+            } => CProp::Response {
+                trigger: self.compile_checked(trigger)?,
+                response: self.compile_checked(response)?,
+            },
+            Property::Precedence {
+                event,
+                requires_before,
+                ..
+            } => CProp::Precedence {
+                event: self.compile_checked(event)?,
+                requires_before: self.compile_checked(requires_before)?,
+            },
+        };
+        Ok(CompiledProperty { kind })
+    }
+
+    /// Model expressions resolved at compile time (guards + fairness):
+    /// the work the legacy per-query paths redo on every call.
+    fn model_expr_count(&self) -> u64 {
+        (self.commands.len() + self.fairness.len()) as u64
     }
 
     /// Compiles an expression against the declared domains. The model has
@@ -344,18 +484,18 @@ impl<'m> Compiled<'m> {
             Expr::True => CExpr::True,
             Expr::False => CExpr::False,
             Expr::Eq(v, x) => {
-                let vi = self.var_index[v.as_str()];
-                CExpr::Eq(vi, self.val_index[vi][x.as_str()])
+                let vi = self.var_index[v];
+                CExpr::Eq(vi, self.val_index[vi.index()][x])
             }
             Expr::Ne(v, x) => {
-                let vi = self.var_index[v.as_str()];
-                CExpr::Ne(vi, self.val_index[vi][x.as_str()])
+                let vi = self.var_index[v];
+                CExpr::Ne(vi, self.val_index[vi.index()][x])
             }
             Expr::In(v, xs) => {
-                let vi = self.var_index[v.as_str()];
+                let vi = self.var_index[v];
                 CExpr::In(
                     vi,
-                    xs.iter().map(|x| self.val_index[vi][x.as_str()]).collect(),
+                    xs.iter().map(|x| self.val_index[vi.index()][x]).collect(),
                 )
             }
             Expr::And(xs) => CExpr::And(xs.iter().map(|x| self.compile(x)).collect()),
@@ -372,7 +512,7 @@ impl<'m> Compiled<'m> {
     /// [`PRESIZE_CAP`], never beyond the state limit.
     fn capacity_hint(&self, limit: usize) -> usize {
         let mut bound = 2usize;
-        for v in self.model.vars() {
+        for v in &self.vars {
             bound = bound.saturating_mul(v.domain.len().max(1));
             if bound >= PRESIZE_CAP {
                 return PRESIZE_CAP.min(limit);
@@ -383,12 +523,12 @@ impl<'m> Compiled<'m> {
 
     fn initial_states(&self) -> Vec<State> {
         let mut states: Vec<State> = vec![Vec::new()];
-        for (i, v) in self.model.vars().iter().enumerate() {
+        for v in &self.vars {
             let mut next = Vec::with_capacity(states.len() * v.init.len());
             for s in &states {
                 for init in &v.init {
                     let mut s2 = s.clone();
-                    s2.push(self.val_index[i][init.as_str()]);
+                    s2.push(init.0);
                     next.push(s2);
                 }
             }
@@ -398,30 +538,70 @@ impl<'m> Compiled<'m> {
     }
 
     /// Validates that a property expression only references declared
-    /// variables and in-domain values; compiles it on success.
+    /// variables and in-domain values; compiles it on success. The
+    /// problem strings match [`Model::validate_property_expr`] exactly.
     fn compile_checked(&self, e: &Expr) -> Result<CExpr, CheckError> {
         let mut problems = Vec::new();
-        self.model.validate_property_expr(e, &mut problems);
+        self.validate_expr(e, &mut problems);
         if !problems.is_empty() {
             return Err(CheckError::InvalidModel(problems));
         }
         Ok(self.compile(e))
     }
 
-    fn label_of(&self, cmd: u32) -> &str {
+    fn validate_expr(&self, e: &Expr, problems: &mut Vec<String>) {
+        let ctx = "property";
+        match e {
+            Expr::True | Expr::False => {}
+            Expr::Eq(v, x) | Expr::Ne(v, x) => match self.var_index.get(v) {
+                None => problems.push(format!("`{ctx}` references undeclared `{v}`")),
+                Some(vi) if !self.val_index[vi.index()].contains_key(x) => {
+                    problems.push(format!("`{ctx}` compares `{v}` to out-of-domain `{x}`"))
+                }
+                _ => {}
+            },
+            Expr::In(v, xs) => match self.var_index.get(v) {
+                None => problems.push(format!("`{ctx}` references undeclared `{v}`")),
+                Some(vi) => {
+                    for x in xs {
+                        if !self.val_index[vi.index()].contains_key(x) {
+                            problems
+                                .push(format!("`{ctx}` tests `{v}` against out-of-domain `{x}`"));
+                        }
+                    }
+                }
+            },
+            Expr::And(xs) | Expr::Or(xs) => {
+                for x in xs {
+                    self.validate_expr(x, problems);
+                }
+            }
+            Expr::Not(x) => self.validate_expr(x, problems),
+            Expr::Implies(a, b) => {
+                self.validate_expr(a, problems);
+                self.validate_expr(b, problems);
+            }
+        }
+    }
+
+    fn label_of(&self, cmd: u32) -> &'static str {
         if cmd == STUTTER_CMD {
             "stutter"
         } else {
-            &self.model.commands()[cmd as usize].label
+            self.commands[cmd as usize].label.as_str()
         }
     }
 
     fn assignment(&self, s: &[Value]) -> BTreeMap<String, String> {
-        self.model
-            .vars()
+        self.vars
             .iter()
             .enumerate()
-            .map(|(i, v)| (v.name.clone(), v.domain[s[i] as usize].clone()))
+            .map(|(i, v)| {
+                (
+                    v.name.as_str().to_string(),
+                    v.domain[s[i] as usize].as_str().to_string(),
+                )
+            })
             .collect()
     }
 }
@@ -501,17 +681,32 @@ pub fn build_reach_graph_stats(
     limit: usize,
     stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
-    let c = Compiled::new(model)?;
+    let c = CompiledModel::new(model)?;
     explore_graph(&c, limit, stats)
 }
 
-fn explore_graph(
-    c: &Compiled<'_>,
+/// [`build_reach_graph_stats`] over an already-compiled model — the
+/// cache's build path, which compiles each model exactly once and then
+/// explores and queries without touching a string table.
+///
+/// # Errors
+///
+/// Returns [`CheckError::StateLimit`] if exploration exceeds `limit`.
+pub fn build_reach_graph_compiled(
+    model: &CompiledModel,
     limit: usize,
     stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
-    let num_vars = c.model.vars().len();
-    let domain_sizes: Vec<usize> = c.model.vars().iter().map(|v| v.domain.len()).collect();
+    explore_graph(model, limit, stats)
+}
+
+fn explore_graph(
+    c: &CompiledModel,
+    limit: usize,
+    stats: &mut CheckStats,
+) -> Result<ReachGraph, CheckError> {
+    let num_vars = c.num_vars();
+    let domain_sizes: Vec<usize> = c.vars.iter().map(|v| v.domain.len()).collect();
     let layout = PackLayout::for_domains(&domain_sizes);
     let packed = layout.is_some();
     let cap = c.capacity_hint(limit);
@@ -578,7 +773,7 @@ fn explore_graph(
                 transitions += 1;
                 scratch.copy_from_slice(&cur);
                 for &(vi, value) in &cmd.updates {
-                    scratch[vi] = value;
+                    scratch[vi.index()] = value.0;
                 }
                 let (sid, _) = b.intern(&scratch, (id, i as u32));
                 succ_cmd.push(i as u32);
@@ -664,12 +859,12 @@ fn product_intern(
 }
 
 /// BFS over the cached adjacency, carrying the monitor flag. `excluded`
-/// masks command indices a CEGAR refinement has removed; a node whose
+/// masks command ids a CEGAR refinement has removed; a node whose
 /// outgoing commands are all masked gets the stutter self-loop the
 /// filtered model would have.
 fn product_bfs(
     g: &ReachGraph,
-    excluded: Option<&[bool]>,
+    excluded: Option<&CmdIdSet>,
     init_flag: impl Fn(u32) -> bool,
     step_flag: impl Fn(bool, u32) -> bool,
     record_edges: bool,
@@ -701,6 +896,7 @@ fn product_bfs(
                 product_states: pg.nodes.len() as u64,
                 transitions,
                 peak_queue,
+                exprs_resolved: 0,
             });
             return Err(CheckError::StateLimit(limit));
         }
@@ -711,7 +907,7 @@ fn product_bfs(
         for (cmd, succ) in g.successors(gid) {
             if cmd != STUTTER_CMD {
                 if let Some(mask) = excluded {
-                    if mask[cmd as usize] {
+                    if mask.contains(CmdId::new(cmd as usize)) {
                         continue;
                     }
                 }
@@ -756,6 +952,7 @@ fn product_bfs(
         product_states: pg.nodes.len() as u64,
         transitions,
         peak_queue,
+        exprs_resolved: 0,
     });
     Ok(pg)
 }
@@ -773,7 +970,7 @@ fn eval_nodes(g: &ReachGraph, e: &CExpr) -> Vec<bool> {
 
 /// Rebuilds the BFS-shortest path to `target` from the graph's own
 /// parent pointers (no re-search).
-fn rebuild_graph_path(c: &Compiled<'_>, g: &ReachGraph, target: u32) -> Vec<TraceStep> {
+fn rebuild_graph_path(c: &CompiledModel, g: &ReachGraph, target: u32) -> Vec<TraceStep> {
     let mut cur: State = vec![0; g.num_vars()];
     let mut rev = Vec::new();
     let mut id = target;
@@ -800,7 +997,7 @@ fn rebuild_graph_path(c: &Compiled<'_>, g: &ReachGraph, target: u32) -> Vec<Trac
 
 /// Rebuilds the path to a product node from the product BFS parents.
 fn rebuild_product_path(
-    c: &Compiled<'_>,
+    c: &CompiledModel,
     g: &ReachGraph,
     pg: &ProductGraph,
     target: u32,
@@ -828,7 +1025,7 @@ fn rebuild_product_path(
 /// Scans graph nodes in BFS (id) order for the first state matching
 /// `bad`; the trace comes straight from the graph's parent pointers.
 fn scan_graph(
-    c: &Compiled<'_>,
+    c: &CompiledModel,
     g: &ReachGraph,
     stats: &mut QueryStats,
     bad: impl Fn(&[Value]) -> bool,
@@ -849,7 +1046,7 @@ fn scan_graph(
 
 /// Scans product nodes in BFS order for the first node matching `bad`.
 fn scan_product(
-    c: &Compiled<'_>,
+    c: &CompiledModel,
     g: &ReachGraph,
     pg: &ProductGraph,
     bad: impl Fn(u32, bool) -> bool,
@@ -865,13 +1062,42 @@ fn scan_product(
     None
 }
 
-/// Answers a property as a query over a cached graph.
+/// Answers a compiled property as a query over a cached graph.
 ///
-/// `excluded` is a set of command *labels* removed by CEGAR refinement;
-/// the query behaves exactly as if the model had been filtered with
-/// those commands deleted and re-explored (same verdicts, same traces),
-/// but touches only the cached adjacency. `model` must be the model the
-/// graph was built from.
+/// `excluded` is the [`CmdId`] bitset mask of commands removed by CEGAR
+/// refinement; the query behaves exactly as if those commands had been
+/// deleted from the model and the state space re-explored (same
+/// verdicts, same traces), but touches only the cached adjacency and
+/// never resolves a name. `model` must be the compiled form of the model
+/// the graph was built from.
+///
+/// # Errors
+///
+/// Returns [`CheckError::InvalidModel`] on a model/graph shape mismatch;
+/// [`CheckError::StateLimit`] if the product BFS exceeds `limit` states.
+pub fn check_on_graph(
+    model: &CompiledModel,
+    graph: &ReachGraph,
+    property: &CompiledProperty,
+    excluded: &CmdIdSet,
+    limit: usize,
+    stats: &mut QueryStats,
+) -> Result<Verdict, CheckError> {
+    if model.num_vars() != graph.num_vars() {
+        return Err(CheckError::InvalidModel(vec![format!(
+            "graph/model mismatch: graph has {} variables, model declares {}",
+            graph.num_vars(),
+            model.num_vars()
+        )]));
+    }
+    check_compiled_on_graph(model, graph, property, excluded, limit, stats)
+}
+
+/// [`check_on_graph`] for callers still holding a source [`Model`] and a
+/// label-keyed exclusion set: compiles the model and property per call
+/// (counted in [`QueryStats::exprs_resolved`]) and translates labels to
+/// the id mask. The pipeline proper compiles once and calls
+/// [`check_on_graph`]; this wrapper serves one-shot and test callers.
 ///
 /// # Errors
 ///
@@ -879,7 +1105,7 @@ fn scan_product(
 /// expressions over undeclared vocabulary, or a model/graph shape
 /// mismatch; [`CheckError::StateLimit`] if the product BFS exceeds
 /// `limit` states.
-pub fn check_on_graph(
+pub fn check_model_on_graph(
     model: &Model,
     graph: &ReachGraph,
     property: &Property,
@@ -887,40 +1113,41 @@ pub fn check_on_graph(
     limit: usize,
     stats: &mut QueryStats,
 ) -> Result<Verdict, CheckError> {
-    let c = Compiled::new(model)?;
-    if c.model.vars().len() != graph.num_vars() {
-        return Err(CheckError::InvalidModel(vec![format!(
-            "graph/model mismatch: graph has {} variables, model declares {}",
-            graph.num_vars(),
-            c.model.vars().len()
-        )]));
+    let c = CompiledModel::new(model)?;
+    let cp = c.compile_property(property)?;
+    stats.exprs_resolved += c.model_expr_count() + property_expr_count(property);
+    let mut mask = c.exclusion_set();
+    for (i, cmd) in model.commands().iter().enumerate() {
+        if excluded.contains(cmd.label.as_str()) {
+            mask.insert(CmdId::new(i));
+        }
     }
-    check_compiled_on_graph(&c, graph, property, excluded, limit, stats)
+    check_on_graph(&c, graph, &cp, &mask, limit, stats)
+}
+
+fn property_expr_count(property: &Property) -> u64 {
+    match property {
+        Property::Invariant { .. } | Property::Reachable { .. } => 1,
+        Property::Response { .. } | Property::Precedence { .. } => 2,
+    }
 }
 
 fn check_compiled_on_graph(
-    c: &Compiled<'_>,
+    c: &CompiledModel,
     g: &ReachGraph,
-    property: &Property,
-    excluded: &BTreeSet<String>,
+    property: &CompiledProperty,
+    excluded: &CmdIdSet,
     limit: usize,
     stats: &mut QueryStats,
 ) -> Result<Verdict, CheckError> {
-    let excluded_cmds: Option<Vec<bool>> = if excluded.is_empty() {
+    let excluded_cmds: Option<&CmdIdSet> = if excluded.is_empty() {
         None
     } else {
-        Some(
-            c.model
-                .commands()
-                .iter()
-                .map(|cmd| excluded.contains(&cmd.label))
-                .collect(),
-        )
+        Some(excluded)
     };
-    match property {
-        Property::Invariant { holds, .. } => {
-            let holds = c.compile_checked(holds)?;
-            match &excluded_cmds {
+    match &property.kind {
+        CProp::Invariant { holds } => {
+            match excluded_cmds {
                 // No refinement: every graph node is reachable, so the
                 // invariant is a straight scan in BFS order.
                 None => Ok(match scan_graph(c, g, stats, |s| !holds.eval(s)) {
@@ -928,7 +1155,7 @@ fn check_compiled_on_graph(
                     None => Verdict::Holds,
                 }),
                 Some(mask) => {
-                    let holds_at = eval_nodes(g, &holds);
+                    let holds_at = eval_nodes(g, holds);
                     let pg =
                         product_bfs(g, Some(mask), |_| false, |_, _| false, false, limit, stats)?;
                     Ok(
@@ -940,40 +1167,33 @@ fn check_compiled_on_graph(
                 }
             }
         }
-        Property::Reachable { goal, .. } => {
-            let goal = c.compile_checked(goal)?;
-            match &excluded_cmds {
-                None => Ok(match scan_graph(c, g, stats, |s| goal.eval(s)) {
-                    Some(ce) => Verdict::Reachable(ce),
-                    None => Verdict::Unreachable,
-                }),
-                Some(mask) => {
-                    let goal_at = eval_nodes(g, &goal);
-                    let pg =
-                        product_bfs(g, Some(mask), |_| false, |_, _| false, false, limit, stats)?;
-                    Ok(
-                        match scan_product(c, g, &pg, |gid, _| goal_at[gid as usize]) {
-                            Some(ce) => Verdict::Reachable(ce),
-                            None => Verdict::Unreachable,
-                        },
-                    )
-                }
+        CProp::Reachable { goal } => match excluded_cmds {
+            None => Ok(match scan_graph(c, g, stats, |s| goal.eval(s)) {
+                Some(ce) => Verdict::Reachable(ce),
+                None => Verdict::Unreachable,
+            }),
+            Some(mask) => {
+                let goal_at = eval_nodes(g, goal);
+                let pg = product_bfs(g, Some(mask), |_| false, |_, _| false, false, limit, stats)?;
+                Ok(
+                    match scan_product(c, g, &pg, |gid, _| goal_at[gid as usize]) {
+                        Some(ce) => Verdict::Reachable(ce),
+                        None => Verdict::Unreachable,
+                    },
+                )
             }
-        }
-        Property::Precedence {
+        },
+        CProp::Precedence {
             event,
             requires_before,
-            ..
         } => {
             // Flag = "prerequisite has occurred". Violation: event in a
             // state where the (updated) flag is still false.
-            let event = c.compile_checked(event)?;
-            let before = c.compile_checked(requires_before)?;
-            let event_at = eval_nodes(g, &event);
-            let before_at = eval_nodes(g, &before);
+            let event_at = eval_nodes(g, event);
+            let before_at = eval_nodes(g, requires_before);
             let pg = product_bfs(
                 g,
-                excluded_cmds.as_deref(),
+                excluded_cmds,
                 |gid| before_at[gid as usize],
                 |f, gid| f || before_at[gid as usize],
                 false,
@@ -987,30 +1207,18 @@ fn check_compiled_on_graph(
                 },
             )
         }
-        Property::Response {
-            trigger, response, ..
-        } => {
-            let trigger = c.compile_checked(trigger)?;
-            let response = c.compile_checked(response)?;
-            check_response_on_graph(
-                c,
-                g,
-                &trigger,
-                &response,
-                excluded_cmds.as_deref(),
-                limit,
-                stats,
-            )
+        CProp::Response { trigger, response } => {
+            check_response_on_graph(c, g, trigger, response, excluded_cmds, limit, stats)
         }
     }
 }
 
 fn check_response_on_graph(
-    c: &Compiled<'_>,
+    c: &CompiledModel,
     g: &ReachGraph,
     trigger: &CExpr,
     response: &CExpr,
-    excluded: Option<&[bool]>,
+    excluded: Option<&CmdIdSet>,
     limit: usize,
     stats: &mut QueryStats,
 ) -> Result<Verdict, CheckError> {
@@ -1030,12 +1238,9 @@ fn check_response_on_graph(
     // Restrict to pending nodes and find a fair cycle among them.
     let pending: Vec<bool> = pg.nodes.iter().map(|&(_, f)| f).collect();
     let sccs = tarjan_sccs(&pg, &pending);
-    let fairness: Vec<Vec<bool>> = c
-        .model
-        .fairness()
-        .iter()
-        .map(|f| eval_nodes(g, &c.compile(f)))
-        .collect();
+    // Fairness constraints were compiled with the model — evaluating
+    // them here touches no string table.
+    let fairness: Vec<Vec<bool>> = c.fairness.iter().map(|f| eval_nodes(g, f)).collect();
     for scc in &sccs {
         if !scc_has_cycle(&pg, scc, &pending) {
             continue;
@@ -1100,29 +1305,8 @@ pub fn explore_stats(model: &Model, limit: usize) -> Result<ExploreStats, CheckE
 /// Returns [`CheckError::InvalidModel`] with the model's problems first,
 /// then the property's.
 pub fn validate_property(model: &Model, property: &Property) -> Result<(), CheckError> {
-    let c = Compiled::new(model)?;
-    validate_property_exprs(&c, property)
-}
-
-fn validate_property_exprs(c: &Compiled<'_>, property: &Property) -> Result<(), CheckError> {
-    match property {
-        Property::Invariant { holds, .. } => c.compile_checked(holds).map(drop),
-        Property::Reachable { goal, .. } => c.compile_checked(goal).map(drop),
-        Property::Precedence {
-            event,
-            requires_before,
-            ..
-        } => {
-            c.compile_checked(event)?;
-            c.compile_checked(requires_before).map(drop)
-        }
-        Property::Response {
-            trigger, response, ..
-        } => {
-            c.compile_checked(trigger)?;
-            c.compile_checked(response).map(drop)
-        }
-    }
+    let c = CompiledModel::new(model)?;
+    c.compile_property(property).map(drop)
 }
 
 /// Checks a property with an explicit state limit.
@@ -1184,14 +1368,14 @@ pub fn check_bounded_stats(
     limit: usize,
     stats: &mut CheckStats,
 ) -> Result<Verdict, CheckError> {
-    let c = Compiled::new(model)?;
+    let c = CompiledModel::new(model)?;
     // Reject bad property vocabulary before paying for exploration,
     // preserving the historical error precedence (model problems, then
     // property problems, then state-limit blowups).
-    validate_property_exprs(&c, property)?;
+    let cp = c.compile_property(property)?;
     let g = explore_graph(&c, limit, stats)?;
     let mut q = QueryStats::default();
-    let verdict = check_compiled_on_graph(&c, &g, property, &BTreeSet::new(), limit, &mut q)?;
+    let verdict = check_compiled_on_graph(&c, &g, &cp, &c.exclusion_set(), limit, &mut q)?;
     stats.absorb(CheckStats {
         states: q.product_states,
         transitions: q.transitions,
@@ -1291,7 +1475,7 @@ fn scc_has_cycle(g: &ProductGraph, scc: &[u32], mask: &[bool]) -> bool {
 /// a witness state for every fairness constraint (each constraint given
 /// as its per-graph-node truth table).
 fn build_fair_cycle(
-    c: &Compiled<'_>,
+    c: &CompiledModel,
     g: &ReachGraph,
     pg: &ProductGraph,
     scc: &[u32],
@@ -1686,12 +1870,18 @@ mod tests {
                     Expr::var_eq("st", "req"),
                 ),
             ];
+            let c = CompiledModel::new(&m).unwrap();
             for p in &props {
                 let direct = check_bounded(&m, p, 1000).unwrap();
+                let cp = c.compile_property(p).unwrap();
                 let mut q = QueryStats::default();
-                let cached = check_on_graph(&m, &g, p, &BTreeSet::new(), 1000, &mut q).unwrap();
+                let cached = check_on_graph(&c, &g, &cp, &c.exclusion_set(), 1000, &mut q).unwrap();
                 assert_eq!(direct, cached, "{} (with_drop={with_drop})", p.name());
                 assert!(q.nodes_reused > 0, "query must report reuse");
+                assert_eq!(
+                    q.exprs_resolved, 0,
+                    "compiled queries must not resolve names"
+                );
             }
         }
     }
@@ -1718,11 +1908,26 @@ mod tests {
                 Expr::var_eq("st", "req"),
             ),
         ];
+        let c = CompiledModel::new(&full).unwrap();
+        let mut mask = c.exclusion_set();
+        for id in c.commands_labeled(Sym::intern("adv_drop")) {
+            mask.insert(id);
+        }
         for p in &props {
             let direct = check_bounded(&filtered, p, 1000).unwrap();
+            // Label-keyed legacy wrapper…
             let mut q = QueryStats::default();
-            let refined = check_on_graph(&full, &g, p, &excluded, 1000, &mut q).unwrap();
+            let refined = check_model_on_graph(&full, &g, p, &excluded, 1000, &mut q).unwrap();
             assert_eq!(direct, refined, "{}", p.name());
+            assert!(
+                q.exprs_resolved > 0,
+                "legacy wrapper re-resolves per call and must say so"
+            );
+            // …and the id-mask fast path agree with the filtered model.
+            let cp = c.compile_property(p).unwrap();
+            let mut q2 = QueryStats::default();
+            let masked = check_on_graph(&c, &g, &cp, &mask, 1000, &mut q2).unwrap();
+            assert_eq!(direct, masked, "{} (mask)", p.name());
         }
     }
 
@@ -1739,7 +1944,8 @@ mod tests {
             Expr::var_eq("st", "done"),
         );
         let mut q = QueryStats::default();
-        let Verdict::Violated(ce) = check_on_graph(&m, &g, &p, &excluded, 1000, &mut q).unwrap()
+        let Verdict::Violated(ce) =
+            check_model_on_graph(&m, &g, &p, &excluded, 1000, &mut q).unwrap()
         else {
             panic!("removing serve must stall the ring");
         };
@@ -1775,8 +1981,10 @@ mod tests {
         assert_eq!(g.node_count(), 2);
         let p = Property::reachable("moved", Expr::var_eq("x0", "v1"));
         let direct = check_bounded(&m, &p, 1000).unwrap();
+        let c = CompiledModel::new(&m).unwrap();
+        let cp = c.compile_property(&p).unwrap();
         let mut q = QueryStats::default();
-        let cached = check_on_graph(&m, &g, &p, &BTreeSet::new(), 1000, &mut q).unwrap();
+        let cached = check_on_graph(&c, &g, &cp, &c.exclusion_set(), 1000, &mut q).unwrap();
         assert_eq!(direct, cached);
         assert_eq!(direct.trace().unwrap(), cached.trace().unwrap());
     }

@@ -1,10 +1,16 @@
 //! Boolean expressions over finite-domain model variables.
 //!
-//! Variables and values are referenced by name; the checker resolves them
-//! against the model's declarations when compiling the expression. Only
-//! current-state references are needed: guarded commands express the next
-//! state through explicit assignments, not `next()` constraints.
+//! Variables and values are referenced by interned symbol ([`Sym`]); the
+//! checker resolves them against the model's declarations when compiling
+//! the expression. Only current-state references are needed: guarded
+//! commands express the next state through explicit assignments, not
+//! `next()` constraints.
+//!
+//! Constructors accept anything `Into<Sym>` (`&str`, `String`, `Sym`), so
+//! call sites read exactly as they did when these fields were `String`s;
+//! the interning is invisible outside this layer.
 
+use procheck_ident::Sym;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -16,11 +22,11 @@ pub enum Expr {
     /// Constant false.
     False,
     /// `var = value`.
-    Eq(String, String),
+    Eq(Sym, Sym),
     /// `var != value`.
-    Ne(String, String),
+    Ne(Sym, Sym),
     /// `var ∈ {values…}`.
-    In(String, Vec<String>),
+    In(Sym, Vec<Sym>),
     /// Conjunction (empty = true).
     And(Vec<Expr>),
     /// Disjunction (empty = false).
@@ -33,20 +39,20 @@ pub enum Expr {
 
 impl Expr {
     /// `var = value` — the workhorse atom.
-    pub fn var_eq(var: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn var_eq(var: impl Into<Sym>, value: impl Into<Sym>) -> Self {
         Expr::Eq(var.into(), value.into())
     }
 
     /// `var != value`.
-    pub fn var_ne(var: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn var_ne(var: impl Into<Sym>, value: impl Into<Sym>) -> Self {
         Expr::Ne(var.into(), value.into())
     }
 
     /// `var ∈ {values…}`.
-    pub fn var_in<I, S>(var: impl Into<String>, values: I) -> Self
+    pub fn var_in<I, S>(var: impl Into<Sym>, values: I) -> Self
     where
         I: IntoIterator<Item = S>,
-        S: Into<String>,
+        S: Into<Sym>,
     {
         Expr::In(var.into(), values.into_iter().map(Into::into).collect())
     }
@@ -73,7 +79,7 @@ impl Expr {
     }
 
     /// All variable names referenced by the expression.
-    pub fn variables(&self) -> Vec<&str> {
+    pub fn variables(&self) -> Vec<&'static str> {
         let mut out = Vec::new();
         self.collect_vars(&mut out);
         out.sort_unstable();
@@ -81,10 +87,10 @@ impl Expr {
         out
     }
 
-    fn collect_vars<'a>(&'a self, out: &mut Vec<&'a str>) {
+    fn collect_vars(&self, out: &mut Vec<&'static str>) {
         match self {
             Expr::True | Expr::False => {}
-            Expr::Eq(v, _) | Expr::Ne(v, _) | Expr::In(v, _) => out.push(v),
+            Expr::Eq(v, _) | Expr::Ne(v, _) | Expr::In(v, _) => out.push(v.as_str()),
             Expr::And(xs) | Expr::Or(xs) => {
                 for x in xs {
                     x.collect_vars(out);
@@ -106,7 +112,10 @@ impl fmt::Display for Expr {
             Expr::False => f.write_str("FALSE"),
             Expr::Eq(v, x) => write!(f, "{v} = {x}"),
             Expr::Ne(v, x) => write!(f, "{v} != {x}"),
-            Expr::In(v, xs) => write!(f, "{v} in {{{}}}", xs.join(", ")),
+            Expr::In(v, xs) => {
+                let vals: Vec<&str> = xs.iter().map(|s| s.as_str()).collect();
+                write!(f, "{v} in {{{}}}", vals.join(", "))
+            }
             Expr::And(xs) => {
                 if xs.is_empty() {
                     return f.write_str("TRUE");
@@ -153,5 +162,12 @@ mod tests {
             Expr::var_in("a", ["1", "2"]),
         ]);
         assert_eq!(e.variables(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn atoms_are_interned() {
+        let a = Expr::var_eq("state", "registered");
+        let b = Expr::var_eq(String::from("state"), "registered");
+        assert_eq!(a, b, "same strings intern to the same symbols");
     }
 }

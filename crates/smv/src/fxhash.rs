@@ -1,123 +1,8 @@
-//! In-repo FxHash-style hasher for the explicit-state hot path.
+//! Re-export of the workspace FxHash hasher.
 //!
-//! State interning hashes millions of short `Vec<u16>` keys per check.
-//! `std`'s default SipHash-1-3 is keyed and DoS-resistant, which buys
-//! nothing here — keys are machine-generated value vectors, not
-//! attacker-controlled input — and costs a long dependency chain per
-//! word. This is the rustc-style multiply-rotate-xor folding hash:
-//! one rotate, one xor, one multiply per 8-byte word.
+//! The implementation lives in `procheck-ident` now (the symbol table
+//! is its heaviest user); this module keeps the historical
+//! `procheck_smv::fxhash` path working for the checker's hot-path
+//! containers and for external callers.
 
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`-constructed).
-pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
-
-/// `HashMap` keyed with [`FxHasher`].
-pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
-
-/// `HashSet` keyed with [`FxHasher`].
-pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
-
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-/// Word-at-a-time folding hasher (the rustc/FxHash construction).
-#[derive(Debug, Default, Clone)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    #[inline]
-    fn fold(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in &mut chunks {
-            self.fold(u64::from_ne_bytes(chunk.try_into().expect("8-byte chunk")));
-        }
-        let rem = chunks.remainder();
-        if !rem.is_empty() {
-            let mut buf = [0u8; 8];
-            buf[..rem.len()].copy_from_slice(rem);
-            self.fold(u64::from_ne_bytes(buf));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, n: u8) {
-        self.fold(n as u64);
-    }
-
-    #[inline]
-    fn write_u16(&mut self, n: u16) {
-        self.fold(n as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.fold(n as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.fold(n);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.fold(n as u64);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::hash::{BuildHasher, Hash};
-
-    fn hash_of<T: Hash>(value: &T) -> u64 {
-        FxBuildHasher::default().hash_one(value)
-    }
-
-    #[test]
-    fn deterministic_and_input_sensitive() {
-        let a: Vec<u16> = vec![1, 2, 3, 4];
-        let b: Vec<u16> = vec![1, 2, 3, 5];
-        assert_eq!(hash_of(&a), hash_of(&a));
-        assert_ne!(hash_of(&a), hash_of(&b));
-        assert_ne!(hash_of(&a), hash_of(&vec![1u16, 2, 3]));
-    }
-
-    #[test]
-    fn state_keys_spread_over_buckets() {
-        // All 16-bit-pair states of a 32×32 grid must not collide much:
-        // with 1024 keys, demand at least 1000 distinct 10-bit buckets'
-        // worth of spread in the full 64-bit output.
-        let mut seen = std::collections::HashSet::new();
-        for x in 0u16..32 {
-            for y in 0u16..32 {
-                seen.insert(hash_of(&(vec![x, y], false)));
-            }
-        }
-        assert!(seen.len() >= 1000, "only {} distinct hashes", seen.len());
-    }
-
-    #[test]
-    fn works_as_map_hasher() {
-        let mut m: FxHashMap<Vec<u16>, u32> = FxHashMap::default();
-        for i in 0u16..500 {
-            m.insert(vec![i, i.wrapping_mul(3)], i as u32);
-        }
-        assert_eq!(m.len(), 500);
-        assert_eq!(m[&vec![7u16, 21]], 7);
-    }
-}
+pub use procheck_ident::fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

@@ -54,7 +54,7 @@ pub mod reach;
 pub mod smvformat;
 pub mod trace;
 
-pub use checker::{check, Property, Verdict};
+pub use checker::{check, CompiledModel, CompiledProperty, Property, Verdict};
 pub use expr::Expr;
 pub use model::{GuardedCmd, Model};
 pub use reach::ReachGraph;

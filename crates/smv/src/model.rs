@@ -8,8 +8,14 @@
 //! the paper's threat model, where the adversary may simply do nothing
 //! (the "trivial counterexample" of attack P3 is exactly an infinite
 //! stutter of dropped messages).
+//!
+//! All names — variables, domain values, command labels — are interned
+//! [`Sym`]s. Composition layers hand whole interned domains around by
+//! value (`Vec<Sym>` is a vector of `u32`-sized handles), and the checker
+//! compiles them to dense indices exactly once per model.
 
 use crate::expr::Expr;
+use procheck_ident::Sym;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -18,12 +24,12 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct VarDecl {
     /// Variable name.
-    pub name: String,
+    pub name: Sym,
     /// The value domain, in declaration order.
-    pub domain: Vec<String>,
+    pub domain: Vec<Sym>,
     /// Allowed initial values (non-deterministic initial choice when more
     /// than one).
-    pub init: Vec<String>,
+    pub init: Vec<Sym>,
 }
 
 /// A guarded command: `label: guard → var := value, …`.
@@ -31,17 +37,17 @@ pub struct VarDecl {
 pub struct GuardedCmd {
     /// Label reported in counterexample traces (the CEGAR loop keys its
     /// feasibility queries on these).
-    pub label: String,
+    pub label: Sym,
     /// Enabling condition over the current state.
     pub guard: Expr,
     /// Assignments applied when the command fires (constant values —
     /// nondeterministic choices are modelled as multiple commands).
-    pub updates: BTreeMap<String, String>,
+    pub updates: BTreeMap<Sym, Sym>,
 }
 
 impl GuardedCmd {
     /// Creates a command with the given label and guard and no updates.
-    pub fn new(label: impl Into<String>, guard: Expr) -> Self {
+    pub fn new(label: impl Into<Sym>, guard: Expr) -> Self {
         GuardedCmd {
             label: label.into(),
             guard,
@@ -50,7 +56,7 @@ impl GuardedCmd {
     }
 
     /// Adds an assignment `var := value`.
-    pub fn set(mut self, var: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn set(mut self, var: impl Into<Sym>, value: impl Into<Sym>) -> Self {
         self.updates.insert(var.into(), value.into());
         self
     }
@@ -89,30 +95,43 @@ impl Model {
     /// initial value is not in the domain — model construction errors are
     /// programmer errors.
     pub fn declare_var(&mut self, name: &str, domain: &[&str], init: &[&str]) {
+        self.declare_var_syms(
+            Sym::intern(name),
+            domain.iter().map(|s| Sym::intern(s)).collect(),
+            init.iter().map(|s| Sym::intern(s)).collect(),
+        );
+    }
+
+    /// Declares a variable from already-interned symbols. Composition
+    /// layers that hold interned alphabets use this directly — no string
+    /// materialisation, the domain vector is moved in as-is.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Model::declare_var`].
+    pub fn declare_var_syms(&mut self, name: Sym, domain: Vec<Sym>, init: Vec<Sym>) {
         assert!(
             self.vars.iter().all(|v| v.name != name),
             "variable `{name}` declared twice"
         );
         assert!(!domain.is_empty(), "variable `{name}` has an empty domain");
-        for i in init {
+        for i in &init {
             assert!(
                 domain.contains(i),
                 "initial value `{i}` of `{name}` not in domain"
             );
         }
         assert!(!init.is_empty(), "variable `{name}` has no initial value");
-        self.vars.push(VarDecl {
-            name: name.to_string(),
-            domain: domain.iter().map(|s| s.to_string()).collect(),
-            init: init.iter().map(|s| s.to_string()).collect(),
-        });
+        self.vars.push(VarDecl { name, domain, init });
     }
 
     /// Declares a variable with owned strings (used by generated models).
     pub fn declare_var_owned(&mut self, name: String, domain: Vec<String>, init: Vec<String>) {
-        let d: Vec<&str> = domain.iter().map(|s| s.as_str()).collect();
-        let i: Vec<&str> = init.iter().map(|s| s.as_str()).collect();
-        self.declare_var(&name, &d, &i);
+        self.declare_var_syms(
+            Sym::from(name),
+            domain.into_iter().map(Sym::from).collect(),
+            init.into_iter().map(Sym::from).collect(),
+        );
     }
 
     /// Adds a guarded command.
@@ -144,6 +163,11 @@ impl Model {
 
     /// Looks up a variable declaration.
     pub fn var(&self, name: &str) -> Option<&VarDecl> {
+        self.vars.iter().find(|v| v.name.as_str() == name)
+    }
+
+    /// Looks up a variable declaration by interned symbol.
+    pub fn var_sym(&self, name: Sym) -> Option<&VarDecl> {
         self.vars.iter().find(|v| v.name == name)
     }
 
@@ -155,9 +179,9 @@ impl Model {
             self.validate_expr(e, ctx, problems);
         };
         for cmd in &self.commands {
-            check_expr(&cmd.guard, &cmd.label, &mut problems);
-            for (var, value) in &cmd.updates {
-                match self.var(var) {
+            check_expr(&cmd.guard, cmd.label.as_str(), &mut problems);
+            for (&var, value) in &cmd.updates {
+                match self.var_sym(var) {
                     None => problems.push(format!(
                         "command `{}` assigns undeclared `{var}`",
                         cmd.label
@@ -186,14 +210,14 @@ impl Model {
     fn validate_expr(&self, e: &Expr, ctx: &str, problems: &mut Vec<String>) {
         match e {
             Expr::True | Expr::False => {}
-            Expr::Eq(v, x) | Expr::Ne(v, x) => match self.var(v) {
+            Expr::Eq(v, x) | Expr::Ne(v, x) => match self.var_sym(*v) {
                 None => problems.push(format!("`{ctx}` references undeclared `{v}`")),
                 Some(decl) if !decl.domain.contains(x) => {
                     problems.push(format!("`{ctx}` compares `{v}` to out-of-domain `{x}`"))
                 }
                 _ => {}
             },
-            Expr::In(v, xs) => match self.var(v) {
+            Expr::In(v, xs) => match self.var_sym(*v) {
                 None => problems.push(format!("`{ctx}` references undeclared `{v}`")),
                 Some(decl) => {
                     for x in xs {
@@ -232,7 +256,10 @@ mod tests {
     #[test]
     fn declaration_and_lookup() {
         let m = toggle();
-        assert_eq!(m.var("light").unwrap().domain, vec!["off", "on"]);
+        assert_eq!(
+            m.var("light").unwrap().domain,
+            vec![Sym::intern("off"), Sym::intern("on")]
+        );
         assert!(m.var("nope").is_none());
     }
 
@@ -262,5 +289,18 @@ mod tests {
     #[test]
     fn clean_model_validates() {
         assert!(toggle().validate().is_empty());
+    }
+
+    #[test]
+    fn sym_declaration_path_matches_str_path() {
+        let mut a = Model::new("m");
+        a.declare_var("x", &["p", "q"], &["p"]);
+        let mut b = Model::new("m");
+        b.declare_var_syms(
+            Sym::intern("x"),
+            vec![Sym::intern("p"), Sym::intern("q")],
+            vec![Sym::intern("p")],
+        );
+        assert_eq!(a, b);
     }
 }

@@ -7,7 +7,7 @@
 //!
 //! * a **packed state arena** — when the product of the declared domain
 //!   sizes fits 64 bits, each state is bit-packed into one `u64` key
-//!   ([`PackLayout`]); wider models fall back to the boxed value-vector
+//!   (`PackLayout`); wider models fall back to the boxed value-vector
 //!   encoding the interner used before;
 //! * **CSR successor adjacency** — per node, the enabled commands and
 //!   their successor states, in command declaration order (plus the

@@ -47,7 +47,10 @@ fn arb_model() -> impl Strategy<Value = RandomModel> {
 /// Evaluates an atomic equality expression against a trace state.
 fn holds_in(expr: &Expr, state: &BTreeMap<String, String>) -> bool {
     match expr {
-        Expr::Eq(v, x) => state.get(v).map(|s| s == x).unwrap_or(false),
+        Expr::Eq(v, x) => state
+            .get(v.as_str())
+            .map(|s| s == x.as_str())
+            .unwrap_or(false),
         Expr::Not(inner) => !holds_in(inner, state),
         _ => panic!("test oracle only evaluates atoms"),
     }
@@ -95,13 +98,13 @@ proptest! {
                 continue;
             }
             let cmd = rm.model.commands().iter()
-                .find(|c| c.label == next.label)
+                .find(|c| c.label.as_str() == next.label)
                 .expect("labelled command exists");
             for (var, value) in &cmd.updates {
-                prop_assert_eq!(&next.state[var], value, "update not applied");
+                prop_assert_eq!(&next.state[var.as_str()], value.as_str(), "update not applied");
             }
             for (var, value) in &prev.state {
-                if !cmd.updates.contains_key(var) {
+                if !cmd.updates.contains_key(&procheck_ident::Sym::intern(var)) {
                     prop_assert_eq!(&next.state[var], value, "frame violated");
                 }
             }

@@ -3,6 +3,7 @@
 use crate::config::ThreatConfig;
 use crate::labels::{adv_label, AdvKind, CommandInfo, Participant};
 use procheck_fsm::{Fsm, Transition};
+use procheck_ident::Sym;
 use procheck_smv::expr::Expr;
 use procheck_smv::model::{GuardedCmd, Model};
 use std::collections::{BTreeMap, BTreeSet};
@@ -181,180 +182,179 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
     let mut uniq = 0usize;
 
     // ----- vocabulary ----------------------------------------------------
-    let ue_states: Vec<String> = ue.states().map(|s| s.as_str().to_string()).collect();
-    let mme_states: Vec<String> = mme.states().map(|s| s.as_str().to_string()).collect();
+    // The FSM layer already interned every state / event / action label;
+    // composing over `Sym` sets re-uses those handles — no string clones,
+    // and `Sym: Ord` keeps the historical lexicographic domain order.
+    let ue_states: Vec<Sym> = ue.states().map(|s| s.id().sym()).collect();
+    let mme_states: Vec<Sym> = mme.states().map(|s| s.id().sym()).collect();
 
-    let mut dl_messages: BTreeSet<String> = BTreeSet::new();
-    let mut ul_messages: BTreeSet<String> = BTreeSet::new();
-    let mut ue_events: BTreeSet<String> = BTreeSet::new();
-    let mut mme_events: BTreeSet<String> = BTreeSet::new();
-    let mut ue_actions: BTreeSet<String> = BTreeSet::new();
-    let mut mme_actions: BTreeSet<String> = BTreeSet::new();
+    let mut dl_messages: BTreeSet<Sym> = BTreeSet::new();
+    let mut ul_messages: BTreeSet<Sym> = BTreeSet::new();
+    let mut ue_events: BTreeSet<Sym> = BTreeSet::new();
+    let mut mme_events: BTreeSet<Sym> = BTreeSet::new();
+    let mut ue_actions: BTreeSet<Sym> = BTreeSet::new();
+    let mut mme_actions: BTreeSet<Sym> = BTreeSet::new();
     for t in ue.transitions() {
         if let Some(e) = event_of(t) {
-            ue_events.insert(e.to_string());
+            let e_sym = Sym::intern(e);
+            ue_events.insert(e_sym);
             if is_message(e) {
-                dl_messages.insert(e.to_string());
+                dl_messages.insert(e_sym);
             }
         }
         if let Some(a) = action_of(t) {
-            ue_actions.insert(a.to_string());
-            ul_messages.insert(a.to_string());
+            let a_sym = Sym::intern(a);
+            ue_actions.insert(a_sym);
+            ul_messages.insert(a_sym);
         }
     }
     for t in mme.transitions() {
         if let Some(e) = event_of(t) {
-            mme_events.insert(e.to_string());
+            let e_sym = Sym::intern(e);
+            mme_events.insert(e_sym);
             if is_message(e) {
-                ul_messages.insert(e.to_string());
+                ul_messages.insert(e_sym);
             }
         }
         if let Some(a) = action_of(t) {
-            mme_actions.insert(a.to_string());
-            dl_messages.insert(a.to_string());
+            let a_sym = Sym::intern(a);
+            mme_actions.insert(a_sym);
+            dl_messages.insert(a_sym);
         }
     }
     // Adversary may inject plaintext message types even if no legit flow
     // produces them.
     for m in &cfg.plain_injectable_dl {
-        if is_message(m) && ue_events.contains(m) {
-            dl_messages.insert(m.clone());
+        let m_sym = Sym::intern(m);
+        if is_message(m) && ue_events.contains(&m_sym) {
+            dl_messages.insert(m_sym);
         }
     }
     for m in &cfg.plain_injectable_ul {
-        if is_message(m) && mme_events.contains(m) {
-            ul_messages.insert(m.clone());
+        let m_sym = Sym::intern(m);
+        if is_message(m) && mme_events.contains(&m_sym) {
+            ul_messages.insert(m_sym);
         }
     }
 
     // ----- variables ------------------------------------------------------
-    let str_refs = |v: &BTreeSet<String>| -> Vec<String> {
-        let mut d = vec!["none".to_string()];
-        d.extend(v.iter().cloned());
+    let none = Sym::intern("none");
+    let with_none = |v: &BTreeSet<Sym>| -> Vec<Sym> {
+        let mut d = vec![none];
+        d.extend(v.iter().copied());
         d
     };
-    model.declare_var_owned(
-        "ue_state".into(),
+    model.declare_var_syms(
+        Sym::intern("ue_state"),
         ue_states.clone(),
         vec![ue
             .initial()
             .expect("UE FSM has an initial state")
-            .as_str()
-            .to_string()],
+            .id()
+            .sym()],
     );
-    model.declare_var_owned(
-        "mme_state".into(),
+    model.declare_var_syms(
+        Sym::intern("mme_state"),
         mme_states.clone(),
         vec![mme
             .initial()
             .expect("MME FSM has an initial state")
-            .as_str()
-            .to_string()],
+            .id()
+            .sym()],
     );
-    model.declare_var_owned(
-        "chan_dl".into(),
-        str_refs(&dl_messages),
-        vec!["none".into()],
+    model.declare_var_syms(Sym::intern("chan_dl"), with_none(&dl_messages), vec![none]);
+    model.declare_var_syms(
+        Sym::intern("chan_dl_meta"),
+        DL_METAS.iter().map(|s| Sym::intern(s)).collect(),
+        vec![none],
     );
-    model.declare_var_owned(
-        "chan_dl_meta".into(),
-        DL_METAS.iter().map(|s| s.to_string()).collect(),
-        vec!["none".into()],
+    model.declare_var_syms(Sym::intern("chan_ul"), with_none(&ul_messages), vec![none]);
+    model.declare_var_syms(
+        Sym::intern("chan_ul_meta"),
+        UL_METAS.iter().map(|s| Sym::intern(s)).collect(),
+        vec![none],
     );
-    model.declare_var_owned(
-        "chan_ul".into(),
-        str_refs(&ul_messages),
-        vec!["none".into()],
-    );
-    model.declare_var_owned(
-        "chan_ul_meta".into(),
-        UL_METAS.iter().map(|s| s.to_string()).collect(),
-        vec!["none".into()],
-    );
-    model.declare_var_owned(
-        "last_auth_sqn".into(),
-        vec!["none".into(), "fresh".into(), "stale".into()],
-        vec!["none".into()],
+    model.declare_var_syms(
+        Sym::intern("last_auth_sqn"),
+        vec![none, Sym::intern("fresh"), Sym::intern("stale")],
+        vec![none],
     );
     // Monitor (trap) variables consumed by the property registry — each
     // declared only when the property slice asks for it.
-    let mut mon_domain = vec!["none".to_string()];
-    mon_domain.extend(dl_messages.iter().cloned());
+    let flag_f = Sym::intern("f");
+    let flag_t = Sym::intern("t");
+    let mut mon_domain = vec![none];
+    mon_domain.extend(dl_messages.iter().copied());
     if cfg.monitor_replay {
-        model.declare_var_owned(
-            "mon_replay_accepted".into(),
+        model.declare_var_syms(
+            Sym::intern("mon_replay_accepted"),
             mon_domain.clone(),
-            vec!["none".into()],
+            vec![none],
         );
     }
     if cfg.monitor_plain {
-        model.declare_var_owned(
-            "mon_plain_accepted".into(),
+        model.declare_var_syms(
+            Sym::intern("mon_plain_accepted"),
             mon_domain.clone(),
-            vec!["none".into()],
+            vec![none],
         );
     }
     if cfg.monitor_bypass {
-        model.declare_var_owned(
-            "mon_security_bypass".into(),
-            vec!["f".into(), "t".into()],
-            vec!["f".into()],
+        model.declare_var_syms(
+            Sym::intern("mon_security_bypass"),
+            vec![flag_f, flag_t],
+            vec![flag_f],
         );
-        model.declare_var_owned(
-            "mon_sqn_bypass".into(),
-            vec!["f".into(), "t".into()],
-            vec!["f".into()],
+        model.declare_var_syms(
+            Sym::intern("mon_sqn_bypass"),
+            vec![flag_f, flag_t],
+            vec![flag_f],
         );
     }
     if cfg.monitor_imsi {
-        model.declare_var_owned(
-            "mon_imsi_disclosed".into(),
+        model.declare_var_syms(
+            Sym::intern("mon_imsi_disclosed"),
             vec![
-                "none".into(),
-                "pre_security".into(),
-                "post_security".into(),
-                "paging".into(),
+                none,
+                Sym::intern("pre_security"),
+                Sym::intern("post_security"),
+                Sym::intern("paging"),
             ],
-            vec!["none".into()],
+            vec![none],
         );
     }
-    let replayable: Vec<String> = cfg
+    let replayable: Vec<Sym> = cfg
         .replayable_dl
         .iter()
-        .filter(|m| dl_messages.contains(*m))
-        .cloned()
+        .map(|m| Sym::intern(m))
+        .filter(|m| dl_messages.contains(m))
         .collect();
     for m in &replayable {
-        model.declare_var_owned(
-            format!("cap_{m}"),
-            vec!["f".into(), "t".into()],
-            vec!["f".into()],
+        model.declare_var_syms(
+            Sym::from(format!("cap_{m}")),
+            vec![flag_f, flag_t],
+            vec![flag_f],
         );
     }
-    let mk = |set: &BTreeSet<String>| -> Vec<String> {
-        let mut d = vec!["none".to_string()];
-        d.extend(set.iter().cloned());
-        d
-    };
     if cfg.track_ue_last {
-        model.declare_var_owned("ue_last_event".into(), mk(&ue_events), vec!["none".into()]);
-        let mut ue_act_domain = mk(&ue_actions);
-        ue_act_domain.push("null_action".into());
-        model.declare_var_owned("ue_last_action".into(), ue_act_domain, vec!["none".into()]);
+        model.declare_var_syms(
+            Sym::intern("ue_last_event"),
+            with_none(&ue_events),
+            vec![none],
+        );
+        let mut ue_act_domain = with_none(&ue_actions);
+        ue_act_domain.push(Sym::intern("null_action"));
+        model.declare_var_syms(Sym::intern("ue_last_action"), ue_act_domain, vec![none]);
     }
     if cfg.track_mme_last {
-        model.declare_var_owned(
-            "mme_last_event".into(),
-            mk(&mme_events),
-            vec!["none".into()],
+        model.declare_var_syms(
+            Sym::intern("mme_last_event"),
+            with_none(&mme_events),
+            vec![none],
         );
-        let mut mme_act_domain = mk(&mme_actions);
-        mme_act_domain.push("null_action".into());
-        model.declare_var_owned(
-            "mme_last_action".into(),
-            mme_act_domain,
-            vec!["none".into()],
-        );
+        let mut mme_act_domain = with_none(&mme_actions);
+        mme_act_domain.push(Sym::intern("null_action"));
+        model.declare_var_syms(Sym::intern("mme_last_action"), mme_act_domain, vec![none]);
     }
 
     // ----- UE commands ----------------------------------------------------
@@ -537,29 +537,29 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
     }
 
     // ----- adversary commands ----------------------------------------------
-    for m in &replayable {
-        let cap = format!("cap_{m}");
+    for &m in &replayable {
+        let cap = Sym::from(format!("cap_{m}"));
         model.add_command(
             GuardedCmd::new(
-                adv_label(AdvKind::Capture, m, uniq),
+                adv_label(AdvKind::Capture, m.as_str(), uniq),
                 Expr::and([
-                    Expr::var_eq("chan_dl", m.as_str()),
+                    Expr::var_eq("chan_dl", m),
                     Expr::var_eq("chan_dl_meta", "legit"),
-                    Expr::var_eq(cap.as_str(), "f"),
+                    Expr::var_eq(cap, "f"),
                 ]),
             )
-            .set(cap.as_str(), "t"),
+            .set(cap, "t"),
         );
         uniq += 1;
         model.add_command(
             GuardedCmd::new(
-                adv_label(AdvKind::CaptureDrop, m, uniq),
+                adv_label(AdvKind::CaptureDrop, m.as_str(), uniq),
                 Expr::and([
-                    Expr::var_eq("chan_dl", m.as_str()),
+                    Expr::var_eq("chan_dl", m),
                     Expr::var_eq("chan_dl_meta", "legit"),
                 ]),
             )
-            .set(cap.as_str(), "t")
+            .set(cap, "t")
             .set("chan_dl", "none")
             .set("chan_dl_meta", "none"),
         );
@@ -570,27 +570,21 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
         ] {
             model.add_command(
                 GuardedCmd::new(
-                    adv_label(kind, m, uniq),
-                    Expr::and([
-                        Expr::var_eq(cap.as_str(), "t"),
-                        Expr::var_eq("chan_dl", "none"),
-                    ]),
+                    adv_label(kind, m.as_str(), uniq),
+                    Expr::and([Expr::var_eq(cap, "t"), Expr::var_eq("chan_dl", "none")]),
                 )
-                .set("chan_dl", m.as_str())
+                .set("chan_dl", m)
                 .set("chan_dl_meta", meta),
             );
             uniq += 1;
         }
-        if m == "authentication_request" {
+        if m.as_str() == "authentication_request" {
             model.add_command(
                 GuardedCmd::new(
-                    adv_label(AdvKind::ReplayOldUnconsumed, m, uniq),
-                    Expr::and([
-                        Expr::var_eq(cap.as_str(), "t"),
-                        Expr::var_eq("chan_dl", "none"),
-                    ]),
+                    adv_label(AdvKind::ReplayOldUnconsumed, m.as_str(), uniq),
+                    Expr::and([Expr::var_eq(cap, "t"), Expr::var_eq("chan_dl", "none")]),
                 )
-                .set("chan_dl", m.as_str())
+                .set("chan_dl", m)
                 .set("chan_dl_meta", "replay_old_unconsumed"),
             );
             uniq += 1;
@@ -615,7 +609,7 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
     );
     uniq += 1;
     for m in &cfg.plain_injectable_dl {
-        if !dl_messages.contains(m) {
+        if !dl_messages.contains(&Sym::intern(m)) {
             continue;
         }
         model.add_command(
@@ -629,7 +623,7 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
         uniq += 1;
     }
     for m in &cfg.plain_injectable_ul {
-        if !ul_messages.contains(m) {
+        if !ul_messages.contains(&Sym::intern(m)) {
             continue;
         }
         model.add_command(
@@ -643,16 +637,15 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
         uniq += 1;
     }
     if cfg.optimistic_crypto {
-        for m in dl_messages
-            .iter()
-            .filter(|m| cfg.protected_class_dl.contains(*m) || *m == "authentication_request")
-        {
+        for &m in dl_messages.iter().filter(|m| {
+            cfg.protected_class_dl.contains(m.as_str()) || m.as_str() == "authentication_request"
+        }) {
             model.add_command(
                 GuardedCmd::new(
-                    adv_label(AdvKind::Forge, m, uniq),
+                    adv_label(AdvKind::Forge, m.as_str(), uniq),
                     Expr::var_eq("chan_dl", "none"),
                 )
-                .set("chan_dl", m.as_str())
+                .set("chan_dl", m)
                 .set("chan_dl_meta", "adv_forged"),
             );
             uniq += 1;
@@ -667,25 +660,6 @@ pub fn build_threat_model(ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Model {
     }
 
     model
-}
-
-/// Removes the commands whose labels are in `excluded` — the CEGAR
-/// refinement step ("we refine the property to ensure that the adversary
-/// does not exercise the offending action").
-pub fn exclude_commands(model: &Model, excluded: &BTreeSet<String>) -> Model {
-    let mut out = Model::new(model.name().to_string());
-    for v in model.vars() {
-        out.declare_var_owned(v.name.clone(), v.domain.clone(), v.init.clone());
-    }
-    for cmd in model.commands() {
-        if !excluded.contains(&cmd.label) {
-            out.add_command(cmd.clone());
-        }
-    }
-    for f in model.fairness() {
-        out.add_fairness(f.clone());
-    }
-    out
 }
 
 #[cfg(test)]
@@ -807,8 +781,12 @@ mod tests {
         );
         let accepting_unconsumed = model.commands().iter().any(|c| {
             c.label
+                .as_str()
                 .starts_with("ue:recv:authentication_request:replay_old_unconsumed")
-                && c.updates.get("last_auth_sqn").map(|s| s.as_str()) == Some("stale")
+                && c.updates
+                    .get(&Sym::intern("last_auth_sqn"))
+                    .map(|s| s.as_str())
+                    == Some("stale")
         });
         assert!(
             !accepting_unconsumed,
@@ -821,6 +799,7 @@ mod tests {
         let model = build_threat_model(&mini_ue(), &mini_mme(), &ThreatConfig::lte());
         assert!(!model.commands().iter().any(|c| c
             .label
+            .as_str()
             .starts_with("mme:recv:authentication_response:adv_plain")));
     }
 
@@ -844,22 +823,76 @@ mod tests {
         }
     }
 
+    /// Refinement is a [`CmdIdSet`] mask over the compiled model, not a
+    /// model rebuild: masking every forge command must answer queries
+    /// exactly as a model built without forging in the first place.
     #[test]
-    fn exclusion_removes_commands() {
+    fn exclusion_mask_matches_forge_free_model() {
+        use procheck_ident::CmdIdSet;
+        use procheck_smv::checker::{
+            build_reach_graph_compiled, check_bounded, check_on_graph, CheckStats, Property,
+            QueryStats,
+        };
+
         let model = build_threat_model(&mini_ue(), &mini_mme(), &ThreatConfig::lte());
-        let forge_labels: BTreeSet<String> = model
+        let compiled = procheck_smv::CompiledModel::new(&model).expect("model compiles");
+        let forge_ids: Vec<_> = model
             .commands()
             .iter()
-            .filter(|c| c.label.starts_with("adv:forge"))
-            .map(|c| c.label.clone())
+            .enumerate()
+            .filter(|(_, c)| c.label.as_str().starts_with("adv:forge"))
+            .map(|(i, _)| procheck_ident::CmdId::new(i))
             .collect();
-        assert!(!forge_labels.is_empty());
-        let reduced = exclude_commands(&model, &forge_labels);
-        assert_eq!(
-            reduced.commands().len(),
-            model.commands().len() - forge_labels.len()
+        assert!(!forge_ids.is_empty());
+        let mut mask = compiled.exclusion_set();
+        assert!(mask.is_empty());
+        for id in forge_ids {
+            mask.insert(id);
+        }
+
+        let no_forge = build_threat_model(
+            &mini_ue(),
+            &mini_mme(),
+            &ThreatConfig::lte().without_forge(),
         );
-        assert!(reduced.validate().is_empty());
+        assert_eq!(
+            no_forge.commands().len(),
+            model.commands().len() - mask.len()
+        );
+
+        let p = Property::reachable("forged_dl", Expr::var_eq("chan_dl_meta", "adv_forged"));
+        let mut stats = CheckStats::default();
+        let graph = build_reach_graph_compiled(&compiled, 1_000_000, &mut stats).expect("explore");
+        let cp = compiled.compile_property(&p).expect("property compiles");
+        let mut q = QueryStats::default();
+        let masked =
+            check_on_graph(&compiled, &graph, &cp, &mask, 1_000_000, &mut q).expect("masked query");
+        let reference = check_bounded(&no_forge, &p, 1_000_000).expect("reference check");
+        // Forged delivery is reachable in the full model, and both the
+        // masked query and the forge-free model agree it is not once the
+        // forge commands are out of play.
+        let unmasked = check_on_graph(
+            &compiled,
+            &graph,
+            &cp,
+            &CmdIdSet::default(),
+            1_000_000,
+            &mut q,
+        )
+        .expect("unmasked query");
+        assert!(matches!(
+            unmasked,
+            procheck_smv::checker::Verdict::Reachable(_)
+        ));
+        assert!(matches!(
+            masked,
+            procheck_smv::checker::Verdict::Unreachable
+        ));
+        assert!(matches!(
+            reference,
+            procheck_smv::checker::Verdict::Unreachable
+        ));
+        assert_eq!(q.exprs_resolved, 0, "compiled path re-resolves nothing");
     }
 
     #[test]

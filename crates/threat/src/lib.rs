@@ -28,7 +28,7 @@ pub mod config;
 pub mod labels;
 pub mod steps;
 
-pub use build::{build_threat_model, exclude_commands};
+pub use build::build_threat_model;
 pub use config::ThreatConfig;
 pub use labels::{AdvKind, CommandInfo, Participant};
 pub use steps::{replay_feasibility, StepOutcome, StepSemantics, TraceValidation};

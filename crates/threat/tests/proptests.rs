@@ -126,7 +126,7 @@ proptest! {
         prop_assert!(model.validate().is_empty(), "{:?}", model.validate());
         for cmd in model.commands() {
             prop_assert!(
-                CommandInfo::parse(&cmd.label).is_some(),
+                CommandInfo::parse(cmd.label.as_str()).is_some(),
                 "unparseable label {}",
                 cmd.label
             );
