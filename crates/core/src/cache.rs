@@ -32,9 +32,17 @@
 //! `OnceLock`, so concurrent builds of *different* configurations
 //! proceed in parallel while two threads asking for the *same*
 //! configuration result in one build and one waiter.
+//!
+//! Fault isolation: every build closure (compose, compile, explore) runs
+//! under `catch_unwind`. A panic mid-build poisons only that
+//! configuration's slot — it is cached as [`CheckError::Panic`], exactly
+//! like the existing error caching, so every property sharing the
+//! configuration sees the same degraded error while the other
+//! configurations' builds and all sibling properties proceed untouched.
 
 use procheck_fsm::Fsm;
-use procheck_smv::checker::{build_reach_graph_compiled, CheckError, CheckStats, CompiledModel};
+use procheck_smv::budget::{panic_message, BudgetMeter};
+use procheck_smv::checker::{build_reach_graph_budgeted, CheckError, CheckStats, CompiledModel};
 use procheck_smv::model::Model;
 use procheck_smv::reach::ReachGraph;
 use procheck_telemetry::Collector;
@@ -53,12 +61,16 @@ type GraphSlot = OnceLock<(Result<Arc<ReachGraph>, CheckError>, CheckStats)>;
 /// validation error the one compile died with.
 type CompiledSlot = OnceLock<Result<Arc<CompiledModel>, CheckError>>;
 
+/// A memoized threat-model composition: the shared `IMP^μ`, or the
+/// isolated panic the one build died with.
+type ComposeSlot = OnceLock<Result<Arc<Model>, CheckError>>;
+
 /// Per-run cache of composed threat models, their compiled (id-space)
 /// forms, and their explored reachability graphs, keyed by the full
 /// [`ThreatConfig`].
 #[derive(Debug, Default)]
 pub struct ThreatModelCache {
-    slots: Mutex<HashMap<ThreatConfig, Arc<OnceLock<Arc<Model>>>>>,
+    slots: Mutex<HashMap<ThreatConfig, Arc<ComposeSlot>>>,
     builds: AtomicUsize,
     lookups: AtomicUsize,
     compiled_slots: Mutex<HashMap<ThreatConfig, Arc<CompiledSlot>>>,
@@ -101,32 +113,52 @@ impl ThreatModelCache {
 
     /// Returns the composed `IMP^μ` for `cfg`, building it on first use.
     /// Every caller passing an equal `cfg` gets the same `Arc`.
-    pub fn get_or_build(&self, ue: &Fsm, mme: &Fsm, cfg: &ThreatConfig) -> Arc<Model> {
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) [`CheckError::Panic`] when the one build for
+    /// this configuration panicked — only that slot is poisoned.
+    pub fn get_or_build(
+        &self,
+        ue: &Fsm,
+        mme: &Fsm,
+        cfg: &ThreatConfig,
+    ) -> Result<Arc<Model>, CheckError> {
         self.get_or_build_traced(ue, mme, cfg, &Collector::disabled())
     }
 
     /// [`Self::get_or_build`] that also records `compose.lookups`,
     /// `compose.builds`, and a `compose.build` span per actual
     /// composition on `collector`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::get_or_build`].
     pub fn get_or_build_traced(
         &self,
         ue: &Fsm,
         mme: &Fsm,
         cfg: &ThreatConfig,
         collector: &Collector,
-    ) -> Arc<Model> {
+    ) -> Result<Arc<Model>, CheckError> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         collector.add("compose.lookups", 1);
         let slot = {
             let mut map = self.slots.lock().expect("cache map lock");
             Arc::clone(map.entry(cfg.clone()).or_default())
         };
-        Arc::clone(slot.get_or_init(|| {
+        slot.get_or_init(|| {
             self.builds.fetch_add(1, Ordering::Relaxed);
             collector.add("compose.builds", 1);
             let _span = collector.span("compose.build");
-            Arc::new(build_threat_model(ue, mme, cfg))
-        }))
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                procheck_faults::inject(procheck_faults::FaultSite::ThreatCompose, None);
+                Arc::new(build_threat_model(ue, mme, cfg))
+            }))
+            .map_err(|p| CheckError::Panic(panic_message(p)))
+        })
+        .clone()
     }
 
     /// Returns the compiled (id-space) form of `model` (the composed
@@ -168,7 +200,10 @@ impl ThreatModelCache {
             self.compile_builds.fetch_add(1, Ordering::Relaxed);
             collector.add("compile.builds", 1);
             let _span = collector.span("compile");
-            let compiled = CompiledModel::new(model).map(Arc::new);
+            let compiled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                CompiledModel::new(model).map(Arc::new)
+            }))
+            .unwrap_or_else(|p| Err(CheckError::Panic(panic_message(p))));
             collector.record_max("ident.symbols_interned", procheck_ident::symbols_interned());
             compiled
         });
@@ -211,6 +246,34 @@ impl ThreatModelCache {
         state_limit: usize,
         collector: &Collector,
     ) -> Result<Arc<ReachGraph>, CheckError> {
+        self.get_or_build_graph_budgeted(
+            model,
+            cfg,
+            state_limit,
+            &BudgetMeter::unlimited(),
+            collector,
+        )
+    }
+
+    /// [`Self::get_or_build_graph_traced`] under a live
+    /// [`BudgetMeter`]: the one exploration this slot ever runs charges
+    /// its states against the run-wide budget. Exhaustion is cached as
+    /// [`CheckError::Budget`] (with the partial stats kept), exactly
+    /// like a state-limit failure, so sharers degrade identically
+    /// without re-paying for the aborted exploration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::get_or_build_graph`], plus the cached
+    /// [`CheckError::Budget`] when the meter tripped mid-build.
+    pub fn get_or_build_graph_budgeted(
+        &self,
+        model: &CompiledModel,
+        cfg: &ThreatConfig,
+        state_limit: usize,
+        meter: &BudgetMeter,
+        collector: &Collector,
+    ) -> Result<Arc<ReachGraph>, CheckError> {
         self.graph_lookups.fetch_add(1, Ordering::Relaxed);
         collector.add("graph_cache.lookups", 1);
         let slot = {
@@ -223,8 +286,20 @@ impl ThreatModelCache {
             self.graph_builds.fetch_add(1, Ordering::Relaxed);
             collector.add("graph_cache.builds", 1);
             let _span = collector.span("graph.build");
-            let mut stats = CheckStats::default();
-            let result = build_reach_graph_compiled(model, state_limit, &mut stats).map(Arc::new);
+            let (result, stats) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                procheck_faults::inject(procheck_faults::FaultSite::GraphBuild, None);
+                let mut stats = CheckStats::default();
+                let result =
+                    build_reach_graph_budgeted(model, state_limit, meter, &mut stats).map(Arc::new);
+                (result, stats)
+            }))
+            .unwrap_or_else(|p| {
+                (
+                    Err(CheckError::Panic(panic_message(p))),
+                    CheckStats::default(),
+                )
+            });
             collector.add("smv.states_explored", stats.states);
             collector.add("smv.transitions", stats.transitions);
             collector.record_max("smv.peak_queue", stats.peak_queue);
@@ -316,8 +391,8 @@ mod tests {
         let mut shared = None;
         for p in registry() {
             let cfg = p.slice.threat_config();
-            let a = cache.get_or_build(&ue, &mme, &cfg);
-            let b = cache.get_or_build(&ue, &mme, &cfg);
+            let a = cache.get_or_build(&ue, &mme, &cfg).expect("compose");
+            let b = cache.get_or_build(&ue, &mme, &cfg).expect("compose");
             assert!(Arc::ptr_eq(&a, &b), "{}: repeat lookup must share", p.id);
             if let Some((prev_cfg, prev_model)) = &shared {
                 if *prev_cfg == cfg {
@@ -349,7 +424,7 @@ mod tests {
         let cache = ThreatModelCache::new();
         let collector = Collector::enabled();
         let cfg = registry()[0].slice.threat_config();
-        let model = cache.get_or_build(&ue, &mme, &cfg);
+        let model = cache.get_or_build(&ue, &mme, &cfg).expect("compose");
         let compiled = cache.get_or_compile(&model, &cfg).unwrap();
         let mut graphs = Vec::new();
         for _ in 0..3 {
@@ -387,7 +462,7 @@ mod tests {
         let cache = ThreatModelCache::new();
         let collector = Collector::enabled();
         let cfg = registry()[0].slice.threat_config();
-        let model = cache.get_or_build(&ue, &mme, &cfg);
+        let model = cache.get_or_build(&ue, &mme, &cfg).expect("compose");
         let a = cache
             .get_or_compile_traced(&model, &cfg, &collector)
             .unwrap();
@@ -425,7 +500,7 @@ mod tests {
         let (ue, mme) = small_models();
         let cache = ThreatModelCache::new();
         let cfg = registry()[0].slice.threat_config();
-        let model = cache.get_or_build(&ue, &mme, &cfg);
+        let model = cache.get_or_build(&ue, &mme, &cfg).expect("compose");
         let compiled = cache.get_or_compile(&model, &cfg).unwrap();
         let a = cache.get_or_build_graph(&compiled, &cfg, 1).unwrap_err();
         let b = cache.get_or_build_graph(&compiled, &cfg, 1).unwrap_err();
@@ -434,6 +509,34 @@ mod tests {
         assert_eq!(cache.graph_stats().builds, 1);
         let partial = cache.graph_build_stats(&cfg).expect("stats recorded");
         assert!(partial.states > 1, "partial exploration must be visible");
+    }
+
+    /// A budget-exhausted graph build degrades exactly like a
+    /// state-limit one: the failure is cached, sharers (even later
+    /// un-budgeted lookups) see the same error, and the exploration is
+    /// never re-paid.
+    #[test]
+    fn budget_exhausted_graph_builds_are_cached() {
+        use procheck_smv::budget::Budget;
+        use procheck_smv::checker::CheckError;
+        let (ue, mme) = small_models();
+        let cache = ThreatModelCache::new();
+        let cfg = registry()[0].slice.threat_config();
+        let model = cache.get_or_build(&ue, &mme, &cfg).expect("compose");
+        let compiled = cache.get_or_compile(&model, &cfg).unwrap();
+        let meter = Budget::unlimited().with_total_states(1).start();
+        meter.charge_and_probe(1).expect("exactly at cap");
+        let collector = Collector::disabled();
+        let a = cache
+            .get_or_build_graph_budgeted(&compiled, &cfg, 1_000_000, &meter, &collector)
+            .unwrap_err();
+        assert!(matches!(a, CheckError::Budget(_)), "{a:?}");
+        let b = cache
+            .get_or_build_graph_traced(&compiled, &cfg, 1_000_000, &collector)
+            .unwrap_err();
+        assert_eq!(a, b, "sharers see the cached budget failure");
+        assert_eq!(cache.graph_stats().builds, 1);
+        assert!(cache.graph_build_stats(&cfg).is_some());
     }
 
     /// Hit/miss accounting: lookups = hits + builds, and the traced path

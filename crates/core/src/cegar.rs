@@ -17,9 +17,10 @@
 
 use procheck_cpv::term::Term;
 use procheck_ident::Sym;
+use procheck_smv::budget::BudgetMeter;
 use procheck_smv::checker::{
-    build_reach_graph_compiled, check_on_graph, CheckError, CheckStats, CompiledModel, Property,
-    QueryStats, Verdict,
+    build_reach_graph_budgeted, check_on_graph_budgeted, CheckError, CheckStats, CompiledModel,
+    Property, QueryStats, Verdict,
 };
 use procheck_smv::model::Model;
 use procheck_smv::reach::ReachGraph;
@@ -137,6 +138,36 @@ pub fn cegar_check_traced(
     max_iterations: usize,
     collector: &Collector,
 ) -> Result<CegarOutcome, CheckError> {
+    cegar_check_budgeted(
+        model,
+        property,
+        semantics,
+        state_limit,
+        max_iterations,
+        &BudgetMeter::unlimited(),
+        collector,
+    )
+}
+
+/// [`cegar_check_traced`] under a live
+/// [`BudgetMeter`]: the private graph
+/// build and every refinement query charge the run-wide budget, and
+/// exhaustion surfaces as [`CheckError::Budget`] with the `smv.*`
+/// counters still reflecting the partial exploration.
+///
+/// # Errors
+///
+/// Same as [`cegar_check_traced`], plus [`CheckError::Budget`].
+#[allow(clippy::too_many_arguments)]
+pub fn cegar_check_budgeted(
+    model: &Model,
+    property: &Property,
+    semantics: &StepSemantics,
+    state_limit: usize,
+    max_iterations: usize,
+    meter: &BudgetMeter,
+    collector: &Collector,
+) -> Result<CegarOutcome, CheckError> {
     // Flush the loop's counter families even when we fail before it
     // starts, so pre-loop errors stay visible in telemetry.
     let abort = |e: CheckError| {
@@ -164,7 +195,7 @@ pub fn cegar_check_traced(
     let mut build = CheckStats::default();
     let built = {
         let _span = collector.span("graph.build");
-        build_reach_graph_compiled(&compiled, state_limit, &mut build)
+        build_reach_graph_budgeted(&compiled, state_limit, meter, &mut build)
     };
     collector.add("smv.states_explored", build.states);
     collector.add("smv.transitions", build.transitions);
@@ -173,13 +204,14 @@ pub fn cegar_check_traced(
         Ok(g) => g,
         Err(e) => return abort(e),
     };
-    let mut outcome = cegar_check_on_graph_traced(
+    let mut outcome = cegar_check_on_graph_budgeted(
         &compiled,
         &graph,
         property,
         semantics,
         state_limit,
         max_iterations,
+        meter,
         collector,
     )?;
     // The build was ours, so this call is charged for it.
@@ -243,6 +275,39 @@ pub fn cegar_check_on_graph_traced(
     max_iterations: usize,
     collector: &Collector,
 ) -> Result<CegarOutcome, CheckError> {
+    cegar_check_on_graph_budgeted(
+        model,
+        graph,
+        property,
+        semantics,
+        state_limit,
+        max_iterations,
+        &BudgetMeter::unlimited(),
+        collector,
+    )
+}
+
+/// [`cegar_check_on_graph_traced`] under a live
+/// [`BudgetMeter`]: each refinement
+/// iteration's product query charges the run-wide budget, so a
+/// long-running CEGAR loop degrades mid-refinement instead of outliving
+/// the run's deadline. Exhaustion flushes the loop's counters (like
+/// every other exit path) and surfaces as [`CheckError::Budget`].
+///
+/// # Errors
+///
+/// Same as [`cegar_check_on_graph_traced`], plus [`CheckError::Budget`].
+#[allow(clippy::too_many_arguments)]
+pub fn cegar_check_on_graph_budgeted(
+    model: &CompiledModel,
+    graph: &ReachGraph,
+    property: &Property,
+    semantics: &StepSemantics,
+    state_limit: usize,
+    max_iterations: usize,
+    meter: &BudgetMeter,
+    collector: &Collector,
+) -> Result<CegarOutcome, CheckError> {
     let mut excluded = model.exclusion_set();
     let mut refinements = Vec::new();
     let mut query = QueryStats::default();
@@ -275,12 +340,13 @@ pub fn cegar_check_on_graph_traced(
         }
     };
     for iteration in 1..=max_iterations.max(1) {
-        let verdict = match check_on_graph(
+        let verdict = match check_on_graph_budgeted(
             model,
             graph,
             &compiled_property,
             &excluded,
             state_limit,
+            meter,
             &mut query,
         ) {
             Ok(v) => v,

@@ -24,8 +24,8 @@
 //! property answers as a query over the shared graph.
 
 use crate::cache::{CacheStats, ThreatModelCache};
-use crate::cegar::{cegar_check_on_graph_traced, cegar_check_traced, FinalVerdict};
-use crate::report::{Finding, PropertyOutcome, PropertyResult};
+use crate::cegar::{cegar_check_budgeted, cegar_check_on_graph_budgeted, FinalVerdict};
+use crate::report::{DegradedStats, Finding, PropertyOutcome, PropertyResult};
 use procheck_conformance::runner::run_suite_traced;
 use procheck_conformance::suites;
 use procheck_conformance::CoverageReport;
@@ -33,6 +33,7 @@ use procheck_extractor::{extract_fsm_traced, ExtractorConfig};
 use procheck_fsm::stats::FsmStats;
 use procheck_fsm::Fsm;
 use procheck_props::{registry, BaseProfile, Check, LinkScenario, NasProperty};
+use procheck_smv::budget::{panic_message, Budget, BudgetMeter};
 use procheck_smv::checker::{CheckError, DEFAULT_STATE_LIMIT};
 use procheck_stack::quirks::Implementation;
 use procheck_stack::UeConfig;
@@ -41,6 +42,7 @@ use procheck_testbed::linkability::{run_scenario, Scenario};
 use procheck_threat::StepSemantics;
 use std::collections::HashSet;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread;
@@ -77,6 +79,12 @@ pub struct AnalysisConfig {
     /// [`Collector::enabled`] to record counters, spans, and marks.
     /// Counter totals are identical for any `threads` value.
     pub collector: Collector,
+    /// Resource budget for the whole run: wall-clock deadline,
+    /// per-property state cap, run-wide total-state cap. Exhaustion
+    /// degrades the affected properties to
+    /// [`PropertyOutcome::BudgetExhausted`] — the run always completes
+    /// and reports partial work; it never aborts. Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for AnalysisConfig {
@@ -90,6 +98,7 @@ impl Default for AnalysisConfig {
             threads: default_threads(),
             graph_cache: std::env::var_os("PROCHECK_NO_GRAPH_CACHE").is_none(),
             collector: Collector::disabled(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -113,6 +122,11 @@ pub struct ExtractedModels {
     pub coverage: CoverageReport,
     /// Size of the information-rich log (records).
     pub log_records: usize,
+    /// Extraction failures that were isolated (one entry per FSM whose
+    /// extraction panicked; the model is an empty placeholder). Model
+    /// properties degrade to [`PropertyOutcome::Error`] when this is
+    /// non-empty; linkability properties are unaffected.
+    pub extraction_errors: Vec<String>,
 }
 
 /// Builds the UE configuration for an implementation profile.
@@ -126,26 +140,63 @@ pub fn ue_config_for(implementation: Implementation, cfg: &AnalysisConfig) -> Ue
 
 /// Phase 1+2: run the instrumented conformance suite and extract the
 /// FSMs.
+///
+/// Extraction is fault-isolated: a panic while extracting one FSM is
+/// caught, recorded in [`ExtractedModels::extraction_errors`], and
+/// replaced with an empty placeholder model, so the pipeline always
+/// reaches the per-property stage (where model properties then degrade
+/// to explicit [`PropertyOutcome::Error`] results).
 pub fn extract_models(implementation: Implementation, cfg: &AnalysisConfig) -> ExtractedModels {
     let ue_cfg = ue_config_for(implementation, cfg);
-    let report = run_suite_traced(&ue_cfg, &suites::full_suite(&ue_cfg), &cfg.collector);
-    let ue = extract_fsm_traced(
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+    let mut report = run_suite_traced(&ue_cfg, &suites::full_suite(&ue_cfg), &cfg.collector);
+    #[cfg(feature = "fault-inject")]
+    if let Some(fault) = procheck_faults::inject(procheck_faults::FaultSite::LogSource, None) {
+        apply_log_fault(&mut report.ue_log, fault);
+    }
+    let mut extraction_errors = Vec::new();
+    let mut extract =
+        |name: &'static str, log: &[procheck_instrument::LogRecord], xcfg: &ExtractorConfig| {
+            catch_unwind(AssertUnwindSafe(|| {
+                extract_fsm_traced(name, log, xcfg, &cfg.collector)
+            }))
+            .unwrap_or_else(|payload| {
+                extraction_errors.push(format!(
+                    "{name} extraction panicked: {}",
+                    panic_message(payload)
+                ));
+                Fsm::new(name)
+            })
+        };
+    let ue = extract(
         "ue",
         &report.ue_log,
         &ExtractorConfig::for_ue(&ue_cfg.signatures),
-        &cfg.collector,
     );
-    let mme = extract_fsm_traced(
-        "mme",
-        &report.mme_log,
-        &ExtractorConfig::for_mme(),
-        &cfg.collector,
-    );
+    let mme = extract("mme", &report.mme_log, &ExtractorConfig::for_mme());
     ExtractedModels {
         ue,
         mme,
         coverage: report.coverage,
         log_records: report.ue_log.len() + report.mme_log.len(),
+        extraction_errors,
+    }
+}
+
+/// Applies a [`DataFault`] from the `LogSource` site to an
+/// information-rich log: `Truncate` drops the tail half (a stack that
+/// died mid-suite), `Garbage` reverses the record order (a log whose
+/// sequencing is wrecked). Both are deterministic.
+///
+/// [`DataFault`]: procheck_faults::DataFault
+#[cfg(feature = "fault-inject")]
+fn apply_log_fault(
+    log: &mut Vec<procheck_instrument::LogRecord>,
+    fault: procheck_faults::DataFault,
+) {
+    match fault {
+        procheck_faults::DataFault::Truncate => log.truncate(log.len() / 2),
+        procheck_faults::DataFault::Garbage => log.reverse(),
     }
 }
 
@@ -167,6 +218,9 @@ pub struct AnalysisReport {
     /// Reachability-graph cache accounting for this run (all zeros when
     /// [`AnalysisConfig::graph_cache`] is off).
     pub graph_cache_stats: CacheStats,
+    /// Degraded-outcome accounting: budget exhaustions, isolated panics,
+    /// skips. All zeros on a clean run (CI gates on this).
+    pub degraded: DegradedStats,
 }
 
 impl AnalysisReport {
@@ -222,6 +276,16 @@ impl AnalysisReport {
             standards,
             findings.len() - standards,
         );
+        if !self.degraded.is_clean() {
+            let _ = writeln!(
+                out,
+                "  degraded  : {} ({} budget-exhausted, {} isolated panics, {} skipped)",
+                self.degraded.total(),
+                self.degraded.budget_exhausted,
+                self.degraded.panics_isolated,
+                self.degraded.skipped,
+            );
+        }
         for f in &findings {
             let _ = writeln!(
                 out,
@@ -240,6 +304,11 @@ impl AnalysisReport {
 /// threat model for the property's slice is fetched from (or built
 /// into) `cache`, so callers checking many properties share one
 /// composition per distinct configuration.
+///
+/// This standalone entry point starts a private meter from
+/// [`AnalysisConfig::budget`]; `analyze_implementation` shares one meter
+/// across all properties instead (via [`check_property_metered`]), so
+/// the total-state cap and deadline govern the whole run.
 pub fn check_property(
     prop: &NasProperty,
     models: &ExtractedModels,
@@ -247,58 +316,102 @@ pub fn check_property(
     cfg: &AnalysisConfig,
     cache: &ThreatModelCache,
 ) -> PropertyResult {
+    check_property_metered(
+        prop,
+        models,
+        implementation,
+        cfg,
+        cache,
+        &cfg.budget.start(),
+    )
+}
+
+/// [`check_property`] charging a caller-owned [`BudgetMeter`] (shared
+/// run-wide by `analyze_implementation`). Every degraded path — budget
+/// exhaustion, a panic isolated in a cached build, a failed extraction —
+/// returns an explicit [`PropertyOutcome`]; this function only panics if
+/// the property evaluation itself does (the worker pool catches that
+/// too).
+pub fn check_property_metered(
+    prop: &NasProperty,
+    models: &ExtractedModels,
+    implementation: Implementation,
+    cfg: &AnalysisConfig,
+    cache: &ThreatModelCache,
+    meter: &BudgetMeter,
+) -> PropertyResult {
     let start = Instant::now();
+    #[cfg(feature = "fault-inject")]
+    procheck_faults::inject(procheck_faults::FaultSite::PropertyEval, Some(prop.id));
     let mut states_explored = 0u64;
     let mut peak_queue = 0u64;
     let mut cpv_queries = 0usize;
     let mut nodes_reused = 0u64;
     let mut graph_cache_hit = None;
+    // The budget's per-property cap lowers the effective state limit;
+    // tripping the lowered limit is a budget degradation, not a skip.
+    let limit = cfg.budget.property_limit(cfg.state_limit);
     let (outcome, iterations, refinements) = match &prop.check {
+        Check::Model(_) if !models.extraction_errors.is_empty() => (
+            PropertyOutcome::Error(format!(
+                "model extraction failed: {}",
+                models.extraction_errors.join("; ")
+            )),
+            0,
+            0,
+        ),
         Check::Model(p) => {
             let threat_cfg = prop.slice.threat_config();
-            let model =
-                cache.get_or_build_traced(&models.ue, &models.mme, &threat_cfg, &cfg.collector);
             let semantics = StepSemantics::new(threat_cfg.clone());
-            let checked = if cfg.graph_cache {
-                // The model is compiled (validated) and the property's
-                // vocabulary checked *before* asking the cache for a
-                // graph: an inapplicable property must report "not
-                // applicable", never the state-limit skip a doomed
-                // shared build would produce — the same error precedence
-                // as the private path below.
-                cache
-                    .get_or_compile_traced(&model, &threat_cfg, &cfg.collector)
-                    .and_then(|compiled| {
-                        compiled.compile_property(p)?;
-                        // Placeholder: `analyze_implementation` rewrites
-                        // this to the registry-order attribution.
-                        graph_cache_hit = Some(false);
-                        let graph = cache.get_or_build_graph_traced(
-                            &compiled,
-                            &threat_cfg,
-                            cfg.state_limit,
-                            &cfg.collector,
-                        )?;
-                        cegar_check_on_graph_traced(
-                            &compiled,
-                            &graph,
+            let checked = cache
+                .get_or_build_traced(&models.ue, &models.mme, &threat_cfg, &cfg.collector)
+                .and_then(|model| {
+                    if cfg.graph_cache {
+                        // The model is compiled (validated) and the
+                        // property's vocabulary checked *before* asking
+                        // the cache for a graph: an inapplicable property
+                        // must report "not applicable", never the
+                        // state-limit skip a doomed shared build would
+                        // produce — the same error precedence as the
+                        // private path below.
+                        cache
+                            .get_or_compile_traced(&model, &threat_cfg, &cfg.collector)
+                            .and_then(|compiled| {
+                                compiled.compile_property(p)?;
+                                // Placeholder: `analyze_implementation`
+                                // rewrites this to the registry-order
+                                // attribution.
+                                graph_cache_hit = Some(false);
+                                let graph = cache.get_or_build_graph_budgeted(
+                                    &compiled,
+                                    &threat_cfg,
+                                    limit,
+                                    meter,
+                                    &cfg.collector,
+                                )?;
+                                cegar_check_on_graph_budgeted(
+                                    &compiled,
+                                    &graph,
+                                    p,
+                                    &semantics,
+                                    limit,
+                                    cfg.max_cegar_iterations,
+                                    meter,
+                                    &cfg.collector,
+                                )
+                            })
+                    } else {
+                        cegar_check_budgeted(
+                            &model,
                             p,
                             &semantics,
-                            cfg.state_limit,
+                            limit,
                             cfg.max_cegar_iterations,
+                            meter,
                             &cfg.collector,
                         )
-                    })
-            } else {
-                cegar_check_traced(
-                    &model,
-                    p,
-                    &semantics,
-                    cfg.state_limit,
-                    cfg.max_cegar_iterations,
-                    &cfg.collector,
-                )
-            };
+                    }
+                });
             match checked {
                 Ok(outcome) => {
                     states_explored = outcome.explore.states;
@@ -331,11 +444,24 @@ pub fn check_property(
                     };
                     (outcome, 0, 0)
                 }
+                Err(CheckError::StateLimit(n)) if n < cfg.state_limit => (
+                    // Only the budget's per-property cap can lower the
+                    // limit below the configured one.
+                    PropertyOutcome::BudgetExhausted(format!(
+                        "per-property state cap {n} exhausted"
+                    )),
+                    0,
+                    0,
+                ),
                 Err(CheckError::StateLimit(n)) => (
                     PropertyOutcome::Skipped(format!("state limit {n} exceeded")),
                     0,
                     0,
                 ),
+                Err(CheckError::Budget(e)) => {
+                    (PropertyOutcome::BudgetExhausted(e.to_string()), 0, 0)
+                }
+                Err(CheckError::Panic(msg)) => (PropertyOutcome::Error(msg), 0, 0),
             }
         }
         Check::Linkability(scenario) => {
@@ -369,6 +495,35 @@ pub fn check_property(
         cache_hit: false,
         graph_cache_hit,
         elapsed: start.elapsed(),
+        related_attack: prop.related_attack,
+    }
+}
+
+/// The result slot for a property whose check panicked outright (past
+/// the cached-build isolation): zeroed counters, an [`Error`] outcome
+/// carrying the panic payload.
+///
+/// [`Error`]: PropertyOutcome::Error
+fn panicked_property_result(
+    prop: &NasProperty,
+    message: String,
+    elapsed: std::time::Duration,
+) -> PropertyResult {
+    PropertyResult {
+        property_id: prop.id,
+        title: prop.title,
+        category: prop.category,
+        expectation: prop.expectation,
+        outcome: PropertyOutcome::Error(format!("isolated panic: {message}")),
+        cegar_iterations: 0,
+        refinements: 0,
+        states_explored: 0,
+        peak_queue: 0,
+        cpv_queries: 0,
+        nodes_reused: 0,
+        cache_hit: false,
+        graph_cache_hit: None,
+        elapsed,
         related_attack: prop.related_attack,
     }
 }
@@ -426,10 +581,23 @@ pub fn analyze_implementation(
         .collect();
     let slots: Vec<OnceLock<PropertyResult>> = props.iter().map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
+    // One meter for the whole run: the total-state cap and deadline are
+    // charged by every worker against the same account.
+    let meter = cfg.budget.start();
     let work = || loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(prop) = props.get(i) else { break };
-        let result = check_property(prop, &models, implementation, cfg, &cache);
+        // A panic inside one property's check is that property's
+        // failure, nobody else's: the worker survives, the result slot
+        // gets an explicit `Error` outcome, and the sibling properties'
+        // results are untouched.
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check_property_metered(prop, &models, implementation, cfg, &cache, &meter)
+        }))
+        .unwrap_or_else(|payload| {
+            panicked_property_result(prop, panic_message(payload), start.elapsed())
+        });
         slots[i]
             .set(result)
             .expect("each index is claimed exactly once");
@@ -481,6 +649,26 @@ pub fn analyze_implementation(
             result.states_explored = 0;
         }
     }
+    // Degraded-outcome accounting, in registry order like everything
+    // after the pool. The counters are recorded even when zero so the
+    // telemetry shape is identical for clean and degraded runs.
+    let mut degraded = DegradedStats::default();
+    for r in &results {
+        match &r.outcome {
+            PropertyOutcome::BudgetExhausted(_) => degraded.budget_exhausted += 1,
+            PropertyOutcome::Error(_) => degraded.panics_isolated += 1,
+            PropertyOutcome::Skipped(_) => degraded.skipped += 1,
+            _ => {}
+        }
+    }
+    cfg.collector.add(
+        "degraded.budget_exhausted",
+        degraded.budget_exhausted as u64,
+    );
+    cfg.collector
+        .add("degraded.panics_isolated", degraded.panics_isolated as u64);
+    cfg.collector
+        .add("degraded.skipped", degraded.skipped as u64);
     // Marks go out after the pool, in registry order, so the event
     // stream is identical for every thread count.
     for r in &results {
@@ -503,6 +691,7 @@ pub fn analyze_implementation(
         coverage: models.coverage,
         cache_stats: cache.stats(),
         graph_cache_stats: cache.graph_stats(),
+        degraded,
     }
 }
 

@@ -24,6 +24,16 @@ pub enum PropertyOutcome {
     /// Property not applicable to this model (vocabulary missing) or the
     /// check did not converge; the reason is attached.
     Skipped(String),
+    /// The check was cut short by the run's [`Budget`] (wall-clock
+    /// deadline, per-property state cap, or total-state cap); the
+    /// exhausted limit is attached. A degraded outcome, never a finding.
+    ///
+    /// [`Budget`]: procheck_smv::Budget
+    BudgetExhausted(String),
+    /// The check (or a stage it depended on) panicked; the panic was
+    /// isolated to this property and the payload message is attached.
+    /// A degraded outcome, never a finding.
+    Error(String),
 }
 
 impl PropertyOutcome {
@@ -37,7 +47,53 @@ impl PropertyOutcome {
             PropertyOutcome::Equivalent => "equivalent",
             PropertyOutcome::Distinguishable(_) => "distinguishable",
             PropertyOutcome::Skipped(_) => "skipped",
+            PropertyOutcome::BudgetExhausted(_) => "budget-exhausted",
+            PropertyOutcome::Error(_) => "error",
         }
+    }
+
+    /// True for the degraded outcomes ([`Skipped`], [`BudgetExhausted`],
+    /// [`Error`]) — no verdict was reached, so the result can be neither
+    /// conforming nor a finding.
+    ///
+    /// [`Skipped`]: PropertyOutcome::Skipped
+    /// [`BudgetExhausted`]: PropertyOutcome::BudgetExhausted
+    /// [`Error`]: PropertyOutcome::Error
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self,
+            PropertyOutcome::Skipped(_)
+                | PropertyOutcome::BudgetExhausted(_)
+                | PropertyOutcome::Error(_)
+        )
+    }
+}
+
+/// Counts of degraded (verdict-less) property outcomes for one run.
+/// A clean run has all zeros; CI gates on [`DegradedStats::total`]
+/// staying zero for the full-registry analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedStats {
+    /// Checks cut short by the analysis [`Budget`].
+    ///
+    /// [`Budget`]: procheck_smv::Budget
+    pub budget_exhausted: usize,
+    /// Checks that panicked and were isolated to their property.
+    pub panics_isolated: usize,
+    /// Checks skipped (inapplicable vocabulary, state limit, CEGAR
+    /// bound).
+    pub skipped: usize,
+}
+
+impl DegradedStats {
+    /// All degraded outcomes together.
+    pub fn total(&self) -> usize {
+        self.budget_exhausted + self.panics_isolated + self.skipped
+    }
+
+    /// True when every property reached a real verdict.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
     }
 }
 

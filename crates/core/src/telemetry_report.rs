@@ -91,6 +91,13 @@ pub struct StageTotals {
     pub cpv_queries: u64,
     /// Adversarial steps the CPV validated.
     pub cpv_steps: u64,
+    /// Properties degraded by budget exhaustion (deadline or state
+    /// caps). Zero on a clean run.
+    pub degraded_budget_exhausted: u64,
+    /// Properties degraded by an isolated panic. Zero on a clean run.
+    pub degraded_panics_isolated: u64,
+    /// Properties skipped (inapplicable, state limit, CEGAR bound).
+    pub degraded_skipped: u64,
     /// Wall-clock microseconds per recorded stage span, summed by name
     /// (non-deterministic), sorted by name.
     pub stage_elapsed_us: Vec<(String, u64)>,
@@ -114,6 +121,12 @@ impl StageTotals {
         } else {
             self.graph_cache_hits as f64 / self.graph_cache_lookups as f64
         }
+    }
+
+    /// All degraded property outcomes together — the number CI requires
+    /// to be zero on a clean run.
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded_budget_exhausted + self.degraded_panics_isolated + self.degraded_skipped
     }
 
     /// Total state visits across the run: distinct exploration
@@ -154,6 +167,9 @@ impl StageTotals {
             cegar_iterations: get("cegar.iterations"),
             cpv_queries: get("cpv.queries"),
             cpv_steps: get("cpv.steps"),
+            degraded_budget_exhausted: get("degraded.budget_exhausted"),
+            degraded_panics_isolated: get("degraded.panics_isolated"),
+            degraded_skipped: get("degraded.skipped"),
             stage_elapsed_us: spans.into_iter().collect(),
         }
     }
@@ -263,6 +279,14 @@ impl TelemetryReport {
             out,
             "          {} CEGAR iterations, {} CPV queries ({} adversarial steps)",
             t.cegar_iterations, t.cpv_queries, t.cpv_steps
+        );
+        let _ = writeln!(
+            out,
+            "          degraded: {} ({} budget-exhausted, {} isolated panics, {} skipped)",
+            t.degraded_total(),
+            t.degraded_budget_exhausted,
+            t.degraded_panics_isolated,
+            t.degraded_skipped
         );
         for (name, us) in &t.stage_elapsed_us {
             let _ = writeln!(out, "          span {:20} {:>10} us", name, us);
@@ -383,6 +407,22 @@ impl TelemetryReport {
         ));
         out.push_str(&format!("    \"cpv_queries\": {},\n", t.cpv_queries));
         out.push_str(&format!("    \"cpv_steps\": {},\n", t.cpv_steps));
+        out.push_str(&format!(
+            "    \"degraded_budget_exhausted\": {},\n",
+            t.degraded_budget_exhausted
+        ));
+        out.push_str(&format!(
+            "    \"degraded_panics_isolated\": {},\n",
+            t.degraded_panics_isolated
+        ));
+        out.push_str(&format!(
+            "    \"degraded_skipped\": {},\n",
+            t.degraded_skipped
+        ));
+        out.push_str(&format!(
+            "    \"degraded_total\": {},\n",
+            t.degraded_total()
+        ));
         out.push_str("    \"stage_elapsed_us\": {");
         out.push_str(
             &t.stage_elapsed_us
@@ -511,6 +551,24 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"symbols_interned\""));
         assert!(json.contains("\"expr_reresolved\": 0"));
+    }
+
+    /// A clean run reports a zero degraded section — in the totals, the
+    /// JSON payload (which CI gates on), and the text rendering.
+    #[test]
+    fn clean_runs_report_zero_degraded() {
+        let (report, _) = run(&["S01", "S02", "PR07"], 2);
+        let t = &report.totals;
+        assert_eq!(t.degraded_total(), 0);
+        assert_eq!(t.degraded_budget_exhausted, 0);
+        assert_eq!(t.degraded_panics_isolated, 0);
+        assert_eq!(t.degraded_skipped, 0);
+        let json = report.to_json();
+        assert!(json.contains("\"degraded_total\": 0"));
+        assert!(json.contains("\"degraded_budget_exhausted\": 0"));
+        assert!(report
+            .render_text()
+            .contains("degraded: 0 (0 budget-exhausted, 0 isolated panics, 0 skipped)"));
     }
 
     /// Rendered JSON parses with the crate's own parser and preserves

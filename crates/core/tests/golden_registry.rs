@@ -71,7 +71,9 @@ fn render_snapshot() -> String {
             continue;
         };
         let threat_cfg = prop.slice.threat_config();
-        let model = cache.get_or_build(&models.ue, &models.mme, &threat_cfg);
+        let model = cache
+            .get_or_build(&models.ue, &models.mme, &threat_cfg)
+            .expect("golden models compose cleanly");
         let semantics = StepSemantics::new(threat_cfg.clone());
         if procheck_smv::checker::validate_property(&model, p).is_err() {
             let _ = writeln!(out, "{}|not-applicable", prop.id);

@@ -259,6 +259,28 @@ pub fn extract_fsm_traced(
     cfg: &ExtractorConfig,
     collector: &Collector,
 ) -> Fsm {
+    // Deterministic fault-injection boundary (test/CI builds only):
+    // `Truncate` extracts from the first half of the log, `Garbage`
+    // from the log with a bogus record spliced in front, and `Panic`
+    // unwinds here for the caller's isolation layer to catch.
+    #[cfg(feature = "fault-inject")]
+    let faulted: std::borrow::Cow<'_, [LogRecord]> =
+        match procheck_faults::inject(procheck_faults::FaultSite::Extractor, Some(name)) {
+            Some(procheck_faults::DataFault::Truncate) => {
+                std::borrow::Cow::Owned(log[..log.len() / 2].to_vec())
+            }
+            Some(procheck_faults::DataFault::Garbage) => {
+                let mut spliced = vec![LogRecord::Marker {
+                    name: "trigger".into(),
+                    value: "\u{fffd}garbage\u{fffd}".into(),
+                }];
+                spliced.extend_from_slice(log);
+                std::borrow::Cow::Owned(spliced)
+            }
+            None => std::borrow::Cow::Borrowed(log),
+        };
+    #[cfg(feature = "fault-inject")]
+    let log: &[LogRecord] = &faulted;
     let _span = collector.span("extract.fsm");
     let mut blocks_opened: u64 = 0;
     let mut fsm = Fsm::new(name);

@@ -39,5 +39,5 @@ pub mod record;
 pub mod sink;
 pub mod source;
 
-pub use record::{parse_log, LogRecord};
+pub use record::{parse_log, parse_log_checked, LogParseIssue, LogParseReason, LogRecord};
 pub use sink::{Instrumentation, NullInstrumentation, Recorder};

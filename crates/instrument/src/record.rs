@@ -131,21 +131,87 @@ pub fn render_log(log: &[LogRecord]) -> String {
     out
 }
 
+/// Why [`parse_log_checked`] rejected one `[pc]`-prefixed line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogParseReason {
+    /// The line carries the `[pc]` prefix but was cut off before a
+    /// complete `kind argument` pair (e.g. `[pc] enter` with no name).
+    TruncatedRecord,
+    /// A `global`/`local`/`marker` record missing its `name=value`
+    /// assignment.
+    MissingAssignment {
+        /// The record kind that demanded an assignment.
+        kind: String,
+    },
+    /// A record kind the format does not define (garbage or corruption).
+    UnknownKind {
+        /// The unrecognized kind token.
+        kind: String,
+    },
+}
+
+impl fmt::Display for LogParseReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogParseReason::TruncatedRecord => write!(f, "truncated record"),
+            LogParseReason::MissingAssignment { kind } => {
+                write!(f, "{kind} record missing name=value assignment")
+            }
+            LogParseReason::UnknownKind { kind } => write!(f, "unknown record kind {kind:?}"),
+        }
+    }
+}
+
+/// One malformed instrumented line, located by (1-based) line number.
+/// Lines *without* the `[pc]` prefix are never issues — interleaved
+/// test-framework chatter is expected, not malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogParseIssue {
+    /// 1-based line number in the parsed text.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: LogParseReason,
+}
+
+impl fmt::Display for LogParseIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
 /// Parses a textual log back into records.
 ///
 /// Lines not bearing the `[pc]` prefix are ignored — real conformance logs
 /// interleave the instrumentation output with ordinary test-framework
 /// chatter, and the extractor must tolerate that. Malformed `[pc]` lines
-/// are also skipped (robustness to truncated logs is exercised by tests).
+/// are also skipped; use [`parse_log_checked`] to have each one surfaced
+/// as a typed [`LogParseIssue`] instead of dropped silently.
 pub fn parse_log(text: &str) -> Vec<LogRecord> {
+    parse_log_checked(text).0
+}
+
+/// [`parse_log`] that also reports every malformed `[pc]` line as a
+/// [`LogParseIssue`] (line number + reason) instead of dropping it
+/// silently. The records are exactly what [`parse_log`] returns; this
+/// function never panics, whatever the input — truncated lines, garbage
+/// kinds, and missing assignments all land in the issue list.
+pub fn parse_log_checked(text: &str) -> (Vec<LogRecord>, Vec<LogParseIssue>) {
     let mut out = Vec::new();
-    for line in text.lines() {
+    let mut issues = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let mut reject = |reason: LogParseReason| {
+            issues.push(LogParseIssue {
+                line: idx + 1,
+                reason,
+            });
+        };
         let line = line.trim();
         let Some(rest) = line.strip_prefix(LINE_PREFIX) else {
             continue;
         };
         let rest = rest.trim_start();
         let Some((kind, arg)) = rest.split_once(' ') else {
+            reject(LogParseReason::TruncatedRecord);
             continue;
         };
         let arg = arg.trim();
@@ -154,6 +220,9 @@ pub fn parse_log(text: &str) -> Vec<LogRecord> {
             "exit" => LogRecord::exit(arg),
             "global" | "local" | "marker" => {
                 let Some((name, value)) = arg.split_once('=') else {
+                    reject(LogParseReason::MissingAssignment {
+                        kind: kind.to_string(),
+                    });
                     continue;
                 };
                 let (name, value) = (name.trim().to_string(), value.trim().to_string());
@@ -163,11 +232,16 @@ pub fn parse_log(text: &str) -> Vec<LogRecord> {
                     _ => LogRecord::Marker { name, value },
                 }
             }
-            _ => continue,
+            _ => {
+                reject(LogParseReason::UnknownKind {
+                    kind: kind.to_string(),
+                });
+                continue;
+            }
         };
         out.push(rec);
     }
-    out
+    (out, issues)
 }
 
 #[cfg(test)]
@@ -217,6 +291,60 @@ random stderr noise
 ";
         let log = parse_log(text);
         assert_eq!(log, vec![LogRecord::local("ok", "1")]);
+    }
+
+    #[test]
+    fn checked_parse_reports_typed_issues_with_line_numbers() {
+        let text = "\
+INFO: framework chatter (not an issue)
+[pc] enter
+[pc] global no_equals_sign
+[pc] unknownkind x
+[pc] local ok=1
+";
+        let (records, issues) = parse_log_checked(text);
+        assert_eq!(records, vec![LogRecord::local("ok", "1")]);
+        assert_eq!(
+            issues,
+            vec![
+                LogParseIssue {
+                    line: 2,
+                    reason: LogParseReason::TruncatedRecord
+                },
+                LogParseIssue {
+                    line: 3,
+                    reason: LogParseReason::MissingAssignment {
+                        kind: "global".into()
+                    }
+                },
+                LogParseIssue {
+                    line: 4,
+                    reason: LogParseReason::UnknownKind {
+                        kind: "unknownkind".into()
+                    }
+                },
+            ]
+        );
+        assert_eq!(issues[0].to_string(), "line 2: truncated record");
+        assert_eq!(
+            issues[2].to_string(),
+            "line 4: unknown record kind \"unknownkind\""
+        );
+    }
+
+    #[test]
+    fn checked_parse_agrees_with_lenient_parse() {
+        let text = "\
+[pc] marker testcase=TC
+garbage \u{0} bytes \u{fffd}\u{fffd}
+[pc] enter recv
+[pc] exi
+[pc] global emm_state=EMM_NULL
+";
+        let (records, issues) = parse_log_checked(text);
+        assert_eq!(records, parse_log(text));
+        assert_eq!(records.len(), 3);
+        assert_eq!(issues.len(), 1, "{issues:?}");
     }
 
     #[test]

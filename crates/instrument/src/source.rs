@@ -106,7 +106,7 @@ fn local_decl_of(line: &str) -> Option<String> {
     if toks.len() < 2 {
         return None;
     }
-    let name = toks.last().unwrap().trim_start_matches('*');
+    let name = toks.last()?.trim_start_matches('*');
     let ty = toks[0];
     const TYPES: &[&str] = &[
         "int", "bool", "char", "short", "long", "unsigned", "uint8_t", "uint16_t", "uint32_t",

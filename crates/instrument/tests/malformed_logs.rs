@@ -1,0 +1,86 @@
+//! Malformed-log corpus: the parser must degrade, never panic.
+//!
+//! Each fixture under `tests/fixtures/` is a conformance log damaged in
+//! a way observed in the wild — cut off mid-record, spliced with binary
+//! garbage, or interleaved with framework chatter. [`parse_log_checked`]
+//! must consume every one without panicking, return exactly the records
+//! the lenient [`parse_log`] returns, and surface each malformed `[pc]`
+//! line as a typed [`LogParseIssue`] with its line number.
+
+use procheck_instrument::{parse_log, parse_log_checked, LogParseReason};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {}: {e}", path.display()))
+}
+
+/// Every fixture parses without panicking, and the checked parse returns
+/// the same records as the lenient one (the issues are *extra*
+/// information, never a behaviour change).
+#[test]
+fn corpus_parses_without_panicking_and_agrees_with_lenient_parse() {
+    for name in [
+        "truncated_tail.log",
+        "garbage_bytes.log",
+        "interleaved_clean.log",
+    ] {
+        let text = fixture(name);
+        let (records, issues) = parse_log_checked(&text);
+        assert_eq!(records, parse_log(&text), "{name}");
+        for issue in &issues {
+            assert!(issue.line >= 1, "{name}: {issue}");
+            assert!(
+                issue.line <= text.lines().count(),
+                "{name}: issue past EOF: {issue}"
+            );
+        }
+    }
+}
+
+/// A log cut off mid-record keeps its intact prefix and reports each
+/// truncated line by number.
+#[test]
+fn truncated_log_surfaces_line_numbers() {
+    let (records, issues) = parse_log_checked(&fixture("truncated_tail.log"));
+    assert_eq!(records.len(), 8, "intact prefix fully recovered");
+    let lines: Vec<usize> = issues.iter().map(|i| i.line).collect();
+    assert_eq!(lines, vec![9, 10, 11]);
+    assert!(issues
+        .iter()
+        .all(|i| i.reason == LogParseReason::TruncatedRecord));
+}
+
+/// Binary garbage spliced into the log yields typed issues — unknown
+/// kinds and missing assignments — while intact records still parse.
+#[test]
+fn garbage_log_surfaces_typed_reasons() {
+    let (records, issues) = parse_log_checked(&fixture("garbage_bytes.log"));
+    assert!(
+        records
+            .iter()
+            .any(|r| r.function_name() == Some("recv_attach_accept")),
+        "intact records recovered around the damage"
+    );
+    let unknown = issues
+        .iter()
+        .filter(|i| matches!(i.reason, LogParseReason::UnknownKind { .. }))
+        .count();
+    let missing = issues
+        .iter()
+        .filter(|i| matches!(i.reason, LogParseReason::MissingAssignment { .. }))
+        .count();
+    assert_eq!(unknown, 2, "{issues:?}");
+    assert_eq!(missing, 1, "{issues:?}");
+}
+
+/// Framework chatter between records is expected input, not damage: a
+/// clean interleaved log produces zero issues.
+#[test]
+fn interleaved_chatter_is_not_an_issue() {
+    let (records, issues) = parse_log_checked(&fixture("interleaved_clean.log"));
+    assert_eq!(records.len(), 6);
+    assert!(issues.is_empty(), "{issues:?}");
+}

@@ -1,0 +1,268 @@
+//! Cooperative resource budgets for exploration and queries.
+//!
+//! A [`Budget`] caps what one *analysis run* may spend: wall-clock time,
+//! states per property, and total states across every graph build and
+//! product query in the run. The engine never polls a clock or an atomic
+//! on the per-state hot path; instead the BFS loops call
+//! [`BudgetMeter::charge_and_probe`] once every [`PROBE_STRIDE`] pops
+//! (and [`BudgetMeter::is_limited`] short-circuits the whole thing to a
+//! single branch when no budget is set, which is how the unlimited
+//! default stays off the benchmark floor).
+//!
+//! Exhaustion is *not* an abort: it surfaces as
+//! [`CheckError::Budget`](crate::checker::CheckError::Budget) carrying a
+//! [`BudgetExceeded`] reason, with partial
+//! [`CheckStats`](crate::checker::CheckStats) absorbed exactly like the
+//! state-limit path, so the pipeline can report a degraded per-property
+//! outcome and keep going.
+//!
+//! Determinism: the total-state and per-property caps are count-based
+//! and probed at fixed pop counts, so at one worker thread the same
+//! budget trips at the same state every run (the CI deadline test relies
+//! on this — see `crates/core/tests/budget_degradation.rs`). The
+//! wall-clock deadline is inherently racy and is meant for operational
+//! ceilings, not reproducible tests.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How many BFS pops between budget probes. A power of two so the loop
+/// test compiles to a mask; small enough that a deadline overshoots by
+/// at most a few thousand cheap state expansions.
+pub const PROBE_STRIDE: usize = 1024;
+
+/// Resource limits for one analysis run. The default is unlimited in
+/// every dimension, which costs one predictable branch per
+/// [`PROBE_STRIDE`] pops and nothing else.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock ceiling for the whole run.
+    pub deadline: Option<Duration>,
+    /// Cap on states a single property's exploration may intern (applied
+    /// by callers as `min(state_limit, property_states)`).
+    pub property_states: Option<usize>,
+    /// Cap on states interned across *all* graph builds and product
+    /// queries in the run, shared by every worker thread.
+    pub total_states: Option<u64>,
+}
+
+impl Budget {
+    /// No limits in any dimension.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// True when no dimension is capped.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.property_states.is_none() && self.total_states.is_none()
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Sets the per-property state cap.
+    pub fn with_property_states(mut self, n: usize) -> Self {
+        self.property_states = Some(n);
+        self
+    }
+
+    /// Sets the run-wide total-state cap.
+    pub fn with_total_states(mut self, n: u64) -> Self {
+        self.total_states = Some(n);
+        self
+    }
+
+    /// The effective per-property state limit given the caller's default.
+    pub fn property_limit(&self, default: usize) -> usize {
+        match self.property_states {
+            Some(cap) => cap.min(default),
+            None => default,
+        }
+    }
+
+    /// Starts the clock: converts the declarative budget into a live
+    /// meter. One meter serves a whole run; workers share it by
+    /// reference.
+    pub fn start(&self) -> BudgetMeter {
+        BudgetMeter {
+            deadline: self.deadline.map(|d| (Instant::now() + d, d)),
+            total_cap: self.total_states,
+            total: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Why a budget probe failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The run's wall-clock deadline passed.
+    Deadline {
+        /// The configured ceiling.
+        limit: Duration,
+    },
+    /// The run-wide total-state cap was reached.
+    TotalStates {
+        /// The configured cap.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetExceeded::Deadline { limit } => {
+                write!(f, "wall-clock deadline of {limit:?} exceeded")
+            }
+            BudgetExceeded::TotalStates { limit } => {
+                write!(f, "run-wide budget of {limit} total states exhausted")
+            }
+        }
+    }
+}
+
+/// A started [`Budget`]: the deadline resolved to an instant and the
+/// shared total-state counter. All methods take `&self`, so one meter is
+/// shared across worker threads for the duration of a run.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    deadline: Option<(Instant, Duration)>,
+    total_cap: Option<u64>,
+    total: AtomicU64,
+}
+
+impl BudgetMeter {
+    /// A meter that never trips — the delegation target for every legacy
+    /// entry point, so un-budgeted callers see byte-identical behaviour.
+    pub fn unlimited() -> Self {
+        Budget::unlimited().start()
+    }
+
+    /// True when any dimension is capped. The BFS loops test this once
+    /// per probe window and skip all accounting when it is false.
+    #[inline]
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.total_cap.is_some()
+    }
+
+    /// States charged against the total cap so far (across all threads).
+    pub fn total_charged(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Charges `n` freshly interned states and checks every capped
+    /// dimension. Count-based caps are checked before the clock so that
+    /// count-limited runs fail deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first exceeded dimension as a [`BudgetExceeded`].
+    pub fn charge_and_probe(&self, n: u64) -> Result<(), BudgetExceeded> {
+        let total = self.total.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(cap) = self.total_cap {
+            if total > cap {
+                return Err(BudgetExceeded::TotalStates { limit: cap });
+            }
+        }
+        if let Some((at, limit)) = self.deadline {
+            if Instant::now() >= at {
+                return Err(BudgetExceeded::Deadline { limit });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders a panic payload (as caught by `std::panic::catch_unwind`)
+/// into the human-readable message used by
+/// [`CheckError::Panic`](crate::checker::CheckError::Panic) and degraded
+/// property outcomes. `&str` and `String` payloads (everything `panic!`
+/// produces) come through verbatim; anything else gets a placeholder.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_meter_never_trips() {
+        let m = BudgetMeter::unlimited();
+        assert!(!m.is_limited());
+        for _ in 0..64 {
+            m.charge_and_probe(u64::MAX / 128).expect("unlimited");
+        }
+    }
+
+    #[test]
+    fn total_state_cap_trips_deterministically() {
+        let m = Budget::unlimited().with_total_states(100).start();
+        assert!(m.is_limited());
+        m.charge_and_probe(60).expect("under cap");
+        m.charge_and_probe(40).expect("exactly at cap");
+        let err = m.charge_and_probe(1).expect_err("over cap");
+        assert_eq!(err, BudgetExceeded::TotalStates { limit: 100 });
+        assert_eq!(m.total_charged(), 101);
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let m = Budget::unlimited().with_deadline(Duration::ZERO).start();
+        let err = m.charge_and_probe(0).expect_err("deadline passed");
+        assert!(matches!(err, BudgetExceeded::Deadline { .. }));
+    }
+
+    #[test]
+    fn count_caps_probe_before_the_clock() {
+        // Both dimensions exceeded: the count cap must win, so tests
+        // that combine a deadline with a tiny count cap stay
+        // deterministic.
+        let m = Budget::unlimited()
+            .with_total_states(10)
+            .with_deadline(Duration::ZERO)
+            .start();
+        let err = m.charge_and_probe(11).expect_err("both exceeded");
+        assert_eq!(err, BudgetExceeded::TotalStates { limit: 10 });
+    }
+
+    #[test]
+    fn property_limit_is_min_of_cap_and_default() {
+        let b = Budget::unlimited().with_property_states(500);
+        assert_eq!(b.property_limit(1000), 500);
+        assert_eq!(b.property_limit(100), 100);
+        assert_eq!(Budget::unlimited().property_limit(1000), 1000);
+    }
+
+    #[test]
+    fn budget_builder_round_trip() {
+        let b = Budget::unlimited()
+            .with_deadline(Duration::from_secs(5))
+            .with_property_states(1_000)
+            .with_total_states(1_000_000);
+        assert!(!b.is_unlimited());
+        assert_eq!(b.deadline, Some(Duration::from_secs(5)));
+        assert_eq!(b.property_states, Some(1_000));
+        assert_eq!(b.total_states, Some(1_000_000));
+        assert!(Budget::default().is_unlimited());
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(panic_message(p), "boom");
+        let p = std::panic::catch_unwind(|| panic!("with {}", 42)).unwrap_err();
+        assert_eq!(panic_message(p), "with 42");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(panic_message(p), "non-string panic payload");
+    }
+}

@@ -23,6 +23,7 @@
 //! phases for one-shot callers and behaves exactly like the historical
 //! single-pass checker.
 
+use crate::budget::{BudgetExceeded, BudgetMeter, PROBE_STRIDE};
 use crate::expr::Expr;
 use crate::fxhash::{FxBuildHasher, FxHashMap};
 use crate::model::Model;
@@ -171,6 +172,12 @@ pub enum CheckError {
     InvalidModel(Vec<String>),
     /// The reachable product exceeded the state limit.
     StateLimit(usize),
+    /// A run-level [`crate::budget::Budget`] dimension was exhausted
+    /// mid-exploration; partial stats were absorbed before returning.
+    Budget(BudgetExceeded),
+    /// A panic was caught and isolated to one unit of work (a cache
+    /// build or a property check); the payload message is preserved.
+    Panic(String),
 }
 
 impl fmt::Display for CheckError {
@@ -180,6 +187,8 @@ impl fmt::Display for CheckError {
                 write!(f, "invalid model: {}", problems.join("; "))
             }
             CheckError::StateLimit(n) => write!(f, "state limit of {n} states exceeded"),
+            CheckError::Budget(e) => write!(f, "analysis budget exhausted: {e}"),
+            CheckError::Panic(msg) => write!(f, "isolated panic: {msg}"),
         }
     }
 }
@@ -682,7 +691,7 @@ pub fn build_reach_graph_stats(
     stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
     let c = CompiledModel::new(model)?;
-    explore_graph(&c, limit, stats)
+    explore_graph(&c, limit, &BudgetMeter::unlimited(), stats)
 }
 
 /// [`build_reach_graph_stats`] over an already-compiled model — the
@@ -697,12 +706,32 @@ pub fn build_reach_graph_compiled(
     limit: usize,
     stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
-    explore_graph(model, limit, stats)
+    explore_graph(model, limit, &BudgetMeter::unlimited(), stats)
+}
+
+/// [`build_reach_graph_compiled`] under a live [`BudgetMeter`]: freshly
+/// interned states are charged against the run-wide budget every
+/// [`PROBE_STRIDE`] pops, and exhaustion aborts this build (with partial
+/// stats absorbed, like the state-limit path) without touching any other
+/// work sharing the meter.
+///
+/// # Errors
+///
+/// [`CheckError::StateLimit`] past `limit`; [`CheckError::Budget`] when
+/// the meter trips.
+pub fn build_reach_graph_budgeted(
+    model: &CompiledModel,
+    limit: usize,
+    meter: &BudgetMeter,
+    stats: &mut CheckStats,
+) -> Result<ReachGraph, CheckError> {
+    explore_graph(model, limit, meter, stats)
 }
 
 fn explore_graph(
     c: &CompiledModel,
     limit: usize,
+    meter: &BudgetMeter,
     stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
     let num_vars = c.num_vars();
@@ -751,6 +780,8 @@ fn explore_graph(
     // BFS with an implicit queue: pop order equals intern order, so the
     // frontier is just the ids in `next..len` and the CSR offsets can be
     // sealed as each node is popped.
+    let budgeted = meter.is_limited();
+    let mut charged: usize = 0;
     let mut next: usize = 0;
     while next < b.len() {
         if b.len() > limit {
@@ -762,6 +793,20 @@ fn explore_graph(
                 peak_queue,
             });
             return Err(CheckError::StateLimit(limit));
+        }
+        if budgeted && next.is_multiple_of(PROBE_STRIDE) {
+            let fresh = (b.len() - charged) as u64;
+            charged = b.len();
+            if let Err(e) = meter.charge_and_probe(fresh) {
+                let states = b.len() as u64;
+                STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
+                stats.absorb(CheckStats {
+                    states,
+                    transitions,
+                    peak_queue,
+                });
+                return Err(CheckError::Budget(e));
+            }
         }
         let id = next as u32;
         next += 1;
@@ -791,6 +836,12 @@ fn explore_graph(
         peak_queue = peak_queue.max((b.len() - next) as u64);
     }
 
+    if budgeted {
+        // Charge the tail states so the *next* build sharing this meter
+        // sees an accurate run total; completed work is never failed
+        // retroactively, so the probe result is deliberately ignored.
+        let _ = meter.charge_and_probe((b.len() - charged) as u64);
+    }
     let states = b.len() as u64;
     STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
     let build_stats = CheckStats {
@@ -862,6 +913,7 @@ fn product_intern(
 /// masks command ids a CEGAR refinement has removed; a node whose
 /// outgoing commands are all masked gets the stutter self-loop the
 /// filtered model would have.
+#[allow(clippy::too_many_arguments)]
 fn product_bfs(
     g: &ReachGraph,
     excluded: Option<&CmdIdSet>,
@@ -869,6 +921,7 @@ fn product_bfs(
     step_flag: impl Fn(bool, u32) -> bool,
     record_edges: bool,
     limit: usize,
+    meter: &BudgetMeter,
     stats: &mut QueryStats,
 ) -> Result<ProductGraph, CheckError> {
     let cap = g.node_count().max(1);
@@ -888,6 +941,8 @@ fn product_bfs(
         product_intern(&mut pg, &mut index, gid, init_flag(gid), None, record_edges);
     }
     let mut peak_queue = pg.nodes.len() as u64;
+    let budgeted = meter.is_limited();
+    let mut charged = 0usize;
     let mut next = 0usize;
     while next < pg.nodes.len() {
         if pg.nodes.len() > limit {
@@ -899,6 +954,20 @@ fn product_bfs(
                 exprs_resolved: 0,
             });
             return Err(CheckError::StateLimit(limit));
+        }
+        if budgeted && next.is_multiple_of(PROBE_STRIDE) {
+            let fresh = (pg.nodes.len() - charged) as u64;
+            charged = pg.nodes.len();
+            if let Err(e) = meter.charge_and_probe(fresh) {
+                stats.absorb(QueryStats {
+                    nodes_reused: pg.nodes.len() as u64,
+                    product_states: pg.nodes.len() as u64,
+                    transitions,
+                    peak_queue,
+                    exprs_resolved: 0,
+                });
+                return Err(CheckError::Budget(e));
+            }
         }
         let pid = next as u32;
         next += 1;
@@ -946,6 +1015,11 @@ fn product_bfs(
             }
         }
         peak_queue = peak_queue.max((pg.nodes.len() - next) as u64);
+    }
+    if budgeted {
+        // Tail charge: keep the shared run total accurate without
+        // failing work that already completed.
+        let _ = meter.charge_and_probe((pg.nodes.len() - charged) as u64);
     }
     stats.absorb(QueryStats {
         nodes_reused: pg.nodes.len() as u64,
@@ -1083,6 +1157,35 @@ pub fn check_on_graph(
     limit: usize,
     stats: &mut QueryStats,
 ) -> Result<Verdict, CheckError> {
+    check_on_graph_budgeted(
+        model,
+        graph,
+        property,
+        excluded,
+        limit,
+        &BudgetMeter::unlimited(),
+        stats,
+    )
+}
+
+/// [`check_on_graph`] under a live [`BudgetMeter`]: product-monitor
+/// states interned by the query are charged against the run-wide budget,
+/// so a CEGAR re-query can exhaust the run's budget just like a graph
+/// build can.
+///
+/// # Errors
+///
+/// Same as [`check_on_graph`], plus [`CheckError::Budget`] when the
+/// meter trips.
+pub fn check_on_graph_budgeted(
+    model: &CompiledModel,
+    graph: &ReachGraph,
+    property: &CompiledProperty,
+    excluded: &CmdIdSet,
+    limit: usize,
+    meter: &BudgetMeter,
+    stats: &mut QueryStats,
+) -> Result<Verdict, CheckError> {
     if model.num_vars() != graph.num_vars() {
         return Err(CheckError::InvalidModel(vec![format!(
             "graph/model mismatch: graph has {} variables, model declares {}",
@@ -1090,7 +1193,7 @@ pub fn check_on_graph(
             model.num_vars()
         )]));
     }
-    check_compiled_on_graph(model, graph, property, excluded, limit, stats)
+    check_compiled_on_graph(model, graph, property, excluded, limit, meter, stats)
 }
 
 /// [`check_on_graph`] for callers still holding a source [`Model`] and a
@@ -1132,12 +1235,14 @@ fn property_expr_count(property: &Property) -> u64 {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_compiled_on_graph(
     c: &CompiledModel,
     g: &ReachGraph,
     property: &CompiledProperty,
     excluded: &CmdIdSet,
     limit: usize,
+    meter: &BudgetMeter,
     stats: &mut QueryStats,
 ) -> Result<Verdict, CheckError> {
     let excluded_cmds: Option<&CmdIdSet> = if excluded.is_empty() {
@@ -1156,8 +1261,16 @@ fn check_compiled_on_graph(
                 }),
                 Some(mask) => {
                     let holds_at = eval_nodes(g, holds);
-                    let pg =
-                        product_bfs(g, Some(mask), |_| false, |_, _| false, false, limit, stats)?;
+                    let pg = product_bfs(
+                        g,
+                        Some(mask),
+                        |_| false,
+                        |_, _| false,
+                        false,
+                        limit,
+                        meter,
+                        stats,
+                    )?;
                     Ok(
                         match scan_product(c, g, &pg, |gid, _| !holds_at[gid as usize]) {
                             Some(ce) => Verdict::Violated(ce),
@@ -1174,7 +1287,16 @@ fn check_compiled_on_graph(
             }),
             Some(mask) => {
                 let goal_at = eval_nodes(g, goal);
-                let pg = product_bfs(g, Some(mask), |_| false, |_, _| false, false, limit, stats)?;
+                let pg = product_bfs(
+                    g,
+                    Some(mask),
+                    |_| false,
+                    |_, _| false,
+                    false,
+                    limit,
+                    meter,
+                    stats,
+                )?;
                 Ok(
                     match scan_product(c, g, &pg, |gid, _| goal_at[gid as usize]) {
                         Some(ce) => Verdict::Reachable(ce),
@@ -1198,6 +1320,7 @@ fn check_compiled_on_graph(
                 |f, gid| f || before_at[gid as usize],
                 false,
                 limit,
+                meter,
                 stats,
             )?;
             Ok(
@@ -1208,11 +1331,12 @@ fn check_compiled_on_graph(
             )
         }
         CProp::Response { trigger, response } => {
-            check_response_on_graph(c, g, trigger, response, excluded_cmds, limit, stats)
+            check_response_on_graph(c, g, trigger, response, excluded_cmds, limit, meter, stats)
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_response_on_graph(
     c: &CompiledModel,
     g: &ReachGraph,
@@ -1220,6 +1344,7 @@ fn check_response_on_graph(
     response: &CExpr,
     excluded: Option<&CmdIdSet>,
     limit: usize,
+    meter: &BudgetMeter,
     stats: &mut QueryStats,
 ) -> Result<Verdict, CheckError> {
     // Obligation monitor: pending' = (pending ∨ trigger(s')) ∧ ¬response(s').
@@ -1232,6 +1357,7 @@ fn check_response_on_graph(
         |f, gid| (f || trig_at[gid as usize]) && !resp_at[gid as usize],
         true,
         limit,
+        meter,
         stats,
     )?;
 
@@ -1273,14 +1399,14 @@ fn check_response_on_graph(
 
 /// Checks a property with the default state limit.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the model fails validation or the state space exceeds
-/// [`DEFAULT_STATE_LIMIT`] — use [`check_bounded`] to handle those as
-/// errors.
-pub fn check(model: &Model, property: &Property) -> Verdict {
+/// Returns [`CheckError::InvalidModel`] if the model fails validation
+/// and [`CheckError::StateLimit`] if the state space exceeds
+/// [`DEFAULT_STATE_LIMIT`] — use [`check_bounded`] for an explicit
+/// limit. This API never panics.
+pub fn check(model: &Model, property: &Property) -> Result<Verdict, CheckError> {
     check_bounded(model, property, DEFAULT_STATE_LIMIT)
-        .unwrap_or_else(|e| panic!("model check failed: {e}"))
 }
 
 /// Explores the reachable state space and reports its size.
@@ -1373,9 +1499,10 @@ pub fn check_bounded_stats(
     // preserving the historical error precedence (model problems, then
     // property problems, then state-limit blowups).
     let cp = c.compile_property(property)?;
-    let g = explore_graph(&c, limit, stats)?;
+    let meter = BudgetMeter::unlimited();
+    let g = explore_graph(&c, limit, &meter, stats)?;
     let mut q = QueryStats::default();
-    let verdict = check_compiled_on_graph(&c, &g, &cp, &c.exclusion_set(), limit, &mut q)?;
+    let verdict = check_compiled_on_graph(&c, &g, &cp, &c.exclusion_set(), limit, &meter, &mut q)?;
     stats.absorb(CheckStats {
         states: q.product_states,
         transitions: q.transitions,
@@ -1564,6 +1691,12 @@ mod tests {
     use super::*;
     use crate::model::GuardedCmd;
 
+    /// `check` with the error path unwrapped — every model in this
+    /// module is valid and far below the default state limit.
+    fn chk(m: &Model, p: &Property) -> Verdict {
+        check(m, p).expect("test model valid")
+    }
+
     /// A 3-state token ring: idle -> req -> done -> idle.
     fn ring(with_drop: bool) -> Model {
         let mut m = Model::new("ring");
@@ -1581,12 +1714,12 @@ mod tests {
     #[test]
     fn invariant_holds() {
         let m = ring(false);
-        let v = check(
+        let v = chk(
             &m,
             &Property::invariant("no_ghost", Expr::var_ne("st", "done")),
         );
         assert!(matches!(v, Verdict::Violated(_)), "done is reachable");
-        let v2 = check(
+        let v2 = chk(
             &m,
             &Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"])),
         );
@@ -1596,7 +1729,7 @@ mod tests {
     #[test]
     fn invariant_counterexample_is_shortest_path() {
         let m = ring(false);
-        let Verdict::Violated(ce) = check(
+        let Verdict::Violated(ce) = chk(
             &m,
             &Property::invariant("never_done", Expr::var_ne("st", "done")),
         ) else {
@@ -1611,7 +1744,7 @@ mod tests {
     fn reachability() {
         let m = ring(false);
         assert!(matches!(
-            check(
+            chk(
                 &m,
                 &Property::reachable("can_serve", Expr::var_eq("st", "done"))
             ),
@@ -1620,7 +1753,7 @@ mod tests {
         let mut m2 = Model::new("m2");
         m2.declare_var("x", &["a", "b"], &["a"]);
         assert_eq!(
-            check(&m2, &Property::reachable("never_b", Expr::var_eq("x", "b"))),
+            chk(&m2, &Property::reachable("never_b", Expr::var_eq("x", "b"))),
             Verdict::Unreachable
         );
     }
@@ -1633,7 +1766,7 @@ mod tests {
             Expr::var_eq("st", "req"),
             Expr::var_eq("st", "done"),
         );
-        assert_eq!(check(&m, &p), Verdict::Holds);
+        assert_eq!(chk(&m, &p), Verdict::Holds);
     }
 
     #[test]
@@ -1644,7 +1777,7 @@ mod tests {
             Expr::var_eq("st", "req"),
             Expr::var_eq("st", "done"),
         );
-        let Verdict::Violated(ce) = check(&m, &p) else {
+        let Verdict::Violated(ce) = chk(&m, &p) else {
             panic!("adversary stall must violate response");
         };
         assert!(ce.is_lasso());
@@ -1664,7 +1797,7 @@ mod tests {
             Expr::var_eq("st", "req"),
             Expr::var_eq("st", "done"),
         );
-        assert_eq!(check(&m, &p), Verdict::Holds);
+        assert_eq!(chk(&m, &p), Verdict::Holds);
     }
 
     #[test]
@@ -1677,7 +1810,7 @@ mod tests {
             Expr::var_eq("st", "waiting"),
             Expr::var_eq("st", "go"),
         );
-        let Verdict::Violated(ce) = check(&m, &p) else {
+        let Verdict::Violated(ce) = chk(&m, &p) else {
             panic!("deadlock must violate response");
         };
         assert!(ce.steps.iter().any(|s| s.label == "stutter"));
@@ -1695,7 +1828,7 @@ mod tests {
             Expr::var_eq("st", "data"),
             Expr::var_eq("st", "auth"),
         );
-        let Verdict::Violated(ce) = check(&m, &p) else {
+        let Verdict::Violated(ce) = chk(&m, &p) else {
             panic!("skip path must violate precedence");
         };
         assert_eq!(ce.command_labels(), vec!["skip_auth"]);
@@ -1712,17 +1845,17 @@ mod tests {
             Expr::var_eq("st", "data"),
             Expr::var_eq("st", "auth"),
         );
-        assert_eq!(check(&m, &p), Verdict::Holds);
+        assert_eq!(chk(&m, &p), Verdict::Holds);
     }
 
     #[test]
     fn multiple_initial_states_explored() {
         let mut m = Model::new("multi");
         m.declare_var("x", &["a", "b", "c"], &["a", "b"]);
-        let v = check(&m, &Property::reachable("from_b", Expr::var_eq("x", "b")));
+        let v = chk(&m, &Property::reachable("from_b", Expr::var_eq("x", "b")));
         assert!(matches!(v, Verdict::Reachable(_)));
         assert_eq!(
-            check(&m, &Property::reachable("c", Expr::var_eq("x", "c"))),
+            chk(&m, &Property::reachable("c", Expr::var_eq("x", "c"))),
             Verdict::Unreachable
         );
     }
@@ -1763,7 +1896,7 @@ mod tests {
     fn telemetry_counts_explored_states() {
         let before = states_explored_total();
         let m = ring(false);
-        check(
+        chk(
             &m,
             &Property::invariant("domain", Expr::var_in("st", ["idle", "req", "done"])),
         );
@@ -2053,5 +2186,104 @@ mod tests {
         let via_validate = validate_property(&m, &bad).unwrap_err();
         let via_check = check_bounded(&m, &bad, 1000).unwrap_err();
         assert_eq!(via_validate, via_check);
+    }
+
+    /// 12 one-way boolean toggles: 2^12 = 4096 reachable states, enough
+    /// to cross several [`PROBE_STRIDE`] windows.
+    fn lattice() -> Model {
+        let mut m = Model::new("lattice");
+        for i in 0..12 {
+            let name = format!("b{i}");
+            m.declare_var(&name, &["0", "1"], &["0"]);
+            m.add_command(
+                GuardedCmd::new(format!("set{i}"), Expr::var_eq(name.clone(), "0"))
+                    .set(name.clone(), "1"),
+            );
+        }
+        m
+    }
+
+    #[test]
+    fn budget_total_state_cap_degrades_build_deterministically() {
+        use crate::budget::Budget;
+        let budget = Budget::unlimited().with_total_states(2000);
+        let run = || {
+            let c = CompiledModel::new(&lattice()).expect("valid");
+            let meter = budget.start();
+            let mut stats = CheckStats::default();
+            let err = build_reach_graph_budgeted(&c, 1_000_000, &meter, &mut stats)
+                .expect_err("cap below 4096 reachable states");
+            (err, stats)
+        };
+        let (err, stats) = run();
+        assert_eq!(
+            err,
+            CheckError::Budget(BudgetExceeded::TotalStates { limit: 2000 })
+        );
+        assert!(
+            stats.states > 0 && stats.transitions > 0,
+            "partial stats absorbed on the budget path: {stats:?}"
+        );
+        // Count-based exhaustion is reproducible: same trip point, same
+        // partial stats, every run.
+        let (err2, stats2) = run();
+        assert_eq!(err, err2);
+        assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    fn budget_zero_deadline_degrades_build() {
+        use crate::budget::Budget;
+        let c = CompiledModel::new(&lattice()).expect("valid");
+        let meter = Budget::unlimited()
+            .with_deadline(std::time::Duration::ZERO)
+            .start();
+        let mut stats = CheckStats::default();
+        let err = build_reach_graph_budgeted(&c, 1_000_000, &meter, &mut stats)
+            .expect_err("deadline already passed");
+        assert!(matches!(
+            err,
+            CheckError::Budget(BudgetExceeded::Deadline { .. })
+        ));
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_build() {
+        let c = CompiledModel::new(&lattice()).expect("valid");
+        let mut s1 = CheckStats::default();
+        let g1 = build_reach_graph_compiled(&c, 1_000_000, &mut s1).expect("fits");
+        let mut s2 = CheckStats::default();
+        let g2 = build_reach_graph_budgeted(&c, 1_000_000, &BudgetMeter::unlimited(), &mut s2)
+            .expect("fits");
+        assert_eq!(g1.node_count(), 4096);
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn budget_charges_product_queries_too() {
+        use crate::budget::Budget;
+        let m = ring(true);
+        let c = CompiledModel::new(&m).expect("valid");
+        let mut build = CheckStats::default();
+        let g = build_reach_graph_compiled(&c, 1000, &mut build).expect("tiny");
+        let p = c
+            .compile_property(&Property::response(
+                "served",
+                Expr::var_eq("st", "req"),
+                Expr::var_eq("st", "done"),
+            ))
+            .expect("valid property");
+        // Saturate the cap up front: the query's first probe must trip.
+        let meter = Budget::unlimited().with_total_states(10).start();
+        meter.charge_and_probe(10).expect("exactly at cap");
+        let mut q = QueryStats::default();
+        let err = check_on_graph_budgeted(&c, &g, &p, &c.exclusion_set(), 1000, &meter, &mut q)
+            .expect_err("query budget exhausted");
+        assert_eq!(
+            err,
+            CheckError::Budget(BudgetExceeded::TotalStates { limit: 10 })
+        );
     }
 }

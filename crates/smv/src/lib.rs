@@ -42,10 +42,12 @@
 //!     .set("light", "off"));
 //!
 //! // "the light is never stuck": on is reachable
-//! let verdict = check(&m, &Property::reachable("can_turn_on", Expr::var_eq("light", "on")));
+//! let verdict = check(&m, &Property::reachable("can_turn_on", Expr::var_eq("light", "on")))
+//!     .expect("valid model");
 //! assert!(matches!(verdict, Verdict::Reachable(_)));
 //! ```
 
+pub mod budget;
 pub mod checker;
 pub mod expr;
 pub mod fxhash;
@@ -54,6 +56,7 @@ pub mod reach;
 pub mod smvformat;
 pub mod trace;
 
+pub use budget::{Budget, BudgetExceeded, BudgetMeter};
 pub use checker::{check, CompiledModel, CompiledProperty, Property, Verdict};
 pub use expr::Expr;
 pub use model::{GuardedCmd, Model};

@@ -2,7 +2,24 @@
 //! nested `Not`) and disjunctive initial states — the expression forms
 //! the threat builder and property authors may emit.
 
-use procheck_smv::checker::{check, check_bounded, Property, Verdict};
+use procheck_smv::checker::{check, check_bounded, CheckError, Property, Verdict};
+use procheck_smv::model::Model as SmvModel;
+
+/// `check` with the error path unwrapped — every model here is valid.
+fn chk(m: &SmvModel, p: &Property) -> Verdict {
+    check(m, p).expect("test model valid")
+}
+
+/// The retired panicking convenience path now surfaces validation
+/// problems as typed errors.
+#[test]
+fn check_returns_typed_error_for_invalid_model() {
+    let mut m = SmvModel::new("bad");
+    m.declare_var("x", &["0"], &["0"]);
+    let err = check(&m, &Property::reachable("oops", Expr::var_eq("y", "1")))
+        .expect_err("undeclared variable");
+    assert!(matches!(err, CheckError::InvalidModel(_)));
+}
 use procheck_smv::expr::Expr;
 use procheck_smv::model::{GuardedCmd, Model};
 
@@ -20,12 +37,12 @@ fn in_guard_and_in_property() {
     let mut m = counter();
     // A reset that fires only from the upper half of the domain.
     m.add_command(GuardedCmd::new("reset", Expr::var_in("x", ["2", "3"])).set("x", "0"));
-    let v = check(
+    let v = chk(
         &m,
         &Property::invariant("bounded", Expr::var_in("x", ["0", "1", "2", "3"])),
     );
     assert_eq!(v, Verdict::Holds);
-    let v2 = check(
+    let v2 = chk(
         &m,
         &Property::reachable("resettable", Expr::var_eq("x", "0")),
     );
@@ -35,7 +52,7 @@ fn in_guard_and_in_property() {
 #[test]
 fn or_and_implies_properties() {
     let m = counter();
-    let v = check(
+    let v = chk(
         &m,
         &Property::invariant(
             "or_form",
@@ -43,7 +60,7 @@ fn or_and_implies_properties() {
         ),
     );
     assert_eq!(v, Verdict::Holds);
-    let v2 = check(
+    let v2 = chk(
         &m,
         &Property::invariant(
             "implies_form",
@@ -64,7 +81,7 @@ fn or_and_implies_properties() {
 #[test]
 fn nested_not_evaluates() {
     let m = counter();
-    let v = check(
+    let v = chk(
         &m,
         &Property::invariant(
             "double_neg",
@@ -79,7 +96,7 @@ fn disjunctive_initial_states_all_explored() {
     let m = counter();
     // From init {0,1}: both 0-origin and 1-origin paths exist; a witness
     // for x=1 must be length zero (initial state), not via inc0.
-    let Verdict::Reachable(ce) = check(&m, &Property::reachable("one", Expr::var_eq("x", "1")))
+    let Verdict::Reachable(ce) = chk(&m, &Property::reachable("one", Expr::var_eq("x", "1")))
     else {
         panic!("x=1 reachable");
     };
@@ -100,10 +117,10 @@ fn implies_in_guard() {
         )
         .set("a", "1"),
     );
-    let v = check(&m, &Property::reachable("a1", Expr::var_eq("a", "1")));
+    let v = chk(&m, &Property::reachable("a1", Expr::var_eq("a", "1")));
     assert!(matches!(v, Verdict::Reachable(_)));
     // After a=1 (b still 0) the guard is false: a cannot change further,
     // and b=1 is unreachable.
-    let v2 = check(&m, &Property::reachable("b1", Expr::var_eq("b", "1")));
+    let v2 = chk(&m, &Property::reachable("b1", Expr::var_eq("b", "1")));
     assert_eq!(v2, Verdict::Unreachable);
 }

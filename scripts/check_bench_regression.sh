@@ -18,6 +18,10 @@
 #                            stay explore-once, so any rise past the
 #                            committed ceiling means graphs are being
 #                            rebuilt or slices regressed
+#   * degraded_total       — must be exactly zero: a clean benchmark run
+#                            has no budget exhaustions, no isolated
+#                            panics, no skips; any non-zero value means
+#                            the pipeline silently degraded
 #
 # The two graph-cache gates are skipped when the telemetry reports zero
 # graph-cache lookups — i.e. the artifacts came from a
@@ -86,6 +90,16 @@ if graph_cache_active:
 else:
     print("  max_states_explored: skipped (zero graph-cache lookups; "
           "PROCHECK_NO_GRAPH_CACHE artifacts)")
+
+# Clean runs must be clean: any degraded property outcome (budget
+# exhaustion, isolated panic, skip) in a benchmark run is a bug, not a
+# perf question. Older telemetry payloads predate the field; default 0.
+degraded = totals.get("degraded_total", 0)
+ok = degraded == 0
+print(f"  degraded_total: current {degraded}, required 0 "
+      f"-> {'ok' if ok else 'REGRESSION'}")
+if not ok:
+    failures.append("degraded_total")
 
 if failures:
     sys.exit(f"benchmark regression: {', '.join(failures)} regressed "
