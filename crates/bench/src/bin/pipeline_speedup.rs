@@ -24,7 +24,10 @@
 use procheck::pipeline::{analyze_implementation, extract_models, AnalysisConfig};
 use procheck::telemetry_report::TelemetryReport;
 use procheck_props::{distinct_threat_configs, registry};
-use procheck_smv::checker::states_explored_total;
+use procheck_smv::checker::{
+    build_reach_graph_budgeted, states_explored_total, CheckStats, CompiledModel,
+};
+use procheck_smv::BudgetMeter;
 use procheck_stack::quirks::Implementation;
 use procheck_telemetry::Collector;
 use procheck_threat::build_threat_model;
@@ -33,6 +36,12 @@ use std::path::Path;
 use std::time::Instant;
 
 const CANDIDATE_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Worker widths for the intra-graph exploration scaling sweep. Unlike
+/// the property-pool sweep this one is *not* capped at the hardware
+/// width: the rows carry an `oversubscribed` flag instead, and the
+/// regression gate only enforces floors when `hardware_threads >= 4`.
+const EXPLORE_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
 /// The sweep actually run: serial, the classic powers of two that fit
 /// the machine, and the machine's own width — deduplicated, ascending.
@@ -156,6 +165,73 @@ fn main() {
         per_property_secs / distinct_secs.max(1e-9)
     );
 
+    // Intra-graph exploration scaling: the distinct threat-config
+    // graphs explored back-to-back at each worker width, bypassing the
+    // property pool and the cache so the number isolates the frontier
+    // itself. Graphs are identical at every width (asserted), so the
+    // wall-clock ratio is a pure scheduling measurement.
+    let state_limit = AnalysisConfig::default().state_limit;
+    let compiled: Vec<CompiledModel> = distinct_threat_models
+        .iter()
+        .map(|cfg| {
+            CompiledModel::new(&build_threat_model(&models.ue, &models.mme, cfg))
+                .expect("composed threat models are valid")
+        })
+        .collect();
+    // Warm-up pass so the first measured width does not pay for page
+    // faults and allocator growth.
+    for c in &compiled {
+        let mut s = CheckStats::default();
+        let _ = build_reach_graph_budgeted(c, state_limit, &BudgetMeter::unlimited(), &mut s, 1);
+    }
+    let mut explore_rows: Vec<(usize, f64, u64)> = Vec::new();
+    for &width in &EXPLORE_WIDTHS {
+        let start = Instant::now();
+        let mut states = 0u64;
+        for c in &compiled {
+            let mut s = CheckStats::default();
+            let g = build_reach_graph_budgeted(
+                c,
+                state_limit,
+                &BudgetMeter::unlimited(),
+                &mut s,
+                width,
+            )
+            .expect("registry graphs fit the default state limit");
+            states += g.build_stats().states;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "  explore workers={width}: {secs:.3}s  ({:.0} states/s){}",
+            states as f64 / secs.max(1e-9),
+            if width > hardware {
+                "  [oversubscribed]"
+            } else {
+                ""
+            }
+        );
+        explore_rows.push((width, secs, states));
+    }
+    let explore_serial_states = explore_rows[0].2;
+    for &(width, _, states) in &explore_rows {
+        assert_eq!(
+            states, explore_serial_states,
+            "exploration at {width} workers interned a different state count"
+        );
+    }
+    let explore_serial_secs = explore_rows[0].1;
+    let speedup_at_4 = explore_rows
+        .iter()
+        .find(|&&(w, _, _)| w == 4)
+        .map(|&(_, secs, _)| explore_serial_secs / secs.max(1e-9));
+    // The floor the regression gate compares against: the best
+    // states/sec among genuinely parallel, non-oversubscribed rows.
+    let parallel_states_per_sec = explore_rows
+        .iter()
+        .filter(|&&(w, _, _)| w > 1 && w <= hardware)
+        .map(|&(_, secs, states)| states as f64 / secs.max(1e-9))
+        .fold(None::<f64>, |acc, r| Some(acc.map_or(r, |a| a.max(r))));
+
     let (report, collector) = last_run.expect("at least one measured run");
     let telemetry = TelemetryReport::from_run(&report, &collector);
     let graph = &report.graph_cache_stats;
@@ -193,6 +269,33 @@ fn main() {
         "  \"best_speedup_vs_serial\": {:.3},",
         serial / best.max(1e-9)
     );
+    let _ = writeln!(json, "  \"explore_scaling\": {{");
+    let _ = writeln!(json, "    \"hardware_threads\": {hardware},");
+    let _ = writeln!(json, "    \"runs\": [");
+    for (i, (width, secs, states)) in explore_rows.iter().enumerate() {
+        let comma = if i + 1 < explore_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{\"workers\": {width}, \"oversubscribed\": {}, \
+             \"wall_clock_secs\": {secs:.4}, \"states_explored\": {states}, \
+             \"states_per_sec\": {:.0}, \"speedup_vs_serial\": {:.3}}}{comma}",
+            *width > hardware,
+            *states as f64 / secs.max(1e-9),
+            explore_serial_secs / secs.max(1e-9)
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(
+        json,
+        "    \"speedup_at_4_workers\": {},",
+        speedup_at_4.map_or("null".into(), |s| format!("{s:.3}"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"parallel_states_per_sec\": {}",
+        parallel_states_per_sec.map_or("null".into(), |r| format!("{r:.0}"))
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"graph_cache\": {{");
     let _ = writeln!(json, "    \"lookups\": {},", graph.lookups);
     let _ = writeln!(json, "    \"builds\": {},", graph.builds);

@@ -223,8 +223,15 @@ impl ThreatModelCache {
         model: &CompiledModel,
         cfg: &ThreatConfig,
         state_limit: usize,
+        explore_threads: usize,
     ) -> Result<Arc<ReachGraph>, CheckError> {
-        self.get_or_build_graph_traced(model, cfg, state_limit, &Collector::disabled())
+        self.get_or_build_graph_traced(
+            model,
+            cfg,
+            state_limit,
+            explore_threads,
+            &Collector::disabled(),
+        )
     }
 
     /// [`Self::get_or_build_graph`] that also records
@@ -244,6 +251,7 @@ impl ThreatModelCache {
         model: &CompiledModel,
         cfg: &ThreatConfig,
         state_limit: usize,
+        explore_threads: usize,
         collector: &Collector,
     ) -> Result<Arc<ReachGraph>, CheckError> {
         self.get_or_build_graph_budgeted(
@@ -251,6 +259,7 @@ impl ThreatModelCache {
             cfg,
             state_limit,
             &BudgetMeter::unlimited(),
+            explore_threads,
             collector,
         )
     }
@@ -272,6 +281,7 @@ impl ThreatModelCache {
         cfg: &ThreatConfig,
         state_limit: usize,
         meter: &BudgetMeter,
+        explore_threads: usize,
         collector: &Collector,
     ) -> Result<Arc<ReachGraph>, CheckError> {
         self.graph_lookups.fetch_add(1, Ordering::Relaxed);
@@ -290,8 +300,14 @@ impl ThreatModelCache {
                 #[cfg(feature = "fault-inject")]
                 procheck_faults::inject(procheck_faults::FaultSite::GraphBuild, None);
                 let mut stats = CheckStats::default();
-                let result =
-                    build_reach_graph_budgeted(model, state_limit, meter, &mut stats).map(Arc::new);
+                let result = build_reach_graph_budgeted(
+                    model,
+                    state_limit,
+                    meter,
+                    &mut stats,
+                    explore_threads,
+                )
+                .map(Arc::new);
                 (result, stats)
             }))
             .unwrap_or_else(|p| {
@@ -303,6 +319,14 @@ impl ThreatModelCache {
             collector.add("smv.states_explored", stats.states);
             collector.add("smv.transitions", stats.transitions);
             collector.record_max("smv.peak_queue", stats.peak_queue);
+            if let Ok(graph) = &result {
+                // Exploration-shape telemetry: BFS depth and peak level
+                // width are worker-count-invariant by construction, so
+                // these stay byte-stable across `explore_threads`.
+                collector.record_max("explore.workers", u64::from(graph.explore_workers()));
+                collector.add("explore.levels", u64::from(graph.levels()));
+                collector.record_max("explore.peak_level", graph.peak_level());
+            }
             (result, stats)
         });
         if !built_now {
@@ -430,7 +454,7 @@ mod tests {
         for _ in 0..3 {
             graphs.push(
                 cache
-                    .get_or_build_graph_traced(&compiled, &cfg, 1_000_000, &collector)
+                    .get_or_build_graph_traced(&compiled, &cfg, 1_000_000, 1, &collector)
                     .unwrap(),
             );
         }
@@ -502,8 +526,8 @@ mod tests {
         let cfg = registry()[0].slice.threat_config();
         let model = cache.get_or_build(&ue, &mme, &cfg).expect("compose");
         let compiled = cache.get_or_compile(&model, &cfg).unwrap();
-        let a = cache.get_or_build_graph(&compiled, &cfg, 1).unwrap_err();
-        let b = cache.get_or_build_graph(&compiled, &cfg, 1).unwrap_err();
+        let a = cache.get_or_build_graph(&compiled, &cfg, 1, 1).unwrap_err();
+        let b = cache.get_or_build_graph(&compiled, &cfg, 1, 1).unwrap_err();
         assert!(matches!(a, CheckError::StateLimit(1)));
         assert_eq!(a, b);
         assert_eq!(cache.graph_stats().builds, 1);
@@ -528,11 +552,11 @@ mod tests {
         meter.charge_and_probe(1).expect("exactly at cap");
         let collector = Collector::disabled();
         let a = cache
-            .get_or_build_graph_budgeted(&compiled, &cfg, 1_000_000, &meter, &collector)
+            .get_or_build_graph_budgeted(&compiled, &cfg, 1_000_000, &meter, 1, &collector)
             .unwrap_err();
         assert!(matches!(a, CheckError::Budget(_)), "{a:?}");
         let b = cache
-            .get_or_build_graph_traced(&compiled, &cfg, 1_000_000, &collector)
+            .get_or_build_graph_traced(&compiled, &cfg, 1_000_000, 1, &collector)
             .unwrap_err();
         assert_eq!(a, b, "sharers see the cached budget failure");
         assert_eq!(cache.graph_stats().builds, 1);

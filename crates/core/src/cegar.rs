@@ -145,6 +145,7 @@ pub fn cegar_check_traced(
         state_limit,
         max_iterations,
         &BudgetMeter::unlimited(),
+        1,
         collector,
     )
 }
@@ -166,6 +167,7 @@ pub fn cegar_check_budgeted(
     state_limit: usize,
     max_iterations: usize,
     meter: &BudgetMeter,
+    explore_threads: usize,
     collector: &Collector,
 ) -> Result<CegarOutcome, CheckError> {
     // Flush the loop's counter families even when we fail before it
@@ -195,7 +197,7 @@ pub fn cegar_check_budgeted(
     let mut build = CheckStats::default();
     let built = {
         let _span = collector.span("graph.build");
-        build_reach_graph_budgeted(&compiled, state_limit, meter, &mut build)
+        build_reach_graph_budgeted(&compiled, state_limit, meter, &mut build, explore_threads)
     };
     collector.add("smv.states_explored", build.states);
     collector.add("smv.transitions", build.transitions);

@@ -65,6 +65,15 @@ pub struct AnalysisConfig {
     /// to ≥ 1; results are identical (and identically ordered) for any
     /// value.
     pub threads: usize,
+    /// Worker threads for *intra-graph* exploration: each reachability
+    /// graph build runs a level-synchronized parallel BFS at this width
+    /// (1 = the serial path). Node ids, BFS parents, CSR layout, and
+    /// every downstream artifact (traces, DOT, SMV) are byte-identical
+    /// at any value — the frontier merge interns states in the serial
+    /// engine's canonical order. Defaults to `available_parallelism`;
+    /// the `PROCHECK_EXPLORE_THREADS` environment variable overrides
+    /// the default.
+    pub explore_threads: usize,
     /// Share one fully-explored reachability graph per distinct threat
     /// configuration ("explore once, check many"): properties keyed to
     /// the same configuration answer as queries over the cached graph
@@ -96,6 +105,7 @@ impl Default for AnalysisConfig {
             max_cegar_iterations: 24,
             property_filter: None,
             threads: default_threads(),
+            explore_threads: default_explore_threads(),
             graph_cache: std::env::var_os("PROCHECK_NO_GRAPH_CACHE").is_none(),
             collector: Collector::disabled(),
             budget: Budget::unlimited(),
@@ -109,6 +119,20 @@ fn default_threads() -> usize {
     thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Default intra-graph exploration width: the `PROCHECK_EXPLORE_THREADS`
+/// environment variable when it parses to ≥ 1, else
+/// `available_parallelism`. Exploration results are identical at any
+/// width, so the override only moves cost, never verdicts.
+fn default_explore_threads() -> usize {
+    match std::env::var("PROCHECK_EXPLORE_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => default_threads(),
+    }
 }
 
 /// The extracted models plus extraction metadata.
@@ -387,6 +411,7 @@ pub fn check_property_metered(
                                     &threat_cfg,
                                     limit,
                                     meter,
+                                    cfg.explore_threads,
                                     &cfg.collector,
                                 )?;
                                 cegar_check_on_graph_budgeted(
@@ -408,6 +433,7 @@ pub fn check_property_metered(
                             limit,
                             cfg.max_cegar_iterations,
                             meter,
+                            cfg.explore_threads,
                             &cfg.collector,
                         )
                     }

@@ -75,6 +75,17 @@ pub struct StageTotals {
     pub smv_states_explored: u64,
     /// Transitions taken by the model checker.
     pub smv_transitions: u64,
+    /// Widest intra-graph exploration frontier pool used by any build
+    /// (high-water `explore.workers` gauge; 1 = everything serial).
+    pub explore_workers: u64,
+    /// BFS levels walked across all graph builds. Level structure is a
+    /// property of the model, so this total is identical at any
+    /// `explore_threads` width.
+    pub explore_levels: u64,
+    /// Widest single BFS level any build encountered (high-water
+    /// `explore.peak_level` gauge) — the available intra-graph
+    /// parallelism at its best moment.
+    pub explore_peak_level: u64,
     /// Reachability-graph cache lookups.
     pub graph_cache_lookups: u64,
     /// Graphs actually explored (graph-cache misses).
@@ -160,6 +171,9 @@ impl StageTotals {
             expr_reresolved: get("smv.expr_reresolved"),
             smv_states_explored: get("smv.states_explored"),
             smv_transitions: get("smv.transitions"),
+            explore_workers: get("explore.workers"),
+            explore_levels: get("explore.levels"),
+            explore_peak_level: get("explore.peak_level"),
             graph_cache_lookups: get("graph_cache.lookups"),
             graph_cache_builds: get("graph_cache.builds"),
             graph_cache_hits: get("graph_cache.hits"),
@@ -271,6 +285,11 @@ impl TelemetryReport {
         );
         let _ = writeln!(
             out,
+            "          explore: {} worker(s), {} BFS levels, peak level width {}",
+            t.explore_workers, t.explore_levels, t.explore_peak_level
+        );
+        let _ = writeln!(
+            out,
             "          {} compilations for {} lookups, {} symbols interned, \
              {} exprs re-resolved by name",
             t.compile_builds, t.compile_lookups, t.symbols_interned, t.expr_reresolved
@@ -376,6 +395,15 @@ impl TelemetryReport {
         out.push_str(&format!(
             "    \"smv_transitions\": {},\n",
             t.smv_transitions
+        ));
+        out.push_str(&format!(
+            "    \"explore_workers\": {},\n",
+            t.explore_workers
+        ));
+        out.push_str(&format!("    \"explore_levels\": {},\n", t.explore_levels));
+        out.push_str(&format!(
+            "    \"explore_peak_level\": {},\n",
+            t.explore_peak_level
         ));
         out.push_str(&format!(
             "    \"graph_cache_lookups\": {},\n",
@@ -602,8 +630,14 @@ mod tests {
             .and_then(|(_, v)| v.as_object())
             .unwrap();
         assert!(totals.iter().any(|(k, _)| k == "compose_hit_rate"));
+        assert!(totals.iter().any(|(k, _)| k == "explore_workers"));
+        assert!(totals.iter().any(|(k, _)| k == "explore_levels"));
+        assert!(report.totals.explore_workers >= 1, "worker gauge recorded");
+        assert!(report.totals.explore_levels >= 1, "BFS levels recorded");
+        assert!(report.totals.explore_peak_level >= 1, "peak level recorded");
         let rendered = report.render_text();
         assert!(rendered.contains("S01"));
         assert!(rendered.contains("CPV queries"));
+        assert!(rendered.contains("explore:"));
     }
 }

@@ -50,6 +50,46 @@ fn total_state_cap_degrades_deterministically() {
     assert_eq!(run(), run(), "degraded outcomes must be reproducible");
 }
 
+/// Count-cap exhaustion stays bit-deterministic under the *parallel*
+/// exploration frontier: at 4 explore threads the budget is charged at
+/// level barriers, so the trip point depends only on the BFS level
+/// structure — two runs produce identical outcomes AND identical
+/// partial exploration stats, regardless of worker scheduling.
+#[test]
+fn total_state_cap_is_deterministic_at_four_explore_threads() {
+    let run = || {
+        let report = analyze_implementation(
+            Implementation::Reference,
+            &AnalysisConfig {
+                explore_threads: 4,
+                ..cfg(
+                    Budget::unlimited().with_total_states(2_000),
+                    &["S01", "S02", "S03"],
+                )
+            },
+        );
+        assert!(
+            report.degraded.budget_exhausted > 0,
+            "a 2k-state budget cannot cover these slices"
+        );
+        report
+            .results
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}|{:?}|states={}|peak={}",
+                    r.property_id, r.outcome, r.states_explored, r.peak_queue
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "parallel exhaustion must reproduce outcomes and partial stats"
+    );
+}
+
 /// The per-property state cap lowers the effective limit for every
 /// check; tripping it reports `BudgetExhausted`, not the state-limit
 /// skip (the run-level budget is the cause, and the report says so).

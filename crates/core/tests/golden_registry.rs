@@ -29,9 +29,10 @@ use std::path::Path;
 const STATE_LIMIT: usize = 2_000_000;
 const MAX_ITERATIONS: usize = 24;
 
-fn config() -> AnalysisConfig {
+fn config(explore_threads: usize) -> AnalysisConfig {
     AnalysisConfig {
         threads: 1,
+        explore_threads,
         graph_cache: true,
         state_limit: STATE_LIMIT,
         max_cegar_iterations: MAX_ITERATIONS,
@@ -40,15 +41,17 @@ fn config() -> AnalysisConfig {
 }
 
 /// Renders the canonical snapshot text. Deterministic by construction:
-/// no wall-clock fields, single-threaded pipeline, registry order.
-fn render_snapshot() -> String {
+/// no wall-clock fields, single-threaded pipeline, registry order — and
+/// byte-identical at *any* `explore_threads` width, because the parallel
+/// frontier interns states in the serial engine's canonical order.
+fn render_snapshot(explore_threads: usize) -> String {
     let mut out = String::new();
 
     // -- Section 1: the full-registry analysis report ----------------
     // Verdicts and complete counterexample traces via `Debug` (which
     // spells out every step's command label and state assignment), plus
     // the CEGAR trajectory counters.
-    let report = analyze_implementation(Implementation::Reference, &config());
+    let report = analyze_implementation(Implementation::Reference, &config(explore_threads));
     let _ = writeln!(out, "== results: Reference ==");
     for r in &report.results {
         let _ = writeln!(
@@ -63,7 +66,7 @@ fn render_snapshot() -> String {
     // command *labels* (and the underivable terms) are re-derived here
     // per model-checked property, against the same shared graphs the
     // pipeline uses.
-    let models = extract_models(Implementation::Reference, &config());
+    let models = extract_models(Implementation::Reference, &config(explore_threads));
     let cache = ThreatModelCache::new();
     let _ = writeln!(out, "== cegar refinements: Reference ==");
     for prop in registry() {
@@ -82,7 +85,12 @@ fn render_snapshot() -> String {
         let line = match cache
             .get_or_compile(&model, &threat_cfg)
             .and_then(|compiled| {
-                let graph = cache.get_or_build_graph(&compiled, &threat_cfg, STATE_LIMIT)?;
+                let graph = cache.get_or_build_graph(
+                    &compiled,
+                    &threat_cfg,
+                    STATE_LIMIT,
+                    explore_threads,
+                )?;
                 cegar_check_on_graph(
                     &compiled,
                     &graph,
@@ -137,16 +145,8 @@ fn render_snapshot() -> String {
     out
 }
 
-#[test]
-fn registry_outputs_match_committed_snapshot() {
+fn assert_matches_committed(rendered: &str, context: &str) {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/registry.snap");
-    let rendered = render_snapshot();
-    if std::env::var_os("PROCHECK_UPDATE_GOLDEN").is_some() {
-        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &rendered).unwrap();
-        eprintln!("golden snapshot rewritten: {}", path.display());
-        return;
-    }
     let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
         panic!(
             "missing golden snapshot {} ({e}); generate with \
@@ -154,23 +154,52 @@ fn registry_outputs_match_committed_snapshot() {
             path.display()
         )
     });
-    if committed != rendered {
+    if committed != *rendered {
         // Surface the first divergent line, not a multi-megabyte diff.
         for (i, (want, got)) in committed.lines().zip(rendered.lines()).enumerate() {
             assert_eq!(
                 want,
                 got,
-                "golden snapshot diverges at line {} (see {})",
+                "golden snapshot diverges at line {} [{}] (see {})",
                 i + 1,
+                context,
                 path.display()
             );
         }
         assert_eq!(
             committed.lines().count(),
             rendered.lines().count(),
-            "golden snapshot line count diverges (see {})",
+            "golden snapshot line count diverges [{}] (see {})",
+            context,
             path.display()
         );
-        panic!("golden snapshot diverges in line endings only");
+        panic!("golden snapshot diverges in line endings only [{context}]");
+    }
+}
+
+#[test]
+fn registry_outputs_match_committed_snapshot() {
+    let rendered = render_snapshot(1);
+    if std::env::var_os("PROCHECK_UPDATE_GOLDEN").is_some() {
+        let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/registry.snap");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("golden snapshot rewritten: {}", path.display());
+        return;
+    }
+    assert_matches_committed(&rendered, "explore_threads=1");
+}
+
+/// The byte-identity contract of the parallel frontier: the *same*
+/// committed snapshot at every exploration width — node ids, traces,
+/// CEGAR exclusions, DOT, and SMV never depend on the worker count.
+#[test]
+fn registry_outputs_identical_at_any_explore_width() {
+    if std::env::var_os("PROCHECK_UPDATE_GOLDEN").is_some() {
+        return; // regeneration is the serial test's job
+    }
+    for explore_threads in [2, 4, 8] {
+        let rendered = render_snapshot(explore_threads);
+        assert_matches_committed(&rendered, &format!("explore_threads={explore_threads}"));
     }
 }

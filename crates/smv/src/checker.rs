@@ -35,7 +35,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Default bound on explored product states.
 pub const DEFAULT_STATE_LIMIT: usize = 4_000_000;
@@ -619,11 +619,12 @@ impl CompiledModel {
 // Explore phase: building the reachable graph
 // ---------------------------------------------------------------------------
 
-/// Interning state-arena builder. The index tables exist only during the
-/// BFS; the finished [`ReachGraph`] keeps just the arena.
+/// Interning state-arena builder for the wide (unpackable) fallback.
+/// The index table exists only during the BFS; the finished
+/// [`ReachGraph`] keeps just the arena. Packed models use
+/// [`PackedFrontier`] instead.
 struct ArenaBuilder {
     arena: StateArena,
-    packed_index: FxHashMap<u64, u32>,
     wide_index: FxHashMap<Box<[Value]>, u32>,
     parent_node: Vec<u32>,
     parent_cmd: Vec<u32>,
@@ -635,23 +636,11 @@ impl ArenaBuilder {
     }
 
     /// Interns a state, recording BFS parent info on first sight. The
-    /// state is *borrowed*: the packed arena derives a `u64` key from it
-    /// and the wide arena copies it only when it is actually fresh, so
+    /// state is *borrowed*: it is copied only when actually fresh, so
     /// the BFS hot loop never clones per pop or per duplicate successor.
     fn intern(&mut self, s: &[Value], parent: (u32, u32)) -> (u32, bool) {
         match &mut self.arena {
-            StateArena::Packed { layout, keys } => {
-                let key = layout.pack(s);
-                if let Some(&id) = self.packed_index.get(&key) {
-                    return (id, false);
-                }
-                let id = keys.len() as u32;
-                keys.push(key);
-                self.packed_index.insert(key, id);
-                self.parent_node.push(parent.0);
-                self.parent_cmd.push(parent.1);
-                (id, true)
-            }
+            StateArena::Packed { .. } => unreachable!("packed models use PackedFrontier"),
             StateArena::Wide { values, .. } => {
                 if let Some(&id) = self.wide_index.get(s) {
                     return (id, false);
@@ -666,6 +655,10 @@ impl ArenaBuilder {
         }
     }
 }
+
+/// What one parallel-exploration worker produced: its claimed chunks'
+/// outputs, or the panic payload to re-raise on the exploring thread.
+type WorkerOutcome = Result<Vec<(usize, ChunkOut)>, Box<dyn std::any::Any + Send>>;
 
 /// Explores the model's reachable state space once and returns it as a
 /// [`ReachGraph`] ready for any number of property queries.
@@ -691,7 +684,7 @@ pub fn build_reach_graph_stats(
     stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
     let c = CompiledModel::new(model)?;
-    explore_graph(&c, limit, &BudgetMeter::unlimited(), stats)
+    explore_graph(&c, limit, &BudgetMeter::unlimited(), stats, 1)
 }
 
 /// [`build_reach_graph_stats`] over an already-compiled model — the
@@ -706,14 +699,21 @@ pub fn build_reach_graph_compiled(
     limit: usize,
     stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
-    explore_graph(model, limit, &BudgetMeter::unlimited(), stats)
+    explore_graph(model, limit, &BudgetMeter::unlimited(), stats, 1)
 }
 
 /// [`build_reach_graph_compiled`] under a live [`BudgetMeter`]: freshly
 /// interned states are charged against the run-wide budget every
-/// [`PROBE_STRIDE`] pops, and exhaustion aborts this build (with partial
+/// [`PROBE_STRIDE`] pops (serial path) or at each level barrier
+/// (parallel path), and exhaustion aborts this build (with partial
 /// stats absorbed, like the state-limit path) without touching any other
 /// work sharing the meter.
+///
+/// `explore_threads` is the worker count for the level-synchronized
+/// parallel frontier; `1` (or a wide, unpackable arena) keeps the serial
+/// path. Any worker count produces a byte-identical [`ReachGraph`] on
+/// clean runs — node ids, BFS parents, and CSR layout all follow the
+/// canonical `(parent pop order, command index)` intern order.
 ///
 /// # Errors
 ///
@@ -724,8 +724,208 @@ pub fn build_reach_graph_budgeted(
     limit: usize,
     meter: &BudgetMeter,
     stats: &mut CheckStats,
+    explore_threads: usize,
 ) -> Result<ReachGraph, CheckError> {
-    explore_graph(model, limit, meter, stats)
+    explore_graph(model, limit, meter, stats, explore_threads)
+}
+
+/// A guard lowered against a [`PackLayout`]: every atom carries its
+/// variable's field mask precomputed, so evaluation on the raw packed
+/// key is an AND plus a compare — no per-atom layout lookup, no unpack
+/// into a scratch vector. Built once per graph build by
+/// [`lower_packed_cmds`], then evaluated millions of times.
+enum PGuard {
+    True,
+    False,
+    /// `key & mask == bits` — equality against one variable's field.
+    EqBits {
+        mask: u64,
+        bits: u64,
+    },
+    /// `key & mask != bits`.
+    NeBits {
+        mask: u64,
+        bits: u64,
+    },
+    /// Membership via a value bitset (fields up to 6 bits wide, so every
+    /// domain index fits a `u64` bitset).
+    InSmall {
+        shift: u8,
+        mask: u64,
+        allowed: u64,
+    },
+    /// Membership fallback for fields wider than 6 bits.
+    InWide {
+        shift: u8,
+        mask: u64,
+        values: Vec<Value>,
+    },
+    And(Vec<PGuard>),
+    Or(Vec<PGuard>),
+    Not(Box<PGuard>),
+}
+
+impl PGuard {
+    fn eval(&self, key: u64) -> bool {
+        match self {
+            PGuard::True => true,
+            PGuard::False => false,
+            PGuard::EqBits { mask, bits } => key & mask == *bits,
+            PGuard::NeBits { mask, bits } => key & mask != *bits,
+            PGuard::InSmall {
+                shift,
+                mask,
+                allowed,
+            } => (allowed >> ((key >> shift) & mask)) & 1 != 0,
+            PGuard::InWide {
+                shift,
+                mask,
+                values,
+            } => values.contains(&(((key >> shift) & mask) as Value)),
+            PGuard::And(xs) => xs.iter().all(|x| x.eval(key)),
+            PGuard::Or(xs) => xs.iter().any(|x| x.eval(key)),
+            PGuard::Not(x) => !x.eval(key),
+        }
+    }
+}
+
+fn lower_guard(e: &CExpr, l: &PackLayout) -> PGuard {
+    match e {
+        CExpr::True => PGuard::True,
+        CExpr::False => PGuard::False,
+        CExpr::Eq(v, x) => {
+            let (shift, width) = l.field(v.index());
+            let mask = if width == 0 {
+                0
+            } else {
+                (u64::MAX >> (64 - u32::from(width))) << shift
+            };
+            let bits = u64::from(x.0) << shift;
+            if bits & !mask != 0 {
+                // The value does not fit the field: unrepresentable, so
+                // no packed state can ever equal it.
+                PGuard::False
+            } else {
+                PGuard::EqBits { mask, bits }
+            }
+        }
+        CExpr::Ne(v, x) => match lower_guard(&CExpr::Eq(*v, *x), l) {
+            PGuard::False => PGuard::True,
+            PGuard::EqBits { mask, bits } => PGuard::NeBits { mask, bits },
+            _ => unreachable!("Eq lowers to False or EqBits"),
+        },
+        CExpr::In(v, xs) => {
+            let (shift, width) = l.field(v.index());
+            let mask = if width == 0 {
+                0
+            } else {
+                u64::MAX >> (64 - u32::from(width))
+            };
+            if width <= 6 {
+                let mut allowed = 0u64;
+                for x in xs {
+                    if u64::from(x.0) <= mask {
+                        allowed |= 1u64 << x.0;
+                    }
+                }
+                PGuard::InSmall {
+                    shift,
+                    mask,
+                    allowed,
+                }
+            } else {
+                PGuard::InWide {
+                    shift,
+                    mask,
+                    values: xs.iter().map(|x| x.0).collect(),
+                }
+            }
+        }
+        CExpr::And(xs) => PGuard::And(xs.iter().map(|x| lower_guard(x, l)).collect()),
+        CExpr::Or(xs) => PGuard::Or(xs.iter().map(|x| lower_guard(x, l)).collect()),
+        CExpr::Not(x) => PGuard::Not(Box::new(lower_guard(x, l))),
+    }
+}
+
+/// A command lowered against a [`PackLayout`]: guard evaluated directly
+/// on the packed key, updates applied as one `(key & clear) | set`.
+struct PackedCmd {
+    guard: PGuard,
+    clear: u64,
+    set: u64,
+}
+
+fn lower_packed_cmds(c: &CompiledModel, layout: &PackLayout) -> Vec<PackedCmd> {
+    c.commands
+        .iter()
+        .map(|cmd| {
+            let updates: Vec<(usize, Value)> = cmd
+                .updates
+                .iter()
+                .map(|&(vi, value)| (vi.index(), value.0))
+                .collect();
+            let (clear, set) = layout.update_masks(&updates);
+            PackedCmd {
+                guard: lower_guard(&cmd.guard, layout),
+                clear,
+                set,
+            }
+        })
+        .collect()
+}
+
+/// Interner for the packed exploration paths: one `u64` key per state,
+/// BFS parent info recorded on first sight.
+struct PackedFrontier {
+    layout: PackLayout,
+    keys: Vec<u64>,
+    index: FxHashMap<u64, u32>,
+    parent_node: Vec<u32>,
+    parent_cmd: Vec<u32>,
+}
+
+impl PackedFrontier {
+    fn with_capacity(layout: PackLayout, cap: usize) -> Self {
+        PackedFrontier {
+            layout,
+            keys: Vec::with_capacity(cap),
+            index: FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default()),
+            parent_node: Vec::with_capacity(cap),
+            parent_cmd: Vec::with_capacity(cap),
+        }
+    }
+
+    fn intern_key(&mut self, key: u64, parent: (u32, u32)) -> u32 {
+        match self.index.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = self.keys.len() as u32;
+                self.keys.push(key);
+                e.insert(id);
+                self.parent_node.push(parent.0);
+                self.parent_cmd.push(parent.1);
+                id
+            }
+        }
+    }
+}
+
+/// Folds partial exploration cost into `stats` and the process counter
+/// before an aborting error is returned.
+fn abort_partial(
+    stats: &mut CheckStats,
+    states: u64,
+    transitions: u64,
+    peak_queue: u64,
+    err: CheckError,
+) -> CheckError {
+    STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
+    stats.absorb(CheckStats {
+        states,
+        transitions,
+        peak_queue,
+    });
+    err
 }
 
 fn explore_graph(
@@ -733,32 +933,38 @@ fn explore_graph(
     limit: usize,
     meter: &BudgetMeter,
     stats: &mut CheckStats,
+    explore_threads: usize,
+) -> Result<ReachGraph, CheckError> {
+    let domain_sizes: Vec<usize> = c.vars.iter().map(|v| v.domain.len()).collect();
+    match PackLayout::for_domains(&domain_sizes) {
+        Some(layout) if explore_threads > 1 => {
+            explore_packed_parallel(c, layout, limit, meter, stats, explore_threads)
+        }
+        Some(layout) => explore_packed_serial(c, layout, limit, meter, stats),
+        // The wide value-vector fallback keeps the serial path: models
+        // too wide to pack are rare and small in this workload.
+        None => explore_wide(c, limit, meter, stats),
+    }
+}
+
+/// Serial BFS over the wide (unpackable) arena — the original generic
+/// exploration loop, kept verbatim for models whose domain product does
+/// not fit 64 bits.
+fn explore_wide(
+    c: &CompiledModel,
+    limit: usize,
+    meter: &BudgetMeter,
+    stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
     let num_vars = c.num_vars();
-    let domain_sizes: Vec<usize> = c.vars.iter().map(|v| v.domain.len()).collect();
-    let layout = PackLayout::for_domains(&domain_sizes);
-    let packed = layout.is_some();
     let cap = c.capacity_hint(limit);
 
     let mut b = ArenaBuilder {
-        arena: match layout {
-            Some(layout) => StateArena::Packed {
-                layout,
-                keys: Vec::with_capacity(cap),
-            },
-            None => StateArena::Wide {
-                num_vars,
-                values: Vec::new(),
-            },
+        arena: StateArena::Wide {
+            num_vars,
+            values: Vec::new(),
         },
-        packed_index: FxHashMap::with_capacity_and_hasher(
-            if packed { cap } else { 0 },
-            FxBuildHasher::default(),
-        ),
-        wide_index: FxHashMap::with_capacity_and_hasher(
-            if packed { 0 } else { cap },
-            FxBuildHasher::default(),
-        ),
+        wide_index: FxHashMap::with_capacity_and_hasher(cap, FxBuildHasher::default()),
         parent_node: Vec::with_capacity(cap),
         parent_cmd: Vec::with_capacity(cap),
     };
@@ -783,29 +989,35 @@ fn explore_graph(
     let budgeted = meter.is_limited();
     let mut charged: usize = 0;
     let mut next: usize = 0;
+    let mut level_end: usize = 0;
+    let mut levels: u32 = 0;
+    let mut peak_level: u64 = 0;
     while next < b.len() {
+        if next == level_end {
+            level_end = b.len();
+            levels += 1;
+            peak_level = peak_level.max((level_end - next) as u64);
+        }
         if b.len() > limit {
-            let states = b.len() as u64;
-            STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
-            stats.absorb(CheckStats {
-                states,
+            return Err(abort_partial(
+                stats,
+                b.len() as u64,
                 transitions,
                 peak_queue,
-            });
-            return Err(CheckError::StateLimit(limit));
+                CheckError::StateLimit(limit),
+            ));
         }
         if budgeted && next.is_multiple_of(PROBE_STRIDE) {
             let fresh = (b.len() - charged) as u64;
             charged = b.len();
             if let Err(e) = meter.charge_and_probe(fresh) {
-                let states = b.len() as u64;
-                STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
-                stats.absorb(CheckStats {
-                    states,
+                return Err(abort_partial(
+                    stats,
+                    b.len() as u64,
                     transitions,
                     peak_queue,
-                });
-                return Err(CheckError::Budget(e));
+                    CheckError::Budget(e),
+                ));
             }
         }
         let id = next as u32;
@@ -862,7 +1074,423 @@ fn explore_graph(
         pred_off: Vec::new(),
         pred: Vec::new(),
         init_count,
-        packed,
+        packed: false,
+        levels,
+        peak_level,
+        workers: 1,
+        stats: build_stats,
+    };
+    g.build_predecessors();
+    Ok(g)
+}
+
+/// Serial BFS over the packed arena, expanding successors straight from
+/// the raw `u64` key: guards are evaluated field-wise on the key and
+/// updates applied as precomputed `(clear, set)` masks, so the per-pop
+/// `arena.load` unpack into a scratch `Vec<Value>` is gone entirely.
+/// Probe placement (state limit per pop, budget every [`PROBE_STRIDE`]
+/// pops) matches [`explore_wide`] exactly, so partial stats on the error
+/// paths stay bit-identical to the historical serial engine.
+fn explore_packed_serial(
+    c: &CompiledModel,
+    layout: PackLayout,
+    limit: usize,
+    meter: &BudgetMeter,
+    stats: &mut CheckStats,
+) -> Result<ReachGraph, CheckError> {
+    let num_vars = c.num_vars();
+    let cap = c.capacity_hint(limit);
+    let cmds = lower_packed_cmds(c, &layout);
+    let mut f = PackedFrontier::with_capacity(layout, cap);
+
+    for s in c.initial_states() {
+        let key = f.layout.pack(&s);
+        f.intern_key(key, (NO_PARENT, NO_PARENT));
+    }
+    let init_count = f.keys.len() as u32;
+
+    let mut succ_off: Vec<u32> = Vec::with_capacity(cap + 1);
+    succ_off.push(0);
+    let mut succ_cmd: Vec<u32> = Vec::new();
+    let mut succ_node: Vec<u32> = Vec::new();
+    let mut transitions = 0u64;
+    let mut peak_queue = init_count as u64;
+
+    let budgeted = meter.is_limited();
+    let mut charged: usize = 0;
+    let mut next: usize = 0;
+    let mut level_end: usize = 0;
+    let mut levels: u32 = 0;
+    let mut peak_level: u64 = 0;
+    while next < f.keys.len() {
+        if next == level_end {
+            level_end = f.keys.len();
+            levels += 1;
+            peak_level = peak_level.max((level_end - next) as u64);
+        }
+        if f.keys.len() > limit {
+            return Err(abort_partial(
+                stats,
+                f.keys.len() as u64,
+                transitions,
+                peak_queue,
+                CheckError::StateLimit(limit),
+            ));
+        }
+        if budgeted && next.is_multiple_of(PROBE_STRIDE) {
+            let fresh = (f.keys.len() - charged) as u64;
+            charged = f.keys.len();
+            if let Err(e) = meter.charge_and_probe(fresh) {
+                return Err(abort_partial(
+                    stats,
+                    f.keys.len() as u64,
+                    transitions,
+                    peak_queue,
+                    CheckError::Budget(e),
+                ));
+            }
+        }
+        let id = next as u32;
+        next += 1;
+        let key = f.keys[next - 1];
+        let mut any = false;
+        for (i, pc) in cmds.iter().enumerate() {
+            if pc.guard.eval(key) {
+                any = true;
+                transitions += 1;
+                let succ = (key & pc.clear) | pc.set;
+                let sid = f.intern_key(succ, (id, i as u32));
+                succ_cmd.push(i as u32);
+                succ_node.push(sid);
+            }
+        }
+        if !any {
+            transitions += 1;
+            succ_cmd.push(STUTTER_CMD);
+            succ_node.push(id);
+        }
+        succ_off.push(succ_cmd.len() as u32);
+        peak_queue = peak_queue.max((f.keys.len() - next) as u64);
+    }
+
+    if budgeted {
+        let _ = meter.charge_and_probe((f.keys.len() - charged) as u64);
+    }
+    let states = f.keys.len() as u64;
+    STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
+    let build_stats = CheckStats {
+        states,
+        transitions,
+        peak_queue,
+    };
+    stats.absorb(build_stats);
+
+    let mut g = ReachGraph {
+        num_vars,
+        arena: StateArena::Packed {
+            layout: f.layout,
+            keys: f.keys,
+        },
+        parent_node: f.parent_node,
+        parent_cmd: f.parent_cmd,
+        succ_off,
+        succ_cmd,
+        succ_node,
+        pred_off: Vec::new(),
+        pred: Vec::new(),
+        init_count,
+        packed: true,
+        levels,
+        peak_level,
+        workers: 1,
+        stats: build_stats,
+    };
+    g.build_predecessors();
+    Ok(g)
+}
+
+/// Frontier chunk size for the work-sharing parallel loop. Small enough
+/// to balance uneven guard costs across workers, large enough that the
+/// claim counter is not contended.
+const LEVEL_CHUNK: usize = 256;
+
+/// One successor edge emitted by a worker: `known` is the successor's
+/// node id when it was already interned before this level froze, or
+/// `u32::MAX` when `key` is (possibly) fresh and the merge must intern.
+#[derive(Clone, Copy)]
+struct ChunkEdge {
+    cmd: u32,
+    known: u32,
+    key: u64,
+}
+
+/// A worker's output for one claimed chunk: per-node enabled-edge counts
+/// (0 means the merge emits the deadlock stutter) and the flat edge list
+/// in `(node, command index)` order.
+struct ChunkOut {
+    counts: Vec<u32>,
+    edges: Vec<ChunkEdge>,
+}
+
+fn expand_chunk(
+    ci: usize,
+    level_start: usize,
+    level_end: usize,
+    keys: &[u64],
+    index: &FxHashMap<u64, u32>,
+    cmds: &[PackedCmd],
+) -> ChunkOut {
+    let lo = level_start + ci * LEVEL_CHUNK;
+    let hi = (lo + LEVEL_CHUNK).min(level_end);
+    let mut counts = Vec::with_capacity(hi - lo);
+    let mut edges = Vec::new();
+    for &key in &keys[lo..hi] {
+        let mut cnt = 0u32;
+        for (i, pc) in cmds.iter().enumerate() {
+            if pc.guard.eval(key) {
+                let succ = (key & pc.clear) | pc.set;
+                let known = index.get(&succ).copied().unwrap_or(u32::MAX);
+                edges.push(ChunkEdge {
+                    cmd: i as u32,
+                    known,
+                    key: succ,
+                });
+                cnt += 1;
+            }
+        }
+        counts.push(cnt);
+    }
+    ChunkOut { counts, edges }
+}
+
+/// Level-synchronized parallel BFS over the packed arena.
+///
+/// Each level `[level_start, level_end)` is frozen before expansion:
+/// workers claim [`LEVEL_CHUNK`]-sized chunks from an atomic counter and
+/// expand them against the *read-only* key arena and visited table,
+/// writing successors into per-chunk buffers (claim order is
+/// load-balancing only — every chunk's output lands in its own slot).
+/// A single-threaded merge then walks the chunks in pop order and
+/// interns fresh states in canonical `(parent pop order, command index)`
+/// order. Because everything interned before the freeze has an id below
+/// `level_end`, and the serial engine also hands out all ids ≥
+/// `level_end` in exactly that canonical order, node ids, BFS parents,
+/// CSR layout, `peak_queue`, and transition counts are byte-identical to
+/// the serial paths at any worker count.
+///
+/// The budget is charged at level barriers (fresh states since the last
+/// barrier, count caps probed before the clock), so count-cap exhaustion
+/// trips at the same level on every run regardless of worker scheduling.
+/// A panicking worker does not poison the merge: the first payload (in
+/// worker order) is re-raised on this thread once all workers have
+/// stopped, which the caller-side isolation rings catch as usual.
+fn explore_packed_parallel(
+    c: &CompiledModel,
+    layout: PackLayout,
+    limit: usize,
+    meter: &BudgetMeter,
+    stats: &mut CheckStats,
+    explore_threads: usize,
+) -> Result<ReachGraph, CheckError> {
+    let num_vars = c.num_vars();
+    let cap = c.capacity_hint(limit);
+    let cmds = lower_packed_cmds(c, &layout);
+    let mut f = PackedFrontier::with_capacity(layout, cap);
+
+    for s in c.initial_states() {
+        let key = f.layout.pack(&s);
+        f.intern_key(key, (NO_PARENT, NO_PARENT));
+    }
+    let init_count = f.keys.len() as u32;
+
+    let mut succ_off: Vec<u32> = Vec::with_capacity(cap + 1);
+    succ_off.push(0);
+    let mut succ_cmd: Vec<u32> = Vec::new();
+    let mut succ_node: Vec<u32> = Vec::new();
+    let mut transitions = 0u64;
+    let mut peak_queue = init_count as u64;
+
+    let budgeted = meter.is_limited();
+    let mut charged: usize = 0;
+    let mut level_start: usize = 0;
+    let mut levels: u32 = 0;
+    let mut peak_level: u64 = 0;
+
+    while level_start < f.keys.len() {
+        let level_end = f.keys.len();
+        levels += 1;
+        peak_level = peak_level.max((level_end - level_start) as u64);
+        if level_end > limit {
+            return Err(abort_partial(
+                stats,
+                level_end as u64,
+                transitions,
+                peak_queue,
+                CheckError::StateLimit(limit),
+            ));
+        }
+        if budgeted {
+            // Budget at the barrier: charge everything interned since
+            // the previous barrier before expanding this level. Count
+            // caps are probed before the clock, so the trip point
+            // depends only on the level structure — bit-deterministic
+            // at any worker count.
+            let fresh = (level_end - charged) as u64;
+            charged = level_end;
+            if let Err(e) = meter.charge_and_probe(fresh) {
+                return Err(abort_partial(
+                    stats,
+                    level_end as u64,
+                    transitions,
+                    peak_queue,
+                    CheckError::Budget(e),
+                ));
+            }
+        }
+
+        let width = level_end - level_start;
+        let n_chunks = width.div_ceil(LEVEL_CHUNK);
+        let workers = explore_threads.min(n_chunks);
+        let mut slots: Vec<Option<ChunkOut>> = Vec::with_capacity(n_chunks);
+        slots.resize_with(n_chunks, || None);
+
+        if workers <= 1 {
+            // Narrow level: not worth a fan-out, expand inline through
+            // the same chunk code path.
+            for (ci, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(expand_chunk(
+                    ci,
+                    level_start,
+                    level_end,
+                    &f.keys,
+                    &f.index,
+                    &cmds,
+                ));
+            }
+        } else {
+            let next_chunk = AtomicUsize::new(0);
+            let keys_ref: &[u64] = &f.keys;
+            let index_ref = &f.index;
+            let cmds_ref = &cmds;
+            let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let mut mine: Vec<(usize, ChunkOut)> = Vec::new();
+                                loop {
+                                    let ci = next_chunk.fetch_add(1, Ordering::Relaxed);
+                                    if ci >= n_chunks {
+                                        break;
+                                    }
+                                    mine.push((
+                                        ci,
+                                        expand_chunk(
+                                            ci,
+                                            level_start,
+                                            level_end,
+                                            keys_ref,
+                                            index_ref,
+                                            cmds_ref,
+                                        ),
+                                    ));
+                                }
+                                mine
+                            }))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(Err))
+                    .collect()
+            });
+            let mut first_panic = None;
+            for outcome in outcomes {
+                match outcome {
+                    Ok(mine) => {
+                        for (ci, out) in mine {
+                            slots[ci] = Some(out);
+                        }
+                    }
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                // Surface the worker panic on the exploring thread so
+                // the caller's isolation ring sees it exactly like a
+                // serial-path panic.
+                std::panic::resume_unwind(payload);
+            }
+        }
+
+        // Deterministic merge: walk nodes in pop order, interning fresh
+        // successors in (pop order, command index) order — the exact
+        // order the serial implicit queue would have used.
+        for (ci, slot) in slots.into_iter().enumerate() {
+            let out = slot.expect("every chunk claimed exactly once");
+            let base = level_start + ci * LEVEL_CHUNK;
+            let mut e = 0usize;
+            for (j, &cnt) in out.counts.iter().enumerate() {
+                let id = (base + j) as u32;
+                if cnt == 0 {
+                    transitions += 1;
+                    succ_cmd.push(STUTTER_CMD);
+                    succ_node.push(id);
+                } else {
+                    for edge in &out.edges[e..e + cnt as usize] {
+                        transitions += 1;
+                        let sid = if edge.known != u32::MAX {
+                            edge.known
+                        } else {
+                            f.intern_key(edge.key, (id, edge.cmd))
+                        };
+                        succ_cmd.push(edge.cmd);
+                        succ_node.push(sid);
+                    }
+                    e += cnt as usize;
+                }
+                succ_off.push(succ_cmd.len() as u32);
+                peak_queue = peak_queue.max((f.keys.len() - (base + j + 1)) as u64);
+            }
+        }
+        level_start = level_end;
+    }
+
+    if budgeted {
+        let _ = meter.charge_and_probe((f.keys.len() - charged) as u64);
+    }
+    let states = f.keys.len() as u64;
+    STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
+    let build_stats = CheckStats {
+        states,
+        transitions,
+        peak_queue,
+    };
+    stats.absorb(build_stats);
+
+    let mut g = ReachGraph {
+        num_vars,
+        arena: StateArena::Packed {
+            layout: f.layout,
+            keys: f.keys,
+        },
+        parent_node: f.parent_node,
+        parent_cmd: f.parent_cmd,
+        succ_off,
+        succ_cmd,
+        succ_node,
+        pred_off: Vec::new(),
+        pred: Vec::new(),
+        init_count,
+        packed: true,
+        levels,
+        peak_level,
+        workers: explore_threads as u32,
         stats: build_stats,
     };
     g.build_predecessors();
@@ -1500,7 +2128,7 @@ pub fn check_bounded_stats(
     // property problems, then state-limit blowups).
     let cp = c.compile_property(property)?;
     let meter = BudgetMeter::unlimited();
-    let g = explore_graph(&c, limit, &meter, stats)?;
+    let g = explore_graph(&c, limit, &meter, stats, 1)?;
     let mut q = QueryStats::default();
     let verdict = check_compiled_on_graph(&c, &g, &cp, &c.exclusion_set(), limit, &meter, &mut q)?;
     stats.absorb(CheckStats {
@@ -2211,7 +2839,7 @@ mod tests {
             let c = CompiledModel::new(&lattice()).expect("valid");
             let meter = budget.start();
             let mut stats = CheckStats::default();
-            let err = build_reach_graph_budgeted(&c, 1_000_000, &meter, &mut stats)
+            let err = build_reach_graph_budgeted(&c, 1_000_000, &meter, &mut stats, 1)
                 .expect_err("cap below 4096 reachable states");
             (err, stats)
         };
@@ -2231,6 +2859,90 @@ mod tests {
         assert_eq!(stats, stats2);
     }
 
+    /// Compares every field of two graphs, including the raw packed
+    /// arena keys — the parallel frontier must reproduce the serial
+    /// engine's intern order exactly, not merely an isomorphic graph.
+    fn assert_graphs_identical(a: &ReachGraph, b: &ReachGraph) {
+        match (&a.arena, &b.arena) {
+            (StateArena::Packed { keys: ka, .. }, StateArena::Packed { keys: kb, .. }) => {
+                assert_eq!(ka, kb, "packed arena keys diverge")
+            }
+            _ => panic!("both graphs should use the packed arena"),
+        }
+        assert_eq!(a.parent_node, b.parent_node);
+        assert_eq!(a.parent_cmd, b.parent_cmd);
+        assert_eq!(a.succ_off, b.succ_off);
+        assert_eq!(a.succ_cmd, b.succ_cmd);
+        assert_eq!(a.succ_node, b.succ_node);
+        assert_eq!(a.pred_off, b.pred_off);
+        assert_eq!(a.pred, b.pred);
+        assert_eq!(a.init_count, b.init_count);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.peak_level, b.peak_level);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn parallel_explore_matches_serial_exactly() {
+        for model in [ring(true), ring(false), lattice()] {
+            let c = CompiledModel::new(&model).expect("valid");
+            let mut s1 = CheckStats::default();
+            let serial =
+                build_reach_graph_budgeted(&c, 1_000_000, &BudgetMeter::unlimited(), &mut s1, 1)
+                    .expect("fits");
+            for width in [2usize, 4, 8] {
+                let mut s2 = CheckStats::default();
+                let parallel = build_reach_graph_budgeted(
+                    &c,
+                    1_000_000,
+                    &BudgetMeter::unlimited(),
+                    &mut s2,
+                    width,
+                )
+                .expect("fits");
+                assert_graphs_identical(&serial, &parallel);
+                assert_eq!(s1, s2, "absorbed stats diverge at width {width}");
+                assert_eq!(parallel.explore_workers(), width as u32);
+            }
+        }
+    }
+
+    /// Budget-at-barrier: count-cap exhaustion under the parallel
+    /// frontier trips at the same level with the same partial stats on
+    /// every run — worker scheduling never shows in the outcome.
+    #[test]
+    fn parallel_budget_exhaustion_is_deterministic() {
+        use crate::budget::Budget;
+        let budget = Budget::unlimited().with_total_states(2000);
+        let run = || {
+            let c = CompiledModel::new(&lattice()).expect("valid");
+            let meter = budget.start();
+            let mut stats = CheckStats::default();
+            let err = build_reach_graph_budgeted(&c, 1_000_000, &meter, &mut stats, 4)
+                .expect_err("cap below 4096 reachable states");
+            (err, stats)
+        };
+        let (err, stats) = run();
+        assert_eq!(
+            err,
+            CheckError::Budget(BudgetExceeded::TotalStates { limit: 2000 })
+        );
+        assert!(stats.states > 0 && stats.transitions > 0, "{stats:?}");
+        let (err2, stats2) = run();
+        assert_eq!(err, err2);
+        assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    fn parallel_state_limit_reports_partial_stats() {
+        let c = CompiledModel::new(&lattice()).expect("valid");
+        let mut stats = CheckStats::default();
+        let err = build_reach_graph_budgeted(&c, 100, &BudgetMeter::unlimited(), &mut stats, 4)
+            .expect_err("4096 states exceed a limit of 100");
+        assert_eq!(err, CheckError::StateLimit(100));
+        assert!(stats.states > 100, "partial stats absorbed: {stats:?}");
+    }
+
     #[test]
     fn budget_zero_deadline_degrades_build() {
         use crate::budget::Budget;
@@ -2239,7 +2951,7 @@ mod tests {
             .with_deadline(std::time::Duration::ZERO)
             .start();
         let mut stats = CheckStats::default();
-        let err = build_reach_graph_budgeted(&c, 1_000_000, &meter, &mut stats)
+        let err = build_reach_graph_budgeted(&c, 1_000_000, &meter, &mut stats, 1)
             .expect_err("deadline already passed");
         assert!(matches!(
             err,
@@ -2253,7 +2965,7 @@ mod tests {
         let mut s1 = CheckStats::default();
         let g1 = build_reach_graph_compiled(&c, 1_000_000, &mut s1).expect("fits");
         let mut s2 = CheckStats::default();
-        let g2 = build_reach_graph_budgeted(&c, 1_000_000, &BudgetMeter::unlimited(), &mut s2)
+        let g2 = build_reach_graph_budgeted(&c, 1_000_000, &BudgetMeter::unlimited(), &mut s2, 1)
             .expect("fits");
         assert_eq!(g1.node_count(), 4096);
         assert_eq!(g1.node_count(), g2.node_count());

@@ -81,13 +81,47 @@ impl PackLayout {
     pub(crate) fn unpack(&self, key: u64, out: &mut [Value]) {
         debug_assert_eq!(out.len(), self.shifts.len());
         for (i, slot) in out.iter_mut().enumerate() {
-            let width = self.widths[i];
-            *slot = if width == 0 {
-                0
-            } else {
-                ((key >> self.shifts[i]) & ((1u64 << width) - 1)) as Value
-            };
+            *slot = self.extract(key, i);
         }
+    }
+
+    /// Variable `i`'s `(shift, width)` field position — the guard
+    /// lowering precomputes per-atom masks from it.
+    #[inline]
+    pub(crate) fn field(&self, i: usize) -> (u8, u8) {
+        (self.shifts[i], self.widths[i])
+    }
+
+    /// Reads variable `i`'s value index straight out of a packed key —
+    /// the packed-arena fast path's per-atom read, replacing a full
+    /// unpack into a scratch vector.
+    #[inline]
+    pub(crate) fn extract(&self, key: u64, i: usize) -> Value {
+        let width = self.widths[i];
+        if width == 0 {
+            0
+        } else {
+            ((key >> self.shifts[i]) & ((1u64 << width) - 1)) as Value
+        }
+    }
+
+    /// Lowers a command's update list to a `(clear, set)` mask pair:
+    /// applying the command to a packed state is `(key & clear) | set`,
+    /// with no unpack/repack round trip.
+    pub(crate) fn update_masks(&self, updates: &[(usize, Value)]) -> (u64, u64) {
+        let mut clear = !0u64;
+        let mut set = 0u64;
+        for &(i, value) in updates {
+            let width = self.widths[i];
+            if width == 0 {
+                // Singleton domain: the only value is 0, nothing stored.
+                continue;
+            }
+            let mask = ((1u64 << width) - 1) << self.shifts[i];
+            clear &= !mask;
+            set |= (value as u64) << self.shifts[i];
+        }
+        (clear, set)
     }
 }
 
@@ -158,6 +192,12 @@ pub struct ReachGraph {
     pub(crate) init_count: u32,
     /// Whether the arena uses the packed `u64` encoding.
     pub(crate) packed: bool,
+    /// Number of BFS levels (depth layers, counting the initial one).
+    pub(crate) levels: u32,
+    /// Widest single BFS level encountered during exploration.
+    pub(crate) peak_level: u64,
+    /// Worker threads the exploration ran with (1 = serial path).
+    pub(crate) workers: u32,
     /// Exploration cost of building this graph.
     pub(crate) stats: CheckStats,
 }
@@ -194,6 +234,36 @@ impl ReachGraph {
         self.stats
     }
 
+    /// Number of BFS levels (depth layers) the exploration walked.
+    /// Identical for the serial and parallel paths by construction.
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Widest single BFS level seen while exploring.
+    pub fn peak_level(&self) -> u64 {
+        self.peak_level
+    }
+
+    /// Worker threads exploration ran with (1 = serial path).
+    pub fn explore_workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// BFS parent edge of `id` as `(parent node, command index)`, or
+    /// `None` for initial states.
+    pub fn parent_edge(&self, id: u32) -> Option<(u32, u32)> {
+        let p = self.parent_node[id as usize];
+        (p != NO_PARENT).then(|| (p, self.parent_cmd[id as usize]))
+    }
+
+    /// Node `id`'s state as per-variable value indices (test/debug aid).
+    pub fn state_of(&self, id: u32) -> Vec<u16> {
+        let mut out = vec![0u16; self.num_vars];
+        self.arena.load(id, &mut out);
+        out
+    }
+
     /// Successor edges of `id` as `(command index, successor node)`, in
     /// command declaration order.
     pub fn successors(&self, id: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
@@ -219,6 +289,12 @@ impl ReachGraph {
 
     /// Builds the predecessor CSR from the successor lists (counting
     /// sort, so each node's predecessors come out ascending).
+    ///
+    /// Single-buffer counting sort: `counts[v]` starts as node `v`'s
+    /// start offset and doubles as its write cursor; after scattering,
+    /// `counts[v]` has advanced to `v`'s *end* offset, which is node
+    /// `v + 1`'s start — one `copy_within` shift recovers the offset
+    /// array without the second `counts.clone()` allocation.
     pub(crate) fn build_predecessors(&mut self) {
         let n = self.arena.len();
         let mut counts = vec![0u32; n + 1];
@@ -228,16 +304,18 @@ impl ReachGraph {
         for i in 0..n {
             counts[i + 1] += counts[i];
         }
-        let mut cursor = counts.clone();
         let mut pred = vec![0u32; self.succ_node.len()];
         for u in 0..n {
             let lo = self.succ_off[u] as usize;
             let hi = self.succ_off[u + 1] as usize;
             for &v in &self.succ_node[lo..hi] {
-                pred[cursor[v as usize] as usize] = u as u32;
-                cursor[v as usize] += 1;
+                pred[counts[v as usize] as usize] = u as u32;
+                counts[v as usize] += 1;
             }
         }
+        // counts[v] is now v's end offset == (v + 1)'s start offset.
+        counts.copy_within(0..n, 1);
+        counts[0] = 0;
         self.pred_off = counts;
         self.pred = pred;
     }
@@ -279,6 +357,75 @@ mod tests {
         let mut out = vec![9u16; 100];
         layout.unpack(0, &mut out);
         assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn extract_matches_unpack() {
+        let layout = PackLayout::for_domains(&[3, 1, 7, 2]).expect("fits");
+        let states = [vec![0u16, 0, 0, 0], vec![2, 0, 6, 1], vec![1, 0, 3, 0]];
+        let mut out = vec![0u16; 4];
+        for s in &states {
+            let key = layout.pack(s);
+            layout.unpack(key, &mut out);
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(layout.extract(key, i), v);
+            }
+        }
+    }
+
+    #[test]
+    fn update_masks_apply_like_unpack_update_repack() {
+        let layout = PackLayout::for_domains(&[3, 1, 7, 2]).expect("fits");
+        let updates = [(0usize, 2u16), (1, 0), (2, 5)];
+        let (clear, set) = layout.update_masks(&updates);
+        let start = layout.pack(&[1, 0, 6, 1]);
+        let succ = (start & clear) | set;
+        // Reference semantics: unpack, apply updates, repack.
+        let mut s = vec![0u16; 4];
+        layout.unpack(start, &mut s);
+        for &(i, v) in &updates {
+            s[i] = v;
+        }
+        assert_eq!(succ, layout.pack(&s));
+    }
+
+    /// Predecessors come out ascending per node, and the in-place cursor
+    /// trick leaves the offset array identical to the two-buffer version.
+    #[test]
+    fn build_predecessors_ascending_order() {
+        // 4 nodes; successor lists deliberately name targets from
+        // high-numbered sources first (node 3 -> 0 precedes 1 -> 0 in no
+        // list, but 2 and 3 both point at 1 and 0 out of source order).
+        let mut g = ReachGraph {
+            num_vars: 1,
+            arena: StateArena::Wide {
+                num_vars: 1,
+                values: vec![0, 1, 2, 3],
+            },
+            parent_node: vec![NO_PARENT; 4],
+            parent_cmd: vec![NO_PARENT; 4],
+            succ_off: vec![0, 2, 4, 5, 7],
+            succ_cmd: vec![0, 1, 0, 1, 0, 0, 1],
+            //           0 -> {1, 3}, 1 -> {0, 3}, 2 -> {1}, 3 -> {0, 1}
+            succ_node: vec![1, 3, 0, 3, 1, 0, 1],
+            pred_off: Vec::new(),
+            pred: Vec::new(),
+            init_count: 1,
+            packed: false,
+            levels: 1,
+            peak_level: 1,
+            workers: 1,
+            stats: CheckStats::default(),
+        };
+        g.build_predecessors();
+        assert_eq!(g.pred_off, vec![0, 2, 5, 5, 7]);
+        assert_eq!(g.predecessors(0), &[1, 3]);
+        assert_eq!(g.predecessors(1), &[0, 2, 3]);
+        assert_eq!(g.predecessors(2), &[0u32; 0]);
+        assert_eq!(g.predecessors(3), &[0, 1]);
+        for v in 0..4 {
+            assert!(g.predecessors(v).windows(2).all(|w| w[0] <= w[1]));
+        }
     }
 
     #[test]

@@ -22,6 +22,16 @@
 #                            has no budget exhaustions, no isolated
 #                            panics, no skips; any non-zero value means
 #                            the pipeline silently degraded
+#   * parallel_states_per_sec — best multi-worker exploration throughput
+#                            from the explore_scaling section; floor at
+#                            baseline - 25%. Skipped (with a printed
+#                            reason) when the host has fewer than 4
+#                            hardware threads or the section reports
+#                            null (every parallel row oversubscribed).
+#   * speedup_at_4_workers — absolute floor of 1.8x over the serial
+#                            exploration pass at explore_threads=4.
+#                            Skipped with a printed reason on hosts with
+#                            fewer than 4 hardware threads.
 #
 # The two graph-cache gates are skipped when the telemetry reports zero
 # graph-cache lookups — i.e. the artifacts came from a
@@ -90,6 +100,49 @@ if graph_cache_active:
 else:
     print("  max_states_explored: skipped (zero graph-cache lookups; "
           "PROCHECK_NO_GRAPH_CACHE artifacts)")
+
+# Parallel-exploration gates. The explore_scaling section is emitted by
+# pipeline_speedup; older artifacts predate it, in which case both gates
+# are skipped. On hosts with < 4 hardware threads the 4-worker numbers
+# are oversubscription noise, so the gates skip with a logged reason
+# rather than fail.
+scaling = pipeline.get("explore_scaling")
+if scaling is None:
+    print("  parallel_states_per_sec: skipped (no explore_scaling section "
+          "in pipeline artifact)")
+    print("  speedup_at_4_workers: skipped (no explore_scaling section "
+          "in pipeline artifact)")
+else:
+    hw = scaling.get("hardware_threads", 0)
+    if hw < 4:
+        print(f"  parallel_states_per_sec: skipped (hardware_threads={hw} "
+              f"< 4; parallel rows are oversubscribed)")
+        print(f"  speedup_at_4_workers: skipped (hardware_threads={hw} < 4)")
+    else:
+        psps = scaling.get("parallel_states_per_sec")
+        if psps is None:
+            print("  parallel_states_per_sec: skipped (null; no "
+                  "non-oversubscribed parallel run recorded)")
+        else:
+            base = baseline["parallel_states_per_sec"]
+            floor = base * (1.0 - ALLOWED_DROP)
+            ok = psps >= floor
+            print(f"  parallel_states_per_sec: current {psps:.2f}, "
+                  f"baseline {base:.2f}, floor {floor:.2f} "
+                  f"-> {'ok' if ok else 'REGRESSION'}")
+            if not ok:
+                failures.append("parallel_states_per_sec")
+        speedup = scaling.get("speedup_at_4_workers")
+        if speedup is None:
+            print("  speedup_at_4_workers: skipped (null; width-4 run not "
+                  "recorded)")
+        else:
+            floor = baseline.get("speedup_at_4_workers_floor", 1.8)
+            ok = speedup >= floor
+            print(f"  speedup_at_4_workers: current {speedup:.2f}x, "
+                  f"floor {floor:.2f}x -> {'ok' if ok else 'REGRESSION'}")
+            if not ok:
+                failures.append("speedup_at_4_workers")
 
 # Clean runs must be clean: any degraded property outcome (budget
 # exhaustion, isolated panic, skip) in a benchmark run is a bug, not a
