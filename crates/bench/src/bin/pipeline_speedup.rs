@@ -25,8 +25,10 @@ use procheck::pipeline::{analyze_implementation, extract_models, AnalysisConfig}
 use procheck::telemetry_report::TelemetryReport;
 use procheck_props::{distinct_threat_configs, registry};
 use procheck_smv::checker::{
-    build_reach_graph_budgeted, states_explored_total, CheckStats, CompiledModel,
+    build_reach_graph_budgeted, por_commute_hits_total, states_explored_total, CheckStats,
+    CompiledModel,
 };
+use procheck_smv::coi::slice_for_property;
 use procheck_smv::BudgetMeter;
 use procheck_stack::quirks::Implementation;
 use procheck_telemetry::Collector;
@@ -232,6 +234,83 @@ fn main() {
         .map(|&(_, secs, states)| states as f64 / secs.max(1e-9))
         .fold(None::<f64>, |acc, r| Some(acc.map_or(r, |a| a.max(r))));
 
+    // State-space reduction effect: the same full-registry run with
+    // cone-of-influence slicing forced on vs off (POR on in both: it
+    // never changes what is explored, only how guards are evaluated).
+    // Slicing only applies on the shared-graph path, so the section is
+    // measured — and the regression gate enforced — only when the graph
+    // cache is enabled.
+    let reduction = graph_cache_on.then(|| {
+        let states_with_flags = |slice: bool| {
+            let collector = Collector::enabled();
+            let report = analyze_implementation(
+                Implementation::Reference,
+                &AnalysisConfig {
+                    slice,
+                    por: true,
+                    collector: collector.clone(),
+                    ..AnalysisConfig::default()
+                },
+            );
+            assert_eq!(report.degraded.total(), 0, "clean measurement runs");
+            collector.counter_value("smv.states_explored")
+        };
+        let unsliced = states_with_flags(false);
+        let por_hits_before = por_commute_hits_total();
+        let sliced = states_with_flags(true);
+        let por_hits = por_commute_hits_total() - por_hits_before;
+        let ratio = (unsliced.saturating_sub(sliced)) as f64 / (unsliced.max(1)) as f64;
+        println!(
+            "  reduction: {sliced} states sliced vs {unsliced} unsliced \
+             ({:.1}% saved), {por_hits} POR commute hits",
+            ratio * 100.0
+        );
+        // Per-property cone sizes, from the same slicing decision the
+        // pipeline makes: a cone is only used when it drops at least
+        // one command (otherwise the projection explores nearly the
+        // full space alongside the full graph the config's other
+        // properties need).
+        let mut cones: Vec<(String, usize, usize, usize, usize)> = Vec::new();
+        let mut full_graph_properties = 0usize;
+        for p in registry()
+            .iter()
+            .filter(|p| matches!(p.check, procheck_props::Check::Model(_)))
+        {
+            let procheck_props::Check::Model(prop) = &p.check else {
+                unreachable!()
+            };
+            let cfg = p.slice.threat_config();
+            let idx = distinct_threat_models
+                .iter()
+                .position(|c| *c == cfg)
+                .expect("every slice config is a distinct config");
+            let c = &compiled[idx];
+            let profitable = c
+                .compile_property(prop)
+                .ok()
+                .and_then(|cp| slice_for_property(c, &cp))
+                .filter(|s| s.sig.cmd_count() < c.command_count());
+            match profitable {
+                Some(s) => cones.push((
+                    p.id.to_string(),
+                    c.num_vars(),
+                    s.sig.var_count(),
+                    c.command_count(),
+                    s.sig.cmd_count(),
+                )),
+                None => full_graph_properties += 1,
+            }
+        }
+        (
+            sliced,
+            unsliced,
+            ratio,
+            por_hits,
+            cones,
+            full_graph_properties,
+        )
+    });
+
     let (report, collector) = last_run.expect("at least one measured run");
     let telemetry = TelemetryReport::from_run(&report, &collector);
     let graph = &report.graph_cache_stats;
@@ -317,6 +396,32 @@ fn main() {
         telemetry.totals.total_state_visits()
     );
     let _ = writeln!(json, "  }},");
+    match &reduction {
+        Some((sliced, unsliced, ratio, por_hits, cones, full_props)) => {
+            let _ = writeln!(json, "  \"reduction\": {{");
+            let _ = writeln!(json, "    \"slicing_enabled_by_default\": true,");
+            let _ = writeln!(json, "    \"states_with_slicing\": {sliced},");
+            let _ = writeln!(json, "    \"states_without_slicing\": {unsliced},");
+            let _ = writeln!(json, "    \"state_reduction_ratio\": {ratio:.6},");
+            let _ = writeln!(json, "    \"por_commute_hits\": {por_hits},");
+            let _ = writeln!(json, "    \"sliced_properties\": {},", cones.len());
+            let _ = writeln!(json, "    \"full_graph_properties\": {full_props},");
+            let _ = writeln!(json, "    \"cones\": [");
+            for (i, (id, fv, cv, fc, cc)) in cones.iter().enumerate() {
+                let comma = if i + 1 < cones.len() { "," } else { "" };
+                let _ = writeln!(
+                    json,
+                    "      {{\"property\": \"{id}\", \"full_vars\": {fv}, \
+                     \"cone_vars\": {cv}, \"full_cmds\": {fc}, \"cone_cmds\": {cc}}}{comma}"
+                );
+            }
+            let _ = writeln!(json, "    ]");
+            let _ = writeln!(json, "  }},");
+        }
+        None => {
+            let _ = writeln!(json, "  \"reduction\": null,");
+        }
+    }
     let _ = writeln!(
         json,
         "  \"threat_build_per_property_secs\": {per_property_secs:.4},"

@@ -23,9 +23,13 @@
 //! as queries over the shared graph instead of re-running BFS. Failed
 //! builds (state-limit blowups) are cached too — every property sharing
 //! the configuration sees the same error without re-paying for the
-//! partial exploration. Graphs are keyed by `ThreatConfig` alone, so all
-//! callers of one cache must use one state limit (the analysis pipeline
-//! has a single per-run limit).
+//! partial exploration. Full graphs are keyed by `ThreatConfig` alone —
+//! so all callers of one cache must use one state limit (the analysis
+//! pipeline has a single per-run limit) — and a second, sliced layer
+//! ([`ThreatModelCache::get_or_build_sliced_graph_budgeted`]) keys
+//! cone-of-influence projections by `(ThreatConfig, ConeSig)`, so
+//! properties whose cones coincide still share one (smaller)
+//! exploration.
 //!
 //! Locking: the map mutex is held only to fetch/insert a per-key slot;
 //! the (expensive) composition or exploration runs under the slot's
@@ -42,7 +46,10 @@
 
 use procheck_fsm::Fsm;
 use procheck_smv::budget::{panic_message, BudgetMeter};
-use procheck_smv::checker::{build_reach_graph_budgeted, CheckError, CheckStats, CompiledModel};
+use procheck_smv::checker::{
+    build_reach_graph_budgeted_opts, por_default, CheckError, CheckStats, CompiledModel,
+};
+use procheck_smv::coi::ConeSig;
 use procheck_smv::model::Model;
 use procheck_smv::reach::ReachGraph;
 use procheck_telemetry::Collector;
@@ -77,6 +84,7 @@ pub struct ThreatModelCache {
     compile_builds: AtomicUsize,
     compile_lookups: AtomicUsize,
     graph_slots: Mutex<HashMap<ThreatConfig, Arc<GraphSlot>>>,
+    sliced_graph_slots: Mutex<HashMap<(ThreatConfig, ConeSig), Arc<GraphSlot>>>,
     graph_builds: AtomicUsize,
     graph_lookups: AtomicUsize,
 }
@@ -284,12 +292,140 @@ impl ThreatModelCache {
         explore_threads: usize,
         collector: &Collector,
     ) -> Result<Arc<ReachGraph>, CheckError> {
-        self.graph_lookups.fetch_add(1, Ordering::Relaxed);
-        collector.add("graph_cache.lookups", 1);
+        self.get_or_build_graph_budgeted_opts(
+            model,
+            cfg,
+            state_limit,
+            meter,
+            explore_threads,
+            por_default(),
+            collector,
+        )
+    }
+
+    /// [`Self::get_or_build_graph_budgeted`] with the partial-order
+    /// reduction switchable per call (the pipeline threads
+    /// `AnalysisConfig::por` through here). POR changes no graph bytes
+    /// and no [`CheckStats`] — only how many successor guards are
+    /// evaluated — so graphs built with and without it are
+    /// interchangeable and safely share one slot per configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::get_or_build_graph_budgeted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_build_graph_budgeted_opts(
+        &self,
+        model: &CompiledModel,
+        cfg: &ThreatConfig,
+        state_limit: usize,
+        meter: &BudgetMeter,
+        explore_threads: usize,
+        por: bool,
+        collector: &Collector,
+    ) -> Result<Arc<ReachGraph>, CheckError> {
         let slot = {
             let mut map = self.graph_slots.lock().expect("graph cache map lock");
             Arc::clone(map.entry(cfg.clone()).or_default())
         };
+        self.build_graph_in_slot(
+            &slot,
+            model,
+            state_limit,
+            meter,
+            explore_threads,
+            por,
+            collector,
+        )
+    }
+
+    /// The sliced sibling of [`Self::get_or_build_graph_budgeted_opts`]:
+    /// one fully-explored graph per distinct `(ThreatConfig, ConeSig)`,
+    /// so every property whose cone of influence projects the
+    /// configuration onto the *same* variable/command subset shares one
+    /// (smaller) exploration. Accounting flows into the same
+    /// lookup/build/hit counters as the full-graph layer — a sliced
+    /// build is still exactly one exploration — plus `reduction.*`
+    /// counters recording the cone shape and sliced state count once
+    /// per distinct cone.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::get_or_build_graph_budgeted`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_build_sliced_graph_budgeted(
+        &self,
+        sliced: &procheck_smv::coi::SlicedModel,
+        cfg: &ThreatConfig,
+        state_limit: usize,
+        meter: &BudgetMeter,
+        explore_threads: usize,
+        por: bool,
+        collector: &Collector,
+    ) -> Result<Arc<ReachGraph>, CheckError> {
+        let slot = {
+            let mut map = self
+                .sliced_graph_slots
+                .lock()
+                .expect("sliced graph cache map lock");
+            Arc::clone(map.entry((cfg.clone(), sliced.sig.clone())).or_default())
+        };
+        self.build_graph_in_slot_inner(
+            &slot,
+            &sliced.model,
+            state_limit,
+            meter,
+            explore_threads,
+            por,
+            Some(&sliced.sig),
+            collector,
+        )
+    }
+
+    /// The shared build-once body of the graph layers: initializes
+    /// `slot` (exploring `model` under `catch_unwind`, caching failures,
+    /// recording the `smv.*`/`explore.*` build telemetry exactly once)
+    /// and counts the lookup as a build or a hit.
+    #[allow(clippy::too_many_arguments)]
+    fn build_graph_in_slot(
+        &self,
+        slot: &GraphSlot,
+        model: &CompiledModel,
+        state_limit: usize,
+        meter: &BudgetMeter,
+        explore_threads: usize,
+        por: bool,
+        collector: &Collector,
+    ) -> Result<Arc<ReachGraph>, CheckError> {
+        self.build_graph_in_slot_inner(
+            slot,
+            model,
+            state_limit,
+            meter,
+            explore_threads,
+            por,
+            None,
+            collector,
+        )
+    }
+
+    /// [`Self::build_graph_in_slot`] that additionally records
+    /// `reduction.*` cone telemetry inside the (exactly-once) build
+    /// closure when the slot belongs to the sliced layer.
+    #[allow(clippy::too_many_arguments)]
+    fn build_graph_in_slot_inner(
+        &self,
+        slot: &GraphSlot,
+        model: &CompiledModel,
+        state_limit: usize,
+        meter: &BudgetMeter,
+        explore_threads: usize,
+        por: bool,
+        cone: Option<&ConeSig>,
+        collector: &Collector,
+    ) -> Result<Arc<ReachGraph>, CheckError> {
+        self.graph_lookups.fetch_add(1, Ordering::Relaxed);
+        collector.add("graph_cache.lookups", 1);
         let mut built_now = false;
         let (result, _) = slot.get_or_init(|| {
             built_now = true;
@@ -300,12 +436,13 @@ impl ThreatModelCache {
                 #[cfg(feature = "fault-inject")]
                 procheck_faults::inject(procheck_faults::FaultSite::GraphBuild, None);
                 let mut stats = CheckStats::default();
-                let result = build_reach_graph_budgeted(
+                let result = build_reach_graph_budgeted_opts(
                     model,
                     state_limit,
                     meter,
                     &mut stats,
                     explore_threads,
+                    por,
                 )
                 .map(Arc::new);
                 (result, stats)
@@ -319,6 +456,15 @@ impl ThreatModelCache {
             collector.add("smv.states_explored", stats.states);
             collector.add("smv.transitions", stats.transitions);
             collector.record_max("smv.peak_queue", stats.peak_queue);
+            if let Some(sig) = cone {
+                // Cone-shape telemetry, once per distinct sliced cone —
+                // recorded even when the (partial) build failed, so the
+                // reduction accounting always covers every cone built.
+                collector.add("reduction.sliced_graphs", 1);
+                collector.add("reduction.cone_vars", sig.var_count() as u64);
+                collector.add("reduction.cone_cmds", sig.cmd_count() as u64);
+                collector.add("reduction.sliced_states", stats.states);
+            }
             if let Ok(graph) = &result {
                 // Exploration-shape telemetry: BFS depth and peak level
                 // width are worker-count-invariant by construction, so
@@ -335,12 +481,41 @@ impl ThreatModelCache {
         result.clone()
     }
 
+    /// The compiled model for `cfg`, if its one compilation has happened
+    /// and succeeded — a read-only peek that does *not* count as a cache
+    /// lookup, so post-pool passes (the pipeline's graph-slot
+    /// attribution) can re-derive per-property cone signatures without
+    /// perturbing the hit/miss accounting.
+    pub fn peek_compiled(&self, cfg: &ThreatConfig) -> Option<Arc<CompiledModel>> {
+        let map = self.compiled_slots.lock().expect("compile cache map lock");
+        map.get(cfg)
+            .and_then(|slot| slot.get())
+            .and_then(|r| r.as_ref().ok())
+            .cloned()
+    }
+
     /// What building `cfg`'s graph cost, if a build has happened —
     /// recorded even when the build failed (partial exploration up to
     /// the state limit).
     pub fn graph_build_stats(&self, cfg: &ThreatConfig) -> Option<CheckStats> {
         let map = self.graph_slots.lock().expect("graph cache map lock");
         map.get(cfg)
+            .and_then(|slot| slot.get().map(|(_, stats)| *stats))
+    }
+
+    /// What building the sliced graph for `(cfg, sig)` cost, if that
+    /// build has happened — the sliced layer's analogue of
+    /// [`Self::graph_build_stats`].
+    pub fn sliced_graph_build_stats(
+        &self,
+        cfg: &ThreatConfig,
+        sig: &ConeSig,
+    ) -> Option<CheckStats> {
+        let map = self
+            .sliced_graph_slots
+            .lock()
+            .expect("sliced graph cache map lock");
+        map.get(&(cfg.clone(), sig.clone()))
             .and_then(|slot| slot.get().map(|(_, stats)| *stats))
     }
 

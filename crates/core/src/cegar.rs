@@ -310,6 +310,76 @@ pub fn cegar_check_on_graph_budgeted(
     meter: &BudgetMeter,
     collector: &Collector,
 ) -> Result<CegarOutcome, CheckError> {
+    cegar_loop(
+        model,
+        graph,
+        property,
+        semantics,
+        state_limit,
+        max_iterations,
+        meter,
+        None,
+        collector,
+    )
+}
+
+/// [`cegar_check_on_graph_budgeted`] against a *cone-of-influence
+/// sliced* model and its (smaller) graph: `sliced` must be
+/// [`procheck_smv::coi::slice_for_property`]'s projection of `full` for
+/// this property. The loop runs entirely on the sliced model — queries,
+/// CPV feasibility checks (labels are preserved by the projection), and
+/// refinements (exclusions name trace labels, which are kept-command
+/// labels, so the mask evolves exactly as the full loop's would) — and
+/// any surviving counterexample is re-expanded to full-variable form via
+/// [`procheck_smv::coi::expand_counterexample`] before it reaches the
+/// verdict, so `Attack`/`GoalReachable` traces are byte-identical to the
+/// unsliced loop's.
+///
+/// # Errors
+///
+/// Same as [`cegar_check_on_graph_budgeted`].
+#[allow(clippy::too_many_arguments)]
+pub fn cegar_check_sliced_on_graph_budgeted(
+    full: &CompiledModel,
+    sliced: &CompiledModel,
+    graph: &ReachGraph,
+    property: &Property,
+    semantics: &StepSemantics,
+    state_limit: usize,
+    max_iterations: usize,
+    meter: &BudgetMeter,
+    collector: &Collector,
+) -> Result<CegarOutcome, CheckError> {
+    cegar_loop(
+        sliced,
+        graph,
+        property,
+        semantics,
+        state_limit,
+        max_iterations,
+        meter,
+        Some(full),
+        collector,
+    )
+}
+
+/// The shared loop body: checks `property` on `model`'s `graph`,
+/// validating counterexamples with the CPV and widening the exclusion
+/// mask per refinement. When `expand_to` is set, `model` is a sliced
+/// projection of it and the final counterexample (if any) is re-expanded
+/// to the full model's variables at the report edge.
+#[allow(clippy::too_many_arguments)]
+fn cegar_loop(
+    model: &CompiledModel,
+    graph: &ReachGraph,
+    property: &Property,
+    semantics: &StepSemantics,
+    state_limit: usize,
+    max_iterations: usize,
+    meter: &BudgetMeter,
+    expand_to: Option<&CompiledModel>,
+    collector: &Collector,
+) -> Result<CegarOutcome, CheckError> {
     let mut excluded = model.exclusion_set();
     let mut refinements = Vec::new();
     let mut query = QueryStats::default();
@@ -389,6 +459,14 @@ pub fn cegar_check_on_graph_budgeted(
         cpv_queries += 1;
         cpv_steps += validation.adversarial_steps;
         if validation.feasible {
+            // Sliced traces mention only in-cone variables; re-expand
+            // against the full model before anything user-visible is
+            // built from them. Labels are unchanged, so the CPV
+            // validation above holds of the expanded trace too.
+            let trace = match expand_to {
+                Some(full) => procheck_smv::coi::expand_counterexample(full, &trace),
+                None => trace,
+            };
             let verdict = match check_kind(property) {
                 Kind::Reachability => FinalVerdict::GoalReachable(trace),
                 Kind::Other => FinalVerdict::Attack(trace),

@@ -24,7 +24,10 @@
 //! property answers as a query over the shared graph.
 
 use crate::cache::{CacheStats, ThreatModelCache};
-use crate::cegar::{cegar_check_budgeted, cegar_check_on_graph_budgeted, FinalVerdict};
+use crate::cegar::{
+    cegar_check_budgeted, cegar_check_on_graph_budgeted, cegar_check_sliced_on_graph_budgeted,
+    FinalVerdict,
+};
 use crate::report::{DegradedStats, Finding, PropertyOutcome, PropertyResult};
 use procheck_conformance::runner::run_suite_traced;
 use procheck_conformance::suites;
@@ -34,12 +37,13 @@ use procheck_fsm::stats::FsmStats;
 use procheck_fsm::Fsm;
 use procheck_props::{registry, BaseProfile, Check, LinkScenario, NasProperty};
 use procheck_smv::budget::{panic_message, Budget, BudgetMeter};
-use procheck_smv::checker::{CheckError, DEFAULT_STATE_LIMIT};
+use procheck_smv::checker::{por_default, CheckError, DEFAULT_STATE_LIMIT};
+use procheck_smv::coi::{slice_default, slice_for_property, ConeSig};
 use procheck_stack::quirks::Implementation;
 use procheck_stack::UeConfig;
 use procheck_telemetry::Collector;
 use procheck_testbed::linkability::{run_scenario, Scenario};
-use procheck_threat::StepSemantics;
+use procheck_threat::{StepSemantics, ThreatConfig};
 use std::collections::HashSet;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -83,6 +87,31 @@ pub struct AnalysisConfig {
     /// `PROCHECK_NO_GRAPH_CACHE` environment variable (any value) to
     /// default it off, e.g. to measure the re-exploration cost.
     pub graph_cache: bool,
+    /// Project each model property onto its cone of influence before
+    /// exploration: variables the property cannot observe (directly or
+    /// through kept-command guards) are dropped from the packed state,
+    /// and commands updating only dropped variables are dropped with
+    /// them, so the per-property reachable space shrinks — often by an
+    /// order of magnitude. Verdicts, counterexample traces (re-expanded
+    /// to full-variable form at the report edge), and CEGAR refinement
+    /// sequences are byte-identical either way; only the exploration
+    /// accounting moves. Sliced graphs live in the shared cache keyed by
+    /// `(ThreatConfig, ConeSig)`, so slicing applies only on the
+    /// [`AnalysisConfig::graph_cache`] path. Defaults to on; set the
+    /// `PROCHECK_NO_SLICE` environment variable (any value) to default
+    /// it off.
+    pub slice: bool,
+    /// Apply the independence-based partial-order reduction inside each
+    /// graph build: a successor inherits its parent's guard valuations
+    /// for every command whose guard reads no field the parent's firing
+    /// command wrote, skipping those guard re-evaluations. The reduction
+    /// changes *no* graph bytes and no exploration statistics — node
+    /// ids, parents, CSR layout, traces, and `CheckStats` are identical
+    /// with it on or off — only the guard-evaluation work avoided (the
+    /// `reduction.por_commute_hits` bench counter). Defaults to on; set
+    /// the `PROCHECK_NO_POR` environment variable (any value) to default
+    /// it off.
+    pub por: bool,
     /// Telemetry sink every pipeline stage reports into. Disabled by
     /// default (all operations are no-ops); pass
     /// [`Collector::enabled`] to record counters, spans, and marks.
@@ -107,6 +136,8 @@ impl Default for AnalysisConfig {
             threads: default_threads(),
             explore_threads: default_explore_threads(),
             graph_cache: std::env::var_os("PROCHECK_NO_GRAPH_CACHE").is_none(),
+            slice: slice_default(),
+            por: por_default(),
             collector: Collector::disabled(),
             budget: Budget::unlimited(),
         }
@@ -401,29 +432,63 @@ pub fn check_property_metered(
                         cache
                             .get_or_compile_traced(&model, &threat_cfg, &cfg.collector)
                             .and_then(|compiled| {
-                                compiled.compile_property(p)?;
+                                let cp = compiled.compile_property(p)?;
                                 // Placeholder: `analyze_implementation`
                                 // rewrites this to the registry-order
                                 // attribution.
                                 graph_cache_hit = Some(false);
-                                let graph = cache.get_or_build_graph_budgeted(
-                                    &compiled,
-                                    &threat_cfg,
-                                    limit,
-                                    meter,
-                                    cfg.explore_threads,
-                                    &cfg.collector,
-                                )?;
-                                cegar_check_on_graph_budgeted(
-                                    &compiled,
-                                    &graph,
-                                    p,
-                                    &semantics,
-                                    limit,
-                                    cfg.max_cegar_iterations,
-                                    meter,
-                                    &cfg.collector,
-                                )
+                                // Cone-of-influence slicing: when the
+                                // property observes a proper subset of
+                                // the model, explore (and query) the
+                                // projection instead — the cache shares
+                                // sliced graphs per `(config, cone)`.
+                                let sliced = if cfg.slice {
+                                    profitable_slice(&compiled, &cp)
+                                } else {
+                                    None
+                                };
+                                if let Some(sliced) = sliced {
+                                    let graph = cache.get_or_build_sliced_graph_budgeted(
+                                        &sliced,
+                                        &threat_cfg,
+                                        limit,
+                                        meter,
+                                        cfg.explore_threads,
+                                        cfg.por,
+                                        &cfg.collector,
+                                    )?;
+                                    cegar_check_sliced_on_graph_budgeted(
+                                        &compiled,
+                                        &sliced.model,
+                                        &graph,
+                                        p,
+                                        &semantics,
+                                        limit,
+                                        cfg.max_cegar_iterations,
+                                        meter,
+                                        &cfg.collector,
+                                    )
+                                } else {
+                                    let graph = cache.get_or_build_graph_budgeted_opts(
+                                        &compiled,
+                                        &threat_cfg,
+                                        limit,
+                                        meter,
+                                        cfg.explore_threads,
+                                        cfg.por,
+                                        &cfg.collector,
+                                    )?;
+                                    cegar_check_on_graph_budgeted(
+                                        &compiled,
+                                        &graph,
+                                        p,
+                                        &semantics,
+                                        limit,
+                                        cfg.max_cegar_iterations,
+                                        meter,
+                                        &cfg.collector,
+                                    )
+                                }
                             })
                     } else {
                         cegar_check_budgeted(
@@ -571,6 +636,48 @@ fn cache_hits_in_order(props: &[&NasProperty]) -> Vec<bool> {
         .collect()
 }
 
+/// Which graph slot served `prop` during the pool run: `Some(sig)` when
+/// slicing routed it to a `(threat config, cone)` slot, `None` for the
+/// full-graph slot. Re-derived after the pool from the same inputs the
+/// worker used — the cone computation is a pure function of the (cached)
+/// compiled model and the property — via [`ThreatModelCache::peek_compiled`],
+/// which does not perturb the hit/miss accounting. Only called for
+/// properties whose `graph_cache_hit` is set, i.e. whose compile +
+/// property check succeeded in the pool, so the fallbacks are never the
+/// interesting path.
+fn graph_cone_for(
+    prop: &NasProperty,
+    cfg: &AnalysisConfig,
+    cache: &ThreatModelCache,
+    threat_cfg: &ThreatConfig,
+) -> Option<ConeSig> {
+    if !cfg.slice {
+        return None;
+    }
+    let Check::Model(p) = &prop.check else {
+        return None;
+    };
+    let compiled = cache.peek_compiled(threat_cfg)?;
+    let cp = compiled.compile_property(p).ok()?;
+    profitable_slice(&compiled, &cp).map(|s| s.sig)
+}
+
+/// The pipeline's slicing policy: project onto the cone of influence
+/// only when the projection drops at least one *command*. A cone that
+/// keeps every command (it merely hides a variable or two) explores
+/// nearly the same space as the full graph, so routing it to its own
+/// cache slot would duplicate an exploration the configuration's other
+/// properties (or its unsliceable response properties) pay for anyway —
+/// sharing the full graph is strictly cheaper. Dropping commands, by
+/// contrast, cuts genuine branching: the measured registry cones that
+/// drop commands collapse to a handful of states.
+fn profitable_slice(
+    compiled: &procheck_smv::checker::CompiledModel,
+    cp: &procheck_smv::checker::CompiledProperty,
+) -> Option<procheck_smv::coi::SlicedModel> {
+    slice_for_property(compiled, cp).filter(|s| s.sig.cmd_count() < compiled.command_count())
+}
+
 fn map_scenario(s: LinkScenario) -> Scenario {
     match s {
         LinkScenario::StaleAuthReplay => Scenario::StaleAuthReplay,
@@ -652,21 +759,27 @@ pub fn analyze_implementation(
     }
     // Graph-cache attribution, like `cache_hits_in_order`: among the
     // properties that consulted the graph cache, the first (in registry
-    // order) per distinct threat configuration is the designated
-    // builder — it is charged the one exploration; every later sharer is
-    // a hit charged nothing. Which worker thread actually built the
-    // graph is a scheduling accident; this assignment is the only
+    // order) per distinct graph slot — `(threat config, cone signature)`
+    // when sliced, the threat config alone when not — is the designated
+    // builder, charged the one exploration; every later sharer is a hit
+    // charged nothing. Which worker thread actually built the graph is a
+    // scheduling accident; this assignment is the only
     // thread-count-independent one, and it is what a sequential run
     // observes.
-    let mut built_graphs = HashSet::new();
+    let mut built_graphs: HashSet<(ThreatConfig, Option<ConeSig>)> = HashSet::new();
     for (result, prop) in results.iter_mut().zip(&props) {
         if result.graph_cache_hit.is_none() {
             continue;
         }
         let threat_cfg = prop.slice.threat_config();
-        if built_graphs.insert(threat_cfg.clone()) {
+        let cone = graph_cone_for(prop, cfg, &cache, &threat_cfg);
+        if built_graphs.insert((threat_cfg.clone(), cone.clone())) {
             result.graph_cache_hit = Some(false);
-            if let Some(build) = cache.graph_build_stats(&threat_cfg) {
+            let build = match &cone {
+                Some(sig) => cache.sliced_graph_build_stats(&threat_cfg, sig),
+                None => cache.graph_build_stats(&threat_cfg),
+            };
+            if let Some(build) = build {
                 result.states_explored = build.states;
                 result.peak_queue = result.peak_queue.max(build.peak_queue);
             }

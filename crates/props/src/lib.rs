@@ -29,4 +29,4 @@ pub use registry::{
     common_properties, distinct_threat_configs, registry, Category, Check, Expectation,
     LinkScenario, NasProperty,
 };
-pub use slice::{BaseProfile, SliceSpec};
+pub use slice::{property_support, BaseProfile, SliceSpec};

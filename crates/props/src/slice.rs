@@ -5,6 +5,11 @@
 //! profile each property needs, so the composed model stays as small as
 //! the property allows.
 
+use std::collections::BTreeSet;
+
+use procheck_ident::Sym;
+use procheck_smv::checker::Property;
+use procheck_smv::expr::Expr;
 use procheck_threat::ThreatConfig;
 use serde::{Deserialize, Serialize};
 
@@ -81,9 +86,61 @@ impl SliceSpec {
     }
 }
 
+/// The variables a model-checked property observes, read off its
+/// *source* expressions (before compilation against any model).
+///
+/// This is the seed of the property's cone of influence: the checker's
+/// [`procheck_smv::coi::slice_for_property`] starts from exactly this
+/// set (resolved to the model's variable ids) and closes it over
+/// guard/update dependencies. Registry audits use the source-level view
+/// to pin what each property may legitimately depend on, independent of
+/// any threat configuration.
+pub fn property_support(property: &Property) -> BTreeSet<Sym> {
+    let mut out = BTreeSet::new();
+    match property {
+        Property::Invariant { holds, .. } => expr_support(holds, &mut out),
+        Property::Reachable { goal, .. } => expr_support(goal, &mut out),
+        Property::Response {
+            trigger, response, ..
+        } => {
+            expr_support(trigger, &mut out);
+            expr_support(response, &mut out);
+        }
+        Property::Precedence {
+            event,
+            requires_before,
+            ..
+        } => {
+            expr_support(event, &mut out);
+            expr_support(requires_before, &mut out);
+        }
+    }
+    out
+}
+
+fn expr_support(e: &Expr, out: &mut BTreeSet<Sym>) {
+    match e {
+        Expr::True | Expr::False => {}
+        Expr::Eq(v, _) | Expr::Ne(v, _) | Expr::In(v, _) => {
+            out.insert(*v);
+        }
+        Expr::And(es) | Expr::Or(es) => {
+            for e in es {
+                expr_support(e, out);
+            }
+        }
+        Expr::Not(e) => expr_support(e, out),
+        Expr::Implies(a, b) => {
+            expr_support(a, out);
+            expr_support(b, out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::{registry, Check};
 
     #[test]
     fn minimal_slice_is_minimal() {
@@ -123,5 +180,43 @@ mod tests {
             ..SliceSpec::default()
         };
         assert!(!spec.threat_config().stale_unconsumed_sqn_accepted);
+    }
+
+    /// Hand-checked support sets: S01 (`AG last_auth_sqn != stale`)
+    /// observes exactly the SQN-freshness observer; S15's precedence
+    /// formula observes the UE state plus its last-action tracker —
+    /// both sides of the formula contribute.
+    #[test]
+    fn support_sets_are_pinned_for_hand_checked_properties() {
+        let all = registry();
+        let support_of = |id: &str| -> Vec<String> {
+            let p = all.iter().find(|p| p.id == id).unwrap();
+            let Check::Model(p) = &p.check else {
+                panic!("{id} is model-checked");
+            };
+            property_support(p)
+                .into_iter()
+                .map(|s| s.as_str().to_owned())
+                .collect()
+        };
+        assert_eq!(support_of("S01"), ["last_auth_sqn"]);
+        assert_eq!(support_of("S02"), ["mon_replay_accepted"]);
+        assert_eq!(support_of("S15"), ["ue_last_action", "ue_state"]);
+    }
+
+    /// Every model-checked property in the registry observes at least
+    /// one variable — an empty support set would make its cone empty
+    /// and the property trivially constant.
+    #[test]
+    fn every_model_property_has_nonempty_support() {
+        for p in registry() {
+            if let Check::Model(prop) = &p.check {
+                assert!(
+                    !property_support(prop).is_empty(),
+                    "{} has an empty support set",
+                    p.id
+                );
+            }
+        }
     }
 }

@@ -58,6 +58,25 @@ pub fn states_explored_total() -> u64 {
     STATES_EXPLORED.load(Ordering::Relaxed)
 }
 
+/// Guard evaluations skipped since process start because the
+/// partial-order commute check proved the parent's guard verdict still
+/// applies (the fired command writes no bit the guard reads). Telemetry
+/// only — the reduction never changes which edges are generated, so it
+/// never feeds back into graphs or verdicts.
+static POR_COMMUTE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the cumulative partial-order commute-hit counter.
+pub fn por_commute_hits_total() -> u64 {
+    POR_COMMUTE_HITS.load(Ordering::Relaxed)
+}
+
+/// Default for the independence-based partial-order reduction: enabled
+/// unless `PROCHECK_NO_POR` is set in the environment (the kill-switch
+/// mirroring `PROCHECK_NO_GRAPH_CACHE` / `PROCHECK_NO_SLICE`).
+pub fn por_default() -> bool {
+    std::env::var_os("PROCHECK_NO_POR").is_none()
+}
+
 /// A property to check against a model.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Property {
@@ -275,7 +294,7 @@ type State = Vec<Value>;
 /// replaced by typed dense indices ([`VarId`], [`ValId`]), so evaluation
 /// is array indexing with no string hashing on the hot path.
 #[derive(Debug, Clone)]
-enum CExpr {
+pub(crate) enum CExpr {
     True,
     False,
     Eq(VarId, ValId),
@@ -303,19 +322,19 @@ impl CExpr {
 
 /// A command with indices resolved.
 #[derive(Debug)]
-struct CCmd {
-    label: Sym,
-    guard: CExpr,
-    updates: Vec<(VarId, ValId)>,
+pub(crate) struct CCmd {
+    pub(crate) label: Sym,
+    pub(crate) guard: CExpr,
+    pub(crate) updates: Vec<(VarId, ValId)>,
 }
 
 /// A compiled variable: interned name and domain for trace resolution,
 /// initial values as dense indices for exploration.
 #[derive(Debug)]
-struct CVar {
-    name: Sym,
-    domain: Vec<Sym>,
-    init: Vec<ValId>,
+pub(crate) struct CVar {
+    pub(crate) name: Sym,
+    pub(crate) domain: Vec<Sym>,
+    pub(crate) init: Vec<ValId>,
 }
 
 /// A model with every name resolved to a dense index, built **once** per
@@ -324,11 +343,11 @@ struct CVar {
 /// to the model and the reachability graph.
 #[derive(Debug)]
 pub struct CompiledModel {
-    vars: Vec<CVar>,
-    var_index: FxHashMap<Sym, VarId>,
-    val_index: Vec<FxHashMap<Sym, ValId>>,
-    commands: Vec<CCmd>,
-    fairness: Vec<CExpr>,
+    pub(crate) vars: Vec<CVar>,
+    pub(crate) var_index: FxHashMap<Sym, VarId>,
+    pub(crate) val_index: Vec<FxHashMap<Sym, ValId>>,
+    pub(crate) commands: Vec<CCmd>,
+    pub(crate) fairness: Vec<CExpr>,
 }
 
 /// A property with its expressions compiled against one
@@ -337,11 +356,11 @@ pub struct CompiledModel {
 /// resolution.
 #[derive(Debug)]
 pub struct CompiledProperty {
-    kind: CProp,
+    pub(crate) kind: CProp,
 }
 
 #[derive(Debug)]
-enum CProp {
+pub(crate) enum CProp {
     Invariant {
         holds: CExpr,
     },
@@ -530,7 +549,7 @@ impl CompiledModel {
         bound.min(limit)
     }
 
-    fn initial_states(&self) -> Vec<State> {
+    pub(crate) fn initial_states(&self) -> Vec<State> {
         let mut states: Vec<State> = vec![Vec::new()];
         for v in &self.vars {
             let mut next = Vec::with_capacity(states.len() * v.init.len());
@@ -593,7 +612,7 @@ impl CompiledModel {
         }
     }
 
-    fn label_of(&self, cmd: u32) -> &'static str {
+    pub(crate) fn label_of(&self, cmd: u32) -> &'static str {
         if cmd == STUTTER_CMD {
             "stutter"
         } else {
@@ -601,7 +620,7 @@ impl CompiledModel {
         }
     }
 
-    fn assignment(&self, s: &[Value]) -> BTreeMap<String, String> {
+    pub(crate) fn assignment(&self, s: &[Value]) -> BTreeMap<String, String> {
         self.vars
             .iter()
             .enumerate()
@@ -684,7 +703,14 @@ pub fn build_reach_graph_stats(
     stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
     let c = CompiledModel::new(model)?;
-    explore_graph(&c, limit, &BudgetMeter::unlimited(), stats, 1)
+    explore_graph(
+        &c,
+        limit,
+        &BudgetMeter::unlimited(),
+        stats,
+        1,
+        por_default(),
+    )
 }
 
 /// [`build_reach_graph_stats`] over an already-compiled model — the
@@ -699,7 +725,14 @@ pub fn build_reach_graph_compiled(
     limit: usize,
     stats: &mut CheckStats,
 ) -> Result<ReachGraph, CheckError> {
-    explore_graph(model, limit, &BudgetMeter::unlimited(), stats, 1)
+    explore_graph(
+        model,
+        limit,
+        &BudgetMeter::unlimited(),
+        stats,
+        1,
+        por_default(),
+    )
 }
 
 /// [`build_reach_graph_compiled`] under a live [`BudgetMeter`]: freshly
@@ -726,7 +759,29 @@ pub fn build_reach_graph_budgeted(
     stats: &mut CheckStats,
     explore_threads: usize,
 ) -> Result<ReachGraph, CheckError> {
-    explore_graph(model, limit, meter, stats, explore_threads)
+    build_reach_graph_budgeted_opts(model, limit, meter, stats, explore_threads, por_default())
+}
+
+/// [`build_reach_graph_budgeted`] with the partial-order reduction
+/// controlled explicitly instead of by [`por_default`]. The reduction is
+/// graph-preserving: it only skips *re-evaluating* guards whose verdict
+/// provably carried over from the BFS parent (the fired command writes
+/// no packed-key bit the guard reads), so node ids, edges, parents, and
+/// stats are byte-identical with `por` on or off — only the
+/// [`por_commute_hits_total`] telemetry counter differs.
+///
+/// # Errors
+///
+/// Same as [`build_reach_graph_budgeted`].
+pub fn build_reach_graph_budgeted_opts(
+    model: &CompiledModel,
+    limit: usize,
+    meter: &BudgetMeter,
+    stats: &mut CheckStats,
+    explore_threads: usize,
+    por: bool,
+) -> Result<ReachGraph, CheckError> {
+    explore_graph(model, limit, meter, stats, explore_threads, por)
 }
 
 /// A guard lowered against a [`PackLayout`]: every atom carries its
@@ -855,6 +910,126 @@ struct PackedCmd {
     set: u64,
 }
 
+/// Independence tables for the guard-inheritance partial-order
+/// reduction. For commands `a` (fired) and `b` (any guard), bit `b` of
+/// `preserves[a]` is set when `b`'s guard reads no packed-key bit that
+/// `a` writes — adversary drop/inject steps on the two unidirectional
+/// channels are the motivating case: they commute, so after firing one,
+/// the other's guard verdict is inherited from the BFS parent instead of
+/// being re-evaluated. The reduction is *graph-preserving*: inherited
+/// bits equal what evaluation would produce, so the explored graph is
+/// byte-identical with the tables on or off.
+struct PorTables {
+    /// Per fired command: bitset (over command indices) of guards whose
+    /// verdict survives the firing unchanged.
+    preserves: Vec<GuardWord>,
+}
+
+/// One 64-bit word per 64 commands in a guard-verdict bitset. POR
+/// supports models up to `64 * GW_WORDS` commands; two words cover the
+/// registry's threat-composed models (which top out around 115
+/// commands) without widening the hot per-pop state for small models
+/// beyond a pair of registers.
+const GW_WORDS: usize = 2;
+
+/// Guard-verdict bitset: bit `i % 64` of word `i / 64` is command `i`.
+type GuardWord = [u64; GW_WORDS];
+
+/// `(parent & kept) | eval` — inherited verdicts merged with the
+/// freshly evaluated remainder.
+fn gw_inherit(parent: GuardWord, kept: GuardWord, eval: GuardWord) -> GuardWord {
+    std::array::from_fn(|w| (parent[w] & kept[w]) | eval[w])
+}
+
+/// `a & !b` per word.
+fn gw_andnot(a: GuardWord, b: GuardWord) -> GuardWord {
+    std::array::from_fn(|w| a[w] & !b[w])
+}
+
+/// Population count across the words.
+fn gw_count_ones(a: GuardWord) -> u64 {
+    a.iter().map(|w| u64::from(w.count_ones())).sum()
+}
+
+/// Union of the packed-key field masks a compiled guard reads. Singleton
+/// (zero-width) fields contribute nothing: their value is constant, so
+/// no command can change what the guard sees.
+fn guard_read_mask(e: &CExpr, l: &PackLayout) -> u64 {
+    match e {
+        CExpr::True | CExpr::False => 0,
+        CExpr::Eq(v, _) | CExpr::Ne(v, _) | CExpr::In(v, _) => l.field_mask(v.index()),
+        CExpr::And(xs) | CExpr::Or(xs) => xs.iter().fold(0, |m, x| m | guard_read_mask(x, l)),
+        CExpr::Not(x) => guard_read_mask(x, l),
+    }
+}
+
+/// Builds the commute tables, or `None` when the reduction is disabled
+/// or the model has more than `64 * GW_WORDS` commands (the bitset
+/// capacity).
+fn por_tables(
+    c: &CompiledModel,
+    layout: &PackLayout,
+    cmds: &[PackedCmd],
+    por: bool,
+) -> Option<PorTables> {
+    if !por || cmds.len() > 64 * GW_WORDS {
+        return None;
+    }
+    let reads: Vec<u64> = c
+        .commands
+        .iter()
+        .map(|cmd| guard_read_mask(&cmd.guard, layout))
+        .collect();
+    let preserves = cmds
+        .iter()
+        .map(|a| {
+            // `clear` zeroes exactly the fields `a` updates (and `set`
+            // bits live inside them), so the write set is its complement.
+            let write = !a.clear;
+            let mut word = [0u64; GW_WORDS];
+            for (b, &read) in reads.iter().enumerate() {
+                if read & write == 0 {
+                    word[b / 64] |= 1u64 << (b % 64);
+                }
+            }
+            word
+        })
+        .collect();
+    Some(PorTables { preserves })
+}
+
+/// Evaluates the guards selected by `eval_mask` against a packed key,
+/// returning their verdicts as a bitset (ascending command order, same
+/// as the serial enumerate loop).
+fn eval_guard_word(cmds: &[PackedCmd], key: u64, eval_mask: GuardWord) -> GuardWord {
+    let mut word = [0u64; GW_WORDS];
+    for (w, mut m) in eval_mask.into_iter().enumerate() {
+        while m != 0 {
+            let i = w * 64 + m.trailing_zeros() as usize;
+            m &= m - 1;
+            if cmds[i].guard.eval(key) {
+                word[w] |= 1u64 << (i % 64);
+            }
+        }
+    }
+    word
+}
+
+/// Bitset with one bit per command (all guards "must evaluate").
+/// Clamped to the bitset capacity: over-wide models never build POR
+/// tables, so the excess commands are only ever enumerated directly.
+fn all_cmds_mask(n: usize) -> GuardWord {
+    let n = n.min(64 * GW_WORDS);
+    std::array::from_fn(|w| {
+        let width = n.saturating_sub(w * 64).min(64);
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    })
+}
+
 fn lower_packed_cmds(c: &CompiledModel, layout: &PackLayout) -> Vec<PackedCmd> {
     c.commands
         .iter()
@@ -934,15 +1109,17 @@ fn explore_graph(
     meter: &BudgetMeter,
     stats: &mut CheckStats,
     explore_threads: usize,
+    por: bool,
 ) -> Result<ReachGraph, CheckError> {
     let domain_sizes: Vec<usize> = c.vars.iter().map(|v| v.domain.len()).collect();
     match PackLayout::for_domains(&domain_sizes) {
         Some(layout) if explore_threads > 1 => {
-            explore_packed_parallel(c, layout, limit, meter, stats, explore_threads)
+            explore_packed_parallel(c, layout, limit, meter, stats, explore_threads, por)
         }
-        Some(layout) => explore_packed_serial(c, layout, limit, meter, stats),
+        Some(layout) => explore_packed_serial(c, layout, limit, meter, stats, por),
         // The wide value-vector fallback keeps the serial path: models
-        // too wide to pack are rare and small in this workload.
+        // too wide to pack are rare and small in this workload. (No POR
+        // either: the commute check works on packed-key bit masks.)
         None => explore_wide(c, limit, meter, stats),
     }
 }
@@ -1097,10 +1274,18 @@ fn explore_packed_serial(
     limit: usize,
     meter: &BudgetMeter,
     stats: &mut CheckStats,
+    por: bool,
 ) -> Result<ReachGraph, CheckError> {
     let num_vars = c.num_vars();
     let cap = c.capacity_hint(limit);
     let cmds = lower_packed_cmds(c, &layout);
+    let por = por_tables(c, &layout, &cmds, por);
+    let all_mask = all_cmds_mask(cmds.len());
+    // Guard verdict word per popped node (only filled when the reduction
+    // is active); a node's BFS parent is always popped first, so the
+    // parent's word is present when a child inherits from it.
+    let mut guard_bits: Vec<GuardWord> = Vec::new();
+    let mut commute_hits = 0u64;
     let mut f = PackedFrontier::with_capacity(layout, cap);
 
     for s in c.initial_states() {
@@ -1154,14 +1339,43 @@ fn explore_packed_serial(
         next += 1;
         let key = f.keys[next - 1];
         let mut any = false;
-        for (i, pc) in cmds.iter().enumerate() {
-            if pc.guard.eval(key) {
-                any = true;
-                transitions += 1;
-                let succ = (key & pc.clear) | pc.set;
-                let sid = f.intern_key(succ, (id, i as u32));
-                succ_cmd.push(i as u32);
-                succ_node.push(sid);
+        if let Some(tables) = &por {
+            let parent = f.parent_node[id as usize];
+            let word = if parent == NO_PARENT {
+                eval_guard_word(&cmds, key, all_mask)
+            } else {
+                let kept = tables.preserves[f.parent_cmd[id as usize] as usize];
+                commute_hits += gw_count_ones(kept);
+                gw_inherit(
+                    guard_bits[parent as usize],
+                    kept,
+                    eval_guard_word(&cmds, key, gw_andnot(all_mask, kept)),
+                )
+            };
+            guard_bits.push(word);
+            for (w, mut m) in word.into_iter().enumerate() {
+                while m != 0 {
+                    let i = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    any = true;
+                    transitions += 1;
+                    let pc = &cmds[i];
+                    let succ = (key & pc.clear) | pc.set;
+                    let sid = f.intern_key(succ, (id, i as u32));
+                    succ_cmd.push(i as u32);
+                    succ_node.push(sid);
+                }
+            }
+        } else {
+            for (i, pc) in cmds.iter().enumerate() {
+                if pc.guard.eval(key) {
+                    any = true;
+                    transitions += 1;
+                    let succ = (key & pc.clear) | pc.set;
+                    let sid = f.intern_key(succ, (id, i as u32));
+                    succ_cmd.push(i as u32);
+                    succ_node.push(sid);
+                }
             }
         }
         if !any {
@@ -1178,6 +1392,7 @@ fn explore_packed_serial(
     }
     let states = f.keys.len() as u64;
     STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
+    POR_COMMUTE_HITS.fetch_add(commute_hits, Ordering::Relaxed);
     let build_stats = CheckStats {
         states,
         transitions,
@@ -1226,12 +1441,17 @@ struct ChunkEdge {
 
 /// A worker's output for one claimed chunk: per-node enabled-edge counts
 /// (0 means the merge emits the deadlock stutter) and the flat edge list
-/// in `(node, command index)` order.
+/// in `(node, command index)` order. When the partial-order reduction is
+/// active, `bits` carries each node's guard verdict word (for the next
+/// level's inheritance) and `hits` the commute hits counted here.
 struct ChunkOut {
     counts: Vec<u32>,
     edges: Vec<ChunkEdge>,
+    bits: Vec<GuardWord>,
+    hits: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn expand_chunk(
     ci: usize,
     level_start: usize,
@@ -1239,28 +1459,76 @@ fn expand_chunk(
     keys: &[u64],
     index: &FxHashMap<u64, u32>,
     cmds: &[PackedCmd],
+    parents: (&[u32], &[u32]),
+    guard_bits: &[GuardWord],
+    por: Option<&PorTables>,
+    all_mask: GuardWord,
 ) -> ChunkOut {
     let lo = level_start + ci * LEVEL_CHUNK;
     let hi = (lo + LEVEL_CHUNK).min(level_end);
     let mut counts = Vec::with_capacity(hi - lo);
     let mut edges = Vec::new();
-    for &key in &keys[lo..hi] {
+    let mut bits = Vec::new();
+    let mut hits = 0u64;
+    if por.is_some() {
+        bits.reserve(hi - lo);
+    }
+    for (j, &key) in keys[lo..hi].iter().enumerate() {
         let mut cnt = 0u32;
-        for (i, pc) in cmds.iter().enumerate() {
-            if pc.guard.eval(key) {
-                let succ = (key & pc.clear) | pc.set;
-                let known = index.get(&succ).copied().unwrap_or(u32::MAX);
-                edges.push(ChunkEdge {
-                    cmd: i as u32,
-                    known,
-                    key: succ,
-                });
-                cnt += 1;
+        if let Some(tables) = por {
+            // Parents of this level's nodes were interned (and popped)
+            // strictly before the level froze, so their guard words are
+            // already in the read-only `guard_bits` prefix.
+            let parent = parents.0[lo + j];
+            let word = if parent == NO_PARENT {
+                eval_guard_word(cmds, key, all_mask)
+            } else {
+                let kept = tables.preserves[parents.1[lo + j] as usize];
+                hits += gw_count_ones(kept);
+                gw_inherit(
+                    guard_bits[parent as usize],
+                    kept,
+                    eval_guard_word(cmds, key, gw_andnot(all_mask, kept)),
+                )
+            };
+            bits.push(word);
+            for (w, mut m) in word.into_iter().enumerate() {
+                while m != 0 {
+                    let i = w * 64 + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    let pc = &cmds[i];
+                    let succ = (key & pc.clear) | pc.set;
+                    let known = index.get(&succ).copied().unwrap_or(u32::MAX);
+                    edges.push(ChunkEdge {
+                        cmd: i as u32,
+                        known,
+                        key: succ,
+                    });
+                    cnt += 1;
+                }
+            }
+        } else {
+            for (i, pc) in cmds.iter().enumerate() {
+                if pc.guard.eval(key) {
+                    let succ = (key & pc.clear) | pc.set;
+                    let known = index.get(&succ).copied().unwrap_or(u32::MAX);
+                    edges.push(ChunkEdge {
+                        cmd: i as u32,
+                        known,
+                        key: succ,
+                    });
+                    cnt += 1;
+                }
             }
         }
         counts.push(cnt);
     }
-    ChunkOut { counts, edges }
+    ChunkOut {
+        counts,
+        edges,
+        bits,
+        hits,
+    }
 }
 
 /// Level-synchronized parallel BFS over the packed arena.
@@ -1284,6 +1552,7 @@ fn expand_chunk(
 /// A panicking worker does not poison the merge: the first payload (in
 /// worker order) is re-raised on this thread once all workers have
 /// stopped, which the caller-side isolation rings catch as usual.
+#[allow(clippy::too_many_arguments)]
 fn explore_packed_parallel(
     c: &CompiledModel,
     layout: PackLayout,
@@ -1291,10 +1560,18 @@ fn explore_packed_parallel(
     meter: &BudgetMeter,
     stats: &mut CheckStats,
     explore_threads: usize,
+    por: bool,
 ) -> Result<ReachGraph, CheckError> {
     let num_vars = c.num_vars();
     let cap = c.capacity_hint(limit);
     let cmds = lower_packed_cmds(c, &layout);
+    let por = por_tables(c, &layout, &cmds, por);
+    let all_mask = all_cmds_mask(cmds.len());
+    // Guard words by node id; frozen (read-only) while a level expands —
+    // every parent of a level's nodes sits below `level_start` — and
+    // extended by the merge, so the next level sees this one's words.
+    let mut guard_bits: Vec<GuardWord> = Vec::new();
+    let mut commute_hits = 0u64;
     let mut f = PackedFrontier::with_capacity(layout, cap);
 
     for s in c.initial_states() {
@@ -1365,6 +1642,10 @@ fn explore_packed_parallel(
                     &f.keys,
                     &f.index,
                     &cmds,
+                    (&f.parent_node, &f.parent_cmd),
+                    &guard_bits,
+                    por.as_ref(),
+                    all_mask,
                 ));
             }
         } else {
@@ -1372,6 +1653,9 @@ fn explore_packed_parallel(
             let keys_ref: &[u64] = &f.keys;
             let index_ref = &f.index;
             let cmds_ref = &cmds;
+            let parents_ref = (&f.parent_node[..], &f.parent_cmd[..]);
+            let guard_ref: &[GuardWord] = &guard_bits;
+            let por_ref = por.as_ref();
             let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -1392,6 +1676,10 @@ fn explore_packed_parallel(
                                             keys_ref,
                                             index_ref,
                                             cmds_ref,
+                                            parents_ref,
+                                            guard_ref,
+                                            por_ref,
+                                            all_mask,
                                         ),
                                     ));
                                 }
@@ -1433,6 +1721,11 @@ fn explore_packed_parallel(
         // order the serial implicit queue would have used.
         for (ci, slot) in slots.into_iter().enumerate() {
             let out = slot.expect("every chunk claimed exactly once");
+            // Chunks cover the level contiguously in order, so appending
+            // their guard words here keeps `guard_bits` indexed by node
+            // id, ready for the next level's inheritance.
+            guard_bits.extend_from_slice(&out.bits);
+            commute_hits += out.hits;
             let base = level_start + ci * LEVEL_CHUNK;
             let mut e = 0usize;
             for (j, &cnt) in out.counts.iter().enumerate() {
@@ -1466,6 +1759,7 @@ fn explore_packed_parallel(
     }
     let states = f.keys.len() as u64;
     STATES_EXPLORED.fetch_add(states, Ordering::Relaxed);
+    POR_COMMUTE_HITS.fetch_add(commute_hits, Ordering::Relaxed);
     let build_stats = CheckStats {
         states,
         transitions,
@@ -2128,7 +2422,7 @@ pub fn check_bounded_stats(
     // property problems, then state-limit blowups).
     let cp = c.compile_property(property)?;
     let meter = BudgetMeter::unlimited();
-    let g = explore_graph(&c, limit, &meter, stats, 1)?;
+    let g = explore_graph(&c, limit, &meter, stats, 1, por_default())?;
     let mut q = QueryStats::default();
     let verdict = check_compiled_on_graph(&c, &g, &cp, &c.exclusion_set(), limit, &meter, &mut q)?;
     stats.absorb(CheckStats {

@@ -17,6 +17,10 @@
 //!   queries over that graph);
 //! * [`reach`] — the cached reachable-state graph itself: packed state
 //!   arena, CSR successor/predecessor adjacency, BFS parent pointers;
+//! * [`coi`] — per-property cone-of-influence slicing: project a
+//!   compiled model onto the variables a property can observe before
+//!   exploring, and re-expand any counterexample to full-variable form
+//!   at the report edge;
 //! * [`trace`] — counterexample traces (finite paths for safety, lassos
 //!   for liveness) with per-step command labels, consumable by the
 //!   CEGAR loop's cryptographic feasibility check;
@@ -49,6 +53,7 @@
 
 pub mod budget;
 pub mod checker;
+pub mod coi;
 pub mod expr;
 pub mod fxhash;
 pub mod model;
@@ -57,7 +62,11 @@ pub mod smvformat;
 pub mod trace;
 
 pub use budget::{Budget, BudgetExceeded, BudgetMeter};
-pub use checker::{check, CompiledModel, CompiledProperty, Property, Verdict};
+pub use checker::{
+    build_reach_graph_budgeted_opts, check, por_commute_hits_total, por_default, CompiledModel,
+    CompiledProperty, Property, Verdict,
+};
+pub use coi::{expand_counterexample, slice_default, slice_for_property, ConeSig, SlicedModel};
 pub use expr::Expr;
 pub use model::{GuardedCmd, Model};
 pub use reach::ReachGraph;

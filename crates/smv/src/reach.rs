@@ -92,6 +92,20 @@ impl PackLayout {
         (self.shifts[i], self.widths[i])
     }
 
+    /// Bit mask covering variable `i`'s field in the packed key (0 for
+    /// zero-width singleton domains, whose value never occupies bits).
+    /// The partial-order reduction derives per-command read/write sets
+    /// from these masks.
+    #[inline]
+    pub(crate) fn field_mask(&self, i: usize) -> u64 {
+        let width = self.widths[i];
+        if width == 0 {
+            0
+        } else {
+            (u64::MAX >> (64 - u32::from(width))) << self.shifts[i]
+        }
+    }
+
     /// Reads variable `i`'s value index straight out of a packed key —
     /// the packed-arena fast path's per-atom read, replacing a full
     /// unpack into a scratch vector.
@@ -357,6 +371,23 @@ mod tests {
         let mut out = vec![9u16; 100];
         layout.unpack(0, &mut out);
         assert!(out.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn field_mask_matches_field_position() {
+        let layout = PackLayout::for_domains(&[3, 1, 7, 2]).expect("fits");
+        for i in 0..4 {
+            let (shift, width) = layout.field(i);
+            let expect = if width == 0 {
+                0
+            } else {
+                ((1u64 << width) - 1) << shift
+            };
+            assert_eq!(layout.field_mask(i), expect);
+        }
+        // Distinct fields occupy disjoint bits; singletons occupy none.
+        assert_eq!(layout.field_mask(0) & layout.field_mask(2), 0);
+        assert_eq!(layout.field_mask(1), 0);
     }
 
     #[test]

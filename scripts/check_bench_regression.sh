@@ -32,6 +32,14 @@
 #                            exploration pass at explore_threads=4.
 #                            Skipped with a printed reason on hosts with
 #                            fewer than 4 hardware threads.
+#   * state_reduction_ratio — fraction of distinct states that
+#                            cone-of-influence slicing removes from a
+#                            full-registry run (pipeline artifact's
+#                            reduction section; deterministic). Absolute
+#                            floor from min_state_reduction_ratio.
+#                            Skipped when the artifact carries no
+#                            reduction section (graph cache disabled) or
+#                            the baseline predates the field.
 #
 # The two graph-cache gates are skipped when the telemetry reports zero
 # graph-cache lookups — i.e. the artifacts came from a
@@ -143,6 +151,30 @@ else:
                   f"floor {floor:.2f}x -> {'ok' if ok else 'REGRESSION'}")
             if not ok:
                 failures.append("speedup_at_4_workers")
+
+# Reduction gate: slicing must keep removing a meaningful fraction of
+# the unreduced state space. The ratio is deterministic (both totals are
+# distinct-state counts), so the floor is absolute, not baseline - 25%.
+reduction = pipeline.get("reduction")
+floor = baseline.get("min_state_reduction_ratio")
+if reduction is None:
+    print("  state_reduction_ratio: skipped (no reduction section in "
+          "pipeline artifact; graph cache disabled or artifact predates "
+          "the field)")
+elif floor is None:
+    print("  state_reduction_ratio: skipped (baseline has no "
+          "min_state_reduction_ratio)")
+else:
+    ratio = reduction["state_reduction_ratio"]
+    ok = ratio >= floor
+    print(f"  state_reduction_ratio: current {ratio:.4f} "
+          f"({reduction['states_with_slicing']} sliced vs "
+          f"{reduction['states_without_slicing']} unsliced, "
+          f"{reduction['sliced_properties']} sliced properties, "
+          f"{reduction['por_commute_hits']} POR commute hits), "
+          f"floor {floor:.4f} -> {'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        failures.append("state_reduction_ratio")
 
 # Clean runs must be clean: any degraded property outcome (budget
 # exhaustion, isolated panic, skip) in a benchmark run is a bug, not a
