@@ -44,11 +44,15 @@ pub mod confirm;
 pub mod lteinspector;
 pub mod pipeline;
 pub mod report;
+pub mod store;
 pub mod telemetry_report;
 
 pub use cache::{CacheStats, ThreatModelCache};
 pub use cegar::{cegar_check, cegar_check_traced, CegarOutcome, FinalVerdict};
 pub use confirm::{testbed_confirm, Confirmation};
-pub use pipeline::{analyze_implementation, extract_models, AnalysisConfig, AnalysisReport};
+pub use pipeline::{
+    analyze_extracted, analyze_implementation, extract_models, AnalysisConfig, AnalysisReport,
+};
 pub use report::{Finding, PropertyOutcome, PropertyResult};
+pub use store::RunStore;
 pub use telemetry_report::{PropertyTelemetry, StageTotals, TelemetryReport};

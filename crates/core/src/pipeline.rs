@@ -26,9 +26,13 @@
 use crate::cache::{CacheStats, ThreatModelCache};
 use crate::cegar::{
     cegar_check_budgeted, cegar_check_on_graph_budgeted, cegar_check_sliced_on_graph_budgeted,
-    FinalVerdict,
+    CegarOutcome, FinalVerdict,
 };
 use crate::report::{DegradedStats, Finding, PropertyOutcome, PropertyResult};
+use crate::store::{
+    baseline_key, checked_model_fps, cone_intersects_delta, delta_commands, knobs_fingerprint,
+    link_key, outcome_from_data, outcome_to_data, threat_fingerprint, verdict_key, RunStore,
+};
 use procheck_conformance::runner::run_suite_traced;
 use procheck_conformance::suites;
 use procheck_conformance::CoverageReport;
@@ -41,14 +45,16 @@ use procheck_smv::checker::{por_default, CheckError, DEFAULT_STATE_LIMIT};
 use procheck_smv::coi::{slice_default, slice_for_property, ConeSig};
 use procheck_stack::quirks::Implementation;
 use procheck_stack::UeConfig;
+use procheck_store::{Fingerprint, StoreStats, VerdictRecord};
 use procheck_telemetry::Collector;
 use procheck_testbed::linkability::{run_scenario, Scenario};
 use procheck_threat::{StepSemantics, ThreatConfig};
 use std::collections::HashSet;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Instant;
 
@@ -123,6 +129,17 @@ pub struct AnalysisConfig {
     /// [`PropertyOutcome::BudgetExhausted`] — the run always completes
     /// and reports partial work; it never aborts. Unlimited by default.
     pub budget: Budget,
+    /// Directory of the persistent cross-run analysis store. When set
+    /// (and [`AnalysisConfig::graph_cache`] is on — the store is an L2
+    /// under the shared cache), settled verdicts and explored graphs
+    /// from previous runs are reused: a verdict hit skips the property's
+    /// check entirely, a graph hit skips an exploration. Every reuse is
+    /// gated by stable content fingerprints, so results are always
+    /// byte-identical to a cold run; corruption of any stored record
+    /// degrades to a cold miss, never a wrong answer. `None` (the
+    /// default) runs fully cold; the `PROCHECK_STORE` environment
+    /// variable supplies a default directory.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for AnalysisConfig {
@@ -140,6 +157,7 @@ impl Default for AnalysisConfig {
             por: por_default(),
             collector: Collector::disabled(),
             budget: Budget::unlimited(),
+            store_dir: std::env::var_os("PROCHECK_STORE").map(PathBuf::from),
         }
     }
 }
@@ -276,6 +294,9 @@ pub struct AnalysisReport {
     /// Degraded-outcome accounting: budget exhaustions, isolated panics,
     /// skips. All zeros on a clean run (CI gates on this).
     pub degraded: DegradedStats,
+    /// Persistent-store accounting for this run; all zeros when no
+    /// store was configured ([`AnalysisConfig::store_dir`]).
+    pub store_stats: StoreStats,
 }
 
 impl AnalysisReport {
@@ -416,146 +437,133 @@ pub fn check_property_metered(
             0,
         ),
         Check::Model(p) => {
-            let threat_cfg = prop.slice.threat_config();
-            let semantics = StepSemantics::new(threat_cfg.clone());
-            let checked = cache
-                .get_or_build_traced(&models.ue, &models.mme, &threat_cfg, &cfg.collector)
-                .and_then(|model| {
-                    if cfg.graph_cache {
-                        // The model is compiled (validated) and the
-                        // property's vocabulary checked *before* asking
-                        // the cache for a graph: an inapplicable property
-                        // must report "not applicable", never the
-                        // state-limit skip a doomed shared build would
-                        // produce — the same error precedence as the
-                        // private path below.
-                        cache
-                            .get_or_compile_traced(&model, &threat_cfg, &cfg.collector)
-                            .and_then(|compiled| {
-                                let cp = compiled.compile_property(p)?;
-                                // Placeholder: `analyze_implementation`
-                                // rewrites this to the registry-order
-                                // attribution.
-                                graph_cache_hit = Some(false);
-                                // Cone-of-influence slicing: when the
-                                // property observes a proper subset of
-                                // the model, explore (and query) the
-                                // projection instead — the cache shares
-                                // sliced graphs per `(config, cone)`.
-                                let sliced = if cfg.slice {
-                                    profitable_slice(&compiled, &cp)
-                                } else {
-                                    None
-                                };
-                                if let Some(sliced) = sliced {
-                                    let graph = cache.get_or_build_sliced_graph_budgeted(
-                                        &sliced,
-                                        &threat_cfg,
-                                        limit,
-                                        meter,
-                                        cfg.explore_threads,
-                                        cfg.por,
-                                        &cfg.collector,
-                                    )?;
-                                    cegar_check_sliced_on_graph_budgeted(
-                                        &compiled,
-                                        &sliced.model,
-                                        &graph,
-                                        p,
-                                        &semantics,
-                                        limit,
-                                        cfg.max_cegar_iterations,
-                                        meter,
-                                        &cfg.collector,
-                                    )
-                                } else {
-                                    let graph = cache.get_or_build_graph_budgeted_opts(
-                                        &compiled,
-                                        &threat_cfg,
-                                        limit,
-                                        meter,
-                                        cfg.explore_threads,
-                                        cfg.por,
-                                        &cfg.collector,
-                                    )?;
-                                    cegar_check_on_graph_budgeted(
-                                        &compiled,
-                                        &graph,
-                                        p,
-                                        &semantics,
-                                        limit,
-                                        cfg.max_cegar_iterations,
-                                        meter,
-                                        &cfg.collector,
-                                    )
+            match check_model_property(
+                prop,
+                p,
+                models,
+                cfg,
+                cache,
+                meter,
+                limit,
+                &mut graph_cache_hit,
+            ) {
+                ModelCheckResolution::Stored(record) => {
+                    // Warm verdict hit: the settled outcome and its CEGAR
+                    // trajectory replay verbatim; no model was checked,
+                    // no graph consulted, no exploration charged.
+                    cpv_queries = record.cpv_queries as usize;
+                    (
+                        outcome_from_data(record.outcome),
+                        record.cegar_iterations as usize,
+                        record.refinements as usize,
+                    )
+                }
+                ModelCheckResolution::Live(checked, pending) => {
+                    let (outcome, iterations, refinements) = match checked {
+                        Ok(outcome) => {
+                            states_explored = outcome.explore.states;
+                            peak_queue = outcome.explore.peak_queue.max(outcome.query.peak_queue);
+                            cpv_queries = outcome.cpv_queries;
+                            nodes_reused = outcome.query.nodes_reused;
+                            let mapped = match outcome.verdict {
+                                FinalVerdict::Verified => PropertyOutcome::Verified,
+                                FinalVerdict::Attack(ce) => PropertyOutcome::Attack(ce),
+                                FinalVerdict::GoalReachable(ce) => {
+                                    PropertyOutcome::GoalReachable(ce)
                                 }
-                            })
-                    } else {
-                        cegar_check_budgeted(
-                            &model,
-                            p,
-                            &semantics,
-                            limit,
-                            cfg.max_cegar_iterations,
-                            meter,
-                            cfg.explore_threads,
-                            &cfg.collector,
-                        )
-                    }
-                });
-            match checked {
-                Ok(outcome) => {
-                    states_explored = outcome.explore.states;
-                    peak_queue = outcome.explore.peak_queue.max(outcome.query.peak_queue);
-                    cpv_queries = outcome.cpv_queries;
-                    nodes_reused = outcome.query.nodes_reused;
-                    let mapped = match outcome.verdict {
-                        FinalVerdict::Verified => PropertyOutcome::Verified,
-                        FinalVerdict::Attack(ce) => PropertyOutcome::Attack(ce),
-                        FinalVerdict::GoalReachable(ce) => PropertyOutcome::GoalReachable(ce),
-                        FinalVerdict::GoalUnreachable => PropertyOutcome::GoalUnreachable,
-                        FinalVerdict::Inconclusive => {
-                            PropertyOutcome::Skipped("CEGAR iteration bound exhausted".into())
+                                FinalVerdict::GoalUnreachable => PropertyOutcome::GoalUnreachable,
+                                FinalVerdict::Inconclusive => PropertyOutcome::Skipped(
+                                    "CEGAR iteration bound exhausted".into(),
+                                ),
+                            };
+                            (mapped, outcome.iterations, outcome.refinements.len())
                         }
+                        Err(CheckError::InvalidModel(problems)) => {
+                            // A reachability goal whose vocabulary does not exist
+                            // in this model is trivially unreachable; other
+                            // property kinds are genuinely not applicable.
+                            let outcome =
+                                if matches!(p, procheck_smv::checker::Property::Reachable { .. }) {
+                                    PropertyOutcome::GoalUnreachable
+                                } else {
+                                    PropertyOutcome::Skipped(format!(
+                                        "not applicable to this model: {}",
+                                        problems.join("; ")
+                                    ))
+                                };
+                            (outcome, 0, 0)
+                        }
+                        Err(CheckError::StateLimit(n)) if n < cfg.state_limit => (
+                            // Only the budget's per-property cap can lower the
+                            // limit below the configured one.
+                            PropertyOutcome::BudgetExhausted(format!(
+                                "per-property state cap {n} exhausted"
+                            )),
+                            0,
+                            0,
+                        ),
+                        Err(CheckError::StateLimit(n)) => (
+                            PropertyOutcome::Skipped(format!("state limit {n} exceeded")),
+                            0,
+                            0,
+                        ),
+                        Err(CheckError::Budget(e)) => {
+                            (PropertyOutcome::BudgetExhausted(e.to_string()), 0, 0)
+                        }
+                        Err(CheckError::Panic(msg)) => (PropertyOutcome::Error(msg), 0, 0),
                     };
-                    (mapped, outcome.iterations, outcome.refinements.len())
+                    // Settled outcomes persist for the next run; degraded
+                    // ones (budget, panics) describe this run and never
+                    // reach disk.
+                    if let (Some(store), Some(pending)) = (cache.store(), pending) {
+                        if let Some(data) = outcome_to_data(&outcome) {
+                            store.save_verdict(
+                                pending.key,
+                                &VerdictRecord {
+                                    property_id: prop.id.to_string(),
+                                    outcome: data,
+                                    cegar_iterations: iterations as u64,
+                                    refinements: refinements as u64,
+                                    cpv_queries: cpv_queries as u64,
+                                    model_fp: pending.model_fp,
+                                },
+                            );
+                        }
+                    }
+                    (outcome, iterations, refinements)
                 }
-                Err(CheckError::InvalidModel(problems)) => {
-                    // A reachability goal whose vocabulary does not exist
-                    // in this model is trivially unreachable; other
-                    // property kinds are genuinely not applicable.
-                    let outcome = if matches!(p, procheck_smv::checker::Property::Reachable { .. })
-                    {
-                        PropertyOutcome::GoalUnreachable
-                    } else {
-                        PropertyOutcome::Skipped(format!(
-                            "not applicable to this model: {}",
-                            problems.join("; ")
-                        ))
-                    };
-                    (outcome, 0, 0)
-                }
-                Err(CheckError::StateLimit(n)) if n < cfg.state_limit => (
-                    // Only the budget's per-property cap can lower the
-                    // limit below the configured one.
-                    PropertyOutcome::BudgetExhausted(format!(
-                        "per-property state cap {n} exhausted"
-                    )),
-                    0,
-                    0,
-                ),
-                Err(CheckError::StateLimit(n)) => (
-                    PropertyOutcome::Skipped(format!("state limit {n} exceeded")),
-                    0,
-                    0,
-                ),
-                Err(CheckError::Budget(e)) => {
-                    (PropertyOutcome::BudgetExhausted(e.to_string()), 0, 0)
-                }
-                Err(CheckError::Panic(msg)) => (PropertyOutcome::Error(msg), 0, 0),
             }
         }
         Check::Linkability(scenario) => {
+            // Linkability verdicts depend only on (implementation,
+            // identity, property) — no composed model, no knobs — so
+            // they are stored and replayed under that key alone. The
+            // store rides the graph-cache switch: `PROCHECK_NO_GRAPH_CACHE`
+            // turns the whole warm path off.
+            let store = if cfg.graph_cache { cache.store() } else { None };
+            let key = link_key(implementation.name(), &cfg.imsi, cfg.key_material, prop.id);
+            let stored = store
+                .and_then(|st| st.load_verdict(key))
+                .filter(|record| record.property_id == prop.id);
+            if let Some(record) = stored {
+                return PropertyResult {
+                    property_id: prop.id,
+                    title: prop.title,
+                    category: prop.category,
+                    expectation: prop.expectation,
+                    outcome: outcome_from_data(record.outcome),
+                    cegar_iterations: 0,
+                    refinements: 0,
+                    states_explored: 0,
+                    peak_queue: 0,
+                    cpv_queries: 0,
+                    nodes_reused: 0,
+                    cache_hit: false,
+                    graph_cache_hit: None,
+                    elapsed: start.elapsed(),
+                    related_attack: prop.related_attack,
+                };
+            }
             let mut ue_cfg = ue_config_for(implementation, cfg);
             if prop.slice.base == BaseProfile::LteFreshnessLimit {
                 ue_cfg.sqn_config.freshness_limit = Some(4);
@@ -566,6 +574,24 @@ pub fn check_property_metered(
             } else {
                 PropertyOutcome::Equivalent
             };
+            if let Some(store) = store {
+                if let Some(data) = outcome_to_data(&mapped) {
+                    store.save_verdict(
+                        key,
+                        &VerdictRecord {
+                            property_id: prop.id.to_string(),
+                            outcome: data,
+                            cegar_iterations: 0,
+                            refinements: 0,
+                            cpv_queries: 0,
+                            // No composed model participates; the key
+                            // (and the trace-free outcome) carry the
+                            // whole reuse decision.
+                            model_fp: Fingerprint::ZERO,
+                        },
+                    );
+                }
+            }
             (mapped, 0, 0)
         }
     };
@@ -588,6 +614,176 @@ pub fn check_property_metered(
         elapsed: start.elapsed(),
         related_attack: prop.related_attack,
     }
+}
+
+/// How one model property's check was resolved: replayed from the
+/// persistent store, or computed live (with, when a store is attached,
+/// the key the settled result should be written back under).
+enum ModelCheckResolution {
+    /// A stored verdict whose key and usability gates both passed — the
+    /// outcome, CEGAR trajectory, and crypto-query count replay
+    /// verbatim; nothing was explored or checked this run.
+    Stored(VerdictRecord),
+    /// The check ran (or failed) live. The [`PendingWrite`] carries the
+    /// verdict key and the exact model fingerprint to persist alongside
+    /// a settled outcome; `None` when no store participates (store
+    /// absent, graph cache off, or the model never composed).
+    Live(Result<CegarOutcome, CheckError>, Option<PendingWrite>),
+}
+
+/// Everything a settled live outcome needs to become a stored verdict.
+struct PendingWrite {
+    key: Fingerprint,
+    model_fp: Fingerprint,
+}
+
+/// The model-property body of [`check_property_metered`]: compose (via
+/// the shared cache), and on the graph-cache path compile, slice, and —
+/// before any exploration — consult the persistent store under the
+/// as-checked model's key. Error precedence is unchanged from the
+/// storeless pipeline: compose and compile errors surface before the
+/// property's vocabulary check, which surfaces before any graph work;
+/// the store lookup sits *after* the vocabulary check so even
+/// not-applicable outcomes replay warm, and `graph_cache_hit` is left
+/// `None` on every path that never consulted the graph layer (store
+/// hits included).
+#[allow(clippy::too_many_arguments)]
+fn check_model_property(
+    prop: &NasProperty,
+    p: &procheck_smv::checker::Property,
+    models: &ExtractedModels,
+    cfg: &AnalysisConfig,
+    cache: &ThreatModelCache,
+    meter: &BudgetMeter,
+    limit: usize,
+    graph_cache_hit: &mut Option<bool>,
+) -> ModelCheckResolution {
+    let threat_cfg = prop.slice.threat_config();
+    let semantics = StepSemantics::new(threat_cfg.clone());
+    let model =
+        match cache.get_or_build_traced(&models.ue, &models.mme, &threat_cfg, &cfg.collector) {
+            Ok(model) => model,
+            Err(e) => return ModelCheckResolution::Live(Err(e), None),
+        };
+    if !cfg.graph_cache {
+        // The store is an L2 under the shared graph cache; with the
+        // cache off (`PROCHECK_NO_GRAPH_CACHE`) the whole warm path is
+        // off too — the private exploration below neither reads nor
+        // writes persisted state.
+        return ModelCheckResolution::Live(
+            cegar_check_budgeted(
+                &model,
+                p,
+                &semantics,
+                limit,
+                cfg.max_cegar_iterations,
+                meter,
+                cfg.explore_threads,
+                &cfg.collector,
+            ),
+            None,
+        );
+    }
+    // The model is compiled (validated) and the property's vocabulary
+    // checked *before* asking the cache for a graph: an inapplicable
+    // property must report "not applicable", never the state-limit skip
+    // a doomed shared build would produce — the same error precedence
+    // as the private path above.
+    let compiled = match cache.get_or_compile_traced(&model, &threat_cfg, &cfg.collector) {
+        Ok(compiled) => compiled,
+        Err(e) => return ModelCheckResolution::Live(Err(e), None),
+    };
+    let cp = compiled.compile_property(p);
+    // Cone-of-influence slicing: when the property observes a proper
+    // subset of the model, explore (and query) the projection instead —
+    // the cache shares sliced graphs per `(config, cone)`.
+    let sliced = match &cp {
+        Ok(cp) if cfg.slice => profitable_slice(&compiled, cp),
+        _ => None,
+    };
+    // Fingerprint the model *as checked* — the cone projection when the
+    // pipeline sliced, the full composition otherwise — so the verdict
+    // key is itself the statement "the model this property observes is
+    // unchanged". Computed on the vocabulary-error path too: the
+    // resulting skip is a settled, replayable outcome.
+    let pending = cache.store().map(|_| {
+        let checked = match &sliced {
+            Some(s) => &s.model,
+            None => &*compiled,
+        };
+        let fps = checked_model_fps(checked);
+        PendingWrite {
+            key: verdict_key(
+                fps.semantic,
+                threat_fingerprint(&threat_cfg),
+                prop.id,
+                knobs_fingerprint(cfg.state_limit, cfg.max_cegar_iterations),
+            ),
+            model_fp: fps.exact,
+        }
+    });
+    if let (Some(store), Some(pw)) = (cache.store(), &pending) {
+        if let Some(record) = store.load_verdict(pw.key) {
+            if record.property_id == prop.id && RunStore::verdict_usable(&record, pw.model_fp) {
+                return ModelCheckResolution::Stored(record);
+            }
+        }
+    }
+    if let Err(e) = cp {
+        return ModelCheckResolution::Live(Err(e), pending);
+    }
+    // Placeholder: `analyze_implementation` rewrites this to the
+    // registry-order attribution.
+    *graph_cache_hit = Some(false);
+    let checked = if let Some(sliced) = sliced {
+        cache
+            .get_or_build_sliced_graph_budgeted(
+                &sliced,
+                &threat_cfg,
+                limit,
+                meter,
+                cfg.explore_threads,
+                cfg.por,
+                &cfg.collector,
+            )
+            .and_then(|graph| {
+                cegar_check_sliced_on_graph_budgeted(
+                    &compiled,
+                    &sliced.model,
+                    &graph,
+                    p,
+                    &semantics,
+                    limit,
+                    cfg.max_cegar_iterations,
+                    meter,
+                    &cfg.collector,
+                )
+            })
+    } else {
+        cache
+            .get_or_build_graph_budgeted_opts(
+                &compiled,
+                &threat_cfg,
+                limit,
+                meter,
+                cfg.explore_threads,
+                cfg.por,
+                &cfg.collector,
+            )
+            .and_then(|graph| {
+                cegar_check_on_graph_budgeted(
+                    &compiled,
+                    &graph,
+                    p,
+                    &semantics,
+                    limit,
+                    cfg.max_cegar_iterations,
+                    meter,
+                    &cfg.collector,
+                )
+            })
+    };
+    ModelCheckResolution::Live(checked, pending)
 }
 
 /// The result slot for a property whose check panicked outright (past
@@ -702,7 +898,35 @@ pub fn analyze_implementation(
     cfg: &AnalysisConfig,
 ) -> AnalysisReport {
     let models = extract_models(implementation, cfg);
-    let cache = ThreatModelCache::new();
+    analyze_extracted(implementation, &models, cfg)
+}
+
+/// [`analyze_implementation`] from already-extracted models: phases 3–4
+/// only. Callers that mutate or synthesize models (the warm-run bench,
+/// incremental re-check experiments) enter here.
+///
+/// When [`AnalysisConfig::store_dir`] is set (and the graph cache is
+/// on), the persistent store is opened first: verdicts and graphs from
+/// previous runs short-circuit this one, and at the end the extracted
+/// machines are diffed against the stored baseline snapshot (the
+/// FSM-delta telemetry) before becoming the new baseline. A store that
+/// fails to open degrades to a fully cold run.
+pub fn analyze_extracted(
+    implementation: Implementation,
+    models: &ExtractedModels,
+    cfg: &AnalysisConfig,
+) -> AnalysisReport {
+    let store = if cfg.graph_cache {
+        cfg.store_dir
+            .as_ref()
+            .and_then(|dir| RunStore::open(dir).ok())
+    } else {
+        None
+    };
+    let cache = match &store {
+        Some(store) => ThreatModelCache::with_store(Arc::clone(store)),
+        None => ThreatModelCache::new(),
+    };
     let all = registry();
     let props: Vec<&NasProperty> = all
         .iter()
@@ -726,7 +950,7 @@ pub fn analyze_implementation(
         // results are untouched.
         let start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
-            check_property_metered(prop, &models, implementation, cfg, &cache, &meter)
+            check_property_metered(prop, models, implementation, cfg, &cache, &meter)
         }))
         .unwrap_or_else(|payload| {
             panicked_property_result(prop, panic_message(payload), start.elapsed())
@@ -822,16 +1046,96 @@ pub fn analyze_implementation(
             ],
         );
     }
+    if let Some(store) = &store {
+        record_fsm_delta(implementation, models, cfg, &cache, store, &props);
+        // Mirror the store's own accounting onto the collector, in the
+        // same post-pool position as the degraded counters so the event
+        // stream stays thread-count-independent. `store.graph_loads` is
+        // recorded live at each load (inside the exactly-once slot
+        // build) and deliberately not mirrored again here.
+        let s = store.stats();
+        cfg.collector.add("store.lookups", s.lookups);
+        cfg.collector.add("store.hits", s.hits);
+        cfg.collector.add("store.invalidated", s.invalidated);
+        cfg.collector.add("store.writes", s.writes);
+        cfg.collector.add("store.bytes_read", s.bytes_read);
+        cfg.collector.add("store.bytes_written", s.bytes_written);
+    }
     AnalysisReport {
         implementation,
         results,
         ue_stats: FsmStats::of(&models.ue),
         mme_stats: FsmStats::of(&models.mme),
-        coverage: models.coverage,
+        coverage: models.coverage.clone(),
         cache_stats: cache.stats(),
         graph_cache_stats: cache.graph_stats(),
         degraded,
+        store_stats: store.as_ref().map(|s| s.stats()).unwrap_or_default(),
     }
+}
+
+/// The incremental-re-check telemetry pass: diff this run's extracted
+/// machines against the stored baseline snapshot, lower the delta to
+/// the compiled command sets it touches, and record which properties'
+/// cones of influence the delta lands in — the *explanation* for why a
+/// warm run re-checked exactly the properties it did. The reuse
+/// decisions themselves were already made, per property, by
+/// fingerprint-key equality; this pass records counters only and can
+/// never change a result. The extracted machines then become the new
+/// baseline.
+fn record_fsm_delta(
+    implementation: Implementation,
+    models: &ExtractedModels,
+    cfg: &AnalysisConfig,
+    cache: &ThreatModelCache,
+    store: &RunStore,
+    props: &[&NasProperty],
+) {
+    let key = baseline_key(implementation.name(), &cfg.imsi, cfg.key_material);
+    if let Some((base_ue, base_mme)) = store.load_baseline(key) {
+        let ue_diff = procheck_fsm::diff::diff(&base_ue, &models.ue);
+        let mme_diff = procheck_fsm::diff::diff(&base_mme, &models.mme);
+        let delta_transitions = (ue_diff.added.len()
+            + ue_diff.removed.len()
+            + mme_diff.added.len()
+            + mme_diff.removed.len()) as u64;
+        cfg.collector.add("store.baseline_found", 1);
+        cfg.collector
+            .add("store.delta_transitions", delta_transitions);
+        if delta_transitions > 0 {
+            // Per-property cone intersection. The compiled models are
+            // peeked from the cache (no accounting perturbation); a
+            // configuration that never compiled this run (all its
+            // properties replayed from the store before composing a
+            // graph) contributes conservatively as "intersecting" only
+            // if it was actually re-checked — which a verdict hit
+            // already proves it was not.
+            let mut intersecting = 0u64;
+            let mut disjoint = 0u64;
+            for prop in props {
+                if !matches!(prop.check, Check::Model(_)) {
+                    continue;
+                }
+                let threat_cfg = prop.slice.threat_config();
+                let Some(compiled) = cache.peek_compiled(&threat_cfg) else {
+                    continue;
+                };
+                let delta = delta_commands(&compiled, &ue_diff, &mme_diff);
+                let cone = graph_cone_for(prop, cfg, cache, &threat_cfg);
+                if cone_intersects_delta(cone.as_ref(), &delta) {
+                    intersecting += 1;
+                } else {
+                    disjoint += 1;
+                }
+            }
+            cfg.collector
+                .add("store.delta_cone_intersections", intersecting);
+            cfg.collector.add("store.delta_cone_disjoint", disjoint);
+        }
+    } else {
+        cfg.collector.add("store.baseline_found", 0);
+    }
+    store.save_baseline(key, &models.ue, &models.mme);
 }
 
 #[cfg(test)]

@@ -19,6 +19,9 @@ fn cfg(budget: Budget, ids: &[&'static str]) -> AnalysisConfig {
         state_limit: 2_000_000,
         threads: 1,
         budget,
+        // Hermetic against an ambient PROCHECK_STORE: budget exhaustion
+        // is never stored, but warm hits would skip the checks entirely.
+        store_dir: None,
         ..AnalysisConfig::default()
     }
 }

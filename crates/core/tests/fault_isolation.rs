@@ -38,6 +38,9 @@ fn config(graph_cache: bool, threads: usize) -> AnalysisConfig {
         graph_cache,
         state_limit: 2_000_000,
         max_cegar_iterations: 24,
+        // Hermetic against an ambient PROCHECK_STORE: a warm store would
+        // satisfy verdicts before the faulted stage is ever reached.
+        store_dir: None,
         ..AnalysisConfig::default()
     }
 }

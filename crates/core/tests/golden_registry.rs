@@ -36,6 +36,9 @@ fn config(explore_threads: usize) -> AnalysisConfig {
         graph_cache: true,
         state_limit: STATE_LIMIT,
         max_cegar_iterations: MAX_ITERATIONS,
+        // Hermetic against an ambient PROCHECK_STORE: the snapshot's
+        // exploration counters only exist when the run is cold.
+        store_dir: None,
         ..AnalysisConfig::default()
     }
 }

@@ -33,6 +33,9 @@ fn run_explore(graph_cache: bool, threads: usize, explore_threads: usize) -> Ana
             threads,
             explore_threads,
             state_limit: 2_000_000,
+            // Hermetic against an ambient PROCHECK_STORE: stored
+            // verdicts would bypass the graph cache under test.
+            store_dir: None,
             ..AnalysisConfig::default()
         },
     )

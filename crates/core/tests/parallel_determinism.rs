@@ -33,6 +33,9 @@ fn fingerprint(r: &PropertyResult) -> String {
 fn parallel_run_matches_serial_run_exactly() {
     let base = AnalysisConfig {
         state_limit: 2_000_000,
+        // Hermetic against an ambient PROCHECK_STORE (replayed verdicts
+        // would hide scheduling bugs in the pool under test).
+        store_dir: None,
         ..AnalysisConfig::default()
     };
     let serial = analyze_implementation(
@@ -75,6 +78,7 @@ fn counter_totals_identical_across_thread_counts() {
                 threads,
                 state_limit: 2_000_000,
                 collector: collector.clone(),
+                store_dir: None,
                 ..AnalysisConfig::default()
             },
         );
@@ -93,6 +97,7 @@ fn thread_count_is_clamped() {
         property_filter: Some(vec!["S01"]),
         state_limit: 2_000_000,
         threads: 0,
+        store_dir: None,
         ..AnalysisConfig::default()
     };
     let report = analyze_implementation(Implementation::Reference, &cfg);

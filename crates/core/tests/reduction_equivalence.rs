@@ -42,6 +42,9 @@ fn run(slice: bool, por: bool, threads: usize, explore_threads: usize) -> Analys
             threads,
             explore_threads,
             state_limit: 2_000_000,
+            // Hermetic against an ambient PROCHECK_STORE: replayed
+            // verdicts would skip the explorations under test.
+            store_dir: None,
             ..AnalysisConfig::default()
         },
     )
@@ -92,6 +95,7 @@ fn slicing_reduces_distinct_states_explored() {
                 explore_threads: 1,
                 state_limit: 2_000_000,
                 collector: collector.clone(),
+                store_dir: None,
                 ..AnalysisConfig::default()
             },
         );

@@ -1,0 +1,218 @@
+//! Injected `StoreRead` / `StoreWrite` faults against the persistent
+//! store: every fault — a panic mid-load, a frame mangled on the way in
+//! or out — must cost at most one run's warmth for one record, never a
+//! wrong or missing result. The golden reference is the same run
+//! without a store; reports are compared byte for byte.
+//!
+//! The armed fault plan is process-global, so tests serialize their
+//! arm/run/disarm sections through one mutex (the `fault_isolation.rs`
+//! idiom).
+
+#![cfg(feature = "fault-inject")]
+
+use procheck::pipeline::{analyze_extracted, extract_models, AnalysisConfig, AnalysisReport};
+use procheck_faults::{arm, disarm, FaultKind, FaultPlan, FaultSite};
+use procheck_stack::quirks::Implementation;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A model/linkability mix small enough to re-run many times.
+const IDS: &[&str] = &["S01", "S12", "PR07", "PR19", "PR20"];
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("procheck-storefault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg(store_dir: Option<PathBuf>) -> AnalysisConfig {
+    AnalysisConfig {
+        property_filter: Some(IDS.to_vec()),
+        state_limit: 2_000_000,
+        max_cegar_iterations: 24,
+        threads: 1,
+        explore_threads: 1,
+        graph_cache: true,
+        store_dir,
+        ..AnalysisConfig::default()
+    }
+}
+
+fn render(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    for r in &report.results {
+        let _ = writeln!(
+            out,
+            "{}|{:?}|iters={}|refs={}|cpv={}|cache_hit={}",
+            r.property_id, r.outcome, r.cegar_iterations, r.refinements, r.cpv_queries, r.cache_hit
+        );
+    }
+    out
+}
+
+/// A fault on the load path — mangled payload or a panic inside the
+/// loader — degrades that record to a cold miss: the property
+/// re-checks live, the report stays byte-identical, and the re-settled
+/// verdict heals the store for the next run.
+#[test]
+fn read_faults_degrade_to_cold_misses() {
+    let _guard = lock();
+    let models = extract_models(Implementation::Reference, &cfg(None));
+    for kind in [FaultKind::Truncate, FaultKind::Garbage, FaultKind::Panic] {
+        let dir = fresh_dir(&format!("read-{kind:?}"));
+        let cold = analyze_extracted(Implementation::Reference, &models, &cfg(Some(dir.clone())));
+        assert!(cold.store_stats.writes > 0, "[{kind:?}] cold run populates");
+
+        arm(FaultPlan::new(FaultSite::StoreRead, kind));
+        let warm = analyze_extracted(Implementation::Reference, &models, &cfg(Some(dir.clone())));
+        assert!(disarm(), "[{kind:?}] a warm run must reach the read hook");
+        assert_eq!(
+            render(&warm),
+            render(&cold),
+            "[{kind:?}] a faulted load must re-check, not corrupt the report"
+        );
+        assert!(
+            warm.store_stats.invalidated >= 1,
+            "[{kind:?}] the fault surfaces as an invalidated record: {:?}",
+            warm.store_stats
+        );
+        assert!(
+            warm.degraded.is_clean(),
+            "[{kind:?}] store faults never degrade results"
+        );
+
+        // The re-check re-wrote the record: the next run is fully warm.
+        let healed = analyze_extracted(Implementation::Reference, &models, &cfg(Some(dir.clone())));
+        assert_eq!(render(&healed), render(&cold), "[{kind:?}]");
+        assert_eq!(
+            healed.store_stats.hits, healed.store_stats.lookups,
+            "[{kind:?}] the store heals itself: {:?}",
+            healed.store_stats
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A fault on the save path — the framed bytes mangled before the
+/// write, or a panic that skips it — never touches the faulted run's
+/// results; it costs exactly one verdict's warmth on the *next* run
+/// (the corrupt frame is rejected, the miss re-checks), and the run
+/// after that is fully warm again.
+#[test]
+fn write_faults_cost_only_the_next_runs_warmth() {
+    let _guard = lock();
+    let models = extract_models(Implementation::Reference, &cfg(None));
+    let baseline = analyze_extracted(Implementation::Reference, &models, &cfg(None));
+
+    // Verdict keys are content-addressed, so the same models produce the
+    // same file names every run: probe once, then target one key
+    // deterministically across the fault matrix.
+    let probe = fresh_dir("write-probe");
+    let _ = analyze_extracted(
+        Implementation::Reference,
+        &models,
+        &cfg(Some(probe.clone())),
+    );
+    let mut keys: Vec<String> = std::fs::read_dir(probe.join("verdicts"))
+        .expect("cold run creates the verdicts dir")
+        .map(|e| {
+            let path = e.expect("dir entry").path();
+            path.file_stem()
+                .expect("pcks file")
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    keys.sort();
+    assert_eq!(keys.len(), IDS.len(), "one verdict record per property");
+    let target = keys.remove(0);
+    let _ = std::fs::remove_dir_all(&probe);
+
+    for kind in [FaultKind::Truncate, FaultKind::Garbage, FaultKind::Panic] {
+        let dir = fresh_dir(&format!("write-{kind:?}"));
+        arm(FaultPlan::new(FaultSite::StoreWrite, kind).at_key(&target));
+        let cold = analyze_extracted(Implementation::Reference, &models, &cfg(Some(dir.clone())));
+        assert!(
+            disarm(),
+            "[{kind:?}] the cold run must write the target verdict"
+        );
+        assert_eq!(
+            render(&cold),
+            render(&baseline),
+            "[{kind:?}] saves are best-effort; a faulted one is invisible now"
+        );
+        assert!(cold.degraded.is_clean(), "[{kind:?}]");
+
+        // Next run: the poisoned (or skipped) frame is rejected as a
+        // cold miss, everything else replays.
+        let warm = analyze_extracted(Implementation::Reference, &models, &cfg(Some(dir.clone())));
+        assert_eq!(render(&warm), render(&baseline), "[{kind:?}]");
+        assert_eq!(
+            warm.store_stats.hits,
+            warm.store_stats.lookups - 1,
+            "[{kind:?}] exactly one verdict lost its warmth: {:?}",
+            warm.store_stats
+        );
+        assert!(warm.degraded.is_clean(), "[{kind:?}]");
+
+        // The miss re-settled and re-wrote it: run three is fully warm.
+        let healed = analyze_extracted(Implementation::Reference, &models, &cfg(Some(dir.clone())));
+        assert_eq!(render(&healed), render(&baseline), "[{kind:?}]");
+        assert_eq!(
+            healed.store_stats.hits, healed.store_stats.lookups,
+            "[{kind:?}] {:?}",
+            healed.store_stats
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A faulted *baseline* load (the FSM-delta telemetry path) is absorbed
+/// like any other: the run completes, reports no delta, and re-snapshots
+/// the baseline so the next run diffs cleanly again.
+#[test]
+fn baseline_read_fault_only_mutes_the_delta_telemetry() {
+    let _guard = lock();
+    let models = extract_models(Implementation::Reference, &cfg(None));
+    let dir = fresh_dir("baseline-read");
+    let cold = analyze_extracted(Implementation::Reference, &models, &cfg(Some(dir.clone())));
+
+    let key = procheck::store::baseline_key(
+        Implementation::Reference.name(),
+        &cfg(None).imsi,
+        cfg(None).key_material,
+    );
+    arm(FaultPlan::new(FaultSite::StoreRead, FaultKind::Garbage).at_key(key.to_hex()));
+    let collector = procheck_telemetry::Collector::enabled();
+    let mut warm_cfg = cfg(Some(dir.clone()));
+    warm_cfg.collector = collector.clone();
+    let warm = analyze_extracted(Implementation::Reference, &models, &warm_cfg);
+    assert!(disarm(), "the delta pass must load the stored baseline");
+    assert_eq!(render(&warm), render(&cold));
+    assert_eq!(
+        collector.counter_value("store.baseline_found"),
+        0,
+        "a mangled baseline reads as absent"
+    );
+    assert_eq!(
+        warm.store_stats.hits, warm.store_stats.lookups,
+        "verdicts unaffected"
+    );
+
+    // The baseline was re-snapshotted; the next run diffs it again.
+    let collector2 = procheck_telemetry::Collector::enabled();
+    let mut again_cfg = cfg(Some(dir.clone()));
+    again_cfg.collector = collector2.clone();
+    let _ = analyze_extracted(Implementation::Reference, &models, &again_cfg);
+    assert_eq!(collector2.counter_value("store.baseline_found"), 1);
+    assert_eq!(collector2.counter_value("store.delta_transitions"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,7 +6,7 @@
 //! byte-identical to the golden snapshot. This crate is the lever that
 //! makes those failures reproducible.
 //!
-//! The pipeline crates call [`inject`] at five stage boundaries (the
+//! The pipeline crates call [`inject`] at these stage boundaries (the
 //! hooks compile only under their `fault-inject` feature, so release
 //! builds carry zero overhead):
 //!
@@ -17,6 +17,8 @@
 //! | `ThreatCompose`   | `ThreatModelCache` compose-slot build closure    |
 //! | `GraphBuild`      | `ThreatModelCache` graph-slot build closure      |
 //! | `PropertyEval`    | `check_property` entry (keyed by property id)    |
+//! | `StoreRead`       | persistent-store record load (keyed by key hex)  |
+//! | `StoreWrite`      | persistent-store record save (keyed by key hex)  |
 //!
 //! A test arms exactly one [`FaultPlan`] (site + kind + optional key +
 //! fire-on-nth-match), runs the pipeline, and disarms. A plan fires at
@@ -46,6 +48,10 @@ pub enum FaultSite {
     GraphBuild,
     /// One property's check, inside the worker pool.
     PropertyEval,
+    /// A persistent-store record load (verdict, graph, or baseline).
+    StoreRead,
+    /// A persistent-store record save.
+    StoreWrite,
 }
 
 /// What happens when the plan fires.
@@ -122,6 +128,10 @@ impl FaultPlan {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
             z ^ (z >> 31)
         };
+        // Deliberately drawn from the original five sites only: the
+        // store sites are armed explicitly by store tests, and keeping
+        // the modulus at 5 preserves every historical seed → plan
+        // mapping the seeded sweeps were written against.
         let site = match next() % 5 {
             0 => FaultSite::LogSource,
             1 => FaultSite::Extractor,

@@ -9,6 +9,7 @@
 
 use crate::{Fsm, Transition};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Difference between two FSMs over the same vocabulary.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,25 +53,36 @@ impl FsmDiff {
 }
 
 /// Computes the structural diff `right − left` / `left − right`.
+///
+/// Each side is indexed into a hash set once, so the comparison is
+/// linear in the total transition count — this sits on the warm-path
+/// hot loop (every incremental re-check diffs the fresh FSM against the
+/// stored baseline) where the old per-transition scan was quadratic.
+/// Output order is unchanged: each diff vector lists survivors in the
+/// source machine's insertion order, never hash order.
 pub fn diff(left: &Fsm, right: &Fsm) -> FsmDiff {
+    let left_transitions: HashSet<&Transition> = left.transitions().collect();
+    let right_transitions: HashSet<&Transition> = right.transitions().collect();
     let added = right
         .transitions()
-        .filter(|t| !left.transitions().any(|u| u == *t))
+        .filter(|t| !left_transitions.contains(*t))
         .cloned()
         .collect();
     let removed = left
         .transitions()
-        .filter(|t| !right.transitions().any(|u| u == *t))
+        .filter(|t| !right_transitions.contains(*t))
         .cloned()
         .collect();
+    let left_states: HashSet<_> = left.states().collect();
+    let right_states: HashSet<_> = right.states().collect();
     let added_states = right
         .states()
-        .filter(|s| !left.contains_state(s))
+        .filter(|s| !left_states.contains(s))
         .map(|s| s.as_str().to_string())
         .collect();
     let removed_states = left
         .states()
-        .filter(|s| !right.contains_state(s))
+        .filter(|s| !right_states.contains(s))
         .map(|s| s.as_str().to_string())
         .collect();
     FsmDiff {
@@ -116,6 +128,42 @@ mod tests {
         let d = diff(&left, &base());
         assert_eq!(d.removed_states, vec!["orphan".to_string()]);
         assert!(d.render().contains("- state orphan"));
+    }
+
+    /// Output order is the source machines' insertion order — pinned
+    /// because the warm path hashes the rendered diff and lowers it to
+    /// command sets, so a hash-order leak would make re-check decisions
+    /// (and telemetry) run-dependent.
+    #[test]
+    fn diff_output_is_insertion_ordered() {
+        let mut left = Fsm::new("left");
+        left.set_initial("s0");
+        let mut right = Fsm::new("right");
+        right.set_initial("s0");
+        // Shared prefix so survivors interleave with common transitions.
+        for f in [&mut left, &mut right] {
+            f.add_transition(Transition::build("s0", "s1").when("common_a"));
+            f.add_transition(Transition::build("s1", "s0").when("common_b"));
+        }
+        // Insertion order deliberately differs from lexicographic order.
+        left.add_transition(Transition::build("s1", "s2").when("zeta"));
+        left.add_transition(Transition::build("s2", "s0").when("alpha"));
+        left.add_state("z_orphan");
+        left.add_state("a_orphan");
+        right.add_transition(Transition::build("s0", "s3").when("omega"));
+        right.add_transition(Transition::build("s3", "s0").when("beta"));
+        right.add_state("m_orphan");
+
+        let d = diff(&left, &right);
+        let removed: Vec<String> = d.removed.iter().map(|t| t.to_string()).collect();
+        let added: Vec<String> = d.added.iter().map(|t| t.to_string()).collect();
+        assert_eq!(removed, vec!["s1 -> s2 [zeta / ]", "s2 -> s0 [alpha / ]"]);
+        assert_eq!(added, vec!["s0 -> s3 [omega / ]", "s3 -> s0 [beta / ]"]);
+        // States iterate in `Fsm::states` order (sorted by name).
+        assert_eq!(d.removed_states, vec!["a_orphan", "s2", "z_orphan"]);
+        assert_eq!(d.added_states, vec!["m_orphan", "s3"]);
+        // And the exact same output again: fully deterministic.
+        assert_eq!(diff(&left, &right), d);
     }
 
     #[test]

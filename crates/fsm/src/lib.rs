@@ -33,6 +33,7 @@
 //! assert!(ue.is_deterministic());
 //! ```
 
+pub mod canon;
 pub mod diff;
 pub mod dot;
 pub mod error;

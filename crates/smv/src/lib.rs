@@ -57,6 +57,7 @@ pub mod coi;
 pub mod expr;
 pub mod fxhash;
 pub mod model;
+pub mod persist;
 pub mod reach;
 pub mod smvformat;
 pub mod trace;
@@ -69,5 +70,6 @@ pub use checker::{
 pub use coi::{expand_counterexample, slice_default, slice_for_property, ConeSig, SlicedModel};
 pub use expr::Expr;
 pub use model::{GuardedCmd, Model};
+pub use persist::{model_fingerprint, model_semantic_fingerprint, ReachGraphData};
 pub use reach::ReachGraph;
 pub use trace::Counterexample;

@@ -1,0 +1,357 @@
+//! Hand-rolled binary codec: little-endian, length-prefixed, no serde.
+//!
+//! Every multi-byte integer is little-endian; every variable-length
+//! field carries a `u64` element count. [`ByteReader`] validates each
+//! length against the remaining input *before* allocating, so a
+//! corrupted length prefix degrades to a [`DecodeError`] instead of an
+//! OOM attempt.
+
+use std::fmt;
+
+/// Append-only byte buffer with typed writers.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Raw bytes, no length prefix (caller frames them).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed `u16` vector.
+    pub fn vec_u16(&mut self, v: &[u16]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u16(x);
+        }
+    }
+
+    /// Length-prefixed `u32` vector.
+    pub fn vec_u32(&mut self, v: &[u32]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u32(x);
+        }
+    }
+
+    /// Length-prefixed `u64` vector.
+    pub fn vec_u64(&mut self, v: &[u64]) {
+        self.u64(v.len() as u64);
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// `Option<u64>` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+        }
+    }
+}
+
+/// A decode failure: the input is shorter, malformed, or differently
+/// shaped than the codec expects. Always recoverable — the store treats
+/// any decode failure as record corruption (a cold miss), never as an
+/// answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes remain than the next field needs.
+    Eof {
+        /// Bytes the field required.
+        wanted: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// An enum tag byte outside the known range.
+    BadTag(u8),
+    /// Input remained after the last expected field.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Eof { wanted, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of record: wanted {wanted} bytes, {remaining} remain"
+                )
+            }
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::BadTag(t) => write!(f, "unknown enum tag {t}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} unconsumed trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Cursor over an encoded byte slice with typed, validated readers.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `data`, positioned at the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True once every byte is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Errors unless the input is fully consumed — record decoders call
+    /// this last so oversized payloads register as corruption.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Eof {
+                wanted: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// A length prefix, validated against the remaining input assuming
+    /// `elem_size`-byte elements.
+    fn checked_len(&mut self, elem_size: usize) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).map_err(|_| DecodeError::Eof {
+            wanted: usize::MAX,
+            remaining: self.remaining(),
+        })?;
+        let wanted = n.checked_mul(elem_size).ok_or(DecodeError::Eof {
+            wanted: usize::MAX,
+            remaining: self.remaining(),
+        })?;
+        if wanted > self.remaining() {
+            return Err(DecodeError::Eof {
+                wanted,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let n = self.checked_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Length-prefixed `u16` vector.
+    pub fn vec_u16(&mut self) -> Result<Vec<u16>, DecodeError> {
+        let n = self.checked_len(2)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u16()?);
+        }
+        Ok(out)
+    }
+
+    /// Length-prefixed `u32` vector.
+    pub fn vec_u32(&mut self) -> Result<Vec<u32>, DecodeError> {
+        let n = self.checked_len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Length-prefixed `u64` vector.
+    pub fn vec_u64(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let n = self.checked_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.u64()?);
+        }
+        Ok(out)
+    }
+
+    /// `Option<u64>` written by [`ByteWriter::opt_u64`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_type() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.u16(513);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.string("hëllo");
+        w.vec_u16(&[1, 2, 3]);
+        w.vec_u32(&[]);
+        w.vec_u64(&[u64::MAX, 0]);
+        w.opt_u64(None);
+        w.opt_u64(Some(42));
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 513);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.string().unwrap(), "hëllo");
+        assert_eq!(r.vec_u16().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.vec_u32().unwrap(), Vec::<u32>::new());
+        assert_eq!(r.vec_u64().unwrap(), vec![u64::MAX, 0]);
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(42));
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.vec_u64(&[1, 2, 3, 4]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.vec_u64().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocating() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX); // absurd element count
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.vec_u64(), Err(DecodeError::Eof { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.u8().unwrap();
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = ByteWriter::new();
+        w.u64(2);
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.string(), Err(DecodeError::BadUtf8));
+    }
+}

@@ -1,0 +1,279 @@
+//! Stable 128-bit content hashing for on-disk keys and checksums.
+//!
+//! Every fingerprint that reaches disk is computed here, over *resolved
+//! strings and explicit integers* — never over `Sym(u32)` values, which
+//! are process-global interning ids and not stable across runs. The
+//! algorithm is fixed (two 64-bit lanes over little-endian 8-byte words
+//! with a splitmix-style finalizer) and byte-order independent, so a
+//! store written on one machine validates on another. Changing the
+//! mixing constants or absorption order is a format break: bump
+//! [`crate::FORMAT_VERSION`] alongside, or old stores will be read with
+//! mismatched keys.
+
+use std::fmt;
+
+/// A 128-bit stable hash value: a store key, payload checksum, or model
+/// fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub [u8; 16]);
+
+impl Fingerprint {
+    /// The all-zero fingerprint, used where a key slot is structurally
+    /// present but carries no content (e.g. linkability verdicts have no
+    /// composed model to fingerprint).
+    pub const ZERO: Fingerprint = Fingerprint([0; 16]);
+
+    /// Lower-case hex rendering (32 characters) — also the on-disk file
+    /// stem for keyed records.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses the 32-character hex form back; `None` on any other shape.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+        }
+        Some(Fingerprint(out))
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// The splitmix64 finalizer: a full-avalanche 64-bit permutation.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+const LANE_A_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+const LANE_B_SEED: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const LANE_A_MULT: u64 = 0xff51_afd7_ed55_8ccd;
+
+/// Incremental 128-bit hasher.
+///
+/// Byte-stream absorption is chunk-insensitive (an internal 8-byte
+/// buffer realigns words), so `write(b"ab"); write(b"c")` equals
+/// `write(b"abc")`. Variable-length fields still need explicit framing
+/// to avoid concatenation ambiguity — use [`write_str`](Self::write_str)
+/// (length-prefixed) rather than raw `write` for strings.
+#[derive(Clone)]
+pub struct StableHasher {
+    a: u64,
+    b: u64,
+    buf: [u8; 8],
+    buf_len: usize,
+    len: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        StableHasher {
+            a: LANE_A_SEED,
+            b: LANE_B_SEED,
+            buf: [0; 8],
+            buf_len: 0,
+            len: 0,
+        }
+    }
+
+    /// A fresh hasher with a domain-separation tag absorbed first, so
+    /// e.g. verdict keys and graph keys over identical content never
+    /// collide.
+    pub fn with_domain(tag: &str) -> Self {
+        let mut h = Self::new();
+        h.write_str(tag);
+        h
+    }
+
+    #[inline]
+    fn absorb(&mut self, w: u64) {
+        self.a = mix(self.a ^ w).wrapping_mul(LANE_A_MULT);
+        self.b = mix(self.b.rotate_left(23) ^ w) ^ self.a;
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+        let mut rest = bytes;
+        if self.buf_len > 0 {
+            let need = 8 - self.buf_len;
+            let take = need.min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len < 8 {
+                return;
+            }
+            let w = u64::from_le_bytes(self.buf);
+            self.absorb(w);
+            self.buf_len = 0;
+        }
+        let mut chunks = rest.chunks_exact(8);
+        for chunk in &mut chunks {
+            let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.absorb(w);
+        }
+        let tail = chunks.remainder();
+        self.buf[..tail.len()].copy_from_slice(tail);
+        self.buf_len = tail.len();
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Absorbs a `u16` (little-endian).
+    pub fn write_u16(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` (little-endian).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a length-prefixed string — the only way string content
+    /// should enter a fingerprint (prefixing removes concatenation
+    /// ambiguity between adjacent fields).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Finalizes into a [`Fingerprint`]. The total absorbed length is
+    /// folded in, so zero-padding in the final partial word cannot
+    /// collide with explicit trailing zero bytes.
+    pub fn finish(mut self) -> Fingerprint {
+        if self.buf_len > 0 {
+            for slot in &mut self.buf[self.buf_len..] {
+                *slot = 0;
+            }
+            let w = u64::from_le_bytes(self.buf);
+            self.absorb(w);
+        }
+        let x = mix(self.a ^ mix(self.len));
+        let y = mix(self.b ^ x ^ self.len.rotate_left(32));
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&x.to_le_bytes());
+        out[8..].copy_from_slice(&y.to_le_bytes());
+        Fingerprint(out)
+    }
+}
+
+/// One-shot hash of a byte slice (used for frame checksums).
+pub fn hash_bytes(bytes: &[u8]) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunking_is_invisible() {
+        let mut one = StableHasher::new();
+        one.write(b"the quick brown fox");
+        let mut many = StableHasher::new();
+        many.write(b"the ");
+        many.write(b"quick");
+        many.write(b" brown fo");
+        many.write(b"x");
+        assert_eq!(one.finish(), many.finish());
+    }
+
+    #[test]
+    fn length_prefix_separates_fields() {
+        let mut ab_c = StableHasher::new();
+        ab_c.write_str("ab");
+        ab_c.write_str("c");
+        let mut a_bc = StableHasher::new();
+        a_bc.write_str("a");
+        a_bc.write_str("bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+
+    #[test]
+    fn trailing_zeros_differ_from_padding() {
+        let mut short = StableHasher::new();
+        short.write(&[1, 2, 3]);
+        let mut padded = StableHasher::new();
+        padded.write(&[1, 2, 3, 0, 0, 0, 0, 0]);
+        assert_ne!(short.finish(), padded.finish());
+    }
+
+    #[test]
+    fn domains_separate() {
+        let mut v = StableHasher::with_domain("verdict");
+        v.write_str("same");
+        let mut g = StableHasher::with_domain("graph");
+        g.write_str("same");
+        assert_ne!(v.finish(), g.finish());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let fp = hash_bytes(b"roundtrip");
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Fingerprint::from_hex(&hex), Some(fp));
+        assert_eq!(Fingerprint::from_hex("zz"), None);
+        assert_eq!(Fingerprint::from_hex(&hex[..30]), None);
+    }
+
+    /// The algorithm is part of the on-disk format: if this pinned value
+    /// changes, existing stores silently become 100% cold. Bump
+    /// `FORMAT_VERSION` with any intentional change.
+    #[test]
+    fn algorithm_is_pinned() {
+        let mut h = StableHasher::new();
+        h.write_str("procheck");
+        h.write_u64(62);
+        assert_eq!(h.finish().to_hex(), "79faab21fd2bcd52d97b62b4cc1d97e7");
+    }
+
+    #[test]
+    fn empty_input_is_stable_and_nonzero() {
+        let fp = StableHasher::new().finish();
+        assert_eq!(fp, StableHasher::new().finish());
+        assert_ne!(fp, Fingerprint::ZERO);
+    }
+}

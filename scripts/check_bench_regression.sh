@@ -40,6 +40,17 @@
 #                            Skipped when the artifact carries no
 #                            reduction section (graph cache disabled) or
 #                            the baseline predates the field.
+#   * warm_hit_rate        — persistent-store verdict hit rate of an
+#                            unchanged warm run; must be exactly 1.0
+#                            (the warm path is deterministic).
+#   * warm_graph_explorations — must be exactly 0: a fully warm run
+#                            never explores a reachability graph.
+#   * warm_speedup_vs_cold — warm vs cold wall-clock over the full
+#                            registry; absolute floor from the
+#                            baseline's warm_speedup_floor (default 5x).
+#                            All three skip with a printed reason when
+#                            the artifact has no warm_run section or it
+#                            was skipped (graph cache disabled).
 #
 # The two graph-cache gates are skipped when the telemetry reports zero
 # graph-cache lookups — i.e. the artifacts came from a
@@ -128,7 +139,12 @@ else:
         print(f"  speedup_at_4_workers: skipped (hardware_threads={hw} < 4)")
     else:
         psps = scaling.get("parallel_states_per_sec")
-        if psps is None:
+        if isinstance(psps, dict):
+            # Newer artifacts carry an explicit skip-reason object
+            # instead of null; log the reason, never silently pass.
+            print(f"  parallel_states_per_sec: skipped "
+                  f"({psps.get('skipped', 'unspecified reason')})")
+        elif psps is None:
             print("  parallel_states_per_sec: skipped (null; no "
                   "non-oversubscribed parallel run recorded)")
         else:
@@ -175,6 +191,46 @@ else:
           f"floor {floor:.4f} -> {'ok' if ok else 'REGRESSION'}")
     if not ok:
         failures.append("state_reduction_ratio")
+
+# Warm-run gates: the persistent store must stay perfectly warm on an
+# unchanged re-run (every verdict a hit, zero graph explorations) and
+# the warm path must stay dramatically cheaper than cold. The hit-rate
+# and exploration gates are exact (the warm path is deterministic); the
+# speedup floor is absolute, from the baseline's warm_speedup_floor.
+warm = pipeline.get("warm_run")
+if warm is None:
+    print("  warm_run: skipped (no warm_run section in pipeline artifact)")
+elif "skipped" in warm:
+    print(f"  warm_run: skipped ({warm['skipped']})")
+else:
+    hit_rate = warm["warm_hit_rate"]
+    ok = hit_rate >= 1.0
+    print(f"  warm_hit_rate: current {hit_rate:.4f} "
+          f"({warm['verdict_hits']}/{warm['verdict_lookups']} verdicts), "
+          f"required 1.0 -> {'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        failures.append("warm_hit_rate")
+    explorations = warm["warm_graph_explorations"]
+    ok = explorations == 0
+    print(f"  warm_graph_explorations: current {explorations}, required 0 "
+          f"-> {'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        failures.append("warm_graph_explorations")
+    speedup = warm["warm_speedup_vs_cold"]
+    floor = baseline.get("warm_speedup_floor", 5.0)
+    ok = speedup >= floor
+    print(f"  warm_speedup_vs_cold: current {speedup:.2f}x "
+          f"(cold {warm['cold_secs']:.3f}s -> warm {warm['warm_secs']:.3f}s), "
+          f"floor {floor:.2f}x -> {'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        failures.append("warm_speedup_vs_cold")
+    rechecked = warm.get("mutated_rechecked")
+    if rechecked is not None:
+        # Informational: how much of the registry a 1-transition
+        # mutation re-checked (the delta-proportional cost story).
+        print(f"  mutated_rechecked: {rechecked} properties re-checked, "
+              f"{warm.get('mutated_hits', '?')} replayed warm "
+              f"({warm.get('mutated_secs', 0):.3f}s)")
 
 # Clean runs must be clean: any degraded property outcome (budget
 # exhaustion, isolated panic, skip) in a benchmark run is a bug, not a

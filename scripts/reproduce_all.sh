@@ -33,6 +33,9 @@ cargo run --release -p procheck-bench --bin model_diff
 echo "== criterion benches =="
 cargo bench -p procheck-bench
 
+echo "== warm-run demonstration (persistent store: cold -> warm -> 1-transition mutation) =="
+cargo run --release -p procheck-bench --bin warm_run
+
 echo "== parallel-engine speedup + telemetry (writes BENCH_pipeline.json, BENCH_telemetry.json) =="
 cargo run --release -p procheck-bench --bin pipeline_speedup
 
