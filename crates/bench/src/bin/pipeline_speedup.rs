@@ -15,14 +15,17 @@
 //!
 //! Each measured run records into its own telemetry [`Collector`]; the
 //! counter snapshots must be identical across thread counts (the
-//! determinism contract), and the last run's aggregation is written as
-//! `BENCH_telemetry.json` — the per-property Table II rows plus stage
-//! totals that `scripts/check_bench_regression.sh` gates on. Set
+//! determinism contract). A final full-registry run under the `Both`
+//! backend cross-validates the explicit engine against the bounded
+//! symbolic (BMC) one — its aggregation is written as
+//! `BENCH_telemetry.json`, so the artifact carries the `backend.*`
+//! solver counters next to the explicit totals, and
+//! `scripts/check_bench_regression.sh` gates on zero divergences. Set
 //! `PROCHECK_NO_GRAPH_CACHE=1` to measure the re-exploration cost the
 //! graph cache removes (CI runs both and uploads both artifacts).
 
 use procheck::pipeline::{
-    analyze_extracted, analyze_implementation, extract_models, AnalysisConfig,
+    analyze_extracted, analyze_implementation, extract_models, AnalysisConfig, BackendKind,
 };
 use procheck::telemetry_report::TelemetryReport;
 use procheck_props::{distinct_threat_configs, registry};
@@ -78,7 +81,6 @@ fn main() {
     let sweep = thread_sweep(hardware);
     let mut rows: Vec<(usize, f64, u64)> = Vec::new();
     let mut counter_snapshots = Vec::new();
-    let mut last_run = None;
     for &threads in &sweep {
         let collector = Collector::enabled();
         // `store_dir` is forced off for the thread sweep: an inherited
@@ -119,7 +121,6 @@ fn main() {
         );
         rows.push((threads, secs, states));
         counter_snapshots.push((threads, collector.counters()));
-        last_run = Some((report, collector));
     }
 
     // Determinism contract: the same work at any thread count leaves
@@ -418,7 +419,43 @@ fn main() {
         println!("  warm run: skipped (graph cache disabled; the store is inert)");
     }
 
-    let (report, collector) = last_run.expect("at least one measured run");
+    // Cross-validation: the full registry once under `Both`, every
+    // model property answered independently by the explicit engine and
+    // the bounded symbolic (BMC) one. The divergence count must be
+    // zero — any disagreement is an engine bug, and the regression gate
+    // enforces it. This run's telemetry feeds `BENCH_telemetry.json`:
+    // its explicit leg records exactly the counters an explicit-only
+    // run would, and the `backend.*` family lands alongside them.
+    let collector = Collector::enabled();
+    let xval_cfg = AnalysisConfig {
+        backend: BackendKind::Both,
+        collector: collector.clone(),
+        store_dir: None,
+        ..AnalysisConfig::default()
+    };
+    let start = Instant::now();
+    let report = analyze_implementation(Implementation::Reference, &xval_cfg);
+    let xval_secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.results.len(), properties);
+    let model_properties = registry()
+        .iter()
+        .filter(|p| matches!(p.check, procheck_props::Check::Model(_)))
+        .count();
+    let divergences = collector.counter_value("backend.divergences");
+    let bound_reached = collector.counter_value("backend.bound_reached");
+    assert_eq!(
+        divergences, 0,
+        "explicit and symbolic backends disagreed on {divergences} properties"
+    );
+    println!(
+        "  cross-validation (bound {}): {xval_secs:.3}s, {model_properties} model \
+         properties, {divergences} divergences, {bound_reached} bound-limited, \
+         {} clauses / {} conflicts",
+        xval_cfg.bmc_bound,
+        collector.counter_value("backend.clauses"),
+        collector.counter_value("backend.conflicts"),
+    );
+
     let telemetry = TelemetryReport::from_run(&report, &collector);
     let graph = &report.graph_cache_stats;
 
@@ -528,6 +565,30 @@ fn main() {
             );
         }
     }
+    let _ = writeln!(json, "  \"symbolic\": {{");
+    let _ = writeln!(json, "    \"bmc_bound\": {},", xval_cfg.bmc_bound);
+    let _ = writeln!(json, "    \"wall_clock_secs\": {xval_secs:.4},");
+    let _ = writeln!(json, "    \"model_properties\": {model_properties},");
+    let _ = writeln!(json, "    \"divergences\": {divergences},");
+    let _ = writeln!(
+        json,
+        "    \"agreement_rate\": {:.6},",
+        (model_properties as u64 - divergences) as f64 / (model_properties.max(1)) as f64
+    );
+    let _ = writeln!(json, "    \"bound_reached\": {bound_reached},");
+    for counter in ["clauses", "decisions", "propagations", "conflicts"] {
+        let _ = writeln!(
+            json,
+            "    \"{counter}\": {},",
+            collector.counter_value(&format!("backend.{counter}"))
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"learned\": {}",
+        collector.counter_value("backend.learned")
+    );
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"graph_cache\": {{");
     let _ = writeln!(json, "    \"lookups\": {},", graph.lookups);
     let _ = writeln!(json, "    \"builds\": {},", graph.builds);

@@ -19,12 +19,13 @@ use procheck_cpv::term::Term;
 use procheck_ident::Sym;
 use procheck_smv::budget::BudgetMeter;
 use procheck_smv::checker::{
-    build_reach_graph_budgeted, check_on_graph_budgeted, CheckError, CheckStats, CompiledModel,
-    Property, QueryStats, Verdict,
+    build_reach_graph_budgeted, CheckError, CheckStats, CompiledModel, Property, QueryStats,
+    Verdict,
 };
 use procheck_smv::model::Model;
 use procheck_smv::reach::ReachGraph;
 use procheck_smv::trace::Counterexample;
+use procheck_smv::{BackendVerdict, CheckBackend, ExplicitBackend};
 use procheck_telemetry::Collector;
 use procheck_threat::StepSemantics;
 use serde::Serialize;
@@ -42,6 +43,11 @@ pub enum FinalVerdict {
     GoalUnreachable,
     /// The iteration bound was exhausted before convergence.
     Inconclusive,
+    /// A *bounded* backend searched every behaviour of length ≤ `k`
+    /// and found no crypto-feasible violation. Settled, but strictly
+    /// weaker than [`FinalVerdict::Verified`]: longer behaviours are
+    /// unexamined, so this never counts as a proof on its own.
+    BoundReached(usize),
 }
 
 /// One refinement performed by the loop.
@@ -259,10 +265,10 @@ pub fn cegar_check_on_graph(
 /// `ThreatConfig` (a different composed model) needs a different graph.
 ///
 /// The property is compiled once before the loop; every iteration is a
-/// pure id-space query (`smv.expr_reresolved` stays zero). The returned
-/// outcome's `explore` is zero — exploration is charged wherever the
-/// graph was built — while `query` accounts for the graph re-use (also
-/// recorded as `graph_cache.nodes_reused` on `collector`).
+/// pure id-space query through the [`ExplicitBackend`] seam. The
+/// returned outcome's `explore` is zero — exploration is charged
+/// wherever the graph was built — while `query` accounts for the graph
+/// re-use (also recorded as `graph_cache.nodes_reused` on `collector`).
 ///
 /// # Errors
 ///
@@ -312,7 +318,46 @@ pub fn cegar_check_on_graph_budgeted(
 ) -> Result<CegarOutcome, CheckError> {
     cegar_loop(
         model,
-        graph,
+        &ExplicitBackend { graph },
+        property,
+        semantics,
+        state_limit,
+        max_iterations,
+        meter,
+        None,
+        collector,
+    )
+}
+
+/// The CEGAR loop over an arbitrary [`CheckBackend`] — the seam the
+/// pipeline uses to run the bounded symbolic engine
+/// (`procheck_symbolic::BmcBackend`), which needs no prebuilt graph.
+/// Refinement semantics are identical to the explicit path: exclusions
+/// widen a [`procheck_ident::CmdIdSet`] mask handed to the backend each
+/// iteration. A backend answer of
+/// [`BackendVerdict::BoundReached`] ends the
+/// loop with [`FinalVerdict::BoundReached`] — there is no
+/// counterexample to refine and no proof to report.
+///
+/// # Errors
+///
+/// Propagates the backend's [`CheckError`]s, including
+/// [`CheckError::BackendDivergence`] for counterexamples that fail
+/// replay validation.
+#[allow(clippy::too_many_arguments)]
+pub fn cegar_check_backend_budgeted(
+    model: &CompiledModel,
+    backend: &dyn CheckBackend,
+    property: &Property,
+    semantics: &StepSemantics,
+    state_limit: usize,
+    max_iterations: usize,
+    meter: &BudgetMeter,
+    collector: &Collector,
+) -> Result<CegarOutcome, CheckError> {
+    cegar_loop(
+        model,
+        backend,
         property,
         semantics,
         state_limit,
@@ -352,7 +397,7 @@ pub fn cegar_check_sliced_on_graph_budgeted(
 ) -> Result<CegarOutcome, CheckError> {
     cegar_loop(
         sliced,
-        graph,
+        &ExplicitBackend { graph },
         property,
         semantics,
         state_limit,
@@ -363,7 +408,7 @@ pub fn cegar_check_sliced_on_graph_budgeted(
     )
 }
 
-/// The shared loop body: checks `property` on `model`'s `graph`,
+/// The shared loop body: asks `backend` about `property` on `model`,
 /// validating counterexamples with the CPV and widening the exclusion
 /// mask per refinement. When `expand_to` is set, `model` is a sliced
 /// projection of it and the final counterexample (if any) is re-expanded
@@ -371,7 +416,7 @@ pub fn cegar_check_sliced_on_graph_budgeted(
 #[allow(clippy::too_many_arguments)]
 fn cegar_loop(
     model: &CompiledModel,
-    graph: &ReachGraph,
+    backend: &dyn CheckBackend,
     property: &Property,
     semantics: &StepSemantics,
     state_limit: usize,
@@ -399,7 +444,6 @@ fn cegar_loop(
         collector.add("cpv.steps", cpv_steps as u64);
         collector.add("smv.checks", iterations as u64);
         collector.add("graph_cache.nodes_reused", query.nodes_reused);
-        collector.add("smv.expr_reresolved", query.exprs_resolved);
         collector.record_max("smv.peak_queue", query.peak_queue);
     };
     // Compile once; every refinement iteration re-queries the compiled
@@ -412,16 +456,27 @@ fn cegar_loop(
         }
     };
     for iteration in 1..=max_iterations.max(1) {
-        let verdict = match check_on_graph_budgeted(
+        let verdict = match backend.answer(
             model,
-            graph,
             &compiled_property,
             &excluded,
             state_limit,
             meter,
             &mut query,
         ) {
-            Ok(v) => v,
+            Ok(BackendVerdict::Definite(v)) => v,
+            Ok(BackendVerdict::BoundReached(k)) => {
+                record(iteration, refinements.len(), cpv_queries, cpv_steps, &query);
+                return Ok(CegarOutcome {
+                    verdict: FinalVerdict::BoundReached(k),
+                    iterations: iteration,
+                    refinements,
+                    cpv_queries,
+                    cpv_steps,
+                    explore: CheckStats::default(),
+                    query,
+                });
+            }
             Err(e) => {
                 record(iteration, refinements.len(), cpv_queries, cpv_steps, &query);
                 return Err(e);

@@ -25,13 +25,14 @@
 
 use crate::cache::{CacheStats, ThreatModelCache};
 use crate::cegar::{
-    cegar_check_budgeted, cegar_check_on_graph_budgeted, cegar_check_sliced_on_graph_budgeted,
-    CegarOutcome, FinalVerdict,
+    cegar_check_backend_budgeted, cegar_check_budgeted, cegar_check_on_graph_budgeted,
+    cegar_check_sliced_on_graph_budgeted, CegarOutcome, FinalVerdict,
 };
 use crate::report::{DegradedStats, Finding, PropertyOutcome, PropertyResult};
 use crate::store::{
     baseline_key, checked_model_fps, cone_intersects_delta, delta_commands, knobs_fingerprint,
     link_key, outcome_from_data, outcome_to_data, threat_fingerprint, verdict_key, RunStore,
+    BACKEND_TAG_EXPLICIT, BACKEND_TAG_SYMBOLIC,
 };
 use procheck_conformance::runner::run_suite_traced;
 use procheck_conformance::suites;
@@ -46,6 +47,7 @@ use procheck_smv::coi::{slice_default, slice_for_property, ConeSig};
 use procheck_stack::quirks::Implementation;
 use procheck_stack::UeConfig;
 use procheck_store::{Fingerprint, StoreStats, VerdictRecord};
+use procheck_symbolic::{BmcBackend, DEFAULT_BMC_BOUND};
 use procheck_telemetry::Collector;
 use procheck_testbed::linkability::{run_scenario, Scenario};
 use procheck_threat::{StepSemantics, ThreatConfig};
@@ -57,6 +59,61 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Instant;
+
+/// Which checking engine answers model properties (the
+/// [`CheckBackend`] seam).
+///
+/// [`CheckBackend`]: procheck_smv::CheckBackend
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The explicit-state engine over cached reachability graphs — the
+    /// historical path, complete over the reachable space. The default.
+    #[default]
+    Explicit,
+    /// The bounded symbolic engine (`procheck-symbolic`): CNF
+    /// bit-blasting solved by the in-repo CDCL solver, refutation-
+    /// complete up to [`AnalysisConfig::bmc_bound`]. A pass within the
+    /// bound reports [`PropertyOutcome::BoundReached`], never
+    /// `Verified`.
+    Symbolic,
+    /// Cross-validation: run *both* engines per model property and
+    /// compare under the agreement rules (a symbolic `BoundReached`
+    /// agrees with an explicit pass; a definite answer must match in
+    /// class). Any disagreement is reported as a hard
+    /// [`PropertyOutcome::Error`] — never resolved by picking a winner.
+    /// On agreement the explicit leg's outcome (and counters) are
+    /// reported, so reports stay byte-identical to `Explicit` mode.
+    Both,
+}
+
+impl BackendKind {
+    /// Parses the `PROCHECK_BACKEND` environment variable
+    /// (case-insensitive `explicit` / `symbolic` / `both`); anything
+    /// else — including unset — is [`BackendKind::Explicit`].
+    pub fn from_env() -> BackendKind {
+        match std::env::var("PROCHECK_BACKEND")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "symbolic" => BackendKind::Symbolic,
+            "both" => BackendKind::Both,
+            _ => BackendKind::Explicit,
+        }
+    }
+}
+
+/// Default BMC bound: the `PROCHECK_BMC_BOUND` environment variable
+/// when it parses to ≥ 1, else [`DEFAULT_BMC_BOUND`].
+fn default_bmc_bound() -> usize {
+    match std::env::var("PROCHECK_BMC_BOUND")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => DEFAULT_BMC_BOUND,
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -140,6 +197,18 @@ pub struct AnalysisConfig {
     /// default) runs fully cold; the `PROCHECK_STORE` environment
     /// variable supplies a default directory.
     pub store_dir: Option<PathBuf>,
+    /// Which checking engine answers model properties. Defaults from
+    /// the `PROCHECK_BACKEND` environment variable (`explicit` /
+    /// `symbolic` / `both`; unset = explicit). Linkability properties
+    /// run on the simulated testbed in every mode — there is no second
+    /// engine for them to diverge from.
+    pub backend: BackendKind,
+    /// Transition bound for the symbolic (BMC) engine: behaviours of up
+    /// to this many steps are searched exhaustively; longer ones are
+    /// honestly reported as [`PropertyOutcome::BoundReached`]. Part of
+    /// the persistent store's knobs fingerprint. Defaults from
+    /// `PROCHECK_BMC_BOUND`, else [`DEFAULT_BMC_BOUND`].
+    pub bmc_bound: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -158,6 +227,8 @@ impl Default for AnalysisConfig {
             collector: Collector::disabled(),
             budget: Budget::unlimited(),
             store_dir: std::env::var_os("PROCHECK_STORE").map(PathBuf::from),
+            backend: BackendKind::from_env(),
+            bmc_bound: default_bmc_bound(),
         }
     }
 }
@@ -437,102 +508,78 @@ pub fn check_property_metered(
             0,
         ),
         Check::Model(p) => {
-            match check_model_property(
-                prop,
-                p,
-                models,
-                cfg,
-                cache,
-                meter,
-                limit,
-                &mut graph_cache_hit,
-            ) {
-                ModelCheckResolution::Stored(record) => {
-                    // Warm verdict hit: the settled outcome and its CEGAR
-                    // trajectory replay verbatim; no model was checked,
-                    // no graph consulted, no exploration charged.
-                    cpv_queries = record.cpv_queries as usize;
-                    (
-                        outcome_from_data(record.outcome),
-                        record.cegar_iterations as usize,
-                        record.refinements as usize,
-                    )
-                }
-                ModelCheckResolution::Live(checked, pending) => {
-                    let (outcome, iterations, refinements) = match checked {
-                        Ok(outcome) => {
-                            states_explored = outcome.explore.states;
-                            peak_queue = outcome.explore.peak_queue.max(outcome.query.peak_queue);
-                            cpv_queries = outcome.cpv_queries;
-                            nodes_reused = outcome.query.nodes_reused;
-                            let mapped = match outcome.verdict {
-                                FinalVerdict::Verified => PropertyOutcome::Verified,
-                                FinalVerdict::Attack(ce) => PropertyOutcome::Attack(ce),
-                                FinalVerdict::GoalReachable(ce) => {
-                                    PropertyOutcome::GoalReachable(ce)
-                                }
-                                FinalVerdict::GoalUnreachable => PropertyOutcome::GoalUnreachable,
-                                FinalVerdict::Inconclusive => PropertyOutcome::Skipped(
-                                    "CEGAR iteration bound exhausted".into(),
-                                ),
-                            };
-                            (mapped, outcome.iterations, outcome.refinements.len())
-                        }
-                        Err(CheckError::InvalidModel(problems)) => {
-                            // A reachability goal whose vocabulary does not exist
-                            // in this model is trivially unreachable; other
-                            // property kinds are genuinely not applicable.
-                            let outcome =
-                                if matches!(p, procheck_smv::checker::Property::Reachable { .. }) {
-                                    PropertyOutcome::GoalUnreachable
-                                } else {
-                                    PropertyOutcome::Skipped(format!(
-                                        "not applicable to this model: {}",
-                                        problems.join("; ")
-                                    ))
-                                };
-                            (outcome, 0, 0)
-                        }
-                        Err(CheckError::StateLimit(n)) if n < cfg.state_limit => (
-                            // Only the budget's per-property cap can lower the
-                            // limit below the configured one.
-                            PropertyOutcome::BudgetExhausted(format!(
-                                "per-property state cap {n} exhausted"
-                            )),
-                            0,
-                            0,
+            // One leg per engine; `Both` runs them back to back and
+            // arbitrates. Each leg resolves independently — own store
+            // key, own store write — so warm stores never cross-
+            // pollinate engines.
+            let leg = match cfg.backend {
+                BackendKind::Explicit => resolve_model_check(
+                    prop,
+                    p,
+                    check_model_property(
+                        prop,
+                        p,
+                        models,
+                        cfg,
+                        cache,
+                        meter,
+                        limit,
+                        &mut graph_cache_hit,
+                    ),
+                    cfg,
+                    cache,
+                ),
+                BackendKind::Symbolic => resolve_model_check(
+                    prop,
+                    p,
+                    check_model_property_symbolic(prop, p, models, cfg, cache, meter, limit),
+                    cfg,
+                    cache,
+                ),
+                BackendKind::Both => {
+                    let explicit = resolve_model_check(
+                        prop,
+                        p,
+                        check_model_property(
+                            prop,
+                            p,
+                            models,
+                            cfg,
+                            cache,
+                            meter,
+                            limit,
+                            &mut graph_cache_hit,
                         ),
-                        Err(CheckError::StateLimit(n)) => (
-                            PropertyOutcome::Skipped(format!("state limit {n} exceeded")),
-                            0,
-                            0,
-                        ),
-                        Err(CheckError::Budget(e)) => {
-                            (PropertyOutcome::BudgetExhausted(e.to_string()), 0, 0)
+                        cfg,
+                        cache,
+                    );
+                    let symbolic = resolve_model_check(
+                        prop,
+                        p,
+                        check_model_property_symbolic(prop, p, models, cfg, cache, meter, limit),
+                        cfg,
+                        cache,
+                    );
+                    match backend_divergence(&explicit.outcome, &symbolic.outcome) {
+                        Some(msg) => {
+                            cfg.collector.add("backend.divergences", 1);
+                            LegResult {
+                                outcome: PropertyOutcome::Error(msg),
+                                ..explicit
+                            }
                         }
-                        Err(CheckError::Panic(msg)) => (PropertyOutcome::Error(msg), 0, 0),
-                    };
-                    // Settled outcomes persist for the next run; degraded
-                    // ones (budget, panics) describe this run and never
-                    // reach disk.
-                    if let (Some(store), Some(pending)) = (cache.store(), pending) {
-                        if let Some(data) = outcome_to_data(&outcome) {
-                            store.save_verdict(
-                                pending.key,
-                                &VerdictRecord {
-                                    property_id: prop.id.to_string(),
-                                    outcome: data,
-                                    cegar_iterations: iterations as u64,
-                                    refinements: refinements as u64,
-                                    cpv_queries: cpv_queries as u64,
-                                    model_fp: pending.model_fp,
-                                },
-                            );
-                        }
+                        // Agreement: report the explicit leg verbatim,
+                        // so `Both` reports are byte-identical to
+                        // `Explicit` ones.
+                        None => explicit,
                     }
-                    (outcome, iterations, refinements)
                 }
-            }
+            };
+            states_explored = leg.states_explored;
+            peak_queue = leg.peak_queue;
+            cpv_queries = leg.cpv_queries;
+            nodes_reused = leg.nodes_reused;
+            (leg.outcome, leg.iterations, leg.refinements)
         }
         Check::Linkability(scenario) => {
             // Linkability verdicts depend only on (implementation,
@@ -637,6 +684,178 @@ struct PendingWrite {
     model_fp: Fingerprint,
 }
 
+/// One backend leg's model check, resolved to report shape. In `Both`
+/// mode two of these exist per property; the explicit one is reported
+/// on agreement.
+struct LegResult {
+    outcome: PropertyOutcome,
+    iterations: usize,
+    refinements: usize,
+    states_explored: u64,
+    peak_queue: u64,
+    cpv_queries: usize,
+    nodes_reused: u64,
+}
+
+/// Maps a [`ModelCheckResolution`] (warm or live, either engine) to a
+/// [`LegResult`], writing settled live outcomes back to the store.
+/// Degraded outcomes (budget, panics) describe this run and never reach
+/// disk; a [`CheckError::BackendDivergence`] — a counterexample that
+/// failed replay validation — surfaces as a hard
+/// [`PropertyOutcome::Error`] and bumps `backend.divergences`.
+fn resolve_model_check(
+    prop: &NasProperty,
+    p: &procheck_smv::checker::Property,
+    resolution: ModelCheckResolution,
+    cfg: &AnalysisConfig,
+    cache: &ThreatModelCache,
+) -> LegResult {
+    match resolution {
+        ModelCheckResolution::Stored(record) => {
+            // Warm verdict hit: the settled outcome and its CEGAR
+            // trajectory replay verbatim; no model was checked, no
+            // graph consulted, no exploration charged.
+            LegResult {
+                outcome: outcome_from_data(record.outcome),
+                iterations: record.cegar_iterations as usize,
+                refinements: record.refinements as usize,
+                states_explored: 0,
+                peak_queue: 0,
+                cpv_queries: record.cpv_queries as usize,
+                nodes_reused: 0,
+            }
+        }
+        ModelCheckResolution::Live(checked, pending) => {
+            let mut states_explored = 0u64;
+            let mut peak_queue = 0u64;
+            let mut cpv_queries = 0usize;
+            let mut nodes_reused = 0u64;
+            let (outcome, iterations, refinements) = match checked {
+                Ok(outcome) => {
+                    states_explored = outcome.explore.states;
+                    peak_queue = outcome.explore.peak_queue.max(outcome.query.peak_queue);
+                    cpv_queries = outcome.cpv_queries;
+                    nodes_reused = outcome.query.nodes_reused;
+                    let mapped = match outcome.verdict {
+                        FinalVerdict::Verified => PropertyOutcome::Verified,
+                        FinalVerdict::Attack(ce) => PropertyOutcome::Attack(ce),
+                        FinalVerdict::GoalReachable(ce) => PropertyOutcome::GoalReachable(ce),
+                        FinalVerdict::GoalUnreachable => PropertyOutcome::GoalUnreachable,
+                        FinalVerdict::BoundReached(k) => PropertyOutcome::BoundReached(k),
+                        FinalVerdict::Inconclusive => {
+                            PropertyOutcome::Skipped("CEGAR iteration bound exhausted".into())
+                        }
+                    };
+                    (mapped, outcome.iterations, outcome.refinements.len())
+                }
+                Err(CheckError::InvalidModel(problems)) => {
+                    // A reachability goal whose vocabulary does not exist
+                    // in this model is trivially unreachable; other
+                    // property kinds are genuinely not applicable.
+                    let outcome = if matches!(p, procheck_smv::checker::Property::Reachable { .. })
+                    {
+                        PropertyOutcome::GoalUnreachable
+                    } else {
+                        PropertyOutcome::Skipped(format!(
+                            "not applicable to this model: {}",
+                            problems.join("; ")
+                        ))
+                    };
+                    (outcome, 0, 0)
+                }
+                Err(CheckError::StateLimit(n)) if n < cfg.state_limit => (
+                    // Only the budget's per-property cap can lower the
+                    // limit below the configured one.
+                    PropertyOutcome::BudgetExhausted(format!(
+                        "per-property state cap {n} exhausted"
+                    )),
+                    0,
+                    0,
+                ),
+                Err(CheckError::StateLimit(n)) => (
+                    PropertyOutcome::Skipped(format!("state limit {n} exceeded")),
+                    0,
+                    0,
+                ),
+                Err(CheckError::Budget(e)) => {
+                    (PropertyOutcome::BudgetExhausted(e.to_string()), 0, 0)
+                }
+                Err(CheckError::Panic(msg)) => (PropertyOutcome::Error(msg), 0, 0),
+                Err(CheckError::BackendDivergence(msg)) => {
+                    cfg.collector.add("backend.divergences", 1);
+                    (
+                        PropertyOutcome::Error(format!("backend divergence: {msg}")),
+                        0,
+                        0,
+                    )
+                }
+            };
+            // Settled outcomes persist for the next run; degraded
+            // ones (budget, panics) describe this run and never
+            // reach disk.
+            if let (Some(store), Some(pending)) = (cache.store(), pending) {
+                if let Some(data) = outcome_to_data(&outcome) {
+                    store.save_verdict(
+                        pending.key,
+                        &VerdictRecord {
+                            property_id: prop.id.to_string(),
+                            outcome: data,
+                            cegar_iterations: iterations as u64,
+                            refinements: refinements as u64,
+                            cpv_queries: cpv_queries as u64,
+                            model_fp: pending.model_fp,
+                        },
+                    );
+                }
+            }
+            LegResult {
+                outcome,
+                iterations,
+                refinements,
+                states_explored,
+                peak_queue,
+                cpv_queries,
+                nodes_reused,
+            }
+        }
+    }
+}
+
+/// The `Both`-mode agreement table. Returns `Some(message)` on a
+/// divergence, `None` on agreement or when either leg degraded
+/// (budget, panic, skip — there is no verdict to compare).
+///
+/// A symbolic [`PropertyOutcome::BoundReached`] agrees with an explicit
+/// pass (`Verified` / `GoalUnreachable`): the bounded engine honestly
+/// searched less. It *diverges* from an explicit violation only when
+/// the explicit counterexample fits inside the bound — the BMC engine
+/// is refutation-complete up to its bound, so missing a trace of ≤ `k`
+/// transitions is an encoder or solver bug, while missing a longer one
+/// is exactly the weakness `BoundReached` declares.
+fn backend_divergence(explicit: &PropertyOutcome, symbolic: &PropertyOutcome) -> Option<String> {
+    use PropertyOutcome as O;
+    if explicit.is_degraded() || symbolic.is_degraded() {
+        return None;
+    }
+    let agree = match (explicit, symbolic) {
+        (O::Verified, O::Verified | O::BoundReached(_)) => true,
+        (O::GoalUnreachable, O::GoalUnreachable | O::BoundReached(_)) => true,
+        (O::Attack(_), O::Attack(_)) => true,
+        (O::GoalReachable(_), O::GoalReachable(_)) => true,
+        (O::Attack(ce) | O::GoalReachable(ce), O::BoundReached(k)) => ce.steps.len() - 1 > *k,
+        _ => false,
+    };
+    if agree {
+        None
+    } else {
+        Some(format!(
+            "backend divergence: explicit={} symbolic={}",
+            explicit.tag(),
+            symbolic.tag()
+        ))
+    }
+}
+
 /// The model-property body of [`check_property_metered`]: compose (via
 /// the shared cache), and on the graph-cache path compile, slice, and —
 /// before any exploration — consult the persistent store under the
@@ -717,7 +936,12 @@ fn check_model_property(
                 fps.semantic,
                 threat_fingerprint(&threat_cfg),
                 prop.id,
-                knobs_fingerprint(cfg.state_limit, cfg.max_cegar_iterations),
+                knobs_fingerprint(
+                    cfg.state_limit,
+                    cfg.max_cegar_iterations,
+                    BACKEND_TAG_EXPLICIT,
+                    0,
+                ),
             ),
             model_fp: fps.exact,
         }
@@ -784,6 +1008,86 @@ fn check_model_property(
             })
     };
     ModelCheckResolution::Live(checked, pending)
+}
+
+/// The symbolic-engine counterpart of [`check_model_property`]: compose
+/// and compile through the same shared cache (so `Both` mode pays for
+/// one composition), then hand the *full* compiled model to the BMC
+/// backend — no reachability graph is built, no cone-of-influence slice
+/// applies (the encoder unrolls transitions symbolically; dropping
+/// commands would change which behaviours the bound covers), and
+/// `graph_cache_hit` stays `None` throughout. Store lookups and writes
+/// use the symbolic knobs fingerprint (engine tag + BMC bound), so warm
+/// replays never cross engines; like the explicit path, the store rides
+/// the graph-cache switch.
+fn check_model_property_symbolic(
+    prop: &NasProperty,
+    p: &procheck_smv::checker::Property,
+    models: &ExtractedModels,
+    cfg: &AnalysisConfig,
+    cache: &ThreatModelCache,
+    meter: &BudgetMeter,
+    limit: usize,
+) -> ModelCheckResolution {
+    let threat_cfg = prop.slice.threat_config();
+    let semantics = StepSemantics::new(threat_cfg.clone());
+    let model =
+        match cache.get_or_build_traced(&models.ue, &models.mme, &threat_cfg, &cfg.collector) {
+            Ok(model) => model,
+            Err(e) => return ModelCheckResolution::Live(Err(e), None),
+        };
+    let compiled = match cache.get_or_compile_traced(&model, &threat_cfg, &cfg.collector) {
+        Ok(compiled) => compiled,
+        Err(e) => return ModelCheckResolution::Live(Err(e), None),
+    };
+    let cp = compiled.compile_property(p);
+    let pending = if cfg.graph_cache {
+        cache.store().map(|_| {
+            let fps = checked_model_fps(&compiled);
+            PendingWrite {
+                key: verdict_key(
+                    fps.semantic,
+                    threat_fingerprint(&threat_cfg),
+                    prop.id,
+                    knobs_fingerprint(
+                        cfg.state_limit,
+                        cfg.max_cegar_iterations,
+                        BACKEND_TAG_SYMBOLIC,
+                        cfg.bmc_bound as u64,
+                    ),
+                ),
+                model_fp: fps.exact,
+            }
+        })
+    } else {
+        None
+    };
+    if let (Some(store), Some(pw)) = (cache.store(), &pending) {
+        if cfg.graph_cache {
+            if let Some(record) = store.load_verdict(pw.key) {
+                if record.property_id == prop.id && RunStore::verdict_usable(&record, pw.model_fp) {
+                    return ModelCheckResolution::Stored(record);
+                }
+            }
+        }
+    }
+    if let Err(e) = cp {
+        return ModelCheckResolution::Live(Err(e), pending);
+    }
+    let backend = BmcBackend::with_collector(cfg.bmc_bound, cfg.collector.clone());
+    ModelCheckResolution::Live(
+        cegar_check_backend_budgeted(
+            &compiled,
+            &backend,
+            p,
+            &semantics,
+            limit,
+            cfg.max_cegar_iterations,
+            meter,
+            &cfg.collector,
+        ),
+        pending,
+    )
 }
 
 /// The result slot for a property whose check panicked outright (past

@@ -17,6 +17,16 @@ pub enum PropertyOutcome {
     GoalReachable(Counterexample),
     /// Reachability goal unreachable.
     GoalUnreachable,
+    /// A *bounded* backend searched every behaviour of length ≤ `k`
+    /// without finding a violation. A settled outcome (it is stored and
+    /// replayed), but strictly weaker than [`Verified`] /
+    /// [`GoalUnreachable`]: behaviours longer than `k` are unexamined,
+    /// so it is never a finding and never a proof. Not a degraded
+    /// outcome — the engine did exactly what it was asked.
+    ///
+    /// [`Verified`]: PropertyOutcome::Verified
+    /// [`GoalUnreachable`]: PropertyOutcome::GoalUnreachable
+    BoundReached(usize),
     /// Linkability: traces observationally equivalent.
     Equivalent,
     /// Linkability: victim distinguishable (summary attached).
@@ -44,6 +54,7 @@ impl PropertyOutcome {
             PropertyOutcome::Attack(_) => "attack",
             PropertyOutcome::GoalReachable(_) => "reachable",
             PropertyOutcome::GoalUnreachable => "unreachable",
+            PropertyOutcome::BoundReached(_) => "bound-reached",
             PropertyOutcome::Equivalent => "equivalent",
             PropertyOutcome::Distinguishable(_) => "distinguishable",
             PropertyOutcome::Skipped(_) => "skipped",
@@ -245,5 +256,15 @@ mod tests {
         assert_eq!(PropertyOutcome::Verified.tag(), "verified");
         assert_eq!(PropertyOutcome::Equivalent.tag(), "equivalent");
         assert_eq!(PropertyOutcome::Skipped("x".into()).tag(), "skipped");
+        assert_eq!(PropertyOutcome::BoundReached(24).tag(), "bound-reached");
+    }
+
+    /// A bound-limited pass is settled but weaker: never a finding, and
+    /// never counted against the run as degraded.
+    #[test]
+    fn bound_reached_is_neither_finding_nor_degraded() {
+        assert!(!PropertyOutcome::BoundReached(24).is_degraded());
+        assert!(!result(Expectation::Holds, PropertyOutcome::BoundReached(24)).is_finding());
+        assert!(!result(Expectation::Unreachable, PropertyOutcome::BoundReached(24)).is_finding());
     }
 }

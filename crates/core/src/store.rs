@@ -94,18 +94,38 @@ pub fn threat_fingerprint(cfg: &ThreatConfig) -> Fingerprint {
     h.finish()
 }
 
-/// Stable fingerprint of the checking knobs a verdict depends on. Only
-/// the two that can change a settled verdict participate: the state
-/// limit (decides limit-skips) and the CEGAR iteration bound (decides
-/// convergence skips). Thread counts, POR, and the graph cache are
-/// proven result-invariant and deliberately excluded — a store written
-/// at one thread count must hit at another.
-pub fn knobs_fingerprint(state_limit: usize, max_cegar_iterations: usize) -> Fingerprint {
-    let mut h = StableHasher::with_domain("check-knobs-v1");
+/// Stable fingerprint of the checking knobs a verdict depends on: the
+/// state limit (decides limit-skips), the CEGAR iteration bound
+/// (decides convergence skips), and — since the backend seam — the
+/// checking engine itself plus its BMC bound, so verdicts settled by
+/// one engine are never replayed as another's (an explicit `Verified`
+/// must not answer a symbolic query, whose honest answer may only be
+/// `BoundReached`). Thread counts, POR, and the graph cache are proven
+/// result-invariant and deliberately excluded — a store written at one
+/// thread count must hit at another.
+///
+/// `backend_tag` is the engine discriminant
+/// ([`BACKEND_TAG_EXPLICIT`] / [`BACKEND_TAG_SYMBOLIC`]); `bmc_bound`
+/// is 0 for the explicit engine, whose answers don't depend on any
+/// bound.
+pub fn knobs_fingerprint(
+    state_limit: usize,
+    max_cegar_iterations: usize,
+    backend_tag: u8,
+    bmc_bound: u64,
+) -> Fingerprint {
+    let mut h = StableHasher::with_domain("check-knobs-v2");
     h.write_u64(state_limit as u64);
     h.write_u64(max_cegar_iterations as u64);
+    h.write_u8(backend_tag);
+    h.write_u64(bmc_bound);
     h.finish()
 }
+
+/// [`knobs_fingerprint`] discriminant for the explicit-state engine.
+pub const BACKEND_TAG_EXPLICIT: u8 = 0;
+/// [`knobs_fingerprint`] discriminant for the bounded symbolic engine.
+pub const BACKEND_TAG_SYMBOLIC: u8 = 1;
 
 /// The verdict-store key for one model property: semantic fingerprint
 /// of the model *as checked* (sliced when the pipeline sliced), threat
@@ -177,6 +197,7 @@ pub fn outcome_to_data(outcome: &PropertyOutcome) -> Option<OutcomeData> {
         PropertyOutcome::Equivalent => OutcomeData::Equivalent,
         PropertyOutcome::Distinguishable(s) => OutcomeData::Distinguishable(s.clone()),
         PropertyOutcome::Skipped(s) => OutcomeData::Skipped(s.clone()),
+        PropertyOutcome::BoundReached(k) => OutcomeData::BoundReached(*k as u64),
         PropertyOutcome::BudgetExhausted(_) | PropertyOutcome::Error(_) => return None,
     })
 }
@@ -191,6 +212,7 @@ pub fn outcome_from_data(data: OutcomeData) -> PropertyOutcome {
         OutcomeData::Equivalent => PropertyOutcome::Equivalent,
         OutcomeData::Distinguishable(s) => PropertyOutcome::Distinguishable(s),
         OutcomeData::Skipped(s) => PropertyOutcome::Skipped(s),
+        OutcomeData::BoundReached(k) => PropertyOutcome::BoundReached(k as usize),
     }
 }
 

@@ -66,9 +66,6 @@ pub struct StageTotals {
     /// Distinct symbols in the process-global intern table at the end
     /// of the run (high-water `ident.symbols_interned` gauge).
     pub symbols_interned: u64,
-    /// Model/property expressions re-resolved by name at query time —
-    /// zero when every query went through a compiled model.
-    pub expr_reresolved: u64,
     /// States explored by the model checker — with the graph cache on,
     /// this counts *distinct* exploration work only (one build per
     /// distinct threat configuration).
@@ -109,6 +106,26 @@ pub struct StageTotals {
     pub degraded_panics_isolated: u64,
     /// Properties skipped (inapplicable, state limit, CEGAR bound).
     pub degraded_skipped: u64,
+    /// CNF clauses the symbolic (BMC) backend emitted across all
+    /// encodings. Zero on explicit-only runs.
+    pub backend_clauses: u64,
+    /// SAT-solver decisions made by the symbolic backend.
+    pub backend_decisions: u64,
+    /// Unit propagations performed by the symbolic backend.
+    pub backend_propagations: u64,
+    /// Conflicts the symbolic backend's CDCL loop analysed.
+    pub backend_conflicts: u64,
+    /// Solver restarts.
+    pub backend_restarts: u64,
+    /// Learned clauses retained by the solver.
+    pub backend_learned: u64,
+    /// Bound-limited answers (`BoundReached`) the symbolic backend
+    /// returned instead of a definite verdict.
+    pub backend_bound_reached: u64,
+    /// Cross-validation divergences between the explicit and symbolic
+    /// backends (`Both` mode). Non-zero means an engine bug; CI gates
+    /// this at zero.
+    pub backend_divergences: u64,
     /// Wall-clock microseconds per recorded stage span, summed by name
     /// (non-deterministic), sorted by name.
     pub stage_elapsed_us: Vec<(String, u64)>,
@@ -168,7 +185,6 @@ impl StageTotals {
             compile_lookups: get("compile.lookups"),
             compile_builds: get("compile.builds"),
             symbols_interned: get("ident.symbols_interned"),
-            expr_reresolved: get("smv.expr_reresolved"),
             smv_states_explored: get("smv.states_explored"),
             smv_transitions: get("smv.transitions"),
             explore_workers: get("explore.workers"),
@@ -184,6 +200,14 @@ impl StageTotals {
             degraded_budget_exhausted: get("degraded.budget_exhausted"),
             degraded_panics_isolated: get("degraded.panics_isolated"),
             degraded_skipped: get("degraded.skipped"),
+            backend_clauses: get("backend.clauses"),
+            backend_decisions: get("backend.decisions"),
+            backend_propagations: get("backend.propagations"),
+            backend_conflicts: get("backend.conflicts"),
+            backend_restarts: get("backend.restarts"),
+            backend_learned: get("backend.learned"),
+            backend_bound_reached: get("backend.bound_reached"),
+            backend_divergences: get("backend.divergences"),
             stage_elapsed_us: spans.into_iter().collect(),
         }
     }
@@ -290,10 +314,24 @@ impl TelemetryReport {
         );
         let _ = writeln!(
             out,
-            "          {} compilations for {} lookups, {} symbols interned, \
-             {} exprs re-resolved by name",
-            t.compile_builds, t.compile_lookups, t.symbols_interned, t.expr_reresolved
+            "          {} compilations for {} lookups, {} symbols interned",
+            t.compile_builds, t.compile_lookups, t.symbols_interned
         );
+        if t.backend_clauses > 0 || t.backend_bound_reached > 0 || t.backend_divergences > 0 {
+            let _ = writeln!(
+                out,
+                "          symbolic: {} clauses, {} decisions, {} propagations, \
+                 {} conflicts, {} restarts, {} learned, {} bound-reached, {} divergences",
+                t.backend_clauses,
+                t.backend_decisions,
+                t.backend_propagations,
+                t.backend_conflicts,
+                t.backend_restarts,
+                t.backend_learned,
+                t.backend_bound_reached,
+                t.backend_divergences
+            );
+        }
         let _ = writeln!(
             out,
             "          {} CEGAR iterations, {} CPV queries ({} adversarial steps)",
@@ -385,10 +423,6 @@ impl TelemetryReport {
             t.symbols_interned
         ));
         out.push_str(&format!(
-            "    \"expr_reresolved\": {},\n",
-            t.expr_reresolved
-        ));
-        out.push_str(&format!(
             "    \"smv_states_explored\": {},\n",
             t.smv_states_explored
         ));
@@ -450,6 +484,38 @@ impl TelemetryReport {
         out.push_str(&format!(
             "    \"degraded_total\": {},\n",
             t.degraded_total()
+        ));
+        out.push_str(&format!(
+            "    \"backend_clauses\": {},\n",
+            t.backend_clauses
+        ));
+        out.push_str(&format!(
+            "    \"backend_decisions\": {},\n",
+            t.backend_decisions
+        ));
+        out.push_str(&format!(
+            "    \"backend_propagations\": {},\n",
+            t.backend_propagations
+        ));
+        out.push_str(&format!(
+            "    \"backend_conflicts\": {},\n",
+            t.backend_conflicts
+        ));
+        out.push_str(&format!(
+            "    \"backend_restarts\": {},\n",
+            t.backend_restarts
+        ));
+        out.push_str(&format!(
+            "    \"backend_learned\": {},\n",
+            t.backend_learned
+        ));
+        out.push_str(&format!(
+            "    \"backend_bound_reached\": {},\n",
+            t.backend_bound_reached
+        ));
+        out.push_str(&format!(
+            "    \"backend_divergences\": {},\n",
+            t.backend_divergences
         ));
         out.push_str("    \"stage_elapsed_us\": {");
         out.push_str(
@@ -558,14 +624,12 @@ mod tests {
     }
 
     /// The interning layer is visible in the totals: the symbol gauge is
-    /// populated, a `compile` span is recorded, and the compiled query
-    /// path never re-resolves expressions by name.
+    /// populated and a `compile` span is recorded.
     #[test]
-    fn interning_totals_reported_and_no_reresolution() {
+    fn interning_totals_reported() {
         let (report, collector) = run(&["S01", "S02"], 1);
         let t = &report.totals;
         assert!(t.symbols_interned > 0, "symbol gauge must be recorded");
-        assert_eq!(t.expr_reresolved, 0, "all queries use compiled models");
         assert!(t.compile_builds >= 1, "at least one model compiled");
         assert!(t.compile_lookups >= t.compile_builds);
         assert!(
@@ -578,7 +642,47 @@ mod tests {
         );
         let json = report.to_json();
         assert!(json.contains("\"symbols_interned\""));
-        assert!(json.contains("\"expr_reresolved\": 0"));
+    }
+
+    /// An explicit-only run reports an all-zero `backend.*` section —
+    /// the symbolic counters exist in the payload but record no work.
+    #[test]
+    fn explicit_runs_report_zero_backend_counters() {
+        let (report, _) = run(&["S01", "S02"], 1);
+        let t = &report.totals;
+        assert_eq!(t.backend_clauses, 0);
+        assert_eq!(t.backend_decisions, 0);
+        assert_eq!(t.backend_bound_reached, 0);
+        assert_eq!(t.backend_divergences, 0);
+        let json = report.to_json();
+        assert!(json.contains("\"backend_clauses\": 0"));
+        assert!(json.contains("\"backend_divergences\": 0"));
+        assert!(
+            !report.render_text().contains("symbolic:"),
+            "text rendering omits the symbolic line when the backend did no work"
+        );
+    }
+
+    /// A symbolic-backend run surfaces non-zero solver counters in the
+    /// totals, the JSON payload, and the text rendering.
+    #[test]
+    fn symbolic_runs_report_backend_counters() {
+        let collector = Collector::enabled();
+        let cfg = AnalysisConfig {
+            property_filter: Some(vec!["S01", "S12"]),
+            threads: 1,
+            collector: collector.clone(),
+            backend: crate::pipeline::BackendKind::Symbolic,
+            ..AnalysisConfig::default()
+        };
+        let report = analyze_implementation(Implementation::Reference, &cfg);
+        let telemetry = TelemetryReport::from_run(&report, &collector);
+        let t = &telemetry.totals;
+        assert!(t.backend_clauses > 0, "BMC encodings emit clauses");
+        assert!(t.backend_propagations > 0, "solver propagates");
+        assert_eq!(t.backend_divergences, 0, "single backend cannot diverge");
+        assert!(telemetry.to_json().contains("\"backend_clauses\""));
+        assert!(telemetry.render_text().contains("symbolic:"));
     }
 
     /// A clean run reports a zero degraded section — in the totals, the

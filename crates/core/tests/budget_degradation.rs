@@ -7,7 +7,7 @@
 //! is only exercised at `Duration::ZERO`, where it trips on the first
 //! probe regardless of machine speed.
 
-use procheck::pipeline::{analyze_implementation, AnalysisConfig};
+use procheck::pipeline::{analyze_implementation, AnalysisConfig, BackendKind};
 use procheck::report::PropertyOutcome;
 use procheck_smv::Budget;
 use procheck_stack::quirks::Implementation;
@@ -22,6 +22,11 @@ fn cfg(budget: Budget, ids: &[&'static str]) -> AnalysisConfig {
         // Hermetic against an ambient PROCHECK_STORE: budget exhaustion
         // is never stored, but warm hits would skip the checks entirely.
         store_dir: None,
+        // Pinned: the count-based caps bill explicit exploration work
+        // (states), which the symbolic backend never performs; an
+        // ambient PROCHECK_BACKEND would change what exhausts. The
+        // symbolic meter integration has its own test below.
+        backend: BackendKind::Explicit,
         ..AnalysisConfig::default()
     }
 }
@@ -147,6 +152,31 @@ fn unlimited_budget_is_clean() {
     assert!(report.degraded.is_clean(), "{:?}", report.degraded);
     assert_eq!(report.result("S01").unwrap().outcome.tag(), "attack");
     assert_eq!(report.result("S12").unwrap().outcome.tag(), "verified");
+}
+
+/// The symbolic (BMC) backend honours the budget too: a zero wall-clock
+/// deadline trips the meter probe at the head of every bounded check,
+/// so model properties degrade to `BudgetExhausted` exactly as they do
+/// on the explicit engine, and the run still completes.
+#[test]
+fn zero_deadline_degrades_symbolic_backend_too() {
+    let mut config = cfg(
+        Budget::unlimited().with_deadline(Duration::ZERO),
+        &["S01", "S12", "PR07"],
+    );
+    config.backend = BackendKind::Symbolic;
+    let report = analyze_implementation(Implementation::Reference, &config);
+    assert_eq!(report.results.len(), 3, "the run always completes");
+    for id in ["S01", "S12"] {
+        let r = report.result(id).unwrap();
+        assert_eq!(r.outcome.tag(), "budget-exhausted", "{id}: {:?}", r.outcome);
+    }
+    assert_eq!(
+        report.result("PR07").unwrap().outcome.tag(),
+        "distinguishable",
+        "linkability is backend-independent and never billed"
+    );
+    assert_eq!(report.degraded.budget_exhausted, 2);
 }
 
 /// Budget exhaustion mid-run leaves partial work visible: the exhausted

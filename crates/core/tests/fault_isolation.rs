@@ -15,14 +15,14 @@
 
 #![cfg(feature = "fault-inject")]
 
-use procheck::pipeline::{analyze_implementation, AnalysisConfig};
+use procheck::pipeline::{analyze_implementation, AnalysisConfig, BackendKind};
 use procheck::report::PropertyResult;
 use procheck_faults::{arm, disarm, FaultKind, FaultPlan, FaultSite};
 use procheck_props::{registry, Check};
 use procheck_stack::quirks::Implementation;
 use std::collections::{BTreeMap, HashSet};
 use std::path::Path;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 static SERIAL: Mutex<()> = Mutex::new(());
 
@@ -45,8 +45,30 @@ fn config(graph_cache: bool, threads: usize) -> AnalysisConfig {
     }
 }
 
-/// Section 1 of the committed snapshot, keyed by property id.
+/// Reference lines for every property, keyed by id.
+///
+/// On the default (explicit) backend these are section 1 of the
+/// committed snapshot. When `PROCHECK_BACKEND` routes the run through
+/// another engine the snapshot no longer describes the outcomes
+/// (bounded checks settle `bound-reached` where the explicit engine
+/// proves `verified`), so the reference is a clean in-process run with
+/// the same configuration instead — the isolation contract under test
+/// ("unaffected siblings are byte-identical to a fault-free run") is
+/// backend-independent. Cached: one clean run serves every test.
 fn golden_lines() -> BTreeMap<String, String> {
+    if BackendKind::from_env() != BackendKind::Explicit {
+        static CLEAN: OnceLock<BTreeMap<String, String>> = OnceLock::new();
+        return CLEAN
+            .get_or_init(|| {
+                let report = analyze_implementation(Implementation::Reference, &config(true, 1));
+                report
+                    .results
+                    .iter()
+                    .map(|r| (r.property_id.to_string(), render(r)))
+                    .collect()
+            })
+            .clone();
+    }
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/registry.snap");
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("golden snapshot {}: {e}", path.display()));
@@ -153,6 +175,13 @@ fn threat_compose_panic_poisons_only_its_config_group() {
 #[test]
 fn graph_build_panic_poisons_only_its_graph() {
     let _guard = lock();
+    if BackendKind::from_env() == BackendKind::Symbolic {
+        // The bounded symbolic backend bit-blasts the compiled model
+        // directly — no reachability graph is ever built, so this fault
+        // site cannot fire and `disarm()` would report a dead plan.
+        eprintln!("skipped: no graph builds under the symbolic backend");
+        return;
+    }
     let golden = golden_lines();
     let first_cfg = registry()
         .iter()
@@ -222,7 +251,16 @@ fn extractor_panic_degrades_model_checks_only() {
 fn log_source_truncation_completes_full_run() {
     let _guard = lock();
     arm(FaultPlan::new(FaultSite::LogSource, FaultKind::Truncate));
-    let report = analyze_implementation(Implementation::Reference, &config(true, 2));
+    // This test asserts *completion*, not verdicts, so the BMC bound is
+    // kept small: a truncated log extracts mutated FSMs whose deep
+    // unrollings make pathologically hard SAT instances (the solver
+    // keeps every learned clause), and the contract "never panic, one
+    // outcome per property" is fully exercised at a shallow bound.
+    let cfg = AnalysisConfig {
+        bmc_bound: 6,
+        ..config(true, 2)
+    };
+    let report = analyze_implementation(Implementation::Reference, &cfg);
     assert!(disarm(), "log fault must fire");
     assert_eq!(report.results.len(), registry().len());
     for r in &report.results {
@@ -242,6 +280,10 @@ fn seeded_fault_sweep_always_completes() {
         arm(plan.clone());
         let cfg = AnalysisConfig {
             property_filter: Some(vec!["S01", "S05", "S12", "PR07"]),
+            // Completion-contract test (see the truncation test above):
+            // seeds that mutate the log source produce mutated models,
+            // so the BMC bound stays shallow to keep SAT effort sane.
+            bmc_bound: 6,
             ..config(true, 2)
         };
         let report = analyze_implementation(Implementation::Reference, &cfg);

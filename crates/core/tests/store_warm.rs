@@ -12,8 +12,13 @@
 //!    properties whose keys still match (linkability; cone-disjoint
 //!    slices) replay warm, the rest re-check, and the mutated-warm
 //!    report is byte-identical to a mutated-cold one.
+//! 5. **Backend isolation** — verdict keys carry the backend tag (and
+//!    the BMC bound), so a store warmed by one backend yields zero
+//!    verdict hits under the other, and `Both` mode replays both sets.
 
-use procheck::pipeline::{analyze_extracted, extract_models, AnalysisConfig, AnalysisReport};
+use procheck::pipeline::{
+    analyze_extracted, extract_models, AnalysisConfig, AnalysisReport, BackendKind,
+};
 use procheck::report::PropertyOutcome;
 use procheck_fsm::Transition;
 use procheck_stack::quirks::Implementation;
@@ -42,6 +47,7 @@ fn cfg(store_dir: Option<PathBuf>, threads: usize) -> AnalysisConfig {
         explore_threads: 1,
         graph_cache: true,
         store_dir,
+        backend: BackendKind::Explicit,
         ..AnalysisConfig::default()
     }
 }
@@ -126,6 +132,103 @@ fn warm_run_replays_cold_run_byte_identically() {
     );
     assert_eq!(render(&warm4), render(&cold));
     assert_eq!(warm4.store_stats.hits, warm4.store_stats.lookups);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Verdict keys carry the backend discriminant: an Explicit-warmed
+/// store yields zero verdict hits under the Symbolic backend (and vice
+/// versa), and `Both` mode — after both backends have settled their
+/// verdicts — replays both sets without touching an engine.
+///
+/// Model-only properties: linkability verdicts check testbed traces,
+/// not a composed model, so their keys are backend-independent and
+/// would hit across backends by design.
+#[test]
+fn store_warmth_is_backend_scoped() {
+    const MODEL_IDS: &[&str] = &["S01", "S12", "PR19"];
+    let backend_cfg = |dir: PathBuf, backend: BackendKind| {
+        let mut c = cfg(Some(dir), 1);
+        c.property_filter = Some(MODEL_IDS.to_vec());
+        c.backend = backend;
+        c
+    };
+    let dir = fresh_dir("backend");
+    let models = extract_models(Implementation::Reference, &cfg(None, 1));
+
+    // Cold explicit run populates the store with explicit-keyed verdicts.
+    let explicit_cold = analyze_extracted(
+        Implementation::Reference,
+        &models,
+        &backend_cfg(dir.clone(), BackendKind::Explicit),
+    );
+    assert_eq!(explicit_cold.store_stats.hits, 0);
+    assert!(explicit_cold.store_stats.writes > 0);
+
+    // The symbolic backend sees none of them: every lookup misses, the
+    // BMC engine settles its own verdicts, and they are written back
+    // under symbolic-tagged keys.
+    let symbolic_cold = analyze_extracted(
+        Implementation::Reference,
+        &models,
+        &backend_cfg(dir.clone(), BackendKind::Symbolic),
+    );
+    assert_eq!(
+        symbolic_cold.store_stats.hits, 0,
+        "explicit-warmed store must not serve symbolic queries: {:?}",
+        symbolic_cold.store_stats
+    );
+    assert!(symbolic_cold.store_stats.lookups > 0);
+    assert!(
+        symbolic_cold.store_stats.writes > 0,
+        "symbolic run settles and stores its own verdicts"
+    );
+
+    // Each backend is now fully warm under its own keys.
+    let explicit_warm = analyze_extracted(
+        Implementation::Reference,
+        &models,
+        &backend_cfg(dir.clone(), BackendKind::Explicit),
+    );
+    assert_eq!(render(&explicit_warm), render(&explicit_cold));
+    assert_eq!(
+        explicit_warm.store_stats.hits,
+        explicit_warm.store_stats.lookups
+    );
+    let symbolic_warm = analyze_extracted(
+        Implementation::Reference,
+        &models,
+        &backend_cfg(dir.clone(), BackendKind::Symbolic),
+    );
+    assert_eq!(render(&symbolic_warm), render(&symbolic_cold));
+    assert_eq!(
+        symbolic_warm.store_stats.hits,
+        symbolic_warm.store_stats.lookups
+    );
+
+    // `Both` mode replays both sets: each leg hits on its own keys, so
+    // every lookup is a hit and no engine runs (zero graph builds).
+    let both = analyze_extracted(
+        Implementation::Reference,
+        &models,
+        &backend_cfg(dir.clone(), BackendKind::Both),
+    );
+    assert_eq!(
+        both.store_stats.hits, both.store_stats.lookups,
+        "Both mode must replay both warmed sets: {:?}",
+        both.store_stats
+    );
+    assert!(
+        both.store_stats.lookups > explicit_warm.store_stats.lookups,
+        "Both mode looks up per leg"
+    );
+    assert_eq!(
+        both.graph_cache_stats.builds, 0,
+        "fully warm Both run never explores"
+    );
+    // On agreement Both reports the explicit leg's results verbatim.
+    assert_eq!(render(&both), render(&explicit_cold));
+    assert!(both.degraded.is_clean());
 
     let _ = std::fs::remove_dir_all(&dir);
 }

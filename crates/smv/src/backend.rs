@@ -1,0 +1,102 @@
+//! The pluggable checking-backend seam.
+//!
+//! The CEGAR loop and the pipeline above it never call a checking
+//! engine directly any more: they talk to a [`CheckBackend`], which
+//! answers one compiled property under one exclusion mask per call. Two
+//! implementations exist:
+//!
+//! * [`ExplicitBackend`] — the explicit-state engine in this crate,
+//!   answering properties as queries over a cached
+//!   [`ReachGraph`] (the historical path, bit-for-bit unchanged);
+//! * `BmcBackend` in `procheck-symbolic` — a bounded model checker that
+//!   bit-blasts the same [`CompiledModel`] into CNF and solves it with
+//!   an in-repo CDCL solver.
+//!
+//! The seam's answer type is [`BackendVerdict`], which is deliberately
+//! *wider* than [`Verdict`]: a bounded engine that exhausts its bound
+//! without finding a violation has **not** proved the property; it
+//! reports [`BackendVerdict::BoundReached`], a settled-but-weaker
+//! outcome the caller must surface as such — never silently as a proof.
+//! The explicit engine is complete over the reachable graph and always
+//! returns [`BackendVerdict::Definite`].
+
+use crate::budget::BudgetMeter;
+use crate::checker::{
+    check_on_graph_budgeted, CheckError, CompiledModel, CompiledProperty, QueryStats, Verdict,
+};
+use crate::reach::ReachGraph;
+use procheck_ident::CmdIdSet;
+
+/// A backend's answer to one property query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendVerdict {
+    /// A definite verdict: holds/violated (or reachable/unreachable),
+    /// with the same meaning as the explicit engine's [`Verdict`].
+    Definite(Verdict),
+    /// The engine searched every behaviour of length ≤ `k` and found no
+    /// violation. Weaker than `Definite(Holds)`: longer behaviours are
+    /// unexamined. Cross-validation treats this as *agreement* with a
+    /// definite pass, never as an independent proof.
+    BoundReached(usize),
+}
+
+/// One checking engine behind the seam. Implementations must be pure
+/// functions of `(model, property, excluded)` — deterministic, no
+/// hidden state between calls — so CEGAR refinement sequences and
+/// cross-validation comparisons are reproducible.
+pub trait CheckBackend {
+    /// A stable, lower-case engine name (`"explicit"`, `"bmc"`),
+    /// used in telemetry and divergence reports.
+    fn name(&self) -> &'static str;
+
+    /// Answers `property` on `model` with the commands in `excluded`
+    /// removed (the CEGAR mask). `limit` bounds interned product
+    /// states for graph-backed engines; symbolic engines may ignore
+    /// it. `meter` charges the run-wide budget; `stats` absorbs the
+    /// query's work counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's [`CheckError`]s; a violated verdict
+    /// whose trace fails replay validation on the source model must
+    /// surface as [`CheckError::BackendDivergence`], never as a
+    /// verdict.
+    fn answer(
+        &self,
+        model: &CompiledModel,
+        property: &CompiledProperty,
+        excluded: &CmdIdSet,
+        limit: usize,
+        meter: &BudgetMeter,
+        stats: &mut QueryStats,
+    ) -> Result<BackendVerdict, CheckError>;
+}
+
+/// The explicit-state engine as a backend: answers every query over a
+/// prebuilt [`ReachGraph`] via
+/// [`check_on_graph_budgeted`], exactly as the pipeline always has.
+/// Complete over the graph, so every answer is
+/// [`BackendVerdict::Definite`].
+pub struct ExplicitBackend<'g> {
+    /// The cached reachability graph of the model under check.
+    pub graph: &'g ReachGraph,
+}
+
+impl CheckBackend for ExplicitBackend<'_> {
+    fn name(&self) -> &'static str {
+        "explicit"
+    }
+
+    fn answer(
+        &self,
+        model: &CompiledModel,
+        property: &CompiledProperty,
+        excluded: &CmdIdSet,
+        limit: usize,
+        meter: &BudgetMeter,
+        stats: &mut QueryStats,
+    ) -> Result<BackendVerdict, CheckError> {
+        check_on_graph_budgeted(model, self.graph, property, excluded, limit, meter, stats)
+            .map(BackendVerdict::Definite)
+    }
+}

@@ -32,7 +32,7 @@ use crate::trace::{Counterexample, TraceStep};
 use procheck_ident::{CmdId, CmdIdSet, Sym, ValId, VarId};
 use procheck_telemetry::Collector;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -197,6 +197,11 @@ pub enum CheckError {
     /// A panic was caught and isolated to one unit of work (a cache
     /// build or a property check); the payload message is preserved.
     Panic(String),
+    /// Two checking backends disagreed on the same property (`Both`
+    /// mode), or a symbolic counterexample failed replay validation on
+    /// the source model. Never resolved by picking a winner: the
+    /// message names both verdicts and the run fails loudly.
+    BackendDivergence(String),
 }
 
 impl fmt::Display for CheckError {
@@ -208,6 +213,7 @@ impl fmt::Display for CheckError {
             CheckError::StateLimit(n) => write!(f, "state limit of {n} states exceeded"),
             CheckError::Budget(e) => write!(f, "analysis budget exhausted: {e}"),
             CheckError::Panic(msg) => write!(f, "isolated panic: {msg}"),
+            CheckError::BackendDivergence(msg) => write!(f, "backend divergence: {msg}"),
         }
     }
 }
@@ -263,12 +269,6 @@ pub struct QueryStats {
     pub transitions: u64,
     /// High-water mark of the query's product BFS frontier.
     pub peak_queue: u64,
-    /// Expressions resolved against string tables *by this query*. A
-    /// query over a [`CompiledModel`] + [`CompiledProperty`] never
-    /// touches a string table, so this stays 0; the legacy name-based
-    /// wrappers count the model guards, fairness constraints, and
-    /// property expressions they re-resolve per call.
-    pub exprs_resolved: u64,
 }
 
 impl QueryStats {
@@ -279,7 +279,6 @@ impl QueryStats {
         self.product_states += other.product_states;
         self.transitions += other.transitions;
         self.peak_queue = self.peak_queue.max(other.peak_queue);
-        self.exprs_resolved += other.exprs_resolved;
     }
 }
 
@@ -292,9 +291,11 @@ type State = Vec<Value>;
 
 /// Index-resolved expression: variable names and symbolic values are
 /// replaced by typed dense indices ([`VarId`], [`ValId`]), so evaluation
-/// is array indexing with no string hashing on the hot path.
+/// is array indexing with no string hashing on the hot path. Public so
+/// alternative backends (the BMC engine in `procheck-symbolic`) can
+/// translate the same compiled form instead of re-resolving names.
 #[derive(Debug, Clone)]
-pub(crate) enum CExpr {
+pub enum CExpr {
     True,
     False,
     Eq(VarId, ValId),
@@ -306,7 +307,8 @@ pub(crate) enum CExpr {
 }
 
 impl CExpr {
-    fn eval(&self, s: &[Value]) -> bool {
+    /// Evaluates the expression in a dense state vector.
+    pub fn eval(&self, s: &[Value]) -> bool {
         match self {
             CExpr::True => true,
             CExpr::False => false,
@@ -322,19 +324,26 @@ impl CExpr {
 
 /// A command with indices resolved.
 #[derive(Debug)]
-pub(crate) struct CCmd {
-    pub(crate) label: Sym,
-    pub(crate) guard: CExpr,
-    pub(crate) updates: Vec<(VarId, ValId)>,
+pub struct CCmd {
+    /// The command's label (unique in generated threat models).
+    pub label: Sym,
+    /// The compiled guard expression.
+    pub guard: CExpr,
+    /// Variable assignments applied when the command fires; variables
+    /// not mentioned keep their value.
+    pub updates: Vec<(VarId, ValId)>,
 }
 
 /// A compiled variable: interned name and domain for trace resolution,
 /// initial values as dense indices for exploration.
 #[derive(Debug)]
-pub(crate) struct CVar {
-    pub(crate) name: Sym,
-    pub(crate) domain: Vec<Sym>,
-    pub(crate) init: Vec<ValId>,
+pub struct CVar {
+    /// The variable's interned name.
+    pub name: Sym,
+    /// The declared domain, in [`ValId`] order.
+    pub domain: Vec<Sym>,
+    /// The initial values (one state per combination across variables).
+    pub init: Vec<ValId>,
 }
 
 /// A model with every name resolved to a dense index, built **once** per
@@ -359,8 +368,18 @@ pub struct CompiledProperty {
     pub(crate) kind: CProp,
 }
 
+impl CompiledProperty {
+    /// The compiled property kind, for backends translating the same
+    /// compiled form the explicit engine queries.
+    pub fn kind(&self) -> &CProp {
+        &self.kind
+    }
+}
+
+/// The compiled shape of a [`Property`]: the same four temporal
+/// patterns, with every expression index-resolved.
 #[derive(Debug)]
-pub(crate) enum CProp {
+pub enum CProp {
     Invariant {
         holds: CExpr,
     },
@@ -439,6 +458,22 @@ impl CompiledModel {
         self.vars.len()
     }
 
+    /// The compiled variables, in [`VarId`] order.
+    pub fn vars(&self) -> &[CVar] {
+        &self.vars
+    }
+
+    /// The compiled commands, in [`CmdId`] order.
+    pub fn commands(&self) -> &[CCmd] {
+        &self.commands
+    }
+
+    /// The compiled fairness constraints (`JUSTICE`-style: each must
+    /// hold infinitely often along any counted infinite behaviour).
+    pub fn fairness_exprs(&self) -> &[CExpr] {
+        &self.fairness
+    }
+
     /// Number of commands; [`CmdId`]s index `0..command_count()` in the
     /// source model's declaration order.
     pub fn command_count(&self) -> usize {
@@ -499,12 +534,6 @@ impl CompiledModel {
         Ok(CompiledProperty { kind })
     }
 
-    /// Model expressions resolved at compile time (guards + fairness):
-    /// the work the legacy per-query paths redo on every call.
-    fn model_expr_count(&self) -> u64 {
-        (self.commands.len() + self.fairness.len()) as u64
-    }
-
     /// Compiles an expression against the declared domains. The model has
     /// already been validated, so lookups cannot fail.
     fn compile(&self, e: &Expr) -> CExpr {
@@ -549,7 +578,9 @@ impl CompiledModel {
         bound.min(limit)
     }
 
-    pub(crate) fn initial_states(&self) -> Vec<State> {
+    /// Every initial state (the cross-product of per-variable initial
+    /// value lists), as dense value vectors in exploration order.
+    pub fn initial_states(&self) -> Vec<State> {
         let mut states: Vec<State> = vec![Vec::new()];
         for v in &self.vars {
             let mut next = Vec::with_capacity(states.len() * v.init.len());
@@ -612,7 +643,9 @@ impl CompiledModel {
         }
     }
 
-    pub(crate) fn label_of(&self, cmd: u32) -> &'static str {
+    /// The trace label for a fired command id (`STUTTER_CMD` →
+    /// `"stutter"`).
+    pub fn label_of(&self, cmd: u32) -> &'static str {
         if cmd == STUTTER_CMD {
             "stutter"
         } else {
@@ -620,7 +653,9 @@ impl CompiledModel {
         }
     }
 
-    pub(crate) fn assignment(&self, s: &[Value]) -> BTreeMap<String, String> {
+    /// Renders a dense state vector as the name→value assignment traces
+    /// carry.
+    pub fn assignment(&self, s: &[Value]) -> BTreeMap<String, String> {
         self.vars
             .iter()
             .enumerate()
@@ -1873,7 +1908,6 @@ fn product_bfs(
                 product_states: pg.nodes.len() as u64,
                 transitions,
                 peak_queue,
-                exprs_resolved: 0,
             });
             return Err(CheckError::StateLimit(limit));
         }
@@ -1886,7 +1920,6 @@ fn product_bfs(
                     product_states: pg.nodes.len() as u64,
                     transitions,
                     peak_queue,
-                    exprs_resolved: 0,
                 });
                 return Err(CheckError::Budget(e));
             }
@@ -1948,7 +1981,6 @@ fn product_bfs(
         product_states: pg.nodes.len() as u64,
         transitions,
         peak_queue,
-        exprs_resolved: 0,
     });
     Ok(pg)
 }
@@ -2116,45 +2148,6 @@ pub fn check_on_graph_budgeted(
         )]));
     }
     check_compiled_on_graph(model, graph, property, excluded, limit, meter, stats)
-}
-
-/// [`check_on_graph`] for callers still holding a source [`Model`] and a
-/// label-keyed exclusion set: compiles the model and property per call
-/// (counted in [`QueryStats::exprs_resolved`]) and translates labels to
-/// the id mask. The pipeline proper compiles once and calls
-/// [`check_on_graph`]; this wrapper serves one-shot and test callers.
-///
-/// # Errors
-///
-/// Returns [`CheckError::InvalidModel`] for invalid models, property
-/// expressions over undeclared vocabulary, or a model/graph shape
-/// mismatch; [`CheckError::StateLimit`] if the product BFS exceeds
-/// `limit` states.
-pub fn check_model_on_graph(
-    model: &Model,
-    graph: &ReachGraph,
-    property: &Property,
-    excluded: &BTreeSet<String>,
-    limit: usize,
-    stats: &mut QueryStats,
-) -> Result<Verdict, CheckError> {
-    let c = CompiledModel::new(model)?;
-    let cp = c.compile_property(property)?;
-    stats.exprs_resolved += c.model_expr_count() + property_expr_count(property);
-    let mut mask = c.exclusion_set();
-    for (i, cmd) in model.commands().iter().enumerate() {
-        if excluded.contains(cmd.label.as_str()) {
-            mask.insert(CmdId::new(i));
-        }
-    }
-    check_on_graph(&c, graph, &cp, &mask, limit, stats)
-}
-
-fn property_expr_count(property: &Property) -> u64 {
-    match property {
-        Property::Invariant { .. } | Property::Reachable { .. } => 1,
-        Property::Response { .. } | Property::Precedence { .. } => 2,
-    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -2933,22 +2926,17 @@ mod tests {
                 let cached = check_on_graph(&c, &g, &cp, &c.exclusion_set(), 1000, &mut q).unwrap();
                 assert_eq!(direct, cached, "{} (with_drop={with_drop})", p.name());
                 assert!(q.nodes_reused > 0, "query must report reuse");
-                assert_eq!(
-                    q.exprs_resolved, 0,
-                    "compiled queries must not resolve names"
-                );
             }
         }
     }
 
-    /// Excluding command labels from a query must be indistinguishable
+    /// Excluding command ids from a query must be indistinguishable
     /// from deleting those commands from the model and re-exploring.
     #[test]
     fn excluded_query_matches_filtered_model() {
         let full = ring(true); // request, serve, reset, adv_drop
         let filtered = ring(false); // identical minus adv_drop
         let g = build_reach_graph(&full, 1000).unwrap();
-        let excluded: BTreeSet<String> = ["adv_drop".to_string()].into();
         let props = [
             Property::invariant("inv", Expr::var_ne("st", "done")),
             Property::reachable("done", Expr::var_eq("st", "done")),
@@ -2970,19 +2958,11 @@ mod tests {
         }
         for p in &props {
             let direct = check_bounded(&filtered, p, 1000).unwrap();
-            // Label-keyed legacy wrapper…
-            let mut q = QueryStats::default();
-            let refined = check_model_on_graph(&full, &g, p, &excluded, 1000, &mut q).unwrap();
-            assert_eq!(direct, refined, "{}", p.name());
-            assert!(
-                q.exprs_resolved > 0,
-                "legacy wrapper re-resolves per call and must say so"
-            );
-            // …and the id-mask fast path agree with the filtered model.
             let cp = c.compile_property(p).unwrap();
-            let mut q2 = QueryStats::default();
-            let masked = check_on_graph(&c, &g, &cp, &mask, 1000, &mut q2).unwrap();
+            let mut q = QueryStats::default();
+            let masked = check_on_graph(&c, &g, &cp, &mask, 1000, &mut q).unwrap();
             assert_eq!(direct, masked, "{} (mask)", p.name());
+            assert!(q.nodes_reused > 0, "masked query must report reuse");
         }
     }
 
@@ -2992,15 +2972,19 @@ mod tests {
     fn excluding_all_commands_synthesizes_stutter() {
         let m = ring(false);
         let g = build_reach_graph(&m, 1000).unwrap();
-        let excluded: BTreeSet<String> = ["serve".to_string()].into();
+        let c = CompiledModel::new(&m).unwrap();
+        let mut mask = c.exclusion_set();
+        for id in c.commands_labeled(Sym::intern("serve")) {
+            mask.insert(id);
+        }
         let p = Property::response(
             "served",
             Expr::var_eq("st", "req"),
             Expr::var_eq("st", "done"),
         );
+        let cp = c.compile_property(&p).unwrap();
         let mut q = QueryStats::default();
-        let Verdict::Violated(ce) =
-            check_model_on_graph(&m, &g, &p, &excluded, 1000, &mut q).unwrap()
+        let Verdict::Violated(ce) = check_on_graph(&c, &g, &cp, &mask, 1000, &mut q).unwrap()
         else {
             panic!("removing serve must stall the ring");
         };

@@ -51,6 +51,7 @@
 //! assert!(matches!(verdict, Verdict::Reachable(_)));
 //! ```
 
+pub mod backend;
 pub mod budget;
 pub mod checker;
 pub mod coi;
@@ -62,6 +63,7 @@ pub mod reach;
 pub mod smvformat;
 pub mod trace;
 
+pub use backend::{BackendVerdict, CheckBackend, ExplicitBackend};
 pub use budget::{Budget, BudgetExceeded, BudgetMeter};
 pub use checker::{
     build_reach_graph_budgeted_opts, check, por_commute_hits_total, por_default, CompiledModel,

@@ -27,10 +27,10 @@
 use crate::checker::CheckStats;
 
 /// Per-variable value index (position in the declared domain).
-pub(crate) type Value = u16;
+pub type Value = u16;
 
 /// Sentinel command index for the deadlock stutter self-loop.
-pub(crate) const STUTTER_CMD: u32 = u32::MAX;
+pub const STUTTER_CMD: u32 = u32::MAX;
 
 /// Sentinel parent id for initial states.
 pub(crate) const NO_PARENT: u32 = u32::MAX;

@@ -52,6 +52,12 @@ pub enum OutcomeData {
     Distinguishable(String),
     /// Deterministically skipped (e.g. "not applicable to this model").
     Skipped(String),
+    /// A bounded backend exhausted its bound `k` without finding a
+    /// violation — settled (the same model, property, and bound always
+    /// reproduce it) but weaker than [`OutcomeData::Verified`]. Stored
+    /// only under keys whose knobs fingerprint carries the bound, so a
+    /// replay can never serve a different bound's answer.
+    BoundReached(u64),
 }
 
 const TAG_VERIFIED: u8 = 1;
@@ -61,6 +67,7 @@ const TAG_GOAL_UNREACHABLE: u8 = 4;
 const TAG_EQUIVALENT: u8 = 5;
 const TAG_DISTINGUISHABLE: u8 = 6;
 const TAG_SKIPPED: u8 = 7;
+const TAG_BOUND_REACHED: u8 = 8;
 
 /// One verdict-store entry: the outcome plus the CEGAR trajectory
 /// counters the report reproduces verbatim on a warm hit, and the
@@ -141,6 +148,10 @@ impl VerdictRecord {
                 w.u8(TAG_SKIPPED);
                 w.string(s);
             }
+            OutcomeData::BoundReached(k) => {
+                w.u8(TAG_BOUND_REACHED);
+                w.u64(*k);
+            }
         }
         w.u64(self.cegar_iterations);
         w.u64(self.refinements);
@@ -165,6 +176,7 @@ impl VerdictRecord {
             TAG_EQUIVALENT => OutcomeData::Equivalent,
             TAG_DISTINGUISHABLE => OutcomeData::Distinguishable(r.string()?),
             TAG_SKIPPED => OutcomeData::Skipped(r.string()?),
+            TAG_BOUND_REACHED => OutcomeData::BoundReached(r.u64()?),
             t => return Err(DecodeError::BadTag(t)),
         };
         let cegar_iterations = r.u64()?;
@@ -250,6 +262,7 @@ mod tests {
             OutcomeData::Equivalent,
             OutcomeData::Distinguishable("victim answered, bystanders failed".into()),
             OutcomeData::Skipped("not applicable to this model: no such var".into()),
+            OutcomeData::BoundReached(24),
         ] {
             let rec = VerdictRecord {
                 property_id: "S01".into(),

@@ -1,0 +1,159 @@
+//! Propositional layer: literals, clauses, and a CNF builder with the
+//! Tseitin and cardinality helpers the BMC encoder leans on.
+//!
+//! Literal representation follows the DIMACS-solver convention: variable
+//! `v`'s positive literal is `2v`, its negation `2v + 1`, so a literal's
+//! variable and sign are one shift/mask away and literals index watch
+//! lists directly.
+
+use std::fmt;
+
+/// A propositional variable (dense index).
+pub type Var = u32;
+
+/// A literal: variable plus sign, packed as `var << 1 | negated`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v << 1)
+    }
+
+    /// The negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v << 1) | 1)
+    }
+
+    /// The literal's variable.
+    pub fn var(self) -> Var {
+        self.0 >> 1
+    }
+
+    /// True if this is the negated polarity.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The opposite-polarity literal of the same variable.
+    #[must_use]
+    pub fn negate(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// Dense index usable for per-literal tables (watch lists).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "-{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+/// A CNF formula under construction: a variable allocator plus a clause
+/// list. Clauses are kept exactly as added (the solver normalizes).
+#[derive(Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// An empty formula.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh(&mut self) -> Var {
+        let v = self.num_vars;
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses added so far.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses, for the solver to load.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Adds one clause (a disjunction of literals).
+    pub fn add(&mut self, clause: Vec<Lit>) {
+        self.clauses.push(clause);
+    }
+
+    /// Adds clauses forcing *at most one* of `lits` true, using the
+    /// sequential (ladder) encoding: `n - 1` auxiliary variables and
+    /// `3n - 4` ternary-or-smaller clauses instead of the quadratic
+    /// pairwise expansion. Small sets stay pairwise (no aux vars).
+    pub fn at_most_one(&mut self, lits: &[Lit]) {
+        if lits.len() <= 1 {
+            return;
+        }
+        if lits.len() <= 4 {
+            for i in 0..lits.len() {
+                for j in i + 1..lits.len() {
+                    self.add(vec![lits[i].negate(), lits[j].negate()]);
+                }
+            }
+            return;
+        }
+        // Ladder: r_i = "one of lits[..=i] is true".
+        let n = lits.len();
+        let r: Vec<Lit> = (0..n - 1).map(|_| Lit::pos(self.fresh())).collect();
+        self.add(vec![lits[0].negate(), r[0]]);
+        for i in 1..n - 1 {
+            self.add(vec![lits[i].negate(), r[i]]);
+            self.add(vec![r[i - 1].negate(), r[i]]);
+            self.add(vec![lits[i].negate(), r[i - 1].negate()]);
+        }
+        self.add(vec![lits[n - 1].negate(), r[n - 2].negate()]);
+    }
+
+    /// Adds clauses forcing *exactly one* of `lits` true.
+    pub fn exactly_one(&mut self, lits: &[Lit]) {
+        self.add(lits.to_vec());
+        self.at_most_one(lits);
+    }
+
+    /// Allocates `a` with `a ⟺ l₁ ∧ … ∧ lₙ` (full Tseitin equivalence).
+    pub fn and_lit(&mut self, lits: &[Lit]) -> Lit {
+        let a = Lit::pos(self.fresh());
+        let mut long: Vec<Lit> = lits.iter().map(|l| l.negate()).collect();
+        long.push(a);
+        for &l in lits {
+            self.add(vec![a.negate(), l]);
+        }
+        self.add(long);
+        a
+    }
+
+    /// Allocates `a` with `a ⟺ l₁ ∨ … ∨ lₙ` (full Tseitin equivalence).
+    pub fn or_lit(&mut self, lits: &[Lit]) -> Lit {
+        let a = Lit::pos(self.fresh());
+        let mut long: Vec<Lit> = lits.to_vec();
+        long.push(a.negate());
+        for &l in lits {
+            self.add(vec![a, l.negate()]);
+        }
+        self.add(long);
+        a
+    }
+}

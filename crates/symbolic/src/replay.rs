@@ -1,0 +1,197 @@
+//! The symbolic soundness contract: every counterexample the BMC engine
+//! emits is replayed, step by step, on the *source* compiled model
+//! before it escapes the crate (ISSUE discipline mirrored from
+//! `crates/smv/tests/reduction_prop.rs`). A path that fails replay is a
+//! solver or encoder bug and surfaces as
+//! [`CheckError::BackendDivergence`] — never as a verdict.
+
+use crate::encode::BmcPath;
+use procheck_ident::CmdIdSet;
+use procheck_smv::checker::{CProp, CheckError, CompiledModel, CompiledProperty};
+use procheck_smv::reach::{Value, STUTTER_CMD};
+use procheck_smv::trace::{Counterexample, TraceStep};
+
+fn divergence(msg: impl Into<String>) -> CheckError {
+    CheckError::BackendDivergence(msg.into())
+}
+
+/// Validates a decoded path against the model's semantics and the
+/// property's violation condition, then renders it as the
+/// [`Counterexample`] shape the explicit engine produces.
+///
+/// # Errors
+///
+/// [`CheckError::BackendDivergence`] naming the first step (or
+/// property condition) that fails to replay.
+pub fn validate_and_render(
+    model: &CompiledModel,
+    property: &CompiledProperty,
+    excluded: &CmdIdSet,
+    path: &BmcPath,
+) -> Result<Counterexample, CheckError> {
+    if path.states.is_empty() {
+        return Err(divergence("bmc replay: empty path"));
+    }
+    if path.fired.len() + 1 != path.states.len() {
+        return Err(divergence(format!(
+            "bmc replay: {} states but {} fired commands",
+            path.states.len(),
+            path.fired.len()
+        )));
+    }
+    if !model.initial_states().contains(&path.states[0]) {
+        return Err(divergence(
+            "bmc replay: path does not start in an initial state",
+        ));
+    }
+    let commands = model.commands();
+    let enabled: Vec<usize> = (0..commands.len())
+        .filter(|&j| !excluded.contains(procheck_ident::CmdId::new(j)))
+        .collect();
+    for (t, fired) in path.fired.iter().enumerate() {
+        let prev = &path.states[t];
+        let cur = &path.states[t + 1];
+        match fired {
+            None => {
+                // Stutter: only legal when the masked model deadlocks.
+                if prev != cur {
+                    return Err(divergence(format!(
+                        "bmc replay: stutter at step {} changes the state",
+                        t + 1
+                    )));
+                }
+                if let Some(&j) = enabled.iter().find(|&&j| commands[j].guard.eval(prev)) {
+                    return Err(divergence(format!(
+                        "bmc replay: stutter at step {} while `{}` is enabled",
+                        t + 1,
+                        commands[j].label.as_str()
+                    )));
+                }
+            }
+            Some(cmd) => {
+                let j = cmd.index();
+                if excluded.contains(*cmd) {
+                    return Err(divergence(format!(
+                        "bmc replay: excluded command `{}` fired at step {}",
+                        commands[j].label.as_str(),
+                        t + 1
+                    )));
+                }
+                if !commands[j].guard.eval(prev) {
+                    return Err(divergence(format!(
+                        "bmc replay: guard of `{}` false at step {}",
+                        commands[j].label.as_str(),
+                        t + 1
+                    )));
+                }
+                let mut expect: Vec<Value> = prev.clone();
+                for &(v, d) in &commands[j].updates {
+                    expect[v.index()] = d.index() as Value;
+                }
+                if &expect != cur {
+                    return Err(divergence(format!(
+                        "bmc replay: `{}` at step {} produces a different state",
+                        commands[j].label.as_str(),
+                        t + 1
+                    )));
+                }
+            }
+        }
+    }
+    validate_violation(model, property, path)?;
+    Ok(render(model, path))
+}
+
+/// Checks that the replayed path actually violates the property, with
+/// exactly the monitor semantics the explicit engine evaluates.
+fn validate_violation(
+    model: &CompiledModel,
+    property: &CompiledProperty,
+    path: &BmcPath,
+) -> Result<(), CheckError> {
+    let states = &path.states;
+    let last = states.last().expect("non-empty path");
+    match property.kind() {
+        CProp::Invariant { holds } => {
+            if holds.eval(last) {
+                return Err(divergence(
+                    "bmc replay: final state satisfies the invariant",
+                ));
+            }
+        }
+        CProp::Reachable { goal } => {
+            if !goal.eval(last) {
+                return Err(divergence("bmc replay: final state misses the goal"));
+            }
+        }
+        CProp::Precedence {
+            event,
+            requires_before,
+        } => {
+            if !event.eval(last) {
+                return Err(divergence("bmc replay: final state is not the event"));
+            }
+            if states.iter().any(|s| requires_before.eval(s)) {
+                return Err(divergence(
+                    "bmc replay: prerequisite occurred before the event",
+                ));
+            }
+        }
+        CProp::Response { trigger, response } => {
+            let l = path
+                .lasso_start
+                .ok_or_else(|| divergence("bmc replay: response violation without a lasso"))?;
+            if l >= states.len() - 1 {
+                return Err(divergence("bmc replay: degenerate lasso"));
+            }
+            if states[l] != *last {
+                return Err(divergence("bmc replay: lasso does not close"));
+            }
+            // Pending monitor along the path:
+            // p' = (p ∨ trigger(s')) ∧ ¬response(s').
+            let mut p = trigger.eval(&states[0]) && !response.eval(&states[0]);
+            let mut pending_at = vec![p];
+            for s in &states[1..] {
+                p = (p || trigger.eval(s)) && !response.eval(s);
+                pending_at.push(p);
+            }
+            if !pending_at[l..].iter().all(|&p| p) {
+                return Err(divergence(
+                    "bmc replay: obligation discharged inside the loop",
+                ));
+            }
+            for (i, f) in model.fairness_exprs().iter().enumerate() {
+                if !states[l + 1..].iter().any(|s| f.eval(s)) {
+                    return Err(divergence(format!(
+                        "bmc replay: fairness constraint {i} unmet on the loop"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Renders the dense path in the explicit engine's trace format: first
+/// step labelled `init`, then the fired command's label (or `stutter`).
+fn render(model: &CompiledModel, path: &BmcPath) -> Counterexample {
+    let mut steps = Vec::with_capacity(path.states.len());
+    steps.push(TraceStep {
+        label: "init".to_string(),
+        state: model.assignment(&path.states[0]),
+    });
+    for (t, fired) in path.fired.iter().enumerate() {
+        let label = match fired {
+            None => model.label_of(STUTTER_CMD).to_string(),
+            Some(cmd) => model.label_of(cmd.index() as u32).to_string(),
+        };
+        steps.push(TraceStep {
+            label,
+            state: model.assignment(&path.states[t + 1]),
+        });
+    }
+    Counterexample {
+        steps,
+        lasso_start: path.lasso_start,
+    }
+}

@@ -51,6 +51,16 @@
 #                            All three skip with a printed reason when
 #                            the artifact has no warm_run section or it
 #                            was skipped (graph cache disabled).
+#   * backend_divergences  — cross-validation agreement between the
+#                            explicit and bounded-symbolic (BMC)
+#                            engines over the full registry; must be
+#                            exactly zero (a divergence is an engine
+#                            bug, not a perf question). The companion
+#                            backend_clauses gate requires the symbolic
+#                            engine to have emitted CNF clauses, i.e.
+#                            actually run. Both skip with a printed
+#                            reason when the pipeline artifact predates
+#                            the symbolic section.
 #
 # The two graph-cache gates are skipped when the telemetry reports zero
 # graph-cache lookups — i.e. the artifacts came from a
@@ -231,6 +241,37 @@ else:
         print(f"  mutated_rechecked: {rechecked} properties re-checked, "
               f"{warm.get('mutated_hits', '?')} replayed warm "
               f"({warm.get('mutated_secs', 0):.3f}s)")
+
+# Cross-validation gate: the bounded symbolic (BMC) backend must agree
+# with the explicit engine on every model property — zero divergences,
+# exactly — and must have done real work (emitted CNF clauses). The
+# telemetry totals carry the same counter; both are checked so a
+# mismatch between the artifacts is caught too.
+symbolic = pipeline.get("symbolic")
+if symbolic is None:
+    print("  backend_divergences: skipped (no symbolic section in pipeline "
+          "artifact; predates the symbolic backend)")
+else:
+    div = symbolic["divergences"]
+    ok = div == 0
+    print(f"  backend_divergences: current {div} "
+          f"(agreement rate {symbolic.get('agreement_rate', 0.0):.4f} over "
+          f"{symbolic.get('model_properties', '?')} model properties, "
+          f"bound {symbolic.get('bmc_bound', '?')}), required 0 "
+          f"-> {'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        failures.append("backend_divergences")
+    telemetry_div = totals.get("backend_divergences", 0)
+    if telemetry_div != div:
+        print(f"  backend_divergences: telemetry reports {telemetry_div}, "
+              f"pipeline artifact {div} -> REGRESSION (artifact mismatch)")
+        failures.append("backend_divergences_mismatch")
+    clauses = symbolic.get("clauses", 0)
+    ok = clauses > 0
+    print(f"  backend_clauses: current {clauses}, required > 0 "
+          f"-> {'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        failures.append("backend_clauses")
 
 # Clean runs must be clean: any degraded property outcome (budget
 # exhaustion, isolated panic, skip) in a benchmark run is a bug, not a
